@@ -1,0 +1,28 @@
+"""Compiler-side benchmarks: selection and packing throughput.
+
+Not a paper table — tracks the cost of the compiler itself, mirroring
+the paper's note that GCD2's overall compilation time is "justified"
+(5-25 minutes per model on their setup).
+"""
+
+from repro.compiler import CompilerOptions, GCD2Compiler
+from repro.core.packing.sda import pack_instructions
+from repro.codegen.matmul import emit_matmul_body
+from repro.isa.instructions import Opcode
+from repro.models import build_model
+
+
+def test_bench_resnet50_compile(benchmark):
+    graph = build_model("resnet50")
+
+    def compile_once():
+        return GCD2Compiler(CompilerOptions()).compile(graph)
+
+    compiled = benchmark.pedantic(compile_once, rounds=1, iterations=1)
+    assert compiled.latency_ms > 0
+
+
+def test_bench_sda_packing(benchmark):
+    body = emit_matmul_body(Opcode.VRMPY, 4, 4, include_epilogue=True)
+    packets = benchmark(pack_instructions, body)
+    assert packets

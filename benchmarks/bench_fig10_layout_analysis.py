@@ -1,0 +1,15 @@
+"""Figure 10: layout selection quality and search time."""
+
+from repro.harness import figure10, print_rows
+
+
+def test_fig10_layout_analysis(benchmark):
+    rows = benchmark.pedantic(
+        figure10, kwargs={"sizes": (10, 15, 20, 25)}, rounds=1, iterations=1
+    )
+    print_rows("Figure 10 (reproduced)", rows)
+    for row in rows:
+        assert row["speedup_global"] >= 1.2
+        assert abs(row["speedup_gcd2_13"] - row["speedup_global"]) < 0.05
+        # The raw k^|V| search space the paper's 80-hour run walked.
+        assert row["raw_options"] > 10 ** (row["operators"] // 3)

@@ -1,0 +1,11 @@
+"""Figure 11: SDA vs soft_to_hard vs soft_to_none on whole models."""
+
+from repro.harness import figure11, print_rows
+
+
+def test_fig11_vliw_packing(benchmark):
+    rows = benchmark.pedantic(figure11, rounds=1, iterations=1)
+    print_rows("Figure 11 (reproduced)", rows)
+    for row in rows:
+        assert row["vs_soft_to_hard"] >= 0.999
+        assert row["vs_soft_to_none"] >= 0.999

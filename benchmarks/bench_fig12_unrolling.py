@@ -1,0 +1,17 @@
+"""Figure 12: unrolling-factor analysis on MatMul kernels."""
+
+from repro.harness import figure12_kernels, figure12_single, print_rows
+
+
+def test_fig12a_single_kernel(benchmark):
+    rows = benchmark(figure12_single)
+    print_rows("Figure 12a (reproduced)", rows)
+    by_factor = {r["factor"]: r for r in rows}
+    assert by_factor[16]["out_only"] < by_factor[4]["out_only"]
+
+
+def test_fig12b_kernels(benchmark):
+    rows = benchmark.pedantic(figure12_kernels, rounds=1, iterations=1)
+    print_rows("Figure 12b (reproduced)", rows)
+    for row in rows:
+        assert row["gcd2"] >= row["exhaustive"] * 0.85

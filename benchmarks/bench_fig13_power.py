@@ -1,0 +1,11 @@
+"""Figure 13: power and energy efficiency of DSP/GPU solutions."""
+
+from repro.harness import figure13, print_rows
+
+
+def test_fig13_power(benchmark):
+    rows = benchmark.pedantic(figure13, rounds=1, iterations=1)
+    print_rows("Figure 13 (reproduced)", rows)
+    for row in rows:
+        assert row["gcd2_dsp_fpw"] > row["tflite_dsp_fpw"]
+        assert row["gcd2_dsp_fpw"] > row["tflite_gpu_fpw"]

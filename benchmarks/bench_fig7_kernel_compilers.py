@@ -1,0 +1,12 @@
+"""Figure 7: Conv2D kernels vs Halide, TVM and RAKE."""
+
+from repro.harness import figure7, print_rows
+
+
+def test_fig7_kernel_compilers(benchmark):
+    rows = benchmark(figure7)
+    print_rows("Figure 7 (reproduced)", rows)
+    for row in rows:
+        assert row["speedup_gcd2"] >= row["speedup_gcd_b"] * 0.999
+        assert row["speedup_gcd_b"] > row["speedup_tvm"]
+        assert row["packets_gcd2"] <= 1.0

@@ -1,0 +1,11 @@
+"""Figure 8: DSP utilization and memory bandwidth vs GCD2."""
+
+from repro.harness import figure8, print_rows
+
+
+def test_fig8_utilization(benchmark):
+    rows = benchmark.pedantic(figure8, rounds=1, iterations=1)
+    print_rows("Figure 8 (reproduced)", rows)
+    for row in rows:
+        assert row["tflite_util_%"] < 100.0
+        assert row["tflite_bw_%"] < 100.0

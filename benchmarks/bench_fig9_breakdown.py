@@ -1,0 +1,15 @@
+"""Figure 9: incremental optimization breakdown."""
+
+from repro.harness import figure9, print_rows
+
+
+def test_fig9_breakdown(benchmark):
+    rows = benchmark.pedantic(figure9, rounds=1, iterations=1)
+    print_rows("Figure 9 (reproduced)", rows)
+    for row in rows:
+        assert (
+            row["no_opt"]
+            <= row["+instr/layout"]
+            <= row["+vliw"]
+            <= row["+other"]
+        )

@@ -1,0 +1,10 @@
+"""Table I: latency & power of mobile CPU/GPU/DSP under TFLite."""
+
+from repro.harness import print_rows, table1
+
+
+def test_table1_cpu_gpu_dsp(benchmark):
+    rows = benchmark(table1)
+    print_rows("Table I (reproduced)", rows)
+    for row in rows:
+        assert row["dsp_ms"] < row["gpu_ms"] < row["cpu_ms"]

@@ -1,0 +1,10 @@
+"""Table II: instruction/layout trade-off on square matmuls."""
+
+from repro.harness import print_rows, table2
+
+
+def test_table2_instruction_tradeoff(benchmark):
+    rows = benchmark(table2)
+    print_rows("Table II (reproduced)", rows)
+    winners = {row["M=K=N"]: row["winner"] for row in rows}
+    assert winners == {32: "vrmpy", 64: "vmpa", 96: "vrmpy", 128: "vmpy"}

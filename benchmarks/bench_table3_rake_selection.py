@@ -1,0 +1,10 @@
+"""Table III: instruction selection and performance vs RAKE."""
+
+from repro.harness import print_rows, table3
+
+
+def test_table3_rake_selection(benchmark):
+    rows = benchmark(table3)
+    print_rows("Table III (reproduced)", rows)
+    for row in rows:
+        assert row["speedup"] > 1.5

@@ -1,0 +1,11 @@
+"""Table IV: end-to-end latency on all ten models vs TFLite/SNPE."""
+
+from repro.harness import print_rows, table4
+
+
+def test_table4_end_to_end(benchmark):
+    rows = benchmark.pedantic(table4, rounds=1, iterations=1)
+    print_rows("Table IV (reproduced)", rows)
+    geomean = [r for r in rows if r["model"] == "geomean"][0]
+    assert 2.2 <= geomean["over_tflite"] <= 3.4   # paper: 2.8
+    assert 1.6 <= geomean["over_snpe"] <= 2.6     # paper: 2.1

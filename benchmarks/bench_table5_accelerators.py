@@ -1,0 +1,10 @@
+"""Table V: ResNet-50 speed/energy vs EdgeTPU and Jetson Xavier."""
+
+from repro.harness import print_rows, table5
+
+
+def test_table5_accelerators(benchmark):
+    rows = benchmark(table5)
+    print_rows("Table V (reproduced)", rows)
+    ours = [r for r in rows if r["platform"] == "GCD2 (ours)"][0]
+    assert all(ours["fpw"] > r["fpw"] for r in rows if r is not ours)

@@ -1,0 +1,10 @@
+"""Shared helpers for the benchmark suite.
+
+Each benchmark regenerates one of the paper's tables or figures via
+the experiment harness and prints the reproduced rows (run with ``-s``
+to see them inline; EXPERIMENTS.md records a captured set).
+"""
+
+from repro.harness import print_rows
+
+__all__ = ["print_rows"]

@@ -1,0 +1,40 @@
+"""GCD2 reproduction: a globally optimizing DNN compiler for mobile DSPs.
+
+Reproduces Niu et al., "GCD2: A Globally Optimizing Compiler for
+Mapping DNNs to Mobile DSPs" (MICRO 2022) as a pure-Python system: a
+simulated Hexagon-class VLIW/SIMD DSP, the paper's data layouts and
+instruction kernels, the global layout/instruction selection algorithms,
+the Soft-Dependency-Aware VLIW packer, and the full evaluation harness.
+
+Quick start::
+
+    from repro import compile_model, build_model
+
+    compiled = compile_model(build_model("resnet50"))
+    print(compiled.latency_ms)
+"""
+
+from repro.compiler import (
+    CompiledModel,
+    CompilerOptions,
+    GCD2Compiler,
+    compile_model,
+)
+from repro.graph.builder import GraphBuilder
+from repro.models import MODELS, build_model, model_names
+from repro.runtime.executor import QuantizedExecutor
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CompiledModel",
+    "CompilerOptions",
+    "GCD2Compiler",
+    "compile_model",
+    "GraphBuilder",
+    "MODELS",
+    "build_model",
+    "model_names",
+    "QuantizedExecutor",
+    "__version__",
+]

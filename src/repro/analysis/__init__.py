@@ -1,0 +1,10 @@
+"""Result analysis helpers."""
+
+from repro.analysis.metrics import (
+    fps,
+    fpw,
+    geometric_mean,
+    speedup,
+)
+
+__all__ = ["fps", "fpw", "geometric_mean", "speedup"]

@@ -1,0 +1,45 @@
+"""Metrics used by the evaluation harness."""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Optional
+
+
+def geometric_mean(values: Iterable[float]) -> float:
+    """Geometric mean (the paper's aggregate for Table IV speedups).
+
+    Raises
+    ------
+    ValueError
+        On an empty sequence or any non-positive value.
+    """
+    values = list(values)
+    if not values:
+        raise ValueError("geometric mean of an empty sequence")
+    if any(v <= 0 for v in values):
+        raise ValueError(f"geometric mean needs positive values: {values}")
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def speedup(baseline: Optional[float], ours: float) -> Optional[float]:
+    """Baseline-over-ours latency ratio; ``None`` propagates ("-" cells)."""
+    if baseline is None:
+        return None
+    if ours <= 0:
+        raise ValueError(f"latency must be positive, got {ours}")
+    return baseline / ours
+
+
+def fps(latency_ms: float) -> float:
+    """Inference frames per second."""
+    if latency_ms <= 0:
+        raise ValueError(f"latency must be positive, got {latency_ms}")
+    return 1e3 / latency_ms
+
+
+def fpw(latency_ms: float, power_watts: float) -> float:
+    """Inference frames per watt (Table V / Figure 13's metric)."""
+    if power_watts <= 0:
+        raise ValueError(f"power must be positive, got {power_watts}")
+    return fps(latency_ms) / power_watts

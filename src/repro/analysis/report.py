@@ -1,0 +1,160 @@
+"""Markdown report generation for the reproduction results.
+
+``build_report`` runs every experiment in the harness and renders a
+paper-versus-measured markdown document — the generator behind
+``EXPERIMENTS.md`` (regenerate with ``python -m repro.analysis.report``).
+"""
+
+from __future__ import annotations
+
+import io
+from typing import Dict, List, Optional, Sequence
+
+from repro import harness
+
+#: Paper-reported reference notes shown beneath each experiment.
+PAPER_NOTES: Dict[str, str] = {
+    "Table I": (
+        "Paper: DSP beats mobile GPU and CPU on both latency and power "
+        "for all four models (e.g. ResNet-50: CPU 62 ms / GPU 34.4 ms / "
+        "DSP 13.9 ms; power ratios 6.2x / 2.3x / 1x)."
+    ),
+    "Table II": (
+        "Paper winners per M=K=N: 32 -> vrmpy, 64 -> vmpa, 96 -> vrmpy, "
+        "128 -> vmpy; padded-data ratios 0.56/0.33, 0.60/0.60, "
+        "1.00/0.82, 1.00/1.00."
+    ),
+    "Table III": (
+        "Paper: RAKE picks vrmpy/vmpy/vrmpy, GCD2 picks vmpy/vmpa/vmpy, "
+        "speedups 1.63x / 1.98x / 2.06x."
+    ),
+    "Table IV": (
+        "Paper: GCD2 1.5-6.0x over TFLite and 1.5-4.1x over SNPE; "
+        "geometric means 2.8x and 2.1x; TinyBERT/Conformer run on the "
+        "DSP for the first time; EfficientDet-d0 reaches real time."
+    ),
+    "Table V": (
+        "Paper: GCD2 141 FPS at 2.6 W = 54.2 FPW, versus EdgeTPU 8.9 "
+        "FPW and Jetson Xavier int8 36.7 FPW."
+    ),
+    "Figure 7": (
+        "Paper: GCD2 up to 4.5x/3.4x/4.0x over Halide/TVM/RAKE; GCD_b "
+        "(tensor opts only) up to 3.8x/2.7x/3.3x; 25%/19%/21% fewer "
+        "packets."
+    ),
+    "Figure 8": (
+        "Paper: TFLite and SNPE reach only 88-93% and 89-95% of GCD2's "
+        "DSP utilization, and 86-93% / 90-94% of its memory bandwidth."
+    ),
+    "Figure 9": (
+        "Paper: instruction/layout selection adds 1.4-2.9x, VLIW "
+        "scheduling a further 1.2-2.0x, other optimizations 1.1-1.4x."
+    ),
+    "Figure 10": (
+        "Paper: GCD2(13) within a hair of the global optimum "
+        "(1.55-1.7x over local); exhaustive search time explodes "
+        "(>80 h at 25 operators) while GCD2(13) needs seconds."
+    ),
+    "Figure 11": (
+        "Paper: SDA up to 2.1x over soft_to_hard and up to 1.4x over "
+        "soft_to_none."
+    ),
+    "Figure 12a": (
+        "Paper: exhaustive best 4-4; over-unrolling degrades "
+        "performance via register spilling."
+    ),
+    "Figure 12b": (
+        "Paper: GCD2's adaptive unrolling beats Out-/Mid-only and is "
+        "comparable to the exhaustive search on all eight kernels."
+    ),
+    "Figure 13": (
+        "Paper: GCD2-DSP draws ~7% more power than TFLite/SNPE-DSP but "
+        "delivers 1.7x/1.5x their energy efficiency and 2.9x the GPU's."
+    ),
+}
+
+
+def _markdown_table(rows: Sequence[Dict]) -> str:
+    if not rows:
+        return "_(no rows)_\n"
+    headers = list(rows[0].keys())
+    out = io.StringIO()
+    out.write("| " + " | ".join(str(h) for h in headers) + " |\n")
+    out.write("|" + "---|" * len(headers) + "\n")
+    for row in rows:
+        cells = []
+        for header in headers:
+            value = row.get(header)
+            if value is None:
+                cells.append("-")
+            elif isinstance(value, float):
+                cells.append(f"{value:.2f}")
+            else:
+                cells.append(str(value))
+        out.write("| " + " | ".join(cells) + " |\n")
+    return out.getvalue()
+
+
+def build_report(
+    experiments: Optional[Dict[str, List[Dict]]] = None,
+) -> str:
+    """Render the full paper-vs-measured markdown report."""
+    if experiments is None:
+        experiments = harness.run_all(verbose=False)
+    out = io.StringIO()
+    out.write("# EXPERIMENTS — paper vs. measured\n\n")
+    out.write(
+        "Every table and figure of the paper's evaluation, regenerated "
+        "by this library's simulated-DSP pipeline.  Absolute numbers "
+        "are not expected to match a physical Snapdragon 865 (see "
+        "DESIGN.md for the substitution argument); the *shape* — who "
+        "wins, orderings, crossovers — is the reproduction target.  "
+        "Regenerate with `python -m repro.analysis.report` or run the "
+        "per-experiment benchmarks under `benchmarks/`.\n\n"
+    )
+    for title, rows in experiments.items():
+        out.write(f"## {title}\n\n")
+        note = PAPER_NOTES.get(title)
+        if note:
+            out.write(f"**Paper reference.** {note}\n\n")
+        out.write("**Measured.**\n\n")
+        out.write(_markdown_table(rows))
+        out.write("\n")
+    out.write(_deviations_section())
+    return out.getvalue()
+
+
+def _deviations_section() -> str:
+    return (
+        "## Known deviations\n\n"
+        "* **Table III** — our calibrated cost surface picks `vmpy` for "
+        "the 1x1 kernel and `vrmpy` for the 3x3 where the paper's "
+        "device measurements preferred `vmpa`/`vmpy`; the Table II fit "
+        "cannot simultaneously encode the device's Table III winners. "
+        "The headline (GCD2's selection beats RAKE's, by 1.6-2.8x here "
+        "vs 1.6-2.1x in the paper) reproduces.\n"
+        "* **Figure 11** — SDA's margins over soft_to_hard/soft_to_none "
+        "are 1.0-1.15x here versus up to 2.1x/1.4x in the paper: our "
+        "generated loop bodies are ILP-rich after adaptive unrolling, "
+        "which narrows what packing alone can win, and memory-bound "
+        "operators cap packing gains at the bandwidth roofline. "
+        "Direction (SDA never loses) reproduces.\n"
+        "* **Figure 7 packets** — GCD2 emits ~8% fewer packets on "
+        "average versus the paper's 19-25%, for the same reason.\n"
+        "* **WDSR-b / Table IV** — the paper's 6.0x over TFLite "
+        "(vs 2.05x over SNPE on the same library) reflects a "
+        "TFLite-delegate pathology we do not model; we reproduce "
+        "~2.7x/2.1x.\n"
+        "* **Figure 12a** — our mid-level-only unroll curve saturates "
+        "rather than dropping at factor 16 (16 vrmpy accumulators "
+        "still fit the register file in our model); the outer-loop "
+        "curve shows the paper's spill-driven drop.\n"
+    )
+
+
+def main() -> None:
+    print(build_report())
+
+
+if __name__ == "__main__":
+    main()

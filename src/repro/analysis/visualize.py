@@ -1,0 +1,153 @@
+"""Terminal visualization: ASCII bar charts for the paper's figures.
+
+A reproduction repo should let you *see* the figures, not just read
+row dumps.  This module renders grouped horizontal bar charts in plain
+text (no plotting dependencies), and knows how to turn each harness
+figure's rows into one.
+
+Example output (Figure 11)::
+
+    efficientnet_b0 | vs_soft_to_hard ######################### 1.02
+                    | vs_soft_to_none ######################### 1.05
+"""
+
+from __future__ import annotations
+
+import io
+from typing import Dict, List, Optional, Sequence
+
+#: Glyph used for bar fills.
+BAR_CHAR = "#"
+#: Maximum bar width in characters.
+BAR_WIDTH = 40
+
+
+def bar_chart(
+    rows: Sequence[Dict],
+    label_key: str,
+    value_keys: Sequence[str],
+    *,
+    title: str = "",
+    width: int = BAR_WIDTH,
+) -> str:
+    """Render ``rows`` as a grouped horizontal bar chart.
+
+    Parameters
+    ----------
+    rows:
+        Harness-style row dicts.
+    label_key:
+        Key providing each group's label.
+    value_keys:
+        Numeric keys plotted as bars within each group; ``None`` values
+        are rendered as ``(n/a)``.
+    width:
+        Character width of the longest bar.
+    """
+    if width < 1:
+        raise ValueError(f"width must be positive, got {width}")
+    values = [
+        float(row[key])
+        for row in rows
+        for key in value_keys
+        if row.get(key) is not None
+    ]
+    peak = max(values, default=1.0)
+    peak = peak if peak > 0 else 1.0
+    label_width = max(
+        [len(str(row.get(label_key, ""))) for row in rows] + [1]
+    )
+    key_width = max(len(k) for k in value_keys)
+
+    out = io.StringIO()
+    if title:
+        out.write(f"{title}\n")
+    for row in rows:
+        label = str(row.get(label_key, ""))
+        for index, key in enumerate(value_keys):
+            shown_label = label if index == 0 else ""
+            value = row.get(key)
+            if value is None:
+                out.write(
+                    f"{shown_label:<{label_width}} | {key:<{key_width}} "
+                    f"(n/a)\n"
+                )
+                continue
+            value = float(value)
+            filled = max(0, int(round(width * value / peak)))
+            out.write(
+                f"{shown_label:<{label_width}} | {key:<{key_width}} "
+                f"{BAR_CHAR * filled} {value:.2f}\n"
+            )
+        out.write("\n")
+    return out.getvalue()
+
+
+#: Figure name -> (label key, value keys) for the harness rows.
+FIGURE_CHARTS: Dict[str, Dict] = {
+    "figure7": {
+        "label_key": "kernel",
+        "value_keys": [
+            "speedup_halide", "speedup_tvm", "speedup_rake",
+            "speedup_gcd_b", "speedup_gcd2",
+        ],
+        "title": "Figure 7: kernel speedups (normalized to Halide)",
+    },
+    "figure8": {
+        "label_key": "model",
+        "value_keys": [
+            "gcd2_util_%", "tflite_util_%", "snpe_util_%",
+        ],
+        "title": "Figure 8: DSP utilization relative to GCD2 (%)",
+    },
+    "figure9": {
+        "label_key": "model",
+        "value_keys": ["no_opt", "+instr/layout", "+vliw", "+other"],
+        "title": "Figure 9: incremental optimization speedup",
+    },
+    "figure10": {
+        "label_key": "operators",
+        "value_keys": [
+            "speedup_gcd2_13", "speedup_gcd2_17",
+            "speedup_global", "speedup_pbqp",
+        ],
+        "title": "Figure 10: speedup over local-optimal selection",
+    },
+    "figure11": {
+        "label_key": "model",
+        "value_keys": ["vs_soft_to_hard", "vs_soft_to_none"],
+        "title": "Figure 11: SDA speedup over packing ablations",
+    },
+    "figure12b": {
+        "label_key": "kernel",
+        "value_keys": [
+            "no_unroll", "out_only", "mid_only", "gcd2", "exhaustive",
+        ],
+        "title": "Figure 12b: unrolling strategies across kernels",
+    },
+    "figure13": {
+        "label_key": "model",
+        "value_keys": [
+            "tflite_dsp_fpw", "snpe_dsp_fpw", "gcd2_dsp_fpw",
+            "tflite_gpu_fpw",
+        ],
+        "title": "Figure 13: energy efficiency (frames per watt)",
+    },
+}
+
+
+def render_figure(name: str, rows: Sequence[Dict]) -> str:
+    """Render one harness figure's rows as a bar chart.
+
+    Falls back to an empty string for experiments without a chart
+    mapping (the tables are better read as tables).
+    """
+    spec = FIGURE_CHARTS.get(name)
+    if spec is None:
+        return ""
+    return bar_chart(
+        rows,
+        spec["label_key"],
+        spec["value_keys"],
+        title=spec["title"],
+    )

@@ -1,0 +1,37 @@
+"""Simulated baseline frameworks, kernel compilers, and hardware."""
+
+from repro.baselines.frameworks import (
+    FRAMEWORKS,
+    FrameworkPolicy,
+    framework_latency_ms,
+    framework_profile,
+)
+from repro.baselines.kernel_compilers import (
+    KERNEL_COMPILERS,
+    KernelCompilerPolicy,
+    compile_kernel,
+)
+from repro.baselines.hardware import (
+    ACCELERATORS,
+    AcceleratorSpec,
+    RooflineDevice,
+    MOBILE_CPU,
+    MOBILE_GPU,
+    dsp_power_watts,
+)
+
+__all__ = [
+    "FRAMEWORKS",
+    "FrameworkPolicy",
+    "framework_latency_ms",
+    "framework_profile",
+    "KERNEL_COMPILERS",
+    "KernelCompilerPolicy",
+    "compile_kernel",
+    "ACCELERATORS",
+    "AcceleratorSpec",
+    "RooflineDevice",
+    "MOBILE_CPU",
+    "MOBILE_GPU",
+    "dsp_power_watts",
+]

@@ -1,0 +1,145 @@
+"""Hardware models: mobile CPU/GPU rooflines, DSP power, accelerators.
+
+These stand in for the physical devices of Tables I and V and the power
+rails of Figure 13:
+
+* the CPU and GPU are roofline devices — latency is the max of compute
+  time and memory time plus a per-operator dispatch overhead, with
+  throughput/bandwidth constants calibrated once against Table I's
+  ResNet/EfficientNet rows;
+* DSP power follows an affine model in MAC utilization, calibrated to
+  the paper's measured 2.6 W for GCD2 and the ~7% lower draw of the
+  less-utilizing TFLite/SNPE runs;
+* EdgeTPU and Jetson Xavier appear as published constants, exactly as
+  they do in the paper's Table V.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.graph.graph import ComputationalGraph
+
+
+@dataclass(frozen=True)
+class RooflineDevice:
+    """A compute/bandwidth roofline with per-operator overhead.
+
+    Attributes
+    ----------
+    gmacs_per_s:
+        Sustained MAC throughput (quantization-appropriate precision).
+    gbytes_per_s:
+        Sustained memory bandwidth for activation traffic.
+    op_overhead_ms:
+        Dispatch overhead per operator (interpreter + driver cost).
+    power_watts:
+        Nominal package power while busy.
+    """
+
+    name: str
+    gmacs_per_s: float
+    gbytes_per_s: float
+    op_overhead_ms: float
+    power_watts: float
+    element_bytes: int = 1
+    ai_saturation: float = 0.0
+
+    def latency_ms(self, graph: ComputationalGraph) -> float:
+        """Roofline latency of one inference.
+
+        When ``ai_saturation`` is set, sustained compute throughput
+        scales with the workload's arithmetic intensity (MACs per byte)
+        up to the peak — GPUs only reach peak rate on dense,
+        high-reuse kernels.
+        """
+        macs = graph.total_macs()
+        activation_bytes = self.element_bytes * sum(
+            int(math.prod(node.output_shape)) for node in graph
+        )
+        throughput = self.gmacs_per_s
+        if self.ai_saturation > 0:
+            intensity = macs / max(1, activation_bytes)
+            throughput *= min(1.0, intensity / self.ai_saturation)
+        compute_ms = macs / (throughput * 1e6)
+        memory_ms = 2.0 * activation_bytes / (self.gbytes_per_s * 1e6)
+        ops = graph.operator_count()
+        return max(compute_ms, memory_ms) + ops * self.op_overhead_ms
+
+    def energy_per_inference_j(self, graph: ComputationalGraph) -> float:
+        """Energy of one inference in joules."""
+        return self.power_watts * self.latency_ms(graph) / 1e3
+
+
+#: Octa-core Kryo 585 running int8 kernels (calibrated: ResNet-50 at
+#: ~62 ms and EfficientNet-b0 at ~53 ms reproduce Table I's CPU column).
+MOBILE_CPU = RooflineDevice(
+    name="CPU (int8)",
+    gmacs_per_s=120.0,
+    gbytes_per_s=1.5,
+    op_overhead_ms=0.19,
+    power_watts=11.0,
+)
+
+#: Adreno 650 running float16 (Table I's GPU column).
+MOBILE_GPU = RooflineDevice(
+    name="GPU (float16)",
+    gmacs_per_s=250.0,
+    gbytes_per_s=10.0,
+    op_overhead_ms=0.06,
+    power_watts=3.0,
+    element_bytes=2,
+    ai_saturation=150.0,
+)
+
+
+# -- DSP power -------------------------------------------------------------
+
+#: Static draw of the DSP subsystem plus memory path (watts).
+DSP_STATIC_WATTS = 0.8
+#: Additional draw at full issue-slot occupancy (watts).
+DSP_DYNAMIC_WATTS = 2.57
+
+
+def dsp_power_watts(slot_occupancy: float) -> float:
+    """DSP package power as a function of issue-slot occupancy.
+
+    Affine in occupancy: better-utilizing compilers draw slightly more
+    power ("GCD2-DSP consumes more power than other DSP solutions
+    mainly because of its better DSP and memory utilization") but win
+    on energy per inference.  Calibrated so GCD2's ~0.7 occupancy draws
+    the paper's measured 2.6 W.
+    """
+    occupancy = min(1.0, max(0.0, slot_occupancy))
+    return DSP_STATIC_WATTS + DSP_DYNAMIC_WATTS * occupancy
+
+
+# -- accelerators (Table V published constants) -----------------------------
+
+
+@dataclass(frozen=True)
+class AcceleratorSpec:
+    """One accelerator row of Table V (published numbers)."""
+
+    platform: str
+    device: str
+    fps: float
+    power_watts: float
+
+    @property
+    def fpw(self) -> float:
+        """Inference frames per watt."""
+        return self.fps / self.power_watts
+
+
+ACCELERATORS: Dict[str, AcceleratorSpec] = {
+    "edgetpu": AcceleratorSpec("EdgeTPU", "Edge TPU (int8)", 17.8, 2.0),
+    "jetson_fp16": AcceleratorSpec(
+        "Jetson Xavier", "GPU + DLA (fp16)", 291.0, 30.0
+    ),
+    "jetson_int8": AcceleratorSpec(
+        "Jetson Xavier", "GPU + DLA (int8)", 1100.0, 30.0
+    ),
+}

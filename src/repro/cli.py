@@ -1,0 +1,200 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``models``
+    List the model zoo with Table IV reference data.
+``compile MODEL``
+    Compile a zoo model and print its execution plans and latency.
+``experiment NAME``
+    Regenerate one of the paper's tables/figures (``table1`` ..
+    ``figure13``) and print its rows.
+``report``
+    Print the full paper-vs-measured markdown report.
+``describe MODEL``
+    Print a model's operator mix and GEMM shape census.
+``export MODEL PATH``
+    Serialize a zoo model's computational graph to JSON.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro import harness
+from repro.compiler import CompilerOptions, GCD2Compiler
+from repro.models import MODELS, build_model, model_names
+
+#: Experiment name -> harness callable.
+EXPERIMENTS = {
+    "table1": harness.table1,
+    "table2": harness.table2,
+    "table3": harness.table3,
+    "table4": harness.table4,
+    "table5": harness.table5,
+    "figure7": harness.figure7,
+    "figure8": harness.figure8,
+    "figure9": harness.figure9,
+    "figure10": harness.figure10,
+    "figure11": harness.figure11,
+    "figure12a": harness.figure12_single,
+    "figure12b": harness.figure12_kernels,
+    "figure13": harness.figure13,
+}
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="GCD2 reproduction: compile DNNs for a simulated "
+        "mobile DSP and regenerate the paper's evaluation.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("models", help="list the model zoo")
+
+    describe_p = sub.add_parser(
+        "describe", help="print a model's layer/shape digest"
+    )
+    describe_p.add_argument("model", choices=model_names())
+
+    compile_p = sub.add_parser("compile", help="compile a zoo model")
+    compile_p.add_argument("model", choices=model_names())
+    compile_p.add_argument(
+        "--selection",
+        default="gcd2",
+        choices=["gcd2", "local", "exhaustive", "pbqp", "chain"],
+    )
+    compile_p.add_argument(
+        "--packing",
+        default="sda",
+        choices=["sda", "sda_pure", "soft_to_hard", "soft_to_none", "list"],
+    )
+    compile_p.add_argument(
+        "--unrolling",
+        default="adaptive",
+        choices=["adaptive", "exhaustive", "outer", "mid", "none"],
+    )
+    compile_p.add_argument("--max-operators", type=int, default=13)
+    compile_p.add_argument(
+        "--no-other-opts", action="store_true",
+        help="disable the division-to-LUT class of rewrites",
+    )
+    compile_p.add_argument(
+        "--plans", action="store_true", help="print per-operator plans"
+    )
+
+    exp_p = sub.add_parser(
+        "experiment", help="regenerate a paper table/figure"
+    )
+    exp_p.add_argument("name", choices=sorted(EXPERIMENTS))
+    exp_p.add_argument(
+        "--chart", action="store_true",
+        help="also render the figure as an ASCII bar chart",
+    )
+
+    sub.add_parser("report", help="print the markdown report")
+
+    export_p = sub.add_parser("export", help="serialize a model graph")
+    export_p.add_argument("model", choices=model_names())
+    export_p.add_argument("path")
+
+    return parser
+
+
+def _cmd_models() -> int:
+    print(f"{'model':18s} {'type':12s} {'GMACs':>8s} {'ops':>5s} "
+          f"{'paper GCD2 ms':>14s}")
+    for name in model_names():
+        info = MODELS[name]
+        graph = build_model(name)
+        print(f"{name:18s} {info.model_type:12s} "
+              f"{graph.total_macs() / 1e9:8.2f} "
+              f"{graph.operator_count():5d} {info.gcd2_ms:14.1f}")
+    return 0
+
+
+def _cmd_compile(args) -> int:
+    options = CompilerOptions(
+        selection=args.selection,
+        packing=args.packing,
+        unrolling=args.unrolling,
+        max_operators=args.max_operators,
+        other_opts=not args.no_other_opts,
+    )
+    graph = build_model(args.model)
+    compiled = GCD2Compiler(options).compile(graph)
+    dispatch = (
+        compiled.graph.operator_count() * harness.GCD2_DISPATCH_US / 1e3
+    )
+    print(f"{args.model}: {compiled.graph.operator_count()} operators "
+          f"after graph passes")
+    print(f"selection: {compiled.selection.solver} "
+          f"({compiled.selection.solve_seconds:.2f}s, "
+          f"Agg_Cost {compiled.selection.cost:.0f} cycles)")
+    print(f"latency: {compiled.latency_ms + dispatch:.2f} ms modelled "
+          f"({compiled.total_packets} packets across kernel bodies)")
+    if args.plans:
+        for cn in compiled.nodes:
+            if cn.node.op.is_compute_heavy:
+                print(f"  {cn.node.name:28s} {cn.plan.label:20s} "
+                      f"unroll {cn.unroll.label}")
+    return 0
+
+
+def _cmd_experiment(name: str, chart: bool = False) -> int:
+    rows = EXPERIMENTS[name]()
+    harness.print_rows(name, rows)
+    if chart:
+        from repro.analysis.visualize import render_figure
+
+        rendering = render_figure(name, rows)
+        if rendering:
+            print(rendering)
+        else:
+            print(f"(no chart mapping for {name}; table above is the view)")
+    return 0
+
+
+def _cmd_report() -> int:
+    from repro.analysis.report import build_report
+
+    print(build_report())
+    return 0
+
+
+def _cmd_export(args) -> int:
+    from repro.graph.serialization import save_graph
+
+    graph = build_model(args.model)
+    save_graph(graph, args.path)
+    print(f"wrote {args.model} ({graph.operator_count()} operators) "
+          f"to {args.path}")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = _build_parser().parse_args(argv)
+    if args.command == "models":
+        return _cmd_models()
+    if args.command == "describe":
+        from repro.models.summary import render_summary, summarize_model
+
+        print(render_summary(summarize_model(args.model)))
+        return 0
+    if args.command == "compile":
+        return _cmd_compile(args)
+    if args.command == "experiment":
+        return _cmd_experiment(args.name, args.chart)
+    if args.command == "report":
+        return _cmd_report()
+    if args.command == "export":
+        return _cmd_export(args)
+    return 2  # pragma: no cover - argparse enforces choices
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,20 @@
+"""Code generation: lowering operators to pseudo-assembly kernels."""
+
+from repro.codegen.lower import LoweredKernel, lower_node
+from repro.codegen.matmul import (
+    emit_matmul_body,
+    matmul_int32,
+    registers_required,
+)
+from repro.codegen.elementwise import emit_elementwise_body
+from repro.codegen.opts import apply_division_lut
+
+__all__ = [
+    "LoweredKernel",
+    "lower_node",
+    "emit_matmul_body",
+    "matmul_int32",
+    "registers_required",
+    "emit_elementwise_body",
+    "apply_division_lut",
+]

@@ -1,0 +1,174 @@
+"""Convolution kernels: im2col lowering plus a vtmpy depthwise path.
+
+Convolutions lower onto the matmul kernels through their im2col view;
+this module provides the *functional* counterparts used to validate
+that path end to end, and the ``vtmpy`` sliding-window kernel for
+3-wide depthwise convolutions — one of the "other instructions like
+vtmpy" the paper notes can implement DNN operators.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.errors import CodegenError
+from repro.codegen.matmul import matmul_int32
+from repro.isa import semantics
+from repro.isa.instructions import Opcode, VECTOR_LANES
+
+
+def im2col_int8(
+    x: np.ndarray,
+    kernel: Tuple[int, int],
+    stride: Tuple[int, int],
+    padding: Tuple[int, int],
+) -> np.ndarray:
+    """(N, C, H, W) int8 -> (N*OH*OW, C*KH*KW) int8 patch matrix.
+
+    Zero padding contributes inert rows/columns, matching how the
+    layouts pad: a zero lane adds nothing to any MAC.
+    """
+    x = np.asarray(x, dtype=np.int8)
+    if x.ndim != 4:
+        raise CodegenError(f"im2col expects NCHW, got shape {x.shape}")
+    kh, kw = kernel
+    sh, sw = stride
+    ph, pw = padding
+    x = np.pad(x, ((0, 0), (0, 0), (ph, ph), (pw, pw)))
+    n, c, h, w = x.shape
+    oh = (h - kh) // sh + 1
+    ow = (w - kw) // sw + 1
+    if oh <= 0 or ow <= 0:
+        raise CodegenError("im2col output collapsed to zero size")
+    cols = np.empty((n, oh, ow, c, kh, kw), dtype=np.int8)
+    for i in range(kh):
+        for j in range(kw):
+            cols[:, :, :, :, i, j] = x[
+                :, :, i:i + sh * oh:sh, j:j + sw * ow:sw
+            ].transpose(0, 2, 3, 1)
+    return cols.reshape(n * oh * ow, c * kh * kw)
+
+
+def conv2d_int32(
+    x: np.ndarray,
+    weights: np.ndarray,
+    instruction: Opcode,
+    *,
+    stride: Tuple[int, int] = (1, 1),
+    padding: Tuple[int, int] = (0, 0),
+) -> np.ndarray:
+    """Exact int8 convolution through the instruction's GEMM kernel.
+
+    Parameters
+    ----------
+    x:
+        (N, C, H, W) int8 input.
+    weights:
+        (OC, C, KH, KW) int8 filters.
+    instruction:
+        ``VMPY``, ``VMPA`` or ``VRMPY`` — selects layout and kernel.
+
+    Returns
+    -------
+    (N, OC, OH, OW) int32 accumulators (pre-requantization).
+    """
+    weights = np.asarray(weights, dtype=np.int8)
+    if weights.ndim != 4:
+        raise CodegenError(
+            f"weights must be (OC, C, KH, KW), got {weights.shape}"
+        )
+    oc, c, kh, kw = weights.shape
+    if x.shape[1] != c:
+        raise CodegenError(
+            f"input has {x.shape[1]} channels, weights expect {c}"
+        )
+    cols = im2col_int8(x, (kh, kw), stride, padding)
+    # im2col patch order is (channel, kh, kw): match it on the weights.
+    w2d = weights.transpose(1, 2, 3, 0).reshape(c * kh * kw, oc)
+    acc = matmul_int32(cols, w2d, instruction)
+    n = x.shape[0]
+    ph, pw = padding
+    oh = (x.shape[2] + 2 * ph - kh) // stride[0] + 1
+    ow = (x.shape[3] + 2 * pw - kw) // stride[1] + 1
+    return acc.reshape(n, oh, ow, oc).transpose(0, 3, 1, 2)
+
+
+def depthwise3_vtmpy_int32(
+    row: np.ndarray, taps: Tuple[int, int, int]
+) -> np.ndarray:
+    """3-tap depthwise convolution of one row via ``vtmpy``.
+
+    Processes a 1-D int8 signal in 128-lane chunks with the
+    sliding-window triple-MAC: ``out[i] = row[i]*t0 + row[i+1]*t1 +
+    row[i+2]*t2`` ("valid" extent: ``len(row) - 2`` outputs).
+    """
+    row = np.asarray(row, dtype=np.int8)
+    if row.ndim != 1:
+        raise CodegenError(f"expected a 1-D row, got shape {row.shape}")
+    if len(taps) != 3:
+        raise CodegenError(f"vtmpy takes 3 taps, got {len(taps)}")
+    if row.size < 3:
+        raise CodegenError("row shorter than the 3-tap window")
+    out_len = row.size - 2
+    padded_len = -(-row.size // VECTOR_LANES) * VECTOR_LANES + VECTOR_LANES
+    padded = np.zeros(padded_len, dtype=np.int8)
+    padded[: row.size] = row
+    scalars = (int(taps[0]), int(taps[1]), int(taps[2]), 0)
+    out = np.empty(out_len, dtype=np.int32)
+    for base in range(0, out_len, VECTOR_LANES):
+        v0 = padded[base:base + VECTOR_LANES]
+        v1 = padded[base + VECTOR_LANES:base + 2 * VECTOR_LANES]
+        chunk = semantics.vtmpy(v0, v1, scalars)
+        take = min(VECTOR_LANES, out_len - base)
+        out[base:base + take] = chunk[:take]
+    return out
+
+
+def depthwise_conv2d_int32(
+    x: np.ndarray,
+    weights: np.ndarray,
+    *,
+    padding: Tuple[int, int] = (1, 1),
+) -> np.ndarray:
+    """Exact stride-1 depthwise 3x3 convolution built on ``vtmpy`` rows.
+
+    Each of the three kernel rows runs as a horizontal 3-tap ``vtmpy``
+    pass; the three row results summed give the 3x3 window — the
+    classic separablised schedule for sliding-window instructions.
+
+    Parameters
+    ----------
+    x:
+        (N, C, H, W) int8 input.
+    weights:
+        (C, 3, 3) int8 per-channel filters.
+    """
+    x = np.asarray(x, dtype=np.int8)
+    weights = np.asarray(weights, dtype=np.int8)
+    if weights.ndim != 3 or weights.shape[1:] != (3, 3):
+        raise CodegenError(
+            f"weights must be (C, 3, 3), got {weights.shape}"
+        )
+    n, c, h, w = x.shape
+    if weights.shape[0] != c:
+        raise CodegenError(
+            f"input has {c} channels, weights cover {weights.shape[0]}"
+        )
+    ph, pw = padding
+    padded = np.pad(x, ((0, 0), (0, 0), (ph, ph), (pw, pw)))
+    oh = h + 2 * ph - 2
+    ow = w + 2 * pw - 2
+    out = np.zeros((n, c, oh, ow), dtype=np.int32)
+    for b in range(n):
+        for ch in range(c):
+            for out_row in range(oh):
+                acc = np.zeros(ow, dtype=np.int32)
+                for tap_row in range(3):
+                    acc += depthwise3_vtmpy_int32(
+                        padded[b, ch, out_row + tap_row],
+                        tuple(weights[ch, tap_row]),
+                    )
+                out[b, ch, out_row] = acc
+    return out

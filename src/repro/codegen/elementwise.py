@@ -1,0 +1,210 @@
+"""Loop bodies for elementwise / streaming operators.
+
+These bodies exist for the packing and profiling machinery: they model
+the instruction mix of streaming kernels (loads, vector ALU work, a
+store) including the soft load->use and compute->store dependencies
+that make SDA packing matter — the paper's own running example
+(Figure 5) is exactly such a kernel, ``R = A + B + C``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.errors import CodegenError
+from repro.isa.instructions import Instruction, Opcode
+
+#: Vector ALU opcode used for each elementwise operator type.
+_EW_OPCODES = {
+    "Add": Opcode.VADD,
+    "Sub": Opcode.VSUB,
+    "Mul": Opcode.VMPYE,
+    "Max": Opcode.VMAX,
+    "Min": Opcode.VMIN,
+    "ReLU": Opcode.VMAX,
+    "ReLU6": Opcode.VMIN,
+    "AvgPool2D": Opcode.VAVG,
+    "MaxPool2D": Opcode.VMAX,
+}
+
+
+def emit_elementwise_body(
+    op_type: str = "Add",
+    operands: int = 2,
+    unroll: int = 1,
+    *,
+    widen_output: bool = True,
+) -> List[Instruction]:
+    """One streaming-loop iteration for an elementwise operator.
+
+    Parameters
+    ----------
+    op_type:
+        Operator family; selects the vector ALU opcode.
+    operands:
+        Number of input streams (``R = A + B + C`` has three).
+    unroll:
+        Output vectors produced per iteration.
+    widen_output:
+        Emit the widening shuffle + paired store of Figure 5's int16
+        result (uint8 inputs, int16 output).
+    """
+    opcode = _EW_OPCODES.get(op_type)
+    if opcode is None:
+        raise CodegenError(f"no elementwise body for {op_type!r}")
+    body: List[Instruction] = []
+    for u in range(unroll):
+        for i in range(operands):
+            body.append(
+                Instruction(
+                    Opcode.VLOAD,
+                    dests=(f"v{u}_{i}",),
+                    srcs=(f"r_in{i}",),
+                    imms=(u * 128,),
+                    comment=f"load operand {i}",
+                )
+            )
+        result = f"v{u}_0"
+        for i in range(1, operands):
+            dest = f"v{u}_r{i}"
+            body.append(
+                Instruction(
+                    opcode,
+                    dests=(dest,),
+                    srcs=(result, f"v{u}_{i}"),
+                    imms=(0, 0, 0, 0) if opcode is Opcode.VMPYE else (),
+                    comment=f"combine operand {i}",
+                )
+            )
+            result = dest
+        if widen_output:
+            body.append(
+                Instruction(
+                    Opcode.VSHUFF,
+                    dests=(f"v{u}_lo", f"v{u}_hi"),
+                    srcs=(result, result),
+                    comment="widen to int16",
+                )
+            )
+            body.append(
+                Instruction(
+                    Opcode.VSTORE,
+                    srcs=(f"v{u}_lo", "r_out"),
+                    imms=(u * 256,),
+                    comment="store low half",
+                )
+            )
+            body.append(
+                Instruction(
+                    Opcode.VSTORE,
+                    srcs=(f"v{u}_hi", "r_out"),
+                    imms=(u * 256 + 128,),
+                    comment="store high half",
+                )
+            )
+        else:
+            body.append(
+                Instruction(
+                    Opcode.VSTORE,
+                    srcs=(result, "r_out"),
+                    imms=(u * 128,),
+                    comment="store result",
+                )
+            )
+    body.append(
+        Instruction(
+            Opcode.ADD,
+            dests=("r_in0",),
+            srcs=("r_in0",),
+            imms=(128 * unroll,),
+            comment="bump pointer",
+        )
+    )
+    body.append(
+        Instruction(Opcode.LOOP, srcs=("r_count",), comment="loop back")
+    )
+    return body
+
+
+def emit_division_body(unroll: int = 1, *, use_lut: bool = False) -> List[Instruction]:
+    """Division loop body, before/after the LUT rewrite.
+
+    Without the rewrite each lane pays a long scalar
+    Newton-Raphson-style sequence; with it, a single table lookup feeds
+    a vector multiply ("replacing an expensive division operation with
+    a database lookup operation", Section IV-D).
+    """
+    body: List[Instruction] = []
+    for u in range(unroll):
+        body.append(
+            Instruction(
+                Opcode.VLOAD,
+                dests=(f"v{u}_num",),
+                srcs=("r_in0",),
+                imms=(u * 128,),
+                comment="load numerator",
+            )
+        )
+        if use_lut:
+            body.append(
+                Instruction(
+                    Opcode.LUT,
+                    dests=(f"r_recip{u}",),
+                    srcs=("r_den",),
+                    imms=(4096,),
+                    comment="reciprocal table lookup",
+                )
+            )
+            body.append(
+                Instruction(
+                    Opcode.VMPYE,
+                    dests=(f"v{u}_q",),
+                    srcs=(f"v{u}_num",),
+                    imms=(0, 0, 0, 0),
+                    comment="multiply by reciprocal",
+                )
+            )
+        else:
+            # Iterative refinement: a chain of dependent multiplies and
+            # subtracts per vector — the expensive pre-rewrite path.
+            prev = f"v{u}_num"
+            for step in range(6):
+                dest = f"v{u}_it{step}"
+                body.append(
+                    Instruction(
+                        Opcode.VMPYE,
+                        dests=(dest,),
+                        srcs=(prev,),
+                        imms=(0, 0, 0, 0),
+                        comment=f"refine {step}",
+                    )
+                )
+                body.append(
+                    Instruction(
+                        Opcode.VSUB,
+                        dests=(f"{dest}_c",),
+                        srcs=(dest, prev),
+                        comment=f"correct {step}",
+                    )
+                )
+                prev = f"{dest}_c"
+            body.append(
+                Instruction(
+                    Opcode.VADD,
+                    dests=(f"v{u}_q",),
+                    srcs=(prev, prev),
+                    comment="final quotient",
+                )
+            )
+        body.append(
+            Instruction(
+                Opcode.VSTORE,
+                srcs=(f"v{u}_q", "r_out"),
+                imms=(u * 128,),
+                comment="store quotient",
+            )
+        )
+    body.append(
+        Instruction(Opcode.LOOP, srcs=("r_count",), comment="loop back")
+    )
+    return body

@@ -1,0 +1,132 @@
+"""Lowering graph nodes to pseudo-assembly kernels.
+
+``lower_node`` turns a (node, execution plan, unroll setting) triple
+into a :class:`LoweredKernel`: the inner-loop body plus the trip count
+needed to cover the operator.  Convolutions lower through their im2col
+GEMM view, so they share the matmul bodies — "these instructions are
+used for multiple operators in a DNN (e.g., the convolutions), our
+presentation here uses matrix multiplication for illustration".
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.errors import CodegenError
+from repro.core.plans import ExecutionPlan
+from repro.core.unroll import UnrollPlan
+from repro.graph import ops
+from repro.graph.graph import ComputationalGraph, Node
+from repro.isa.instructions import Instruction, Opcode
+from repro.codegen.elementwise import emit_division_body, emit_elementwise_body
+from repro.codegen.matmul import emit_matmul_body
+from repro.codegen.opts import apply_division_lut
+
+
+@dataclass
+class LoweredKernel:
+    """A lowered operator: loop body plus iteration structure.
+
+    Attributes
+    ----------
+    body:
+        Pseudo-assembly of one inner-loop iteration (ends in ``loop``).
+    trips:
+        Iterations needed to cover the operator's work.
+    description:
+        Human-readable summary for dumps and benches.
+    """
+
+    body: List[Instruction]
+    trips: int
+    description: str
+
+    @property
+    def instruction_count(self) -> int:
+        """Instructions per iteration."""
+        return len(self.body)
+
+
+def lower_node(
+    graph: ComputationalGraph,
+    node: Node,
+    plan: ExecutionPlan,
+    unroll: Optional[UnrollPlan] = None,
+    *,
+    other_opts: bool = True,
+) -> LoweredKernel:
+    """Lower ``node`` under ``plan`` to a kernel.
+
+    Parameters
+    ----------
+    unroll:
+        Loop unrolling configuration; defaults to no unrolling.
+    other_opts:
+        Apply the division-to-LUT rewrite where it fires.
+    """
+    from repro.core.unroll import UnrollPlan as _UnrollPlan
+
+    unroll = unroll or _UnrollPlan(1, 1)
+    op = node.op
+
+    if op.is_compute_heavy:
+        if plan.instruction is None:
+            raise CodegenError(
+                f"compute-heavy node {node.name} lowered without an "
+                f"instruction plan"
+            )
+        dims = graph.node_matmul_dims(node.node_id)
+        m, k, n = dims
+        body = emit_matmul_body(
+            plan.instruction,
+            unroll_m=unroll.outer,
+            unroll_n=unroll.mid,
+            include_epilogue=True,
+        )
+        # One iteration covers (outer*128 rows) x (mid columns) x one
+        # K step of the GEMM.
+        rows_per_iter = unroll.outer * 128
+        iters = (
+            max(1, -(-m // rows_per_iter))
+            * max(1, -(-n // unroll.mid))
+            * max(1, k)
+        )
+        return LoweredKernel(
+            body=body,
+            trips=iters,
+            description=(
+                f"{op.op_type} as GEMM {m}x{k}x{n} via "
+                f"{plan.instruction.value} ({plan.layout.value})"
+            ),
+        )
+
+    elements = int(math.prod(node.output_shape))
+    vectors = max(1, -(-elements // 128))
+
+    if isinstance(op, (ops.Div, ops.Pow)):
+        body = emit_division_body(unroll=1, use_lut=False)
+        if other_opts:
+            body = apply_division_lut(body)
+        return LoweredKernel(
+            body=body,
+            trips=vectors,
+            description=f"{op.op_type} ({'LUT' if other_opts else 'iterative'})",
+        )
+
+    operands = max(1, len(node.inputs))
+    op_family = op.op_type if op.op_type in (
+        "Add", "Sub", "Mul", "MaxPool2D", "AvgPool2D", "ReLU", "ReLU6"
+    ) else "Add"
+    body = emit_elementwise_body(
+        op_family,
+        operands=min(operands, 3),
+        unroll=1,
+        widen_output=False,
+    )
+    return LoweredKernel(
+        body=body,
+        trips=vectors,
+        description=f"{op.op_type} streaming kernel",
+    )

@@ -1,0 +1,345 @@
+"""Matrix-multiplication kernels for each instruction/layout pair.
+
+Two faces of the same kernels:
+
+* **Functional** — :func:`matmul_int32` computes an exact int8 x int8 ->
+  int32 product through the declared instruction semantics operating on
+  the matching packed layout (Figure 2's choreography).  The test suite
+  checks all three paths against ``numpy`` bit-for-bit, which is the
+  proof that the layouts and instructions actually fit together.
+* **Structural** — :func:`emit_matmul_body` emits the pseudo-assembly
+  of one unrolled inner-loop iteration.  The VLIW packers consume these
+  bodies; their packed cycle counts drive the unrolling study
+  (Figure 12) and the packing-quality factors of the end-to-end model.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import CodegenError
+from repro.isa import semantics
+from repro.isa.instructions import Instruction, Opcode
+from repro.tensor.layout import Layout, pack, padded_shape, unpack
+
+#: Vector registers available to a kernel before spilling begins.
+VECTOR_REGISTER_COUNT = 32
+
+
+# ---------------------------------------------------------------------------
+# Functional kernels
+# ---------------------------------------------------------------------------
+
+
+def matmul_int32(
+    a: np.ndarray, b: np.ndarray, instruction: Opcode
+) -> np.ndarray:
+    """Exact ``a @ b`` (int32) computed via ``instruction``'s data path.
+
+    Parameters
+    ----------
+    a:
+        (M, K) int8 activation matrix (packed internally into the
+        instruction's layout).
+    b:
+        (K, N) int8 weight matrix (consumed via scalar operands).
+    instruction:
+        One of ``VMPY``, ``VMPA``, ``VRMPY``.
+    """
+    a = np.asarray(a, dtype=np.int8)
+    b = np.asarray(b, dtype=np.int8)
+    if a.ndim != 2 or b.ndim != 2 or a.shape[1] != b.shape[0]:
+        raise CodegenError(f"bad matmul shapes {a.shape} x {b.shape}")
+    if instruction is Opcode.VMPY:
+        return _matmul_vmpy(a, b)
+    if instruction is Opcode.VMPA:
+        return _matmul_vmpa(a, b)
+    if instruction is Opcode.VRMPY:
+        return _matmul_vrmpy(a, b)
+    raise CodegenError(f"no matmul kernel for {instruction}")
+
+
+def _matmul_vmpy(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """1-column layout kernel (Figure 2a).
+
+    Per 128-row panel and output column: load each K column of the
+    panel (one contiguous vector in COL1), ``vmpy`` it against the
+    broadcast weight, and reduce the int16 pair outputs into an int32
+    accumulator; finally shuffle even/odd lanes back together.
+    """
+    m, k = a.shape
+    n = b.shape[1]
+    packed = pack(a, Layout.COL1)
+    mp, _ = padded_shape(m, k, Layout.COL1)
+    out = np.zeros((mp, n), dtype=np.int32)
+    panels = mp // 128
+    for p in range(panels):
+        base = p * 128 * k
+        for col in range(n):
+            acc_even = np.zeros(64, dtype=np.int32)
+            acc_odd = np.zeros(64, dtype=np.int32)
+            for kk in range(k):
+                vec = packed[base + kk * 128: base + (kk + 1) * 128]
+                weight = int(b[kk, col])
+                even, odd = semantics.vmpy(vec, (weight,) * 4)
+                acc_even += even.astype(np.int32)
+                acc_odd += odd.astype(np.int32)
+            merged = semantics.vshuff(acc_even, acc_odd)
+            out[p * 128:(p + 1) * 128, col] = merged
+    return out[:m]
+
+
+def _matmul_vmpa(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """2-column layout kernel (Figure 2b).
+
+    A COL2 vector interleaves two adjacent K columns of a 64-row panel:
+    ``v[2r] = A[r, k]``, ``v[2r+1] = A[r, k+1]``.  One ``vmpa`` over the
+    vector and its pair-swapped permutation computes 64 rows of partial
+    sums for *two* output columns at once (the figure's reorder step).
+    """
+    m, k = a.shape
+    n = b.shape[1]
+    # Pad K to even so whole column pairs exist (zero columns are inert).
+    if k % 2:
+        a = np.concatenate([a, np.zeros((m, 1), dtype=a.dtype)], axis=1)
+        b = np.concatenate([b, np.zeros((1, n), dtype=b.dtype)], axis=0)
+        k += 1
+    packed = pack(a, Layout.COL2)
+    mp, kp = padded_shape(m, k, Layout.COL2)
+    np_out = n + (n % 2)
+    out = np.zeros((mp, np_out), dtype=np.int32)
+    panels = mp // 64
+    for p in range(panels):
+        panel_base = p * 64 * kp
+        for pair in range(kp // 2):
+            start = panel_base + pair * 128
+            v0 = packed[start:start + 128]
+            # Pair-swap permute: (A[r,k+1], A[r,k]) lanes.
+            v1 = v0.reshape(-1, 2)[:, ::-1].reshape(-1)
+            kk = pair * 2
+            for col in range(0, np_out, 2):
+                col2 = min(col + 1, n - 1)
+                scalars = (
+                    int(b[kk, col]),
+                    int(b[kk + 1, col]),
+                    int(b[kk + 1, col2]) if col + 1 < np_out else 0,
+                    int(b[kk, col2]) if col + 1 < np_out else 0,
+                )
+                even, odd = semantics.vmpa(v0, v1, scalars)
+                out[p * 64:(p + 1) * 64, col] += even
+                if col + 1 < np_out:
+                    out[p * 64:(p + 1) * 64, col + 1] += odd
+    return out[:m, :n]
+
+
+def _matmul_vrmpy(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """4-column layout kernel (Figure 2c).
+
+    A COL4 vector holds a 32-row panel with 4 adjacent K columns per
+    row; ``vrmpy`` against the 4 matching weights reduces each row's
+    4-wide window in one instruction, accumulating across K groups.
+    """
+    m, k = a.shape
+    n = b.shape[1]
+    kp4 = -(-k // 4) * 4
+    if kp4 != k:
+        a = np.concatenate(
+            [a, np.zeros((m, kp4 - k), dtype=a.dtype)], axis=1
+        )
+        b = np.concatenate(
+            [b, np.zeros((kp4 - k, n), dtype=b.dtype)], axis=0
+        )
+        k = kp4
+    packed = pack(a, Layout.COL4)
+    mp, _ = padded_shape(m, k, Layout.COL4)
+    out = np.zeros((mp, n), dtype=np.int32)
+    panels = mp // 32
+    for p in range(panels):
+        panel_base = p * 32 * k
+        for col in range(n):
+            acc = np.zeros(32, dtype=np.int32)
+            for group in range(k // 4):
+                start = panel_base + group * 128
+                vec = packed[start:start + 128]
+                kk = group * 4
+                scalars = tuple(int(b[kk + j, col]) for j in range(4))
+                acc = semantics.vrmpy(
+                    vec.astype(np.int32), scalars, acc=acc
+                )
+            out[p * 32:(p + 1) * 32, col] = acc
+    return out[:m]
+
+
+# ---------------------------------------------------------------------------
+# Structural loop bodies
+# ---------------------------------------------------------------------------
+
+#: Per instruction: (mult ops per (m-tile, n-column) step,
+#:                   accumulator registers per output tile,
+#:                   fixup opcode emitted alongside the multiply).
+_BODY_SHAPE: Dict[Opcode, Tuple[int, int, Optional[Opcode]]] = {
+    Opcode.VMPY: (1, 2, Opcode.VADD),
+    Opcode.VMPA: (1, 2, Opcode.VSHUFF),
+    Opcode.VRMPY: (1, 1, None),
+    Opcode.VTMPY: (1, 1, Opcode.VADD),
+    Opcode.VMPYE: (2, 1, Opcode.VADD),
+}
+
+
+def registers_required(
+    instruction: Opcode, unroll_m: int, unroll_n: int
+) -> int:
+    """Vector registers an unrolled matmul body keeps live."""
+    _, acc_regs, fixup = _BODY_SHAPE[instruction]
+    inputs = unroll_m
+    accumulators = unroll_m * unroll_n * acc_regs
+    temps = 2 + (1 if fixup else 0)
+    return inputs + accumulators + temps
+
+
+def emit_matmul_body(
+    instruction: Opcode,
+    unroll_m: int = 1,
+    unroll_n: int = 1,
+    *,
+    include_epilogue: bool = False,
+) -> List[Instruction]:
+    """Pseudo-assembly for one (unrolled) inner-loop iteration.
+
+    The body loads ``unroll_m`` input vectors, performs the multiply +
+    fixup work for every (m-tile, n-column) pair, bumps the operand
+    pointers, and closes with the hardware loop instruction.  When the
+    register demand exceeds the machine's 32 vector registers, explicit
+    spill traffic is emitted — the mechanism behind Figure 12's
+    performance drop "if unrolling factor is too large due to
+    increasing register spilling".
+
+    Parameters
+    ----------
+    include_epilogue:
+        Also emit the requantize-and-store tail (amortised once per K
+        loop in real kernels; included when studying full pipelines).
+    """
+    if instruction not in _BODY_SHAPE:
+        raise CodegenError(f"no matmul body for {instruction}")
+    mults_per_step, acc_regs, fixup = _BODY_SHAPE[instruction]
+    body: List[Instruction] = []
+
+    spill_regs = max(0, registers_required(instruction, unroll_m, unroll_n)
+                     - VECTOR_REGISTER_COUNT)
+
+    for mi in range(unroll_m):
+        body.append(
+            Instruction(
+                Opcode.VLOAD,
+                dests=(f"v_in{mi}",),
+                srcs=("r_a",),
+                imms=(mi * 128,),
+                comment=f"load input tile {mi}",
+            )
+        )
+
+    spills_emitted = 0
+    for mi in range(unroll_m):
+        for ni in range(unroll_n):
+            acc = f"v_acc{mi}_{ni}"
+            if spills_emitted < spill_regs:
+                # Accumulator does not fit: reload it around the MAC.
+                body.append(
+                    Instruction(
+                        Opcode.VLOAD,
+                        dests=(acc,),
+                        srcs=("r_spill",),
+                        imms=(spills_emitted * 128,),
+                        comment="spill reload",
+                    )
+                )
+            for step in range(mults_per_step):
+                if instruction is Opcode.VMPA:
+                    body.append(
+                        Instruction(
+                            Opcode.VSHUFF,
+                            dests=(f"v_sw{mi}", f"v_sw{mi}_hi"),
+                            srcs=(f"v_in{mi}", f"v_in{mi}"),
+                            comment="pair-swap permute",
+                        )
+                    )
+                    srcs = (f"v_in{mi}", f"v_sw{mi}")
+                else:
+                    srcs = (f"v_in{mi}",)
+                if acc_regs == 2:
+                    dests = (f"{acc}_e", f"{acc}_o")
+                else:
+                    dests = (acc,)
+                    srcs = srcs + (acc,)
+                body.append(
+                    Instruction(
+                        instruction,
+                        dests=dests,
+                        srcs=srcs,
+                        imms=(1, 2, 3, 4),
+                        comment=f"MAC tile ({mi},{ni})",
+                    )
+                )
+                if fixup is Opcode.VADD and acc_regs == 2:
+                    body.append(
+                        Instruction(
+                            Opcode.VADD,
+                            dests=(f"{acc}_e",),
+                            srcs=(f"{acc}_e", f"{acc}_o"),
+                            lane_bytes=2,
+                            comment="reduce pair outputs",
+                        )
+                    )
+            if spills_emitted < spill_regs:
+                body.append(
+                    Instruction(
+                        Opcode.VSTORE,
+                        srcs=(dests[0], "r_spill"),
+                        imms=(spills_emitted * 128,),
+                        comment="spill store",
+                    )
+                )
+                spills_emitted += 1
+
+    if include_epilogue:
+        for mi in range(unroll_m):
+            for ni in range(unroll_n):
+                acc = f"v_acc{mi}_{ni}"
+                acc0 = f"{acc}_e" if acc_regs == 2 else acc
+                body.append(
+                    Instruction(
+                        Opcode.VASR,
+                        dests=(f"v_q{mi}_{ni}",),
+                        srcs=(acc0,),
+                        imms=(8,),
+                        comment="requantize",
+                    )
+                )
+                body.append(
+                    Instruction(
+                        Opcode.VSTORE,
+                        srcs=(f"v_q{mi}_{ni}", "r_out"),
+                        imms=((mi * unroll_n + ni) * 128,),
+                        comment="store output tile",
+                    )
+                )
+
+    body.append(
+        Instruction(
+            Opcode.ADD, dests=("r_a",), srcs=("r_a",), imms=(128 * unroll_m,),
+            comment="bump input pointer",
+        )
+    )
+    body.append(
+        Instruction(
+            Opcode.ADD, dests=("r_b",), srcs=("r_b",), imms=(4 * unroll_n,),
+            comment="bump weight pointer",
+        )
+    )
+    body.append(
+        Instruction(Opcode.LOOP, srcs=("r_count",), comment="loop back")
+    )
+    return body

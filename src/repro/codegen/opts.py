@@ -1,0 +1,63 @@
+"""The "other optimizations" pass of Section IV-D.
+
+The flagship rewrite replaces an expensive division sequence with a
+database (table) lookup.  The pass works on pseudo-assembly: any
+iterative-refinement division chain is collapsed into a LUT load plus
+one multiply.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.isa.instructions import Instruction, Opcode
+
+
+def apply_division_lut(body: List[Instruction]) -> List[Instruction]:
+    """Rewrite refinement-style division chains into LUT + multiply.
+
+    Recognises the ``refine``/``correct`` chains emitted by
+    :func:`repro.codegen.elementwise.emit_division_body` and replaces
+    each whole chain with the two-instruction LUT form.  Instructions
+    outside such chains pass through untouched.
+    """
+    out: List[Instruction] = []
+    index = 0
+    while index < len(body):
+        inst = body[index]
+        if inst.opcode is Opcode.VMPYE and inst.comment.startswith("refine"):
+            # Consume the whole refine/correct chain plus final add.
+            chain_src = inst.srcs[0]
+            final_dest = None
+            while index < len(body):
+                step = body[index]
+                if step.comment.startswith(("refine", "correct")):
+                    index += 1
+                    continue
+                if step.comment == "final quotient":
+                    final_dest = step.dests[0]
+                    index += 1
+                    break
+                break
+            out.append(
+                Instruction(
+                    Opcode.LUT,
+                    dests=("r_recip",),
+                    srcs=("r_den",),
+                    imms=(4096,),
+                    comment="reciprocal table lookup",
+                )
+            )
+            out.append(
+                Instruction(
+                    Opcode.VMPYE,
+                    dests=(final_dest or "v_q",),
+                    srcs=(chain_src,),
+                    imms=(0, 0, 0, 0),
+                    comment="multiply by reciprocal",
+                )
+            )
+            continue
+        out.append(inst)
+        index += 1
+    return out

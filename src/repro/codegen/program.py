@@ -1,0 +1,191 @@
+"""Complete machine-level programs for the functional simulator.
+
+The loop bodies in :mod:`repro.codegen.matmul` are *representative*
+(for packing and cost studies); this module generates *complete*
+straight-line programs with real addresses that execute on the
+:class:`~repro.machine.simulator.Simulator` — every load, multiply,
+accumulate and store actually happens against simulated memory.
+
+This closes the loop on correctness: the same program can be executed
+sequentially or through any packer's schedule, and both must leave the
+same bytes in memory — the machine-level proof that a packing algorithm
+preserved program semantics.
+
+The generator uses the ``vrmpy``/4-column path (its accumulate-in-place
+form keeps the register choreography simple); the per-instruction
+semantics of the other multiply instructions are validated separately
+in :mod:`repro.codegen.matmul`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.errors import CodegenError
+from repro.isa.instructions import Instruction, Opcode, VECTOR_BYTES
+from repro.machine.packet import Packet
+from repro.machine.simulator import MachineState, Simulator
+from repro.tensor.layout import Layout, pack, padded_shape
+
+#: Memory map of generated programs.
+INPUT_BASE = 0x1000
+OUTPUT_BASE = 0x40000
+
+
+@dataclass
+class MatmulProgram:
+    """A complete straight-line int8 matmul program.
+
+    Attributes
+    ----------
+    instructions:
+        The full program in sequential order.
+    m, k, n:
+        Logical GEMM dimensions.
+    input_bytes / output_bytes:
+        Packed operand sizes in simulated memory.
+    """
+
+    instructions: List[Instruction]
+    m: int
+    k: int
+    n: int
+    input_bytes: int
+    output_bytes: int
+
+    def load_operands(self, state: MachineState, a: np.ndarray) -> None:
+        """Place the packed input matrix into simulated memory."""
+        packed = pack(np.asarray(a, dtype=np.int8), Layout.COL4)
+        state.write_array(INPUT_BASE, packed)
+
+    def read_result(self, state: MachineState) -> np.ndarray:
+        """Read the (m x n) int32 result back out of simulated memory."""
+        mp, _ = padded_shape(self.m, max(1, self.k), Layout.COL4)
+        panels = mp // 32
+        out = np.empty((mp, self.n), dtype=np.int32)
+        for panel in range(panels):
+            for col in range(self.n):
+                address = OUTPUT_BASE + (panel * self.n + col) * VECTOR_BYTES
+                lanes = state.read_array(address, (32,), np.int32)
+                out[panel * 32:(panel + 1) * 32, col] = lanes
+        return out[: self.m]
+
+
+def build_matmul_program(
+    a_shape: Tuple[int, int], b: np.ndarray
+) -> MatmulProgram:
+    """Generate a straight-line ``vrmpy`` matmul program.
+
+    Parameters
+    ----------
+    a_shape:
+        (m, k) of the runtime input (loaded via
+        :meth:`MatmulProgram.load_operands`).
+    b:
+        (k, n) int8 weights, baked into the program as immediates —
+        exactly how the compiler treats constant weights.
+    """
+    m, k = a_shape
+    b = np.asarray(b, dtype=np.int8)
+    if b.ndim != 2 or b.shape[0] != k:
+        raise CodegenError(f"weights {b.shape} do not match K={k}")
+    n = b.shape[1]
+    if m <= 0 or k <= 0 or n <= 0:
+        raise CodegenError(f"bad matmul dims {(m, k, n)}")
+
+    kp = -(-k // 4) * 4
+    if kp != k:
+        b = np.concatenate([b, np.zeros((kp - k, n), dtype=np.int8)])
+    mp, _ = padded_shape(m, kp, Layout.COL4)
+    panels = mp // 32
+    groups = kp // 4
+
+    program: List[Instruction] = []
+    for panel in range(panels):
+        panel_base = INPUT_BASE + panel * 32 * kp
+        for col in range(n):
+            acc = f"v_acc_p{panel}_c{col}"
+            program.append(
+                Instruction(
+                    Opcode.VSPLAT,
+                    dests=(acc,),
+                    imms=(0,),
+                    lane_bytes=4,
+                    comment=f"zero acc panel {panel} col {col}",
+                )
+            )
+            for group in range(groups):
+                vin = f"v_in_p{panel}_g{group}"
+                if col == 0:
+                    # Input vectors are loaded once per panel/group and
+                    # reused across output columns.
+                    program.append(
+                        Instruction(
+                            Opcode.VLOAD,
+                            dests=(vin,),
+                            imms=(panel_base + group * VECTOR_BYTES,),
+                            comment=f"load panel {panel} group {group}",
+                        )
+                    )
+                weights = tuple(
+                    int(b[group * 4 + j, col]) for j in range(4)
+                )
+                program.append(
+                    Instruction(
+                        Opcode.VRMPY,
+                        dests=(acc,),
+                        srcs=(vin, acc),
+                        imms=weights,
+                        comment=f"MAC p{panel} c{col} g{group}",
+                    )
+                )
+            address = OUTPUT_BASE + (panel * n + col) * VECTOR_BYTES
+            program.append(
+                Instruction(
+                    Opcode.VSTORE,
+                    srcs=(acc,),
+                    imms=(address,),
+                    comment=f"store panel {panel} col {col}",
+                )
+            )
+    return MatmulProgram(
+        instructions=program,
+        m=m,
+        k=k,
+        n=n,
+        input_bytes=mp * kp,
+        output_bytes=panels * n * VECTOR_BYTES,
+    )
+
+
+def run_sequential(
+    program: MatmulProgram, a: np.ndarray
+) -> Tuple[np.ndarray, int]:
+    """Execute the program one instruction per packet.
+
+    Returns (result matrix, cycles).
+    """
+    state = MachineState()
+    program.load_operands(state, a)
+    simulator = Simulator(state)
+    simulator.run([Packet([inst]) for inst in program.instructions])
+    return program.read_result(state), simulator.cycles
+
+
+def run_packed(
+    program: MatmulProgram, a: np.ndarray, packer
+) -> Tuple[np.ndarray, int]:
+    """Execute the program through ``packer``'s schedule.
+
+    Returns (result matrix, cycles).  Any legal schedule must produce
+    bytes identical to :func:`run_sequential`.
+    """
+    packets = packer(program.instructions)
+    state = MachineState()
+    program.load_operands(state, a)
+    simulator = Simulator(state)
+    simulator.run(packets)
+    return program.read_result(state), simulator.cycles

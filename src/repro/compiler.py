@@ -1,0 +1,371 @@
+"""The end-to-end GCD2 compiler (Section IV-D).
+
+Pipeline, mirroring Figure 6:
+
+1. graph-level optimization (constant folding, fusion) via
+   :mod:`repro.graph.passes`;
+2. global SIMD optimization — layout & instruction selection over the
+   whole computational graph (:mod:`repro.core.global_select`);
+3. other optimizations (division-to-LUT, folded into the cost model and
+   the lowered kernels);
+4. lowering to pseudo-assembly with shape-adaptive unrolling;
+5. SDA VLIW packing and latency/profile estimation on the simulated
+   machine.
+
+Every stage has an ablation switch so the Figure 9/10/11/12 benchmarks
+can turn individual optimizations off.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field, replace
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.errors import ReproError
+from repro.core.cost import CostModel
+from repro.core.chain_dp import is_in_tree, solve_chain
+from repro.core.exhaustive import solve_exhaustive
+from repro.core.global_select import solve_gcd2
+from repro.core.local import solve_local
+from repro.core.pbqp import solve_pbqp
+from repro.core.plans import ExecutionPlan
+from repro.core.selection_common import SelectionResult
+from repro.core.unroll import (
+    UnrollPlan,
+    adaptive_unroll,
+    exhaustive_unroll,
+    kernel_cycles,
+)
+from repro.codegen.lower import LoweredKernel, lower_node
+from repro.graph.graph import ComputationalGraph, Node
+from repro.graph.passes import run_default_passes
+from repro.isa.instructions import Opcode
+from repro.machine.packet import Packet
+from repro.machine.pipeline import PipelineModel, schedule_cycles
+from repro.machine.profiler import ExecutionProfile, Profiler
+from repro.core.packing.sda import SdaConfig, pack_best, pack_instructions
+from repro.core.packing.baselines import (
+    pack_list_schedule,
+    pack_soft_to_hard,
+    pack_soft_to_none,
+)
+
+#: Modelled machine: Hexagon-698-like — 1.5 GHz, four HVX contexts.
+DEFAULT_PIPELINE = PipelineModel(clock_ghz=1.5)
+VECTOR_CONTEXTS = 4
+
+_PACKERS: Dict[str, Callable] = {
+    "sda": pack_best,
+    "sda_pure": pack_instructions,
+    "soft_to_hard": pack_soft_to_hard,
+    "soft_to_none": pack_soft_to_none,
+    "list": pack_list_schedule,
+}
+
+
+@dataclass(frozen=True)
+class CompilerOptions:
+    """Ablation switches of the GCD2 pipeline.
+
+    Attributes
+    ----------
+    selection:
+        Layout/instruction selection algorithm: ``gcd2`` (partitioned
+        global), ``local``, ``exhaustive``, ``pbqp`` or ``chain``.
+    max_operators:
+        Partition budget for ``gcd2`` — the GCD2(k) parameter.
+    packing:
+        VLIW packer: ``sda`` (production), ``sda_pure`` (Algorithm 1
+        without the per-kernel empirical tuning), ``soft_to_hard``,
+        ``soft_to_none``, or ``list`` (top-down list scheduling).
+    unrolling:
+        ``adaptive`` (shape heuristic), ``exhaustive``, ``outer``,
+        ``mid`` or ``none``.
+    other_opts:
+        Division-to-LUT and related rewrites.
+    graph_passes:
+        Constant folding / fusion before selection.
+    include_extensions:
+        Offer vtmpy/vmpye plans.
+    kernel_efficiency:
+        Compute-side efficiency of the kernel library relative to
+        GCD2's shape-specialised code generation (< 1 for the generic
+        uniform-layout kernels of Hexagon NN; the gap the paper's
+        Figure 9 attributes to instruction and layout selection).
+    """
+
+    selection: str = "gcd2"
+    max_operators: int = 13
+    packing: str = "sda"
+    unrolling: str = "adaptive"
+    other_opts: bool = True
+    graph_passes: bool = True
+    include_extensions: bool = False
+    uniform_instruction: Optional["Opcode"] = None
+    transform_bytes_per_cycle: float = 2.5
+    kernel_efficiency: float = 1.0
+    scalar_activations: bool = False
+
+    def __post_init__(self) -> None:
+        if self.packing not in _PACKERS:
+            raise ReproError(f"unknown packer {self.packing!r}")
+        if self.selection not in (
+            "gcd2", "local", "exhaustive", "pbqp", "chain", "uniform"
+        ):
+            raise ReproError(f"unknown selection {self.selection!r}")
+        if self.selection == "uniform" and self.uniform_instruction is None:
+            raise ReproError(
+                "uniform selection needs uniform_instruction set"
+            )
+        if self.unrolling not in (
+            "adaptive", "exhaustive", "outer", "mid", "none"
+        ):
+            raise ReproError(f"unknown unrolling {self.unrolling!r}")
+
+
+@dataclass
+class CompiledNode:
+    """Per-operator compilation artefacts.
+
+    ``packets`` schedule ``schedule_body`` — the canonical instance of
+    this kernel body (identical bodies across operators share one
+    packed schedule through the compiler's cache, so ``schedule_body``
+    may be a different-but-equivalent object than ``kernel.body``).
+    """
+
+    node: Node
+    plan: ExecutionPlan
+    unroll: UnrollPlan
+    kernel: LoweredKernel
+    schedule_body: List["Instruction"]
+    packets: List[Packet]
+    cycles: float
+
+    @property
+    def packet_count(self) -> int:
+        return len(self.packets)
+
+
+@dataclass
+class CompiledModel:
+    """A fully compiled model with its latency/profile estimates."""
+
+    graph: ComputationalGraph
+    options: CompilerOptions
+    selection: SelectionResult
+    nodes: List[CompiledNode]
+    transform_cycles: float
+    profile: ExecutionProfile
+    pipeline: PipelineModel = DEFAULT_PIPELINE
+
+    @property
+    def kernel_cycles(self) -> float:
+        return sum(n.cycles for n in self.nodes)
+
+    @property
+    def total_cycles(self) -> float:
+        return self.kernel_cycles + self.transform_cycles
+
+    @property
+    def latency_ms(self) -> float:
+        """Modelled single-inference latency across all HVX contexts."""
+        return self.pipeline.cycles_to_ms(self.total_cycles) / VECTOR_CONTEXTS
+
+    @property
+    def total_packets(self) -> int:
+        return sum(n.packet_count for n in self.nodes)
+
+
+class GCD2Compiler:
+    """Compiles computational graphs for the simulated mobile DSP."""
+
+    def __init__(self, options: Optional[CompilerOptions] = None) -> None:
+        self.options = options or CompilerOptions()
+        self._schedule_cache: Dict[Tuple, Tuple] = {}
+
+    # -- public API ----------------------------------------------------------
+
+    def compile(self, graph: ComputationalGraph) -> CompiledModel:
+        """Run the full pipeline on ``graph``."""
+        options = self.options
+        if options.graph_passes:
+            graph = run_default_passes(graph)
+        model = CostModel(
+            include_extensions=options.include_extensions,
+            other_opts=options.other_opts,
+            scalar_activations=options.scalar_activations,
+            transform_bytes_per_cycle=options.transform_bytes_per_cycle,
+        )
+        selection = self._select(graph, model)
+
+        profiler = Profiler()
+        compiled_nodes: List[CompiledNode] = []
+        for node in graph:
+            if node.op_type in ("Input", "Constant"):
+                continue
+            plan = selection.plan_for(node.node_id)
+            compiled_nodes.append(
+                self._compile_node(graph, node, plan, profiler)
+            )
+
+        transform = selection.cost - sum(
+            model.node_cost(graph, graph.node(n.node.node_id), n.plan)
+            for n in compiled_nodes
+        )
+        transform = max(0.0, transform)
+        return CompiledModel(
+            graph=graph,
+            options=options,
+            selection=selection,
+            nodes=compiled_nodes,
+            transform_cycles=transform,
+            profile=profiler.profile,
+        )
+
+    # -- stages ---------------------------------------------------------------
+
+    def _select(
+        self, graph: ComputationalGraph, model: CostModel
+    ) -> SelectionResult:
+        options = self.options
+        if options.selection == "uniform":
+            return self._select_uniform(graph, model)
+        if options.selection == "local":
+            return solve_local(graph, model)
+        if options.selection == "exhaustive":
+            return solve_exhaustive(graph, model)
+        if options.selection == "pbqp":
+            return solve_pbqp(graph, model)
+        if options.selection == "chain":
+            return solve_chain(graph, model)
+        return solve_gcd2(
+            graph, model, max_operators=options.max_operators
+        )
+
+    def _select_uniform(
+        self, graph: ComputationalGraph, model: CostModel
+    ) -> SelectionResult:
+        """One SIMD implementation per operator type, row-major at every
+        operator boundary.
+
+        This models TFLite/SNPE's Hexagon NN kernels ("a uniform SIMD
+        implementation for each operator type"): each compute kernel
+        internally repacks into its fixed layout and unpacks on the way
+        out, which Equation 1 charges as edge transforms against the
+        row-major carrier.
+        """
+        from repro.core.plans import INSTRUCTION_LAYOUT
+        from repro.core.selection_common import aggregate_cost
+        from repro.tensor.layout import Layout
+
+        instruction = self.options.uniform_instruction
+        assignment: Dict[int, ExecutionPlan] = {}
+        for node in graph:
+            if node.op.is_compute_heavy:
+                assignment[node.node_id] = ExecutionPlan(
+                    instruction=instruction,
+                    layout=INSTRUCTION_LAYOUT[instruction],
+                )
+            else:
+                assignment[node.node_id] = ExecutionPlan(
+                    instruction=None, layout=Layout.ROW_MAJOR
+                )
+        cost = aggregate_cost(graph, model, assignment)
+        return SelectionResult(assignment, cost, "uniform", 0.0)
+
+    def _unroll_for(
+        self, graph: ComputationalGraph, node: Node, plan: ExecutionPlan
+    ) -> UnrollPlan:
+        if plan.instruction is None:
+            return UnrollPlan(1, 1)
+        dims = graph.node_matmul_dims(node.node_id)
+        m, k, n = dims
+        mode = self.options.unrolling
+        if mode == "none":
+            return UnrollPlan(1, 1)
+        if mode == "outer":
+            return UnrollPlan(4, 1)
+        if mode == "mid":
+            return UnrollPlan(1, 4)
+        if mode == "exhaustive":
+            best, _ = exhaustive_unroll(plan.instruction, m, k, n)
+            return best
+        return adaptive_unroll(m, n, plan.instruction)
+
+    def _compile_node(
+        self,
+        graph: ComputationalGraph,
+        node: Node,
+        plan: ExecutionPlan,
+        profiler: Profiler,
+    ) -> CompiledNode:
+        unroll = self._unroll_for(graph, node, plan)
+        kernel = lower_node(
+            graph, node, plan, unroll, other_opts=self.options.other_opts
+        )
+        packets, per_iter, schedule_body = self._pack(kernel)
+        # Kernel cost: the analytic model gives the compute volume at
+        # reference (SDA + adaptive) quality; the measured schedule
+        # scales the compute side by this packer/unroll configuration's
+        # quality.  The memory-roofline side is bandwidth-bound and
+        # does not improve with packing.
+        model = CostModel(
+            other_opts=self.options.other_opts,
+            scalar_activations=self.options.scalar_activations,
+            transform_bytes_per_cycle=(
+                self.options.transform_bytes_per_cycle
+            ),
+        )
+        compute, memory = model.node_cost_detail(graph, node, plan)
+        _, reference_cycles, _ = self._pack(kernel, packer_name="sda")
+        quality = per_iter / max(1, reference_cycles)
+        quality /= self.options.kernel_efficiency
+        # A sparser schedule also keeps fewer loads in flight, so the
+        # achieved streaming bandwidth degrades with packing quality
+        # (software-managed prefetch), at half the compute sensitivity.
+        memory_quality = 1.0 + (quality - 1.0) * 0.5
+        cycles = max(compute * quality, memory * memory_quality)
+        profiler.observe_schedule(packets, repeats=kernel.trips)
+        return CompiledNode(
+            node=node,
+            plan=plan,
+            unroll=unroll,
+            kernel=kernel,
+            schedule_body=schedule_body,
+            packets=packets,
+            cycles=cycles,
+        )
+
+    def _pack(
+        self,
+        kernel: LoweredKernel,
+        packer_name: Optional[str] = None,
+    ) -> Tuple[List[Packet], int, List["Instruction"]]:
+        """Pack (or fetch the cached schedule for) a kernel body.
+
+        Returns (packets, cycles, canonical body): structurally equal
+        bodies share one schedule, and the canonical body is the
+        instance the returned packets actually reference.
+        """
+        packer_name = packer_name or self.options.packing
+        signature = tuple(
+            (inst.opcode, inst.dests, inst.srcs) for inst in kernel.body
+        )
+        key = (packer_name, signature)
+        if key not in self._schedule_cache:
+            packets = _PACKERS[packer_name](kernel.body)
+            self._schedule_cache[key] = (
+                packets,
+                schedule_cycles(packets),
+                list(kernel.body),
+            )
+        return self._schedule_cache[key]
+
+
+def compile_model(
+    graph: ComputationalGraph,
+    options: Optional[CompilerOptions] = None,
+) -> CompiledModel:
+    """One-call convenience wrapper over :class:`GCD2Compiler`."""
+    return GCD2Compiler(options).compile(graph)

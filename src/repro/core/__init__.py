@@ -1,0 +1,42 @@
+"""GCD2's core contribution: global SIMD selection and VLIW packing."""
+
+from repro.core.plans import ExecutionPlan, enumerate_plans
+from repro.core.cost import (
+    CostModel,
+    gemm_cycles,
+    elementwise_cycles,
+    tensor_2d_view,
+)
+from repro.core.chain_dp import solve_chain
+from repro.core.exhaustive import solve_exhaustive
+from repro.core.local import solve_local
+from repro.core.global_select import solve_gcd2
+from repro.core.pbqp import solve_pbqp
+from repro.core.selection_common import (
+    SelectionResult,
+    aggregate_cost,
+    cost_breakdown,
+    edge_transform_cost,
+)
+from repro.core.unroll import UnrollPlan, adaptive_unroll, exhaustive_unroll
+
+__all__ = [
+    "ExecutionPlan",
+    "enumerate_plans",
+    "CostModel",
+    "gemm_cycles",
+    "elementwise_cycles",
+    "tensor_2d_view",
+    "solve_chain",
+    "solve_exhaustive",
+    "solve_local",
+    "solve_gcd2",
+    "solve_pbqp",
+    "SelectionResult",
+    "aggregate_cost",
+    "cost_breakdown",
+    "edge_transform_cost",
+    "UnrollPlan",
+    "adaptive_unroll",
+    "exhaustive_unroll",
+]

@@ -1,0 +1,121 @@
+"""Optimal linear-time selection for chains and in-trees (Equation 2).
+
+For a linear chain ``O_1 … O_n`` the paper gives the recurrence::
+
+    Sol(i, j) = min_l ( Sol(i-1, l) + TC(ep_l(O_{i-1}), ep_j(O_i)) )
+
+solved in ``O(|V| * k^2)``.  It also notes the solution "can be easily
+extended to the cases when … every vertex has at most one output":
+that generalisation — dynamic programming over an in-tree, where a
+vertex may have several predecessors but feeds only one consumer — is
+what this module implements.  Chains are the special case.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Tuple
+
+from repro.errors import SelectionError
+from repro.core.cost import CostModel
+from repro.core.plans import ExecutionPlan
+from repro.core.selection_common import SelectionResult
+from repro.graph.graph import ComputationalGraph, Node
+
+
+def is_in_tree(graph: ComputationalGraph) -> bool:
+    """Whether every vertex has at most one consumer (DP applicability)."""
+    return all(graph.out_degree(n.node_id) <= 1 for n in graph)
+
+
+def solve_chain(
+    graph: ComputationalGraph,
+    model: CostModel,
+    *,
+    include_boundary: bool = True,
+) -> SelectionResult:
+    """Exact selection via Equation 2's dynamic program.
+
+    Raises
+    ------
+    SelectionError
+        If some vertex has more than one consumer (the arbitrary-DAG
+        case, where "this approach does not work" and the partitioned
+        heuristic must be used instead).
+    """
+    if not is_in_tree(graph):
+        raise SelectionError(
+            "chain DP requires every vertex to have at most one output "
+            "consumer; use solve_gcd2 for arbitrary DAGs"
+        )
+    start = time.perf_counter()
+
+    # sol[node_id][j] = (cost of the subtree rooted at node under plan j,
+    #                    {pred_id: chosen pred plan index})
+    sol: Dict[int, List[Tuple[float, Dict[int, int]]]] = {}
+    plan_sets: Dict[int, Tuple[ExecutionPlan, ...]] = {}
+
+    for node in graph:  # topological: predecessors already solved
+        plans = model.plans(node)
+        plan_sets[node.node_id] = plans
+        entries: List[Tuple[float, Dict[int, int]]] = []
+        for j, plan in enumerate(plans):
+            cost = model.node_cost(graph, node, plan)
+            if include_boundary:
+                cost += model.boundary_cost(graph, node, plan)
+            choices: Dict[int, int] = {}
+            for pred in graph.predecessors(node.node_id):
+                best_l, best_cost = _best_predecessor_plan(
+                    graph, model, sol, plan_sets, pred, node, plan
+                )
+                cost += best_cost
+                choices[pred.node_id] = best_l
+            entries.append((cost, choices))
+        sol[node.node_id] = entries
+
+    # Roots (graph outputs) are independent subtrees: pick each root's
+    # best plan, then back-track choices down the tree.
+    assignment: Dict[int, ExecutionPlan] = {}
+    total = 0.0
+    for root in graph.output_nodes():
+        entries = sol[root.node_id]
+        j = min(range(len(entries)), key=lambda idx: entries[idx][0])
+        total += entries[j][0]
+        _backtrack(graph, sol, plan_sets, assignment, root.node_id, j)
+
+    elapsed = time.perf_counter() - start
+    return SelectionResult(assignment, total, "chain_dp", elapsed)
+
+
+def _best_predecessor_plan(
+    graph: ComputationalGraph,
+    model: CostModel,
+    sol,
+    plan_sets,
+    pred: Node,
+    node: Node,
+    plan: ExecutionPlan,
+) -> Tuple[int, float]:
+    """``min_l (Sol(pred, l) + TC(ep_l(pred), ep_j(node)))``."""
+    best_l, best_cost = -1, float("inf")
+    for l, pred_plan in enumerate(plan_sets[pred.node_id]):
+        candidate = sol[pred.node_id][l][0] + model.edge_cost(
+            graph, pred, pred_plan, node, plan
+        )
+        if candidate < best_cost:
+            best_l, best_cost = l, candidate
+    return best_l, best_cost
+
+
+def _backtrack(
+    graph: ComputationalGraph,
+    sol,
+    plan_sets,
+    assignment: Dict[int, ExecutionPlan],
+    node_id: int,
+    j: int,
+) -> None:
+    assignment[node_id] = plan_sets[node_id][j]
+    _, choices = sol[node_id][j]
+    for pred_id, l in choices.items():
+        _backtrack(graph, sol, plan_sets, assignment, pred_id, l)

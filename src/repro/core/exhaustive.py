@@ -1,0 +1,234 @@
+"""Exhaustive (exact) global plan selection.
+
+The brute-force baseline of Section V-C's Figure 10: compares ``k^|V|``
+options and always finds the global optimum.  The paper reports its
+search time exceeding 80 hours at 25 operators; a branch-and-bound
+variant (``prune=True``) keeps the same optimal answer practical for
+the partition-sized subproblems GCD2 actually solves.
+
+Implementation notes: all node/edge costs are tabulated up front so the
+search loop is pure table lookups; pruning uses a greedy warm start
+plus an admissible suffix lower bound (the sum of each remaining node's
+cheapest marginal), so subtrees that cannot beat the incumbent are cut
+without losing optimality.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import SelectionError
+from repro.core.cost import CostModel
+from repro.core.plans import ExecutionPlan
+from repro.core.selection_common import SelectionResult
+from repro.graph.graph import ComputationalGraph, Node
+
+
+class _SearchTables:
+    """Tabulated costs for a restricted exhaustive search."""
+
+    def __init__(
+        self,
+        graph: ComputationalGraph,
+        model: CostModel,
+        order: List[Node],
+        fixed: Dict[int, ExecutionPlan],
+        include_boundary: bool,
+        lookahead_consumers: bool = False,
+    ) -> None:
+        self.order = order
+        self.plan_sets: List[Tuple[ExecutionPlan, ...]] = [
+            model.plans(node) for node in order
+        ]
+        index_of = {node.node_id: i for i, node in enumerate(order)}
+
+        # node_costs[i][p]: node + boundary + edges from *fixed* preds,
+        # plus (optionally) the best-case transform toward external
+        # consumers that have not been assigned yet — the lookahead
+        # that keeps partition-boundary choices from being myopic.
+        self.node_costs: List[np.ndarray] = []
+        # edge_costs[i]: list of (pred_index, matrix[pred_plan][plan]).
+        self.edge_costs: List[List[Tuple[int, np.ndarray]]] = []
+        for i, node in enumerate(order):
+            plans = self.plan_sets[i]
+            base = np.zeros(len(plans))
+            for p, plan in enumerate(plans):
+                cost = model.node_cost(graph, node, plan)
+                if include_boundary:
+                    cost += model.boundary_cost(graph, node, plan)
+                for pred in graph.predecessors(node.node_id):
+                    pred_plan = fixed.get(pred.node_id)
+                    if pred_plan is not None:
+                        cost += model.edge_cost(
+                            graph, pred, pred_plan, node, plan
+                        )
+                if lookahead_consumers:
+                    for consumer in graph.successors(node.node_id):
+                        if (
+                            consumer.node_id in index_of
+                            or consumer.node_id in fixed
+                        ):
+                            continue
+                        cost += min(
+                            model.edge_cost(
+                                graph, node, plan, consumer, cplan
+                            )
+                            for cplan in model.plans(consumer)
+                        )
+                base[p] = cost
+            self.node_costs.append(base)
+
+            edges: List[Tuple[int, np.ndarray]] = []
+            for pred in graph.predecessors(node.node_id):
+                j = index_of.get(pred.node_id)
+                if j is None:
+                    continue
+                pred_plans = self.plan_sets[j]
+                matrix = np.array(
+                    [
+                        [
+                            model.edge_cost(graph, pred, pp, node, plan)
+                            for plan in plans
+                        ]
+                        for pp in pred_plans
+                    ]
+                )
+                edges.append((j, matrix))
+            self.edge_costs.append(edges)
+
+        # Admissible suffix lower bound: cheapest marginal per node
+        # (edge costs are non-negative and omitted).
+        mins = [costs.min() for costs in self.node_costs]
+        self.suffix_min = np.zeros(len(order) + 1)
+        for i in range(len(order) - 1, -1, -1):
+            self.suffix_min[i] = self.suffix_min[i + 1] + mins[i]
+
+    def marginal(self, i: int, p: int, choices: List[int]) -> float:
+        """Cost of giving node ``i`` plan ``p`` given earlier choices."""
+        cost = self.node_costs[i][p]
+        for j, matrix in self.edge_costs[i]:
+            cost += matrix[choices[j], p]
+        return float(cost)
+
+    def greedy(self) -> Tuple[List[int], float]:
+        """Warm-start assignment: locally cheapest marginal per node."""
+        choices: List[int] = []
+        total = 0.0
+        for i in range(len(self.order)):
+            costs = [
+                self.marginal(i, p, choices)
+                for p in range(len(self.plan_sets[i]))
+            ]
+            best = min(range(len(costs)), key=costs.__getitem__)
+            choices.append(best)
+            total += costs[best]
+        return choices, total
+
+
+def solve_exhaustive(
+    graph: ComputationalGraph,
+    model: CostModel,
+    *,
+    node_ids: Optional[Iterable[int]] = None,
+    fixed: Optional[Dict[int, ExecutionPlan]] = None,
+    prune: bool = True,
+    include_boundary: bool = True,
+    lookahead_consumers: bool = False,
+    max_expansions: Optional[int] = None,
+) -> SelectionResult:
+    """Find the minimum-``Agg_Cost`` assignment by exhaustive search.
+
+    Parameters
+    ----------
+    graph, model:
+        The computational graph and the cost policy.
+    node_ids:
+        Restrict the search to these nodes (used by the partitioned
+        GCD2 solver); defaults to the whole graph.
+    fixed:
+        Already-decided plans for nodes outside the search set; edges
+        from fixed producers into searched nodes are charged.
+    prune:
+        Branch-and-bound pruning against the incumbent assignment.
+        Costs are non-negative, so pruning never loses the optimum;
+        disable it to measure the raw ``k^|V|`` search (Figure 10b).
+    include_boundary:
+        Charge output-boundary transforms back to row-major.
+    lookahead_consumers:
+        Additionally charge, for each searched node, the cheapest
+        possible transform toward consumers outside the search set —
+        used by the partitioned GCD2 solver so boundary plans are not
+        chosen myopically.  (The returned cost then includes these
+        estimates; callers re-aggregate the true objective.)
+    max_expansions:
+        Optional safety valve on search-tree nodes; exceeded searches
+        raise :class:`SelectionError` (the paper's "impracticable even
+        when there are 25 operators" observation, made explicit).
+
+    Returns
+    -------
+    SelectionResult
+        Optimal assignment over the searched nodes; the reported cost
+        covers the searched nodes' own costs, their internal edges and
+        their edges from fixed producers.  Fixed plans are included in
+        the returned assignment for convenience.
+    """
+    fixed = dict(fixed or {})
+    selected = set(node_ids) if node_ids is not None else {
+        n.node_id for n in graph
+    }
+    order: List[Node] = [n for n in graph if n.node_id in selected]
+    if not order:
+        return SelectionResult(dict(fixed), 0.0, "exhaustive", 0.0)
+
+    start = time.perf_counter()
+    tables = _SearchTables(
+        graph, model, order, fixed, include_boundary, lookahead_consumers
+    )
+
+    if prune:
+        best_choices, best_cost = tables.greedy()
+    else:
+        best_choices, best_cost = None, float("inf")
+
+    choices: List[int] = []
+    expansions = 0
+    n_nodes = len(order)
+
+    def dfs(index: int, cost_so_far: float) -> None:
+        nonlocal best_choices, best_cost, expansions
+        if index == n_nodes:
+            if cost_so_far < best_cost:
+                best_cost = cost_so_far
+                best_choices = list(choices)
+            return
+        if (
+            prune
+            and cost_so_far + tables.suffix_min[index] >= best_cost
+        ):
+            return
+        for p in range(len(tables.plan_sets[index])):
+            expansions += 1
+            if max_expansions is not None and expansions > max_expansions:
+                raise SelectionError(
+                    f"exhaustive search exceeded {max_expansions} expansions"
+                )
+            cost = cost_so_far + tables.marginal(index, p, choices)
+            if prune and cost + tables.suffix_min[index + 1] >= best_cost:
+                continue
+            choices.append(p)
+            dfs(index + 1, cost)
+            choices.pop()
+
+    dfs(0, 0.0)
+    if best_choices is None:  # pragma: no cover - defensive
+        raise SelectionError("exhaustive search found no assignment")
+
+    assignment = dict(fixed)
+    for i, (node, choice) in enumerate(zip(order, best_choices)):
+        assignment[node.node_id] = tables.plan_sets[i][choice]
+    elapsed = time.perf_counter() - start
+    return SelectionResult(assignment, best_cost, "exhaustive", elapsed)

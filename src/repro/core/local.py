@@ -1,0 +1,38 @@
+"""Local-optimal plan selection (Figure 10's ``local optimal`` baseline).
+
+"The local optimal solution selects the layout with the best
+performance independently for each operator" — every node takes its
+cheapest plan in isolation, and the graph then pays whatever layout
+transformation costs fall out on the edges.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict
+
+from repro.core.cost import CostModel
+from repro.core.plans import ExecutionPlan
+from repro.core.selection_common import SelectionResult, aggregate_cost
+from repro.graph.graph import ComputationalGraph
+
+
+def solve_local(
+    graph: ComputationalGraph,
+    model: CostModel,
+    *,
+    include_boundary: bool = True,
+) -> SelectionResult:
+    """Choose each node's cheapest plan, ignoring edge interactions."""
+    start = time.perf_counter()
+    assignment: Dict[int, ExecutionPlan] = {}
+    for node in graph:
+        plans = model.plans(node)
+        assignment[node.node_id] = min(
+            plans, key=lambda p: model.node_cost(graph, node, p)
+        )
+    cost = aggregate_cost(
+        graph, model, assignment, include_boundary=include_boundary
+    )
+    elapsed = time.perf_counter() - start
+    return SelectionResult(assignment, cost, "local", elapsed)

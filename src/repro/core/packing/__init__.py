@@ -1,0 +1,37 @@
+"""VLIW instruction packing: the SDA algorithm and its baselines."""
+
+from repro.core.packing.cfg import BasicBlock, build_cfg
+from repro.core.packing.idg import InstructionDependencyGraph, build_idg
+from repro.core.packing.sda import SdaConfig, pack_block, pack_instructions
+from repro.core.packing.baselines import (
+    pack_soft_to_hard,
+    pack_soft_to_none,
+    pack_list_schedule,
+)
+from repro.core.packing.evaluate import (
+    schedule_summary,
+    validate_schedule,
+)
+from repro.core.packing.swp import (
+    PipelinedSchedule,
+    modulo_schedule,
+    pipelined_speedup,
+)
+
+__all__ = [
+    "BasicBlock",
+    "build_cfg",
+    "InstructionDependencyGraph",
+    "build_idg",
+    "SdaConfig",
+    "pack_block",
+    "pack_instructions",
+    "pack_soft_to_hard",
+    "pack_soft_to_none",
+    "pack_list_schedule",
+    "schedule_summary",
+    "validate_schedule",
+    "PipelinedSchedule",
+    "modulo_schedule",
+    "pipelined_speedup",
+]

@@ -1,0 +1,121 @@
+"""Baseline packing algorithms the paper compares SDA against.
+
+* ``pack_soft_to_hard`` — Algorithm 1 with every soft dependency
+  treated as hard: soft pairs never share a packet (Figure 5's and
+  Figure 11's *soft to hard*);
+* ``pack_soft_to_none`` — Algorithm 1 with the soft penalty removed
+  (lines 27-28 deleted): packing is blind to the stalls it creates
+  (Figure 11's *soft to none*);
+* ``pack_list_schedule`` — classic top-down critical-path list
+  scheduling in the style of Six et al. / LLVM, also without the
+  soft/hard distinction.  This is the packing model for the Halide /
+  TVM / RAKE baselines ("they perform packet generation without
+  distinguishing between soft and hard dependencies").
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Set
+
+from repro.isa.instructions import Instruction
+from repro.machine.packet import MAX_PACKET_SLOTS, Packet, fits_with
+from repro.core.packing.cfg import build_cfg
+from repro.core.packing.idg import build_idg
+from repro.core.packing.sda import SdaConfig, pack_instructions
+
+
+def pack_soft_to_hard(
+    instructions: Sequence[Instruction],
+    *,
+    w: float = 0.7,
+) -> List[Packet]:
+    """SDA with soft dependencies degraded to hard ones."""
+    return pack_instructions(
+        instructions, SdaConfig(w=w, soft_mode="hard")
+    )
+
+
+def pack_soft_to_none(
+    instructions: Sequence[Instruction],
+    *,
+    w: float = 0.7,
+) -> List[Packet]:
+    """SDA without the soft-dependency packing penalty."""
+    return pack_instructions(
+        instructions, SdaConfig(w=w, soft_mode="none")
+    )
+
+
+def pack_list_schedule(
+    instructions: Sequence[Instruction],
+) -> List[Packet]:
+    """Top-down critical-path list scheduling (soft treated as hard).
+
+    Priority is the longest latency path from the instruction to the
+    exit — "instructions with the longest latency path to the exit have
+    priority" — and dependent instructions never share a packet.
+    """
+    packets: List[Packet] = []
+    for block in build_cfg(instructions):
+        packets.extend(_list_schedule_block(block.instructions))
+    return packets
+
+
+def _list_schedule_block(
+    instructions: Sequence[Instruction],
+) -> List[Packet]:
+    if not instructions:
+        return []
+    idg = build_idg(instructions)
+
+    # Longest latency path to exit, computed in reverse program order.
+    height: Dict[int, int] = {}
+    for inst in reversed(list(instructions)):
+        succs = idg.successors(inst)
+        height[inst.uid] = inst.latency + max(
+            (height[s.uid] for s in succs), default=0
+        )
+
+    scheduled: Set[int] = set()
+    packets: List[Packet] = []
+    remaining = list(instructions)
+    while remaining:
+        ready = [
+            inst
+            for inst in remaining
+            if all(
+                p.uid in scheduled for p in idg.predecessors(inst)
+            )
+        ]
+        ready.sort(key=lambda i: (-height[i.uid], i.uid))
+        packet = Packet([])
+        placed: List[Instruction] = []
+        for inst in ready:
+            if len(packet) >= MAX_PACKET_SLOTS:
+                break
+            # All dependencies are treated as hard: a packet member may
+            # not depend on another member in any way.
+            if _depends_on_any(idg, inst, placed):
+                continue
+            if fits_with(inst, packet.instructions):
+                packet.add(inst)
+                placed.append(inst)
+        if not placed:  # pragma: no cover - defensive
+            packet.add(ready[0])
+            placed.append(ready[0])
+        for inst in placed:
+            scheduled.add(inst.uid)
+            remaining.remove(inst)
+        packets.append(packet)
+    return packets
+
+
+def _depends_on_any(idg, inst: Instruction, placed: List[Instruction]) -> bool:
+    from repro.isa.dependencies import DependencyKind
+
+    for other in placed:
+        if idg.edge_kind(other, inst) is not DependencyKind.NONE:
+            return True
+        if idg.edge_kind(inst, other) is not DependencyKind.NONE:
+            return True
+    return False

@@ -1,0 +1,53 @@
+"""Control-flow graph construction over pseudo-assembly.
+
+Algorithm 1 "first builds a Control-Flow Graph (CFG) on assembly for
+each operator, and finds the basic block corresponding to the
+computation kernel of each operator (usually the largest basic block)".
+Generated kernels are loops whose bodies are straight-line code, so the
+CFG is simple: blocks end at branch instructions (``jump``/``loop``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence
+
+from repro.isa.instructions import Instruction, Opcode, ResourceClass
+
+_BRANCHES = (Opcode.JUMP, Opcode.LOOP)
+
+
+@dataclass
+class BasicBlock:
+    """A maximal straight-line instruction sequence."""
+
+    instructions: List[Instruction] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+    @property
+    def terminator(self) -> Instruction:
+        """The block's final instruction."""
+        return self.instructions[-1]
+
+
+def build_cfg(instructions: Sequence[Instruction]) -> List[BasicBlock]:
+    """Split ``instructions`` into basic blocks at branch boundaries."""
+    blocks: List[BasicBlock] = []
+    current: List[Instruction] = []
+    for inst in instructions:
+        current.append(inst)
+        if inst.opcode in _BRANCHES:
+            blocks.append(BasicBlock(current))
+            current = []
+    if current:
+        blocks.append(BasicBlock(current))
+    return blocks
+
+
+def kernel_block(blocks: Sequence[BasicBlock]) -> BasicBlock:
+    """The computation-kernel block: the largest basic block."""
+    if not blocks:
+        return BasicBlock([])
+    return max(blocks, key=len)

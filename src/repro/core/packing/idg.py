@@ -1,0 +1,158 @@
+"""Instruction Dependency Graph (IDG) construction and critical paths.
+
+The IDG's vertices are instructions and its edges carry the hard/soft
+classification of :mod:`repro.isa.dependencies`.  It exposes the
+per-instruction attributes of Equation 4 — ``order`` (distance from the
+entry), ``pred`` (predecessor count), ``lat`` (latency) — plus the
+latency-weighted critical path the packer seeds packets from.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.isa.dependencies import DependencyKind, classify_dependency
+from repro.isa.instructions import Instruction
+
+
+@dataclass
+class InstructionDependencyGraph:
+    """Dependency DAG over one basic block's instructions.
+
+    Edges run from producer (earlier) to consumer (later); each carries
+    a :class:`DependencyKind`.  The graph supports vertex removal, which
+    the packer uses as it drains instructions into packets.
+    """
+
+    instructions: List[Instruction] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self._by_uid: Dict[int, Instruction] = {
+            inst.uid: inst for inst in self.instructions
+        }
+        self._succ: Dict[int, Dict[int, DependencyKind]] = {
+            inst.uid: {} for inst in self.instructions
+        }
+        self._pred: Dict[int, Dict[int, DependencyKind]] = {
+            inst.uid: {} for inst in self.instructions
+        }
+        self._order: Dict[int, int] = {}
+        self._initial_pred_count: Dict[int, int] = {}
+        self._build_edges()
+        self._compute_order()
+
+    def _build_edges(self) -> None:
+        insts = self.instructions
+        for i, first in enumerate(insts):
+            for second in insts[i + 1:]:
+                kind = classify_dependency(first, second)
+                if kind is not DependencyKind.NONE:
+                    self._succ[first.uid][second.uid] = kind
+                    self._pred[second.uid][first.uid] = kind
+
+    def _compute_order(self) -> None:
+        """``order`` = longest edge-count path from an entry vertex."""
+        for inst in self.instructions:  # program order is topological
+            preds = self._pred[inst.uid]
+            if preds:
+                self._order[inst.uid] = 1 + max(
+                    self._order[p] for p in preds
+                )
+            else:
+                self._order[inst.uid] = 0
+            self._initial_pred_count[inst.uid] = len(preds)
+
+    # -- queries ------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._by_uid)
+
+    def __contains__(self, inst: Instruction) -> bool:
+        return inst.uid in self._by_uid
+
+    def remaining(self) -> List[Instruction]:
+        """Instructions still in the graph, in program order."""
+        return [i for i in self.instructions if i.uid in self._by_uid]
+
+    def successors(self, inst: Instruction) -> Dict[Instruction, DependencyKind]:
+        """Remaining successors and their dependency kinds."""
+        return {
+            self._by_uid[uid]: kind
+            for uid, kind in self._succ[inst.uid].items()
+            if uid in self._by_uid
+        }
+
+    def predecessors(
+        self, inst: Instruction
+    ) -> Dict[Instruction, DependencyKind]:
+        """Remaining predecessors and their dependency kinds."""
+        return {
+            self._by_uid[uid]: kind
+            for uid, kind in self._pred[inst.uid].items()
+            if uid in self._by_uid
+        }
+
+    def order_of(self, inst: Instruction) -> int:
+        """Equation 4's ``i.order``: distance from the entry vertex."""
+        return self._order[inst.uid]
+
+    def pred_count(self, inst: Instruction) -> int:
+        """Equation 4's ``i.pred``: the instruction's predecessor count."""
+        return self._initial_pred_count[inst.uid]
+
+    def edge_kind(
+        self, producer: Instruction, consumer: Instruction
+    ) -> DependencyKind:
+        """Dependency kind of edge (producer, consumer), NONE if absent."""
+        return self._succ.get(producer.uid, {}).get(
+            consumer.uid, DependencyKind.NONE
+        )
+
+    # -- mutation -------------------------------------------------------------
+
+    def remove(self, inst: Instruction) -> None:
+        """Drop a packed instruction from the graph (Algorithm 1 line 17)."""
+        if inst.uid not in self._by_uid:
+            return
+        del self._by_uid[inst.uid]
+
+    # -- critical path -----------------------------------------------------------
+
+    def critical_path(self) -> List[Instruction]:
+        """Longest remaining path by total latency (ties by program order).
+
+        The path starts at an entry of the remaining subgraph and the
+        packer seeds each packet with its *last* instruction.
+        """
+        remaining = self.remaining()
+        if not remaining:
+            return []
+        best_cost: Dict[int, int] = {}
+        best_prev: Dict[int, Optional[int]] = {}
+        for inst in remaining:  # program order is topological
+            preds = [
+                p for p in self.predecessors(inst)
+            ]
+            if preds:
+                prev = max(preds, key=lambda p: best_cost[p.uid])
+                best_cost[inst.uid] = best_cost[prev.uid] + inst.latency
+                best_prev[inst.uid] = prev.uid
+            else:
+                best_cost[inst.uid] = inst.latency
+                best_prev[inst.uid] = None
+        tail = max(remaining, key=lambda i: best_cost[i.uid])
+        path: List[Instruction] = []
+        cursor: Optional[int] = tail.uid
+        while cursor is not None:
+            path.append(self._by_uid[cursor])
+            cursor = best_prev[cursor]
+        path.reverse()
+        return path
+
+
+def build_idg(
+    instructions: Sequence[Instruction],
+) -> InstructionDependencyGraph:
+    """Build the IDG for one basic block."""
+    return InstructionDependencyGraph(list(instructions))

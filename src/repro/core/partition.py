@@ -1,0 +1,160 @@
+"""Cost-optimal graph partitioning (Definition IV.1).
+
+GCD2 avoids the exponential global search by cutting the graph at
+*desirable partitioning edges* — edges ``e = (v_i, v_j)`` where
+
+1. ``v_j`` has only one predecessor (``v_i``), and
+2. ``v_j`` is a layout transformation operator, **or** the
+   transformation along ``e`` is *profitable* (the successor's speedup
+   from switching layouts exceeds the transformation's own cost).
+
+Decisions upstream and downstream of such an edge can be made in
+isolation.  When the resulting partitions are still larger than the
+solver's operator budget, *complementary* cut edges are added (the
+paper's fallback for graphs without dominant cut edges): the partition
+is split at single-predecessor edges in topological order.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set, Tuple
+
+from repro.core.cost import CostModel, tensor_2d_view
+from repro.graph.graph import ComputationalGraph, Node
+from repro.tensor.transform_cost import transform_cycles
+
+
+def is_desirable_edge(
+    graph: ComputationalGraph,
+    model: CostModel,
+    src: int,
+    dst: int,
+) -> bool:
+    """Whether ``(src, dst)`` is a desirable partitioning edge."""
+    consumer = graph.node(dst)
+    if len(consumer.inputs) != 1:
+        return False
+    if consumer.op.is_layout_transform:
+        return True
+    return _is_profitable_transform(graph, model, graph.node(src), consumer)
+
+
+def _is_profitable_transform(
+    graph: ComputationalGraph,
+    model: CostModel,
+    producer: Node,
+    consumer: Node,
+) -> bool:
+    """Profitability test of Section IV-B.
+
+    Compares the consumer's cost when *keeping* the producer's locally
+    best layout against its cost in its own best layout plus the data
+    transformation, using locally optimal plans as the estimate (the
+    full interaction is what the per-partition search resolves).
+    """
+    producer_plans = model.plans(producer)
+    if (
+        len({p.layout for p in producer_plans}) > 1
+        and all(p.instruction is None for p in producer_plans)
+    ):
+        # Layout-transparent producer: it has no layout preference of
+        # its own (all carrier layouts cost the same), so this edge
+        # carries no genuine transformation decision — cutting here
+        # would only sever the neighbours' joint optimization.
+        return False
+    producer_best = min(
+        producer_plans, key=lambda p: model.node_cost(graph, producer, p)
+    )
+    consumer_plans = model.plans(consumer)
+    consumer_best = min(
+        consumer_plans, key=lambda p: model.node_cost(graph, consumer, p)
+    )
+    if consumer_best.layout is producer_best.layout:
+        return False
+    keep_candidates = [
+        p for p in consumer_plans if p.layout is producer_best.layout
+    ]
+    if not keep_candidates:
+        return True
+    keep_cost = min(
+        model.node_cost(graph, consumer, p) for p in keep_candidates
+    )
+    best_cost = model.node_cost(graph, consumer, consumer_best)
+    rows, cols = tensor_2d_view(producer.output_shape)
+    tc = transform_cycles(
+        rows, cols, producer_best.layout, consumer_best.layout
+    )
+    return (keep_cost - best_cost) > tc
+
+
+def desirable_partition_edges(
+    graph: ComputationalGraph, model: CostModel
+) -> List[Tuple[int, int]]:
+    """All desirable partitioning edges of the graph."""
+    return [
+        (src, dst)
+        for src, dst in graph.edges()
+        if is_desirable_edge(graph, model, src, dst)
+    ]
+
+
+def partition(
+    graph: ComputationalGraph,
+    model: CostModel,
+    *,
+    max_operators: int = 13,
+) -> List[List[int]]:
+    """Partition the graph for independent per-partition optimization.
+
+    Returns partitions as lists of node ids in topological order; the
+    list of partitions is itself topologically ordered by each
+    partition's earliest node, so a caller can fix plans partition by
+    partition with all upstream decisions already made.
+
+    Parameters
+    ----------
+    max_operators:
+        Budget per partition — the paper's GCD2(13)/GCD2(17) parameter.
+        Oversized partitions are split at complementary cut edges.
+    """
+    cut: Set[Tuple[int, int]] = set(desirable_partition_edges(graph, model))
+
+    # Union-find over the edges that are *not* cut.
+    parent: Dict[int, int] = {n.node_id: n.node_id for n in graph}
+
+    def find(x: int) -> int:
+        while parent[x] != x:
+            parent[x] = parent[parent[x]]
+            x = parent[x]
+        return x
+
+    def union(a: int, b: int) -> None:
+        ra, rb = find(a), find(b)
+        if ra != rb:
+            parent[ra] = rb
+
+    for src, dst in graph.edges():
+        if (src, dst) not in cut:
+            union(src, dst)
+
+    groups: Dict[int, List[int]] = {}
+    for node in graph:  # topological order preserved within groups
+        groups.setdefault(find(node.node_id), []).append(node.node_id)
+
+    partitions: List[List[int]] = []
+    for members in groups.values():
+        partitions.extend(_split_oversized(members, max_operators))
+    partitions.sort(key=lambda part: part[0])
+    return partitions
+
+
+def _split_oversized(
+    members: List[int], max_operators: int
+) -> List[List[int]]:
+    """Add complementary cuts: chunk an oversized partition in topo order."""
+    if len(members) <= max_operators:
+        return [members]
+    return [
+        members[i:i + max_operators]
+        for i in range(0, len(members), max_operators)
+    ]

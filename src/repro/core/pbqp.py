@@ -1,0 +1,199 @@
+"""PBQP formulation and solver for the selection problem.
+
+Section IV-B observes the global selection problem "is really a
+Partitioned Boolean Quadratic Programming (PBQP) problem, which is
+known to be NP-hard", and names reduction-based PBQP solvers as an
+alternative that is "not guaranteed to provide an optimal solution but
+is in practice close".  GCD2 chose partitioning instead; this module
+implements the PBQP route as an extension, and the Figure 10 benchmark
+uses it as an extra point of comparison.
+
+The solver is the classic reduction scheme (Scholz/Eckstein, as used
+for register allocation):
+
+* **R0** — isolated node: defer, pick its cheapest plan at the end;
+* **RI** — degree-1 node: fold its vector through the edge matrix into
+  the neighbour's vector (exact);
+* **RII** — degree-2 node: fold into a matrix between its two
+  neighbours (exact);
+* **RN** — heuristic elimination of a max-degree node (the only
+  potentially sub-optimal step).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.cost import CostModel
+from repro.core.plans import ExecutionPlan
+from repro.core.selection_common import SelectionResult, aggregate_cost
+from repro.graph.graph import ComputationalGraph
+
+
+class _PbqpGraph:
+    """Working state of the reduction solver."""
+
+    def __init__(self) -> None:
+        self.vectors: Dict[int, np.ndarray] = {}
+        self.matrices: Dict[Tuple[int, int], np.ndarray] = {}
+        self.adjacency: Dict[int, set] = {}
+
+    def add_node(self, node_id: int, costs: np.ndarray) -> None:
+        self.vectors[node_id] = costs.astype(float)
+        self.adjacency.setdefault(node_id, set())
+
+    def matrix(self, u: int, v: int) -> Optional[np.ndarray]:
+        """Edge matrix oriented as (u plans) x (v plans)."""
+        if (u, v) in self.matrices:
+            return self.matrices[(u, v)]
+        if (v, u) in self.matrices:
+            return self.matrices[(v, u)].T
+        return None
+
+    def add_edge_costs(self, u: int, v: int, costs: np.ndarray) -> None:
+        """Accumulate ``costs`` (u plans x v plans) onto edge (u, v)."""
+        if (v, u) in self.matrices:
+            self.matrices[(v, u)] += costs.T
+        else:
+            key = (u, v)
+            if key in self.matrices:
+                self.matrices[key] += costs
+            else:
+                self.matrices[key] = costs.astype(float)
+        self.adjacency[u].add(v)
+        self.adjacency[v].add(u)
+
+    def remove_node(self, node_id: int) -> None:
+        for other in list(self.adjacency[node_id]):
+            self.adjacency[other].discard(node_id)
+            self.matrices.pop((node_id, other), None)
+            self.matrices.pop((other, node_id), None)
+        del self.adjacency[node_id]
+        del self.vectors[node_id]
+
+    def degree(self, node_id: int) -> int:
+        return len(self.adjacency[node_id])
+
+
+def solve_pbqp(
+    graph: ComputationalGraph,
+    model: CostModel,
+    *,
+    include_boundary: bool = True,
+) -> SelectionResult:
+    """Solve the selection problem with the PBQP reduction heuristic."""
+    start = time.perf_counter()
+
+    plan_sets: Dict[int, Tuple[ExecutionPlan, ...]] = {}
+    pbqp = _PbqpGraph()
+    for node in graph:
+        plans = model.plans(node)
+        plan_sets[node.node_id] = plans
+        costs = np.array(
+            [
+                model.node_cost(graph, node, plan)
+                + (
+                    model.boundary_cost(graph, node, plan)
+                    if include_boundary
+                    else 0.0
+                )
+                for plan in plans
+            ]
+        )
+        pbqp.add_node(node.node_id, costs)
+    for src, dst in graph.edges():
+        src_node, dst_node = graph.node(src), graph.node(dst)
+        matrix = np.array(
+            [
+                [
+                    model.edge_cost(graph, src_node, sp, dst_node, dp)
+                    for dp in plan_sets[dst]
+                ]
+                for sp in plan_sets[src]
+            ]
+        )
+        pbqp.add_edge_costs(src, dst, matrix)
+
+    # ``deciders`` run in reverse at reconstruction time: each closure
+    # reads already-decided neighbours and returns this node's plan index.
+    deciders: List[Tuple[int, Callable[[Dict[int, int]], int]]] = []
+
+    def reduce_r1(u: int) -> None:
+        (v,) = pbqp.adjacency[u]
+        m = pbqp.matrix(u, v)
+        folded = pbqp.vectors[u][:, None] + m
+        pbqp.vectors[v] += folded.min(axis=0)
+        choice_for = folded.argmin(axis=0)
+        deciders.append((u, lambda sel, c=choice_for, v=v: int(c[sel[v]])))
+        pbqp.remove_node(u)
+
+    def reduce_r2(u: int) -> None:
+        v, w = sorted(pbqp.adjacency[u])
+        muv = pbqp.matrix(u, v)
+        muw = pbqp.matrix(u, w)
+        stacked = (
+            pbqp.vectors[u][:, None, None]
+            + muv[:, :, None]
+            + muw[:, None, :]
+        )
+        pbqp.add_edge_costs(v, w, stacked.min(axis=0))
+        choice_for = stacked.argmin(axis=0)
+        deciders.append(
+            (
+                u,
+                lambda sel, c=choice_for, v=v, w=w: int(c[sel[v], sel[w]]),
+            )
+        )
+        pbqp.remove_node(u)
+
+    def reduce_rn(u: int) -> None:
+        vector = pbqp.vectors[u].copy()
+        for v in pbqp.adjacency[u]:
+            vector += pbqp.matrix(u, v).min(axis=1)
+        i = int(vector.argmin())
+        for v in list(pbqp.adjacency[u]):
+            pbqp.vectors[v] += pbqp.matrix(u, v)[i, :]
+        deciders.append((u, lambda sel, i=i: i))
+        pbqp.remove_node(u)
+
+    remaining = set(pbqp.vectors)
+    while remaining:
+        degree_of = {nid: pbqp.degree(nid) for nid in remaining}
+        r0 = [nid for nid, d in degree_of.items() if d == 0]
+        if r0:
+            for nid in r0:
+                i = int(pbqp.vectors[nid].argmin())
+                deciders.append((nid, lambda sel, i=i: i))
+                pbqp.remove_node(nid)
+                remaining.discard(nid)
+            continue
+        r1 = next((nid for nid, d in degree_of.items() if d == 1), None)
+        if r1 is not None:
+            reduce_r1(r1)
+            remaining.discard(r1)
+            continue
+        r2 = next((nid for nid, d in degree_of.items() if d == 2), None)
+        if r2 is not None:
+            reduce_r2(r2)
+            remaining.discard(r2)
+            continue
+        rn = max(degree_of, key=degree_of.get)
+        reduce_rn(rn)
+        remaining.discard(rn)
+
+    selections: Dict[int, int] = {}
+    for node_id, decide in reversed(deciders):
+        selections[node_id] = decide(selections)
+
+    assignment = {
+        node_id: plan_sets[node_id][index]
+        for node_id, index in selections.items()
+    }
+    cost = aggregate_cost(
+        graph, model, assignment, include_boundary=include_boundary
+    )
+    elapsed = time.perf_counter() - start
+    return SelectionResult(assignment, cost, "pbqp", elapsed)

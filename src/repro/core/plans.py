@@ -1,0 +1,131 @@
+"""Execution plans: the per-operator choices of Section IV-A.
+
+"After performing the local analysis of possible implementations and
+associated layouts for the operator O we obtain a set of possible
+execution plans EP(O)."  A plan pairs a SIMD instruction with the data
+layout it requires; compute-heavy operators get one plan per applicable
+multiply instruction, while layout-transparent operators (elementwise,
+pooling, normalisation) can run in any layout and exist mainly to carry
+layout decisions between compute operators.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.errors import SelectionError
+from repro.graph import ops
+from repro.graph.graph import ComputationalGraph, Node
+from repro.isa.instructions import Opcode
+from repro.tensor.layout import Layout
+
+#: Layout each multiply instruction consumes/produces (Figure 2).
+INSTRUCTION_LAYOUT = {
+    Opcode.VMPY: Layout.COL1,
+    Opcode.VMPA: Layout.COL2,
+    Opcode.VRMPY: Layout.COL4,
+    Opcode.VTMPY: Layout.COL2,
+    Opcode.VMPYE: Layout.COL1,
+}
+
+#: The three primary instructions of Section III.
+PRIMARY_INSTRUCTIONS = (Opcode.VMPY, Opcode.VMPA, Opcode.VRMPY)
+
+
+@dataclass(frozen=True)
+class ExecutionPlan:
+    """One way to execute an operator.
+
+    Attributes
+    ----------
+    instruction:
+        Multiply instruction used by the kernel, or ``None`` for
+        layout-transparent operators.
+    layout:
+        Layout of the operator's activations — both what it expects its
+        inputs in and what it leaves its output in.
+    """
+
+    instruction: Optional[Opcode]
+    layout: Layout
+
+    @property
+    def label(self) -> str:
+        """Short display name (used by benchmark tables)."""
+        instr = self.instruction.value if self.instruction else "passthrough"
+        return f"{instr}/{self.layout.value}"
+
+
+#: Plans for layout-transparent operators: one per carrier layout.
+_TRANSPARENT_PLANS = tuple(
+    ExecutionPlan(instruction=None, layout=layout) for layout in Layout
+)
+
+#: Single fixed plan for layout-transformation operators: they emit
+#: row-major data whatever comes in, which is what makes their incoming
+#: edge a desirable partitioning edge (Section IV-B).
+_TRANSFORM_PLAN = (ExecutionPlan(instruction=None, layout=Layout.ROW_MAJOR),)
+
+
+def enumerate_plans(
+    node: Node,
+    *,
+    include_extensions: bool = False,
+) -> Tuple[ExecutionPlan, ...]:
+    """The plan set ``EP(O)`` for one operator.
+
+    Parameters
+    ----------
+    node:
+        Graph node to enumerate plans for.
+    include_extensions:
+        Also offer ``vtmpy``/``vmpye`` plans where applicable ("other
+        instructions like vtmpy and vmpye can also be used").
+    """
+    op = node.op
+    if isinstance(op, ops.Input):
+        # Runtime inputs arrive in the row-major interchange format;
+        # any repacking is charged on the outgoing edge.
+        return _TRANSFORM_PLAN
+    if isinstance(op, ops.Constant):
+        # Weights are packed at compile time into whatever layout the
+        # consumer wants, so every layout is freely available.
+        return _TRANSPARENT_PLANS
+    if op.is_layout_transform:
+        return _TRANSFORM_PLAN
+    if op.is_compute_heavy:
+        plans = [
+            ExecutionPlan(instruction=instr, layout=INSTRUCTION_LAYOUT[instr])
+            for instr in PRIMARY_INSTRUCTIONS
+        ]
+        if include_extensions:
+            if _vtmpy_applicable(op):
+                plans.append(
+                    ExecutionPlan(
+                        instruction=Opcode.VTMPY,
+                        layout=INSTRUCTION_LAYOUT[Opcode.VTMPY],
+                    )
+                )
+            plans.append(
+                ExecutionPlan(
+                    instruction=Opcode.VMPYE,
+                    layout=INSTRUCTION_LAYOUT[Opcode.VMPYE],
+                )
+            )
+        return tuple(plans)
+    return _TRANSPARENT_PLANS
+
+
+def _vtmpy_applicable(op: ops.Operator) -> bool:
+    """``vtmpy`` computes 3-tap windows: offered for 3-wide convolutions."""
+    kernel = getattr(op, "kernel", None)
+    return kernel is not None and kernel[1] == 3
+
+
+def plan_count(graph: ComputationalGraph) -> int:
+    """Total size of the search space ``prod_k |EP(O_k)|`` (log-safe)."""
+    total = 1
+    for node in graph:
+        total *= len(enumerate_plans(node))
+    return total

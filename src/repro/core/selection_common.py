@@ -1,0 +1,113 @@
+"""Shared types and the Agg_Cost objective (Equation 1) for all solvers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.errors import SelectionError
+from repro.core.cost import CostModel
+from repro.core.plans import ExecutionPlan
+from repro.graph.graph import ComputationalGraph, Node
+
+
+@dataclass
+class SelectionResult:
+    """Outcome of one layout/instruction selection run.
+
+    Attributes
+    ----------
+    assignment:
+        Chosen :class:`ExecutionPlan` per node id.
+    cost:
+        ``Agg_Cost`` of the assignment (cycles).
+    solver:
+        Name of the algorithm that produced it.
+    solve_seconds:
+        Wall-clock search time (Figure 10b's quantity).
+    """
+
+    assignment: Dict[int, ExecutionPlan]
+    cost: float
+    solver: str
+    solve_seconds: float = 0.0
+
+    def plan_for(self, node_id: int) -> ExecutionPlan:
+        """The plan chosen for ``node_id``."""
+        try:
+            return self.assignment[node_id]
+        except KeyError as exc:
+            raise SelectionError(
+                f"no plan assigned to node {node_id}"
+            ) from exc
+
+
+def edge_transform_cost(
+    graph: ComputationalGraph,
+    model: CostModel,
+    assignment: Dict[int, ExecutionPlan],
+) -> float:
+    """The second term of Equation 1 over a complete assignment."""
+    total = 0.0
+    for src, dst in graph.edges():
+        total += model.edge_cost(
+            graph,
+            graph.node(src),
+            assignment[src],
+            graph.node(dst),
+            assignment[dst],
+        )
+    return total
+
+
+def aggregate_cost(
+    graph: ComputationalGraph,
+    model: CostModel,
+    assignment: Dict[int, ExecutionPlan],
+    *,
+    include_boundary: bool = True,
+) -> float:
+    """``Agg_Cost(G)`` (Equation 1) for a complete plan assignment.
+
+    Raises
+    ------
+    SelectionError
+        If the assignment misses any node.
+    """
+    missing = [n.node_id for n in graph if n.node_id not in assignment]
+    if missing:
+        raise SelectionError(f"assignment misses nodes {missing}")
+    total = 0.0
+    for node in graph:
+        plan = assignment[node.node_id]
+        total += model.node_cost(graph, node, plan)
+        if include_boundary:
+            total += model.boundary_cost(graph, node, plan)
+    total += edge_transform_cost(graph, model, assignment)
+    return total
+
+
+def cost_breakdown(
+    graph: ComputationalGraph,
+    model: CostModel,
+    assignment: Dict[int, ExecutionPlan],
+) -> Dict[str, float]:
+    """Split ``Agg_Cost`` into its Equation 1 components.
+
+    Returns ``{"nodes": ..., "edges": ..., "boundary": ..., "total": ...}``
+    — the view the examples and CLI use to show *where* a selection
+    policy spends its cycles (kernels versus layout transformation).
+    """
+    nodes = 0.0
+    boundary = 0.0
+    for node in graph:
+        plan = assignment[node.node_id]
+        nodes += model.node_cost(graph, node, plan)
+        boundary += model.boundary_cost(graph, node, plan)
+    edges = edge_transform_cost(graph, model, assignment)
+    return {
+        "nodes": nodes,
+        "edges": edges,
+        "boundary": boundary,
+        "total": nodes + edges + boundary,
+    }

@@ -1,0 +1,166 @@
+"""Loop unrolling: shape-adaptive selection versus exhaustive search.
+
+"GCD2 employs a low-cost heuristic solution specifically designed for
+DNN operators … a fast adaptive unrolling setting selection according
+to the shape of output tensors, for example, for GEMM, different
+unrolling settings are designed for varied output shapes (skinny,
+near-square, and fat)" (Section IV-C).
+
+The quality of an unroll setting is *measured*, not assumed: the
+candidate body is generated, packed with the SDA packer, and its packed
+cycles per useful work unit computed — register spilling beyond the 32
+vector registers shows up as real spill instructions in the body, which
+is what makes oversized factors lose (Figure 12).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import Iterable, Optional, Tuple
+
+from repro.isa.instructions import Opcode
+from repro.machine.pipeline import schedule_cycles
+
+#: Unroll factors explored by the exhaustive search (Figure 12's axis).
+DEFAULT_FACTORS = (1, 2, 4, 8, 16)
+
+
+@dataclass(frozen=True)
+class UnrollPlan:
+    """Unroll factors for a GEMM loop nest.
+
+    Attributes
+    ----------
+    outer:
+        Unroll factor of the outer-most (row-panel) loop.
+    mid:
+        Unroll factor of the mid-level (output-column) loop.  The
+        inner-most loop is not a candidate — "vectorization is
+        performed at that level".
+    """
+
+    outer: int = 1
+    mid: int = 1
+
+    @property
+    def label(self) -> str:
+        return f"{self.outer}-{self.mid}"
+
+
+@lru_cache(maxsize=None)
+def body_cycles(instruction: Opcode, outer: int, mid: int) -> int:
+    """Packed cycles of one unrolled iteration (SDA schedule)."""
+    from repro.codegen.matmul import emit_matmul_body
+    from repro.core.packing.sda import pack_instructions
+
+    body = emit_matmul_body(instruction, unroll_m=outer, unroll_n=mid)
+    return schedule_cycles(pack_instructions(body))
+
+
+def kernel_cycles(
+    instruction: Opcode,
+    m: int,
+    k: int,
+    n: int,
+    plan: UnrollPlan,
+) -> float:
+    """Measured cycles to run an (m, k, n) GEMM under ``plan``.
+
+    One iteration covers ``outer`` row panels x ``mid`` output columns
+    x one K step; the loop structure multiplies out the trip count.
+    """
+    per_iter = body_cycles(instruction, plan.outer, plan.mid)
+    row_panels = -(-m // 128)
+    trips = (
+        max(1, -(-row_panels // plan.outer))
+        * max(1, -(-n // plan.mid))
+        * max(1, k)
+    )
+    return float(per_iter * trips)
+
+
+def classify_output_shape(m: int, n: int) -> str:
+    """Skinny / near-square / fat classification of an output tensor."""
+    aspect = m / max(1, n)
+    if aspect >= 4.0:
+        return "skinny"  # tall-and-narrow: many rows per column
+    if aspect <= 0.25:
+        return "fat"     # wide: many columns per row
+    return "near-square"
+
+
+def adaptive_unroll(
+    m: int,
+    n: int,
+    instruction: Opcode = Opcode.VRMPY,
+) -> UnrollPlan:
+    """GCD2's shape-adaptive unroll selection.
+
+    Skinny outputs unroll the outer (row) loop harder, fat outputs the
+    mid (column) loop, near-square outputs take the balanced 4-4 the
+    exhaustive search also finds best; the choice is then clamped to
+    the register budget using the real register-demand model.
+    """
+    from repro.codegen.matmul import (
+        VECTOR_REGISTER_COUNT,
+        registers_required,
+    )
+
+    shape = classify_output_shape(m, n)
+    if shape == "skinny":
+        outer, mid = 8, 2
+    elif shape == "fat":
+        outer, mid = 2, 8
+    else:
+        outer, mid = 4, 4
+    # Never unroll past the available work: outer beyond the row-panel
+    # count (or mid beyond the column count) computes padding only.
+    row_panels = max(1, -(-m // 128))
+    while outer > 1 and outer > row_panels:
+        outer //= 2
+    # Avoid heavy remainder waste: if the last outer tile would be
+    # mostly padding, prefer a smaller factor.
+    while outer > 1:
+        waste = (-(-row_panels // outer) * outer - row_panels) / row_panels
+        if waste <= 0.25:
+            break
+        outer //= 2
+    while mid > 1 and mid > n:
+        mid //= 2
+    while (
+        registers_required(instruction, outer, mid) > VECTOR_REGISTER_COUNT
+        and (outer > 1 or mid > 1)
+    ):
+        if outer >= mid and outer > 1:
+            outer //= 2
+        else:
+            mid //= 2
+    return UnrollPlan(outer=outer, mid=mid)
+
+
+def exhaustive_unroll(
+    instruction: Opcode,
+    m: int,
+    k: int,
+    n: int,
+    factors: Iterable[int] = DEFAULT_FACTORS,
+) -> Tuple[UnrollPlan, float]:
+    """Best unroll setting by exhaustively measuring all factor pairs.
+
+    Returns the winning plan and its measured kernel cycles.  This is
+    the expensive oracle ("generally takes over 3 minutes for each
+    kernel" on device; cheap here, but still quadratic in factors) that
+    the adaptive heuristic is judged against.
+    """
+    factors = tuple(factors)
+    best_plan: Optional[UnrollPlan] = None
+    best_cycles = float("inf")
+    for outer, mid in itertools.product(factors, factors):
+        plan = UnrollPlan(outer=outer, mid=mid)
+        cycles = kernel_cycles(instruction, m, k, n, plan)
+        if cycles < best_cycles:
+            best_plan, best_cycles = plan, cycles
+    assert best_plan is not None
+    return best_plan, best_cycles

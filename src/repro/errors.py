@@ -1,0 +1,50 @@
+"""Exception hierarchy for the GCD2 reproduction.
+
+Every error raised by the library derives from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while
+still being able to distinguish the subsystem that failed.
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the library."""
+
+
+class IsaError(ReproError):
+    """Raised for malformed instructions or illegal register operands."""
+
+
+class PacketError(ReproError):
+    """Raised when a VLIW packet violates a hardware resource constraint."""
+
+
+class LayoutError(ReproError):
+    """Raised for invalid layout conversions or incompatible tensor shapes."""
+
+
+class QuantizationError(ReproError):
+    """Raised for invalid quantization parameters or out-of-range data."""
+
+
+class GraphError(ReproError):
+    """Raised for malformed computational graphs (cycles, dangling edges)."""
+
+
+class ShapeError(GraphError):
+    """Raised when operator input shapes are inconsistent."""
+
+
+class SelectionError(ReproError):
+    """Raised when no execution plan can be selected for an operator."""
+
+
+class SchedulingError(ReproError):
+    """Raised when instruction packing cannot produce a legal schedule."""
+
+
+class CodegenError(ReproError):
+    """Raised when an operator cannot be lowered to pseudo-assembly."""
+
+
+class SimulationError(ReproError):
+    """Raised when the machine simulator encounters an illegal state."""

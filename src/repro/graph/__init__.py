@@ -1,0 +1,30 @@
+"""Computational-graph intermediate representation.
+
+The CG captures data flow plus basic operator information (type, shape,
+parameters) — the IR GCD2 borrows from TVM (Section IV-A).  Vertices
+produce exactly one output tensor; a directed edge ``(vi, vj)`` says the
+output of ``vi`` is one of ``vj``'s inputs.
+"""
+
+from repro.graph.graph import ComputationalGraph, Node
+from repro.graph.builder import GraphBuilder
+from repro.graph import ops
+from repro.graph.execute import ReferenceExecutor
+from repro.graph.passes import (
+    constant_fold,
+    eliminate_dead_nodes,
+    fuse_elementwise,
+    run_default_passes,
+)
+
+__all__ = [
+    "ComputationalGraph",
+    "Node",
+    "GraphBuilder",
+    "ops",
+    "ReferenceExecutor",
+    "constant_fold",
+    "eliminate_dead_nodes",
+    "fuse_elementwise",
+    "run_default_passes",
+]

@@ -1,0 +1,313 @@
+"""Fluent construction of computational graphs.
+
+The builder wraps :class:`~repro.graph.graph.ComputationalGraph` with
+one method per operator family, returning lightweight handles that can
+be fed into further calls — the style used by the model-zoo builders::
+
+    b = GraphBuilder("tiny")
+    x = b.input((1, 3, 224, 224))
+    x = b.conv2d(x, 64, kernel=7, stride=2, padding=3)
+    x = b.relu(x)
+    graph = b.build()
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple, Union
+
+from repro.graph import ops
+from repro.graph.graph import ComputationalGraph, Node
+
+Handle = int
+
+
+class GraphBuilder:
+    """Builds a :class:`ComputationalGraph` one operator at a time."""
+
+    def __init__(self, name: str = "graph") -> None:
+        self.graph = ComputationalGraph(name=name)
+
+    def build(self) -> ComputationalGraph:
+        """Finish and validate the graph."""
+        self.graph.validate()
+        return self.graph
+
+    def shape_of(self, handle: Handle) -> Tuple[int, ...]:
+        """Output shape of the node behind ``handle``."""
+        return self.graph.node(handle).output_shape
+
+    def _add(
+        self,
+        op: ops.Operator,
+        inputs: Sequence[Handle],
+        name: Optional[str],
+    ) -> Handle:
+        return self.graph.add(op, inputs, name=name).node_id
+
+    # -- sources -----------------------------------------------------------
+
+    def input(
+        self, shape: Sequence[int], name: Optional[str] = None
+    ) -> Handle:
+        """Add a graph input of ``shape``."""
+        return self._add(ops.Input(shape=tuple(shape)), (), name)
+
+    def constant(
+        self, shape: Sequence[int], name: Optional[str] = None
+    ) -> Handle:
+        """Add a constant tensor of ``shape``."""
+        return self._add(ops.Constant(shape=tuple(shape)), (), name)
+
+    # -- convolutions -------------------------------------------------------
+
+    def conv2d(
+        self,
+        x: Handle,
+        out_channels: int,
+        kernel: Union[int, Tuple[int, int]] = 3,
+        stride: Union[int, Tuple[int, int]] = 1,
+        padding: Union[int, Tuple[int, int], str] = "same",
+        groups: int = 1,
+        name: Optional[str] = None,
+    ) -> Handle:
+        """2-D convolution; ``padding='same'`` derives pad from kernel."""
+        if padding == "same":
+            k = kernel if isinstance(kernel, int) else kernel[0]
+            padding = k // 2
+        op = ops.Conv2D(
+            out_channels=out_channels,
+            kernel=kernel,
+            stride=stride,
+            padding=padding,
+            groups=groups,
+        )
+        return self._add(op, (x,), name)
+
+    def depthwise_conv2d(
+        self,
+        x: Handle,
+        kernel: Union[int, Tuple[int, int]] = 3,
+        stride: Union[int, Tuple[int, int]] = 1,
+        padding: Union[int, Tuple[int, int], str] = "same",
+        name: Optional[str] = None,
+    ) -> Handle:
+        """Depthwise 2-D convolution."""
+        if padding == "same":
+            k = kernel if isinstance(kernel, int) else kernel[0]
+            padding = k // 2
+        op = ops.DepthwiseConv2D(kernel=kernel, stride=stride, padding=padding)
+        return self._add(op, (x,), name)
+
+    def transpose_conv2d(
+        self,
+        x: Handle,
+        out_channels: int,
+        kernel: Union[int, Tuple[int, int]] = 3,
+        stride: Union[int, Tuple[int, int]] = 2,
+        padding: Union[int, Tuple[int, int]] = 1,
+        name: Optional[str] = None,
+    ) -> Handle:
+        """Transposed convolution (upsampling)."""
+        op = ops.TransposeConv2D(
+            out_channels=out_channels,
+            kernel=kernel,
+            stride=stride,
+            padding=padding,
+        )
+        return self._add(op, (x,), name)
+
+    # -- matrix products ----------------------------------------------------
+
+    def matmul(
+        self,
+        a: Handle,
+        b: Optional[Handle] = None,
+        *,
+        weight_shape: Optional[Tuple[int, int]] = None,
+        transpose_b: bool = False,
+        name: Optional[str] = None,
+    ) -> Handle:
+        """Matrix multiply: two graph operands, or one plus a weight."""
+        op = ops.MatMul(weight_shape=weight_shape, transpose_b=transpose_b)
+        inputs = (a,) if b is None else (a, b)
+        return self._add(op, inputs, name)
+
+    def dense(
+        self, x: Handle, units: int, name: Optional[str] = None
+    ) -> Handle:
+        """Fully connected layer."""
+        return self._add(ops.Dense(units=units), (x,), name)
+
+    # -- elementwise ----------------------------------------------------------
+
+    def add(self, *xs: Handle, name: Optional[str] = None) -> Handle:
+        """Elementwise addition of two or three tensors."""
+        return self._add(ops.Add(), xs, name)
+
+    def sub(self, a: Handle, b: Handle, name: Optional[str] = None) -> Handle:
+        """Elementwise subtraction."""
+        return self._add(ops.Sub(), (a, b), name)
+
+    def mul(self, a: Handle, b: Handle, name: Optional[str] = None) -> Handle:
+        """Elementwise multiplication."""
+        return self._add(ops.Mul(), (a, b), name)
+
+    def div(self, a: Handle, b: Handle, name: Optional[str] = None) -> Handle:
+        """Elementwise division."""
+        return self._add(ops.Div(), (a, b), name)
+
+    def pow(
+        self,
+        x: Handle,
+        exponent: float = 2.0,
+        name: Optional[str] = None,
+    ) -> Handle:
+        """Elementwise power."""
+        return self._add(ops.Pow(exponent=exponent), (x,), name)
+
+    # -- activations ----------------------------------------------------------
+
+    def relu(self, x: Handle, name: Optional[str] = None) -> Handle:
+        """ReLU activation."""
+        return self._add(ops.ReLU(), (x,), name)
+
+    def relu6(self, x: Handle, name: Optional[str] = None) -> Handle:
+        """ReLU6 activation."""
+        return self._add(ops.ReLU6(), (x,), name)
+
+    def hardswish(self, x: Handle, name: Optional[str] = None) -> Handle:
+        """Hard-swish activation."""
+        return self._add(ops.HardSwish(), (x,), name)
+
+    def sigmoid(self, x: Handle, name: Optional[str] = None) -> Handle:
+        """Sigmoid activation."""
+        return self._add(ops.Sigmoid(), (x,), name)
+
+    def tanh(self, x: Handle, name: Optional[str] = None) -> Handle:
+        """Tanh activation."""
+        return self._add(ops.Tanh(), (x,), name)
+
+    def gelu(self, x: Handle, name: Optional[str] = None) -> Handle:
+        """GELU activation."""
+        return self._add(ops.GELU(), (x,), name)
+
+    def softmax(self, x: Handle, name: Optional[str] = None) -> Handle:
+        """Softmax along the last axis."""
+        return self._add(ops.Softmax(), (x,), name)
+
+    def layer_norm(self, x: Handle, name: Optional[str] = None) -> Handle:
+        """Layer normalisation."""
+        return self._add(ops.LayerNorm(), (x,), name)
+
+    def instance_norm(self, x: Handle, name: Optional[str] = None) -> Handle:
+        """Instance normalisation."""
+        return self._add(ops.InstanceNorm(), (x,), name)
+
+    def batch_norm(self, x: Handle, name: Optional[str] = None) -> Handle:
+        """Batch normalisation."""
+        return self._add(ops.BatchNorm(), (x,), name)
+
+    # -- pooling / resize -------------------------------------------------------
+
+    def max_pool(
+        self,
+        x: Handle,
+        kernel: Union[int, Tuple[int, int]] = 2,
+        stride: Union[int, Tuple[int, int]] = 2,
+        padding: Union[int, Tuple[int, int]] = 0,
+        name: Optional[str] = None,
+    ) -> Handle:
+        """2-D max pooling."""
+        op = ops.MaxPool2D(kernel=kernel, stride=stride, padding=padding)
+        return self._add(op, (x,), name)
+
+    def avg_pool(
+        self,
+        x: Handle,
+        kernel: Union[int, Tuple[int, int]] = 2,
+        stride: Union[int, Tuple[int, int]] = 2,
+        padding: Union[int, Tuple[int, int]] = 0,
+        name: Optional[str] = None,
+    ) -> Handle:
+        """2-D average pooling."""
+        op = ops.AvgPool2D(kernel=kernel, stride=stride, padding=padding)
+        return self._add(op, (x,), name)
+
+    def global_avg_pool(self, x: Handle, name: Optional[str] = None) -> Handle:
+        """Global average pooling."""
+        return self._add(ops.GlobalAvgPool(), (x,), name)
+
+    def reduce_mean(
+        self, x: Handle, axis: int = -1, name: Optional[str] = None
+    ) -> Handle:
+        """Mean along ``axis`` (keepdims)."""
+        return self._add(ops.ReduceMean(axis=axis), (x,), name)
+
+    def resize(
+        self, x: Handle, scale: int = 2, name: Optional[str] = None
+    ) -> Handle:
+        """Spatial resize by an integer factor."""
+        return self._add(ops.Resize2D(scale=scale), (x,), name)
+
+    def depth_to_space(
+        self, x: Handle, block: int = 2, name: Optional[str] = None
+    ) -> Handle:
+        """Pixel shuffle."""
+        return self._add(ops.DepthToSpace(block=block), (x,), name)
+
+    # -- structural ---------------------------------------------------------------
+
+    def reshape(
+        self,
+        x: Handle,
+        target: Sequence[int],
+        name: Optional[str] = None,
+    ) -> Handle:
+        """Reshape to ``target`` (one dim may be -1)."""
+        return self._add(ops.Reshape(target=tuple(target)), (x,), name)
+
+    def transpose(
+        self,
+        x: Handle,
+        perm: Sequence[int] = (),
+        name: Optional[str] = None,
+    ) -> Handle:
+        """Permute axes."""
+        return self._add(ops.Transpose(perm=tuple(perm)), (x,), name)
+
+    def concat(
+        self, xs: Sequence[Handle], axis: int = 1, name: Optional[str] = None
+    ) -> Handle:
+        """Concatenate along ``axis``."""
+        return self._add(ops.Concat(axis=axis), tuple(xs), name)
+
+    def slice(
+        self,
+        x: Handle,
+        axis: int,
+        begin: int,
+        length: int,
+        name: Optional[str] = None,
+    ) -> Handle:
+        """Static slice along ``axis``."""
+        op = ops.Slice(axis=axis, begin=begin, length=length)
+        return self._add(op, (x,), name)
+
+    def pad(
+        self,
+        x: Handle,
+        pads: Union[int, Tuple[int, int]] = 1,
+        name: Optional[str] = None,
+    ) -> Handle:
+        """Zero-pad spatial dims."""
+        return self._add(ops.Pad(pads=pads), (x,), name)
+
+    def embedding(
+        self,
+        x: Handle,
+        vocab: int,
+        dim: int,
+        name: Optional[str] = None,
+    ) -> Handle:
+        """Embedding lookup."""
+        return self._add(ops.Embedding(vocab=vocab, dim=dim), (x,), name)

@@ -1,0 +1,244 @@
+"""The computational graph container.
+
+A :class:`ComputationalGraph` is a DAG of :class:`Node` objects.  Every
+node holds one operator and produces exactly one output tensor; edges
+record which node outputs feed which node inputs (in positional order).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+
+from repro.errors import GraphError
+from repro.graph.ops import Operator, Shape
+
+
+@dataclass
+class Node:
+    """One vertex of the computational graph.
+
+    Attributes
+    ----------
+    node_id:
+        Unique integer id within the graph.
+    name:
+        Human-readable name (unique within the graph).
+    op:
+        The operator this vertex performs.
+    inputs:
+        Node ids whose outputs feed this node, in positional order.
+    output_shape:
+        Filled in by shape inference at insertion time.
+    """
+
+    node_id: int
+    name: str
+    op: Operator
+    inputs: Tuple[int, ...] = ()
+    output_shape: Shape = ()
+
+    @property
+    def op_type(self) -> str:
+        return self.op.op_type
+
+
+class ComputationalGraph:
+    """A DAG of operators with per-node shape inference.
+
+    Nodes must be added in topological order (inputs before consumers),
+    which the builder guarantees; shapes are inferred eagerly so that a
+    malformed graph fails at construction, not at compile time.
+    """
+
+    def __init__(self, name: str = "graph") -> None:
+        self.name = name
+        self._nodes: Dict[int, Node] = {}
+        self._successors: Dict[int, List[int]] = {}
+        self._order: List[int] = []
+        self._names: Set[str] = set()
+
+    # -- construction -----------------------------------------------------
+
+    def add(
+        self,
+        op: Operator,
+        inputs: Sequence[int] = (),
+        name: Optional[str] = None,
+    ) -> Node:
+        """Insert a node computing ``op`` over ``inputs``; returns it."""
+        node_id = len(self._order)
+        for input_id in inputs:
+            if input_id not in self._nodes:
+                raise GraphError(
+                    f"node input {input_id} does not exist (inputs must be "
+                    f"added before consumers)"
+                )
+        if name is None:
+            name = f"{op.op_type.lower()}_{node_id}"
+        if name in self._names:
+            raise GraphError(f"duplicate node name {name!r}")
+        input_shapes = [self._nodes[i].output_shape for i in inputs]
+        output_shape = op.infer_shape(input_shapes)
+        node = Node(
+            node_id=node_id,
+            name=name,
+            op=op,
+            inputs=tuple(inputs),
+            output_shape=output_shape,
+        )
+        self._nodes[node_id] = node
+        self._successors[node_id] = []
+        for input_id in inputs:
+            self._successors[input_id].append(node_id)
+        self._order.append(node_id)
+        self._names.add(name)
+        return node
+
+    # -- queries ----------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._order)
+
+    def __iter__(self) -> Iterator[Node]:
+        """Nodes in topological order."""
+        return (self._nodes[i] for i in self._order)
+
+    def __contains__(self, node_id: int) -> bool:
+        return node_id in self._nodes
+
+    def node(self, node_id: int) -> Node:
+        """The node with ``node_id``."""
+        try:
+            return self._nodes[node_id]
+        except KeyError as exc:
+            raise GraphError(f"no node with id {node_id}") from exc
+
+    def nodes(self) -> List[Node]:
+        """All nodes in topological order."""
+        return [self._nodes[i] for i in self._order]
+
+    def predecessors(self, node_id: int) -> List[Node]:
+        """The paper's ``Pre(O)``: nodes feeding ``node_id``."""
+        return [self._nodes[i] for i in self.node(node_id).inputs]
+
+    def successors(self, node_id: int) -> List[Node]:
+        """Nodes consuming the output of ``node_id``."""
+        self.node(node_id)
+        return [self._nodes[i] for i in self._successors[node_id]]
+
+    def out_degree(self, node_id: int) -> int:
+        """Number of consumers of ``node_id``'s output."""
+        self.node(node_id)
+        return len(self._successors[node_id])
+
+    def edges(self) -> List[Tuple[int, int]]:
+        """All (producer, consumer) edges."""
+        return [
+            (src, dst)
+            for src, dsts in self._successors.items()
+            for dst in dsts
+        ]
+
+    def input_nodes(self) -> List[Node]:
+        """Nodes with no inputs (graph inputs and constants)."""
+        return [n for n in self if not n.inputs]
+
+    def output_nodes(self) -> List[Node]:
+        """Nodes whose output nothing consumes (graph outputs)."""
+        return [n for n in self if not self._successors[n.node_id]]
+
+    def operator_count(self, *, exclude_io: bool = True) -> int:
+        """Operator count as the paper reports it (placeholders excluded)."""
+        if not exclude_io:
+            return len(self)
+        return sum(
+            1 for n in self if n.op_type not in ("Input", "Constant")
+        )
+
+    def total_macs(self) -> int:
+        """Total MACs of one inference."""
+        total = 0
+        for node in self:
+            input_shapes = [
+                self._nodes[i].output_shape for i in node.inputs
+            ]
+            total += node.op.macs(input_shapes, node.output_shape)
+        return total
+
+    def node_macs(self, node_id: int) -> int:
+        """MACs of one node."""
+        node = self.node(node_id)
+        input_shapes = [self._nodes[i].output_shape for i in node.inputs]
+        return node.op.macs(input_shapes, node.output_shape)
+
+    def node_matmul_dims(self, node_id: int):
+        """The (M, K, N) GEMM view of one node, or ``None``."""
+        node = self.node(node_id)
+        input_shapes = [self._nodes[i].output_shape for i in node.inputs]
+        return node.op.matmul_dims(input_shapes, node.output_shape)
+
+    # -- structure --------------------------------------------------------
+
+    def is_linear_chain(self) -> bool:
+        """Whether the compute nodes form a single chain.
+
+        This is the case where the Equation 2 dynamic program is exact.
+        """
+        for node in self:
+            if self.out_degree(node.node_id) > 1:
+                return False
+            if len(node.inputs) > 1:
+                return False
+        return True
+
+    def subgraph(self, node_ids: Iterable[int]) -> "ComputationalGraph":
+        """Extract the induced subgraph over ``node_ids``.
+
+        Edges to nodes outside the set are dropped and replaced with
+        fresh :class:`~repro.graph.ops.Input` placeholders, matching how
+        the paper's Figure 10 extracts "partial computational graphs …
+        using contiguous operators" from ResNet-50.
+        """
+        from repro.graph.ops import Input
+
+        keep = [i for i in self._order if i in set(node_ids)]
+        sub = ComputationalGraph(name=f"{self.name}_sub")
+        mapping: Dict[int, int] = {}
+        for old_id in keep:
+            node = self._nodes[old_id]
+            new_inputs = []
+            for input_id in node.inputs:
+                if input_id in mapping:
+                    new_inputs.append(mapping[input_id])
+                else:
+                    shape = self._nodes[input_id].output_shape
+                    placeholder = sub.add(
+                        Input(shape=shape),
+                        name=f"in_{old_id}_{input_id}",
+                    )
+                    mapping[input_id] = placeholder.node_id
+                    new_inputs.append(placeholder.node_id)
+            new_node = sub.add(node.op, new_inputs, name=node.name)
+            mapping[old_id] = new_node.node_id
+        return sub
+
+    def validate(self) -> None:
+        """Check structural invariants; raises :class:`GraphError`."""
+        seen: Set[int] = set()
+        for node_id in self._order:
+            node = self._nodes[node_id]
+            for input_id in node.inputs:
+                if input_id not in seen:
+                    raise GraphError(
+                        f"node {node.name} consumes {input_id} before it is "
+                        f"defined — not a topological order"
+                    )
+            seen.add(node_id)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<ComputationalGraph {self.name!r}: "
+            f"{self.operator_count()} operators, "
+            f"{self.total_macs() / 1e9:.2f} GMACs>"
+        )

@@ -1,0 +1,641 @@
+"""Operator definitions for the computational graph.
+
+Each operator knows how to infer its output shape, how many MACs it
+performs, and whether it is a pure *layout transformation* operator
+(Reshape/Transpose — "they do not perform any computations but change
+the shape of the operand", Section IV-B), which matters to the graph
+partitioner.
+
+Shape conventions
+-----------------
+* images: ``(N, C, H, W)``;
+* sequences: ``(N, T, D)``;
+* matrices: ``(M, K)``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import ShapeError
+
+Shape = Tuple[int, ...]
+
+
+def _pair(value) -> Tuple[int, int]:
+    if isinstance(value, (tuple, list)):
+        first, second = value
+        return int(first), int(second)
+    return int(value), int(value)
+
+
+def _conv_out(size: int, kernel: int, stride: int, padding: int) -> int:
+    out = (size + 2 * padding - kernel) // stride + 1
+    if out <= 0:
+        raise ShapeError(
+            f"convolution output collapsed: size={size} kernel={kernel} "
+            f"stride={stride} padding={padding}"
+        )
+    return out
+
+
+@dataclass
+class Operator:
+    """Base class for all graph operators.
+
+    Subclasses override :meth:`infer_shape` and :meth:`macs`.  The
+    ``fused_activation`` slot is populated by the fusion pass.
+    """
+
+    fused_activation: Optional[str] = field(default=None, init=False)
+
+    @property
+    def op_type(self) -> str:
+        """Operator type name (the paper's vertex label)."""
+        return type(self).__name__
+
+    @property
+    def is_layout_transform(self) -> bool:
+        """Whether this is a pure layout-change operator."""
+        return False
+
+    @property
+    def is_compute_heavy(self) -> bool:
+        """Whether the operator maps onto the vector multiply units."""
+        return False
+
+    def infer_shape(self, input_shapes: Sequence[Shape]) -> Shape:
+        """Output shape given input shapes."""
+        raise NotImplementedError
+
+    def macs(self, input_shapes: Sequence[Shape], output_shape: Shape) -> int:
+        """Multiply-accumulate count for one execution."""
+        return 0
+
+    def matmul_dims(
+        self, input_shapes: Sequence[Shape], output_shape: Shape
+    ) -> Optional[Tuple[int, int, int]]:
+        """(M, K, N) GEMM view of the operator, if it has one.
+
+        Compute-heavy operators are lowered through a GEMM-shaped inner
+        kernel; the (M, K, N) triple drives the instruction/layout cost
+        model.  Returns ``None`` for non-GEMM operators.
+        """
+        return None
+
+
+def _expect_inputs(op: Operator, shapes: Sequence[Shape], count: int) -> None:
+    if len(shapes) != count:
+        raise ShapeError(
+            f"{op.op_type} expects {count} input(s), got {len(shapes)}"
+        )
+
+
+# ---------------------------------------------------------------------------
+# Convolutions and matrix products
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Conv2D(Operator):
+    """2-D convolution (NCHW), optionally grouped."""
+
+    out_channels: int = 1
+    kernel: Tuple[int, int] = (3, 3)
+    stride: Tuple[int, int] = (1, 1)
+    padding: Tuple[int, int] = (1, 1)
+    groups: int = 1
+
+    def __post_init__(self) -> None:
+        self.kernel = _pair(self.kernel)
+        self.stride = _pair(self.stride)
+        self.padding = _pair(self.padding)
+
+    @property
+    def is_compute_heavy(self) -> bool:
+        return True
+
+    def infer_shape(self, input_shapes: Sequence[Shape]) -> Shape:
+        _expect_inputs(self, input_shapes, 1)
+        n, c, h, w = input_shapes[0]
+        if c % self.groups:
+            raise ShapeError(
+                f"channels {c} not divisible by groups {self.groups}"
+            )
+        oh = _conv_out(h, self.kernel[0], self.stride[0], self.padding[0])
+        ow = _conv_out(w, self.kernel[1], self.stride[1], self.padding[1])
+        return (n, self.out_channels, oh, ow)
+
+    def macs(self, input_shapes: Sequence[Shape], output_shape: Shape) -> int:
+        n, c, _, _ = input_shapes[0]
+        _, oc, oh, ow = output_shape
+        kh, kw = self.kernel
+        return n * oc * oh * ow * (c // self.groups) * kh * kw
+
+    def matmul_dims(self, input_shapes, output_shape):
+        # im2col view: rows = output pixels, K = c/g * kh * kw,
+        # N = output channels per group (summed over groups via M).
+        n, c, _, _ = input_shapes[0]
+        _, oc, oh, ow = output_shape
+        kh, kw = self.kernel
+        return (n * oh * ow, (c // self.groups) * kh * kw, oc)
+
+
+@dataclass
+class DepthwiseConv2D(Operator):
+    """Depthwise 2-D convolution (one filter per channel)."""
+
+    kernel: Tuple[int, int] = (3, 3)
+    stride: Tuple[int, int] = (1, 1)
+    padding: Tuple[int, int] = (1, 1)
+    multiplier: int = 1
+
+    def __post_init__(self) -> None:
+        self.kernel = _pair(self.kernel)
+        self.stride = _pair(self.stride)
+        self.padding = _pair(self.padding)
+
+    @property
+    def is_compute_heavy(self) -> bool:
+        return True
+
+    def infer_shape(self, input_shapes: Sequence[Shape]) -> Shape:
+        _expect_inputs(self, input_shapes, 1)
+        n, c, h, w = input_shapes[0]
+        oh = _conv_out(h, self.kernel[0], self.stride[0], self.padding[0])
+        ow = _conv_out(w, self.kernel[1], self.stride[1], self.padding[1])
+        return (n, c * self.multiplier, oh, ow)
+
+    def macs(self, input_shapes: Sequence[Shape], output_shape: Shape) -> int:
+        _, oc, oh, ow = output_shape
+        kh, kw = self.kernel
+        n = input_shapes[0][0]
+        return n * oc * oh * ow * kh * kw
+
+    def matmul_dims(self, input_shapes, output_shape):
+        _, oc, oh, ow = output_shape
+        kh, kw = self.kernel
+        return (output_shape[0] * oh * ow, kh * kw, oc)
+
+
+@dataclass
+class TransposeConv2D(Operator):
+    """Transposed (fractionally strided) convolution — CycleGAN decoder."""
+
+    out_channels: int = 1
+    kernel: Tuple[int, int] = (3, 3)
+    stride: Tuple[int, int] = (2, 2)
+    padding: Tuple[int, int] = (1, 1)
+
+    def __post_init__(self) -> None:
+        self.kernel = _pair(self.kernel)
+        self.stride = _pair(self.stride)
+        self.padding = _pair(self.padding)
+
+    @property
+    def is_compute_heavy(self) -> bool:
+        return True
+
+    def infer_shape(self, input_shapes: Sequence[Shape]) -> Shape:
+        _expect_inputs(self, input_shapes, 1)
+        n, c, h, w = input_shapes[0]
+        oh = (h - 1) * self.stride[0] - 2 * self.padding[0] + self.kernel[0]
+        ow = (w - 1) * self.stride[1] - 2 * self.padding[1] + self.kernel[1]
+        if oh <= 0 or ow <= 0:
+            raise ShapeError(f"transpose conv output collapsed to {oh}x{ow}")
+        return (n, self.out_channels, oh, ow)
+
+    def macs(self, input_shapes: Sequence[Shape], output_shape: Shape) -> int:
+        n, c, h, w = input_shapes[0]
+        kh, kw = self.kernel
+        return n * h * w * c * self.out_channels * kh * kw
+
+    def matmul_dims(self, input_shapes, output_shape):
+        n, c, h, w = input_shapes[0]
+        kh, kw = self.kernel
+        return (n * h * w, c, self.out_channels * kh * kw)
+
+
+@dataclass
+class MatMul(Operator):
+    """Batched matrix multiplication: ``(..., M, K) x (..., K, N)``.
+
+    With ``weight_shape`` set, the second operand is a constant weight
+    and the node takes a single graph input (a fully connected layer);
+    otherwise both operands come from the graph (attention products —
+    "more variants of MatMul" is one reason GCD2 runs TinyBERT when
+    TFLite/SNPE cannot).
+    """
+
+    weight_shape: Optional[Tuple[int, int]] = None
+    transpose_b: bool = False
+
+    @property
+    def is_compute_heavy(self) -> bool:
+        return True
+
+    def _operand_shapes(
+        self, input_shapes: Sequence[Shape]
+    ) -> Tuple[Shape, Shape]:
+        if self.weight_shape is not None:
+            _expect_inputs(self, input_shapes, 1)
+            return input_shapes[0], tuple(self.weight_shape)
+        _expect_inputs(self, input_shapes, 2)
+        return input_shapes[0], input_shapes[1]
+
+    def infer_shape(self, input_shapes: Sequence[Shape]) -> Shape:
+        a, b = self._operand_shapes(input_shapes)
+        if len(a) < 2 or len(b) < 2:
+            raise ShapeError(f"matmul operands must be >=2-D: {a} x {b}")
+        bk, bn = (b[-1], b[-2]) if self.transpose_b else (b[-2], b[-1])
+        if a[-1] != bk:
+            raise ShapeError(f"matmul inner dims differ: {a} x {b}")
+        return tuple(a[:-1]) + (bn,)
+
+    def macs(self, input_shapes: Sequence[Shape], output_shape: Shape) -> int:
+        a, _ = self._operand_shapes(input_shapes)
+        k = a[-1]
+        return int(math.prod(output_shape)) * k
+
+    def matmul_dims(self, input_shapes, output_shape):
+        a, _ = self._operand_shapes(input_shapes)
+        m = int(math.prod(output_shape[:-1]))
+        return (m, a[-1], output_shape[-1])
+
+
+@dataclass
+class Dense(Operator):
+    """Fully connected layer: flatten trailing dims, multiply by weight."""
+
+    units: int = 1
+
+    @property
+    def is_compute_heavy(self) -> bool:
+        return True
+
+    def infer_shape(self, input_shapes: Sequence[Shape]) -> Shape:
+        _expect_inputs(self, input_shapes, 1)
+        shape = input_shapes[0]
+        return (shape[0], self.units)
+
+    def macs(self, input_shapes: Sequence[Shape], output_shape: Shape) -> int:
+        features = int(math.prod(input_shapes[0][1:]))
+        return output_shape[0] * features * self.units
+
+    def matmul_dims(self, input_shapes, output_shape):
+        features = int(math.prod(input_shapes[0][1:]))
+        return (output_shape[0], features, self.units)
+
+
+# ---------------------------------------------------------------------------
+# Elementwise and activations
+# ---------------------------------------------------------------------------
+
+
+def _broadcast(shapes: Sequence[Shape]) -> Shape:
+    rank = max(len(s) for s in shapes)
+    padded = [(1,) * (rank - len(s)) + tuple(s) for s in shapes]
+    out = []
+    for dims in zip(*padded):
+        sizes = {d for d in dims if d != 1}
+        if len(sizes) > 1:
+            raise ShapeError(f"cannot broadcast shapes {shapes}")
+        out.append(max(dims))
+    return tuple(out)
+
+
+@dataclass
+class _Elementwise(Operator):
+    """Common base for broadcasting elementwise binary operators."""
+
+    def infer_shape(self, input_shapes: Sequence[Shape]) -> Shape:
+        if not 1 <= len(input_shapes) <= 3:
+            raise ShapeError(
+                f"{self.op_type} expects 1-3 inputs, got {len(input_shapes)}"
+            )
+        return _broadcast(input_shapes)
+
+
+@dataclass
+class Add(_Elementwise):
+    """Elementwise addition (residual connections, bias adds)."""
+
+
+@dataclass
+class Sub(_Elementwise):
+    """Elementwise subtraction."""
+
+
+@dataclass
+class Mul(_Elementwise):
+    """Elementwise (Hadamard) multiplication — SE blocks, gating."""
+
+
+@dataclass
+class Div(_Elementwise):
+    """Elementwise division.
+
+    Expensive on the DSP; GCD2's "other optimizations" replace it with a
+    table lookup (Section IV-D), modelled by the codegen LUT rewrite.
+    """
+
+
+@dataclass
+class Pow(_Elementwise):
+    """Elementwise power — one of the operators GCD2 uniquely supports."""
+
+    exponent: float = 2.0
+
+
+@dataclass
+class _Activation(Operator):
+    """Common base for unary activations."""
+
+    def infer_shape(self, input_shapes: Sequence[Shape]) -> Shape:
+        _expect_inputs(self, input_shapes, 1)
+        return input_shapes[0]
+
+
+@dataclass
+class ReLU(_Activation):
+    """Rectified linear unit."""
+
+
+@dataclass
+class ReLU6(_Activation):
+    """Clipped ReLU used by mobile CNNs."""
+
+
+@dataclass
+class HardSwish(_Activation):
+    """MobileNet-V3's hard-swish activation."""
+
+
+@dataclass
+class Sigmoid(_Activation):
+    """Logistic activation (SE gates, EfficientNet)."""
+
+
+@dataclass
+class Tanh(_Activation):
+    """Hyperbolic tangent (CycleGAN/FST output heads)."""
+
+
+@dataclass
+class GELU(_Activation):
+    """Gaussian error linear unit (transformer FFNs)."""
+
+
+@dataclass
+class Softmax(_Activation):
+    """Softmax along the last axis (attention, classifier heads)."""
+
+
+@dataclass
+class LayerNorm(_Activation):
+    """Layer normalisation over the last axis (transformers)."""
+
+
+@dataclass
+class InstanceNorm(_Activation):
+    """Instance normalisation (style transfer / CycleGAN)."""
+
+
+@dataclass
+class BatchNorm(_Activation):
+    """Batch normalisation (usually constant-folded into convs)."""
+
+
+# ---------------------------------------------------------------------------
+# Pooling / reduction / resize
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class _Pool2D(Operator):
+    kernel: Tuple[int, int] = (2, 2)
+    stride: Tuple[int, int] = (2, 2)
+    padding: Tuple[int, int] = (0, 0)
+
+    def __post_init__(self) -> None:
+        self.kernel = _pair(self.kernel)
+        self.stride = _pair(self.stride)
+        self.padding = _pair(self.padding)
+
+    def infer_shape(self, input_shapes: Sequence[Shape]) -> Shape:
+        _expect_inputs(self, input_shapes, 1)
+        n, c, h, w = input_shapes[0]
+        oh = _conv_out(h, self.kernel[0], self.stride[0], self.padding[0])
+        ow = _conv_out(w, self.kernel[1], self.stride[1], self.padding[1])
+        return (n, c, oh, ow)
+
+
+@dataclass
+class MaxPool2D(_Pool2D):
+    """2-D max pooling."""
+
+
+@dataclass
+class AvgPool2D(_Pool2D):
+    """2-D average pooling."""
+
+
+@dataclass
+class GlobalAvgPool(Operator):
+    """Global average pooling to (N, C, 1, 1)."""
+
+    def infer_shape(self, input_shapes: Sequence[Shape]) -> Shape:
+        _expect_inputs(self, input_shapes, 1)
+        n, c = input_shapes[0][:2]
+        return (n, c, 1, 1)
+
+
+@dataclass
+class ReduceMean(Operator):
+    """Mean over one axis, keeping dims."""
+
+    axis: int = -1
+
+    def infer_shape(self, input_shapes: Sequence[Shape]) -> Shape:
+        _expect_inputs(self, input_shapes, 1)
+        shape = list(input_shapes[0])
+        shape[self.axis] = 1
+        return tuple(shape)
+
+
+@dataclass
+class Resize2D(Operator):
+    """Nearest/bilinear spatial resize (EfficientDet BiFPN, WDSR tail)."""
+
+    scale: int = 2
+
+    def infer_shape(self, input_shapes: Sequence[Shape]) -> Shape:
+        _expect_inputs(self, input_shapes, 1)
+        n, c, h, w = input_shapes[0]
+        return (n, c, h * self.scale, w * self.scale)
+
+
+@dataclass
+class DepthToSpace(Operator):
+    """Pixel shuffle: trade channels for spatial resolution (WDSR)."""
+
+    block: int = 2
+
+    def infer_shape(self, input_shapes: Sequence[Shape]) -> Shape:
+        _expect_inputs(self, input_shapes, 1)
+        n, c, h, w = input_shapes[0]
+        if c % (self.block ** 2):
+            raise ShapeError(
+                f"channels {c} not divisible by block^2 {self.block ** 2}"
+            )
+        return (n, c // self.block ** 2, h * self.block, w * self.block)
+
+
+# ---------------------------------------------------------------------------
+# Layout / structural operators
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Reshape(Operator):
+    """Pure reshape — a layout transformation operator (Section IV-B)."""
+
+    target: Tuple[int, ...] = ()
+
+    @property
+    def is_layout_transform(self) -> bool:
+        return True
+
+    def infer_shape(self, input_shapes: Sequence[Shape]) -> Shape:
+        _expect_inputs(self, input_shapes, 1)
+        in_elems = int(math.prod(input_shapes[0]))
+        target = list(self.target)
+        if target.count(-1) > 1:
+            raise ShapeError(f"reshape target {target} has multiple -1 dims")
+        if -1 in target:
+            known = int(math.prod(d for d in target if d != -1))
+            if known == 0 or in_elems % known:
+                raise ShapeError(
+                    f"cannot reshape {input_shapes[0]} into {self.target}"
+                )
+            target[target.index(-1)] = in_elems // known
+        if int(math.prod(target)) != in_elems:
+            raise ShapeError(
+                f"cannot reshape {input_shapes[0]} into {self.target}"
+            )
+        return tuple(target)
+
+
+@dataclass
+class Transpose(Operator):
+    """Pure axis permutation — a layout transformation operator."""
+
+    perm: Tuple[int, ...] = ()
+
+    @property
+    def is_layout_transform(self) -> bool:
+        return True
+
+    def infer_shape(self, input_shapes: Sequence[Shape]) -> Shape:
+        _expect_inputs(self, input_shapes, 1)
+        shape = input_shapes[0]
+        perm = self.perm or tuple(reversed(range(len(shape))))
+        if sorted(perm) != list(range(len(shape))):
+            raise ShapeError(f"invalid perm {perm} for shape {shape}")
+        return tuple(shape[p] for p in perm)
+
+
+@dataclass
+class Concat(Operator):
+    """Concatenation along one axis."""
+
+    axis: int = 1
+
+    def infer_shape(self, input_shapes: Sequence[Shape]) -> Shape:
+        if len(input_shapes) < 2:
+            raise ShapeError("concat needs at least two inputs")
+        base = list(input_shapes[0])
+        axis = self.axis % len(base)
+        for shape in input_shapes[1:]:
+            if len(shape) != len(base):
+                raise ShapeError(f"concat rank mismatch: {input_shapes}")
+            for i, (a, b) in enumerate(zip(base, shape)):
+                if i == axis:
+                    base[i] += b
+                elif a != b:
+                    raise ShapeError(f"concat dim mismatch: {input_shapes}")
+        return tuple(base)
+
+
+@dataclass
+class Slice(Operator):
+    """Static slice along one axis."""
+
+    axis: int = 1
+    begin: int = 0
+    length: int = 1
+
+    def infer_shape(self, input_shapes: Sequence[Shape]) -> Shape:
+        _expect_inputs(self, input_shapes, 1)
+        shape = list(input_shapes[0])
+        axis = self.axis % len(shape)
+        if self.begin + self.length > shape[axis]:
+            raise ShapeError(
+                f"slice [{self.begin}:{self.begin + self.length}] exceeds "
+                f"dim {shape[axis]}"
+            )
+        shape[axis] = self.length
+        return tuple(shape)
+
+
+@dataclass
+class Pad(Operator):
+    """Zero padding of spatial dims."""
+
+    pads: Tuple[int, int] = (1, 1)
+
+    def __post_init__(self) -> None:
+        self.pads = _pair(self.pads)
+
+    def infer_shape(self, input_shapes: Sequence[Shape]) -> Shape:
+        _expect_inputs(self, input_shapes, 1)
+        n, c, h, w = input_shapes[0]
+        return (n, c, h + 2 * self.pads[0], w + 2 * self.pads[1])
+
+
+@dataclass
+class Embedding(Operator):
+    """Token id lookup into an embedding table (transformer front end)."""
+
+    vocab: int = 30522
+    dim: int = 312
+
+    def infer_shape(self, input_shapes: Sequence[Shape]) -> Shape:
+        _expect_inputs(self, input_shapes, 1)
+        return tuple(input_shapes[0]) + (self.dim,)
+
+
+@dataclass
+class Constant(Operator):
+    """A constant tensor (weights exposed at graph level)."""
+
+    shape: Tuple[int, ...] = (1,)
+
+    def infer_shape(self, input_shapes: Sequence[Shape]) -> Shape:
+        if input_shapes:
+            raise ShapeError("constants take no inputs")
+        return tuple(self.shape)
+
+
+@dataclass
+class Input(Operator):
+    """A graph input placeholder."""
+
+    shape: Tuple[int, ...] = (1,)
+
+    def infer_shape(self, input_shapes: Sequence[Shape]) -> Shape:
+        if input_shapes:
+            raise ShapeError("inputs take no inputs")
+        return tuple(self.shape)

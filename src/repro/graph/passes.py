@@ -1,0 +1,167 @@
+"""Graph-level optimization passes.
+
+GCD2 "converts the post-training quantized model to a computational
+graph and optimizes it with various techniques, e.g., constant folding,
+by leveraging the existing framework" (Section IV-D).  The passes here
+provide that substrate: constant folding, dead-node elimination, and
+activation fusion (the conclusion's "DSP-friendly operator fusion"
+future-work item, implemented as an extension).
+"""
+
+from __future__ import annotations
+
+import copy
+from typing import Callable, Dict, List, Optional, Set
+
+from repro.graph import ops
+from repro.graph.graph import ComputationalGraph, Node
+
+#: Activations that can be folded into a preceding compute-heavy node.
+_FUSABLE_ACTIVATIONS: Dict[type, str] = {
+    ops.ReLU: "relu",
+    ops.ReLU6: "relu6",
+    ops.HardSwish: "hardswish",
+    ops.Sigmoid: "sigmoid",
+    ops.Tanh: "tanh",
+}
+
+#: Operators safe to fold when all their inputs are constants.
+_FOLDABLE = (
+    ops.Add,
+    ops.Sub,
+    ops.Mul,
+    ops.Div,
+    ops.Pow,
+    ops.Reshape,
+    ops.Transpose,
+    ops.Concat,
+    ops.Slice,
+)
+
+
+def _rebuild(
+    graph: ComputationalGraph,
+    *,
+    drop: Optional[Set[int]] = None,
+    redirect: Optional[Dict[int, int]] = None,
+    replace_op: Optional[Dict[int, ops.Operator]] = None,
+) -> ComputationalGraph:
+    """Rebuild ``graph`` dropping, redirecting and transforming nodes.
+
+    ``redirect`` maps a dropped node's id to the (old) id whose output
+    its consumers should read instead.
+    """
+    drop = drop or set()
+    redirect = redirect or {}
+    replace_op = replace_op or {}
+    out = ComputationalGraph(name=graph.name)
+    mapping: Dict[int, int] = {}
+
+    def resolve(old_id: int) -> int:
+        while old_id in redirect:
+            old_id = redirect[old_id]
+        return mapping[old_id]
+
+    for node in graph:
+        if node.node_id in drop:
+            continue
+        op = replace_op.get(node.node_id, node.op)
+        inputs = [resolve(i) for i in node.inputs]
+        new_node = out.add(op, inputs, name=node.name)
+        mapping[node.node_id] = new_node.node_id
+    return out
+
+
+def constant_fold(graph: ComputationalGraph) -> ComputationalGraph:
+    """Replace operators whose inputs are all constants with constants.
+
+    Folding propagates: a chain of foldable operators rooted entirely in
+    :class:`~repro.graph.ops.Constant` nodes collapses completely.
+    """
+    constant_ids: Set[int] = {
+        n.node_id for n in graph if isinstance(n.op, ops.Constant)
+    }
+    replace: Dict[int, ops.Operator] = {}
+    for node in graph:
+        if not node.inputs:
+            continue
+        if not isinstance(node.op, _FOLDABLE):
+            continue
+        if all(i in constant_ids for i in node.inputs):
+            replace[node.node_id] = ops.Constant(shape=node.output_shape)
+            constant_ids.add(node.node_id)
+    if not replace:
+        return graph
+    # Rebuild with folded nodes converted to constants; their (constant)
+    # inputs may become dead and are cleaned by eliminate_dead_nodes.
+    out = ComputationalGraph(name=graph.name)
+    mapping: Dict[int, int] = {}
+    for node in graph:
+        if node.node_id in replace:
+            new = out.add(replace[node.node_id], (), name=node.name)
+        else:
+            inputs = [mapping[i] for i in node.inputs]
+            new = out.add(node.op, inputs, name=node.name)
+        mapping[node.node_id] = new.node_id
+    return eliminate_dead_nodes(out)
+
+
+def eliminate_dead_nodes(graph: ComputationalGraph) -> ComputationalGraph:
+    """Drop nodes that no graph output transitively depends on."""
+    live: Set[int] = set()
+    stack = [n.node_id for n in graph.output_nodes()]
+    while stack:
+        node_id = stack.pop()
+        if node_id in live:
+            continue
+        live.add(node_id)
+        stack.extend(graph.node(node_id).inputs)
+    dead = {n.node_id for n in graph if n.node_id not in live}
+    if not dead:
+        return graph
+    return _rebuild(graph, drop=dead)
+
+
+def fuse_elementwise(graph: ComputationalGraph) -> ComputationalGraph:
+    """Fuse activations into their producing compute-heavy operator.
+
+    An activation is fused when (a) its producer is compute-heavy with
+    no activation already fused, and (b) the activation is the
+    producer's only consumer.  The activation node disappears and the
+    producer gains a ``fused_activation`` tag honoured by both the
+    reference executor and the code generator.
+    """
+    drop: Set[int] = set()
+    redirect: Dict[int, int] = {}
+    replace: Dict[int, ops.Operator] = {}
+    for node in graph:
+        act_name = _FUSABLE_ACTIVATIONS.get(type(node.op))
+        if act_name is None or len(node.inputs) != 1:
+            continue
+        producer = graph.node(node.inputs[0])
+        if producer.node_id in drop or producer.node_id in replace:
+            # Producer already fused with an earlier activation.
+            continue
+        if not producer.op.is_compute_heavy:
+            continue
+        if producer.op.fused_activation is not None:
+            continue
+        if graph.out_degree(producer.node_id) != 1:
+            continue
+        fused_op = copy.deepcopy(producer.op)
+        fused_op.fused_activation = act_name
+        replace[producer.node_id] = fused_op
+        drop.add(node.node_id)
+        redirect[node.node_id] = producer.node_id
+    if not drop:
+        return graph
+    return _rebuild(graph, drop=drop, redirect=redirect, replace_op=replace)
+
+
+def run_default_passes(graph: ComputationalGraph) -> ComputationalGraph:
+    """The standard pre-compilation pipeline: fold, fuse, clean."""
+    graph = constant_fold(graph)
+    graph = fuse_elementwise(graph)
+    graph = eliminate_dead_nodes(graph)
+    graph.validate()
+    return graph

@@ -1,0 +1,125 @@
+"""Graph serialization: save/load computational graphs as JSON.
+
+The on-disk format is a stable, human-readable description of the DAG
+(operator types, attributes, edges) — what a downstream user needs to
+ship compiled model descriptions between machines or check them into
+version control.  Weights are synthetic/seeded in this library, so only
+the structure is stored.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from pathlib import Path
+from typing import Any, Dict, List, Type, Union
+
+from repro.errors import GraphError
+from repro.graph import ops
+from repro.graph.graph import ComputationalGraph
+
+#: Format version written into every file.
+FORMAT_VERSION = 1
+
+#: Operator registry: op_type name -> class.
+_OP_CLASSES: Dict[str, Type[ops.Operator]] = {
+    cls.__name__: cls
+    for cls in vars(ops).values()
+    if isinstance(cls, type)
+    and issubclass(cls, ops.Operator)
+    and cls is not ops.Operator
+    and not cls.__name__.startswith("_")
+}
+
+
+def _encode_op(op: ops.Operator) -> Dict[str, Any]:
+    payload: Dict[str, Any] = {"type": op.op_type}
+    for field in dataclasses.fields(op):
+        if not field.init:
+            continue
+        value = getattr(op, field.name)
+        if isinstance(value, tuple):
+            value = list(value)
+        payload[field.name] = value
+    if op.fused_activation is not None:
+        payload["fused_activation"] = op.fused_activation
+    return payload
+
+
+def _decode_op(payload: Dict[str, Any]) -> ops.Operator:
+    payload = dict(payload)
+    op_type = payload.pop("type", None)
+    if op_type not in _OP_CLASSES:
+        raise GraphError(f"unknown operator type {op_type!r} in file")
+    fused = payload.pop("fused_activation", None)
+    cls = _OP_CLASSES[op_type]
+    field_names = {f.name for f in dataclasses.fields(cls) if f.init}
+    unknown = set(payload) - field_names
+    if unknown:
+        raise GraphError(
+            f"unknown attributes {sorted(unknown)} for operator {op_type}"
+        )
+    kwargs = {
+        key: tuple(value) if isinstance(value, list) else value
+        for key, value in payload.items()
+    }
+    op = cls(**kwargs)
+    op.fused_activation = fused
+    return op
+
+
+def graph_to_dict(graph: ComputationalGraph) -> Dict[str, Any]:
+    """Serializable description of ``graph``."""
+    return {
+        "format_version": FORMAT_VERSION,
+        "name": graph.name,
+        "nodes": [
+            {
+                "name": node.name,
+                "op": _encode_op(node.op),
+                "inputs": list(node.inputs),
+            }
+            for node in graph
+        ],
+    }
+
+
+def graph_from_dict(payload: Dict[str, Any]) -> ComputationalGraph:
+    """Rebuild a graph from :func:`graph_to_dict` output.
+
+    Shapes are re-inferred on load, so a file edited by hand is
+    re-validated the same way a freshly built graph is.
+    """
+    version = payload.get("format_version")
+    if version != FORMAT_VERSION:
+        raise GraphError(
+            f"unsupported graph format version {version!r} "
+            f"(expected {FORMAT_VERSION})"
+        )
+    graph = ComputationalGraph(name=payload.get("name", "graph"))
+    for entry in payload.get("nodes", []):
+        graph.add(
+            _decode_op(entry["op"]),
+            entry.get("inputs", []),
+            name=entry.get("name"),
+        )
+    graph.validate()
+    return graph
+
+
+def save_graph(
+    graph: ComputationalGraph, path: Union[str, Path]
+) -> None:
+    """Write ``graph`` to ``path`` as JSON."""
+    Path(path).write_text(
+        json.dumps(graph_to_dict(graph), indent=2, sort_keys=True)
+    )
+
+
+def load_graph(path: Union[str, Path]) -> ComputationalGraph:
+    """Read a graph previously written by :func:`save_graph`."""
+    try:
+        payload = json.loads(Path(path).read_text())
+    except json.JSONDecodeError as exc:
+        raise GraphError(f"{path}: not valid JSON: {exc}") from exc
+    return graph_from_dict(payload)

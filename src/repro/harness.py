@@ -1,0 +1,735 @@
+"""Experiment harness: one entry point per table/figure of the paper.
+
+Each ``table*``/``figure*`` function regenerates the corresponding
+result as a list of rows (dicts), and ``print_rows`` renders them the
+way the paper reports them.  The benchmark suite under ``benchmarks/``
+is a thin wrapper around these functions; ``EXPERIMENTS.md`` records
+their output against the paper's numbers.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Sequence
+
+from repro.analysis.metrics import fps, fpw, geometric_mean, speedup
+from repro.baselines.frameworks import (
+    FRAMEWORKS,
+    framework_latency_ms,
+    framework_profile,
+)
+from repro.baselines.hardware import (
+    ACCELERATORS,
+    MOBILE_CPU,
+    MOBILE_GPU,
+    dsp_power_watts,
+)
+from repro.baselines.kernel_compilers import (
+    KERNEL_COMPILERS,
+    RESNET_CONV_KERNELS,
+    compile_kernel,
+)
+from repro.compiler import (
+    CompiledModel,
+    CompilerOptions,
+    GCD2Compiler,
+    DEFAULT_PIPELINE,
+    VECTOR_CONTEXTS,
+)
+from repro.core.cost import gemm_cycles, gemm_padded_bytes
+from repro.core.exhaustive import solve_exhaustive
+from repro.core.local import solve_local
+from repro.core.global_select import solve_gcd2
+from repro.core.pbqp import solve_pbqp
+from repro.core.cost import CostModel
+from repro.core.unroll import (
+    UnrollPlan,
+    adaptive_unroll,
+    exhaustive_unroll,
+    kernel_cycles,
+)
+from repro.isa.instructions import Opcode
+from repro.models import MODELS, build_model
+from repro.models.registry import ModelInfo
+
+#: Per-operator dispatch cost of GCD2's own runtime (compiled code,
+#: single DSP process — far below the interpreting frameworks').
+GCD2_DISPATCH_US = 12.0
+
+#: The five representative models used by Figures 8, 9 and 11.
+REPRESENTATIVE_MODELS = (
+    "efficientnet_b0",
+    "resnet50",
+    "fst",
+    "wdsr_b",
+    "pixor",
+)
+
+_COMPILED: Dict[tuple, CompiledModel] = {}
+
+
+def compile_cached(
+    model_name: str, options: Optional[CompilerOptions] = None
+) -> CompiledModel:
+    """Compile a registry model once per (model, options) pair."""
+    options = options or CompilerOptions()
+    key = (model_name, options)
+    if key not in _COMPILED:
+        graph = build_model(model_name)
+        _COMPILED[key] = GCD2Compiler(options).compile(graph)
+    return _COMPILED[key]
+
+
+def gcd2_latency_ms(
+    model_name: str, options: Optional[CompilerOptions] = None
+) -> float:
+    """GCD2 end-to-end latency including runtime dispatch."""
+    compiled = compile_cached(model_name, options)
+    dispatch = compiled.graph.operator_count() * GCD2_DISPATCH_US / 1e3
+    return compiled.latency_ms + dispatch
+
+
+def print_rows(title: str, rows: Sequence[Dict]) -> None:
+    """Render rows as an aligned text table."""
+    if not rows:
+        print(f"== {title} == (no rows)")
+        return
+    headers = list(rows[0].keys())
+    widths = {
+        h: max(len(str(h)), *(len(_fmt(r.get(h))) for r in rows))
+        for h in headers
+    }
+    print(f"== {title} ==")
+    print("  ".join(str(h).ljust(widths[h]) for h in headers))
+    for row in rows:
+        print("  ".join(_fmt(row.get(h)).ljust(widths[h]) for h in headers))
+    print()
+
+
+def _fmt(value) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        return f"{value:.2f}"
+    return str(value)
+
+
+# ---------------------------------------------------------------------------
+# Table I — CPU vs GPU vs DSP under TFLite
+# ---------------------------------------------------------------------------
+
+TABLE1_MODELS = ("efficientnet_b0", "resnet50", "pixor", "cyclegan")
+
+#: Paper's Table I: (CPU ms, GPU ms, DSP ms, power ratios CPU/GPU/DSP).
+TABLE1_PAPER = {
+    "efficientnet_b0": (53.0, 11.3, 9.1, 10.7, 1.6, 1.0),
+    "resnet50": (62.0, 34.4, 13.9, 6.2, 2.3, 1.0),
+    "pixor": (280.0, 64.6, 43.0, 6.7, 1.8, 1.0),
+    "cyclegan": (4320.0, 477.0, 450.0, 5.5, 1.2, 1.0),
+}
+
+
+def table1() -> List[Dict]:
+    """Latency and power of mobile CPU/GPU/DSP running TFLite."""
+    rows = []
+    for name in TABLE1_MODELS:
+        graph = build_model(name)
+        info = MODELS[name]
+        cpu_ms = MOBILE_CPU.latency_ms(graph)
+        gpu_ms = MOBILE_GPU.latency_ms(graph)
+        dsp_ms = framework_latency_ms(graph, info, FRAMEWORKS["tflite"])
+        profile = framework_profile(graph, info, FRAMEWORKS["tflite"])
+        dsp_watts = dsp_power_watts(profile.slot_occupancy)
+        paper = TABLE1_PAPER[name]
+        rows.append(
+            {
+                "model": name,
+                "cpu_ms": cpu_ms,
+                "gpu_ms": gpu_ms,
+                "dsp_ms": dsp_ms,
+                "cpu_power_x": MOBILE_CPU.power_watts / dsp_watts,
+                "gpu_power_x": MOBILE_GPU.power_watts / dsp_watts,
+                "dsp_power_x": 1.0,
+                "paper_cpu_ms": paper[0],
+                "paper_gpu_ms": paper[1],
+                "paper_dsp_ms": paper[2],
+            }
+        )
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# Table II — instruction/layout trade-off on square matmuls
+# ---------------------------------------------------------------------------
+
+TABLE2_SIZES = (32, 64, 96, 128)
+TABLE2_INSTRUCTIONS = (Opcode.VMPY, Opcode.VMPA, Opcode.VRMPY)
+
+#: Paper's Table II latency column, normalized by vmpy.
+TABLE2_PAPER_LATENCY = {
+    32: (1.00, 0.79, 0.63),
+    64: (1.00, 0.69, 0.76),
+    96: (1.00, 1.06, 0.89),
+    128: (1.00, 1.10, 1.23),
+}
+
+
+def table2() -> List[Dict]:
+    """Execution latency and padded data size per instruction choice."""
+    rows = []
+    for size in TABLE2_SIZES:
+        latencies = {
+            instr: gemm_cycles(instr, size, size, size)
+            for instr in TABLE2_INSTRUCTIONS
+        }
+        data = {
+            instr: gemm_padded_bytes(instr, size, size, size)
+            for instr in TABLE2_INSTRUCTIONS
+        }
+        base_latency = latencies[Opcode.VMPY]
+        base_data = data[Opcode.VMPY]
+        paper = TABLE2_PAPER_LATENCY[size]
+        rows.append(
+            {
+                "M=K=N": size,
+                "lat_vmpy": 1.0,
+                "lat_vmpa": latencies[Opcode.VMPA] / base_latency,
+                "lat_vrmpy": latencies[Opcode.VRMPY] / base_latency,
+                "data_vmpy": 1.0,
+                "data_vmpa": data[Opcode.VMPA] / base_data,
+                "data_vrmpy": data[Opcode.VRMPY] / base_data,
+                "paper_lat": f"{paper[0]}/{paper[1]}/{paper[2]}",
+                "winner": min(
+                    latencies, key=latencies.get
+                ).value,
+            }
+        )
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# Table III — instruction selection vs RAKE
+# ---------------------------------------------------------------------------
+
+TABLE3_KERNELS = ("C0", "C1", "C4")  # 7x7, 1x1, 3x3 — the Table III rows
+TABLE3_PAPER = {
+    "C0": ("vrmpy", "vmpy", 1.63),
+    "C1": ("vmpy", "vmpa", 1.98),
+    "C4": ("vrmpy", "vmpy", 2.06),
+}
+
+
+def table3() -> List[Dict]:
+    """SIMD instruction selected and performance, RAKE vs GCD2."""
+    kernels = {k.name: k for k in RESNET_CONV_KERNELS}
+    rows = []
+    for name in TABLE3_KERNELS:
+        kernel = kernels[name]
+        rake = compile_kernel(kernel, KERNEL_COMPILERS["rake"])
+        ours = compile_kernel(kernel, KERNEL_COMPILERS["gcd2"])
+        paper = TABLE3_PAPER[name]
+        rows.append(
+            {
+                "kernel": f"{name} ({kernel.kernel[0]}x{kernel.kernel[1]})",
+                "rake_instr": rake.instruction.value,
+                "ours_instr": ours.instruction.value,
+                "speedup": rake.cycles / ours.cycles,
+                "paper_rake": paper[0],
+                "paper_ours": paper[1],
+                "paper_speedup": paper[2],
+            }
+        )
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# Table IV — end-to-end comparison on all ten models
+# ---------------------------------------------------------------------------
+
+
+def table4() -> List[Dict]:
+    """Overall latency: TFLite vs SNPE vs GCD2 on the ten models."""
+    rows = []
+    speedups_t, speedups_s = [], []
+    for name, info in MODELS.items():
+        graph = build_model(name)
+        ours = gcd2_latency_ms(name)
+        tflite = framework_latency_ms(graph, info, FRAMEWORKS["tflite"])
+        snpe = framework_latency_ms(graph, info, FRAMEWORKS["snpe"])
+        over_t = speedup(tflite, ours)
+        over_s = speedup(snpe, ours)
+        if over_t:
+            speedups_t.append(over_t)
+        if over_s:
+            speedups_s.append(over_s)
+        rows.append(
+            {
+                "model": name,
+                "tflite_ms": tflite,
+                "snpe_ms": snpe,
+                "gcd2_ms": ours,
+                "over_tflite": over_t,
+                "over_snpe": over_s,
+                "paper_over_t": (
+                    info.tflite_ms / info.gcd2_ms if info.tflite_ms else None
+                ),
+                "paper_over_s": (
+                    info.snpe_ms / info.gcd2_ms if info.snpe_ms else None
+                ),
+            }
+        )
+    rows.append(
+        {
+            "model": "geomean",
+            "over_tflite": geometric_mean(speedups_t),
+            "over_snpe": geometric_mean(speedups_s),
+            "paper_over_t": 2.8,
+            "paper_over_s": 2.1,
+        }
+    )
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# Table V — accelerator comparison on ResNet-50
+# ---------------------------------------------------------------------------
+
+
+def table5() -> List[Dict]:
+    """Inference speed / energy efficiency vs EdgeTPU and Jetson."""
+    rows = []
+    for spec in ACCELERATORS.values():
+        rows.append(
+            {
+                "platform": spec.platform,
+                "device": spec.device,
+                "fps": spec.fps,
+                "power_w": spec.power_watts,
+                "fpw": spec.fpw,
+            }
+        )
+    latency = gcd2_latency_ms("resnet50")
+    profile = compile_cached("resnet50").profile
+    watts = dsp_power_watts(profile.slot_occupancy)
+    rows.append(
+        {
+            "platform": "GCD2 (ours)",
+            "device": "DSP (int8)",
+            "fps": fps(latency),
+            "power_w": watts,
+            "fpw": fpw(latency, watts),
+        }
+    )
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# Figure 7 — kernel comparison vs Halide / TVM / RAKE
+# ---------------------------------------------------------------------------
+
+
+def figure7() -> List[Dict]:
+    """Per-kernel speedup and packet counts, normalized to Halide.
+
+    Packet counts isolate *packing quality*: every packer schedules the
+    same canonical loop body (the GCD2-selected instruction and unroll
+    for the kernel), so the comparison is packets-for-identical-work —
+    the quantity behind the paper's "25% < Halide, 19% < TVM, 21% <
+    RAKE" claim.
+    """
+    from repro.codegen.matmul import emit_matmul_body
+    from repro.core.packing.baselines import (
+        pack_list_schedule,
+        pack_soft_to_hard,
+    )
+    from repro.core.packing.sda import pack_best
+
+    packers = {
+        "halide": pack_list_schedule,
+        "tvm": pack_list_schedule,
+        "rake": pack_soft_to_hard,
+        "gcd2": pack_best,
+    }
+    rows = []
+    for kernel in RESNET_CONV_KERNELS:
+        results = {
+            key: compile_kernel(kernel, policy)
+            for key, policy in KERNEL_COMPILERS.items()
+        }
+        halide = results["halide"]
+        row = {"kernel": kernel.name}
+        for key in ("halide", "tvm", "rake", "gcd_b", "gcd2"):
+            row[f"speedup_{key}"] = halide.cycles / results[key].cycles
+        m, k, n = kernel.gemm_dims
+        instruction = KERNEL_COMPILERS["gcd2"].select(kernel)
+        unroll = adaptive_unroll(m, n, instruction)
+        body = emit_matmul_body(
+            instruction, unroll.outer, unroll.mid, include_epilogue=True
+        )
+        packet_counts = {
+            key: len(packer(body)) for key, packer in packers.items()
+        }
+        for key in ("halide", "tvm", "rake", "gcd2"):
+            row[f"packets_{key}"] = (
+                packet_counts[key] / packet_counts["halide"]
+            )
+        rows.append(row)
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# Figure 8 — DSP utilization and memory bandwidth
+# ---------------------------------------------------------------------------
+
+
+def _achieved_bandwidth(graph, latency_ms, transform_bytes) -> float:
+    """Achieved DRAM bandwidth: tensor traffic plus repack traffic over
+    the execution time (the Snapdragon-Profiler-style quantity)."""
+    traffic = sum(
+        int(math.prod(node.output_shape)) for node in graph
+    ) * 2.0
+    return (traffic + transform_bytes) / (latency_ms * 1e6)
+
+
+def figure8() -> List[Dict]:
+    """TFLite/SNPE utilization and bandwidth relative to GCD2 (=100%).
+
+    Utilization is issue-slot occupancy of the packed schedules;
+    bandwidth is total data moved (activations + layout repacking) over
+    execution time.
+    """
+    rows = []
+    for name in REPRESENTATIVE_MODELS:
+        graph = build_model(name)
+        info = MODELS[name]
+        compiled = compile_cached(name)
+        ours_occ = compiled.profile.slot_occupancy
+        ours_bw = _achieved_bandwidth(
+            compiled.graph,
+            gcd2_latency_ms(name),
+            compiled.transform_cycles
+            * compiled.options.transform_bytes_per_cycle,
+        )
+        row = {"model": name, "gcd2_util_%": 100.0, "gcd2_bw_%": 100.0}
+        for key in ("tflite", "snpe"):
+            policy = FRAMEWORKS[key]
+            profile = framework_profile(graph, info, policy)
+            latency = framework_latency_ms(graph, info, policy)
+            if profile is None:
+                row[f"{key}_util_%"] = None
+                row[f"{key}_bw_%"] = None
+                continue
+            from repro.baselines.frameworks import _compile_with_policy
+
+            fw_compiled = _compile_with_policy(graph, policy)
+            bw = _achieved_bandwidth(
+                fw_compiled.graph,
+                latency,
+                fw_compiled.transform_cycles
+                * policy.transform_bytes_per_cycle,
+            )
+            row[f"{key}_util_%"] = (
+                100.0 * profile.slot_occupancy / ours_occ
+            )
+            row[f"{key}_bw_%"] = 100.0 * bw / ours_bw
+        rows.append(row)
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# Figure 9 — incremental optimization breakdown
+# ---------------------------------------------------------------------------
+
+#: The incremental configurations of Figure 9(a).  Without the global
+#: layout optimization, boundary repacking spills to DRAM.
+FIG9_CONFIGS = [
+    (
+        "no_opt",
+        CompilerOptions(
+            selection="uniform",
+            uniform_instruction=Opcode.VRMPY,
+            packing="list",
+            unrolling="none",
+            other_opts=False,
+            graph_passes=False,
+            scalar_activations=True,
+            transform_bytes_per_cycle=2.0,
+        ),
+    ),
+    (
+        "+instr/layout",
+        CompilerOptions(
+            selection="gcd2",
+            packing="list",
+            unrolling="adaptive",
+            other_opts=False,
+            graph_passes=False,
+            scalar_activations=True,
+        ),
+    ),
+    (
+        "+vliw",
+        CompilerOptions(
+            selection="gcd2",
+            packing="sda",
+            unrolling="adaptive",
+            other_opts=False,
+            graph_passes=False,
+            scalar_activations=True,
+        ),
+    ),
+    (
+        "+other",
+        CompilerOptions(
+            selection="gcd2",
+            packing="sda",
+            unrolling="adaptive",
+            other_opts=True,
+            graph_passes=True,
+        ),
+    ),
+]
+
+
+def figure9() -> List[Dict]:
+    """Speedup over the no-opt baseline as optimizations stack up."""
+    rows = []
+    for name in REPRESENTATIVE_MODELS:
+        row = {"model": name}
+        base: Optional[float] = None
+        for label, options in FIG9_CONFIGS:
+            latency = gcd2_latency_ms(name, options)
+            if base is None:
+                base = latency
+            row[label] = base / latency
+        rows.append(row)
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# Figure 10 — layout selection: local vs GCD2(k) vs global optimal
+# ---------------------------------------------------------------------------
+
+
+def _resnet_subgraph(num_operators: int):
+    graph = build_model("resnet50")
+    ids = [n.node_id for n in graph][: num_operators + 1]
+    return graph.subgraph(ids)
+
+
+#: Raw (unpruned) enumeration is measured only while the option count
+#: stays below this; beyond it the time is extrapolated at the measured
+#: per-option rate — the paper's ">80 hours at 25 operators" regime.
+RAW_SEARCH_MEASURE_LIMIT = 300_000
+
+
+def figure10(sizes: Sequence[int] = (10, 15, 20, 25)) -> List[Dict]:
+    """Speedup over local-optimal and search time per solver.
+
+    ``global`` uses branch-and-bound (provably the same optimum as the
+    raw enumeration).  The raw ``k^|V|`` search the paper plots is
+    measured directly while feasible (``raw_time_s``) and extrapolated
+    from the measured per-option evaluation rate beyond that
+    (``raw_time_projected_s``).
+    """
+    rows = []
+    per_option_s: Optional[float] = None
+    for size in sizes:
+        sub = _resnet_subgraph(size)
+        model = CostModel()
+        local = solve_local(sub, model)
+        results = {
+            "gcd2_13": solve_gcd2(sub, model, max_operators=13),
+            "gcd2_17": solve_gcd2(sub, model, max_operators=17),
+            "global": solve_exhaustive(sub, model, prune=True),
+            "pbqp": solve_pbqp(sub, model),
+        }
+        raw_options = 1
+        for node in sub:
+            raw_options *= max(1, len(model.plans(node)))
+        row = {"operators": size, "local_cost": local.cost}
+        for key, result in results.items():
+            row[f"speedup_{key}"] = local.cost / result.cost
+            row[f"time_{key}_s"] = result.solve_seconds
+        row["raw_options"] = raw_options
+        if raw_options <= RAW_SEARCH_MEASURE_LIMIT:
+            raw = solve_exhaustive(sub, model, prune=False)
+            row["raw_time_s"] = raw.solve_seconds
+            per_option_s = raw.solve_seconds / raw_options
+            row["raw_time_projected_s"] = None
+        else:
+            row["raw_time_s"] = None
+            row["raw_time_projected_s"] = (
+                per_option_s * raw_options
+                if per_option_s is not None
+                else None
+            )
+        rows.append(row)
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# Figure 11 — VLIW packing ablation
+# ---------------------------------------------------------------------------
+
+
+def figure11() -> List[Dict]:
+    """SDA vs soft_to_hard vs soft_to_none on whole models."""
+    rows = []
+    for name in REPRESENTATIVE_MODELS:
+        latencies = {}
+        for packing in ("soft_to_hard", "soft_to_none", "sda"):
+            options = CompilerOptions(packing=packing)
+            latencies[packing] = gcd2_latency_ms(name, options)
+        rows.append(
+            {
+                "model": name,
+                "vs_soft_to_hard": (
+                    latencies["soft_to_hard"] / latencies["sda"]
+                ),
+                "vs_soft_to_none": (
+                    latencies["soft_to_none"] / latencies["sda"]
+                ),
+            }
+        )
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# Figure 12 — unrolling analysis
+# ---------------------------------------------------------------------------
+
+#: Eight MatMul kernels (O1..O8) with varied output shapes.
+FIG12_KERNELS = [
+    ("O1", 512, 64, 512),
+    ("O2", 1024, 128, 256),
+    ("O3", 256, 256, 256),
+    ("O4", 2048, 32, 64),
+    ("O5", 64, 128, 2048),
+    ("O6", 4096, 64, 32),
+    ("O7", 384, 312, 312),
+    ("O8", 128, 1200, 312),
+]
+
+FIG12_SINGLE_KERNEL = (512, 64, 512)
+FIG12_FACTORS = (1, 2, 4, 8, 16)
+
+
+def figure12_single() -> List[Dict]:
+    """Unroll-factor sweep on one MatMul kernel (Figure 12a)."""
+    m, k, n = FIG12_SINGLE_KERNEL
+    instr = Opcode.VRMPY
+    base = kernel_cycles(instr, m, k, n, UnrollPlan(1, 1))
+    rows = []
+    for factor in FIG12_FACTORS:
+        rows.append(
+            {
+                "factor": factor,
+                "out_only": base / kernel_cycles(
+                    instr, m, k, n, UnrollPlan(factor, 1)
+                ),
+                "mid_only": base / kernel_cycles(
+                    instr, m, k, n, UnrollPlan(1, factor)
+                ),
+            }
+        )
+    gcd2_plan = adaptive_unroll(m, n, instr)
+    best_plan, best_cycles = exhaustive_unroll(instr, m, k, n)
+    rows.append(
+        {
+            "factor": f"gcd2={gcd2_plan.label}",
+            "out_only": base / kernel_cycles(instr, m, k, n, gcd2_plan),
+            "mid_only": base / best_cycles,
+        }
+    )
+    return rows
+
+
+def figure12_kernels() -> List[Dict]:
+    """Unrolling strategies across eight MatMul kernels (Figure 12b)."""
+    instr = Opcode.VRMPY
+    rows = []
+    for name, m, k, n in FIG12_KERNELS:
+        base = kernel_cycles(instr, m, k, n, UnrollPlan(1, 1))
+        gcd2_plan = adaptive_unroll(m, n, instr)
+        _, best_cycles = exhaustive_unroll(instr, m, k, n)
+        rows.append(
+            {
+                "kernel": f"{name} ({m}x{k}x{n})",
+                "no_unroll": 1.0,
+                "out_only": base / kernel_cycles(
+                    instr, m, k, n, UnrollPlan(4, 1)
+                ),
+                "mid_only": base / kernel_cycles(
+                    instr, m, k, n, UnrollPlan(1, 4)
+                ),
+                "gcd2": base / kernel_cycles(instr, m, k, n, gcd2_plan),
+                "exhaustive": base / best_cycles,
+            }
+        )
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# Figure 13 — power and energy efficiency
+# ---------------------------------------------------------------------------
+
+FIG13_MODELS = ("efficientnet_b0", "resnet50", "pixor", "cyclegan")
+
+
+def figure13() -> List[Dict]:
+    """Total power and frames/watt: DSP frameworks vs TFLite-GPU."""
+    rows = []
+    for name in FIG13_MODELS:
+        graph = build_model(name)
+        info = MODELS[name]
+        entries = {}
+        for key in ("tflite", "snpe"):
+            latency = framework_latency_ms(graph, info, FRAMEWORKS[key])
+            profile = framework_profile(graph, info, FRAMEWORKS[key])
+            if latency is None:
+                continue
+            watts = dsp_power_watts(profile.slot_occupancy)
+            entries[f"{key}_dsp"] = (latency, watts)
+        ours_latency = gcd2_latency_ms(name)
+        ours_watts = dsp_power_watts(
+            compile_cached(name).profile.slot_occupancy
+        )
+        entries["gcd2_dsp"] = (ours_latency, ours_watts)
+        entries["tflite_gpu"] = (
+            MOBILE_GPU.latency_ms(graph),
+            MOBILE_GPU.power_watts,
+        )
+        row = {"model": name}
+        for key, (latency, watts) in entries.items():
+            row[f"{key}_W"] = watts
+            row[f"{key}_fpw"] = fpw(latency, watts)
+        rows.append(row)
+    return rows
+
+
+def run_all(verbose: bool = True) -> Dict[str, List[Dict]]:
+    """Regenerate every table and figure; returns {name: rows}."""
+    experiments = {
+        "Table I": table1(),
+        "Table II": table2(),
+        "Table III": table3(),
+        "Table IV": table4(),
+        "Table V": table5(),
+        "Figure 7": figure7(),
+        "Figure 8": figure8(),
+        "Figure 9": figure9(),
+        "Figure 10": figure10(),
+        "Figure 11": figure11(),
+        "Figure 12a": figure12_single(),
+        "Figure 12b": figure12_kernels(),
+        "Figure 13": figure13(),
+    }
+    if verbose:
+        for title, rows in experiments.items():
+            print_rows(title, rows)
+    return experiments
+
+
+if __name__ == "__main__":
+    run_all()

@@ -1,0 +1,38 @@
+"""Instruction-set architecture of the simulated mobile DSP.
+
+This package models a Hexagon-class vector DSP: 1024-bit (128-lane int8)
+vector registers, a rich SIMD multiply family (``vmpy``, ``vmpa``,
+``vrmpy``, ``vtmpy``, ``vmpye``), and the dependency semantics (hard vs
+soft) that drive VLIW packing decisions.
+"""
+
+from repro.isa.instructions import (
+    Instruction,
+    InstrSpec,
+    Opcode,
+    ResourceClass,
+    SPEC_TABLE,
+    VECTOR_BYTES,
+    VECTOR_LANES,
+    spec_for,
+)
+from repro.isa.registers import RegisterFile, ScalarRegister, VectorRegister
+from repro.isa.dependencies import DependencyKind, classify_dependency
+from repro.isa import semantics
+
+__all__ = [
+    "Instruction",
+    "InstrSpec",
+    "Opcode",
+    "ResourceClass",
+    "SPEC_TABLE",
+    "VECTOR_BYTES",
+    "VECTOR_LANES",
+    "spec_for",
+    "RegisterFile",
+    "ScalarRegister",
+    "VectorRegister",
+    "DependencyKind",
+    "classify_dependency",
+    "semantics",
+]

@@ -1,0 +1,145 @@
+"""Binary encoding of instructions and VLIW packets.
+
+A compact fixed-width encoding in the spirit of Hexagon's 32-bit words:
+each instruction packs into one 64-bit word (wide enough for the
+pseudo-assembly's operand lists), and a packet chains words with a
+parse bit — the last instruction of a packet clears it, exactly how
+real VLIW encodings mark packet boundaries.  The encoder round-trips
+through :func:`decode_program`, which the tests verify; it exists so
+the compiler pipeline bottoms out in actual bits, not just objects.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Dict, List, Sequence, Tuple
+
+from repro.errors import IsaError
+from repro.isa.instructions import Instruction, Opcode
+from repro.machine.packet import Packet
+
+#: Stable opcode numbering (order of declaration in :class:`Opcode`).
+OPCODE_TO_CODE: Dict[Opcode, int] = {
+    opcode: index for index, opcode in enumerate(Opcode)
+}
+CODE_TO_OPCODE: Dict[int, Opcode] = {
+    index: opcode for opcode, index in OPCODE_TO_CODE.items()
+}
+
+#: Register-name table is built per program (names are free-form).
+_WORD = struct.Struct("<Q")
+
+# Bit layout of the 64-bit word (LSB first):
+#   [0]      parse bit: 1 = more instructions in this packet
+#   [1:7]    opcode (6 bits)
+#   [7:9]    dest count (2 bits)      [9:11]  src count (2 bits)
+#   [11:14]  imm count (3 bits)       [14:16] lane_bytes log2 (2 bits)
+#   [16:64]  six 8-bit operand slots: dests, then srcs
+_MAX_OPERANDS = 6
+_MAX_IMMS = 5
+
+
+def _lane_code(lane_bytes: int) -> int:
+    try:
+        return {1: 0, 2: 1, 4: 2}[lane_bytes]
+    except KeyError as exc:
+        raise IsaError(f"unencodable lane width {lane_bytes}") from exc
+
+
+def encode_instruction(
+    inst: Instruction,
+    register_ids: Dict[str, int],
+    *,
+    more_in_packet: bool,
+) -> Tuple[int, List[int]]:
+    """Encode one instruction.
+
+    Returns the 64-bit instruction word plus trailing 32-bit immediate
+    words (immediates don't fit inline; they follow the word, again
+    like real constant-extender encodings).
+    """
+    if len(inst.dests) + len(inst.srcs) > _MAX_OPERANDS:
+        raise IsaError(f"too many register operands to encode: {inst!r}")
+    if len(inst.imms) > _MAX_IMMS:
+        raise IsaError(f"too many immediates to encode: {inst!r}")
+    imms = list(inst.imms)
+    word = 1 if more_in_packet else 0
+    word |= OPCODE_TO_CODE[inst.opcode] << 1
+    word |= len(inst.dests) << 7
+    word |= len(inst.srcs) << 9
+    word |= len(imms) << 11
+    word |= _lane_code(inst.lane_bytes) << 14
+    for slot, name in enumerate(tuple(inst.dests) + tuple(inst.srcs)):
+        if name not in register_ids:
+            register_ids[name] = len(register_ids)
+        if register_ids[name] > 0xFF:
+            raise IsaError("register file exceeds 256 encodable names")
+        word |= register_ids[name] << (16 + 8 * slot)
+    imm_words = [imm & 0xFFFFFFFF for imm in imms]
+    return word, imm_words
+
+
+def encode_program(packets: Sequence[Packet]) -> Tuple[bytes, List[str]]:
+    """Encode a packet schedule to bytes plus the register name table."""
+    register_ids: Dict[str, int] = {}
+    blob = bytearray()
+    for packet in packets:
+        members = list(packet)
+        if not members:
+            raise IsaError("cannot encode an empty packet")
+        for index, inst in enumerate(members):
+            word, imm_words = encode_instruction(
+                inst,
+                register_ids,
+                more_in_packet=index < len(members) - 1,
+            )
+            blob += _WORD.pack(word)
+            blob += struct.pack(f"<{len(imm_words)}I", *imm_words)
+    names = [None] * len(register_ids)
+    for name, index in register_ids.items():
+        names[index] = name
+    return bytes(blob), list(names)
+
+
+def decode_program(
+    blob: bytes, register_names: Sequence[str]
+) -> List[List[Instruction]]:
+    """Decode bytes back into packet member lists.
+
+    Returns plain instruction lists (not :class:`Packet` objects) so the
+    decoder has no opinion on legality — a disassembler's job is to
+    report what is encoded.
+    """
+    packets: List[List[Instruction]] = []
+    current: List[Instruction] = []
+    offset = 0
+    while offset < len(blob):
+        (word,) = _WORD.unpack_from(blob, offset)
+        offset += _WORD.size
+        more = bool(word & 1)
+        opcode = CODE_TO_OPCODE[(word >> 1) & 0x3F]
+        n_dests = (word >> 7) & 0x3
+        n_srcs = (word >> 9) & 0x3
+        n_imms = (word >> 11) & 0x7
+        lane_bytes = {0: 1, 1: 2, 2: 4}[(word >> 14) & 0x3]
+        operands = [
+            register_names[(word >> (16 + 8 * slot)) & 0xFF]
+            for slot in range(n_dests + n_srcs)
+        ]
+        imms = struct.unpack_from(f"<{n_imms}I", blob, offset)
+        offset += 4 * n_imms
+        current.append(
+            Instruction(
+                opcode,
+                dests=tuple(operands[:n_dests]),
+                srcs=tuple(operands[n_dests:]),
+                imms=tuple(imms),
+                lane_bytes=lane_bytes,
+            )
+        )
+        if not more:
+            packets.append(current)
+            current = []
+    if current:
+        raise IsaError("truncated program: last packet never terminated")
+    return packets

@@ -1,0 +1,125 @@
+"""Register model for the simulated DSP.
+
+Vector registers hold 128 bytes interpreted as int8/int16/int32 lanes
+depending on the instruction; scalar registers hold a single Python int.
+The functional simulator (:mod:`repro.machine.simulator`) owns a
+:class:`RegisterFile` mapping names to these values.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, Optional
+
+import numpy as np
+
+from repro.errors import IsaError
+from repro.isa.instructions import VECTOR_BYTES
+
+
+@dataclass
+class VectorRegister:
+    """A 1024-bit vector register.
+
+    The payload is stored as raw bytes; :meth:`view` reinterprets the
+    bytes at the requested lane width, mirroring how HVX instructions
+    treat the same register as 128x8-bit, 64x16-bit or 32x32-bit.
+    """
+
+    data: np.ndarray = field(
+        default_factory=lambda: np.zeros(VECTOR_BYTES, dtype=np.uint8)
+    )
+
+    def __post_init__(self) -> None:
+        array = np.asarray(self.data, dtype=np.uint8)
+        if array.nbytes != VECTOR_BYTES:
+            raise IsaError(
+                f"vector register payload must be {VECTOR_BYTES} bytes, "
+                f"got {array.nbytes}"
+            )
+        self.data = array.reshape(VECTOR_BYTES).copy()
+
+    @classmethod
+    def from_lanes(cls, lanes: np.ndarray) -> "VectorRegister":
+        """Build a register from typed lanes (int8/int16/int32)."""
+        lanes = np.ascontiguousarray(lanes)
+        if lanes.nbytes != VECTOR_BYTES:
+            raise IsaError(
+                f"lane payload must total {VECTOR_BYTES} bytes, "
+                f"got {lanes.nbytes} ({lanes.dtype} x {lanes.size})"
+            )
+        return cls(lanes.view(np.uint8))
+
+    def view(self, dtype: np.dtype) -> np.ndarray:
+        """Reinterpret the register as lanes of ``dtype`` (copy-free)."""
+        return self.data.view(dtype)
+
+    def copy(self) -> "VectorRegister":
+        """Deep copy of the register."""
+        return VectorRegister(self.data.copy())
+
+
+@dataclass
+class ScalarRegister:
+    """A 32-bit scalar register (stored as a Python int, wrapped mod 2^32)."""
+
+    value: int = 0
+
+    def __post_init__(self) -> None:
+        self.value = int(self.value) & 0xFFFFFFFF
+
+    def signed(self) -> int:
+        """The register value interpreted as a signed 32-bit integer."""
+        value = self.value
+        return value - (1 << 32) if value >= (1 << 31) else value
+
+
+class RegisterFile:
+    """Named register storage for the functional simulator.
+
+    Names beginning with ``v`` are vector registers; anything else is
+    scalar.  Registers spring into existence zero-initialised on first
+    read, matching the permissive behaviour of a freshly reset core.
+    """
+
+    def __init__(self) -> None:
+        self._vectors: Dict[str, VectorRegister] = {}
+        self._scalars: Dict[str, ScalarRegister] = {}
+
+    @staticmethod
+    def is_vector_name(name: str) -> bool:
+        """Whether ``name`` denotes a vector register."""
+        return name.startswith("v")
+
+    def read_vector(self, name: str) -> VectorRegister:
+        """Read a vector register, creating it zeroed if absent."""
+        if not self.is_vector_name(name):
+            raise IsaError(f"{name!r} is not a vector register name")
+        if name not in self._vectors:
+            self._vectors[name] = VectorRegister()
+        return self._vectors[name]
+
+    def write_vector(self, name: str, value: VectorRegister) -> None:
+        """Write a vector register."""
+        if not self.is_vector_name(name):
+            raise IsaError(f"{name!r} is not a vector register name")
+        self._vectors[name] = value.copy()
+
+    def read_scalar(self, name: str) -> int:
+        """Read a scalar register value, creating it zeroed if absent."""
+        if self.is_vector_name(name):
+            raise IsaError(f"{name!r} is not a scalar register name")
+        if name not in self._scalars:
+            self._scalars[name] = ScalarRegister()
+        return self._scalars[name].signed()
+
+    def write_scalar(self, name: str, value: int) -> None:
+        """Write a scalar register."""
+        if self.is_vector_name(name):
+            raise IsaError(f"{name!r} is not a scalar register name")
+        self._scalars[name] = ScalarRegister(value)
+
+    def names(self) -> Iterator[str]:
+        """All register names currently materialised."""
+        yield from self._vectors
+        yield from self._scalars

@@ -1,0 +1,228 @@
+"""Functional (numpy) semantics of the SIMD multiply family.
+
+Each function renders one instruction from Figure 1 of the paper as a
+pure function over numpy lane arrays.  These are the ground truth both
+for the functional machine simulator and for the layout-specific matmul
+kernels, whose outputs the test suite checks against ``np.matmul``.
+
+Conventions
+-----------
+* ``v``/``v0``/``v1`` are 128-lane int8 (or uint8 for ``vrmpy``) arrays.
+* ``scalars`` is a length-4 int array (the packed scalar operand).
+* Products of two 8-bit values are held in 16 bits; accumulations of
+  several products are held in 32 bits (Section III's overflow rule).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.errors import IsaError
+from repro.isa.instructions import VECTOR_LANES
+
+
+def _check_vector(v: np.ndarray, name: str = "v") -> np.ndarray:
+    v = np.asarray(v)
+    if v.shape != (VECTOR_LANES,):
+        raise IsaError(
+            f"{name} must have shape ({VECTOR_LANES},), got {v.shape}"
+        )
+    return v
+
+
+def _check_scalars(scalars: np.ndarray) -> np.ndarray:
+    scalars = np.asarray(scalars)
+    if scalars.shape != (4,):
+        raise IsaError(f"scalar operand must have 4 values, got {scalars.shape}")
+    return scalars.astype(np.int32)
+
+
+def vmpy(v: np.ndarray, scalars: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """``vmpy``: 128 lanes x 4 broadcast scalars -> two 16-bit vectors.
+
+    Four consecutive vector values are multiplied by four distinct
+    scalars; the outputs are two 64-lane int16 vectors storing alternate
+    results of the multiplications (Figure 1a).
+
+    Returns
+    -------
+    (even, odd):
+        ``even[i] = v[2i] * scalars[(2i) % 4]`` and
+        ``odd[i] = v[2i+1] * scalars[(2i+1) % 4]``.
+    """
+    v = _check_vector(v).astype(np.int32)
+    scalars = _check_scalars(scalars)
+    products = v * np.tile(scalars, VECTOR_LANES // 4)
+    even = products[0::2].astype(np.int16)
+    odd = products[1::2].astype(np.int16)
+    return even, odd
+
+
+def vmpa(
+    v0: np.ndarray,
+    v1: np.ndarray,
+    scalars: np.ndarray,
+    acc: Optional[Tuple[np.ndarray, np.ndarray]] = None,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """``vmpa``: multiply-add over a vector pair (Figure 1b).
+
+    Corresponding lanes of the two vectors are multiplied by two scalars
+    and summed; alternate lane pairs use the first two and the last two
+    scalars respectively, accumulating into two output vectors.
+
+    Returns
+    -------
+    (even, odd):
+        32-bit accumulators.  ``even`` collects even lanes and ``odd``
+        odd lanes, each ``v0[j]*s_a + v1[j]*s_b`` where ``(s_a, s_b)``
+        is ``(scalars[0], scalars[1])`` for even lanes and
+        ``(scalars[2], scalars[3])`` for odd lanes.
+    """
+    v0 = _check_vector(v0, "v0").astype(np.int32)
+    v1 = _check_vector(v1, "v1").astype(np.int32)
+    scalars = _check_scalars(scalars)
+    even = v0[0::2] * scalars[0] + v1[0::2] * scalars[1]
+    odd = v0[1::2] * scalars[2] + v1[1::2] * scalars[3]
+    if acc is not None:
+        acc_even, acc_odd = acc
+        even = even + np.asarray(acc_even, dtype=np.int32)
+        odd = odd + np.asarray(acc_odd, dtype=np.int32)
+    return even.astype(np.int32), odd.astype(np.int32)
+
+
+def vrmpy(
+    v: np.ndarray,
+    scalars: np.ndarray,
+    acc: Optional[np.ndarray] = None,
+) -> np.ndarray:
+    """``vrmpy``: 4-wide dot products reduced into 32 lanes (Figure 1c).
+
+    Four consecutive lanes are multiplied by the four scalars and the
+    products accumulated: ``out[i] = sum_k v[4i+k] * scalars[k]``.
+
+    Parameters
+    ----------
+    acc:
+        Optional existing 32-lane int32 accumulator to add into, which
+        is how the reduction across a matrix's K dimension happens.
+    """
+    v = _check_vector(v).astype(np.int32)
+    scalars = _check_scalars(scalars)
+    products = (v.reshape(-1, 4) * scalars).sum(axis=1)
+    if acc is not None:
+        acc = np.asarray(acc, dtype=np.int32)
+        if acc.shape != products.shape:
+            raise IsaError(
+                f"vrmpy accumulator must have shape {products.shape}, "
+                f"got {acc.shape}"
+            )
+        products = products + acc
+    return products.astype(np.int32)
+
+
+def vtmpy(v0: np.ndarray, v1: np.ndarray, scalars: np.ndarray) -> np.ndarray:
+    """``vtmpy``: triple multiply-accumulate over a sliding window.
+
+    Computes ``out[i] = v[i]*s0 + v[i+1]*s1 + v[i+2]*s2`` over the
+    concatenation of the two input vectors, producing 128 int32 lanes.
+    Used by 3-tap convolution kernels.
+    """
+    v0 = _check_vector(v0, "v0").astype(np.int32)
+    v1 = _check_vector(v1, "v1").astype(np.int32)
+    scalars = _check_scalars(scalars)
+    window = np.concatenate([v0, v1[:2]])
+    out = (
+        window[:-2] * scalars[0]
+        + window[1:-1] * scalars[1]
+        + window[2:] * scalars[2]
+    )
+    return out.astype(np.int32)
+
+
+def vmpye(v: np.ndarray, scalars: np.ndarray) -> np.ndarray:
+    """``vmpye``: multiply even lanes by a broadcast scalar.
+
+    Returns 64 int32 lanes ``out[i] = v[2i] * scalars[0]``.
+    """
+    v = _check_vector(v).astype(np.int32)
+    scalars = _check_scalars(scalars)
+    return (v[0::2] * scalars[0]).astype(np.int32)
+
+
+def vadd(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Lane-wise saturating-free addition at the operand dtype's width."""
+    a = np.asarray(a)
+    b = np.asarray(b)
+    return (a.astype(np.int64) + b.astype(np.int64)).astype(
+        np.promote_types(a.dtype, b.dtype)
+    )
+
+
+def vsub(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Lane-wise subtraction."""
+    a = np.asarray(a)
+    b = np.asarray(b)
+    return (a.astype(np.int64) - b.astype(np.int64)).astype(
+        np.promote_types(a.dtype, b.dtype)
+    )
+
+
+def vmax(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Lane-wise maximum."""
+    return np.maximum(np.asarray(a), np.asarray(b))
+
+
+def vmin(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Lane-wise minimum."""
+    return np.minimum(np.asarray(a), np.asarray(b))
+
+
+def vshuff(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Interleave two vectors lane by lane: ``a0 b0 a1 b1 ...``.
+
+    This is the permute step that fixes up ``vmpy``'s even/odd output
+    split back into a contiguous layout (Figure 2a's shuffle).
+    """
+    a = np.asarray(a)
+    b = np.asarray(b)
+    if a.shape != b.shape:
+        raise IsaError(f"vshuff operands must match: {a.shape} vs {b.shape}")
+    out = np.empty(a.size * 2, dtype=np.promote_types(a.dtype, b.dtype))
+    out[0::2] = a
+    out[1::2] = b
+    return out
+
+
+def vasr(a: np.ndarray, shift: int, rounding: bool = True) -> np.ndarray:
+    """Arithmetic shift right with optional round-to-nearest.
+
+    This is the core of the requantization step that narrows 32-bit
+    accumulators back to int8 outputs.
+    """
+    a = np.asarray(a).astype(np.int64)
+    if shift < 0:
+        raise IsaError(f"shift amount must be non-negative, got {shift}")
+    if shift == 0:
+        return a.astype(np.int32)
+    if rounding:
+        a = a + (1 << (shift - 1))
+    return (a >> shift).astype(np.int32)
+
+
+def vsplat(value: int, dtype: np.dtype = np.int8) -> np.ndarray:
+    """Broadcast ``value`` into a full vector of ``dtype`` lanes."""
+    dtype = np.dtype(dtype)
+    lanes = VECTOR_LANES // dtype.itemsize
+    return np.full(lanes, value, dtype=dtype)
+
+
+def saturate_to_int8(a: np.ndarray) -> np.ndarray:
+    """Clamp to the int8 range, as the final store of a requantize does."""
+    return np.clip(np.asarray(a), -128, 127).astype(np.int8)
+
+
+def saturate_to_uint8(a: np.ndarray) -> np.ndarray:
+    """Clamp to the uint8 range (asymmetric quantization outputs)."""
+    return np.clip(np.asarray(a), 0, 255).astype(np.uint8)

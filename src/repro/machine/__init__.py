@@ -1,0 +1,38 @@
+"""Simulated Hexagon-class DSP: VLIW packets, pipeline timing, execution.
+
+The machine is split into a *timing* model (:mod:`repro.machine.pipeline`)
+used by the compiler's cost functions, and a *functional* model
+(:mod:`repro.machine.simulator`) used to validate that generated kernels
+compute the right values.
+"""
+
+from repro.machine.packet import (
+    MAX_PACKET_SLOTS,
+    Packet,
+    RESOURCE_LIMITS,
+    packet_is_legal,
+)
+from repro.machine.pipeline import (
+    PipelineModel,
+    packet_cycles,
+    schedule_cycles,
+)
+from repro.machine.simulator import MachineState, Simulator
+from repro.machine.profiler import ExecutionProfile, Profiler
+from repro.machine.trace import TraceEntry, TraceRecorder
+
+__all__ = [
+    "MAX_PACKET_SLOTS",
+    "Packet",
+    "RESOURCE_LIMITS",
+    "packet_is_legal",
+    "PipelineModel",
+    "packet_cycles",
+    "schedule_cycles",
+    "MachineState",
+    "Simulator",
+    "ExecutionProfile",
+    "Profiler",
+    "TraceEntry",
+    "TraceRecorder",
+]

@@ -1,0 +1,156 @@
+"""VLIW packet model and hardware resource constraints.
+
+A packet groups up to four instructions that issue together.  Beyond the
+four-slot ceiling, each functional-unit class has its own per-packet
+limit — the paper calls out "packing two shift operations together is
+not allowed" as one example; the limits below follow the Hexagon HVX
+resource structure the paper targets.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
+
+from repro.errors import PacketError
+from repro.isa.dependencies import DependencyKind, classify_dependency
+from repro.isa.instructions import Instruction, Opcode, ResourceClass
+
+#: Maximum number of instructions per VLIW packet.
+MAX_PACKET_SLOTS = 4
+
+#: Per-packet issue limits for each functional-unit class.
+RESOURCE_LIMITS: Dict[ResourceClass, int] = {
+    ResourceClass.VMULT: 2,
+    ResourceClass.VALU: 2,
+    ResourceClass.VSHIFT: 1,
+    ResourceClass.VPERMUTE: 1,
+    ResourceClass.VMEM: 2,
+    ResourceClass.SMEM: 2,
+    ResourceClass.SALU: 4,
+    ResourceClass.BRANCH: 1,
+}
+
+#: At most one store (vector or scalar) may issue per packet.
+MAX_STORES_PER_PACKET = 1
+
+
+def _resource_counts(instructions: Iterable[Instruction]) -> Counter:
+    return Counter(inst.resource for inst in instructions)
+
+
+def packet_is_legal(instructions: Iterable[Instruction]) -> bool:
+    """Whether ``instructions`` could form a legal packet.
+
+    Checks the slot ceiling, per-resource limits, the single-store rule,
+    and that no *hard* dependency links any pair (hard pairs in one
+    packet "likely produce incorrect results" per Section IV-C).
+    """
+    insts = list(instructions)
+    if len(insts) > MAX_PACKET_SLOTS:
+        return False
+    counts = _resource_counts(insts)
+    for resource, count in counts.items():
+        if count > RESOURCE_LIMITS[resource]:
+            return False
+    stores = sum(1 for inst in insts if inst.spec.is_store)
+    if stores > MAX_STORES_PER_PACKET:
+        return False
+    for i, first in enumerate(insts):
+        for second in insts[i + 1:]:
+            if classify_dependency(first, second) is DependencyKind.HARD:
+                return False
+            if classify_dependency(second, first) is DependencyKind.HARD:
+                return False
+    return True
+
+
+def fits_with(candidate: Instruction, packed: Iterable[Instruction]) -> bool:
+    """Whether ``candidate`` can join the partially built ``packed`` set.
+
+    This is the check behind Algorithm 1's ``resource_constraint`` step;
+    unlike :func:`packet_is_legal` it assumes ``packed`` is already legal
+    and only validates the marginal addition.
+    """
+    packed = list(packed)
+    if len(packed) + 1 > MAX_PACKET_SLOTS:
+        return False
+    counts = _resource_counts(packed)
+    if counts[candidate.resource] + 1 > RESOURCE_LIMITS[candidate.resource]:
+        return False
+    if candidate.spec.is_store:
+        stores = sum(1 for inst in packed if inst.spec.is_store)
+        if stores + 1 > MAX_STORES_PER_PACKET:
+            return False
+    for other in packed:
+        if classify_dependency(candidate, other) is DependencyKind.HARD:
+            return False
+        if classify_dependency(other, candidate) is DependencyKind.HARD:
+            return False
+    return True
+
+
+@dataclass
+class Packet:
+    """A VLIW packet: up to four instructions issuing together.
+
+    The packet enforces legality on construction and mutation, so any
+    :class:`Packet` instance in the system is executable.
+    """
+
+    instructions: List[Instruction] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not packet_is_legal(self.instructions):
+            raise PacketError(
+                f"illegal packet contents: {self.instructions!r}"
+            )
+
+    def add(self, instruction: Instruction) -> None:
+        """Append ``instruction``, raising :class:`PacketError` if illegal."""
+        if not fits_with(instruction, self.instructions):
+            raise PacketError(
+                f"instruction {instruction!r} does not fit into packet "
+                f"{self.instructions!r}"
+            )
+        self.instructions.append(instruction)
+
+    def can_add(self, instruction: Instruction) -> bool:
+        """Non-raising variant of :meth:`add`'s legality check."""
+        return fits_with(instruction, self.instructions)
+
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+    def __iter__(self) -> Iterator[Instruction]:
+        return iter(self.instructions)
+
+    def __contains__(self, instruction: Instruction) -> bool:
+        return any(inst.uid == instruction.uid for inst in self.instructions)
+
+    @property
+    def empty_slots(self) -> int:
+        """Unused slots, shown as ``N`` in the paper's Figure 5."""
+        return MAX_PACKET_SLOTS - len(self.instructions)
+
+    def soft_pairs(self) -> List[Tuple[Instruction, Instruction]]:
+        """All (earlier, later) pairs inside the packet linked softly.
+
+        Pairs are oriented by program order (instruction uids increase
+        in creation order), because a dependency only exists from the
+        earlier instruction to the later one — the reverse direction
+        would misread a WAR pair as a RAW.
+        """
+        ordered = sorted(self.instructions, key=lambda inst: inst.uid)
+        pairs = []
+        for i, first in enumerate(ordered):
+            for second in ordered[i + 1:]:
+                if classify_dependency(first, second) is DependencyKind.SOFT:
+                    pairs.append((first, second))
+        return pairs
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        body = "; ".join(inst.opcode.value for inst in self.instructions)
+        body += " N" * self.empty_slots
+        return f"{{ {body} }}"

@@ -1,0 +1,120 @@
+"""Execution profiling: utilization and memory bandwidth.
+
+Stands in for the Snapdragon Profiler the paper uses for Figure 8 and
+Figure 9(b,c).  Two quantities are reported:
+
+* **DSP utilization** — MAC throughput achieved relative to the machine
+  peak (2 vector-multiply slots per packet);
+* **memory bandwidth** — bytes moved per second of modelled execution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.isa.instructions import Instruction, ResourceClass
+from repro.machine.packet import MAX_PACKET_SLOTS, Packet, RESOURCE_LIMITS
+from repro.machine.pipeline import PipelineModel, packet_cycles
+
+#: Peak MACs the machine can retire per cycle: two vector multiply
+#: pipelines, the widest (vmpa) retiring 256 MACs each over its
+#: 3-cycle latency.
+PEAK_MACS_PER_CYCLE = RESOURCE_LIMITS[ResourceClass.VMULT] * 256 // 3
+
+
+@dataclass
+class ExecutionProfile:
+    """Aggregated counters from one profiled run."""
+
+    cycles: int = 0
+    packets: int = 0
+    issued_instructions: int = 0
+    macs: int = 0
+    bytes_loaded: int = 0
+    bytes_stored: int = 0
+
+    @property
+    def slot_occupancy(self) -> float:
+        """Fraction of issue slots holding a real instruction."""
+        if self.packets == 0:
+            return 0.0
+        return self.issued_instructions / (self.packets * MAX_PACKET_SLOTS)
+
+    @property
+    def mac_utilization(self) -> float:
+        """MAC throughput relative to machine peak (0..1)."""
+        if self.cycles == 0:
+            return 0.0
+        return min(1.0, self.macs / (self.cycles * PEAK_MACS_PER_CYCLE))
+
+    def bandwidth_gbps(self, pipeline: PipelineModel) -> float:
+        """Memory traffic in GB/s over the modelled execution time."""
+        seconds = pipeline.cycles_to_seconds(self.cycles)
+        if seconds == 0:
+            return 0.0
+        return (self.bytes_loaded + self.bytes_stored) / seconds / 1e9
+
+    def merge(self, other: "ExecutionProfile") -> "ExecutionProfile":
+        """Combine two profiles (e.g. across operators of a model)."""
+        return ExecutionProfile(
+            cycles=self.cycles + other.cycles,
+            packets=self.packets + other.packets,
+            issued_instructions=(
+                self.issued_instructions + other.issued_instructions
+            ),
+            macs=self.macs + other.macs,
+            bytes_loaded=self.bytes_loaded + other.bytes_loaded,
+            bytes_stored=self.bytes_stored + other.bytes_stored,
+        )
+
+    def scaled(self, repeats: float) -> "ExecutionProfile":
+        """Profile of this unit of work repeated ``repeats`` times."""
+        return ExecutionProfile(
+            cycles=int(round(self.cycles * repeats)),
+            packets=int(round(self.packets * repeats)),
+            issued_instructions=int(
+                round(self.issued_instructions * repeats)
+            ),
+            macs=int(round(self.macs * repeats)),
+            bytes_loaded=int(round(self.bytes_loaded * repeats)),
+            bytes_stored=int(round(self.bytes_stored * repeats)),
+        )
+
+
+class Profiler:
+    """Builds an :class:`ExecutionProfile` from packet schedules."""
+
+    def __init__(self) -> None:
+        self.profile = ExecutionProfile()
+
+    def observe_schedule(
+        self, packets: Sequence[Packet], repeats: int = 1
+    ) -> ExecutionProfile:
+        """Account one schedule, optionally repeated ``repeats`` times.
+
+        Loads/stores are counted from the vector memory instructions in
+        the schedule (each moves one full vector register).
+        """
+        unit = ExecutionProfile()
+        for packet in packets:
+            unit.packets += 1
+            unit.cycles += packet_cycles(packet)
+            for inst in packet:
+                unit.issued_instructions += 1
+                unit.macs += inst.spec.macs
+                if inst.spec.is_load:
+                    unit.bytes_loaded += _transfer_bytes(inst)
+                if inst.spec.is_store:
+                    unit.bytes_stored += _transfer_bytes(inst)
+        unit = unit.scaled(repeats)
+        self.profile = self.profile.merge(unit)
+        return unit
+
+
+def _transfer_bytes(inst: Instruction) -> int:
+    from repro.isa.instructions import Opcode, VECTOR_BYTES
+
+    if inst.opcode in (Opcode.VLOAD, Opcode.VSTORE):
+        return VECTOR_BYTES
+    return 4

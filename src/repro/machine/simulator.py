@@ -1,0 +1,394 @@
+"""Functional simulator for the VLIW DSP.
+
+Executes packet sequences against a register file and a flat byte
+memory.  Within a packet all operand reads happen before any write
+lands — exactly why hard RAW pairs must not share a packet — while
+soft pairs execute correctly thanks to the modelled interlocks.
+
+The simulator is deliberately slow-and-obvious: it exists to prove the
+generated kernels compute correct values, not to be fast.  Whole-model
+latency numbers come from the analytical cost model instead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import SimulationError
+from repro.isa import semantics
+from repro.isa.instructions import Instruction, Opcode, VECTOR_BYTES
+from repro.isa.registers import RegisterFile, VectorRegister
+from repro.machine.packet import Packet
+from repro.machine.pipeline import packet_cycles
+
+_LANE_DTYPES = {1: np.int8, 2: np.int16, 4: np.int32}
+
+
+@dataclass
+class MachineState:
+    """Register file plus flat byte-addressed memory."""
+
+    memory_size: int = 1 << 22
+    registers: RegisterFile = field(default_factory=RegisterFile)
+
+    def __post_init__(self) -> None:
+        self.memory = np.zeros(self.memory_size, dtype=np.uint8)
+        self.bytes_loaded = 0
+        self.bytes_stored = 0
+
+    def load_bytes(self, address: int, count: int) -> np.ndarray:
+        """Read ``count`` bytes starting at ``address``."""
+        if address < 0 or address + count > self.memory_size:
+            raise SimulationError(
+                f"load of {count} bytes at {address} outside memory "
+                f"of size {self.memory_size}"
+            )
+        self.bytes_loaded += count
+        return self.memory[address:address + count].copy()
+
+    def store_bytes(self, address: int, data: np.ndarray) -> None:
+        """Write ``data`` (viewed as bytes) starting at ``address``."""
+        data = np.ascontiguousarray(data).view(np.uint8).reshape(-1)
+        if address < 0 or address + data.size > self.memory_size:
+            raise SimulationError(
+                f"store of {data.size} bytes at {address} outside memory "
+                f"of size {self.memory_size}"
+            )
+        self.bytes_stored += data.size
+        self.memory[address:address + data.size] = data
+
+    def write_array(self, address: int, array: np.ndarray) -> None:
+        """Convenience: place a typed numpy array into memory."""
+        self.store_bytes(address, np.ascontiguousarray(array))
+
+    def read_array(
+        self, address: int, shape: Tuple[int, ...], dtype: np.dtype
+    ) -> np.ndarray:
+        """Convenience: read a typed numpy array back out of memory."""
+        dtype = np.dtype(dtype)
+        count = int(np.prod(shape)) * dtype.itemsize
+        raw = self.load_bytes(address, count)
+        return raw.view(dtype).reshape(shape).copy()
+
+
+def _scalars_from(inst: Instruction, state: MachineState) -> np.ndarray:
+    """Extract the 4-scalar operand of a multiply instruction.
+
+    Convention: the last four immediates are the packed scalars.
+    """
+    if len(inst.imms) < 4:
+        raise SimulationError(
+            f"{inst.opcode.value} needs 4 scalar immediates, got {inst.imms}"
+        )
+    return np.asarray(inst.imms[-4:], dtype=np.int32)
+
+
+def _address_of(inst: Instruction, state: MachineState) -> int:
+    """Resolve a memory instruction's effective address.
+
+    Address = value of the first scalar source register (if any) plus
+    the first immediate (if any).
+    """
+    base = 0
+    for name in inst.srcs:
+        if not RegisterFile.is_vector_name(name):
+            base = state.registers.read_scalar(name)
+            break
+    offset = inst.imms[0] if inst.imms else 0
+    return base + offset
+
+
+class Simulator:
+    """Executes packets against a :class:`MachineState`."""
+
+    def __init__(self, state: Optional[MachineState] = None) -> None:
+        self.state = state if state is not None else MachineState()
+        self.cycles = 0
+        self.packets_executed = 0
+
+    # -- vector operand helpers ------------------------------------------
+
+    def _vec(self, name: str, lane_bytes: int = 1) -> np.ndarray:
+        dtype = _LANE_DTYPES[lane_bytes]
+        return self.state.registers.read_vector(name).view(dtype).copy()
+
+    def _set_vec(self, name: str, lanes: np.ndarray) -> None:
+        self.state.registers.write_vector(
+            name, VectorRegister.from_lanes(lanes)
+        )
+
+    # -- execution --------------------------------------------------------
+
+    def run(self, packets: Sequence[Packet]) -> int:
+        """Execute ``packets`` in order; returns total cycles consumed."""
+        for packet in packets:
+            self.step(packet)
+        return self.cycles
+
+    def step(self, packet: Packet) -> None:
+        """Execute one packet.
+
+        Members run in program order (creation order) with writes
+        applied immediately.  For every *legal* packet this matches the
+        hardware: WAR pairs read before the later write lands, and the
+        interlock on soft RAW pairs makes the consumer observe the
+        producer's fresh value (at the stall cost the timing model
+        charges).  Hard pairs — where this ordering could matter — are
+        rejected at packet construction.
+        """
+        for inst in sorted(packet, key=lambda i: i.uid):
+            write = self._execute(inst)
+            write()
+        self.cycles += packet_cycles(packet)
+        self.packets_executed += 1
+
+    def _execute(self, inst: Instruction) -> Callable[[], None]:
+        handler = _HANDLERS.get(inst.opcode)
+        if handler is None:
+            raise SimulationError(f"unimplemented opcode {inst.opcode!r}")
+        return handler(self, inst)
+
+
+# ---------------------------------------------------------------------------
+# Per-opcode handlers.  Each returns a deferred-write closure so that all
+# reads in a packet happen before any write (the read stage semantics).
+# ---------------------------------------------------------------------------
+
+
+def _h_vload(sim: Simulator, inst: Instruction) -> Callable[[], None]:
+    address = _address_of(inst, sim.state)
+    raw = sim.state.load_bytes(address, VECTOR_BYTES)
+
+    def write() -> None:
+        sim.state.registers.write_vector(inst.dests[0], VectorRegister(raw))
+
+    return write
+
+
+def _h_vstore(sim: Simulator, inst: Instruction) -> Callable[[], None]:
+    address = _address_of(inst, sim.state)
+    vec_name = next(n for n in inst.srcs if RegisterFile.is_vector_name(n))
+    payload = sim.state.registers.read_vector(vec_name).data.copy()
+
+    def write() -> None:
+        sim.state.store_bytes(address, payload)
+
+    return write
+
+
+def _h_vmpy(sim: Simulator, inst: Instruction) -> Callable[[], None]:
+    v = sim._vec(inst.srcs[0], 1)
+    scalars = _scalars_from(inst, sim.state)
+    even, odd = semantics.vmpy(v, scalars)
+
+    def write() -> None:
+        sim._set_vec(inst.dests[0], even)
+        sim._set_vec(inst.dests[1], odd)
+
+    return write
+
+
+def _h_vmpa(sim: Simulator, inst: Instruction) -> Callable[[], None]:
+    v0 = sim._vec(inst.srcs[0], 1)
+    v1 = sim._vec(inst.srcs[1], 1)
+    scalars = _scalars_from(inst, sim.state)
+    even, odd = semantics.vmpa(v0, v1, scalars)
+
+    def write() -> None:
+        sim._set_vec(inst.dests[0], even.astype(np.int16))
+        sim._set_vec(inst.dests[1], odd.astype(np.int16))
+
+    return write
+
+
+def _h_vrmpy(sim: Simulator, inst: Instruction) -> Callable[[], None]:
+    v = sim._vec(inst.srcs[0], 1)  # signed int8 lanes, library-wide
+    scalars = _scalars_from(inst, sim.state)
+    acc = None
+    if len(inst.srcs) > 1 and RegisterFile.is_vector_name(inst.srcs[1]):
+        acc = sim._vec(inst.srcs[1], 4)
+    result = semantics.vrmpy(v.astype(np.int32), scalars, acc=acc)
+
+    def write() -> None:
+        sim._set_vec(inst.dests[0], result)
+
+    return write
+
+
+def _h_vtmpy(sim: Simulator, inst: Instruction) -> Callable[[], None]:
+    v0 = sim._vec(inst.srcs[0], 1)
+    v1 = sim._vec(inst.srcs[1], 1)
+    scalars = _scalars_from(inst, sim.state)
+    result = semantics.vtmpy(v0, v1, scalars)
+
+    def write() -> None:
+        sim._set_vec(inst.dests[0], result[0::4].astype(np.int32))
+
+    return write
+
+
+def _h_vmpye(sim: Simulator, inst: Instruction) -> Callable[[], None]:
+    v = sim._vec(inst.srcs[0], 1)
+    scalars = _scalars_from(inst, sim.state)
+    result = semantics.vmpye(v, scalars)
+
+    def write() -> None:
+        sim._set_vec(inst.dests[0], result[:32].astype(np.int32))
+
+    return write
+
+
+def _binary_valu(op: Callable[[np.ndarray, np.ndarray], np.ndarray]):
+    def handler(sim: Simulator, inst: Instruction) -> Callable[[], None]:
+        a = sim._vec(inst.srcs[0], inst.lane_bytes)
+        b = sim._vec(inst.srcs[1], inst.lane_bytes)
+        result = op(a, b).astype(_LANE_DTYPES[inst.lane_bytes])
+
+        def write() -> None:
+            sim._set_vec(inst.dests[0], result)
+
+        return write
+
+    return handler
+
+
+def _h_vshuff(sim: Simulator, inst: Instruction) -> Callable[[], None]:
+    a = sim._vec(inst.srcs[0], inst.lane_bytes)
+    b = sim._vec(inst.srcs[1], inst.lane_bytes)
+    merged = semantics.vshuff(a, b)
+    half = merged.size // 2
+
+    def write() -> None:
+        sim._set_vec(inst.dests[0], merged[:half])
+        sim._set_vec(inst.dests[1], merged[half:])
+
+    return write
+
+
+def _h_vasr(sim: Simulator, inst: Instruction) -> Callable[[], None]:
+    a = sim._vec(inst.srcs[0], 4)
+    shift = inst.imms[0] if inst.imms else 0
+    result = semantics.vasr(a, shift)
+
+    def write() -> None:
+        sim._set_vec(inst.dests[0], result)
+
+    return write
+
+
+def _h_vsplat(sim: Simulator, inst: Instruction) -> Callable[[], None]:
+    value = inst.imms[0] if inst.imms else 0
+    lanes = semantics.vsplat(value, _LANE_DTYPES[inst.lane_bytes])
+
+    def write() -> None:
+        sim._set_vec(inst.dests[0], lanes)
+
+    return write
+
+
+def _h_vsel(sim: Simulator, inst: Instruction) -> Callable[[], None]:
+    a = sim._vec(inst.srcs[0], inst.lane_bytes)
+    b = sim._vec(inst.srcs[1], inst.lane_bytes)
+    result = np.where(a > b, a, b)
+
+    def write() -> None:
+        sim._set_vec(inst.dests[0], result)
+
+    return write
+
+
+def _h_load(sim: Simulator, inst: Instruction) -> Callable[[], None]:
+    address = _address_of(inst, sim.state)
+    raw = sim.state.load_bytes(address, 4)
+    value = int(raw.view(np.int32)[0])
+
+    def write() -> None:
+        sim.state.registers.write_scalar(inst.dests[0], value)
+
+    return write
+
+
+def _h_store(sim: Simulator, inst: Instruction) -> Callable[[], None]:
+    # Scalar store convention: srcs[0] is the value register, srcs[1]
+    # (optional) the base-address register, imms[0] the offset.
+    value = (
+        sim.state.registers.read_scalar(inst.srcs[0]) if inst.srcs else 0
+    )
+    base = (
+        sim.state.registers.read_scalar(inst.srcs[1])
+        if len(inst.srcs) > 1
+        else 0
+    )
+    address = base + (inst.imms[0] if inst.imms else 0)
+
+    def write() -> None:
+        sim.state.store_bytes(address, np.array([value], dtype=np.int32))
+
+    return write
+
+
+def _scalar_alu(op: Callable[[int, int], int]):
+    def handler(sim: Simulator, inst: Instruction) -> Callable[[], None]:
+        lhs = sim.state.registers.read_scalar(inst.srcs[0])
+        if len(inst.srcs) > 1:
+            rhs = sim.state.registers.read_scalar(inst.srcs[1])
+        else:
+            rhs = inst.imms[0] if inst.imms else 0
+        result = op(lhs, rhs)
+
+        def write() -> None:
+            sim.state.registers.write_scalar(inst.dests[0], result)
+
+        return write
+
+    return handler
+
+
+def _h_lut(sim: Simulator, inst: Instruction) -> Callable[[], None]:
+    base = inst.imms[0] if inst.imms else 0
+    index = sim.state.registers.read_scalar(inst.srcs[0])
+    raw = sim.state.load_bytes(base + 4 * index, 4)
+    value = int(raw.view(np.int32)[0])
+
+    def write() -> None:
+        sim.state.registers.write_scalar(inst.dests[0], value)
+
+    return write
+
+
+def _h_nop(sim: Simulator, inst: Instruction) -> Callable[[], None]:
+    return lambda: None
+
+
+_HANDLERS: Dict[Opcode, Callable[[Simulator, Instruction], Callable[[], None]]] = {
+    Opcode.VLOAD: _h_vload,
+    Opcode.VSTORE: _h_vstore,
+    Opcode.VMPY: _h_vmpy,
+    Opcode.VMPA: _h_vmpa,
+    Opcode.VRMPY: _h_vrmpy,
+    Opcode.VTMPY: _h_vtmpy,
+    Opcode.VMPYE: _h_vmpye,
+    Opcode.VADD: _binary_valu(semantics.vadd),
+    Opcode.VSUB: _binary_valu(semantics.vsub),
+    Opcode.VMAX: _binary_valu(semantics.vmax),
+    Opcode.VMIN: _binary_valu(semantics.vmin),
+    Opcode.VAVG: _binary_valu(lambda a, b: (a.astype(np.int32) + b) // 2),
+    Opcode.VSHUFF: _h_vshuff,
+    Opcode.VASR: _h_vasr,
+    Opcode.VSPLAT: _h_vsplat,
+    Opcode.VSEL: _h_vsel,
+    Opcode.LOAD: _h_load,
+    Opcode.STORE: _h_store,
+    Opcode.ADD: _scalar_alu(lambda a, b: a + b),
+    Opcode.SUB: _scalar_alu(lambda a, b: a - b),
+    Opcode.MUL: _scalar_alu(lambda a, b: a * b),
+    Opcode.SHIFT: _scalar_alu(lambda a, b: a >> b if b >= 0 else a << -b),
+    Opcode.CMP: _scalar_alu(lambda a, b: int(a > b)),
+    Opcode.LUT: _h_lut,
+    Opcode.JUMP: _h_nop,
+    Opcode.LOOP: _h_nop,
+    Opcode.NOP: _h_nop,
+}

@@ -1,0 +1,97 @@
+"""Execution tracing for the functional simulator.
+
+A :class:`TraceRecorder` wraps a :class:`~repro.machine.simulator.Simulator`
+and records one :class:`TraceEntry` per packet — issue cycle, members,
+stall cycles, registers written — the raw material for debugging a
+schedule ("why is this kernel 4 cycles longer than expected?") and for
+the textual pipeline diagrams the tests assert over.
+"""
+
+from __future__ import annotations
+
+import io
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from repro.isa.instructions import Instruction
+from repro.machine.packet import Packet
+from repro.machine.pipeline import packet_cycles, _longest_soft_chain
+from repro.machine.simulator import MachineState, Simulator
+
+
+@dataclass(frozen=True)
+class TraceEntry:
+    """One executed packet."""
+
+    index: int
+    start_cycle: int
+    cycles: int
+    stall_cycles: int
+    opcodes: Tuple[str, ...]
+    writes: Tuple[str, ...]
+
+    @property
+    def end_cycle(self) -> int:
+        return self.start_cycle + self.cycles
+
+
+class TraceRecorder:
+    """Runs packets through a simulator while recording a trace."""
+
+    def __init__(self, state: Optional[MachineState] = None) -> None:
+        self.simulator = Simulator(state or MachineState())
+        self.entries: List[TraceEntry] = []
+
+    @property
+    def state(self) -> MachineState:
+        return self.simulator.state
+
+    def run(self, packets: Sequence[Packet]) -> List[TraceEntry]:
+        """Execute ``packets``, returning the recorded trace."""
+        for packet in packets:
+            start = self.simulator.cycles
+            self.simulator.step(packet)
+            cycles = self.simulator.cycles - start
+            members = list(packet)
+            base = max((m.latency for m in members), default=1)
+            self.entries.append(
+                TraceEntry(
+                    index=len(self.entries),
+                    start_cycle=start,
+                    cycles=cycles,
+                    stall_cycles=max(0, cycles - base),
+                    opcodes=tuple(m.opcode.value for m in members),
+                    writes=tuple(
+                        dest for m in members for dest in m.dests
+                    ),
+                )
+            )
+        return self.entries
+
+    @property
+    def total_cycles(self) -> int:
+        return self.simulator.cycles
+
+    @property
+    def total_stalls(self) -> int:
+        return sum(entry.stall_cycles for entry in self.entries)
+
+    def render(self, *, limit: Optional[int] = None) -> str:
+        """Human-readable pipeline listing.
+
+        ``*`` marks stall cycles — a packet shown as ``====*`` ran four
+        base cycles plus one interlock stall.
+        """
+        out = io.StringIO()
+        out.write(f"{'pkt':>4s} {'cycle':>6s}  timeline / members\n")
+        entries = self.entries if limit is None else self.entries[:limit]
+        for entry in entries:
+            bar = "=" * (entry.cycles - entry.stall_cycles)
+            bar += "*" * entry.stall_cycles
+            out.write(
+                f"{entry.index:4d} {entry.start_cycle:6d}  {bar:<8s} "
+                f"{' ; '.join(entry.opcodes)}\n"
+            )
+        if limit is not None and len(self.entries) > limit:
+            out.write(f"... {len(self.entries) - limit} more packets\n")
+        return out.getvalue()

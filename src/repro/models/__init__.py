@@ -1,0 +1,18 @@
+"""Model zoo: the ten networks of the paper's Table IV.
+
+Each builder returns a structurally faithful
+:class:`~repro.graph.graph.ComputationalGraph` — real layer configs,
+operator mixes and tensor shapes, with synthetic weights (inference
+latency does not depend on trained values; the paper makes the same
+point about datasets).  :mod:`repro.models.registry` carries each
+model's Table IV row for the benchmark harness.
+"""
+
+from repro.models.registry import (
+    MODELS,
+    ModelInfo,
+    build_model,
+    model_names,
+)
+
+__all__ = ["MODELS", "ModelInfo", "build_model", "model_names"]

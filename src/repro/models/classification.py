@@ -1,0 +1,158 @@
+"""Image-classification CNNs: MobileNet-V3, EfficientNet-b0, ResNet-50."""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.graph.builder import GraphBuilder, Handle
+from repro.graph.graph import ComputationalGraph
+
+
+def _se_block(b: GraphBuilder, x: Handle, channels: int, reduced: int) -> Handle:
+    """Squeeze-and-excitation gate."""
+    s = b.global_avg_pool(x)
+    s = b.conv2d(s, reduced, kernel=1, padding=0)
+    s = b.relu(s)
+    s = b.conv2d(s, channels, kernel=1, padding=0)
+    s = b.sigmoid(s)
+    return b.mul(x, s)
+
+
+def build_mobilenet_v3(input_size: int = 224) -> ComputationalGraph:
+    """MobileNet-V3 Large (the paper's 0.22 GMAC / 5.5M param config).
+
+    Inverted-residual blocks per the published architecture table:
+    (kernel, expansion, out channels, SE?, activation, stride).
+    """
+    spec: List[Tuple[int, int, int, bool, str, int]] = [
+        (3, 16, 16, False, "relu", 1),
+        (3, 64, 24, False, "relu", 2),
+        (3, 72, 24, False, "relu", 1),
+        (5, 72, 40, True, "relu", 2),
+        (5, 120, 40, True, "relu", 1),
+        (5, 120, 40, True, "relu", 1),
+        (3, 240, 80, False, "hswish", 2),
+        (3, 200, 80, False, "hswish", 1),
+        (3, 184, 80, False, "hswish", 1),
+        (3, 184, 80, False, "hswish", 1),
+        (3, 480, 112, True, "hswish", 1),
+        (3, 672, 112, True, "hswish", 1),
+        (5, 672, 160, True, "hswish", 2),
+        (5, 960, 160, True, "hswish", 1),
+        (5, 960, 160, True, "hswish", 1),
+    ]
+    b = GraphBuilder("mobilenet_v3")
+    x = b.input((1, 3, input_size, input_size), name="image")
+    x = b.conv2d(x, 16, kernel=3, stride=2)
+    x = b.hardswish(x)
+
+    in_channels = 16
+    for kernel, expand, out_channels, use_se, act, stride in spec:
+        block_in = x
+        y = x
+        if expand != in_channels:
+            y = b.conv2d(y, expand, kernel=1, padding=0)
+            y = b.hardswish(y) if act == "hswish" else b.relu(y)
+        y = b.depthwise_conv2d(y, kernel=kernel, stride=stride)
+        y = b.hardswish(y) if act == "hswish" else b.relu(y)
+        if use_se:
+            y = _se_block(b, y, expand, max(8, expand // 4))
+        y = b.conv2d(y, out_channels, kernel=1, padding=0)
+        if stride == 1 and out_channels == in_channels:
+            y = b.add(block_in, y)
+        x = y
+        in_channels = out_channels
+
+    x = b.conv2d(x, 960, kernel=1, padding=0)
+    x = b.hardswish(x)
+    x = b.global_avg_pool(x)
+    x = b.conv2d(x, 1280, kernel=1, padding=0)
+    x = b.hardswish(x)
+    x = b.reshape(x, (1, 1280))
+    x = b.dense(x, 1000)
+    b.softmax(x)
+    return b.build()
+
+
+def build_efficientnet_b0(input_size: int = 224) -> ComputationalGraph:
+    """EfficientNet-b0 (0.4 GMACs, 254 operators in Table IV).
+
+    MBConv blocks: (expansion, channels, repeats, stride, kernel).
+    """
+    spec = [
+        (1, 16, 1, 1, 3),
+        (6, 24, 2, 2, 3),
+        (6, 40, 2, 2, 5),
+        (6, 80, 3, 2, 3),
+        (6, 112, 3, 1, 5),
+        (6, 192, 4, 2, 5),
+        (6, 320, 1, 1, 3),
+    ]
+    b = GraphBuilder("efficientnet_b0")
+    x = b.input((1, 3, input_size, input_size), name="image")
+    x = b.conv2d(x, 32, kernel=3, stride=2)
+    x = b.hardswish(x)
+
+    in_channels = 32
+    for expansion, channels, repeats, first_stride, kernel in spec:
+        for repeat in range(repeats):
+            stride = first_stride if repeat == 0 else 1
+            block_in = x
+            y = x
+            expanded = in_channels * expansion
+            if expansion != 1:
+                y = b.conv2d(y, expanded, kernel=1, padding=0)
+                y = b.hardswish(y)
+            y = b.depthwise_conv2d(y, kernel=kernel, stride=stride)
+            y = b.hardswish(y)
+            y = _se_block(b, y, expanded, max(4, in_channels // 4))
+            y = b.conv2d(y, channels, kernel=1, padding=0)
+            if stride == 1 and channels == in_channels:
+                y = b.add(block_in, y)
+            x = y
+            in_channels = channels
+
+    x = b.conv2d(x, 1280, kernel=1, padding=0)
+    x = b.hardswish(x)
+    x = b.global_avg_pool(x)
+    x = b.reshape(x, (1, 1280))
+    x = b.dense(x, 1000)
+    b.softmax(x)
+    return b.build()
+
+
+def build_resnet50(input_size: int = 224) -> ComputationalGraph:
+    """ResNet-50 (4.1 GMACs, 25.5M params): bottleneck stages 3-4-6-3."""
+    b = GraphBuilder("resnet50")
+    x = b.input((1, 3, input_size, input_size), name="image")
+    x = b.conv2d(x, 64, kernel=7, stride=2, padding=3)
+    x = b.relu(x)
+    x = b.max_pool(x, kernel=3, stride=2, padding=1)
+
+    in_channels = 64
+    for stage, (blocks, channels) in enumerate(
+        [(3, 64), (4, 128), (6, 256), (3, 512)]
+    ):
+        for block in range(blocks):
+            stride = 2 if (block == 0 and stage > 0) else 1
+            out_channels = channels * 4
+            identity = x
+            y = b.conv2d(x, channels, kernel=1, stride=stride, padding=0)
+            y = b.relu(y)
+            y = b.conv2d(y, channels, kernel=3)
+            y = b.relu(y)
+            y = b.conv2d(y, out_channels, kernel=1, padding=0)
+            if block == 0:
+                identity = b.conv2d(
+                    x, out_channels, kernel=1, stride=stride, padding=0,
+                    name=f"proj_{stage}",
+                )
+            y = b.add(identity, y)
+            x = b.relu(y)
+            in_channels = out_channels
+
+    x = b.global_avg_pool(x)
+    x = b.reshape(x, (1, 2048))
+    x = b.dense(x, 1000)
+    b.softmax(x)
+    return b.build()

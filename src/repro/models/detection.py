@@ -1,0 +1,177 @@
+"""Object-detection networks: EfficientDet-d0 and PixOr."""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.graph.builder import GraphBuilder, Handle
+from repro.graph.graph import ComputationalGraph
+from repro.models.classification import _se_block
+
+
+def _efficientnet_backbone(
+    b: GraphBuilder, x: Handle
+) -> Dict[int, Handle]:
+    """EfficientNet-b0 trunk, returning the P3/P4/P5 feature taps."""
+    spec = [
+        (1, 16, 1, 1, 3),
+        (6, 24, 2, 2, 3),
+        (6, 40, 2, 2, 5),   # -> P3 (1/8)
+        (6, 80, 3, 2, 3),
+        (6, 112, 3, 1, 5),  # -> P4 (1/16)
+        (6, 192, 4, 2, 5),
+        (6, 320, 1, 1, 3),  # -> P5 (1/32)
+    ]
+    x = b.conv2d(x, 32, kernel=3, stride=2)
+    x = b.hardswish(x)
+    taps: Dict[int, Handle] = {}
+    in_channels = 32
+    for index, (expansion, channels, repeats, first_stride, kernel) in enumerate(spec):
+        for repeat in range(repeats):
+            stride = first_stride if repeat == 0 else 1
+            block_in = x
+            y = x
+            expanded = in_channels * expansion
+            if expansion != 1:
+                y = b.conv2d(y, expanded, kernel=1, padding=0)
+                y = b.hardswish(y)
+            y = b.depthwise_conv2d(y, kernel=kernel, stride=stride)
+            y = b.hardswish(y)
+            y = _se_block(b, y, expanded, max(4, in_channels // 4))
+            y = b.conv2d(y, channels, kernel=1, padding=0)
+            if stride == 1 and channels == in_channels:
+                y = b.add(block_in, y)
+            x = y
+            in_channels = channels
+        if index == 2:
+            taps[3] = x
+        elif index == 4:
+            taps[4] = x
+        elif index == 6:
+            taps[5] = x
+    return taps
+
+
+def _bifpn_node(
+    b: GraphBuilder, inputs: List[Handle], channels: int
+) -> Handle:
+    """One weighted-fusion BiFPN node.
+
+    Each input is scaled by a learned (fast-normalised) fusion weight
+    before the add, then activation and a separable conv follow.
+    """
+    if len(inputs) > 1:
+        weighted = [
+            b.mul(stream, b.constant((1,))) for stream in inputs
+        ]
+        fused = b.add(*weighted)
+    else:
+        fused = inputs[0]
+    fused = b.hardswish(fused)
+    fused = b.depthwise_conv2d(fused, kernel=3)
+    return b.conv2d(fused, channels, kernel=1, padding=0)
+
+
+def build_efficientdet_d0(input_size: int = 512) -> ComputationalGraph:
+    """EfficientDet-d0 (2.6 GMACs, 822 operators): EfficientNet-b0
+    backbone, 3 BiFPN cells at 64 channels, 3-layer class/box heads
+    over 5 pyramid levels."""
+    channels = 64
+    b = GraphBuilder("efficientdet_d0")
+    image = b.input((1, 3, input_size, input_size), name="image")
+    taps = _efficientnet_backbone(b, image)
+
+    # Resample backbone taps into P3..P7 at the BiFPN width.
+    levels: Dict[int, Handle] = {}
+    for level in (3, 4, 5):
+        levels[level] = b.conv2d(taps[level], channels, kernel=1, padding=0)
+    levels[6] = b.conv2d(taps[5], channels, kernel=3, stride=2)
+    levels[7] = b.conv2d(levels[6], channels, kernel=3, stride=2)
+
+    for _ in range(3):  # three BiFPN cells in d0
+        # Top-down pass.
+        td: Dict[int, Handle] = {7: levels[7]}
+        for level in (6, 5, 4, 3):
+            upsampled = b.resize(td[level + 1], scale=2)
+            td[level] = _bifpn_node(b, [levels[level], upsampled], channels)
+        # Bottom-up pass.
+        out: Dict[int, Handle] = {3: td[3]}
+        for level in (4, 5, 6, 7):
+            downsampled = b.max_pool(out[level - 1], kernel=2, stride=2)
+            inputs = [levels[level], td.get(level, levels[level]), downsampled]
+            out[level] = _bifpn_node(b, inputs, channels)
+        levels = out
+
+    # Class and box heads (3 separable-conv layers each, shared shape).
+    anchors = 9
+    for level in (3, 4, 5, 6, 7):
+        for head, out_ch in (("cls", anchors * 90), ("box", anchors * 4)):
+            y = levels[level]
+            for _ in range(3):
+                y = b.depthwise_conv2d(y, kernel=3)
+                y = b.conv2d(y, channels, kernel=1, padding=0)
+                y = b.hardswish(y)
+            y = b.depthwise_conv2d(y, kernel=3, name=f"{head}_dw_p{level}")
+            b.conv2d(y, out_ch, kernel=1, padding=0, name=f"{head}_p{level}")
+    return b.build()
+
+
+def build_pixor(height: int = 800, width: int = 704) -> ComputationalGraph:
+    """PixOr 3-D object detection from LiDAR BEV (8.8 GMACs).
+
+    Input is the rasterised bird's-eye-view occupancy grid (36 channels
+    — the KITTI front-end the paper's pipeline feeds the DSP; width is
+    rounded to 704 so the three stride-2 stages divide evenly); the
+    network is a ResNet-ish backbone plus an upsampling header with
+    per-pixel classification and box regression heads.
+    """
+    b = GraphBuilder("pixor")
+    x = b.input((1, 36, height, width), name="bev")
+    x = b.conv2d(x, 16, kernel=3)
+    x = b.relu(x)
+    x = b.conv2d(x, 16, kernel=3)
+    x = b.relu(x)
+
+    skips: List[Handle] = []
+    channels = 16
+    for stage, out_channels in enumerate((48, 96, 128, 192)):
+        stride = 2
+        identity = b.conv2d(
+            x, out_channels, kernel=1, stride=stride, padding=0,
+            name=f"pixor_proj_{stage}",
+        )
+        y = b.conv2d(x, out_channels // 4, kernel=1, stride=stride, padding=0)
+        y = b.relu(y)
+        y = b.conv2d(y, out_channels // 4, kernel=3)
+        y = b.relu(y)
+        y = b.conv2d(y, out_channels, kernel=1, padding=0)
+        x = b.relu(b.add(identity, y))
+        for _ in range(1 if stage < 2 else 2):
+            y = b.conv2d(x, out_channels // 4, kernel=1, padding=0)
+            y = b.relu(y)
+            y = b.conv2d(y, out_channels // 4, kernel=3)
+            y = b.relu(y)
+            y = b.conv2d(y, out_channels, kernel=1, padding=0)
+            x = b.relu(b.add(x, y))
+        skips.append(x)
+        channels = out_channels
+
+    # Upsampling header: fuse the last three stages at 1/4 resolution.
+    p = b.conv2d(skips[-1], 64, kernel=1, padding=0)
+    p = b.resize(p, scale=2)
+    lateral2 = b.conv2d(skips[-2], 64, kernel=1, padding=0)
+    p = b.add(p, lateral2)
+    p = b.resize(p, scale=2)
+    lateral1 = b.conv2d(skips[-3], 64, kernel=1, padding=0)
+    p = b.add(p, lateral1)
+    p = b.conv2d(p, 48, kernel=3)
+    p = b.relu(p)
+
+    # Heads: objectness plus 6-parameter box regression.
+    h = p
+    for _ in range(2):
+        h = b.conv2d(h, 32, kernel=3)
+        h = b.relu(h)
+    b.conv2d(h, 1, kernel=3, name="objectness")
+    b.conv2d(h, 6, kernel=3, name="box_params")
+    return b.build()

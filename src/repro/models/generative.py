@@ -1,0 +1,103 @@
+"""Generative / restoration CNNs: FST, CycleGAN, WDSR-b."""
+
+from __future__ import annotations
+
+from repro.graph.builder import GraphBuilder, Handle
+from repro.graph.graph import ComputationalGraph
+
+
+def _fst_res_block(b: GraphBuilder, x: Handle, channels: int) -> Handle:
+    y = b.conv2d(x, channels, kernel=3)
+    y = b.instance_norm(y)
+    y = b.relu(y)
+    y = b.conv2d(y, channels, kernel=3)
+    y = b.instance_norm(y)
+    return b.add(x, y)
+
+
+def build_fst(input_size: int = 1100) -> ComputationalGraph:
+    """Fast Style Transfer (Johnson et al.): 161 GMACs at 1100x1100 (the COCO-resolution the paper's MAC count implies).
+
+    Encoder (9x9 + two stride-2 convs), five residual blocks, two
+    transposed-conv upsamples, 9x9 output head with tanh.
+    """
+    b = GraphBuilder("fst")
+    x = b.input((1, 3, input_size, input_size), name="image")
+    x = b.conv2d(x, 32, kernel=9, padding=4)
+    x = b.instance_norm(x)
+    x = b.relu(x)
+    x = b.conv2d(x, 64, kernel=3, stride=2)
+    x = b.instance_norm(x)
+    x = b.relu(x)
+    x = b.conv2d(x, 128, kernel=3, stride=2)
+    x = b.instance_norm(x)
+    x = b.relu(x)
+    for _ in range(5):
+        x = _fst_res_block(b, x, 128)
+    x = b.transpose_conv2d(x, 64, kernel=4, stride=2, padding=1)
+    x = b.instance_norm(x)
+    x = b.relu(x)
+    x = b.transpose_conv2d(x, 32, kernel=4, stride=2, padding=1)
+    x = b.instance_norm(x)
+    x = b.relu(x)
+    x = b.conv2d(x, 3, kernel=9, padding=4)
+    b.tanh(x)
+    return b.build()
+
+
+def build_cyclegan(input_size: int = 488) -> ComputationalGraph:
+    """CycleGAN generator (186 GMACs): c7s1-64, d128, d256, 9 residual
+    blocks, u128, u64, c7s1-3."""
+    b = GraphBuilder("cyclegan")
+    x = b.input((1, 3, input_size, input_size), name="image")
+    x = b.conv2d(x, 64, kernel=7, padding=3)
+    x = b.instance_norm(x)
+    x = b.relu(x)
+    x = b.conv2d(x, 128, kernel=3, stride=2)
+    x = b.instance_norm(x)
+    x = b.relu(x)
+    x = b.conv2d(x, 256, kernel=3, stride=2)
+    x = b.instance_norm(x)
+    x = b.relu(x)
+    for _ in range(9):
+        y = b.conv2d(x, 256, kernel=3)
+        y = b.instance_norm(y)
+        y = b.relu(y)
+        y = b.conv2d(y, 256, kernel=3)
+        y = b.instance_norm(y)
+        x = b.add(x, y)
+    x = b.transpose_conv2d(x, 128, kernel=4, stride=2, padding=1)
+    x = b.instance_norm(x)
+    x = b.relu(x)
+    x = b.transpose_conv2d(x, 64, kernel=4, stride=2, padding=1)
+    x = b.instance_norm(x)
+    x = b.relu(x)
+    x = b.conv2d(x, 3, kernel=7, padding=3)
+    b.tanh(x)
+    return b.build()
+
+
+def build_wdsr_b(
+    input_size: int = 500, scale: int = 2, features: int = 16, blocks: int = 8
+) -> ComputationalGraph:
+    """WDSR-b super resolution (11.5 GMACs, only 22.2K params, 32 ops).
+
+    Wide-activation residual body plus a pixel-shuffle upsampling tail
+    and a global skip connection.
+    """
+    b = GraphBuilder("wdsr_b")
+    x = b.input((1, 3, input_size, input_size), name="image")
+    head = b.conv2d(x, features, kernel=3)
+    body = head
+    for _ in range(blocks):
+        y = b.conv2d(body, features * 6, kernel=1, padding=0)
+        y = b.relu(y)
+        y = b.conv2d(y, features, kernel=1, padding=0)
+        y = b.conv2d(y, features, kernel=3)
+        body = b.add(body, y)
+    up = b.conv2d(body, 3 * scale * scale, kernel=3)
+    up = b.depth_to_space(up, block=scale)
+    skip = b.conv2d(x, 3 * scale * scale, kernel=5, padding=2)
+    skip = b.depth_to_space(skip, block=scale)
+    b.add(up, skip)
+    return b.build()

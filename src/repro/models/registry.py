@@ -1,0 +1,118 @@
+"""Model registry with the paper's Table IV reference data."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from repro.errors import ReproError
+from repro.graph.graph import ComputationalGraph
+from repro.models.classification import (
+    build_efficientnet_b0,
+    build_mobilenet_v3,
+    build_resnet50,
+)
+from repro.models.detection import build_efficientdet_d0, build_pixor
+from repro.models.generative import build_cyclegan, build_fst, build_wdsr_b
+from repro.models.transformers import build_conformer, build_tinybert
+
+
+@dataclass(frozen=True)
+class ModelInfo:
+    """One row of Table IV.
+
+    ``tflite_ms``/``snpe_ms``/``gcd2_ms`` are the paper's measured
+    latencies (``None`` where the framework does not support the
+    model); they are reference points for the benchmark harness, never
+    inputs to our own latency model.
+    """
+
+    name: str
+    model_type: str
+    task: str
+    builder: Callable[[], ComputationalGraph]
+    paper_gmacs: float
+    paper_params: str
+    paper_operators: int
+    tflite_ms: Optional[float]
+    snpe_ms: Optional[float]
+    gcd2_ms: float
+    transformer: bool = False
+
+    @property
+    def supported_by_tflite(self) -> bool:
+        return self.tflite_ms is not None
+
+    @property
+    def supported_by_snpe(self) -> bool:
+        return self.snpe_ms is not None
+
+
+MODELS: Dict[str, ModelInfo] = {
+    info.name: info
+    for info in [
+        ModelInfo(
+            "mobilenet_v3", "2D CNN", "Classification",
+            build_mobilenet_v3, 0.22, "5.5M", 193, 7.5, 6.2, 4.0,
+        ),
+        ModelInfo(
+            "efficientnet_b0", "2D CNN", "Classification",
+            build_efficientnet_b0, 0.40, "4M", 254, 9.1, 9.2, 6.0,
+        ),
+        ModelInfo(
+            "resnet50", "2D CNN", "Classification",
+            build_resnet50, 4.1, "25.5M", 140, 13.9, 11.6, 7.1,
+        ),
+        ModelInfo(
+            "fst", "2D CNN", "Style transfer",
+            build_fst, 161.0, "1.7M", 64, 935.0, 870.0, 211.0,
+        ),
+        ModelInfo(
+            "cyclegan", "GAN", "Image translation",
+            build_cyclegan, 186.0, "11M", 84, 450.0, 366.0, 181.0,
+        ),
+        ModelInfo(
+            "wdsr_b", "2D CNN", "Super resolution",
+            build_wdsr_b, 11.5, "22.2K", 32, 400.0, 137.0, 66.7,
+        ),
+        ModelInfo(
+            "efficientdet_d0", "2D CNN", "2D object detection",
+            build_efficientdet_d0, 2.6, "4.3M", 822, 62.8, None, 26.0,
+        ),
+        ModelInfo(
+            "pixor", "2D CNN", "3D object detection",
+            build_pixor, 8.8, "2.1M", 150, 43.0, 26.4, 11.7,
+        ),
+        ModelInfo(
+            "tinybert", "Transformer", "NLP",
+            build_tinybert, 1.4, "4.7M", 211, None, None, 12.2,
+            transformer=True,
+        ),
+        ModelInfo(
+            "conformer", "Transformer", "Speech recognition",
+            build_conformer, 5.6, "1.2M", 675, None, None, 65.0,
+            transformer=True,
+        ),
+    ]
+}
+
+_CACHE: Dict[str, ComputationalGraph] = {}
+
+
+def model_names() -> List[str]:
+    """All registered model names, Table IV order."""
+    return list(MODELS)
+
+
+def build_model(name: str, *, use_cache: bool = True) -> ComputationalGraph:
+    """Build (or fetch a cached) model graph by name."""
+    if name not in MODELS:
+        raise ReproError(
+            f"unknown model {name!r}; available: {', '.join(MODELS)}"
+        )
+    if use_cache and name in _CACHE:
+        return _CACHE[name]
+    graph = MODELS[name].builder()
+    if use_cache:
+        _CACHE[name] = graph
+    return graph

@@ -1,0 +1,100 @@
+"""Model summaries: layer tables and compiler-relevant statistics.
+
+``summarize`` produces the per-model digest the CLI's ``describe``
+command prints — operator mix, GEMM shape census (what the selection
+problem actually looks like for this network), activation footprint,
+and the Table IV reference row.
+"""
+
+from __future__ import annotations
+
+import io
+import math
+from collections import Counter
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.graph.graph import ComputationalGraph
+from repro.models.registry import MODELS, ModelInfo, build_model
+
+
+@dataclass(frozen=True)
+class ModelSummary:
+    """Digest of one model graph."""
+
+    name: str
+    operators: int
+    gmacs: float
+    operator_mix: Tuple[Tuple[str, int], ...]
+    gemm_shapes: Tuple[Tuple[Tuple[int, int, int], int], ...]
+    activation_mb: float
+    largest_tensor: Tuple[int, ...]
+    info: Optional[ModelInfo]
+
+
+def summarize(
+    graph: ComputationalGraph, info: Optional[ModelInfo] = None
+) -> ModelSummary:
+    """Compute a :class:`ModelSummary` for ``graph``."""
+    mix = Counter(
+        n.op_type for n in graph if n.op_type not in ("Input", "Constant")
+    )
+    shapes = Counter()
+    for node in graph:
+        if node.op.is_compute_heavy:
+            dims = graph.node_matmul_dims(node.node_id)
+            if dims is not None:
+                shapes[dims] += 1
+    activation_bytes = sum(
+        int(math.prod(n.output_shape)) for n in graph
+    )
+    largest = max(
+        (n.output_shape for n in graph),
+        key=lambda s: int(math.prod(s)),
+    )
+    return ModelSummary(
+        name=graph.name,
+        operators=graph.operator_count(),
+        gmacs=graph.total_macs() / 1e9,
+        operator_mix=tuple(mix.most_common()),
+        gemm_shapes=tuple(shapes.most_common()),
+        activation_mb=activation_bytes / 1e6,
+        largest_tensor=tuple(largest),
+        info=info,
+    )
+
+
+def summarize_model(name: str) -> ModelSummary:
+    """Summary of a zoo model by name."""
+    return summarize(build_model(name), MODELS.get(name))
+
+
+def render_summary(summary: ModelSummary, *, top: int = 8) -> str:
+    """Human-readable rendering of a summary."""
+    out = io.StringIO()
+    out.write(
+        f"{summary.name}: {summary.operators} operators, "
+        f"{summary.gmacs:.2f} GMACs, "
+        f"{summary.activation_mb:.1f} MB activations "
+        f"(largest tensor {summary.largest_tensor})\n"
+    )
+    if summary.info is not None:
+        info = summary.info
+        out.write(
+            f"paper row: {info.paper_gmacs} GMACs / "
+            f"{info.paper_operators} ops / GCD2 {info.gcd2_ms} ms "
+            f"(TFLite {info.tflite_ms or '-'}, SNPE {info.snpe_ms or '-'})\n"
+        )
+    out.write("\noperator mix:\n")
+    for op_type, count in summary.operator_mix[:top]:
+        out.write(f"    {count:4d}  {op_type}\n")
+    remaining = len(summary.operator_mix) - top
+    if remaining > 0:
+        out.write(f"    ...and {remaining} more operator types\n")
+    out.write("\nGEMM shape census (M x K x N -> kernel count):\n")
+    for (m, k, n), count in summary.gemm_shapes[:top]:
+        out.write(f"    {count:4d}  {m} x {k} x {n}\n")
+    remaining = len(summary.gemm_shapes) - top
+    if remaining > 0:
+        out.write(f"    ...and {remaining} more distinct shapes\n")
+    return out.getvalue()

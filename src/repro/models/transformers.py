@@ -1,0 +1,171 @@
+"""Transformer models: TinyBERT and Conformer.
+
+These are the two networks GCD2 runs on the mobile DSP "for the first
+time" — TFLite and SNPE lack the MatMul variants (activation-by-
+activation products in attention) and operators like Pow that they
+need.  The builders express attention with explicit two-operand
+MatMuls, Transposes, Softmax and Pow, exactly the operator mix that
+gates baseline support.
+"""
+
+from __future__ import annotations
+
+from repro.graph.builder import GraphBuilder, Handle
+from repro.graph.graph import ComputationalGraph
+
+
+def _attention(
+    b: GraphBuilder,
+    x: Handle,
+    seq: int,
+    hidden: int,
+    heads: int,
+    tag: str,
+) -> Handle:
+    """Multi-head self-attention over (1, seq, hidden)."""
+    head_dim = hidden // heads
+    q = b.matmul(x, weight_shape=(hidden, hidden), name=f"{tag}_q")
+    k = b.matmul(x, weight_shape=(hidden, hidden), name=f"{tag}_k")
+    v = b.matmul(x, weight_shape=(hidden, hidden), name=f"{tag}_v")
+    q = b.reshape(q, (1, seq, heads, head_dim), name=f"{tag}_qr")
+    k = b.reshape(k, (1, seq, heads, head_dim), name=f"{tag}_kr")
+    v = b.reshape(v, (1, seq, heads, head_dim), name=f"{tag}_vr")
+    q = b.transpose(q, (0, 2, 1, 3), name=f"{tag}_qt")
+    k = b.transpose(k, (0, 2, 3, 1), name=f"{tag}_kt")
+    v = b.transpose(v, (0, 2, 1, 3), name=f"{tag}_vt")
+    scores = b.matmul(q, k, name=f"{tag}_qk")  # activation x activation
+    scores = b.softmax(scores, name=f"{tag}_attn")
+    context = b.matmul(scores, v, name=f"{tag}_ctx")
+    context = b.transpose(context, (0, 2, 1, 3), name=f"{tag}_ct")
+    context = b.reshape(context, (1, seq, hidden), name=f"{tag}_cr")
+    out = b.matmul(
+        context, weight_shape=(hidden, hidden), name=f"{tag}_proj"
+    )
+    return out
+
+
+def _ffn(
+    b: GraphBuilder,
+    x: Handle,
+    hidden: int,
+    intermediate: int,
+    tag: str,
+    *,
+    half_residual: bool = False,
+) -> Handle:
+    """Feed-forward block with GELU."""
+    y = b.matmul(x, weight_shape=(hidden, intermediate), name=f"{tag}_up")
+    y = b.gelu(y, name=f"{tag}_act")
+    y = b.matmul(y, weight_shape=(intermediate, hidden), name=f"{tag}_down")
+    if half_residual:
+        # Conformer's half-step FFN: x + 0.5 * FFN(x), realised with an
+        # elementwise Pow-free scale via Mul against a constant.
+        half = b.constant((1,), name=f"{tag}_half")
+        y = b.mul(y, half, name=f"{tag}_scale")
+    return y
+
+
+def build_tinybert(seq: int = 256) -> ComputationalGraph:
+    """TinyBERT(4): 4 layers, hidden 312, 12 heads, FFN 1200.
+
+    1.4 GMACs at sequence length 256 (paired-sentence input); includes the variance computation
+    of layer-norm statistics expressed with Pow — one of the operators
+    whose absence blocks TFLite/SNPE DSP execution.
+    """
+    hidden, heads, layers, intermediate = 312, 12, 4, 1200
+    b = GraphBuilder("tinybert")
+    tokens = b.input((1, seq), name="token_ids")
+    x = b.embedding(tokens, vocab=30522, dim=hidden, name="embed")
+    pos = b.constant((1, seq, hidden), name="pos_embed")
+    x = b.add(x, pos, name="embed_add")
+    x = b.layer_norm(x, name="embed_ln")
+    for layer in range(layers):
+        tag = f"l{layer}"
+        attn = _attention(b, x, seq, hidden, heads, f"{tag}_attn")
+        x = b.add(x, attn, name=f"{tag}_res1")
+        x = b.layer_norm(x, name=f"{tag}_ln1")
+        # Explicit variance via Pow (the paper: "more variants of
+        # MatMul, and Pow" are what GCD2 uniquely supports on DSP).
+        centered = b.sub(
+            x, b.reduce_mean(x, axis=-1, name=f"{tag}_mu"), name=f"{tag}_c"
+        )
+        var = b.reduce_mean(
+            b.pow(centered, 2.0, name=f"{tag}_sq"), axis=-1, name=f"{tag}_var"
+        )
+        x = b.div(centered, var, name=f"{tag}_norm")
+        ffn = _ffn(b, x, hidden, intermediate, f"{tag}_ffn")
+        x = b.add(x, ffn, name=f"{tag}_res2")
+        x = b.layer_norm(x, name=f"{tag}_ln2")
+    pooled = b.slice(x, axis=1, begin=0, length=1, name="cls_token")
+    pooled = b.reshape(pooled, (1, hidden), name="cls_flat")
+    logits = b.matmul(
+        pooled, weight_shape=(hidden, 2), name="classifier"
+    )
+    b.softmax(logits, name="probs")
+    return b.build()
+
+
+def _conformer_block(
+    b: GraphBuilder,
+    x: Handle,
+    seq: int,
+    hidden: int,
+    heads: int,
+    tag: str,
+) -> Handle:
+    """Conformer block: FFN/2, MHSA, conv module, FFN/2, layer norm."""
+    ffn1 = _ffn(b, x, hidden, hidden * 4, f"{tag}_ffn1", half_residual=True)
+    x = b.add(x, ffn1, name=f"{tag}_res1")
+    x = b.layer_norm(x, name=f"{tag}_ln1")
+
+    attn = _attention(b, x, seq, hidden, heads, f"{tag}_mhsa")
+    x = b.add(x, attn, name=f"{tag}_res2")
+    x = b.layer_norm(x, name=f"{tag}_ln2")
+
+    # Convolution module: pointwise (GLU-style gate), depthwise, pointwise.
+    y = b.reshape(x, (1, hidden, seq, 1), name=f"{tag}_to_nchw")
+    y = b.conv2d(y, hidden * 2, kernel=1, padding=0, name=f"{tag}_pw1")
+    gate = b.sigmoid(y, name=f"{tag}_gate")
+    y = b.mul(y, gate, name=f"{tag}_glu")
+    y = b.depthwise_conv2d(y, kernel=(15, 1), padding=(7, 0), name=f"{tag}_dw")
+    y = b.batch_norm(y, name=f"{tag}_bn")
+    y = b.hardswish(y, name=f"{tag}_swish")
+    y = b.conv2d(y, hidden, kernel=1, padding=0, name=f"{tag}_pw2")
+    y = b.reshape(y, (1, seq, hidden), name=f"{tag}_to_seq")
+    x = b.add(x, y, name=f"{tag}_res3")
+
+    ffn2 = _ffn(b, x, hidden, hidden * 4, f"{tag}_ffn2", half_residual=True)
+    x = b.add(x, ffn2, name=f"{tag}_res4")
+    return b.layer_norm(x, name=f"{tag}_ln_out")
+
+
+def build_conformer(
+    frames: int = 1600, mel_bins: int = 80
+) -> ComputationalGraph:
+    """Conformer-S encoder for speech recognition (5.6 GMACs, 675 ops; a 16-second LibriSpeech utterance at a 10 ms hop).
+
+    Convolutional subsampling (4x in time) feeding a stack of Conformer
+    blocks at hidden size 144 with 4 heads, plus a CTC-style output
+    projection.
+    """
+    hidden, heads, blocks = 144, 4, 16
+    b = GraphBuilder("conformer")
+    x = b.input((1, 1, frames, mel_bins), name="mel_spectrogram")
+    x = b.conv2d(x, hidden, kernel=3, stride=2)
+    x = b.relu(x)
+    x = b.conv2d(x, hidden, kernel=3, stride=2)
+    x = b.relu(x)
+    seq = frames // 4
+    feat = mel_bins // 4
+    x = b.transpose(x, (0, 2, 1, 3), name="to_time_major")
+    x = b.reshape(x, (1, seq, hidden * feat), name="flatten_freq")
+    x = b.matmul(
+        x, weight_shape=(hidden * feat, hidden), name="input_proj"
+    )
+    for block in range(blocks):
+        x = _conformer_block(b, x, seq, hidden, heads, f"b{block}")
+    logits = b.matmul(
+        x, weight_shape=(hidden, 1024), name="ctc_head"
+    )
+    b.softmax(logits, name="token_probs")
+    return b.build()

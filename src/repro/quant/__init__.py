@@ -1,0 +1,15 @@
+"""Post-training quantization and requantization utilities."""
+
+from repro.quant.quantize import (
+    QuantParams,
+    quantize_model_tensor,
+    requantize,
+    requantize_multiplier,
+)
+
+__all__ = [
+    "QuantParams",
+    "quantize_model_tensor",
+    "requantize",
+    "requantize_multiplier",
+]

@@ -1,0 +1,106 @@
+"""Quantization arithmetic shared by all simulated frameworks.
+
+All frameworks in the paper's evaluation use the identical TFLite-style
+post-training quantization, which is why accuracy is not compared — only
+latency.  This module provides that one standard scheme:
+
+* int8 weights (symmetric) and activations (asymmetric);
+* int32 accumulation;
+* fixed-point requantization: the float rescale factor
+  ``input_scale * weight_scale / output_scale`` is approximated by an
+  int32 multiplier and a right shift, evaluated with the ``vasr``
+  rounding-shift instruction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from repro.errors import QuantizationError
+from repro.isa import semantics
+from repro.tensor.qtensor import QTensor
+
+
+@dataclass(frozen=True)
+class QuantParams:
+    """Affine quantization parameters of one tensor."""
+
+    scale: float
+    zero_point: int = 0
+
+    def quantize(self, values: np.ndarray) -> np.ndarray:
+        """Float -> int8 levels under these parameters."""
+        q = np.round(np.asarray(values, dtype=np.float64) / self.scale)
+        return np.clip(q + self.zero_point, -128, 127).astype(np.int8)
+
+    def dequantize(self, levels: np.ndarray) -> np.ndarray:
+        """Int8 levels -> float values under these parameters."""
+        return self.scale * (
+            np.asarray(levels, dtype=np.float64) - self.zero_point
+        )
+
+
+def quantize_model_tensor(
+    values: np.ndarray, *, symmetric: bool = True
+) -> QTensor:
+    """Standard post-training quantization of one model tensor."""
+    return QTensor.quantize(values, symmetric=symmetric)
+
+
+def requantize_multiplier(rescale: float) -> Tuple[int, int]:
+    """Decompose a real rescale factor into (int32 multiplier, shift).
+
+    The returned pair satisfies ``rescale ~= multiplier / 2**shift`` with
+    the multiplier normalised into [2^14, 2^15) so the multiply fits
+    comfortably in 32-bit arithmetic after an int32 accumulator.
+    """
+    if rescale <= 0:
+        raise QuantizationError(f"rescale must be positive, got {rescale}")
+    shift = 0
+    scaled = rescale
+    while scaled < (1 << 14):
+        scaled *= 2
+        shift += 1
+        if shift > 62:
+            raise QuantizationError(f"rescale {rescale} too small to encode")
+    while scaled >= (1 << 15):
+        scaled /= 2
+        shift -= 1
+    if shift < 0:
+        raise QuantizationError(
+            f"rescale {rescale} too large to encode as multiplier/shift"
+        )
+    return int(round(scaled)), shift
+
+
+def requantize(
+    acc: np.ndarray,
+    rescale: float,
+    output_zero_point: int = 0,
+) -> np.ndarray:
+    """Narrow an int32 accumulator tensor back to int8 output levels.
+
+    Implements the fixed-point pipeline the generated kernels use:
+    multiply by the integer multiplier, rounding arithmetic shift right
+    (``vasr``), add the output zero point, saturate to int8.
+    """
+    multiplier, shift = requantize_multiplier(rescale)
+    acc = np.asarray(acc, dtype=np.int64)
+    scaled = acc * multiplier
+    shifted = semantics.vasr(scaled, shift)
+    return semantics.saturate_to_int8(shifted + output_zero_point)
+
+
+def reference_requantize(
+    acc: np.ndarray,
+    rescale: float,
+    output_zero_point: int = 0,
+) -> np.ndarray:
+    """Float-reference requantization used by tests as ground truth."""
+    acc = np.asarray(acc, dtype=np.float64)
+    return semantics.saturate_to_int8(
+        np.round(acc * rescale) + output_zero_point
+    )

@@ -1,0 +1,5 @@
+"""Runtime: execute compiled models on the simulated DSP kernels."""
+
+from repro.runtime.executor import QuantizedExecutor
+
+__all__ = ["QuantizedExecutor"]

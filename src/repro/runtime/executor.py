@@ -1,0 +1,215 @@
+"""Quantized execution of compiled models.
+
+The :class:`QuantizedExecutor` runs a compiled graph with int8
+arithmetic, routing every compute-heavy operator through the *actual
+instruction kernel* its execution plan selected — ``vmpy``, ``vmpa`` or
+``vrmpy`` over the matching packed layout — so the compiler's choices
+are exercised end to end, not just costed.  Outputs are validated in
+tests against the float reference executor within quantization error.
+
+This is a correctness runtime, not a fast one: it is meant for the
+examples and the integration tests, on moderate graph sizes.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.errors import SimulationError
+from repro.compiler import CompiledModel
+from repro.codegen.matmul import matmul_int32
+from repro.graph import ops
+from repro.graph.execute import ReferenceExecutor
+from repro.graph.graph import Node
+from repro.isa.instructions import Opcode
+from repro.quant.quantize import QuantParams, requantize
+
+
+class QuantizedExecutor:
+    """Runs a :class:`~repro.compiler.CompiledModel` in int8.
+
+    Activations are re-quantized to int8 after every operator using
+    per-tensor ranges measured from the float reference run (standard
+    post-training calibration); weights come from the same seeded
+    generator the reference executor uses, so quantized and float runs
+    are directly comparable.
+    """
+
+    def __init__(self, compiled: CompiledModel, seed: int = 0) -> None:
+        self.compiled = compiled
+        self.graph = compiled.graph
+        self.reference = ReferenceExecutor(self.graph, seed=seed)
+        self._plan_by_node = {
+            cn.node.node_id: cn.plan for cn in compiled.nodes
+        }
+
+    # -- public ------------------------------------------------------------
+
+    def run(
+        self, feeds: Optional[Dict[str, np.ndarray]] = None
+    ) -> Dict[str, np.ndarray]:
+        """Quantized inference; returns dequantized float outputs."""
+        feeds = feeds or {}
+        float_values = self._calibration_run(feeds)
+        values: Dict[int, np.ndarray] = {}
+        for node in self.graph:
+            inputs = [values[i] for i in node.inputs]
+            values[node.node_id] = self._eval(node, inputs, float_values, feeds)
+        return {
+            node.name: values[node.node_id]
+            for node in self.graph.output_nodes()
+        }
+
+    # -- internals ------------------------------------------------------------
+
+    def _calibration_run(self, feeds) -> Dict[int, np.ndarray]:
+        """Float forward pass for ranges (and for non-quantized ops)."""
+        values: Dict[int, np.ndarray] = {}
+        for node in self.graph:
+            inputs = [values[i] for i in node.inputs]
+            values[node.node_id] = self.reference._eval(node, inputs, feeds)
+        return values
+
+    def _params_for(self, float_value: np.ndarray) -> QuantParams:
+        bound = float(np.abs(float_value).max())
+        bound = bound if bound > 0 else 1.0
+        return QuantParams(scale=bound / 127.0)
+
+    def _eval(
+        self,
+        node: Node,
+        inputs,
+        float_values: Dict[int, np.ndarray],
+        feeds,
+    ) -> np.ndarray:
+        op = node.op
+        plan = self._plan_by_node.get(node.node_id)
+        if (
+            op.is_compute_heavy
+            and plan is not None
+            and plan.instruction in (Opcode.VMPY, Opcode.VMPA, Opcode.VRMPY)
+        ):
+            return self._quantized_compute(node, inputs, float_values, plan)
+        if isinstance(op, (ops.Add, ops.Sub)) and len(inputs) == 2:
+            return self._quantized_addsub(node, op, inputs)
+        if isinstance(op, ops.ReLU):
+            return self._quantized_relu(inputs[0])
+        # Everything else executes at float precision through the
+        # reference semantics.
+        return self.reference._eval(node, inputs, feeds)
+
+    # -- integer elementwise kernels ---------------------------------------
+
+    def _quantized_addsub(self, node, op, inputs) -> np.ndarray:
+        """Int-only add/sub: rescale both operands to a common scale
+        with fixed-point multipliers, combine in int32, requantize."""
+        from repro.quant.quantize import requantize_multiplier
+
+        a_float, b_float = inputs
+        try:
+            a_float, b_float = np.broadcast_arrays(a_float, b_float)
+        except ValueError as exc:  # pragma: no cover - shapes pre-checked
+            raise SimulationError(f"{node.name}: broadcast failed") from exc
+        out_bound = max(
+            1e-9, float(np.abs(a_float).max() + np.abs(b_float).max())
+        )
+        out_scale = out_bound / 127.0
+        acc = np.zeros(a_float.shape, dtype=np.int64)
+        for index, operand in enumerate((a_float, b_float)):
+            params = self._params_for(operand)
+            levels = params.quantize(operand).astype(np.int64)
+            multiplier, shift = requantize_multiplier(
+                params.scale / out_scale / 4.0
+            )
+            rescaled = (levels * multiplier) >> (shift - 2)
+            acc = acc + rescaled if (index == 0 or isinstance(op, ops.Add)) \
+                else acc - rescaled
+        from repro.isa import semantics
+
+        narrowed = semantics.saturate_to_int8(semantics.vasr(acc, 0))
+        return narrowed.astype(np.float64) * out_scale
+
+    def _quantized_relu(self, value: np.ndarray) -> np.ndarray:
+        """ReLU on quantized levels (max against the zero level)."""
+        params = self._params_for(value)
+        levels = params.quantize(value)
+        from repro.isa import semantics
+
+        rectified = semantics.vmax(levels, np.zeros_like(levels))
+        return params.dequantize(rectified)
+
+    def _quantized_compute(self, node, inputs, float_values, plan):
+        """int8 GEMM through the plan's instruction kernel."""
+        op = node.op
+        if isinstance(op, ops.MatMul):
+            a_float = inputs[0]
+            if op.weight_shape is not None:
+                b_float = self.reference._weight(node, "w", op.weight_shape)
+            else:
+                b_float = inputs[1]
+            if op.transpose_b:
+                b_float = np.swapaxes(b_float, -1, -2)
+            return self._gemm(node, a_float, b_float, plan)
+        if isinstance(op, ops.Dense):
+            flat = inputs[0].reshape(inputs[0].shape[0], -1)
+            w = self.reference._weight(node, "w", (flat.shape[1], op.units))
+            return self._gemm(node, flat, w, plan)
+        if isinstance(op, ops.Conv2D) and op.groups == 1:
+            cols = self.reference._im2col(
+                inputs[0], op.kernel, op.stride, op.padding
+            )
+            n, oh, ow, k = cols.shape
+            w = self.reference._weight(
+                node,
+                "w0",
+                (op.kernel[0] * op.kernel[1] * inputs[0].shape[1],
+                 op.out_channels),
+            )
+            out = self._gemm(node, cols.reshape(-1, k), w, plan)
+            out = out.reshape(n, oh, ow, op.out_channels)
+            result = out.transpose(0, 3, 1, 2)
+            if op.fused_activation:
+                from repro.graph.execute import _ACTIVATIONS
+
+                result = _ACTIVATIONS[op.fused_activation](result)
+            return result
+        # Grouped/depthwise/transpose convolutions fall back to float.
+        return self.reference._eval(node, inputs, {})
+
+    def _gemm(self, node, a_float, b_float, plan) -> np.ndarray:
+        """Quantize, run the instruction kernel, dequantize."""
+        a_shape = a_float.shape
+        a2 = a_float.reshape(-1, a_shape[-1])
+        if b_float.ndim > 2:
+            # Batched activation x activation product: run per batch.
+            batch = int(math.prod(b_float.shape[:-2]))
+            a3 = a_float.reshape(batch, -1, a_shape[-1])
+            b3 = b_float.reshape(batch, b_float.shape[-2], b_float.shape[-1])
+            outs = [
+                self._gemm_2d(node, a3[i], b3[i], plan) for i in range(batch)
+            ]
+            out = np.stack(outs)
+            return out.reshape(a_shape[:-1] + (b_float.shape[-1],))
+        out = self._gemm_2d(node, a2, b_float, plan)
+        return out.reshape(a_shape[:-1] + (b_float.shape[-1],))
+
+    def _gemm_2d(self, node, a_float, b_float, plan) -> np.ndarray:
+        if a_float.size == 0 or b_float.size == 0:
+            raise SimulationError(
+                f"{node.name}: degenerate GEMM operand "
+                f"{a_float.shape} x {b_float.shape}"
+            )
+        a_params = self._params_for(a_float)
+        b_params = self._params_for(b_float)
+        a_q = a_params.quantize(a_float)
+        b_q = b_params.quantize(b_float)
+        acc = matmul_int32(a_q, b_q, plan.instruction)
+        if acc.shape != (a_q.shape[0], b_q.shape[1]):
+            raise SimulationError(
+                f"{node.name}: kernel produced {acc.shape}, expected "
+                f"{(a_q.shape[0], b_q.shape[1])}"
+            )
+        return acc.astype(np.float64) * (a_params.scale * b_params.scale)

@@ -1,0 +1,21 @@
+"""Tensors, data layouts and layout-transformation costs."""
+
+from repro.tensor.layout import (
+    Layout,
+    pack,
+    padded_shape,
+    padded_size,
+    unpack,
+)
+from repro.tensor.qtensor import QTensor
+from repro.tensor.transform_cost import transform_cycles
+
+__all__ = [
+    "Layout",
+    "pack",
+    "padded_shape",
+    "padded_size",
+    "unpack",
+    "QTensor",
+    "transform_cycles",
+]

@@ -1,0 +1,155 @@
+"""Dense matrix layouts supporting the SIMD multiply family (Figure 2).
+
+Each layout stores a (rows x cols) matrix as a flat array whose element
+order makes one instruction's operand fetch contiguous:
+
+* ``COL1`` — *1-column layout* (Figure 2a, for ``vmpy``): panels of 128
+  rows stored column-major, so one column of a panel is one vector load.
+* ``COL2`` — *2-column layout* (Figure 2b, for ``vmpa``): panels of 64
+  rows; values for two adjacent columns are stored next to each other
+  before following the column-major order.
+* ``COL4`` — *4-column layout* (Figure 2c, for ``vrmpy``): panels of 32
+  rows; four elements from each row stored together, so a vector load
+  brings 32 rows x 4 columns ready for the 4-wide dot product.
+* ``ROW_MAJOR`` — ordinary C order; the interchange format at model
+  inputs/outputs.
+
+A matrix packed into layout L is padded up to L's panel granularity:
+that padding is exactly the space overhead column of Table II.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Tuple
+
+import numpy as np
+
+from repro.errors import LayoutError
+
+
+class Layout(enum.Enum):
+    """Physical storage order of a 2-D operand."""
+
+    ROW_MAJOR = "row_major"
+    COL1 = "1-column"
+    COL2 = "2-column"
+    COL4 = "4-column"
+
+    @property
+    def row_panel(self) -> int:
+        """Rows per panel (row padding granularity)."""
+        return _ROW_PANEL[self]
+
+    @property
+    def col_group(self) -> int:
+        """Columns stored adjacently (column padding granularity)."""
+        return _COL_GROUP[self]
+
+
+_ROW_PANEL = {
+    Layout.ROW_MAJOR: 1,
+    Layout.COL1: 128,
+    Layout.COL2: 64,
+    Layout.COL4: 32,
+}
+
+_COL_GROUP = {
+    Layout.ROW_MAJOR: 1,
+    Layout.COL1: 1,
+    Layout.COL2: 2,
+    Layout.COL4: 4,
+}
+
+
+def _round_up(value: int, multiple: int) -> int:
+    return ((value + multiple - 1) // multiple) * multiple
+
+
+def padded_shape(rows: int, cols: int, layout: Layout) -> Tuple[int, int]:
+    """The (rows, cols) the matrix occupies once padded for ``layout``."""
+    if rows <= 0 or cols <= 0:
+        raise LayoutError(f"matrix dims must be positive, got {rows}x{cols}")
+    return (
+        _round_up(rows, layout.row_panel),
+        _round_up(cols, layout.col_group),
+    )
+
+
+def padded_size(rows: int, cols: int, layout: Layout) -> int:
+    """Total stored elements, padding included (Table II's data size)."""
+    padded_rows, padded_cols = padded_shape(rows, cols, layout)
+    return padded_rows * padded_cols
+
+
+def _offsets(rows: int, cols: int, layout: Layout) -> np.ndarray:
+    """Flat storage offset of each logical (row, col) element.
+
+    Reproduces the offset patterns drawn in Figure 2.  Returned array has
+    shape (padded_rows, padded_cols).
+    """
+    padded_rows, padded_cols = padded_shape(rows, cols, layout)
+    if layout is Layout.ROW_MAJOR:
+        return np.arange(padded_rows * padded_cols).reshape(
+            padded_rows, padded_cols
+        )
+    panel = layout.row_panel
+    group = layout.col_group
+    r = np.arange(padded_rows)[:, None]
+    c = np.arange(padded_cols)[None, :]
+    panel_index = r // panel
+    row_in_panel = r % panel
+    group_index = c // group
+    col_in_group = c % group
+    panel_base = panel_index * panel * padded_cols
+    group_base = group_index * panel * group
+    return panel_base + group_base + row_in_panel * group + col_in_group
+
+
+def pack(matrix: np.ndarray, layout: Layout) -> np.ndarray:
+    """Pack a 2-D matrix into ``layout``'s flat storage order.
+
+    Padding elements are zero-filled (a zero lane contributes nothing to
+    any MAC, so padded kernels stay numerically exact).
+
+    Returns
+    -------
+    np.ndarray
+        1-D array of ``padded_size`` elements with the matrix's dtype.
+    """
+    matrix = np.asarray(matrix)
+    if matrix.ndim != 2:
+        raise LayoutError(f"pack expects a 2-D matrix, got shape {matrix.shape}")
+    rows, cols = matrix.shape
+    offsets = _offsets(rows, cols, layout)
+    flat = np.zeros(offsets.size, dtype=matrix.dtype)
+    flat[offsets[:rows, :cols].reshape(-1)] = matrix.reshape(-1)
+    return flat
+
+
+def unpack(
+    flat: np.ndarray, rows: int, cols: int, layout: Layout
+) -> np.ndarray:
+    """Inverse of :func:`pack`: recover the logical (rows x cols) matrix."""
+    flat = np.asarray(flat).reshape(-1)
+    expected = padded_size(rows, cols, layout)
+    if flat.size != expected:
+        raise LayoutError(
+            f"packed array has {flat.size} elements, expected {expected} "
+            f"for {rows}x{cols} in {layout.value}"
+        )
+    offsets = _offsets(rows, cols, layout)
+    return flat[offsets[:rows, :cols]]
+
+
+def convert(
+    flat: np.ndarray,
+    rows: int,
+    cols: int,
+    src: Layout,
+    dst: Layout,
+) -> np.ndarray:
+    """Re-lay a packed matrix from ``src`` order into ``dst`` order."""
+    if src is dst:
+        return np.asarray(flat).copy()
+    return pack(unpack(flat, rows, cols, src), dst)

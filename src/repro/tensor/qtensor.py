@@ -1,0 +1,117 @@
+"""Quantized tensors: int8 payloads with affine quantization parameters.
+
+The paper's models use TFLite-style post-training quantization: 8-bit
+weights and activations, with real value ``r = scale * (q - zero_point)``.
+Products of two int8 values are widened to int16 and accumulations to
+int32 (Section III), then requantized back to 8 bits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.errors import QuantizationError
+from repro.tensor.layout import Layout
+
+
+@dataclass
+class QTensor:
+    """A quantized tensor.
+
+    Attributes
+    ----------
+    data:
+        Integer payload (int8 for weights/activations, int32 for
+        intermediate accumulators and biases).
+    scale:
+        Real-value step per quantization level.
+    zero_point:
+        Integer level representing real zero.
+    layout:
+        Physical storage order when the payload is a packed 2-D operand;
+        ``None`` for plain (logical-order) tensors.
+    logical_shape:
+        Logical tensor shape.  For packed payloads the flat ``data``
+        length can exceed ``prod(logical_shape)`` due to padding.
+    """
+
+    data: np.ndarray
+    scale: float
+    zero_point: int = 0
+    layout: Optional[Layout] = None
+    logical_shape: Optional[Tuple[int, ...]] = None
+
+    def __post_init__(self) -> None:
+        self.data = np.asarray(self.data)
+        if self.scale <= 0:
+            raise QuantizationError(f"scale must be positive, got {self.scale}")
+        if self.logical_shape is None:
+            self.logical_shape = tuple(self.data.shape)
+        else:
+            self.logical_shape = tuple(int(d) for d in self.logical_shape)
+
+    @property
+    def shape(self) -> Tuple[int, ...]:
+        """Logical shape (padding excluded)."""
+        return self.logical_shape
+
+    @property
+    def size_bytes(self) -> int:
+        """Stored payload size in bytes, padding included."""
+        return self.data.nbytes
+
+    def dequantize(self) -> np.ndarray:
+        """Recover real values: ``scale * (q - zero_point)``."""
+        return self.scale * (
+            self.data.astype(np.float64) - float(self.zero_point)
+        )
+
+    @classmethod
+    def quantize(
+        cls,
+        values: np.ndarray,
+        *,
+        bits: int = 8,
+        symmetric: bool = True,
+    ) -> "QTensor":
+        """Post-training quantization of a float tensor.
+
+        Parameters
+        ----------
+        values:
+            Float tensor to quantize.
+        bits:
+            Target bit width (8 by default; the paper mentions 8-bit or
+            even smaller fixed-point representations suffice).
+        symmetric:
+            Symmetric quantization (zero_point = 0, used for weights)
+            versus asymmetric (used for activations).
+        """
+        values = np.asarray(values, dtype=np.float64)
+        if values.size == 0:
+            raise QuantizationError("cannot quantize an empty tensor")
+        qmin = -(1 << (bits - 1))
+        qmax = (1 << (bits - 1)) - 1
+        if symmetric:
+            bound = float(np.abs(values).max())
+            bound = bound if bound > 0 else 1.0
+            scale = bound / qmax
+            zero_point = 0
+        else:
+            lo = float(min(values.min(), 0.0))
+            hi = float(max(values.max(), 0.0))
+            span = hi - lo if hi > lo else 1.0
+            scale = span / (qmax - qmin)
+            zero_point = int(round(qmin - lo / scale))
+        q = np.round(values / scale) + zero_point
+        q = np.clip(q, qmin, qmax).astype(np.int8)
+        return cls(q, scale=scale, zero_point=zero_point)
+
+    def quantization_error(self, reference: np.ndarray) -> float:
+        """RMS error of this tensor against its float reference."""
+        reference = np.asarray(reference, dtype=np.float64)
+        diff = self.dequantize().reshape(-1) - reference.reshape(-1)
+        return float(np.sqrt(np.mean(diff * diff)))

@@ -1,0 +1,53 @@
+"""Layout transformation cost model: the ``TC`` term of Equation 1.
+
+"Converting the layout of a tensor itself is a time-consuming step"
+(Section IV-A): the transform reads and rewrites every byte of the
+(padded) tensor, so its cost is the round-trip byte count divided by
+the bandwidth of wherever that round trip happens:
+
+* GCD2 fuses repacking into its generated kernels, streaming through
+  the DSP's VTCM scratchpad (:data:`ONCHIP_BYTES_PER_CYCLE`);
+* the operator libraries behind TFLite/SNPE spill the canonical layout
+  to DRAM between standalone kernels
+  (:data:`DRAM_BYTES_PER_CYCLE`-class rates), which is a large part of
+  why their uniform-layout strategy costs so much on models with
+  varied feature-map shapes (the paper's WDSR observation).
+"""
+
+from __future__ import annotations
+
+from repro.tensor.layout import Layout, padded_size
+
+#: Transform throughput when fused through the VTCM scratchpad
+#: (bytes of round-trip traffic retired per context-cycle).
+ONCHIP_BYTES_PER_CYCLE = 42.7
+
+#: Transform throughput through a DRAM round trip (shared-bus rate
+#: apportioned to one of the four vector contexts).
+DRAM_BYTES_PER_CYCLE = 1.5
+
+#: Fixed loop set-up overhead per transform.
+TRANSFORM_SETUP_CYCLES = 32
+
+
+def transform_cycles(
+    rows: int,
+    cols: int,
+    src: Layout,
+    dst: Layout,
+    element_bytes: int = 1,
+    bytes_per_cycle: float = ONCHIP_BYTES_PER_CYCLE,
+) -> int:
+    """Cycles to convert a (rows x cols) operand from ``src`` to ``dst``.
+
+    Zero when the layouts match — the "no transformation required" case
+    of Equation 1.  Otherwise the tensor is read and rewritten at the
+    *larger* of the two padded sizes (both reading the source padding
+    and writing the destination padding cost time).
+    """
+    if src is dst:
+        return 0
+    bytes_moved = 2 * element_bytes * max(
+        padded_size(rows, cols, src), padded_size(rows, cols, dst)
+    )
+    return TRANSFORM_SETUP_CYCLES + int(round(bytes_moved / bytes_per_cycle))

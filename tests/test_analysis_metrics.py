@@ -1,0 +1,66 @@
+"""Unit tests for analysis metrics."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.metrics import fps, fpw, geometric_mean, speedup
+
+positive_floats = st.floats(0.01, 1e6, allow_nan=False)
+
+
+class TestGeometricMean:
+    def test_known_value(self):
+        assert geometric_mean([2.0, 8.0]) == pytest.approx(4.0)
+
+    def test_single_value(self):
+        assert geometric_mean([3.5]) == pytest.approx(3.5)
+
+    @given(values=st.lists(positive_floats, min_size=1, max_size=10))
+    @settings(max_examples=50, deadline=None)
+    def test_between_min_and_max(self, values):
+        gm = geometric_mean(values)
+        assert min(values) * 0.999 <= gm <= max(values) * 1.001
+
+    @given(
+        values=st.lists(positive_floats, min_size=1, max_size=6),
+        factor=positive_floats,
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_homogeneous(self, values, factor):
+        scaled = geometric_mean([v * factor for v in values])
+        assert scaled == pytest.approx(
+            geometric_mean(values) * factor, rel=1e-6
+        )
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            geometric_mean([])
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            geometric_mean([1.0, 0.0])
+
+
+class TestSpeedupAndRates:
+    def test_speedup(self):
+        assert speedup(10.0, 5.0) == pytest.approx(2.0)
+
+    def test_speedup_propagates_none(self):
+        assert speedup(None, 5.0) is None
+
+    def test_speedup_rejects_bad_ours(self):
+        with pytest.raises(ValueError):
+            speedup(10.0, 0.0)
+
+    def test_fps(self):
+        assert fps(10.0) == pytest.approx(100.0)
+        with pytest.raises(ValueError):
+            fps(0.0)
+
+    def test_fpw(self):
+        assert fpw(10.0, 2.0) == pytest.approx(50.0)
+        with pytest.raises(ValueError):
+            fpw(10.0, 0.0)

@@ -1,0 +1,65 @@
+"""Tests for the ASCII figure renderer."""
+
+import pytest
+
+from repro.analysis.visualize import (
+    BAR_CHAR,
+    FIGURE_CHARTS,
+    bar_chart,
+    render_figure,
+)
+
+
+class TestBarChart:
+    def test_bars_proportional(self):
+        rows = [{"name": "a", "v": 1.0}, {"name": "b", "v": 2.0}]
+        text = bar_chart(rows, "name", ["v"], width=10)
+        lines = [l for l in text.splitlines() if BAR_CHAR in l]
+        assert lines[0].count(BAR_CHAR) == 5
+        assert lines[1].count(BAR_CHAR) == 10
+
+    def test_values_printed(self):
+        rows = [{"name": "a", "v": 1.2345}]
+        assert "1.23" in bar_chart(rows, "name", ["v"])
+
+    def test_none_rendered_as_na(self):
+        rows = [{"name": "a", "v": None}]
+        assert "(n/a)" in bar_chart(rows, "name", ["v"])
+
+    def test_title_included(self):
+        rows = [{"name": "a", "v": 1.0}]
+        assert bar_chart(rows, "name", ["v"], title="T").startswith("T\n")
+
+    def test_grouped_series_share_label(self):
+        rows = [{"name": "model", "x": 1.0, "y": 2.0}]
+        text = bar_chart(rows, "name", ["x", "y"])
+        assert text.count("model") == 1  # label only on the first bar
+
+    def test_invalid_width_rejected(self):
+        with pytest.raises(ValueError):
+            bar_chart([{"n": "a", "v": 1.0}], "n", ["v"], width=0)
+
+    def test_zero_peak_handled(self):
+        rows = [{"name": "a", "v": 0.0}]
+        text = bar_chart(rows, "name", ["v"])
+        assert "0.00" in text
+
+
+class TestRenderFigure:
+    def test_known_figures_render(self):
+        rows = [
+            {"model": "m", "vs_soft_to_hard": 1.1, "vs_soft_to_none": 1.2}
+        ]
+        text = render_figure("figure11", rows)
+        assert "Figure 11" in text
+        assert BAR_CHAR in text
+
+    def test_unknown_figure_returns_empty(self):
+        assert render_figure("table4", [{"model": "m"}]) == ""
+
+    def test_chart_specs_reference_real_keys(self):
+        # Every chart's label key must be a string; smoke-check specs.
+        for name, spec in FIGURE_CHARTS.items():
+            assert spec["label_key"]
+            assert spec["value_keys"]
+            assert spec["title"]

@@ -1,0 +1,94 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import EXPERIMENTS, main
+
+
+class TestModels:
+    def test_lists_all_models(self, capsys):
+        assert main(["models"]) == 0
+        out = capsys.readouterr().out
+        for name in ("mobilenet_v3", "resnet50", "conformer"):
+            assert name in out
+
+
+class TestCompile:
+    def test_compiles_with_defaults(self, capsys):
+        assert main(["compile", "wdsr_b"]) == 0
+        out = capsys.readouterr().out
+        assert "latency:" in out
+        assert "gcd2(13)" in out
+
+    def test_plans_flag(self, capsys):
+        assert main(["compile", "wdsr_b", "--plans"]) == 0
+        out = capsys.readouterr().out
+        assert "column" in out  # a layout name in the plan dump
+
+    def test_alternative_policies(self, capsys):
+        assert main([
+            "compile", "wdsr_b",
+            "--selection", "local",
+            "--packing", "soft_to_hard",
+            "--unrolling", "none",
+            "--no-other-opts",
+        ]) == 0
+        assert "local" in capsys.readouterr().out
+
+    def test_unknown_model_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["compile", "alexnet"])
+
+
+class TestExperiment:
+    def test_experiment_names_cover_all_tables_and_figures(self):
+        assert set(EXPERIMENTS) == {
+            "table1", "table2", "table3", "table4", "table5",
+            "figure7", "figure8", "figure9", "figure10", "figure11",
+            "figure12a", "figure12b", "figure13",
+        }
+
+    def test_runs_table2(self, capsys):
+        assert main(["experiment", "table2"]) == 0
+        out = capsys.readouterr().out
+        assert "vrmpy" in out
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["experiment", "table9"])
+
+
+class TestExport:
+    def test_export_writes_loadable_json(self, tmp_path, capsys):
+        path = tmp_path / "wdsr.json"
+        assert main(["export", "wdsr_b", str(path)]) == 0
+        payload = json.loads(path.read_text())
+        assert payload["name"] == "wdsr_b"
+        from repro.graph.serialization import load_graph
+
+        assert load_graph(path).operator_count() > 0
+
+
+class TestDescribe:
+    def test_describe_prints_digest(self, capsys):
+        assert main(["describe", "wdsr_b"]) == 0
+        out = capsys.readouterr().out
+        assert "operator mix" in out
+        assert "GEMM shape census" in out
+
+    def test_describe_unknown_model(self):
+        with pytest.raises(SystemExit):
+            main(["describe", "vgg"])
+
+
+class TestChart:
+    def test_experiment_chart_flag(self, capsys):
+        assert main(["experiment", "figure12b", "--chart"]) == 0
+        out = capsys.readouterr().out
+        assert "#" in out  # bars rendered
+
+    def test_chartless_experiment_notes_fallback(self, capsys):
+        assert main(["experiment", "table2", "--chart"]) == 0
+        assert "no chart mapping" in capsys.readouterr().out

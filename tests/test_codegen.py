@@ -1,0 +1,197 @@
+"""Tests for code generation: functional kernels and loop bodies."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.codegen.elementwise import (
+    emit_division_body,
+    emit_elementwise_body,
+)
+from repro.codegen.lower import LoweredKernel, lower_node
+from repro.codegen.matmul import (
+    VECTOR_REGISTER_COUNT,
+    emit_matmul_body,
+    matmul_int32,
+    registers_required,
+)
+from repro.codegen.opts import apply_division_lut
+from repro.core.plans import ExecutionPlan
+from repro.core.unroll import UnrollPlan
+from repro.errors import CodegenError
+from repro.graph import ops
+from repro.graph.graph import ComputationalGraph
+from repro.isa.instructions import Instruction, Opcode
+from repro.tensor.layout import Layout
+
+PRIMARY = (Opcode.VMPY, Opcode.VMPA, Opcode.VRMPY)
+
+
+class TestFunctionalMatmul:
+    """The layouts and instructions actually compute correct products."""
+
+    @pytest.mark.parametrize("instr", PRIMARY)
+    @pytest.mark.parametrize(
+        "shape",
+        [(1, 1, 1), (5, 3, 2), (32, 32, 32), (130, 17, 9),
+         (64, 64, 64), (200, 31, 5), (128, 4, 128), (96, 96, 96)],
+    )
+    def test_exact_against_numpy(self, instr, shape):
+        m, k, n = shape
+        rng = np.random.default_rng(m * 1000 + k * 10 + n)
+        a = rng.integers(-128, 128, size=(m, k)).astype(np.int8)
+        b = rng.integers(-128, 128, size=(k, n)).astype(np.int8)
+        expected = a.astype(np.int32) @ b.astype(np.int32)
+        got = matmul_int32(a, b, instr)
+        assert got.shape == expected.shape
+        assert (got == expected).all()
+
+    @given(
+        m=st.integers(1, 80),
+        k=st.integers(1, 20),
+        n=st.integers(1, 12),
+        instr=st.sampled_from(list(PRIMARY)),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_exact_on_random_shapes(self, m, k, n, instr):
+        rng = np.random.default_rng(m * 7919 + k * 97 + n)
+        a = rng.integers(-128, 128, size=(m, k)).astype(np.int8)
+        b = rng.integers(-128, 128, size=(k, n)).astype(np.int8)
+        expected = a.astype(np.int32) @ b.astype(np.int32)
+        assert (matmul_int32(a, b, instr) == expected).all()
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(CodegenError):
+            matmul_int32(
+                np.zeros((4, 5), np.int8),
+                np.zeros((6, 4), np.int8),
+                Opcode.VMPY,
+            )
+
+    def test_unsupported_instruction_rejected(self):
+        with pytest.raises(CodegenError):
+            matmul_int32(
+                np.zeros((4, 4), np.int8),
+                np.zeros((4, 4), np.int8),
+                Opcode.VADD,
+            )
+
+
+class TestMatmulBodies:
+    @pytest.mark.parametrize("instr", PRIMARY)
+    def test_body_ends_with_loop(self, instr):
+        body = emit_matmul_body(instr)
+        assert body[-1].opcode is Opcode.LOOP
+
+    @pytest.mark.parametrize("instr", PRIMARY)
+    def test_mult_count_scales_with_unroll(self, instr):
+        def mults(body):
+            return sum(1 for i in body if i.opcode is instr)
+
+        assert mults(emit_matmul_body(instr, 2, 2)) == 4 * mults(
+            emit_matmul_body(instr, 1, 1)
+        )
+
+    def test_epilogue_adds_requant_and_store(self):
+        plain = emit_matmul_body(Opcode.VRMPY, 1, 1)
+        full = emit_matmul_body(Opcode.VRMPY, 1, 1, include_epilogue=True)
+        opcodes = [i.opcode for i in full]
+        assert Opcode.VASR in opcodes
+        assert Opcode.VSTORE in opcodes
+        assert len(full) > len(plain)
+
+    def test_spill_traffic_emitted_when_over_budget(self):
+        # 8x8 vrmpy tiles demand far more than 32 registers.
+        assert registers_required(Opcode.VRMPY, 8, 8) > (
+            VECTOR_REGISTER_COUNT
+        )
+        body = emit_matmul_body(Opcode.VRMPY, 8, 8)
+        spills = [i for i in body if "spill" in i.comment]
+        assert spills
+
+    def test_no_spills_within_budget(self):
+        body = emit_matmul_body(Opcode.VRMPY, 2, 2)
+        assert not [i for i in body if "spill" in i.comment]
+
+    def test_vmpa_body_includes_permute(self):
+        body = emit_matmul_body(Opcode.VMPA, 1, 1)
+        assert any(i.opcode is Opcode.VSHUFF for i in body)
+
+    def test_unknown_instruction_rejected(self):
+        with pytest.raises(CodegenError):
+            emit_matmul_body(Opcode.VADD)
+
+
+class TestElementwiseBodies:
+    def test_operand_count(self):
+        body = emit_elementwise_body("Add", operands=3)
+        loads = [i for i in body if i.opcode is Opcode.VLOAD]
+        assert len(loads) == 3
+
+    def test_widening_emits_two_stores(self):
+        body = emit_elementwise_body("Add", 2, widen_output=True)
+        stores = [i for i in body if i.opcode is Opcode.VSTORE]
+        assert len(stores) == 2
+
+    def test_unknown_family_rejected(self):
+        with pytest.raises(CodegenError):
+            emit_elementwise_body("Quux")
+
+    def test_division_body_is_long_without_lut(self):
+        slow = emit_division_body(use_lut=False)
+        fast = emit_division_body(use_lut=True)
+        assert len(slow) > 2 * len(fast)
+
+
+class TestDivisionLutRewrite:
+    def test_rewrite_shrinks_refinement_chain(self):
+        body = emit_division_body(use_lut=False)
+        rewritten = apply_division_lut(body)
+        assert len(rewritten) < len(body)
+        assert any(i.opcode is Opcode.LUT for i in rewritten)
+        assert not any(
+            i.comment.startswith("refine") for i in rewritten
+        )
+
+    def test_rewrite_is_noop_on_clean_code(self):
+        body = emit_elementwise_body("Add", 2)
+        assert apply_division_lut(list(body)) == list(body)
+
+
+class TestLowerNode:
+    def _graph(self):
+        g = ComputationalGraph()
+        x = g.add(ops.Input(shape=(1, 16, 8, 8)))
+        conv = g.add(ops.Conv2D(out_channels=16, kernel=3), [x.node_id])
+        relu = g.add(ops.ReLU(), [conv.node_id])
+        div = g.add(ops.Div(), [relu.node_id, relu.node_id])
+        return g, conv, relu, div
+
+    def test_compute_node_lowered_as_gemm(self):
+        g, conv, _, _ = self._graph()
+        plan = ExecutionPlan(Opcode.VRMPY, Layout.COL4)
+        kernel = lower_node(g, conv, plan, UnrollPlan(2, 2))
+        assert isinstance(kernel, LoweredKernel)
+        assert kernel.trips > 0
+        assert "vrmpy" in kernel.description
+        assert any(i.opcode is Opcode.VRMPY for i in kernel.body)
+
+    def test_compute_node_requires_instruction(self):
+        g, conv, _, _ = self._graph()
+        with pytest.raises(CodegenError):
+            lower_node(g, conv, ExecutionPlan(None, Layout.COL4))
+
+    def test_elementwise_node_lowered_as_stream(self):
+        g, _, relu, _ = self._graph()
+        plan = ExecutionPlan(None, Layout.COL4)
+        kernel = lower_node(g, relu, plan)
+        assert kernel.trips == -(-(16 * 8 * 8) // 128)
+
+    def test_division_lut_toggle(self):
+        g, _, _, div = self._graph()
+        plan = ExecutionPlan(None, Layout.ROW_MAJOR)
+        with_lut = lower_node(g, div, plan, other_opts=True)
+        without = lower_node(g, div, plan, other_opts=False)
+        assert with_lut.instruction_count < without.instruction_count
+        assert "LUT" in with_lut.description

@@ -1,0 +1,157 @@
+"""Tests for the end-to-end GCD2 compiler."""
+
+import pytest
+
+from repro.compiler import (
+    CompiledModel,
+    CompilerOptions,
+    GCD2Compiler,
+    compile_model,
+)
+from repro.errors import ReproError
+from repro.isa.instructions import Opcode
+from tests.conftest import chain_graph, small_cnn
+
+
+class TestOptions:
+    def test_defaults_valid(self):
+        CompilerOptions()
+
+    def test_unknown_packer_rejected(self):
+        with pytest.raises(ReproError):
+            CompilerOptions(packing="bogus")
+
+    def test_unknown_selection_rejected(self):
+        with pytest.raises(ReproError):
+            CompilerOptions(selection="bogus")
+
+    def test_unknown_unrolling_rejected(self):
+        with pytest.raises(ReproError):
+            CompilerOptions(unrolling="bogus")
+
+    def test_uniform_requires_instruction(self):
+        with pytest.raises(ReproError):
+            CompilerOptions(selection="uniform")
+        CompilerOptions(
+            selection="uniform", uniform_instruction=Opcode.VRMPY
+        )
+
+
+class TestCompilation:
+    def test_compiles_small_model(self):
+        compiled = compile_model(small_cnn())
+        assert isinstance(compiled, CompiledModel)
+        assert compiled.latency_ms > 0
+        assert compiled.total_packets > 0
+        assert compiled.total_cycles >= compiled.kernel_cycles
+
+    def test_every_real_operator_compiled(self):
+        compiled = compile_model(small_cnn())
+        compiled_names = {cn.node.name for cn in compiled.nodes}
+        for node in compiled.graph:
+            if node.op_type not in ("Input", "Constant"):
+                assert node.name in compiled_names
+
+    def test_compute_nodes_have_instruction_plans(self):
+        compiled = compile_model(small_cnn())
+        for cn in compiled.nodes:
+            if cn.node.op.is_compute_heavy:
+                assert cn.plan.instruction is not None
+                assert cn.packets
+
+    def test_graph_passes_fuse_activations(self):
+        with_passes = compile_model(
+            small_cnn(), CompilerOptions(graph_passes=True)
+        )
+        without = compile_model(
+            small_cnn(), CompilerOptions(graph_passes=False)
+        )
+        assert (
+            with_passes.graph.operator_count()
+            < without.graph.operator_count()
+        )
+
+    def test_profile_populated(self):
+        compiled = compile_model(small_cnn())
+        assert compiled.profile.packets > 0
+        assert compiled.profile.macs > 0
+        assert 0 < compiled.profile.slot_occupancy <= 1
+
+
+class TestAblations:
+    def test_local_selection_never_cheaper_than_gcd2(self):
+        graph = small_cnn()
+        gcd2 = compile_model(graph, CompilerOptions(selection="gcd2"))
+        local = compile_model(graph, CompilerOptions(selection="local"))
+        assert gcd2.selection.cost <= local.selection.cost + 1e-9
+
+    def test_exhaustive_matches_gcd2_on_small_graph(self):
+        graph = small_cnn()
+        gcd2 = compile_model(graph, CompilerOptions(selection="gcd2"))
+        exact = compile_model(graph, CompilerOptions(selection="exhaustive"))
+        assert gcd2.selection.cost == pytest.approx(
+            exact.selection.cost, rel=0.02
+        )
+
+    def test_chain_selection_on_chain(self):
+        compiled = compile_model(
+            chain_graph(length=6), CompilerOptions(selection="chain")
+        )
+        assert compiled.latency_ms > 0
+
+    def test_pbqp_selection_runs(self):
+        compiled = compile_model(
+            small_cnn(), CompilerOptions(selection="pbqp")
+        )
+        assert compiled.latency_ms > 0
+
+    def test_uniform_selection_assigns_one_instruction(self):
+        compiled = compile_model(
+            small_cnn(),
+            CompilerOptions(
+                selection="uniform", uniform_instruction=Opcode.VRMPY
+            ),
+        )
+        for cn in compiled.nodes:
+            if cn.node.op.is_compute_heavy:
+                assert cn.plan.instruction is Opcode.VRMPY
+
+    def test_weaker_packing_is_not_faster(self):
+        graph = small_cnn()
+        sda = compile_model(graph, CompilerOptions(packing="sda"))
+        hard = compile_model(
+            graph, CompilerOptions(packing="soft_to_hard")
+        )
+        assert hard.latency_ms >= sda.latency_ms * 0.999
+
+    def test_kernel_efficiency_slows_compute(self):
+        graph = small_cnn()
+        fast = compile_model(graph, CompilerOptions())
+        slow = compile_model(graph, CompilerOptions(kernel_efficiency=0.5))
+        assert slow.latency_ms > fast.latency_ms
+
+    def test_unrolling_modes_run(self):
+        graph = small_cnn()
+        for mode in ("none", "outer", "mid", "adaptive"):
+            compiled = compile_model(
+                graph, CompilerOptions(unrolling=mode)
+            )
+            assert compiled.latency_ms > 0
+
+    def test_no_unrolling_not_faster_than_adaptive(self):
+        graph = small_cnn()
+        adaptive = compile_model(
+            graph, CompilerOptions(unrolling="adaptive")
+        )
+        none = compile_model(graph, CompilerOptions(unrolling="none"))
+        assert none.latency_ms >= adaptive.latency_ms * 0.999
+
+
+class TestScheduleCache:
+    def test_identical_bodies_share_schedules(self):
+        compiler = GCD2Compiler(CompilerOptions())
+        compiler.compile(small_cnn())
+        cache_size = len(compiler._schedule_cache)
+        compiler.compile(small_cnn("small_cnn_again"))
+        # Same bodies -> cache barely grows.
+        assert len(compiler._schedule_cache) <= cache_size + 2

@@ -1,0 +1,215 @@
+"""Unit tests for the cycle cost model (Table II calibration included)."""
+
+import pytest
+
+from repro.core.cost import (
+    CostModel,
+    STREAM_BYTES_PER_CYCLE,
+    elementwise_cycles,
+    gemm_cycles,
+    gemm_padded_bytes,
+    gemm_padded_dims,
+    tensor_2d_view,
+)
+from repro.core.plans import ExecutionPlan
+from repro.errors import SelectionError
+from repro.graph import ops
+from repro.graph.graph import ComputationalGraph
+from repro.isa.instructions import Opcode
+from repro.tensor.layout import Layout
+
+#: Paper Table II: winning instruction per square size.
+TABLE2_WINNERS = {
+    32: Opcode.VRMPY,
+    64: Opcode.VMPA,
+    96: Opcode.VRMPY,
+    128: Opcode.VMPY,
+}
+
+PRIMARY = (Opcode.VMPY, Opcode.VMPA, Opcode.VRMPY)
+
+
+class TestGemmPadding:
+    def test_vmpy_pads_rows_to_128(self):
+        assert gemm_padded_dims(Opcode.VMPY, 100, 10, 10) == (128, 10, 10)
+
+    def test_vmpa_pads_rows_64_cols_2(self):
+        assert gemm_padded_dims(Opcode.VMPA, 100, 10, 9) == (128, 10, 10)
+
+    def test_vrmpy_pads_rows_32_k_and_n_4(self):
+        assert gemm_padded_dims(Opcode.VRMPY, 100, 9, 9) == (128, 12, 12)
+
+    def test_table2_data_size_column(self):
+        # Paper Table II, normalized by vmpy: 32^3 row is 1.0/0.56/0.33.
+        base = gemm_padded_bytes(Opcode.VMPY, 32, 32, 32)
+        vmpa = gemm_padded_bytes(Opcode.VMPA, 32, 32, 32)
+        vrmpy = gemm_padded_bytes(Opcode.VRMPY, 32, 32, 32)
+        assert vmpa / base == pytest.approx(0.56, abs=0.01)
+        assert vrmpy / base == pytest.approx(0.33, abs=0.01)
+
+    def test_table2_data_size_96(self):
+        base = gemm_padded_bytes(Opcode.VMPY, 96, 96, 96)
+        assert gemm_padded_bytes(Opcode.VMPA, 96, 96, 96) / base == (
+            pytest.approx(1.0)
+        )
+        assert gemm_padded_bytes(Opcode.VRMPY, 96, 96, 96) / base == (
+            pytest.approx(0.82, abs=0.01)
+        )
+
+
+class TestTable2Latency:
+    @pytest.mark.parametrize("size,winner", TABLE2_WINNERS.items())
+    def test_winning_instruction_matches_paper(self, size, winner):
+        costs = {
+            instr: gemm_cycles(instr, size, size, size)
+            for instr in PRIMARY
+        }
+        assert min(costs, key=costs.get) is winner
+
+    def test_latency_ratios_within_tolerance(self):
+        # Paper row 64: vmpa 0.69, vrmpy 0.76 (+-0.12 modelling slack).
+        base = gemm_cycles(Opcode.VMPY, 64, 64, 64)
+        assert gemm_cycles(Opcode.VMPA, 64, 64, 64) / base == (
+            pytest.approx(0.69, abs=0.12)
+        )
+        assert gemm_cycles(Opcode.VRMPY, 64, 64, 64) / base == (
+            pytest.approx(0.76, abs=0.12)
+        )
+
+    def test_cost_monotone_in_every_dimension(self):
+        for instr in PRIMARY:
+            base = gemm_cycles(instr, 256, 64, 64)
+            assert gemm_cycles(instr, 512, 64, 64) > base
+            assert gemm_cycles(instr, 256, 128, 64) > base
+            assert gemm_cycles(instr, 256, 64, 128) > base
+
+    def test_non_gemm_instruction_rejected(self):
+        with pytest.raises(SelectionError):
+            gemm_cycles(Opcode.VADD, 10, 10, 10)
+
+
+class TestElementwiseCycles:
+    def test_linear_in_vectors(self):
+        small = elementwise_cycles(128 * 10)
+        large = elementwise_cycles(128 * 100)
+        assert large > small
+
+    def test_partial_vector_rounds_up(self):
+        assert elementwise_cycles(1) == elementwise_cycles(128)
+
+
+class TestTensor2dView:
+    def test_nchw_maps_channels_to_columns(self):
+        assert tensor_2d_view((1, 64, 14, 14)) == (196, 64)
+
+    def test_sequence(self):
+        assert tensor_2d_view((1, 128, 312)) == (128, 312)
+
+    def test_matrix_and_vector(self):
+        assert tensor_2d_view((7, 9)) == (7, 9)
+        assert tensor_2d_view((5,)) == (1, 5)
+        assert tensor_2d_view(()) == (1, 1)
+
+
+class TestCostModel:
+    def _conv_graph(self):
+        g = ComputationalGraph()
+        x = g.add(ops.Input(shape=(1, 64, 28, 28)))
+        conv = g.add(
+            ops.Conv2D(out_channels=64, kernel=3), [x.node_id]
+        )
+        relu = g.add(ops.ReLU(), [conv.node_id])
+        return g, conv, relu
+
+    def test_sources_cost_nothing(self):
+        g, conv, _ = self._conv_graph()
+        model = CostModel()
+        input_node = g.node(0)
+        plan = model.plans(input_node)[0]
+        assert model.node_cost(g, input_node, plan) == 0.0
+
+    def test_compute_node_requires_instruction(self):
+        g, conv, _ = self._conv_graph()
+        model = CostModel()
+        bad = ExecutionPlan(instruction=None, layout=Layout.COL1)
+        with pytest.raises(SelectionError):
+            model.node_cost(g, conv, bad)
+
+    def test_memory_roofline_binds_elementwise(self):
+        g, _, relu = self._conv_graph()
+        model = CostModel()
+        plan = ExecutionPlan(None, Layout.COL4)
+        compute, memory = model.node_cost_detail(g, relu, plan)
+        # A big elementwise op moves ~2x50k bytes: memory wins.
+        assert memory > compute
+        assert model.node_cost(g, relu, plan) == pytest.approx(
+            memory, rel=1e-6
+        )
+
+    def test_packing_factor_scales(self):
+        g, conv, _ = self._conv_graph()
+        plan = ExecutionPlan(Opcode.VRMPY, Layout.COL4)
+        base = CostModel().node_cost(g, conv, plan)
+        slowed = CostModel(packing_factor=2.0).node_cost(g, conv, plan)
+        assert slowed > base
+
+    def test_edge_cost_zero_for_matching_layouts(self):
+        g, conv, relu = self._conv_graph()
+        model = CostModel()
+        plan = ExecutionPlan(Opcode.VRMPY, Layout.COL4)
+        same = ExecutionPlan(None, Layout.COL4)
+        assert model.edge_cost(g, conv, plan, relu, same) == 0.0
+
+    def test_edge_cost_positive_for_mismatch(self):
+        g, conv, relu = self._conv_graph()
+        model = CostModel()
+        plan = ExecutionPlan(Opcode.VRMPY, Layout.COL4)
+        other = ExecutionPlan(None, Layout.COL1)
+        assert model.edge_cost(g, conv, plan, relu, other) > 0.0
+
+    def test_constant_edges_free(self):
+        g = ComputationalGraph()
+        c = g.add(ops.Constant(shape=(64, 64)))
+        x = g.add(ops.Input(shape=(1, 10, 64)))
+        mm = g.add(ops.MatMul(), [x.node_id, c.node_id])
+        model = CostModel()
+        const_plan = ExecutionPlan(None, Layout.ROW_MAJOR)
+        mm_plan = ExecutionPlan(Opcode.VRMPY, Layout.COL4)
+        assert model.edge_cost(g, c, const_plan, g.node(mm.node_id), mm_plan) == 0.0
+
+    def test_boundary_cost_only_for_outputs(self):
+        g, conv, relu = self._conv_graph()
+        model = CostModel()
+        plan = ExecutionPlan(Opcode.VRMPY, Layout.COL4)
+        assert model.boundary_cost(g, conv, plan) == 0.0  # has consumer
+        out_plan = ExecutionPlan(None, Layout.COL4)
+        assert model.boundary_cost(g, relu, out_plan) > 0.0
+        row_major = ExecutionPlan(None, Layout.ROW_MAJOR)
+        assert model.boundary_cost(g, relu, row_major) == 0.0
+
+    def test_other_opts_reduce_division_cost(self):
+        g = ComputationalGraph()
+        x = g.add(ops.Input(shape=(1, 4, 32, 32)))
+        y = g.add(ops.Input(shape=(1, 4, 32, 32)))
+        div = g.add(ops.Div(), [x.node_id, y.node_id])
+        plan = ExecutionPlan(None, Layout.ROW_MAJOR)
+        with_lut = CostModel(other_opts=True)._raw_node_cost(g, div, plan)
+        without = CostModel(other_opts=False)._raw_node_cost(g, div, plan)
+        scalar = CostModel(
+            other_opts=False, scalar_activations=True
+        )._raw_node_cost(g, div, plan)
+        assert with_lut < without < scalar
+
+    def test_fused_activation_adds_epilogue(self):
+        g = ComputationalGraph()
+        x = g.add(ops.Input(shape=(1, 64, 28, 28)))
+        plain_op = ops.Conv2D(out_channels=64, kernel=3)
+        plain = g.add(plain_op, [x.node_id])
+        fused_op = ops.Conv2D(out_channels=64, kernel=3)
+        fused_op.fused_activation = "relu"
+        fused = g.add(fused_op, [x.node_id])
+        model = CostModel()
+        plan = ExecutionPlan(Opcode.VRMPY, Layout.COL4)
+        assert model._raw_node_cost(g, g.node(fused.node_id), plan) > (
+            model._raw_node_cost(g, g.node(plain.node_id), plan)
+        )

@@ -1,0 +1,89 @@
+"""Unit tests for cost-optimal graph partitioning (Definition IV.1)."""
+
+import pytest
+
+from repro.core.cost import CostModel
+from repro.core.partition import (
+    desirable_partition_edges,
+    is_desirable_edge,
+    partition,
+)
+from repro.graph.builder import GraphBuilder
+from tests.conftest import random_dag, small_cnn
+
+
+class TestDesirableEdges:
+    def test_layout_transform_consumer_is_desirable(self):
+        b = GraphBuilder("t")
+        x = b.input((1, 8, 4, 4), name="x")
+        c = b.conv2d(x, 8, name="conv")
+        b.reshape(c, (1, -1), name="flatten")
+        g = b.build()
+        model = CostModel()
+        conv_id = [n.node_id for n in g if n.name == "conv"][0]
+        reshape_id = [n.node_id for n in g if n.name == "flatten"][0]
+        assert is_desirable_edge(g, model, conv_id, reshape_id)
+
+    def test_multi_predecessor_consumer_not_desirable(self):
+        b = GraphBuilder("t")
+        x = b.input((1, 8, 4, 4), name="x")
+        a = b.conv2d(x, 8, name="a")
+        c = b.conv2d(x, 8, name="c")
+        s = b.add(a, c, name="sum")
+        g = b.build()
+        model = CostModel()
+        a_id = [n.node_id for n in g if n.name == "a"][0]
+        s_id = [n.node_id for n in g if n.name == "sum"][0]
+        assert not is_desirable_edge(g, model, a_id, s_id)
+
+    def test_transparent_producer_not_desirable(self):
+        b = GraphBuilder("t")
+        x = b.input((1, 8, 4, 4), name="x")
+        r = b.relu(x, name="r")
+        b.conv2d(r, 8, name="conv")
+        g = b.build()
+        model = CostModel()
+        r_id = [n.node_id for n in g if n.name == "r"][0]
+        c_id = [n.node_id for n in g if n.name == "conv"][0]
+        assert not is_desirable_edge(g, model, r_id, c_id)
+
+    def test_edge_listing_subset_of_edges(self):
+        g = small_cnn()
+        model = CostModel()
+        edges = set(g.edges())
+        for edge in desirable_partition_edges(g, model):
+            assert edge in edges
+
+
+class TestPartition:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_partitions_are_a_disjoint_cover(self, seed):
+        g = random_dag(seed)
+        parts = partition(g, CostModel(), max_operators=5)
+        seen = [nid for part in parts for nid in part]
+        assert sorted(seen) == sorted(n.node_id for n in g)
+        assert len(seen) == len(set(seen))
+
+    @pytest.mark.parametrize("budget", [1, 3, 5, 13])
+    def test_budget_respected(self, budget):
+        g = small_cnn()
+        for part in partition(g, CostModel(), max_operators=budget):
+            assert len(part) <= budget
+
+    def test_partitions_topologically_ordered(self):
+        g = small_cnn()
+        parts = partition(g, CostModel(), max_operators=4)
+        firsts = [part[0] for part in parts]
+        assert firsts == sorted(firsts)
+
+    def test_members_in_topological_order(self):
+        g = small_cnn()
+        for part in partition(g, CostModel(), max_operators=13):
+            assert part == sorted(part)
+
+    def test_larger_budget_fewer_partitions(self):
+        g = small_cnn()
+        model = CostModel()
+        small = partition(g, model, max_operators=2)
+        large = partition(g, model, max_operators=13)
+        assert len(large) <= len(small)

@@ -1,0 +1,100 @@
+"""Unit tests for execution-plan enumeration."""
+
+import pytest
+
+from repro.core.plans import (
+    ExecutionPlan,
+    INSTRUCTION_LAYOUT,
+    PRIMARY_INSTRUCTIONS,
+    enumerate_plans,
+    plan_count,
+)
+from repro.graph import ops
+from repro.graph.graph import ComputationalGraph
+from repro.isa.instructions import Opcode
+from repro.tensor.layout import Layout
+from tests.conftest import small_cnn
+
+
+def _graph_with(op, input_shape=(1, 8, 16, 16)):
+    g = ComputationalGraph()
+    x = g.add(ops.Input(shape=input_shape))
+    node = g.add(op, [x.node_id])
+    return g, node
+
+
+class TestInstructionLayouts:
+    def test_figure2_pairings(self):
+        assert INSTRUCTION_LAYOUT[Opcode.VMPY] is Layout.COL1
+        assert INSTRUCTION_LAYOUT[Opcode.VMPA] is Layout.COL2
+        assert INSTRUCTION_LAYOUT[Opcode.VRMPY] is Layout.COL4
+
+
+class TestEnumeration:
+    def test_compute_heavy_gets_primary_instructions(self):
+        _, node = _graph_with(ops.Conv2D(out_channels=4))
+        plans = enumerate_plans(node)
+        assert {p.instruction for p in plans} == set(PRIMARY_INSTRUCTIONS)
+        for plan in plans:
+            assert plan.layout is INSTRUCTION_LAYOUT[plan.instruction]
+
+    def test_extensions_add_vtmpy_for_3_wide_kernels(self):
+        _, node = _graph_with(ops.Conv2D(out_channels=4, kernel=3))
+        plans = enumerate_plans(node, include_extensions=True)
+        assert Opcode.VTMPY in {p.instruction for p in plans}
+        assert Opcode.VMPYE in {p.instruction for p in plans}
+
+    def test_no_vtmpy_for_1x1(self):
+        _, node = _graph_with(
+            ops.Conv2D(out_channels=4, kernel=1, padding=0)
+        )
+        plans = enumerate_plans(node, include_extensions=True)
+        assert Opcode.VTMPY not in {p.instruction for p in plans}
+
+    def test_transparent_ops_get_all_layouts(self):
+        _, node = _graph_with(ops.ReLU())
+        plans = enumerate_plans(node)
+        assert {p.layout for p in plans} == set(Layout)
+        assert all(p.instruction is None for p in plans)
+
+    def test_layout_transform_ops_are_row_major_only(self):
+        _, node = _graph_with(ops.Reshape(target=(1, -1)))
+        plans = enumerate_plans(node)
+        assert len(plans) == 1
+        assert plans[0].layout is Layout.ROW_MAJOR
+
+    def test_inputs_are_row_major_only(self):
+        g = ComputationalGraph()
+        node = g.add(ops.Input(shape=(1, 4)))
+        plans = enumerate_plans(node)
+        assert len(plans) == 1
+        assert plans[0].layout is Layout.ROW_MAJOR
+
+    def test_constants_offer_every_layout(self):
+        g = ComputationalGraph()
+        node = g.add(ops.Constant(shape=(4, 4)))
+        assert {p.layout for p in enumerate_plans(node)} == set(Layout)
+
+
+class TestPlanObjects:
+    def test_frozen_and_hashable(self):
+        plan = ExecutionPlan(Opcode.VMPY, Layout.COL1)
+        assert plan == ExecutionPlan(Opcode.VMPY, Layout.COL1)
+        assert len({plan, ExecutionPlan(Opcode.VMPA, Layout.COL2)}) == 2
+
+    def test_label(self):
+        assert ExecutionPlan(Opcode.VMPY, Layout.COL1).label == (
+            "vmpy/1-column"
+        )
+        assert "passthrough" in ExecutionPlan(None, Layout.ROW_MAJOR).label
+
+
+class TestPlanCount:
+    def test_search_space_is_product(self):
+        g = small_cnn()
+        count = plan_count(g)
+        expected = 1
+        for node in g:
+            expected *= len(enumerate_plans(node))
+        assert count == expected
+        assert count > 1000  # the exponential blow-up the paper cites

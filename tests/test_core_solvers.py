@@ -1,0 +1,204 @@
+"""Tests for the selection solvers: DP, exhaustive, local, PBQP, GCD2.
+
+The central invariants:
+
+* chain DP == exhaustive optimum on chains/in-trees (Equation 2 is exact);
+* branch-and-bound == raw enumeration (pruning is lossless);
+* local >= GCD2(k) >= exhaustive optimum on any graph (cost sandwich);
+* every solver returns a complete, legal assignment.
+"""
+
+import pytest
+
+from repro.core.chain_dp import is_in_tree, solve_chain
+from repro.core.cost import CostModel
+from repro.core.exhaustive import solve_exhaustive
+from repro.core.global_select import solve_gcd2
+from repro.core.local import solve_local
+from repro.core.pbqp import solve_pbqp
+from repro.core.selection_common import SelectionResult, aggregate_cost
+from repro.errors import SelectionError
+from repro.graph.builder import GraphBuilder
+from tests.conftest import chain_graph, random_dag, small_cnn
+
+
+def _assert_complete(graph, result: SelectionResult):
+    for node in graph:
+        assert node.node_id in result.assignment
+
+
+class TestChainDp:
+    @pytest.mark.parametrize("length", [1, 2, 4, 7])
+    def test_matches_exhaustive_on_chains(self, length):
+        graph = chain_graph(length=length)
+        model = CostModel()
+        dp = solve_chain(graph, model)
+        exact = solve_exhaustive(graph, model)
+        assert dp.cost == pytest.approx(exact.cost, rel=1e-9)
+
+    def test_dp_cost_equals_aggregate_of_assignment(self):
+        graph = chain_graph(length=5)
+        model = CostModel()
+        dp = solve_chain(graph, model)
+        recomputed = aggregate_cost(graph, model, dp.assignment)
+        assert dp.cost == pytest.approx(recomputed, rel=1e-9)
+
+    def test_handles_in_trees(self):
+        # Multiple inputs, each feeding exactly one consumer.
+        b = GraphBuilder("tree")
+        left = b.input((1, 4, 8, 8), name="left")
+        right = b.input((1, 4, 8, 8), name="right")
+        lc = b.conv2d(left, 4, name="lconv")
+        rc = b.conv2d(right, 4, name="rconv")
+        b.add(lc, rc, name="join")
+        graph = b.build()
+        assert is_in_tree(graph)
+        model = CostModel()
+        dp = solve_chain(graph, model)
+        exact = solve_exhaustive(graph, model)
+        assert dp.cost == pytest.approx(exact.cost, rel=1e-9)
+
+    def test_rejects_fan_out(self):
+        graph = small_cnn()  # residual: a node has two consumers
+        with pytest.raises(SelectionError):
+            solve_chain(graph, CostModel())
+
+    def test_linear_time_scaling(self):
+        # A 60-op chain solves instantly (would be 3^60 exhaustively).
+        graph = chain_graph(length=60)
+        result = solve_chain(graph, CostModel())
+        _assert_complete(graph, result)
+
+
+class TestExhaustive:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_pruning_is_lossless(self, seed):
+        graph = random_dag(seed, nodes=5)
+        model = CostModel()
+        pruned = solve_exhaustive(graph, model, prune=True)
+        raw = solve_exhaustive(graph, model, prune=False)
+        assert pruned.cost == pytest.approx(raw.cost, rel=1e-9)
+
+    def test_cost_matches_aggregate(self):
+        graph = random_dag(1, nodes=5)
+        model = CostModel()
+        result = solve_exhaustive(graph, model)
+        assert result.cost == pytest.approx(
+            aggregate_cost(graph, model, result.assignment), rel=1e-9
+        )
+
+    def test_subset_search_with_fixed_plans(self):
+        graph = chain_graph(length=4)
+        model = CostModel()
+        nodes = [n.node_id for n in graph]
+        first = solve_exhaustive(graph, model, node_ids=nodes[:3])
+        second = solve_exhaustive(
+            graph, model, node_ids=nodes[3:], fixed=first.assignment
+        )
+        _assert_complete(graph, second)
+
+    def test_max_expansions_guard(self):
+        graph = small_cnn()
+        with pytest.raises(SelectionError):
+            solve_exhaustive(
+                graph, CostModel(), prune=False, max_expansions=100
+            )
+
+    def test_empty_selection(self):
+        graph = chain_graph(length=2)
+        result = solve_exhaustive(graph, CostModel(), node_ids=[])
+        assert result.cost == 0.0
+
+
+class TestLocal:
+    def test_picks_per_node_cheapest(self):
+        graph = chain_graph(length=4)
+        model = CostModel()
+        result = solve_local(graph, model)
+        for node in graph:
+            plan = result.assignment[node.node_id]
+            best = min(
+                model.plans(node),
+                key=lambda p: model.node_cost(graph, node, p),
+            )
+            assert model.node_cost(graph, node, plan) == pytest.approx(
+                model.node_cost(graph, node, best)
+            )
+
+    def test_never_beats_global(self):
+        for seed in range(4):
+            graph = random_dag(seed, nodes=6)
+            model = CostModel()
+            local = solve_local(graph, model)
+            exact = solve_exhaustive(graph, model)
+            assert local.cost >= exact.cost - 1e-9
+
+
+class TestPbqp:
+    @pytest.mark.parametrize("length", [2, 4, 6])
+    def test_exact_on_chains(self, length):
+        # Chains reduce entirely via RI: PBQP is exact there.
+        graph = chain_graph(length=length)
+        model = CostModel()
+        pbqp = solve_pbqp(graph, model)
+        exact = solve_exhaustive(graph, model)
+        assert pbqp.cost == pytest.approx(exact.cost, rel=1e-9)
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_near_optimal_on_dags(self, seed):
+        graph = random_dag(seed, nodes=6)
+        model = CostModel()
+        pbqp = solve_pbqp(graph, model)
+        exact = solve_exhaustive(graph, model)
+        local = solve_local(graph, model)
+        assert pbqp.cost >= exact.cost - 1e-9
+        assert pbqp.cost <= local.cost + 1e-9
+
+    def test_complete_assignment(self):
+        graph = small_cnn()
+        result = solve_pbqp(graph, CostModel())
+        _assert_complete(graph, result)
+
+
+class TestGcd2:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_cost_sandwich(self, seed):
+        graph = random_dag(seed, nodes=7)
+        model = CostModel()
+        gcd2 = solve_gcd2(graph, model, max_operators=13)
+        local = solve_local(graph, model)
+        exact = solve_exhaustive(graph, model)
+        assert exact.cost - 1e-9 <= gcd2.cost <= local.cost + 1e-9
+
+    def test_uses_dp_on_chains(self):
+        graph = chain_graph(length=5)
+        result = solve_gcd2(graph, CostModel())
+        assert "chain-dp" in result.solver
+        exact = solve_exhaustive(graph, CostModel())
+        assert result.cost == pytest.approx(exact.cost, rel=1e-9)
+
+    def test_partition_budget_names_solver(self):
+        graph = small_cnn()
+        result = solve_gcd2(graph, CostModel(), max_operators=5)
+        assert "gcd2(5)" in result.solver
+        _assert_complete(graph, result)
+
+    def test_matches_global_on_small_graphs(self):
+        # The Figure 10 observation: GCD2(13) ~= the global optimum.
+        graph = small_cnn()
+        model = CostModel()
+        gcd2 = solve_gcd2(graph, model, max_operators=13)
+        exact = solve_exhaustive(graph, model)
+        assert gcd2.cost <= exact.cost * 1.05
+
+
+class TestSelectionResult:
+    def test_plan_for_missing_raises(self):
+        result = SelectionResult({}, 0.0, "test")
+        with pytest.raises(SelectionError):
+            result.plan_for(0)
+
+    def test_aggregate_cost_requires_complete_assignment(self):
+        graph = chain_graph(length=2)
+        with pytest.raises(SelectionError):
+            aggregate_cost(graph, CostModel(), {})

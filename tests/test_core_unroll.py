@@ -1,0 +1,110 @@
+"""Unit tests for loop unrolling selection."""
+
+import pytest
+
+from repro.codegen.matmul import VECTOR_REGISTER_COUNT, registers_required
+from repro.core.unroll import (
+    UnrollPlan,
+    adaptive_unroll,
+    body_cycles,
+    classify_output_shape,
+    exhaustive_unroll,
+    kernel_cycles,
+)
+from repro.isa.instructions import Opcode
+
+
+class TestClassification:
+    def test_skinny(self):
+        assert classify_output_shape(4096, 16) == "skinny"
+
+    def test_fat(self):
+        assert classify_output_shape(16, 4096) == "fat"
+
+    def test_near_square(self):
+        assert classify_output_shape(512, 512) == "near-square"
+        assert classify_output_shape(512, 256) == "near-square"
+
+
+class TestAdaptive:
+    def test_near_square_picks_4_4(self):
+        # Figure 12a: the exhaustive best for the studied kernel is 4-4
+        # and GCD2's heuristic lands there too.
+        assert adaptive_unroll(512, 512).label == "4-4"
+
+    def test_skinny_unrolls_rows(self):
+        plan = adaptive_unroll(4096, 16)
+        assert plan.outer > plan.mid
+
+    def test_fat_unrolls_columns(self):
+        plan = adaptive_unroll(128, 4096)
+        assert plan.mid > plan.outer
+
+    def test_clamped_to_available_row_panels(self):
+        # m=256 is two 128-row panels: outer > 2 only computes padding.
+        plan = adaptive_unroll(256, 256)
+        assert plan.outer <= 2
+
+    def test_register_budget_respected(self):
+        for m, n in [(4096, 16), (512, 512), (16, 4096), (128, 64)]:
+            plan = adaptive_unroll(m, n, Opcode.VMPY)
+            assert (
+                registers_required(Opcode.VMPY, plan.outer, plan.mid)
+                <= VECTOR_REGISTER_COUNT
+            )
+
+
+class TestKernelCycles:
+    def test_unrolling_reduces_cycles(self):
+        base = kernel_cycles(Opcode.VRMPY, 512, 64, 512, UnrollPlan(1, 1))
+        unrolled = kernel_cycles(Opcode.VRMPY, 512, 64, 512, UnrollPlan(4, 4))
+        assert unrolled < base
+
+    def test_oversized_factors_lose(self):
+        # Figure 12: performance drops when spilling kicks in.
+        good = kernel_cycles(Opcode.VRMPY, 4096, 64, 512, UnrollPlan(4, 4))
+        spilled = kernel_cycles(
+            Opcode.VRMPY, 4096, 64, 512, UnrollPlan(16, 16)
+        )
+        assert spilled > good
+
+    def test_body_cycles_cached_and_positive(self):
+        a = body_cycles(Opcode.VRMPY, 2, 2)
+        b = body_cycles(Opcode.VRMPY, 2, 2)
+        assert a == b > 0
+
+
+class TestExhaustive:
+    def test_finds_at_least_adaptive_quality(self):
+        m, k, n = 512, 64, 512
+        plan = adaptive_unroll(m, n, Opcode.VRMPY)
+        adaptive_cost = kernel_cycles(Opcode.VRMPY, m, k, n, plan)
+        _, best_cost = exhaustive_unroll(Opcode.VRMPY, m, k, n)
+        assert best_cost <= adaptive_cost
+
+    def test_adaptive_close_to_exhaustive(self):
+        # The paper: "GCD2 achieves very comparable performance" to the
+        # exhaustive search across kernels.
+        for m, k, n in [(512, 64, 512), (1024, 128, 256), (256, 256, 256)]:
+            plan = adaptive_unroll(m, n, Opcode.VRMPY)
+            adaptive_cost = kernel_cycles(Opcode.VRMPY, m, k, n, plan)
+            _, best = exhaustive_unroll(Opcode.VRMPY, m, k, n)
+            assert adaptive_cost <= best * 1.25
+
+    def test_restricted_factor_set(self):
+        plan, _ = exhaustive_unroll(
+            Opcode.VRMPY, 512, 64, 512, factors=(1, 2)
+        )
+        assert plan.outer in (1, 2) and plan.mid in (1, 2)
+
+
+class TestRegisterModel:
+    def test_monotone_in_factors(self):
+        assert registers_required(Opcode.VRMPY, 4, 4) < registers_required(
+            Opcode.VRMPY, 8, 8
+        )
+
+    def test_pair_output_instructions_need_more(self):
+        assert registers_required(Opcode.VMPY, 4, 4) > registers_required(
+            Opcode.VRMPY, 4, 4
+        )

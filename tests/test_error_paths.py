@@ -1,0 +1,127 @@
+"""Failure-injection tests: the library fails loudly and specifically.
+
+Every subsystem's error paths, exercised in one place — the guarantee
+that misuse produces a :class:`~repro.errors.ReproError` subclass with
+a useful message, never a silent wrong answer.
+"""
+
+import numpy as np
+import pytest
+
+from repro import errors
+from repro.graph import ops
+from repro.graph.graph import ComputationalGraph
+
+
+class TestErrorHierarchy:
+    @pytest.mark.parametrize(
+        "exc",
+        [
+            errors.IsaError,
+            errors.PacketError,
+            errors.LayoutError,
+            errors.QuantizationError,
+            errors.GraphError,
+            errors.ShapeError,
+            errors.SelectionError,
+            errors.SchedulingError,
+            errors.CodegenError,
+            errors.SimulationError,
+        ],
+    )
+    def test_all_derive_from_repro_error(self, exc):
+        assert issubclass(exc, errors.ReproError)
+
+    def test_shape_error_is_graph_error(self):
+        assert issubclass(errors.ShapeError, errors.GraphError)
+
+    def test_single_except_clause_catches_everything(self):
+        caught = []
+        for exc in (errors.IsaError, errors.ShapeError, errors.CodegenError):
+            try:
+                raise exc("boom")
+            except errors.ReproError as err:
+                caught.append(err)
+        assert len(caught) == 3
+
+
+class TestMessagesAreSpecific:
+    def test_layout_error_names_sizes(self):
+        from repro.tensor.layout import unpack, Layout
+
+        with pytest.raises(errors.LayoutError) as exc:
+            unpack(np.zeros(10, np.int8), 4, 4, Layout.COL1)
+        assert "10" in str(exc.value)
+
+    def test_graph_error_names_missing_node(self):
+        graph = ComputationalGraph()
+        with pytest.raises(errors.GraphError) as exc:
+            graph.node(42)
+        assert "42" in str(exc.value)
+
+    def test_simulation_error_names_address(self):
+        from repro.machine.simulator import MachineState
+
+        state = MachineState(memory_size=64)
+        with pytest.raises(errors.SimulationError) as exc:
+            state.load_bytes(60, 10)
+        assert "60" in str(exc.value)
+
+    def test_selection_error_names_node(self):
+        from repro.core.selection_common import SelectionResult
+
+        with pytest.raises(errors.SelectionError) as exc:
+            SelectionResult({}, 0.0, "t").plan_for(7)
+        assert "7" in str(exc.value)
+
+
+class TestCorruptInputs:
+    def test_simulator_rejects_unknown_handler(self):
+        # Forged opcode values cannot execute.
+        from repro.machine.simulator import Simulator, _HANDLERS
+        from repro.machine.packet import Packet
+        from repro.isa.instructions import Instruction, Opcode
+
+        inst = Instruction(Opcode.NOP)
+        handler = _HANDLERS.pop(Opcode.NOP)
+        try:
+            with pytest.raises(errors.SimulationError):
+                Simulator().step(Packet([inst]))
+        finally:
+            _HANDLERS[Opcode.NOP] = handler
+
+    def test_graph_rejects_cycle_inducing_input(self):
+        graph = ComputationalGraph()
+        with pytest.raises(errors.GraphError):
+            # Forward reference: node 1 does not exist yet.
+            graph.add(ops.ReLU(), [1])
+
+    def test_quantized_executor_surfaces_kernel_shape_bugs(self):
+        # The runtime cross-checks every kernel's output shape.
+        from repro.compiler import compile_model
+        from repro.runtime.executor import QuantizedExecutor
+        from tests.conftest import small_cnn
+
+        compiled = compile_model(small_cnn())
+        executor = QuantizedExecutor(compiled)
+        node = compiled.nodes[0].node
+        with pytest.raises(errors.SimulationError):
+            executor._gemm_2d(
+                node,
+                np.zeros((0, 4)),  # degenerate operand
+                np.zeros((4, 4)),
+                compiled.nodes[0].plan,
+            )
+
+    def test_cost_model_rejects_planless_compute(self):
+        from repro.core.cost import CostModel
+        from repro.core.plans import ExecutionPlan
+        from repro.tensor.layout import Layout
+        from tests.conftest import small_cnn
+
+        graph = small_cnn()
+        conv = next(n for n in graph if n.op.is_compute_heavy)
+        with pytest.raises(errors.SelectionError):
+            CostModel().node_cost(
+                graph, conv, ExecutionPlan(None, Layout.COL1)
+            )

@@ -1,0 +1,69 @@
+"""Tests for the extension instruction plans (vtmpy / vmpye)."""
+
+import pytest
+
+from repro.compiler import CompilerOptions, compile_model
+from repro.core.cost import CostModel, gemm_cycles
+from repro.core.plans import enumerate_plans
+from repro.core.selection_common import aggregate_cost
+from repro.graph.builder import GraphBuilder
+from repro.isa.instructions import Opcode
+from tests.conftest import small_cnn
+
+
+class TestExtensionPlans:
+    def test_extension_cost_model_defined(self):
+        for instr in (Opcode.VTMPY, Opcode.VMPYE):
+            assert gemm_cycles(instr, 64, 12, 8) > 0
+
+    def test_vmpye_is_a_poor_general_choice(self):
+        # The fallback instruction: offered, but rarely optimal.
+        for size in (32, 64, 128):
+            assert gemm_cycles(Opcode.VMPYE, size, size, size) > (
+                gemm_cycles(Opcode.VMPY, size, size, size)
+            )
+
+    def test_extended_selection_never_worse(self):
+        # A superset of plans can only lower the optimum.
+        graph = small_cnn()
+        base = CostModel(include_extensions=False)
+        extended = CostModel(include_extensions=True)
+        from repro.core.exhaustive import solve_exhaustive
+
+        base_cost = solve_exhaustive(graph, base).cost
+        ext_cost = solve_exhaustive(graph, extended).cost
+        assert ext_cost <= base_cost + 1e-9
+
+    def test_compile_with_extensions(self):
+        compiled = compile_model(
+            small_cnn(), CompilerOptions(include_extensions=True)
+        )
+        assert compiled.latency_ms > 0
+        # Whatever got chosen, the selection remains Equation-1 sound.
+        model = CostModel(include_extensions=True)
+        recomputed = aggregate_cost(
+            compiled.graph, model, compiled.selection.assignment
+        )
+        assert compiled.selection.cost == pytest.approx(
+            recomputed, rel=1e-6
+        )
+
+    def test_vtmpy_offered_for_3_wide_convs_only(self):
+        b = GraphBuilder("k")
+        x = b.input((1, 8, 16, 16), name="x")
+        three = b.conv2d(x, 8, kernel=3, name="k3")
+        one = b.conv2d(x, 8, kernel=1, padding=0, name="k1")
+        graph = b.build()
+        node3 = [n for n in graph if n.name == "k3"][0]
+        node1 = [n for n in graph if n.name == "k1"][0]
+        instrs3 = {
+            p.instruction
+            for p in enumerate_plans(node3, include_extensions=True)
+        }
+        instrs1 = {
+            p.instruction
+            for p in enumerate_plans(node1, include_extensions=True)
+        }
+        assert Opcode.VTMPY in instrs3
+        assert Opcode.VTMPY not in instrs1
+        assert Opcode.VMPYE in instrs1

@@ -1,0 +1,154 @@
+"""Unit tests for the float reference executor."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphError
+from repro.graph.builder import GraphBuilder
+from repro.graph.execute import ReferenceExecutor
+from tests.conftest import random_dag, small_cnn
+
+
+class TestBasicExecution:
+    def test_small_cnn_runs(self):
+        outputs = ReferenceExecutor(small_cnn()).run()
+        (value,) = outputs.values()
+        assert value.shape == (1, 4)
+        assert value.sum() == pytest.approx(1.0)  # softmax
+
+    def test_deterministic_given_seed(self):
+        a = ReferenceExecutor(small_cnn(), seed=3).run()
+        b = ReferenceExecutor(small_cnn(), seed=3).run()
+        for key in a:
+            assert np.allclose(a[key], b[key])
+
+    def test_different_seeds_differ(self):
+        a = ReferenceExecutor(small_cnn(), seed=1).run()
+        b = ReferenceExecutor(small_cnn(), seed=2).run()
+        assert any(not np.allclose(a[k], b[k]) for k in a)
+
+    def test_feed_overrides_input(self):
+        g = small_cnn()
+        feed = np.zeros((1, 3, 16, 16))
+        a = ReferenceExecutor(g).run({"image": feed})
+        b = ReferenceExecutor(g).run({"image": feed + 1.0})
+        assert any(not np.allclose(a[k], b[k]) for k in a)
+
+    def test_feed_shape_checked(self):
+        with pytest.raises(GraphError):
+            ReferenceExecutor(small_cnn()).run(
+                {"image": np.zeros((1, 3, 4, 4))}
+            )
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_random_dags_execute_and_match_inference(self, seed):
+        g = random_dag(seed)
+        outputs = ReferenceExecutor(g).run()
+        by_name = {n.name: n for n in g.output_nodes()}
+        for name, value in outputs.items():
+            assert tuple(value.shape) == by_name[name].output_shape
+
+
+class TestOperatorSemantics:
+    def test_conv2d_against_manual(self):
+        b = GraphBuilder("conv")
+        x = b.input((1, 1, 4, 4), name="x")
+        b.conv2d(x, 1, kernel=3, padding=1, name="c")
+        g = b.build()
+        ex = ReferenceExecutor(g, seed=0)
+        image = np.random.default_rng(1).normal(size=(1, 1, 4, 4))
+        out = ex.run({"x": image})["c"]
+        node = [n for n in g if n.name == "c"][0]
+        w = ex._weight(node, "w0", (9, 1)).reshape(3, 3)
+        padded = np.pad(image[0, 0], 1)
+        manual = np.zeros((4, 4))
+        for i in range(4):
+            for j in range(4):
+                # im2col orders patches channel-major then kh, kw.
+                manual[i, j] = (padded[i:i + 3, j:j + 3] * w).sum()
+        assert np.allclose(out[0, 0], manual)
+
+    def test_depthwise_independent_channels(self):
+        b = GraphBuilder("dw")
+        x = b.input((1, 2, 4, 4), name="x")
+        b.depthwise_conv2d(x, kernel=3, name="d")
+        g = b.build()
+        ex = ReferenceExecutor(g)
+        image = np.zeros((1, 2, 4, 4))
+        image[0, 0] = 1.0  # only channel 0 is non-zero
+        out = ex.run({"x": image})["d"]
+        # Channel 1's filter never sees channel 0's data.
+        assert np.allclose(out[0, 1], 0.0)
+        assert not np.allclose(out[0, 0], 0.0)
+
+    def test_max_pool(self):
+        b = GraphBuilder("pool")
+        x = b.input((1, 1, 4, 4), name="x")
+        b.max_pool(x, kernel=2, stride=2, name="p")
+        g = b.build()
+        image = np.arange(16, dtype=float).reshape(1, 1, 4, 4)
+        out = ReferenceExecutor(g).run({"x": image})["p"]
+        assert np.allclose(out[0, 0], [[5, 7], [13, 15]])
+
+    def test_softmax_normalizes(self):
+        b = GraphBuilder("softmax")
+        x = b.input((2, 8), name="x")
+        b.softmax(x, name="s")
+        out = ReferenceExecutor(b.build()).run(
+            {"x": np.random.default_rng(0).normal(size=(2, 8))}
+        )["s"]
+        assert np.allclose(out.sum(axis=-1), 1.0)
+
+    def test_layer_norm_standardizes(self):
+        b = GraphBuilder("ln")
+        x = b.input((2, 16), name="x")
+        b.layer_norm(x, name="n")
+        out = ReferenceExecutor(b.build()).run(
+            {"x": np.random.default_rng(0).normal(2.0, 3.0, size=(2, 16))}
+        )["n"]
+        assert np.allclose(out.mean(axis=-1), 0.0, atol=1e-9)
+        assert np.allclose(out.std(axis=-1), 1.0, atol=1e-3)
+
+    def test_depth_to_space_rearranges(self):
+        b = GraphBuilder("d2s")
+        x = b.input((1, 4, 2, 2), name="x")
+        b.depth_to_space(x, block=2, name="d")
+        image = np.arange(16, dtype=float).reshape(1, 4, 2, 2)
+        out = ReferenceExecutor(b.build()).run({"x": image})["d"]
+        assert out.shape == (1, 1, 4, 4)
+        assert out[0, 0, 0, 0] == image[0, 0, 0, 0]
+        assert out[0, 0, 0, 1] == image[0, 1, 0, 0]
+
+    def test_attention_style_matmul(self):
+        b = GraphBuilder("attn")
+        q = b.input((1, 2, 4, 8), name="q")
+        k = b.input((1, 2, 8, 4), name="k")
+        b.matmul(q, k, name="scores")
+        qv = np.random.default_rng(0).normal(size=(1, 2, 4, 8))
+        kv = np.random.default_rng(1).normal(size=(1, 2, 8, 4))
+        out = ReferenceExecutor(b.build()).run({"q": qv, "k": kv})["scores"]
+        assert np.allclose(out, qv @ kv)
+
+    def test_transpose_conv_shape_and_value(self):
+        b = GraphBuilder("tc")
+        x = b.input((1, 1, 2, 2), name="x")
+        b.transpose_conv2d(x, 1, kernel=2, stride=2, padding=0, name="u")
+        image = np.ones((1, 1, 2, 2))
+        g = b.build()
+        ex = ReferenceExecutor(g)
+        out = ex.run({"x": image})["u"]
+        assert out.shape == (1, 1, 4, 4)
+        node = [n for n in g if n.name == "u"][0]
+        w = ex._weight(node, "w", (1, 1, 2, 2))
+        # Stride 2, kernel 2: each input pixel stamps the kernel once.
+        assert np.allclose(out[0, 0, :2, :2], w[0, 0])
+
+    def test_embedding_lookup(self):
+        b = GraphBuilder("emb")
+        ids = b.input((1, 3), name="ids")
+        b.embedding(ids, vocab=10, dim=4, name="e")
+        out = ReferenceExecutor(b.build()).run(
+            {"ids": np.array([[0, 1, 0]], dtype=float)}
+        )["e"]
+        assert out.shape == (1, 3, 4)
+        assert np.allclose(out[0, 0], out[0, 2])  # same token, same vector

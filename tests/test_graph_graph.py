@@ -1,0 +1,125 @@
+"""Unit tests for the computational graph container."""
+
+import pytest
+
+from repro.errors import GraphError
+from repro.graph import ops
+from repro.graph.graph import ComputationalGraph
+from tests.conftest import chain_graph, small_cnn
+
+
+class TestConstruction:
+    def test_add_infers_shapes(self):
+        g = ComputationalGraph()
+        x = g.add(ops.Input(shape=(1, 3, 8, 8)))
+        conv = g.add(ops.Conv2D(out_channels=4, kernel=3), [x.node_id])
+        assert conv.output_shape == (1, 4, 8, 8)
+
+    def test_unknown_input_rejected(self):
+        g = ComputationalGraph()
+        with pytest.raises(GraphError):
+            g.add(ops.ReLU(), [42])
+
+    def test_duplicate_names_rejected(self):
+        g = ComputationalGraph()
+        g.add(ops.Input(shape=(1,)), name="x")
+        with pytest.raises(GraphError):
+            g.add(ops.Input(shape=(1,)), name="x")
+
+    def test_auto_names_unique(self):
+        g = ComputationalGraph()
+        a = g.add(ops.Input(shape=(1,)))
+        b = g.add(ops.ReLU(), [a.node_id])
+        c = g.add(ops.ReLU(), [b.node_id])
+        assert b.name != c.name
+
+
+class TestQueries:
+    def test_topological_iteration(self):
+        g = small_cnn()
+        seen = set()
+        for node in g:
+            assert all(i in seen for i in node.inputs)
+            seen.add(node.node_id)
+
+    def test_predecessors_and_successors(self):
+        g = ComputationalGraph()
+        x = g.add(ops.Input(shape=(1, 4, 4, 4)))
+        a = g.add(ops.ReLU(), [x.node_id])
+        b = g.add(ops.ReLU(), [x.node_id])
+        add = g.add(ops.Add(), [a.node_id, b.node_id])
+        assert {n.node_id for n in g.successors(x.node_id)} == {
+            a.node_id, b.node_id
+        }
+        assert {n.node_id for n in g.predecessors(add.node_id)} == {
+            a.node_id, b.node_id
+        }
+        assert g.out_degree(x.node_id) == 2
+
+    def test_missing_node_raises(self):
+        g = ComputationalGraph()
+        with pytest.raises(GraphError):
+            g.node(0)
+
+    def test_inputs_and_outputs(self):
+        g = small_cnn()
+        assert [n.op_type for n in g.input_nodes()] == ["Input"]
+        assert len(g.output_nodes()) == 1
+
+    def test_operator_count_excludes_sources(self):
+        g = ComputationalGraph()
+        x = g.add(ops.Input(shape=(1, 4)))
+        c = g.add(ops.Constant(shape=(1, 4)))
+        g.add(ops.Add(), [x.node_id, c.node_id])
+        assert g.operator_count() == 1
+        assert g.operator_count(exclude_io=False) == 3
+
+    def test_edges(self):
+        g = chain_graph(length=3)
+        edges = g.edges()
+        assert len(edges) == 3  # input->op0->op1->op2
+
+    def test_total_macs_positive_for_convs(self):
+        assert small_cnn().total_macs() > 0
+
+    def test_node_macs_and_dims(self):
+        g = ComputationalGraph()
+        x = g.add(ops.Input(shape=(1, 4, 8, 8)))
+        conv = g.add(
+            ops.Conv2D(out_channels=8, kernel=1, padding=0), [x.node_id]
+        )
+        assert g.node_macs(conv.node_id) == 64 * 4 * 8
+        assert g.node_matmul_dims(conv.node_id) == (64, 4, 8)
+
+
+class TestStructure:
+    def test_chain_detection(self):
+        assert chain_graph().is_linear_chain()
+        assert not small_cnn().is_linear_chain()  # residual fan-out
+
+    def test_subgraph_contiguous(self):
+        g = small_cnn()
+        ids = [n.node_id for n in g][:5]
+        sub = g.subgraph(ids)
+        assert len(sub) >= 5
+        sub.validate()
+
+    def test_subgraph_adds_placeholder_inputs(self):
+        g = small_cnn()
+        # Take a middle slice: its upstream dependency must become Input.
+        ids = [n.node_id for n in g][3:6]
+        sub = g.subgraph(ids)
+        assert any(n.op_type == "Input" for n in sub)
+
+    def test_subgraph_preserves_shapes(self):
+        g = small_cnn()
+        ids = [n.node_id for n in g][:6]
+        sub = g.subgraph(ids)
+        by_name = {n.name: n for n in sub}
+        for node in g:
+            if node.node_id in ids and node.name in by_name:
+                assert by_name[node.name].output_shape == node.output_shape
+
+    def test_validate_passes_for_builders(self):
+        small_cnn().validate()
+        chain_graph().validate()

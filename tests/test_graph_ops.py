@@ -1,0 +1,221 @@
+"""Unit tests for operator shape inference and MAC accounting."""
+
+import pytest
+
+from repro.errors import ShapeError
+from repro.graph import ops
+
+
+class TestConv2D:
+    def test_same_padding_shape(self):
+        op = ops.Conv2D(out_channels=8, kernel=3, stride=1, padding=1)
+        assert op.infer_shape([(1, 3, 32, 32)]) == (1, 8, 32, 32)
+
+    def test_strided_shape(self):
+        op = ops.Conv2D(out_channels=64, kernel=7, stride=2, padding=3)
+        assert op.infer_shape([(1, 3, 224, 224)]) == (1, 64, 112, 112)
+
+    def test_macs(self):
+        op = ops.Conv2D(out_channels=8, kernel=3, stride=1, padding=1)
+        out = op.infer_shape([(1, 4, 8, 8)])
+        assert op.macs([(1, 4, 8, 8)], out) == 8 * 8 * 8 * 4 * 9
+
+    def test_grouped_channels_divisibility(self):
+        op = ops.Conv2D(out_channels=8, kernel=1, padding=0, groups=3)
+        with pytest.raises(ShapeError):
+            op.infer_shape([(1, 4, 8, 8)])
+
+    def test_collapsed_output_rejected(self):
+        op = ops.Conv2D(out_channels=8, kernel=9, stride=1, padding=0)
+        with pytest.raises(ShapeError):
+            op.infer_shape([(1, 3, 4, 4)])
+
+    def test_matmul_dims_im2col(self):
+        op = ops.Conv2D(out_channels=64, kernel=3, stride=1, padding=1)
+        out = op.infer_shape([(1, 32, 16, 16)])
+        assert op.matmul_dims([(1, 32, 16, 16)], out) == (256, 288, 64)
+
+    def test_is_compute_heavy(self):
+        assert ops.Conv2D().is_compute_heavy
+        assert not ops.Conv2D().is_layout_transform
+
+
+class TestDepthwiseConv2D:
+    def test_shape_preserves_channels(self):
+        op = ops.DepthwiseConv2D(kernel=3, stride=1, padding=1)
+        assert op.infer_shape([(1, 16, 8, 8)]) == (1, 16, 8, 8)
+
+    def test_multiplier(self):
+        op = ops.DepthwiseConv2D(kernel=3, padding=1, multiplier=2)
+        assert op.infer_shape([(1, 16, 8, 8)]) == (1, 32, 8, 8)
+
+    def test_macs_linear_in_channels(self):
+        op = ops.DepthwiseConv2D(kernel=3, padding=1)
+        out = op.infer_shape([(1, 16, 8, 8)])
+        assert op.macs([(1, 16, 8, 8)], out) == 16 * 64 * 9
+
+
+class TestTransposeConv2D:
+    def test_upsamples(self):
+        op = ops.TransposeConv2D(out_channels=8, kernel=4, stride=2, padding=1)
+        assert op.infer_shape([(1, 16, 8, 8)]) == (1, 8, 16, 16)
+
+
+class TestMatMul:
+    def test_weighted_form(self):
+        op = ops.MatMul(weight_shape=(64, 32))
+        assert op.infer_shape([(1, 10, 64)]) == (1, 10, 32)
+
+    def test_two_operand_form(self):
+        op = ops.MatMul()
+        assert op.infer_shape([(1, 4, 10, 16), (1, 4, 16, 10)]) == (
+            1, 4, 10, 10
+        )
+
+    def test_transpose_b(self):
+        op = ops.MatMul(transpose_b=True)
+        assert op.infer_shape([(2, 8), (4, 8)]) == (2, 4)
+
+    def test_inner_dim_mismatch(self):
+        with pytest.raises(ShapeError):
+            ops.MatMul().infer_shape([(2, 8), (9, 4)])
+
+    def test_macs(self):
+        op = ops.MatMul(weight_shape=(8, 4))
+        out = op.infer_shape([(3, 8)])
+        assert op.macs([(3, 8)], out) == 3 * 8 * 4
+
+    def test_matmul_dims_flattens_batch(self):
+        op = ops.MatMul(weight_shape=(16, 4))
+        out = op.infer_shape([(2, 5, 16)])
+        assert op.matmul_dims([(2, 5, 16)], out) == (10, 16, 4)
+
+
+class TestElementwise:
+    def test_broadcast(self):
+        op = ops.Add()
+        assert op.infer_shape([(1, 8, 4, 4), (1, 8, 1, 1)]) == (1, 8, 4, 4)
+
+    def test_broadcast_rank_extension(self):
+        op = ops.Mul()
+        assert op.infer_shape([(2, 3, 4), (4,)]) == (2, 3, 4)
+
+    def test_incompatible_broadcast(self):
+        with pytest.raises(ShapeError):
+            ops.Add().infer_shape([(1, 3, 4), (1, 5, 4)])
+
+    def test_three_way_add(self):
+        assert ops.Add().infer_shape([(2, 2), (2, 2), (2, 2)]) == (2, 2)
+
+    def test_elementwise_has_no_macs(self):
+        op = ops.Add()
+        assert op.macs([(4, 4), (4, 4)], (4, 4)) == 0
+
+
+class TestActivations:
+    @pytest.mark.parametrize(
+        "op",
+        [
+            ops.ReLU(), ops.ReLU6(), ops.HardSwish(), ops.Sigmoid(),
+            ops.Tanh(), ops.GELU(), ops.Softmax(), ops.LayerNorm(),
+            ops.InstanceNorm(), ops.BatchNorm(),
+        ],
+    )
+    def test_shape_preserved(self, op):
+        assert op.infer_shape([(1, 8, 4, 4)]) == (1, 8, 4, 4)
+
+    def test_activation_single_input(self):
+        with pytest.raises(ShapeError):
+            ops.ReLU().infer_shape([(1, 2), (1, 2)])
+
+
+class TestPoolingAndReduction:
+    def test_max_pool(self):
+        op = ops.MaxPool2D(kernel=2, stride=2)
+        assert op.infer_shape([(1, 8, 16, 16)]) == (1, 8, 8, 8)
+
+    def test_pool_with_padding(self):
+        op = ops.MaxPool2D(kernel=3, stride=2, padding=1)
+        assert op.infer_shape([(1, 64, 112, 112)]) == (1, 64, 56, 56)
+
+    def test_global_avg_pool(self):
+        assert ops.GlobalAvgPool().infer_shape([(1, 32, 7, 7)]) == (
+            1, 32, 1, 1
+        )
+
+    def test_reduce_mean_keepdims(self):
+        assert ops.ReduceMean(axis=-1).infer_shape([(1, 10, 16)]) == (
+            1, 10, 1
+        )
+
+    def test_resize(self):
+        assert ops.Resize2D(scale=2).infer_shape([(1, 8, 4, 4)]) == (
+            1, 8, 8, 8
+        )
+
+    def test_depth_to_space(self):
+        assert ops.DepthToSpace(block=2).infer_shape([(1, 12, 4, 4)]) == (
+            1, 3, 8, 8
+        )
+
+    def test_depth_to_space_divisibility(self):
+        with pytest.raises(ShapeError):
+            ops.DepthToSpace(block=2).infer_shape([(1, 7, 4, 4)])
+
+
+class TestStructural:
+    def test_reshape_with_wildcard(self):
+        op = ops.Reshape(target=(1, -1))
+        assert op.infer_shape([(1, 8, 4, 4)]) == (1, 128)
+
+    def test_reshape_element_count_checked(self):
+        with pytest.raises(ShapeError):
+            ops.Reshape(target=(1, 100)).infer_shape([(1, 8, 4, 4)])
+
+    def test_reshape_multiple_wildcards_rejected(self):
+        with pytest.raises(ShapeError):
+            ops.Reshape(target=(-1, -1)).infer_shape([(4, 4)])
+
+    def test_reshape_is_layout_transform(self):
+        assert ops.Reshape(target=(1,)).is_layout_transform
+        assert ops.Transpose(perm=(0,)).is_layout_transform
+
+    def test_transpose(self):
+        op = ops.Transpose(perm=(0, 2, 1, 3))
+        assert op.infer_shape([(1, 2, 3, 4)]) == (1, 3, 2, 4)
+
+    def test_transpose_default_reverses(self):
+        assert ops.Transpose().infer_shape([(2, 3, 4)]) == (4, 3, 2)
+
+    def test_transpose_invalid_perm(self):
+        with pytest.raises(ShapeError):
+            ops.Transpose(perm=(0, 0, 1)).infer_shape([(1, 2, 3)])
+
+    def test_concat(self):
+        op = ops.Concat(axis=1)
+        assert op.infer_shape([(1, 3, 4, 4), (1, 5, 4, 4)]) == (1, 8, 4, 4)
+
+    def test_concat_mismatch(self):
+        with pytest.raises(ShapeError):
+            ops.Concat(axis=1).infer_shape([(1, 3, 4, 4), (1, 5, 4, 5)])
+
+    def test_slice(self):
+        op = ops.Slice(axis=1, begin=2, length=3)
+        assert op.infer_shape([(1, 10, 4)]) == (1, 3, 4)
+
+    def test_slice_out_of_range(self):
+        with pytest.raises(ShapeError):
+            ops.Slice(axis=1, begin=8, length=5).infer_shape([(1, 10)])
+
+    def test_pad(self):
+        assert ops.Pad(pads=2).infer_shape([(1, 3, 8, 8)]) == (1, 3, 12, 12)
+
+    def test_embedding(self):
+        op = ops.Embedding(vocab=100, dim=16)
+        assert op.infer_shape([(1, 12)]) == (1, 12, 16)
+
+    def test_sources_take_no_inputs(self):
+        with pytest.raises(ShapeError):
+            ops.Input(shape=(1,)).infer_shape([(1,)])
+        with pytest.raises(ShapeError):
+            ops.Constant(shape=(1,)).infer_shape([(1,)])

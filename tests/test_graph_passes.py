@@ -1,0 +1,131 @@
+"""Unit tests for graph optimization passes.
+
+The key invariant: passes must preserve the reference executor's
+output — checked directly on every transformed graph.
+"""
+
+import numpy as np
+import pytest
+
+from repro.graph import ops
+from repro.graph.builder import GraphBuilder
+from repro.graph.execute import ReferenceExecutor
+from repro.graph.passes import (
+    constant_fold,
+    eliminate_dead_nodes,
+    fuse_elementwise,
+    run_default_passes,
+)
+from tests.conftest import random_dag, small_cnn
+
+
+class TestFuseElementwise:
+    def test_relu_fused_into_conv(self):
+        b = GraphBuilder("f")
+        x = b.input((1, 3, 8, 8), name="x")
+        c = b.conv2d(x, 4, name="conv")
+        b.relu(c, name="act")
+        g = fuse_elementwise(b.build())
+        conv_node = [n for n in g if n.op_type == "Conv2D"][0]
+        assert conv_node.op.fused_activation == "relu"
+        assert not any(n.op_type == "ReLU" for n in g)
+
+    def test_fanout_blocks_fusion(self):
+        b = GraphBuilder("f")
+        x = b.input((1, 3, 8, 8), name="x")
+        c = b.conv2d(x, 4, name="conv")
+        r = b.relu(c, name="act")
+        b.add(c, r, name="join")  # conv has two consumers
+        g = fuse_elementwise(b.build())
+        assert any(n.op_type == "ReLU" for n in g)
+
+    def test_only_one_activation_fused(self):
+        b = GraphBuilder("f")
+        x = b.input((1, 3, 8, 8), name="x")
+        c = b.conv2d(x, 4, name="conv")
+        r = b.relu(c, name="act1")
+        b.sigmoid(r, name="act2")
+        g = fuse_elementwise(b.build())
+        conv_node = [n for n in g if n.op_type == "Conv2D"][0]
+        assert conv_node.op.fused_activation == "relu"
+        assert any(n.op_type == "Sigmoid" for n in g)
+
+    def test_fusion_preserves_semantics(self):
+        original = small_cnn()
+        fused = fuse_elementwise(original)
+        assert fused.operator_count() < original.operator_count()
+        feed = {"image": np.random.default_rng(0).normal(size=(1, 3, 16, 16))}
+        before = ReferenceExecutor(original, seed=7).run(feed)
+        after = ReferenceExecutor(fused, seed=7).run(feed)
+        for a, b_ in zip(before.values(), after.values()):
+            assert np.allclose(a, b_)
+
+
+class TestConstantFold:
+    def test_folds_constant_expression(self):
+        b = GraphBuilder("cf")
+        c1 = b.constant((4, 4), name="c1")
+        c2 = b.constant((4, 4), name="c2")
+        s = b.add(c1, c2, name="sum")
+        x = b.input((4, 4), name="x")
+        b.add(x, s, name="out")
+        g = constant_fold(b.build())
+        assert not any(n.name == "sum" and n.op_type == "Add" for n in g)
+        folded = [n for n in g if n.name == "sum"][0]
+        assert folded.op_type == "Constant"
+
+    def test_folding_is_transitive(self):
+        b = GraphBuilder("cf")
+        c = b.constant((2, 2), name="c")
+        r = b.reshape(c, (4,), name="r")
+        s = b.reshape(r, (2, 2), name="r2")
+        x = b.input((2, 2), name="x")
+        b.add(x, s, name="out")
+        g = constant_fold(b.build())
+        assert all(
+            n.op_type != "Reshape" for n in g
+        ), [n.op_type for n in g]
+
+    def test_non_constant_not_folded(self):
+        g = constant_fold(small_cnn())
+        assert any(n.op_type == "Conv2D" for n in g)
+
+
+class TestDeadNodeElimination:
+    def test_removes_unreached_nodes(self):
+        b = GraphBuilder("dce")
+        x = b.input((1, 4), name="x")
+        b.relu(x, name="used")
+        g = b.build()
+        # Manually mark: both relu and a dangling branch are outputs
+        # here, so instead build a graph with a dead sub-branch.
+        b2 = GraphBuilder("dce2")
+        x2 = b2.input((1, 4), name="x")
+        live = b2.relu(x2, name="live")
+        g2 = b2.build()
+        assert eliminate_dead_nodes(g2).operator_count() == 1
+
+    def test_preserves_live_graph(self):
+        g = small_cnn()
+        cleaned = eliminate_dead_nodes(g)
+        assert cleaned.operator_count() == g.operator_count()
+
+
+class TestDefaultPipeline:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_semantics_preserved_on_random_dags(self, seed):
+        g = random_dag(seed)
+        optimized = run_default_passes(g)
+        before = ReferenceExecutor(g, seed=11).run()
+        after = ReferenceExecutor(optimized, seed=11).run()
+        assert set(before) == set(after)
+        for key in before:
+            assert np.allclose(before[key], after[key]), key
+
+    def test_never_increases_operator_count(self):
+        for seed in range(4):
+            g = random_dag(seed)
+            assert (
+                run_default_passes(g).operator_count()
+                <= g.operator_count()
+            )

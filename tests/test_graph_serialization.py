@@ -1,0 +1,124 @@
+"""Tests for graph JSON serialization."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphError
+from repro.graph.execute import ReferenceExecutor
+from repro.graph.passes import fuse_elementwise
+from repro.graph.serialization import (
+    FORMAT_VERSION,
+    graph_from_dict,
+    graph_to_dict,
+    load_graph,
+    save_graph,
+)
+from repro.models import build_model
+from tests.conftest import random_dag, small_cnn
+
+
+class TestRoundtrip:
+    def test_structure_preserved(self):
+        graph = small_cnn()
+        clone = graph_from_dict(graph_to_dict(graph))
+        assert clone.operator_count() == graph.operator_count()
+        assert clone.total_macs() == graph.total_macs()
+        for a, b in zip(graph, clone):
+            assert a.name == b.name
+            assert a.op_type == b.op_type
+            assert a.inputs == b.inputs
+            assert a.output_shape == b.output_shape
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_random_dags_roundtrip(self, seed):
+        graph = random_dag(seed)
+        clone = graph_from_dict(graph_to_dict(graph))
+        assert [n.name for n in clone] == [n.name for n in graph]
+
+    def test_semantics_preserved(self):
+        graph = small_cnn()
+        clone = graph_from_dict(graph_to_dict(graph))
+        feed = {"image": np.random.default_rng(0).normal(size=(1, 3, 16, 16))}
+        a = ReferenceExecutor(graph, seed=3).run(feed)
+        b = ReferenceExecutor(clone, seed=3).run(feed)
+        for key in a:
+            assert np.allclose(a[key], b[key])
+
+    def test_fused_activation_preserved(self):
+        graph = fuse_elementwise(small_cnn())
+        clone = graph_from_dict(graph_to_dict(graph))
+        fused = [
+            n.op.fused_activation
+            for n in clone
+            if n.op.fused_activation is not None
+        ]
+        assert fused
+
+    def test_model_zoo_roundtrips(self):
+        graph = build_model("wdsr_b")
+        clone = graph_from_dict(graph_to_dict(graph))
+        assert clone.total_macs() == graph.total_macs()
+
+    def test_file_roundtrip(self, tmp_path):
+        path = tmp_path / "model.json"
+        save_graph(small_cnn(), path)
+        clone = load_graph(path)
+        assert clone.operator_count() == small_cnn().operator_count()
+        payload = json.loads(path.read_text())
+        assert payload["format_version"] == FORMAT_VERSION
+
+
+class TestErrors:
+    def test_unknown_version_rejected(self):
+        with pytest.raises(GraphError):
+            graph_from_dict({"format_version": 999, "nodes": []})
+
+    def test_unknown_operator_rejected(self):
+        payload = {
+            "format_version": FORMAT_VERSION,
+            "nodes": [{"name": "x", "op": {"type": "Alien"}, "inputs": []}],
+        }
+        with pytest.raises(GraphError):
+            graph_from_dict(payload)
+
+    def test_unknown_attribute_rejected(self):
+        payload = {
+            "format_version": FORMAT_VERSION,
+            "nodes": [
+                {
+                    "name": "x",
+                    "op": {"type": "Input", "shape": [1], "bogus": 1},
+                    "inputs": [],
+                }
+            ],
+        }
+        with pytest.raises(GraphError):
+            graph_from_dict(payload)
+
+    def test_invalid_json_file(self, tmp_path):
+        path = tmp_path / "broken.json"
+        path.write_text("{not json")
+        with pytest.raises(GraphError):
+            load_graph(path)
+
+    def test_shapes_revalidated_on_load(self):
+        # A hand-edited file with inconsistent shapes must fail.
+        payload = {
+            "format_version": FORMAT_VERSION,
+            "nodes": [
+                {
+                    "name": "x",
+                    "op": {"type": "Input", "shape": [1, 4]},
+                    "inputs": [],
+                },
+                {
+                    "name": "bad",
+                    "op": {"type": "Reshape", "target": [3, 3]},
+                    "inputs": [0],
+                },
+            ],
+        }
+        with pytest.raises(Exception):
+            graph_from_dict(payload)

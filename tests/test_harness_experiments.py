@@ -1,0 +1,226 @@
+"""Integration tests: every table/figure reproduces the paper's shape.
+
+These are the reproduction acceptance tests — for each experiment they
+assert the *qualitative* claims (who wins, orderings, crossovers), not
+absolute numbers.  Heavier experiments share the harness's compile
+cache via module-scoped fixtures.
+"""
+
+import pytest
+
+from repro import harness
+from repro.isa.instructions import Opcode
+
+
+@pytest.fixture(scope="module")
+def table4_rows():
+    return harness.table4()
+
+
+@pytest.fixture(scope="module")
+def figure9_rows():
+    return harness.figure9()
+
+
+class TestTable1:
+    def test_dsp_beats_gpu_beats_cpu(self):
+        for row in harness.table1():
+            assert row["dsp_ms"] < row["gpu_ms"] < row["cpu_ms"], row
+
+    def test_dsp_draws_least_power(self):
+        for row in harness.table1():
+            assert row["cpu_power_x"] > row["gpu_power_x"] > 1.0
+
+
+class TestTable2:
+    def test_winners_match_paper(self):
+        expected = {32: "vrmpy", 64: "vmpa", 96: "vrmpy", 128: "vmpy"}
+        for row in harness.table2():
+            assert row["winner"] == expected[row["M=K=N"]]
+
+    def test_latency_ratios_close_to_paper(self):
+        paper = harness.TABLE2_PAPER_LATENCY
+        for row in harness.table2():
+            _, vmpa, vrmpy = paper[row["M=K=N"]]
+            assert row["lat_vmpa"] == pytest.approx(vmpa, abs=0.12)
+            assert row["lat_vrmpy"] == pytest.approx(vrmpy, abs=0.12)
+
+    def test_data_sizes_match_paper_exactly(self):
+        expected = {
+            32: (0.56, 0.33),
+            64: (0.60, 0.60),
+            96: (1.00, 0.82),
+            128: (1.00, 1.00),
+        }
+        for row in harness.table2():
+            vmpa, vrmpy = expected[row["M=K=N"]]
+            assert row["data_vmpa"] == pytest.approx(vmpa, abs=0.01)
+            assert row["data_vrmpy"] == pytest.approx(vrmpy, abs=0.01)
+
+
+class TestTable3:
+    def test_gcd2_beats_rake_on_every_kernel(self):
+        for row in harness.table3():
+            assert row["speedup"] > 1.5, row
+
+    def test_rake_selections_reproduced(self):
+        for row in harness.table3():
+            assert row["rake_instr"] == row["paper_rake"], row
+
+
+class TestTable4:
+    def test_gcd2_wins_every_supported_model(self, table4_rows):
+        for row in table4_rows:
+            if row["model"] == "geomean":
+                continue
+            if row["over_tflite"] is not None:
+                assert row["over_tflite"] > 1.0, row
+            if row["over_snpe"] is not None:
+                assert row["over_snpe"] > 1.0, row
+
+    def test_geomean_close_to_paper(self, table4_rows):
+        geomean = [r for r in table4_rows if r["model"] == "geomean"][0]
+        assert geomean["over_tflite"] == pytest.approx(2.8, abs=0.6)
+        assert geomean["over_snpe"] == pytest.approx(2.1, abs=0.5)
+
+    def test_snpe_ahead_of_tflite(self, table4_rows):
+        for row in table4_rows:
+            if row["model"] == "geomean":
+                continue
+            if row["tflite_ms"] and row["snpe_ms"]:
+                assert row["snpe_ms"] < row["tflite_ms"], row
+
+    def test_transformers_only_run_under_gcd2(self, table4_rows):
+        by_name = {r["model"]: r for r in table4_rows}
+        for name in ("tinybert", "conformer"):
+            assert by_name[name]["tflite_ms"] is None
+            assert by_name[name]["snpe_ms"] is None
+            assert by_name[name]["gcd2_ms"] > 0
+
+    def test_efficientdet_realtime_under_gcd2_only(self, table4_rows):
+        row = [r for r in table4_rows if r["model"] == "efficientdet_d0"][0]
+        assert row["snpe_ms"] is None
+        assert row["gcd2_ms"] < 33.3  # 30 FPS real-time bar
+        assert row["tflite_ms"] > 33.3
+
+
+class TestTable5:
+    def test_gcd2_has_best_energy_efficiency(self):
+        rows = harness.table5()
+        ours = [r for r in rows if r["platform"] == "GCD2 (ours)"][0]
+        for row in rows:
+            if row is not ours:
+                assert ours["fpw"] > row["fpw"], row
+
+    def test_jetson_int8_has_best_fps(self):
+        rows = harness.table5()
+        best = max(rows, key=lambda r: r["fps"])
+        assert best["device"] == "GPU + DLA (int8)"
+
+
+class TestFigure7:
+    def test_gcd2_fastest_gcd_b_second(self):
+        for row in harness.figure7():
+            assert row["speedup_gcd2"] >= row["speedup_gcd_b"] * 0.999
+            for key in ("speedup_tvm", "speedup_rake"):
+                assert row["speedup_gcd_b"] > row[key], row
+
+    def test_everyone_beats_halide(self):
+        for row in harness.figure7():
+            for key in ("speedup_tvm", "speedup_rake", "speedup_gcd2"):
+                assert row[key] >= 1.0
+
+    def test_gcd2_packets_never_more_than_halide(self):
+        for row in harness.figure7():
+            assert row["packets_gcd2"] <= 1.0
+
+
+class TestFigure8:
+    def test_frameworks_below_gcd2(self):
+        for row in harness.figure8():
+            for key in ("tflite_util_%", "tflite_bw_%"):
+                if row[key] is not None:
+                    assert row[key] < 100.0, row
+
+
+class TestFigure9:
+    def test_speedups_monotone_nondecreasing(self, figure9_rows):
+        for row in figure9_rows:
+            assert row["no_opt"] == pytest.approx(1.0)
+            assert row["+instr/layout"] >= row["no_opt"] - 1e-9
+            assert row["+vliw"] >= row["+instr/layout"] - 1e-9
+            assert row["+other"] >= row["+vliw"] - 1e-9
+
+    def test_layout_selection_is_largest_single_gain(self, figure9_rows):
+        # Figure 9's observation: instruction/layout selection has the
+        # biggest impact of the three optimizations.
+        for row in figure9_rows:
+            layout_gain = row["+instr/layout"] / row["no_opt"]
+            vliw_gain = row["+vliw"] / row["+instr/layout"]
+            assert layout_gain > vliw_gain, row
+
+    def test_layout_gain_in_paper_band(self, figure9_rows):
+        for row in figure9_rows:
+            assert 1.2 <= row["+instr/layout"] <= 3.2, row
+
+
+class TestFigure10:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return harness.figure10(sizes=(10, 15))
+
+    def test_global_beats_local_substantially(self, rows):
+        for row in rows:
+            assert row["speedup_global"] >= 1.2, row
+
+    def test_gcd2_matches_global(self, rows):
+        # The headline of Figure 10a: GCD2(13) ~= global optimal.
+        for row in rows:
+            assert row["speedup_gcd2_13"] == pytest.approx(
+                row["speedup_global"], rel=0.03
+            )
+
+    def test_raw_search_space_explodes(self, rows):
+        options = [row["raw_options"] for row in rows]
+        assert options[1] > options[0] * 100
+
+
+class TestFigure11:
+    def test_sda_never_loses(self):
+        for row in harness.figure11():
+            assert row["vs_soft_to_hard"] >= 0.999, row
+            assert row["vs_soft_to_none"] >= 0.999, row
+
+
+class TestFigure12:
+    def test_gcd2_beats_out_and_mid_strategies(self):
+        for row in harness.figure12_kernels():
+            assert row["gcd2"] >= row["out_only"] - 1e-9, row
+            assert row["gcd2"] >= min(row["mid_only"], row["gcd2"]), row
+
+    def test_gcd2_close_to_exhaustive(self):
+        for row in harness.figure12_kernels():
+            assert row["gcd2"] >= row["exhaustive"] * 0.85, row
+
+    def test_oversized_outer_factor_drops(self):
+        rows = harness.figure12_single()
+        by_factor = {r["factor"]: r for r in rows if r["factor"] != "gcd2=4-4"}
+        assert by_factor[16]["out_only"] < by_factor[4]["out_only"]
+
+
+class TestFigure13:
+    def test_gcd2_dsp_best_fpw(self):
+        for row in harness.figure13():
+            for key in ("tflite_dsp_fpw", "snpe_dsp_fpw", "tflite_gpu_fpw"):
+                if row.get(key) is not None:
+                    assert row["gcd2_dsp_fpw"] > row[key], row
+
+    def test_gcd2_draws_more_than_other_dsp_solutions(self):
+        # "GCD2-DSP consumes more power ... because of its better DSP
+        # and memory utilization."
+        for row in harness.figure13():
+            assert row["gcd2_dsp_W"] >= row["tflite_dsp_W"], row
+
+    def test_gpu_draws_most_power(self):
+        for row in harness.figure13():
+            assert row["tflite_gpu_W"] > row["gcd2_dsp_W"], row

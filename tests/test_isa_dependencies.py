@@ -1,0 +1,87 @@
+"""Unit tests for hard/soft dependency classification (Section IV-C)."""
+
+import pytest
+
+from repro.isa.dependencies import (
+    DependencyKind,
+    classify_dependency,
+    has_dependency,
+)
+from repro.isa.instructions import Instruction, Opcode
+
+
+def _inst(opcode, dests=(), srcs=()):
+    return Instruction(opcode, dests=dests, srcs=srcs)
+
+
+class TestRawClassification:
+    def test_load_to_consumer_is_soft(self):
+        # Figure 4(a): read after loading.
+        load = _inst(Opcode.VLOAD, dests=("v1",), srcs=("r_ad",))
+        add = _inst(Opcode.VADD, dests=("v3",), srcs=("v1", "v2"))
+        assert classify_dependency(load, add) is DependencyKind.SOFT
+
+    def test_producer_to_store_is_soft(self):
+        # Figure 4(b): store after writing.
+        add = _inst(Opcode.VADD, dests=("v3",), srcs=("v1", "v2"))
+        store = _inst(Opcode.VSTORE, srcs=("v3", "r_ad"))
+        assert classify_dependency(add, store) is DependencyKind.SOFT
+
+    def test_scalar_alu_to_consumer_is_soft(self):
+        # Section IV-C's worked example: "a scalar addition operation
+        # and a consumer of the result of such an addition".
+        bump = _inst(Opcode.ADD, dests=("r_a",), srcs=("r_a",))
+        load = _inst(Opcode.VLOAD, dests=("v0",), srcs=("r_a",))
+        assert classify_dependency(bump, load) is DependencyKind.SOFT
+
+    def test_vector_arith_to_vector_arith_is_hard(self):
+        first = _inst(Opcode.VADD, dests=("v1",), srcs=("v0", "v0"))
+        second = _inst(Opcode.VADD, dests=("v2",), srcs=("v1", "v0"))
+        assert classify_dependency(first, second) is DependencyKind.HARD
+
+    def test_multiply_to_consumer_is_hard(self):
+        mult = _inst(Opcode.VRMPY, dests=("v_acc",), srcs=("v0",))
+        shift = _inst(Opcode.VASR, dests=("v_q",), srcs=("v_acc",))
+        assert classify_dependency(mult, shift) is DependencyKind.HARD
+
+
+class TestWarWaw:
+    def test_war_is_soft(self):
+        reader = _inst(Opcode.VADD, dests=("v2",), srcs=("v1", "v0"))
+        writer = _inst(Opcode.VLOAD, dests=("v1",), srcs=("r_a",))
+        assert classify_dependency(reader, writer) is DependencyKind.SOFT
+
+    def test_waw_is_hard(self):
+        first = _inst(Opcode.VLOAD, dests=("v1",), srcs=("r_a",))
+        second = _inst(Opcode.VLOAD, dests=("v1",), srcs=("r_b",))
+        assert classify_dependency(first, second) is DependencyKind.HARD
+
+    def test_waw_dominates_soft_raw(self):
+        # Same pair has both a soft-RAW and a WAW: hard wins.
+        first = _inst(Opcode.VLOAD, dests=("v1",), srcs=("r_a",))
+        second = _inst(Opcode.VADD, dests=("v1",), srcs=("v1", "v0"))
+        assert classify_dependency(first, second) is DependencyKind.HARD
+
+
+class TestNoDependency:
+    def test_disjoint_registers(self):
+        a = _inst(Opcode.VADD, dests=("v1",), srcs=("v0", "v0"))
+        b = _inst(Opcode.VADD, dests=("v3",), srcs=("v2", "v2"))
+        assert classify_dependency(a, b) is DependencyKind.NONE
+        assert not has_dependency(a, b)
+
+    def test_self_dependency_is_none(self):
+        a = _inst(Opcode.VADD, dests=("v1",), srcs=("v1",))
+        assert classify_dependency(a, a) is DependencyKind.NONE
+
+
+class TestKindProperties:
+    def test_only_hard_blocks_packing(self):
+        assert DependencyKind.HARD.blocks_packing
+        assert not DependencyKind.SOFT.blocks_packing
+        assert not DependencyKind.NONE.blocks_packing
+
+    def test_has_dependency_covers_soft(self):
+        load = _inst(Opcode.VLOAD, dests=("v1",), srcs=("r_ad",))
+        add = _inst(Opcode.VADD, dests=("v3",), srcs=("v1", "v2"))
+        assert has_dependency(load, add)

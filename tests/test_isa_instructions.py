@@ -1,0 +1,108 @@
+"""Unit tests for the instruction definitions."""
+
+import pytest
+
+from repro.errors import IsaError
+from repro.isa.instructions import (
+    Instruction,
+    Opcode,
+    ResourceClass,
+    SPEC_TABLE,
+    VECTOR_BYTES,
+    VECTOR_LANES,
+    spec_for,
+    vector_instruction,
+)
+
+
+class TestSpecTable:
+    def test_every_opcode_has_a_spec(self):
+        for opcode in Opcode:
+            assert opcode in SPEC_TABLE
+            assert spec_for(opcode).opcode is opcode
+
+    def test_vector_width_is_1024_bits(self):
+        assert VECTOR_BYTES == 128
+        assert VECTOR_LANES == 128
+
+    def test_multiplies_occupy_the_vmult_resource(self):
+        for opcode in (Opcode.VMPY, Opcode.VMPA, Opcode.VRMPY,
+                       Opcode.VTMPY, Opcode.VMPYE):
+            assert spec_for(opcode).resource is ResourceClass.VMULT
+
+    def test_multiplies_have_mac_throughput(self):
+        assert spec_for(Opcode.VMPY).macs == 128
+        assert spec_for(Opcode.VMPA).macs == 256
+        assert spec_for(Opcode.VRMPY).macs == 128
+
+    def test_non_multiplies_have_no_macs(self):
+        assert spec_for(Opcode.VADD).macs == 0
+        assert spec_for(Opcode.VLOAD).macs == 0
+
+    def test_three_stage_pipeline_latencies(self):
+        # Footnote 4: vector instructions pass the full 3-stage pipeline.
+        for opcode in (Opcode.VMPY, Opcode.VADD, Opcode.VLOAD,
+                       Opcode.VSHUFF, Opcode.VASR):
+            assert spec_for(opcode).latency == 3
+
+    def test_stores_skip_write_back(self):
+        assert spec_for(Opcode.VSTORE).latency < spec_for(Opcode.VLOAD).latency
+
+    def test_load_store_flags(self):
+        assert spec_for(Opcode.VLOAD).is_load
+        assert spec_for(Opcode.VSTORE).is_store
+        assert spec_for(Opcode.LOAD).is_load
+        assert spec_for(Opcode.STORE).is_store
+        assert not spec_for(Opcode.VADD).is_load
+        assert not spec_for(Opcode.VADD).is_store
+
+    def test_shift_has_dedicated_resource(self):
+        assert spec_for(Opcode.VASR).resource is ResourceClass.VSHIFT
+
+    def test_permute_has_dedicated_resource(self):
+        assert spec_for(Opcode.VSHUFF).resource is ResourceClass.VPERMUTE
+
+
+class TestInstruction:
+    def test_unique_uids(self):
+        a = Instruction(Opcode.VADD, dests=("v0",), srcs=("v1", "v2"))
+        b = Instruction(Opcode.VADD, dests=("v0",), srcs=("v1", "v2"))
+        assert a.uid != b.uid
+
+    def test_identity_hashing(self):
+        a = Instruction(Opcode.NOP)
+        b = Instruction(Opcode.NOP)
+        assert len({a, b}) == 2
+        assert a in {a}
+
+    def test_reads_and_writes(self):
+        inst = Instruction(Opcode.VADD, dests=("v0",), srcs=("v1", "v2"))
+        assert inst.writes("v0")
+        assert inst.reads("v1") and inst.reads("v2")
+        assert not inst.reads("v0")
+        assert not inst.writes("v1")
+
+    def test_operand_tuples_normalized(self):
+        inst = Instruction(Opcode.VADD, dests=["v0"], srcs=["v1"])
+        assert inst.dests == ("v0",)
+        assert inst.srcs == ("v1",)
+
+    def test_latency_and_resource_shortcuts(self):
+        inst = Instruction(Opcode.VMPY, dests=("v0", "v1"), srcs=("v2",))
+        assert inst.latency == 3
+        assert inst.resource is ResourceClass.VMULT
+
+    def test_default_lane_bytes(self):
+        assert Instruction(Opcode.VADD).lane_bytes == 1
+
+
+class TestVectorInstruction:
+    def test_vector_side(self):
+        assert vector_instruction(Opcode.VMPY)
+        assert vector_instruction(Opcode.VLOAD)
+        assert vector_instruction(Opcode.VSHUFF)
+
+    def test_scalar_side(self):
+        assert not vector_instruction(Opcode.ADD)
+        assert not vector_instruction(Opcode.LOAD)
+        assert not vector_instruction(Opcode.JUMP)

@@ -1,0 +1,96 @@
+"""Unit tests for the register model."""
+
+import numpy as np
+import pytest
+
+from repro.errors import IsaError
+from repro.isa.registers import RegisterFile, ScalarRegister, VectorRegister
+
+
+class TestVectorRegister:
+    def test_default_zeroed(self):
+        reg = VectorRegister()
+        assert (reg.data == 0).all()
+        assert reg.data.nbytes == 128
+
+    def test_from_lanes_int16(self):
+        lanes = np.arange(64, dtype=np.int16)
+        reg = VectorRegister.from_lanes(lanes)
+        assert (reg.view(np.int16) == lanes).all()
+
+    def test_from_lanes_int32(self):
+        lanes = np.arange(32, dtype=np.int32)
+        reg = VectorRegister.from_lanes(lanes)
+        assert (reg.view(np.int32) == lanes).all()
+
+    def test_view_reinterprets_without_copy_semantics(self):
+        lanes = np.arange(128, dtype=np.uint8)
+        reg = VectorRegister(lanes)
+        assert reg.view(np.uint8).shape == (128,)
+        assert reg.view(np.int16).shape == (64,)
+        assert reg.view(np.int32).shape == (32,)
+
+    def test_wrong_size_rejected(self):
+        with pytest.raises(IsaError):
+            VectorRegister(np.zeros(64, dtype=np.uint8))
+        with pytest.raises(IsaError):
+            VectorRegister.from_lanes(np.zeros(100, dtype=np.int8))
+
+    def test_copy_is_independent(self):
+        reg = VectorRegister(np.zeros(128, dtype=np.uint8))
+        clone = reg.copy()
+        clone.data[0] = 9
+        assert reg.data[0] == 0
+
+
+class TestScalarRegister:
+    def test_wraps_to_32_bits(self):
+        assert ScalarRegister(1 << 33).value == 0
+
+    def test_signed_interpretation(self):
+        assert ScalarRegister(0xFFFFFFFF).signed() == -1
+        assert ScalarRegister(5).signed() == 5
+
+
+class TestRegisterFile:
+    def test_vector_name_detection(self):
+        assert RegisterFile.is_vector_name("v0")
+        assert RegisterFile.is_vector_name("v_acc")
+        assert not RegisterFile.is_vector_name("r0")
+
+    def test_lazy_zero_initialization(self):
+        rf = RegisterFile()
+        assert (rf.read_vector("v3").data == 0).all()
+        assert rf.read_scalar("r7") == 0
+
+    def test_write_then_read(self):
+        rf = RegisterFile()
+        rf.write_scalar("r0", -42)
+        assert rf.read_scalar("r0") == -42
+        payload = VectorRegister(np.arange(128, dtype=np.uint8))
+        rf.write_vector("v0", payload)
+        assert (rf.read_vector("v0").data == np.arange(128)).all()
+
+    def test_write_vector_copies(self):
+        rf = RegisterFile()
+        payload = VectorRegister(np.zeros(128, dtype=np.uint8))
+        rf.write_vector("v0", payload)
+        payload.data[0] = 99
+        assert rf.read_vector("v0").data[0] == 0
+
+    def test_kind_mismatch_rejected(self):
+        rf = RegisterFile()
+        with pytest.raises(IsaError):
+            rf.read_vector("r0")
+        with pytest.raises(IsaError):
+            rf.read_scalar("v0")
+        with pytest.raises(IsaError):
+            rf.write_scalar("v0", 1)
+        with pytest.raises(IsaError):
+            rf.write_vector("r0", VectorRegister())
+
+    def test_names_enumeration(self):
+        rf = RegisterFile()
+        rf.read_vector("v1")
+        rf.read_scalar("r1")
+        assert set(rf.names()) == {"v1", "r1"}

@@ -1,0 +1,178 @@
+"""Unit and property tests for the SIMD instruction semantics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.errors import IsaError
+from repro.isa import semantics
+from repro.isa.instructions import VECTOR_LANES
+
+int8_vectors = arrays(
+    np.int8, (VECTOR_LANES,), elements=st.integers(-128, 127)
+)
+scalar4 = st.tuples(*([st.integers(-128, 127)] * 4))
+
+
+class TestVmpy:
+    @given(v=int8_vectors, s=scalar4)
+    @settings(max_examples=50, deadline=None)
+    def test_lane_formula(self, v, s):
+        even, odd = semantics.vmpy(v, s)
+        products = v.astype(np.int64) * np.tile(s, VECTOR_LANES // 4)
+        assert (even == products[0::2].astype(np.int16)).all()
+        assert (odd == products[1::2].astype(np.int16)).all()
+
+    def test_figure1a_example(self):
+        v = np.arange(128, dtype=np.int8)
+        even, odd = semantics.vmpy(v, (2, 3, 5, 7))
+        assert even[0] == 0 * 2
+        assert odd[0] == 1 * 3
+        assert even[1] == 2 * 5
+        assert odd[1] == 3 * 7
+        assert even[2] == 4 * 2  # scalar pattern repeats every 4 lanes
+
+    def test_outputs_are_16_bit(self):
+        even, odd = semantics.vmpy(
+            np.full(128, -128, dtype=np.int8), (127,) * 4
+        )
+        assert even.dtype == np.int16
+        assert even[0] == -128 * 127  # fits in 16 bits exactly
+
+    def test_rejects_wrong_vector_size(self):
+        with pytest.raises(IsaError):
+            semantics.vmpy(np.zeros(64, dtype=np.int8), (1, 1, 1, 1))
+
+    def test_rejects_wrong_scalar_count(self):
+        with pytest.raises(IsaError):
+            semantics.vmpy(np.zeros(128, dtype=np.int8), (1, 1))
+
+
+class TestVmpa:
+    @given(v0=int8_vectors, v1=int8_vectors, s=scalar4)
+    @settings(max_examples=50, deadline=None)
+    def test_lane_formula(self, v0, v1, s):
+        even, odd = semantics.vmpa(v0, v1, s)
+        a = v0.astype(np.int64)
+        b = v1.astype(np.int64)
+        assert (even == (a[0::2] * s[0] + b[0::2] * s[1])).all()
+        assert (odd == (a[1::2] * s[2] + b[1::2] * s[3])).all()
+
+    def test_accumulation(self):
+        v = np.ones(128, dtype=np.int8)
+        acc = (np.full(64, 10, np.int32), np.full(64, 20, np.int32))
+        even, odd = semantics.vmpa(v, v, (1, 1, 2, 2), acc=acc)
+        assert (even == 12).all()
+        assert (odd == 24).all()
+
+
+class TestVrmpy:
+    @given(v=int8_vectors, s=scalar4)
+    @settings(max_examples=50, deadline=None)
+    def test_dot_product_formula(self, v, s):
+        out = semantics.vrmpy(v.astype(np.int32), s)
+        groups = v.astype(np.int64).reshape(32, 4)
+        expected = (groups * np.asarray(s)).sum(axis=1)
+        assert (out == expected).all()
+
+    def test_accumulator_adds(self):
+        v = np.ones(128, dtype=np.int32)
+        first = semantics.vrmpy(v, (1, 2, 3, 4))
+        second = semantics.vrmpy(v, (1, 2, 3, 4), acc=first)
+        assert (second == 2 * first).all()
+
+    def test_accumulator_shape_checked(self):
+        with pytest.raises(IsaError):
+            semantics.vrmpy(
+                np.ones(128, dtype=np.int32),
+                (1, 1, 1, 1),
+                acc=np.zeros(16, dtype=np.int32),
+            )
+
+
+class TestVtmpyVmpye:
+    def test_vtmpy_window(self):
+        v0 = np.arange(128, dtype=np.int8)
+        v1 = np.full(128, 1, dtype=np.int8)
+        out = semantics.vtmpy(v0, v1, (1, 1, 1, 0))
+        # out[i] = v[i] + v[i+1] + v[i+2] over the concatenated window
+        assert out[0] == 0 + 1 + 2
+        assert out[10] == 10 + 11 + 12
+
+    def test_vmpye_even_lanes(self):
+        v = np.arange(128, dtype=np.int8)
+        out = semantics.vmpye(v, (3, 0, 0, 0))
+        assert (out == v[0::2].astype(np.int32) * 3).all()
+
+
+class TestElementwise:
+    @given(a=int8_vectors, b=int8_vectors)
+    @settings(max_examples=30, deadline=None)
+    def test_vshuff_interleaves(self, a, b):
+        out = semantics.vshuff(a, b)
+        assert (out[0::2] == a).all()
+        assert (out[1::2] == b).all()
+
+    @given(a=int8_vectors, b=int8_vectors)
+    @settings(max_examples=30, deadline=None)
+    def test_vshuff_deinterleave_roundtrip(self, a, b):
+        out = semantics.vshuff(a, b)
+        assert (out[0::2] == a).all() and (out[1::2] == b).all()
+
+    def test_vshuff_shape_mismatch(self):
+        with pytest.raises(IsaError):
+            semantics.vshuff(np.zeros(4), np.zeros(8))
+
+    def test_vmax_vmin(self):
+        a = np.array([1, -5, 3], dtype=np.int8)
+        b = np.array([0, 7, 3], dtype=np.int8)
+        assert (semantics.vmax(a, b) == [1, 7, 3]).all()
+        assert (semantics.vmin(a, b) == [0, -5, 3]).all()
+
+    def test_vadd_vsub(self):
+        a = np.array([100, -100], dtype=np.int8)
+        b = np.array([50, -50], dtype=np.int8)
+        assert (semantics.vadd(a, b) == [-106, 106]).all()  # int8 wrap
+        assert (semantics.vsub(a, b) == [50, -50]).all()
+
+
+class TestVasr:
+    @given(
+        values=arrays(np.int32, (32,), elements=st.integers(-2**20, 2**20)),
+        shift=st.integers(1, 12),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_rounding_shift(self, values, shift):
+        out = semantics.vasr(values, shift)
+        expected = (values.astype(np.int64) + (1 << (shift - 1))) >> shift
+        assert (out == expected.astype(np.int32)).all()
+
+    def test_zero_shift_identity(self):
+        values = np.array([1, -1, 100], dtype=np.int32)
+        assert (semantics.vasr(values, 0) == values).all()
+
+    def test_negative_shift_rejected(self):
+        with pytest.raises(IsaError):
+            semantics.vasr(np.zeros(4, dtype=np.int32), -1)
+
+
+class TestSaturation:
+    def test_saturate_int8(self):
+        values = np.array([-1000, -128, 0, 127, 1000])
+        out = semantics.saturate_to_int8(values)
+        assert (out == [-128, -128, 0, 127, 127]).all()
+        assert out.dtype == np.int8
+
+    def test_saturate_uint8(self):
+        values = np.array([-5, 0, 255, 300])
+        out = semantics.saturate_to_uint8(values)
+        assert (out == [0, 0, 255, 255]).all()
+
+    def test_vsplat(self):
+        out = semantics.vsplat(7, np.int8)
+        assert out.shape == (128,)
+        assert (out == 7).all()
+        out16 = semantics.vsplat(-3, np.int16)
+        assert out16.shape == (64,)

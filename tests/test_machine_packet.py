@@ -1,0 +1,139 @@
+"""Unit tests for VLIW packet legality rules."""
+
+import pytest
+
+from repro.errors import PacketError
+from repro.isa.instructions import Instruction, Opcode
+from repro.machine.packet import (
+    MAX_PACKET_SLOTS,
+    Packet,
+    fits_with,
+    packet_is_legal,
+)
+
+
+def _vadd(i):
+    return Instruction(
+        Opcode.VADD, dests=(f"va{i}",), srcs=(f"vb{i}", f"vc{i}")
+    )
+
+
+def _salu(i):
+    return Instruction(Opcode.ADD, dests=(f"ra{i}",), srcs=(f"rb{i}",))
+
+
+class TestSlotLimits:
+    def test_at_most_four_instructions(self):
+        insts = [_salu(i) for i in range(5)]
+        assert packet_is_legal(insts[:4])
+        assert not packet_is_legal(insts)
+
+    def test_two_shifts_not_allowed(self):
+        # The paper's explicit example of a resource constraint.
+        shifts = [
+            Instruction(Opcode.VASR, dests=(f"v{i}",), srcs=(f"vs{i}",))
+            for i in range(2)
+        ]
+        assert packet_is_legal(shifts[:1])
+        assert not packet_is_legal(shifts)
+
+    def test_two_multiplies_allowed_three_not(self):
+        mults = [
+            Instruction(Opcode.VRMPY, dests=(f"vm{i}",), srcs=(f"vi{i}",))
+            for i in range(3)
+        ]
+        assert packet_is_legal(mults[:2])
+        assert not packet_is_legal(mults)
+
+    def test_single_store_per_packet(self):
+        stores = [
+            Instruction(Opcode.VSTORE, srcs=(f"v{i}", f"r{i}"))
+            for i in range(2)
+        ]
+        assert packet_is_legal(stores[:1])
+        assert not packet_is_legal(stores)
+
+    def test_two_permutes_not_allowed(self):
+        shuffs = [
+            Instruction(
+                Opcode.VSHUFF,
+                dests=(f"vl{i}", f"vh{i}"),
+                srcs=(f"vi{i}", f"vi{i}"),
+            )
+            for i in range(2)
+        ]
+        assert not packet_is_legal(shuffs)
+
+
+class TestDependencyLegality:
+    def test_hard_pair_rejected(self):
+        producer = Instruction(Opcode.VADD, dests=("v1",), srcs=("v0", "v0"))
+        consumer = Instruction(Opcode.VADD, dests=("v2",), srcs=("v1", "v0"))
+        assert not packet_is_legal([producer, consumer])
+
+    def test_soft_pair_accepted(self):
+        load = Instruction(Opcode.VLOAD, dests=("v1",), srcs=("r_a",))
+        consumer = Instruction(Opcode.VADD, dests=("v2",), srcs=("v1", "v0"))
+        assert packet_is_legal([load, consumer])
+
+
+class TestPacketObject:
+    def test_construction_validates(self):
+        with pytest.raises(PacketError):
+            Packet([_salu(i) for i in range(5)])
+
+    def test_add_validates(self):
+        packet = Packet([_vadd(0)])
+        with pytest.raises(PacketError):
+            packet.add(
+                Instruction(Opcode.VADD, dests=("x",), srcs=("va0", "y"))
+            )
+
+    def test_can_add_matches_fits_with(self):
+        packet = Packet([_vadd(0), _vadd(1)])
+        third_valu = _vadd(2)  # VALU limit is 2 per packet
+        assert not packet.can_add(third_valu)
+        assert not fits_with(third_valu, packet.instructions)
+        extra = _salu(2)
+        assert packet.can_add(extra) == fits_with(extra, packet.instructions)
+        packet.add(extra)
+        assert len(packet) == 3
+        assert extra in packet
+
+    def test_empty_slots(self):
+        packet = Packet([_vadd(0)])
+        assert packet.empty_slots == MAX_PACKET_SLOTS - 1
+
+    def test_soft_pairs_reported(self):
+        load = Instruction(Opcode.VLOAD, dests=("v1",), srcs=("r_a",))
+        consumer = Instruction(
+            Opcode.VADD, dests=("v2",), srcs=("v1", "v0")
+        )
+        packet = Packet([load, consumer])
+        pairs = packet.soft_pairs()
+        assert (load, consumer) in pairs
+
+    def test_iteration(self):
+        members = [_vadd(0), _salu(1)]
+        packet = Packet(list(members))
+        assert list(packet) == members
+
+
+class TestFitsWith:
+    def test_marginal_slot_check(self):
+        packed = [_salu(i) for i in range(4)]
+        assert not fits_with(_salu(9), packed)
+
+    def test_marginal_resource_check(self):
+        packed = [
+            Instruction(Opcode.VRMPY, dests=(f"vm{i}",), srcs=(f"vi{i}",))
+            for i in range(2)
+        ]
+        extra = Instruction(Opcode.VRMPY, dests=("vm9",), srcs=("vi9",))
+        assert not fits_with(extra, packed)
+        assert fits_with(_salu(0), packed)
+
+    def test_marginal_store_check(self):
+        packed = [Instruction(Opcode.VSTORE, srcs=("v0", "r0"))]
+        extra = Instruction(Opcode.VSTORE, srcs=("v1", "r1"))
+        assert not fits_with(extra, packed)

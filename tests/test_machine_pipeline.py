@@ -1,0 +1,100 @@
+"""Unit tests for the pipeline timing model."""
+
+import pytest
+
+from repro.isa.instructions import Instruction, Opcode
+from repro.machine.packet import Packet
+from repro.machine.pipeline import (
+    PipelineModel,
+    packet_cycles,
+    schedule_cycles,
+    soft_raw_pairs,
+)
+
+
+def _load(dest, addr="r_a"):
+    return Instruction(Opcode.VLOAD, dests=(dest,), srcs=(addr,))
+
+
+def _add(dest, a, b):
+    return Instruction(Opcode.VADD, dests=(dest,), srcs=(a, b))
+
+
+def _store(src):
+    return Instruction(Opcode.VSTORE, srcs=(src, "r_out"))
+
+
+class TestFigure4Arithmetic:
+    def test_packed_soft_pair_takes_four_cycles(self):
+        # Figure 4(a): two 3-cycle instructions, soft RAW, one packet.
+        packet = Packet([_load("v1"), _add("v3", "v1", "v2")])
+        assert packet_cycles(packet) == 4
+
+    def test_unpacked_pair_takes_six_cycles(self):
+        schedule = [
+            Packet([_load("v1")]),
+            Packet([_add("v3", "v1", "v2")]),
+        ]
+        assert schedule_cycles(schedule) == 6
+
+    def test_store_after_write_stalls(self):
+        # Figure 4(b).
+        packet = Packet([_add("v3", "v1", "v2"), _store("v3")])
+        assert packet_cycles(packet) == 3 + 1
+
+
+class TestStallChains:
+    def test_independent_packet_has_no_stall(self):
+        packet = Packet([_load("v1"), _add("v5", "v3", "v4")])
+        assert soft_raw_pairs(packet) == []
+        assert packet_cycles(packet) == 3
+
+    def test_two_producers_one_consumer_stall_once(self):
+        # Waits overlap: one stall, not two.
+        packet = Packet(
+            [_load("v1", "r_a"), _load("v2", "r_b"), _add("v3", "v1", "v2")]
+        )
+        assert len(soft_raw_pairs(packet)) == 2
+        assert packet_cycles(packet) == 4
+
+    def test_chain_stalls_accumulate(self):
+        # load -> add -> store all in one packet: two stall links.
+        packet = Packet([_load("v1"), _add("v3", "v1", "v2"), _store("v3")])
+        assert packet_cycles(packet) == 5
+
+    def test_war_pairs_do_not_stall(self):
+        reader = _add("v9", "v1", "v2")
+        writer = _load("v1", "r_b")
+        packet = Packet([reader, writer])
+        assert packet_cycles(packet) == 3
+
+    def test_empty_packet_costs_one(self):
+        assert packet_cycles(Packet([])) == 1
+
+    def test_mixed_latency_packet_costs_max(self):
+        packet = Packet(
+            [
+                Instruction(Opcode.ADD, dests=("r1",), srcs=("r0",)),
+                _add("v1", "v2", "v3"),
+            ]
+        )
+        assert packet_cycles(packet) == 3
+
+
+class TestPipelineModel:
+    def test_cycle_conversions(self):
+        model = PipelineModel(clock_ghz=2.0)
+        assert model.cycles_to_seconds(2e9) == pytest.approx(1.0)
+        assert model.cycles_to_ms(2e6) == pytest.approx(1.0)
+
+    def test_schedule_ms(self):
+        model = PipelineModel(clock_ghz=1.0)
+        schedule = [Packet([_load("v1")])] * 2
+        assert model.schedule_ms(schedule) == pytest.approx(6 / 1e6)
+
+    def test_schedule_cycles_sums(self):
+        schedule = [
+            Packet([_load("v1")]),
+            Packet([_store("v9")]),
+        ]
+        assert schedule_cycles(schedule) == 3 + 2

@@ -1,0 +1,88 @@
+"""Unit tests for the execution profiler."""
+
+import pytest
+
+from repro.isa.instructions import Instruction, Opcode
+from repro.machine.packet import Packet
+from repro.machine.pipeline import PipelineModel
+from repro.machine.profiler import ExecutionProfile, Profiler
+
+
+def _schedule():
+    return [
+        Packet([
+            Instruction(Opcode.VLOAD, dests=("v0",), srcs=("r_a",)),
+            Instruction(Opcode.VLOAD, dests=("v1",), srcs=("r_b",)),
+        ]),
+        Packet([
+            Instruction(Opcode.VRMPY, dests=("v2",), srcs=("v0",)),
+        ]),
+        Packet([
+            Instruction(Opcode.VSTORE, srcs=("v2", "r_out")),
+        ]),
+    ]
+
+
+class TestProfiler:
+    def test_counts_packets_and_instructions(self):
+        profiler = Profiler()
+        unit = profiler.observe_schedule(_schedule())
+        assert unit.packets == 3
+        assert unit.issued_instructions == 4
+        assert unit.cycles > 0
+
+    def test_counts_memory_traffic(self):
+        unit = Profiler().observe_schedule(_schedule())
+        assert unit.bytes_loaded == 2 * 128
+        assert unit.bytes_stored == 128
+
+    def test_counts_macs(self):
+        unit = Profiler().observe_schedule(_schedule())
+        assert unit.macs == 128  # one vrmpy
+
+    def test_repeats_scale_linearly(self):
+        once = Profiler().observe_schedule(_schedule(), repeats=1)
+        thrice = Profiler().observe_schedule(_schedule(), repeats=3)
+        assert thrice.cycles == 3 * once.cycles
+        assert thrice.bytes_loaded == 3 * once.bytes_loaded
+
+    def test_accumulates_across_observations(self):
+        profiler = Profiler()
+        profiler.observe_schedule(_schedule())
+        profiler.observe_schedule(_schedule())
+        assert profiler.profile.packets == 6
+
+
+class TestExecutionProfile:
+    def test_slot_occupancy(self):
+        profile = ExecutionProfile(packets=2, issued_instructions=4)
+        assert profile.slot_occupancy == pytest.approx(0.5)
+
+    def test_slot_occupancy_empty(self):
+        assert ExecutionProfile().slot_occupancy == 0.0
+
+    def test_mac_utilization_bounded(self):
+        profile = ExecutionProfile(cycles=1, macs=10**9)
+        assert profile.mac_utilization == 1.0
+        assert ExecutionProfile().mac_utilization == 0.0
+
+    def test_bandwidth(self):
+        profile = ExecutionProfile(
+            cycles=1000, bytes_loaded=500, bytes_stored=500
+        )
+        pipeline = PipelineModel(clock_ghz=1.0)
+        assert profile.bandwidth_gbps(pipeline) == pytest.approx(1.0)
+
+    def test_merge(self):
+        a = ExecutionProfile(cycles=1, packets=2, macs=3)
+        b = ExecutionProfile(cycles=10, packets=20, macs=30)
+        merged = a.merge(b)
+        assert merged.cycles == 11
+        assert merged.packets == 22
+        assert merged.macs == 33
+
+    def test_scaled(self):
+        profile = ExecutionProfile(cycles=10, bytes_loaded=4)
+        scaled = profile.scaled(2.5)
+        assert scaled.cycles == 25
+        assert scaled.bytes_loaded == 10

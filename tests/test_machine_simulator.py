@@ -1,0 +1,200 @@
+"""Unit tests for the functional machine simulator."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.isa import semantics
+from repro.isa.instructions import Instruction, Opcode, VECTOR_BYTES
+from repro.machine.packet import Packet
+from repro.machine.simulator import MachineState, Simulator
+
+
+@pytest.fixture
+def sim():
+    return Simulator(MachineState(memory_size=1 << 16))
+
+
+class TestMemory:
+    def test_roundtrip(self, sim):
+        data = np.arange(256, dtype=np.uint8)
+        sim.state.write_array(100, data)
+        back = sim.state.read_array(100, (256,), np.uint8)
+        assert (back == data).all()
+
+    def test_out_of_bounds_load(self, sim):
+        with pytest.raises(SimulationError):
+            sim.state.load_bytes(sim.state.memory_size - 10, 100)
+
+    def test_out_of_bounds_store(self, sim):
+        with pytest.raises(SimulationError):
+            sim.state.store_bytes(-1, np.zeros(4, dtype=np.uint8))
+
+    def test_traffic_counters(self, sim):
+        sim.state.load_bytes(0, 128)
+        sim.state.store_bytes(0, np.zeros(64, dtype=np.uint8))
+        assert sim.state.bytes_loaded == 128
+        assert sim.state.bytes_stored == 64
+
+
+class TestVectorMemoryOps:
+    def test_vload_vstore_roundtrip(self, sim):
+        payload = np.arange(128, dtype=np.uint8)
+        sim.state.write_array(512, payload)
+        sim.run([
+            Packet([Instruction(Opcode.VLOAD, dests=("v0",), imms=(512,))]),
+            Packet([Instruction(Opcode.VSTORE, srcs=("v0",), imms=(1024,))]),
+        ])
+        out = sim.state.read_array(1024, (128,), np.uint8)
+        assert (out == payload).all()
+
+    def test_vload_register_plus_offset_addressing(self, sim):
+        payload = np.full(128, 7, dtype=np.uint8)
+        sim.state.write_array(300, payload)
+        sim.state.registers.write_scalar("r_base", 200)
+        sim.run([
+            Packet([
+                Instruction(
+                    Opcode.VLOAD, dests=("v0",), srcs=("r_base",), imms=(100,)
+                )
+            ]),
+        ])
+        assert (sim.state.registers.read_vector("v0").data == 7).all()
+
+
+class TestVectorArithmetic:
+    def test_vmpy_matches_semantics(self, sim):
+        v = np.random.default_rng(0).integers(-128, 128, 128).astype(np.int8)
+        sim.state.write_array(0, v)
+        sim.run([
+            Packet([Instruction(Opcode.VLOAD, dests=("v0",), imms=(0,))]),
+            Packet([
+                Instruction(
+                    Opcode.VMPY,
+                    dests=("v_e", "v_o"),
+                    srcs=("v0",),
+                    imms=(2, 3, 5, 7),
+                )
+            ]),
+        ])
+        even, odd = semantics.vmpy(v, (2, 3, 5, 7))
+        assert (sim.state.registers.read_vector("v_e").view(np.int16)
+                == even).all()
+        assert (sim.state.registers.read_vector("v_o").view(np.int16)
+                == odd).all()
+
+    def test_vrmpy_with_accumulator(self, sim):
+        v = np.ones(128, dtype=np.int8)
+        sim.state.write_array(0, v)
+        load = Instruction(Opcode.VLOAD, dests=("v0",), imms=(0,))
+        mac = Instruction(
+            Opcode.VRMPY,
+            dests=("v_acc",),
+            srcs=("v0", "v_acc"),
+            imms=(1, 1, 1, 1),
+        )
+        mac2 = Instruction(
+            Opcode.VRMPY,
+            dests=("v_acc",),
+            srcs=("v0", "v_acc"),
+            imms=(1, 1, 1, 1),
+        )
+        sim.run([Packet([load]), Packet([mac]), Packet([mac2])])
+        acc = sim.state.registers.read_vector("v_acc").view(np.int32)
+        assert (acc == 8).all()  # two rounds of sum of four ones
+
+    def test_vadd_lane_widths(self, sim):
+        a = np.arange(64, dtype=np.int16)
+        b = np.full(64, 3, dtype=np.int16)
+        from repro.isa.registers import VectorRegister
+
+        sim.state.registers.write_vector("v1", VectorRegister.from_lanes(a))
+        sim.state.registers.write_vector("v2", VectorRegister.from_lanes(b))
+        sim.run([
+            Packet([
+                Instruction(
+                    Opcode.VADD,
+                    dests=("v3",),
+                    srcs=("v1", "v2"),
+                    lane_bytes=2,
+                )
+            ])
+        ])
+        out = sim.state.registers.read_vector("v3").view(np.int16)
+        assert (out == a + 3).all()
+
+
+class TestIntraPacketSemantics:
+    def test_soft_raw_consumer_sees_fresh_value(self, sim):
+        # The hardware interlock: a packed load->use pair is correct.
+        payload = np.full(128, 9, dtype=np.uint8)
+        sim.state.write_array(0, payload)
+        load = Instruction(Opcode.VLOAD, dests=("v1",), imms=(0,))
+        use = Instruction(
+            Opcode.VADD, dests=("v2",), srcs=("v1", "v1")
+        )
+        sim.run([Packet([load, use])])
+        out = sim.state.registers.read_vector("v2").view(np.int8)
+        assert (out == 18).all()
+
+    def test_war_reader_sees_old_value(self, sim):
+        from repro.isa.registers import VectorRegister
+
+        sim.state.registers.write_vector(
+            "v1", VectorRegister.from_lanes(np.full(128, 5, dtype=np.int8))
+        )
+        sim.state.write_array(0, np.full(128, 100, dtype=np.uint8))
+        reader = Instruction(Opcode.VADD, dests=("v2",), srcs=("v1", "v1"))
+        writer = Instruction(Opcode.VLOAD, dests=("v1",), imms=(0,))
+        sim.run([Packet([reader, writer])])
+        assert (sim.state.registers.read_vector("v2").view(np.int8)
+                == 10).all()
+        assert (sim.state.registers.read_vector("v1").view(np.uint8)
+                == 100).all()
+
+
+class TestScalarOps:
+    def test_scalar_alu(self, sim):
+        sim.state.registers.write_scalar("r0", 10)
+        sim.run([
+            Packet([
+                Instruction(Opcode.ADD, dests=("r1",), srcs=("r0",), imms=(5,))
+            ]),
+            Packet([
+                Instruction(Opcode.MUL, dests=("r2",), srcs=("r1", "r1"))
+            ]),
+        ])
+        assert sim.state.registers.read_scalar("r1") == 15
+        assert sim.state.registers.read_scalar("r2") == 225
+
+    def test_scalar_load_store(self, sim):
+        sim.state.write_array(64, np.array([-7], dtype=np.int32))
+        sim.run([
+            Packet([Instruction(Opcode.LOAD, dests=("r0",), imms=(64,))]),
+            Packet([
+                Instruction(Opcode.STORE, srcs=("r0",), imms=(128,))
+            ]),
+        ])
+        assert sim.state.registers.read_scalar("r0") == -7
+        assert sim.state.read_array(128, (1,), np.int32)[0] == -7
+
+    def test_lut_lookup(self, sim):
+        table = np.arange(100, dtype=np.int32) * 3
+        sim.state.write_array(4096, table)
+        sim.state.registers.write_scalar("r_idx", 7)
+        sim.run([
+            Packet([
+                Instruction(
+                    Opcode.LUT, dests=("r_out",), srcs=("r_idx",), imms=(4096,)
+                )
+            ])
+        ])
+        assert sim.state.registers.read_scalar("r_out") == 21
+
+    def test_cycle_accounting(self, sim):
+        sim.run([
+            Packet([Instruction(Opcode.NOP)]),
+            Packet([Instruction(Opcode.VLOAD, dests=("v0",), imms=(0,))]),
+        ])
+        assert sim.cycles == 1 + 3
+        assert sim.packets_executed == 2

@@ -1,0 +1,85 @@
+"""Tests for the execution trace recorder."""
+
+import numpy as np
+import pytest
+
+from repro.codegen.program import build_matmul_program
+from repro.core.packing.sda import pack_best
+from repro.isa.instructions import Instruction, Opcode
+from repro.machine.packet import Packet
+from repro.machine.trace import TraceRecorder
+
+
+def _soft_pair_packet():
+    load = Instruction(Opcode.VLOAD, dests=("v0",), imms=(0,))
+    use = Instruction(Opcode.VADD, dests=("v1",), srcs=("v0", "v0"))
+    return Packet([load, use])
+
+
+class TestTraceRecorder:
+    def test_one_entry_per_packet(self):
+        recorder = TraceRecorder()
+        entries = recorder.run([
+            Packet([Instruction(Opcode.NOP)]),
+            _soft_pair_packet(),
+        ])
+        assert len(entries) == 2
+        assert entries[0].index == 0
+        assert entries[1].index == 1
+
+    def test_start_cycles_monotone_and_contiguous(self):
+        recorder = TraceRecorder()
+        entries = recorder.run([_soft_pair_packet() for _ in range(3)])
+        for previous, current in zip(entries, entries[1:]):
+            assert current.start_cycle == previous.end_cycle
+
+    def test_stall_cycles_detected(self):
+        recorder = TraceRecorder()
+        (entry,) = recorder.run([_soft_pair_packet()])
+        assert entry.stall_cycles == 1  # soft RAW interlock
+        assert entry.cycles == 4
+
+    def test_no_stall_for_independent_packet(self):
+        packet = Packet([
+            Instruction(Opcode.VLOAD, dests=("v0",), imms=(0,)),
+            Instruction(Opcode.VLOAD, dests=("v1",), imms=(128,)),
+        ])
+        recorder = TraceRecorder()
+        (entry,) = recorder.run([packet])
+        assert entry.stall_cycles == 0
+
+    def test_writes_recorded(self):
+        recorder = TraceRecorder()
+        (entry,) = recorder.run([_soft_pair_packet()])
+        assert set(entry.writes) == {"v0", "v1"}
+
+    def test_totals(self):
+        recorder = TraceRecorder()
+        recorder.run([_soft_pair_packet(), _soft_pair_packet()])
+        assert recorder.total_cycles == 8
+        assert recorder.total_stalls == 2
+
+    def test_render_marks_stalls(self):
+        recorder = TraceRecorder()
+        recorder.run([_soft_pair_packet()])
+        text = recorder.render()
+        assert "*" in text
+        assert "vload ; vadd" in text
+
+    def test_render_limit(self):
+        recorder = TraceRecorder()
+        recorder.run([_soft_pair_packet() for _ in range(5)])
+        text = recorder.render(limit=2)
+        assert "3 more packets" in text
+
+    def test_traces_whole_programs(self):
+        rng = np.random.default_rng(0)
+        a = rng.integers(-128, 128, size=(8, 4)).astype(np.int8)
+        b = rng.integers(-128, 128, size=(4, 3)).astype(np.int8)
+        program = build_matmul_program(a.shape, b)
+        recorder = TraceRecorder()
+        program.load_operands(recorder.state, a)
+        entries = recorder.run(pack_best(program.instructions))
+        assert entries
+        result = program.read_result(recorder.state)
+        assert (result == a.astype(np.int32) @ b.astype(np.int32)).all()

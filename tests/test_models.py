@@ -1,0 +1,117 @@
+"""Tests for the model zoo against Table IV's reference data."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ReproError
+from repro.graph.execute import ReferenceExecutor
+from repro.models import MODELS, build_model, model_names
+from repro.models.classification import build_resnet50
+from repro.models.generative import build_wdsr_b
+from repro.models.transformers import build_tinybert
+
+
+class TestRegistry:
+    def test_ten_models_registered(self):
+        assert len(MODELS) == 10
+        assert set(model_names()) == set(MODELS)
+
+    def test_unknown_model_rejected(self):
+        with pytest.raises(ReproError):
+            build_model("alexnet")
+
+    def test_cache_returns_same_object(self):
+        a = build_model("mobilenet_v3")
+        b = build_model("mobilenet_v3")
+        assert a is b
+
+    def test_cache_bypass(self):
+        a = build_model("mobilenet_v3")
+        b = build_model("mobilenet_v3", use_cache=False)
+        assert a is not b
+
+    def test_support_flags(self):
+        assert not MODELS["tinybert"].supported_by_tflite
+        assert MODELS["resnet50"].supported_by_snpe
+        assert not MODELS["efficientdet_d0"].supported_by_snpe
+
+
+@pytest.mark.parametrize("name", model_names())
+class TestEveryModel:
+    def test_builds_and_validates(self, name):
+        graph = build_model(name)
+        graph.validate()
+        assert graph.operator_count() > 0
+
+    def test_macs_close_to_paper(self, name):
+        # Structural fidelity: within 15% of Table IV's #MACS column.
+        graph = build_model(name)
+        info = MODELS[name]
+        ratio = graph.total_macs() / (info.paper_gmacs * 1e9)
+        assert 0.85 <= ratio <= 1.15, f"{name}: MAC ratio {ratio:.2f}"
+
+    def test_single_connected_output_region(self, name):
+        graph = build_model(name)
+        assert graph.output_nodes()
+
+    def test_has_compute_operators(self, name):
+        graph = build_model(name)
+        assert any(n.op.is_compute_heavy for n in graph)
+
+
+class TestArchitectureDetails:
+    def test_resnet50_structure(self):
+        graph = build_resnet50()
+        convs = [n for n in graph if n.op_type == "Conv2D"]
+        # 53 convolutions in ResNet-50 (incl. projection shortcuts).
+        assert len(convs) == 53
+        assert graph.node(convs[0].node_id).output_shape == (
+            1, 64, 112, 112
+        )
+
+    def test_wdsr_parameter_budget(self):
+        # Table IV: only 22.2K parameters.
+        graph = build_wdsr_b()
+        params = 0
+        for node in graph:
+            dims = graph.node_matmul_dims(node.node_id)
+            if dims and node.op.is_compute_heavy:
+                _, k, n = dims
+                params += k * n
+        assert params < 60_000
+
+    def test_tinybert_contains_gating_operators(self):
+        # Pow and activation-by-activation MatMuls are what block
+        # TFLite/SNPE from running it on the DSP.
+        graph = build_tinybert()
+        op_types = {n.op_type for n in graph}
+        assert "Pow" in op_types
+        assert "Softmax" in op_types
+        two_operand_matmuls = [
+            n
+            for n in graph
+            if n.op_type == "MatMul" and len(n.inputs) == 2
+        ]
+        assert two_operand_matmuls
+
+    def test_transformer_operator_counts_close(self):
+        for name in ("tinybert", "conformer"):
+            graph = build_model(name)
+            paper = MODELS[name].paper_operators
+            assert graph.operator_count() >= paper * 0.5
+
+    def test_small_variant_executes(self):
+        # Reduced-size WDSR runs through the reference executor.
+        graph = build_wdsr_b(input_size=24, blocks=2)
+        out = ReferenceExecutor(graph).run()
+        (value,) = out.values()
+        assert value.shape == (1, 3, 48, 48)
+
+    def test_small_tinybert_executes(self):
+        graph = build_tinybert(seq=8)
+        out = ReferenceExecutor(graph).run(
+            {"token_ids": np.zeros((1, 8))}
+        )
+        (value,) = out.values()
+        assert value.shape == (1, 2)
+        assert value.sum() == pytest.approx(1.0)

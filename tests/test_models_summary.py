@@ -1,0 +1,56 @@
+"""Tests for model summaries."""
+
+import pytest
+
+from repro.models.summary import (
+    ModelSummary,
+    render_summary,
+    summarize,
+    summarize_model,
+)
+from tests.conftest import small_cnn
+
+
+class TestSummarize:
+    def test_counts_match_graph(self):
+        graph = small_cnn()
+        summary = summarize(graph)
+        assert summary.operators == graph.operator_count()
+        assert summary.gmacs == pytest.approx(graph.total_macs() / 1e9)
+
+    def test_operator_mix_excludes_sources(self):
+        summary = summarize(small_cnn())
+        types = dict(summary.operator_mix)
+        assert "Input" not in types
+        assert types["Conv2D"] == 3
+
+    def test_gemm_census_covers_compute_nodes(self):
+        graph = small_cnn()
+        summary = summarize(graph)
+        census_total = sum(count for _, count in summary.gemm_shapes)
+        compute = sum(1 for n in graph if n.op.is_compute_heavy)
+        assert census_total == compute
+
+    def test_largest_tensor(self):
+        summary = summarize(small_cnn())
+        assert summary.largest_tensor == (1, 8, 16, 16)
+
+    def test_zoo_lookup_includes_paper_row(self):
+        summary = summarize_model("wdsr_b")
+        assert summary.info is not None
+        assert summary.info.gcd2_ms == 66.7
+
+
+class TestRender:
+    def test_render_contains_key_sections(self):
+        text = render_summary(summarize_model("wdsr_b"))
+        assert "wdsr_b" in text
+        assert "operator mix" in text
+        assert "GEMM shape census" in text
+        assert "paper row" in text
+
+    def test_top_truncation(self):
+        summary = summarize_model("efficientnet_b0")
+        text = render_summary(summary, top=2)
+        assert "more operator types" in text
+        assert "more distinct shapes" in text

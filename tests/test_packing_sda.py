@@ -1,0 +1,180 @@
+"""Tests for SDA packing (Algorithm 1) and its baselines.
+
+Property test: every packer must produce a *legal* schedule for any
+program — all instructions packed once, resource limits respected, no
+dependency reordered, no hard pair sharing a packet.
+"""
+
+import random
+
+import pytest
+
+from repro.codegen.elementwise import emit_division_body, emit_elementwise_body
+from repro.codegen.matmul import emit_matmul_body
+from repro.core.packing.baselines import (
+    pack_list_schedule,
+    pack_soft_to_hard,
+    pack_soft_to_none,
+)
+from repro.core.packing.evaluate import schedule_summary, validate_schedule
+from repro.core.packing.sda import SdaConfig, pack_best, pack_instructions
+from repro.isa.instructions import Instruction, Opcode
+from repro.machine.pipeline import schedule_cycles
+from tests.conftest import stream_program
+
+ALL_PACKERS = [
+    pack_instructions,
+    pack_soft_to_hard,
+    pack_soft_to_none,
+    pack_list_schedule,
+    pack_best,
+]
+
+
+def _random_program(seed: int, length: int = 25):
+    """Random but well-formed vector program."""
+    rnd = random.Random(seed)
+    program = []
+    live = ["v_init"]
+    program.append(
+        Instruction(Opcode.VLOAD, dests=("v_init",), srcs=("r_base",))
+    )
+    for i in range(length):
+        roll = rnd.random()
+        if roll < 0.25:
+            program.append(
+                Instruction(
+                    Opcode.VLOAD, dests=(f"v_l{i}",), srcs=("r_base",),
+                    imms=(i * 128,),
+                )
+            )
+            live.append(f"v_l{i}")
+        elif roll < 0.5:
+            srcs = (rnd.choice(live), rnd.choice(live))
+            program.append(
+                Instruction(
+                    rnd.choice([Opcode.VADD, Opcode.VSUB, Opcode.VMAX]),
+                    dests=(f"v_a{i}",),
+                    srcs=srcs,
+                )
+            )
+            live.append(f"v_a{i}")
+        elif roll < 0.7:
+            program.append(
+                Instruction(
+                    Opcode.VRMPY,
+                    dests=(f"v_m{i}",),
+                    srcs=(rnd.choice(live),),
+                    imms=(1, 2, 3, 4),
+                )
+            )
+            live.append(f"v_m{i}")
+        elif roll < 0.85:
+            program.append(
+                Instruction(
+                    Opcode.VSTORE, srcs=(rnd.choice(live), "r_out"),
+                    imms=(i * 128,),
+                )
+            )
+        else:
+            program.append(
+                Instruction(
+                    Opcode.ADD, dests=("r_base",), srcs=("r_base",),
+                    imms=(128,),
+                )
+            )
+    return program
+
+
+class TestScheduleValidity:
+    @pytest.mark.parametrize("seed", range(8))
+    @pytest.mark.parametrize("packer", ALL_PACKERS)
+    def test_random_programs_pack_legally(self, seed, packer):
+        program = _random_program(seed)
+        packets = packer(program)
+        validate_schedule(packets, program)
+
+    @pytest.mark.parametrize("packer", ALL_PACKERS)
+    def test_kernel_bodies_pack_legally(self, packer):
+        for body in (
+            emit_matmul_body(Opcode.VRMPY, 4, 4, include_epilogue=True),
+            emit_matmul_body(Opcode.VMPY, 2, 2, include_epilogue=True),
+            emit_elementwise_body("Add", 3, unroll=2),
+            emit_division_body(),
+        ):
+            validate_schedule(packer(body), body)
+
+    @pytest.mark.parametrize("packer", ALL_PACKERS)
+    def test_single_instruction_program(self, packer):
+        program = [Instruction(Opcode.NOP)]
+        packets = packer(program)
+        validate_schedule(packets, program)
+        assert len(packets) == 1
+
+    @pytest.mark.parametrize("packer", ALL_PACKERS)
+    def test_empty_program(self, packer):
+        assert packer([]) == []
+
+
+class TestSdaBehaviour:
+    def test_soft_pairs_can_share_a_packet(self):
+        # The Figure 5 story: SDA merges soft-linked work that the
+        # soft_to_hard variant must split.
+        program = stream_program()
+        sda = schedule_summary(pack_instructions(program))
+        hard = schedule_summary(pack_soft_to_hard(program))
+        assert sda.packets <= hard.packets
+
+    def test_soft_to_hard_never_packs_dependent_pairs(self):
+        program = stream_program()
+        for packet in pack_soft_to_hard(program):
+            assert packet.soft_pairs() == []
+
+    def test_sda_cheaper_or_equal_on_aggregate(self):
+        bodies = [
+            emit_matmul_body(Opcode.VRMPY, 4, 4, include_epilogue=True),
+            emit_matmul_body(Opcode.VMPY, 1, 1, include_epilogue=True),
+            emit_elementwise_body("Add", 3, unroll=1),
+            stream_program(),
+        ]
+        total = {"best": 0, "hard": 0, "none": 0}
+        for body in bodies:
+            total["best"] += schedule_cycles(pack_best(body))
+            total["hard"] += schedule_cycles(pack_soft_to_hard(body))
+            total["none"] += schedule_cycles(pack_soft_to_none(body))
+        assert total["best"] <= total["hard"]
+        assert total["best"] <= total["none"]
+
+    def test_pack_best_never_worse_than_ablations(self):
+        for seed in range(5):
+            program = _random_program(seed)
+            best = schedule_cycles(pack_best(program))
+            assert best <= schedule_cycles(pack_soft_to_hard(program))
+            assert best <= schedule_cycles(pack_soft_to_none(program))
+
+    def test_fewer_packets_than_list_scheduling(self):
+        # Figure 7 right: GCD2's packer emits fewer packets.
+        body = emit_matmul_body(Opcode.VMPY, 4, 4, include_epilogue=True)
+        sda = schedule_summary(pack_instructions(body))
+        lst = schedule_summary(pack_list_schedule(body))
+        assert sda.packets < lst.packets
+
+
+class TestSdaConfig:
+    def test_invalid_weight_rejected(self):
+        with pytest.raises(ValueError):
+            SdaConfig(w=1.5)
+
+    def test_invalid_mode_rejected(self):
+        with pytest.raises(ValueError):
+            SdaConfig(soft_mode="bogus")
+
+    def test_modes_change_schedules(self):
+        program = stream_program()
+        cycles = {
+            mode: schedule_cycles(
+                pack_instructions(program, SdaConfig(soft_mode=mode))
+            )
+            for mode in ("sda", "hard", "none")
+        }
+        assert len(set(cycles.values())) >= 2  # not all identical

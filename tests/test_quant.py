@@ -1,0 +1,101 @@
+"""Unit and property tests for requantization arithmetic."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.errors import QuantizationError
+from repro.quant.quantize import (
+    QuantParams,
+    quantize_model_tensor,
+    reference_requantize,
+    requantize,
+    requantize_multiplier,
+)
+
+accumulators = arrays(
+    np.int64, (64,), elements=st.integers(-(2**24), 2**24)
+)
+rescales = st.floats(1e-6, 1.5, allow_nan=False)
+
+
+class TestMultiplier:
+    @given(rescale=rescales)
+    @settings(max_examples=80, deadline=None)
+    def test_decomposition_accuracy(self, rescale):
+        multiplier, shift = requantize_multiplier(rescale)
+        approx = multiplier / (1 << shift)
+        assert abs(approx - rescale) / rescale < 1e-4
+
+    @given(rescale=rescales)
+    @settings(max_examples=40, deadline=None)
+    def test_multiplier_normalized(self, rescale):
+        multiplier, _ = requantize_multiplier(rescale)
+        assert (1 << 14) <= multiplier <= (1 << 15)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(QuantizationError):
+            requantize_multiplier(0.0)
+
+    def test_large_rescales_encode_with_negative_room(self):
+        multiplier, shift = requantize_multiplier(3.0)
+        assert multiplier / (1 << shift) == pytest.approx(3.0, rel=1e-4)
+
+    def test_rejects_astronomical_rescale(self):
+        with pytest.raises(QuantizationError):
+            requantize_multiplier(1e20)
+
+
+class TestRequantize:
+    @given(acc=accumulators, rescale=rescales)
+    @settings(max_examples=80, deadline=None)
+    def test_matches_float_reference_within_one_level(self, acc, rescale):
+        fixed = requantize(acc, rescale).astype(np.int64)
+        ref = reference_requantize(acc, rescale).astype(np.int64)
+        assert np.abs(fixed - ref).max() <= 1
+
+    def test_output_saturates_to_int8(self):
+        out = requantize(np.array([10**7, -(10**7)]), 1.0)
+        assert out[0] == 127 and out[1] == -128
+        assert out.dtype == np.int8
+
+    def test_zero_point_applied(self):
+        out = requantize(np.array([0]), 0.5, output_zero_point=5)
+        assert out[0] == 5
+
+
+class TestQuantParams:
+    @given(
+        values=arrays(
+            np.float64, (32,),
+            elements=st.floats(-10, 10, allow_nan=False),
+        )
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_roundtrip_error_bounded(self, values):
+        params = QuantParams(scale=0.1, zero_point=3)
+        levels = params.quantize(values)
+        recovered = params.dequantize(levels)
+        in_range = np.abs(values) <= 0.1 * 120  # away from saturation
+        errors = np.abs(recovered - values)[in_range]
+        if errors.size:
+            assert errors.max() <= 0.05 + 1e-12
+
+    def test_quantize_saturates(self):
+        params = QuantParams(scale=0.01)
+        assert params.quantize(np.array([100.0]))[0] == 127
+        assert params.quantize(np.array([-100.0]))[0] == -128
+
+
+class TestModelTensorQuantization:
+    def test_symmetric_weights(self):
+        q = quantize_model_tensor(np.random.default_rng(0).normal(size=64))
+        assert q.zero_point == 0
+
+    def test_asymmetric_activations(self):
+        values = np.random.default_rng(0).uniform(0.0, 6.0, size=64)
+        q = quantize_model_tensor(values, symmetric=False)
+        error = np.abs(q.dequantize() - values).max()
+        assert error <= q.scale + 1e-9

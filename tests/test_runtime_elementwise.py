@@ -1,0 +1,93 @@
+"""Tests for the runtime's integer elementwise kernels."""
+
+import numpy as np
+import pytest
+
+from repro.compiler import compile_model
+from repro.graph.builder import GraphBuilder
+from repro.graph.execute import ReferenceExecutor
+from repro.runtime.executor import QuantizedExecutor
+
+
+def _run_both(build, feeds, seed=0):
+    graph = build()
+    compiled = compile_model(graph)
+    quantized = QuantizedExecutor(compiled, seed=seed).run(feeds)
+    reference = ReferenceExecutor(compiled.graph, seed=seed).run(feeds)
+    return quantized, reference
+
+
+class TestQuantizedAdd:
+    def _graph(self):
+        b = GraphBuilder("add")
+        x = b.input((1, 8, 8, 8), name="x")
+        y = b.input((1, 8, 8, 8), name="y")
+        b.add(x, y, name="sum")
+        return b.build()
+
+    def test_add_tracks_reference(self):
+        rng = np.random.default_rng(0)
+        feeds = {
+            "x": rng.normal(size=(1, 8, 8, 8)),
+            "y": rng.normal(size=(1, 8, 8, 8)),
+        }
+        q, f = _run_both(self._graph, feeds)
+        scale = np.abs(f["sum"]).max()
+        assert np.abs(q["sum"] - f["sum"]).max() / scale < 0.05
+
+    def test_sub_tracks_reference(self):
+        b = GraphBuilder("sub")
+        x = b.input((1, 4, 4, 4), name="x")
+        y = b.input((1, 4, 4, 4), name="y")
+        b.sub(x, y, name="diff")
+        rng = np.random.default_rng(1)
+        feeds = {
+            "x": rng.normal(size=(1, 4, 4, 4)),
+            "y": rng.normal(size=(1, 4, 4, 4)),
+        }
+        q, f = _run_both(lambda: b.build(), feeds)
+        scale = max(1e-6, np.abs(f["diff"]).max())
+        assert np.abs(q["diff"] - f["diff"]).max() / scale < 0.05
+
+    def test_broadcast_add(self):
+        b = GraphBuilder("badd")
+        x = b.input((1, 8, 4, 4), name="x")
+        y = b.input((1, 8, 1, 1), name="y")
+        b.add(x, y, name="sum")
+        rng = np.random.default_rng(2)
+        feeds = {
+            "x": rng.normal(size=(1, 8, 4, 4)),
+            "y": rng.normal(size=(1, 8, 1, 1)),
+        }
+        q, f = _run_both(lambda: b.build(), feeds)
+        scale = np.abs(f["sum"]).max()
+        assert np.abs(q["sum"] - f["sum"]).max() / scale < 0.05
+
+
+class TestQuantizedRelu:
+    def test_relu_exact_zero_cut(self):
+        b = GraphBuilder("relu")
+        x = b.input((1, 4, 8, 8), name="x")
+        b.relu(x, name="act")
+        rng = np.random.default_rng(3)
+        feeds = {"x": rng.normal(size=(1, 4, 8, 8))}
+        q, f = _run_both(lambda: b.build(), feeds)
+        # Negative inputs must map to exactly zero (symmetric levels).
+        assert (q["act"] >= 0).all()
+        scale = np.abs(f["act"]).max()
+        assert np.abs(q["act"] - f["act"]).max() / scale < 0.05
+
+
+class TestResidualChain:
+    def test_conv_residual_quantized_pipeline(self):
+        # conv -> add -> relu exercises all integer paths in sequence.
+        b = GraphBuilder("res")
+        x = b.input((1, 4, 8, 8), name="x")
+        c = b.conv2d(x, 4, kernel=3, name="conv")
+        s = b.add(x, c, name="sum")
+        b.relu(s, name="act")
+        rng = np.random.default_rng(4)
+        feeds = {"x": rng.normal(size=(1, 4, 8, 8))}
+        q, f = _run_both(lambda: b.build(), feeds, seed=9)
+        scale = np.abs(f["act"]).max()
+        assert np.abs(q["act"] - f["act"]).max() / scale < 0.12

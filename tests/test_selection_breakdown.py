@@ -1,0 +1,46 @@
+"""Tests for the Agg_Cost breakdown helper."""
+
+import pytest
+
+from repro.core.cost import CostModel
+from repro.core.exhaustive import solve_exhaustive
+from repro.core.local import solve_local
+from repro.core.selection_common import aggregate_cost, cost_breakdown
+from tests.conftest import chain_graph, small_cnn
+
+
+class TestCostBreakdown:
+    def test_components_sum_to_aggregate(self):
+        graph = small_cnn()
+        model = CostModel()
+        result = solve_exhaustive(graph, model)
+        breakdown = cost_breakdown(graph, model, result.assignment)
+        assert breakdown["total"] == pytest.approx(
+            aggregate_cost(graph, model, result.assignment), rel=1e-9
+        )
+        assert breakdown["total"] == pytest.approx(
+            breakdown["nodes"] + breakdown["edges"] + breakdown["boundary"],
+            rel=1e-9,
+        )
+
+    def test_all_components_nonnegative(self):
+        graph = chain_graph(length=5)
+        model = CostModel()
+        result = solve_local(graph, model)
+        breakdown = cost_breakdown(graph, model, result.assignment)
+        for key in ("nodes", "edges", "boundary"):
+            assert breakdown[key] >= 0.0
+
+    def test_global_selection_spends_less_on_edges(self):
+        # The whole point of the global optimization: transform (edge)
+        # cost shrinks versus the local-optimal assignment.
+        graph = small_cnn()
+        model = CostModel()
+        local = cost_breakdown(
+            graph, model, solve_local(graph, model).assignment
+        )
+        best = cost_breakdown(
+            graph, model, solve_exhaustive(graph, model).assignment
+        )
+        assert best["edges"] <= local["edges"]
+        assert best["total"] <= local["total"]

@@ -1,0 +1,130 @@
+"""Unit and property tests for the Figure 2 data layouts."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import LayoutError
+from repro.tensor.layout import (
+    Layout,
+    _offsets,
+    convert,
+    pack,
+    padded_shape,
+    padded_size,
+    unpack,
+)
+
+dims = st.integers(1, 200)
+
+
+class TestPaddedShapes:
+    def test_panel_granularities(self):
+        assert Layout.COL1.row_panel == 128
+        assert Layout.COL2.row_panel == 64
+        assert Layout.COL4.row_panel == 32
+        assert Layout.COL2.col_group == 2
+        assert Layout.COL4.col_group == 4
+
+    def test_padded_shape_rounds_up(self):
+        assert padded_shape(100, 5, Layout.COL1) == (128, 5)
+        assert padded_shape(100, 5, Layout.COL2) == (128, 6)
+        assert padded_shape(100, 5, Layout.COL4) == (128, 8)
+        assert padded_shape(100, 5, Layout.ROW_MAJOR) == (100, 5)
+
+    def test_invalid_dims_rejected(self):
+        with pytest.raises(LayoutError):
+            padded_shape(0, 5, Layout.COL1)
+        with pytest.raises(LayoutError):
+            padded_shape(5, -1, Layout.COL2)
+
+    def test_table2_data_sizes(self):
+        # Table II's padding column: 32x32 operands.
+        assert padded_size(32, 32, Layout.COL1) == 128 * 32
+        assert padded_size(32, 32, Layout.COL2) == 64 * 32
+        assert padded_size(32, 32, Layout.COL4) == 32 * 32
+
+
+class TestFigure2Offsets:
+    def test_col1_matches_figure_2a(self):
+        off = _offsets(256, 4, Layout.COL1)
+        assert off[0, 0] == 0
+        assert off[1, 0] == 1          # column-major within panel
+        assert off[127, 0] == 127
+        assert off[0, 1] == 128        # next column starts a new run
+        assert off[127, 3] == 511
+        assert off[128, 0] == 512      # second panel
+
+    def test_col2_matches_figure_2b(self):
+        off = _offsets(64, 4, Layout.COL2)
+        assert off[0, 0] == 0 and off[0, 1] == 1    # "0, 1"
+        assert off[1, 0] == 2 and off[1, 1] == 3    # "2, 3"
+        assert off[63, 1] == 127                    # "126, 127"
+        assert off[0, 2] == 128 and off[0, 3] == 129  # "128, 129"
+
+    def test_col4_matches_figure_2c(self):
+        off = _offsets(32, 8, Layout.COL4)
+        assert list(off[0, :4]) == [0, 1, 2, 3]     # "0, 1, 2, 3"
+        assert list(off[1, :4]) == [4, 5, 6, 7]     # "4, 5, 6, 7"
+        assert off[31, 3] == 127                    # "124..127"
+        assert off[0, 4] == 128                     # "128, 129, 130, 131"
+
+    def test_offsets_are_a_permutation(self):
+        for layout in Layout:
+            off = _offsets(70, 9, layout)
+            flat = np.sort(off.reshape(-1))
+            assert (flat == np.arange(off.size)).all()
+
+
+class TestPackUnpack:
+    @given(rows=dims, cols=dims, layout=st.sampled_from(list(Layout)))
+    @settings(max_examples=60, deadline=None)
+    def test_roundtrip(self, rows, cols, layout):
+        rng = np.random.default_rng(rows * 1000 + cols)
+        matrix = rng.integers(-128, 128, size=(rows, cols)).astype(np.int8)
+        packed = pack(matrix, layout)
+        assert packed.size == padded_size(rows, cols, layout)
+        assert (unpack(packed, rows, cols, layout) == matrix).all()
+
+    def test_padding_is_zero(self):
+        matrix = np.ones((10, 3), dtype=np.int8)
+        packed = pack(matrix, Layout.COL4)
+        assert packed.sum() == 30  # only the real elements are non-zero
+
+    def test_contiguous_column_in_col1(self):
+        # The property that makes vmpy's operand fetch a single vload.
+        matrix = np.arange(128 * 4).reshape(128, 4).astype(np.int32)
+        packed = pack(matrix, Layout.COL1)
+        assert (packed[:128] == matrix[:, 0]).all()
+
+    def test_pack_requires_2d(self):
+        with pytest.raises(LayoutError):
+            pack(np.zeros(10, dtype=np.int8), Layout.COL1)
+
+    def test_unpack_size_checked(self):
+        with pytest.raises(LayoutError):
+            unpack(np.zeros(10, dtype=np.int8), 4, 4, Layout.COL1)
+
+
+class TestConvert:
+    @given(
+        rows=st.integers(1, 150),
+        cols=st.integers(1, 20),
+        src=st.sampled_from(list(Layout)),
+        dst=st.sampled_from(list(Layout)),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_convert_preserves_content(self, rows, cols, src, dst):
+        rng = np.random.default_rng(rows + cols)
+        matrix = rng.integers(-128, 128, size=(rows, cols)).astype(np.int8)
+        converted = convert(pack(matrix, src), rows, cols, src, dst)
+        assert (unpack(converted, rows, cols, dst) == matrix).all()
+
+    def test_same_layout_is_copy(self):
+        matrix = np.ones((8, 8), dtype=np.int8)
+        packed = pack(matrix, Layout.COL4)
+        out = convert(packed, 8, 8, Layout.COL4, Layout.COL4)
+        assert (out == packed).all()
+        out[0] = 99
+        assert packed[0] != 99

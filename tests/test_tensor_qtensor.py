@@ -1,0 +1,81 @@
+"""Unit and property tests for quantized tensors."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.errors import QuantizationError
+from repro.tensor.layout import Layout
+from repro.tensor.qtensor import QTensor
+
+floats = arrays(
+    np.float64,
+    st.integers(1, 64),
+    elements=st.floats(-100.0, 100.0, allow_nan=False),
+)
+
+
+class TestQuantize:
+    @given(values=floats)
+    @settings(max_examples=60, deadline=None)
+    def test_symmetric_error_bounded_by_half_step(self, values):
+        q = QTensor.quantize(values, symmetric=True)
+        error = np.abs(q.dequantize() - values).max()
+        assert error <= q.scale / 2 + 1e-9
+
+    @given(values=floats)
+    @settings(max_examples=60, deadline=None)
+    def test_asymmetric_error_bounded_by_step(self, values):
+        q = QTensor.quantize(values, symmetric=False)
+        error = np.abs(q.dequantize() - values).max()
+        assert error <= q.scale + 1e-9
+
+    def test_symmetric_zero_point_is_zero(self):
+        q = QTensor.quantize(np.array([1.0, -2.0, 3.0]), symmetric=True)
+        assert q.zero_point == 0
+
+    def test_payload_is_int8(self):
+        q = QTensor.quantize(np.linspace(-1, 1, 100))
+        assert q.data.dtype == np.int8
+        assert q.data.min() >= -128 and q.data.max() <= 127
+
+    def test_empty_rejected(self):
+        with pytest.raises(QuantizationError):
+            QTensor.quantize(np.array([]))
+
+    def test_all_zero_input(self):
+        q = QTensor.quantize(np.zeros(10))
+        assert (q.dequantize() == 0).all()
+
+    def test_quantization_error_metric(self):
+        values = np.linspace(-1, 1, 50)
+        q = QTensor.quantize(values)
+        assert q.quantization_error(values) < q.scale
+
+
+class TestQTensor:
+    def test_scale_must_be_positive(self):
+        with pytest.raises(QuantizationError):
+            QTensor(np.zeros(4, dtype=np.int8), scale=0.0)
+        with pytest.raises(QuantizationError):
+            QTensor(np.zeros(4, dtype=np.int8), scale=-1.0)
+
+    def test_logical_shape_defaults_to_data_shape(self):
+        q = QTensor(np.zeros((2, 3), dtype=np.int8), scale=1.0)
+        assert q.shape == (2, 3)
+
+    def test_packed_payload_with_logical_shape(self):
+        q = QTensor(
+            np.zeros(256, dtype=np.int8),
+            scale=0.5,
+            layout=Layout.COL4,
+            logical_shape=(5, 5),
+        )
+        assert q.shape == (5, 5)
+        assert q.size_bytes == 256
+
+    def test_dequantize_uses_zero_point(self):
+        q = QTensor(np.array([10], dtype=np.int8), scale=0.5, zero_point=4)
+        assert q.dequantize()[0] == pytest.approx(3.0)

@@ -1,0 +1,71 @@
+"""Unit tests for the TC (layout transformation) cost model."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.tensor.layout import Layout, padded_size
+from repro.tensor.transform_cost import (
+    DRAM_BYTES_PER_CYCLE,
+    ONCHIP_BYTES_PER_CYCLE,
+    TRANSFORM_SETUP_CYCLES,
+    transform_cycles,
+)
+
+
+class TestTransformCycles:
+    def test_same_layout_is_free(self):
+        # Equation 1: TC is zero when no transformation is required.
+        for layout in Layout:
+            assert transform_cycles(100, 100, layout, layout) == 0
+
+    def test_cost_scales_with_tensor_size(self):
+        # Rows chosen as multiples of every panel height so padding
+        # does not blur the 10x size ratio.
+        small = transform_cycles(128, 64, Layout.COL1, Layout.COL4)
+        large = transform_cycles(1280, 64, Layout.COL1, Layout.COL4)
+        assert large > small
+        assert large - TRANSFORM_SETUP_CYCLES >= 9 * (
+            small - TRANSFORM_SETUP_CYCLES
+        )
+
+    def test_cost_uses_larger_padded_size(self):
+        # 10 rows: COL1 pads to 128, COL4 to 32 — reading/writing the
+        # bigger padding dominates either direction.
+        a_to_b = transform_cycles(10, 10, Layout.COL1, Layout.COL4)
+        b_to_a = transform_cycles(10, 10, Layout.COL4, Layout.COL1)
+        assert a_to_b == b_to_a
+
+    def test_dram_tier_slower_than_onchip(self):
+        onchip = transform_cycles(
+            512, 64, Layout.COL1, Layout.COL2,
+            bytes_per_cycle=ONCHIP_BYTES_PER_CYCLE,
+        )
+        dram = transform_cycles(
+            512, 64, Layout.COL1, Layout.COL2,
+            bytes_per_cycle=DRAM_BYTES_PER_CYCLE,
+        )
+        assert dram > onchip
+
+    def test_element_bytes_scale(self):
+        int8 = transform_cycles(128, 128, Layout.COL1, Layout.COL2)
+        int32 = transform_cycles(
+            128, 128, Layout.COL1, Layout.COL2, element_bytes=4
+        )
+        assert int32 > int8
+
+    @given(
+        rows=st.integers(1, 300),
+        cols=st.integers(1, 50),
+        src=st.sampled_from(list(Layout)),
+        dst=st.sampled_from(list(Layout)),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_cost_nonnegative_and_symmetric_in_padding(self, rows, cols, src, dst):
+        cost = transform_cycles(rows, cols, src, dst)
+        assert cost >= 0
+        if src is not dst:
+            expected_bytes = 2 * max(
+                padded_size(rows, cols, src), padded_size(rows, cols, dst)
+            )
+            assert cost >= expected_bytes / 64  # sane lower bound
