@@ -15,6 +15,13 @@ Commands
     Print a model's operator mix and GEMM shape census.
 ``export MODEL PATH``
     Serialize a zoo model's computational graph to JSON.
+``verify MODEL``
+    Compile under strict verification and run the quantized-vs-float
+    differential check.
+
+Library failures (:class:`~repro.errors.ReproError`) and I/O errors
+exit with code 1 and a one-line structured message on stderr — never a
+traceback.
 """
 
 from __future__ import annotations
@@ -25,6 +32,8 @@ from typing import List, Optional
 
 from repro import harness
 from repro.compiler import CompilerOptions, GCD2Compiler
+from repro.errors import GraphError, ReproError
+from repro.graph.graph import ComputationalGraph
 from repro.models import MODELS, build_model, model_names
 
 #: Experiment name -> harness callable.
@@ -61,7 +70,10 @@ def _build_parser() -> argparse.ArgumentParser:
     describe_p.add_argument("model", choices=model_names())
 
     compile_p = sub.add_parser("compile", help="compile a zoo model")
-    compile_p.add_argument("model", choices=model_names())
+    compile_p.add_argument(
+        "model",
+        help="zoo model name or path to a graph JSON file",
+    )
     compile_p.add_argument(
         "--selection",
         default="gcd2",
@@ -101,7 +113,35 @@ def _build_parser() -> argparse.ArgumentParser:
     export_p.add_argument("model", choices=model_names())
     export_p.add_argument("path")
 
+    verify_p = sub.add_parser(
+        "verify",
+        help="compile under strict verification and run the "
+        "quantized-vs-float differential check",
+    )
+    verify_p.add_argument(
+        "model",
+        help="zoo model name or path to a graph JSON file",
+    )
+    verify_p.add_argument(
+        "--seed", type=int, default=0,
+        help="seed for the synthetic weights/inputs of the check",
+    )
+
     return parser
+
+
+def _resolve_graph(spec: str) -> ComputationalGraph:
+    """A graph from a zoo model name or a serialized-graph JSON path."""
+    if spec in MODELS:
+        return build_model(spec)
+    if spec.endswith(".json") or "/" in spec:
+        from repro.graph.serialization import load_graph
+
+        return load_graph(spec)
+    raise GraphError(
+        f"unknown model {spec!r}",
+        details={"known_models": ", ".join(model_names())},
+    )
 
 
 def _cmd_models() -> int:
@@ -124,7 +164,7 @@ def _cmd_compile(args) -> int:
         max_operators=args.max_operators,
         other_opts=not args.no_other_opts,
     )
-    graph = build_model(args.model)
+    graph = _resolve_graph(args.model)
     compiled = GCD2Compiler(options).compile(graph)
     dispatch = (
         compiled.graph.operator_count() * harness.GCD2_DISPATCH_US / 1e3
@@ -136,6 +176,8 @@ def _cmd_compile(args) -> int:
           f"Agg_Cost {compiled.selection.cost:.0f} cycles)")
     print(f"latency: {compiled.latency_ms + dispatch:.2f} ms modelled "
           f"({compiled.total_packets} packets across kernel bodies)")
+    for record in compiled.diagnostics.fallbacks:
+        print(f"fallback: {record}")
     if args.plans:
         for cn in compiled.nodes:
             if cn.node.op.is_compute_heavy:
@@ -175,9 +217,43 @@ def _cmd_export(args) -> int:
     return 0
 
 
-def main(argv: Optional[List[str]] = None) -> int:
-    """CLI entry point; returns a process exit code."""
-    args = _build_parser().parse_args(argv)
+def _cmd_verify(args) -> int:
+    """Strict compile with all verifiers, then the differential check."""
+    import numpy as np
+
+    from repro.graph.execute import ReferenceExecutor
+    from repro.runtime.executor import QuantizedExecutor
+
+    graph = _resolve_graph(args.model)
+    options = CompilerOptions(strict=True, verify=True)
+    compiled = GCD2Compiler(options).compile(graph)
+    print(f"{args.model}: compiled clean under strict verification "
+          f"({compiled.graph.operator_count()} operators)")
+    for line in compiled.diagnostics.summary_lines():
+        print(f"  {line}")
+
+    # Small GEMMs exercise the actual instruction kernels; the rest run
+    # through the bit-identical direct product so ImageNet-sized models
+    # stay tractable.
+    quantized = QuantizedExecutor(
+        compiled, seed=args.seed, kernel_mac_limit=1_000_000
+    ).run()
+    reference = ReferenceExecutor(compiled.graph, seed=args.seed).run()
+    max_error = 0.0
+    for name in reference:
+        ref = reference[name]
+        got = quantized[name]
+        scale = max(1e-6, float(np.abs(ref).max()))
+        max_error = max(
+            max_error, float(np.abs(got - ref).max()) / scale
+        )
+    print(f"differential check: {len(reference)} output(s), "
+          f"max quantization error {max_error:.4f} "
+          f"(relative to output range)")
+    return 0
+
+
+def _dispatch(args) -> int:
     if args.command == "models":
         return _cmd_models()
     if args.command == "describe":
@@ -193,7 +269,26 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_report()
     if args.command == "export":
         return _cmd_export(args)
+    if args.command == "verify":
+        return _cmd_verify(args)
     return 2  # pragma: no cover - argparse enforces choices
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns a process exit code.
+
+    Library errors surface as one structured line on stderr (exit 1)
+    instead of a traceback.
+    """
+    args = _build_parser().parse_args(argv)
+    try:
+        return _dispatch(args)
+    except ReproError as exc:
+        print(f"error: {type(exc).__name__}: {exc}", file=sys.stderr)
+        return 1
+    except OSError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
 
 
 if __name__ == "__main__":

@@ -14,6 +14,14 @@ Pipeline, mirroring Figure 6:
 
 Every stage has an ablation switch so the Figure 9/10/11/12 benchmarks
 can turn individual optimizations off.
+
+The pipeline runs under a :class:`~repro.verify.PassManager`: each
+stage is timed, optionally corrupted by fault-injection hooks (tests
+only) and then checked by invariant verifiers.  Selection runs on a
+graceful-degradation ladder — if the requested solver blows through its
+wall-clock/state budget, the compiler downgrades ``exhaustive ->
+gcd2(k) -> gcd2(k/2) -> chain -> local`` and records every downgrade in
+the compile's :class:`~repro.verify.CompilationDiagnostics`.
 """
 
 from __future__ import annotations
@@ -22,7 +30,7 @@ import math
 from dataclasses import dataclass, field, replace
 from typing import Callable, Dict, List, Optional, Tuple
 
-from repro.errors import ReproError
+from repro.errors import BudgetExceeded, ReproError
 from repro.core.cost import CostModel
 from repro.core.chain_dp import is_in_tree, solve_chain
 from repro.core.exhaustive import solve_exhaustive
@@ -49,6 +57,17 @@ from repro.core.packing.baselines import (
     pack_list_schedule,
     pack_soft_to_hard,
     pack_soft_to_none,
+)
+from repro.verify import (
+    CompilationDiagnostics,
+    PassManager,
+    budget_from_options,
+    verify_graph,
+    verify_lowering,
+    verify_profile,
+    verify_schedule,
+    verify_selection,
+    verify_unrolls,
 )
 
 #: Modelled machine: Hexagon-698-like — 1.5 GHz, four HVX contexts.
@@ -93,6 +112,16 @@ class CompilerOptions:
         GCD2's shape-specialised code generation (< 1 for the generic
         uniform-layout kernels of Hexagon NN; the gap the paper's
         Figure 9 attributes to instruction and layout selection).
+    selection_time_budget_s / selection_state_budget:
+        Wall-clock / state-count budgets each selection attempt must
+        respect; ``None`` means unbounded.  An exceeded budget degrades
+        down the solver ladder (or raises under ``strict``).
+    strict:
+        Turn any graceful degradation into a hard
+        :class:`~repro.errors.BudgetExceeded` — what CI and the
+        ``repro verify`` command use.
+    verify:
+        Run the invariant checkers after every pipeline stage.
     """
 
     selection: str = "gcd2"
@@ -106,10 +135,24 @@ class CompilerOptions:
     transform_bytes_per_cycle: float = 2.5
     kernel_efficiency: float = 1.0
     scalar_activations: bool = False
+    selection_time_budget_s: Optional[float] = None
+    selection_state_budget: Optional[int] = None
+    strict: bool = False
+    verify: bool = True
 
     def __post_init__(self) -> None:
         if self.packing not in _PACKERS:
             raise ReproError(f"unknown packer {self.packing!r}")
+        if (
+            self.selection_time_budget_s is not None
+            and self.selection_time_budget_s <= 0
+        ):
+            raise ReproError("selection_time_budget_s must be positive")
+        if (
+            self.selection_state_budget is not None
+            and self.selection_state_budget <= 0
+        ):
+            raise ReproError("selection_state_budget must be positive")
         if self.selection not in (
             "gcd2", "local", "exhaustive", "pbqp", "chain", "uniform"
         ):
@@ -149,7 +192,11 @@ class CompiledNode:
 
 @dataclass
 class CompiledModel:
-    """A fully compiled model with its latency/profile estimates."""
+    """A fully compiled model with its latency/profile estimates.
+
+    ``diagnostics`` records what actually ran: solver fallbacks taken,
+    warnings, and per-stage/verifier timings.
+    """
 
     graph: ComputationalGraph
     options: CompilerOptions
@@ -158,6 +205,9 @@ class CompiledModel:
     transform_cycles: float
     profile: ExecutionProfile
     pipeline: PipelineModel = DEFAULT_PIPELINE
+    diagnostics: CompilationDiagnostics = field(
+        default_factory=CompilationDiagnostics
+    )
 
     @property
     def kernel_cycles(self) -> float:
@@ -178,36 +228,120 @@ class CompiledModel:
 
 
 class GCD2Compiler:
-    """Compiles computational graphs for the simulated mobile DSP."""
+    """Compiles computational graphs for the simulated mobile DSP.
 
-    def __init__(self, options: Optional[CompilerOptions] = None) -> None:
+    ``fault_hooks`` is the fault-injection seam: a ``{stage: mutator}``
+    mapping applied to stage artefacts before verification (see
+    :mod:`repro.verify.faultinject`).  Production compiles leave it
+    empty.
+    """
+
+    def __init__(
+        self,
+        options: Optional[CompilerOptions] = None,
+        fault_hooks: Optional[Dict[str, Callable]] = None,
+    ) -> None:
         self.options = options or CompilerOptions()
+        self.fault_hooks: Dict[str, Callable] = dict(fault_hooks or {})
         self._schedule_cache: Dict[Tuple, Tuple] = {}
 
     # -- public API ----------------------------------------------------------
 
     def compile(self, graph: ComputationalGraph) -> CompiledModel:
-        """Run the full pipeline on ``graph``."""
+        """Run the full verified pipeline on ``graph``."""
         options = self.options
-        if options.graph_passes:
-            graph = run_default_passes(graph)
+        diagnostics = CompilationDiagnostics()
+        pm = PassManager(
+            diagnostics,
+            verify=options.verify,
+            fault_hooks=self.fault_hooks,
+        )
+
+        # Stage 1 — graph-level optimization.
+        graph = pm.run(
+            "graph",
+            lambda: run_default_passes(graph)
+            if options.graph_passes
+            else graph,
+        )
+        pm.check("graph", verify_graph, graph)
+
         model = CostModel(
             include_extensions=options.include_extensions,
             other_opts=options.other_opts,
             scalar_activations=options.scalar_activations,
             transform_bytes_per_cycle=options.transform_bytes_per_cycle,
         )
-        selection = self._select(graph, model)
 
+        # Stage 2 — global layout & instruction selection (with the
+        # graceful-degradation ladder under the hood).
+        selection = pm.run(
+            "selection", lambda: self._select(graph, model, diagnostics)
+        )
+        pm.check("selection", verify_selection, graph, model, selection)
+
+        compute_nodes = [
+            node
+            for node in graph
+            if node.op_type not in ("Input", "Constant")
+        ]
+
+        # Stage 3 — shape-adaptive unrolling.
+        unrolls = pm.run(
+            "unroll",
+            lambda: {
+                node.node_id: self._unroll_for(
+                    graph, node, selection.plan_for(node.node_id)
+                )
+                for node in compute_nodes
+            },
+        )
+        pm.check("unroll", verify_unrolls, graph, unrolls)
+
+        # Stage 4 — lowering to pseudo-assembly.
+        kernels = pm.run(
+            "lowering",
+            lambda: {
+                node.node_id: lower_node(
+                    graph,
+                    node,
+                    selection.plan_for(node.node_id),
+                    unrolls[node.node_id],
+                    other_opts=options.other_opts,
+                )
+                for node in compute_nodes
+            },
+        )
+        pm.check("lowering", verify_lowering, graph, kernels)
+
+        # Stage 5 — SDA VLIW packing + per-node cycle estimation.
+        compiled_nodes = pm.run(
+            "packing",
+            lambda: [
+                self._assemble_node(
+                    graph,
+                    node,
+                    selection.plan_for(node.node_id),
+                    unrolls[node.node_id],
+                    kernels[node.node_id],
+                )
+                for node in compute_nodes
+            ],
+        )
+        pm.check("packing", verify_schedule, compiled_nodes)
+
+        # Final accounting — latency/utilization profile.
         profiler = Profiler()
-        compiled_nodes: List[CompiledNode] = []
-        for node in graph:
-            if node.op_type in ("Input", "Constant"):
-                continue
-            plan = selection.plan_for(node.node_id)
-            compiled_nodes.append(
-                self._compile_node(graph, node, plan, profiler)
-            )
+
+        def observe() -> ExecutionProfile:
+            for compiled in compiled_nodes:
+                profiler.observe_schedule(
+                    compiled.packets, repeats=compiled.kernel.trips
+                )
+            return profiler.profile
+
+        profile = pm.run("profile", observe)
+        pm.check("profile", verify_profile, profile)
 
         transform = selection.cost - sum(
             model.node_cost(graph, graph.node(n.node.node_id), n.plan)
@@ -220,28 +354,96 @@ class GCD2Compiler:
             selection=selection,
             nodes=compiled_nodes,
             transform_cycles=transform,
-            profile=profiler.profile,
+            profile=profile,
+            diagnostics=diagnostics,
         )
 
     # -- stages ---------------------------------------------------------------
 
     def _select(
-        self, graph: ComputationalGraph, model: CostModel
+        self,
+        graph: ComputationalGraph,
+        model: CostModel,
+        diagnostics: CompilationDiagnostics,
     ) -> SelectionResult:
+        """Selection with budget enforcement and the fallback ladder."""
         options = self.options
         if options.selection == "uniform":
             return self._select_uniform(graph, model)
+        rungs = self._selection_ladder(graph, model)
+        for index, (label, run) in enumerate(rungs):
+            budget = budget_from_options(options, label)
+            try:
+                return run(budget)
+            except BudgetExceeded as exc:
+                if options.strict or index + 1 == len(rungs):
+                    raise
+                diagnostics.record_fallback(
+                    label, rungs[index + 1][0], exc.message
+                )
+        raise ReproError(
+            "selection ladder exhausted"
+        )  # pragma: no cover - last rung is budget-free
+
+    def _selection_ladder(
+        self, graph: ComputationalGraph, model: CostModel
+    ) -> List[Tuple[str, Callable]]:
+        """The degradation ladder, starting at the requested solver.
+
+        ``exhaustive``/``pbqp`` degrade to ``gcd2(k)``, then
+        ``gcd2(k/2)``, then the chain DP when the graph is an in-tree,
+        and finally the budget-free ``local`` baseline — so a budgeted
+        compile always completes with *some* assignment and the
+        diagnostics record how far it had to fall.
+        """
+        options = self.options
+        k = options.max_operators
+
+        def gcd2_rung(operators: int) -> Tuple[str, Callable]:
+            return (
+                f"gcd2({operators})",
+                lambda budget, operators=operators: solve_gcd2(
+                    graph,
+                    model,
+                    max_operators=operators,
+                    budget=budget,
+                ),
+            )
+
         if options.selection == "local":
-            return solve_local(graph, model)
-        if options.selection == "exhaustive":
-            return solve_exhaustive(graph, model)
-        if options.selection == "pbqp":
-            return solve_pbqp(graph, model)
+            return [("local", lambda budget: solve_local(graph, model))]
         if options.selection == "chain":
-            return solve_chain(graph, model)
-        return solve_gcd2(
-            graph, model, max_operators=options.max_operators
-        )
+            # The chain DP is linear-time; misuse on a DAG raises
+            # SelectionError directly (no ladder involved).
+            return [("chain", lambda budget: solve_chain(graph, model))]
+
+        rungs: List[Tuple[str, Callable]] = []
+        if options.selection == "exhaustive":
+            rungs.append(
+                (
+                    "exhaustive",
+                    lambda budget: solve_exhaustive(
+                        graph, model, budget=budget
+                    ),
+                )
+            )
+        elif options.selection == "pbqp":
+            rungs.append(
+                (
+                    "pbqp",
+                    lambda budget: solve_pbqp(graph, model, budget=budget),
+                )
+            )
+        rungs.append(gcd2_rung(k))
+        half = max(2, k // 2)
+        if half < k:
+            rungs.append(gcd2_rung(half))
+        if is_in_tree(graph):
+            rungs.append(
+                ("chain-dp", lambda budget: solve_chain(graph, model))
+            )
+        rungs.append(("local", lambda budget: solve_local(graph, model)))
+        return rungs
 
     def _select_uniform(
         self, graph: ComputationalGraph, model: CostModel
@@ -293,17 +495,14 @@ class GCD2Compiler:
             return best
         return adaptive_unroll(m, n, plan.instruction)
 
-    def _compile_node(
+    def _assemble_node(
         self,
         graph: ComputationalGraph,
         node: Node,
         plan: ExecutionPlan,
-        profiler: Profiler,
+        unroll: UnrollPlan,
+        kernel: LoweredKernel,
     ) -> CompiledNode:
-        unroll = self._unroll_for(graph, node, plan)
-        kernel = lower_node(
-            graph, node, plan, unroll, other_opts=self.options.other_opts
-        )
         packets, per_iter, schedule_body = self._pack(kernel)
         # Kernel cost: the analytic model gives the compute volume at
         # reference (SDA + adaptive) quality; the measured schedule
@@ -326,7 +525,6 @@ class GCD2Compiler:
         # (software-managed prefetch), at half the compute sensitivity.
         memory_quality = 1.0 + (quality - 1.0) * 0.5
         cycles = max(compute * quality, memory * memory_quality)
-        profiler.observe_schedule(packets, repeats=kernel.trips)
         return CompiledNode(
             node=node,
             plan=plan,

@@ -25,6 +25,7 @@ from repro.core.cost import CostModel
 from repro.core.plans import ExecutionPlan
 from repro.core.selection_common import SelectionResult
 from repro.graph.graph import ComputationalGraph, Node
+from repro.verify.budget import SelectionBudget
 
 
 class _SearchTables:
@@ -138,6 +139,7 @@ def solve_exhaustive(
     include_boundary: bool = True,
     lookahead_consumers: bool = False,
     max_expansions: Optional[int] = None,
+    budget: Optional[SelectionBudget] = None,
 ) -> SelectionResult:
     """Find the minimum-``Agg_Cost`` assignment by exhaustive search.
 
@@ -167,6 +169,11 @@ def solve_exhaustive(
         Optional safety valve on search-tree nodes; exceeded searches
         raise :class:`SelectionError` (the paper's "impracticable even
         when there are 25 operators" observation, made explicit).
+    budget:
+        Optional wall-clock/state budget; expansions charge it and an
+        exceeded budget raises :class:`~repro.errors.BudgetExceeded`,
+        which the compiler's fallback ladder turns into a downgrade
+        instead of a failed compile.
 
     Returns
     -------
@@ -188,6 +195,10 @@ def solve_exhaustive(
     tables = _SearchTables(
         graph, model, order, fixed, include_boundary, lookahead_consumers
     )
+    if budget is not None:
+        # Table construction already touched |V| x k cells; charge it so
+        # state budgets bound total effort, not just the search loop.
+        budget.charge(sum(len(plans) for plans in tables.plan_sets))
 
     if prune:
         best_choices, best_cost = tables.greedy()
@@ -216,6 +227,8 @@ def solve_exhaustive(
                 raise SelectionError(
                     f"exhaustive search exceeded {max_expansions} expansions"
                 )
+            if budget is not None:
+                budget.charge()
             cost = cost_so_far + tables.marginal(index, p, choices)
             if prune and cost + tables.suffix_min[index + 1] >= best_cost:
                 continue

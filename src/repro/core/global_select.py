@@ -21,6 +21,7 @@ from repro.core.partition import partition
 from repro.core.plans import ExecutionPlan
 from repro.core.selection_common import SelectionResult, aggregate_cost
 from repro.graph.graph import ComputationalGraph
+from repro.verify.budget import SelectionBudget
 
 
 def solve_gcd2(
@@ -29,6 +30,7 @@ def solve_gcd2(
     *,
     max_operators: int = 13,
     include_boundary: bool = True,
+    budget: Optional[SelectionBudget] = None,
 ) -> SelectionResult:
     """Partitioned global selection — the paper's GCD2(k).
 
@@ -37,6 +39,10 @@ def solve_gcd2(
     max_operators:
         Maximum operators optimized jointly per partition (13 and 17
         are the configurations evaluated in Figure 10).
+    budget:
+        Optional wall-clock/state budget shared across all partition
+        searches; exceeding it raises
+        :class:`~repro.errors.BudgetExceeded`.
 
     Notes
     -----
@@ -66,6 +72,7 @@ def solve_gcd2(
             prune=True,
             include_boundary=include_boundary,
             lookahead_consumers=True,
+            budget=budget,
         )
         assignment.update(sub.assignment)
 

@@ -31,6 +31,7 @@ from repro.core.cost import CostModel
 from repro.core.plans import ExecutionPlan
 from repro.core.selection_common import SelectionResult, aggregate_cost
 from repro.graph.graph import ComputationalGraph
+from repro.verify.budget import SelectionBudget
 
 
 class _PbqpGraph:
@@ -83,8 +84,15 @@ def solve_pbqp(
     model: CostModel,
     *,
     include_boundary: bool = True,
+    budget: Optional[SelectionBudget] = None,
 ) -> SelectionResult:
-    """Solve the selection problem with the PBQP reduction heuristic."""
+    """Solve the selection problem with the PBQP reduction heuristic.
+
+    ``budget`` (if given) is charged per cost-table cell and per
+    reduction state; an exceeded budget raises
+    :class:`~repro.errors.BudgetExceeded` for the compiler's fallback
+    ladder to handle.
+    """
     start = time.perf_counter()
 
     plan_sets: Dict[int, Tuple[ExecutionPlan, ...]] = {}
@@ -104,6 +112,8 @@ def solve_pbqp(
             ]
         )
         pbqp.add_node(node.node_id, costs)
+        if budget is not None:
+            budget.charge(costs.size)
     for src, dst in graph.edges():
         src_node, dst_node = graph.node(src), graph.node(dst)
         matrix = np.array(
@@ -116,6 +126,8 @@ def solve_pbqp(
             ]
         )
         pbqp.add_edge_costs(src, dst, matrix)
+        if budget is not None:
+            budget.charge(matrix.size)
 
     # ``deciders`` run in reverse at reconstruction time: each closure
     # reads already-decided neighbours and returns this node's plan index.
@@ -124,6 +136,8 @@ def solve_pbqp(
     def reduce_r1(u: int) -> None:
         (v,) = pbqp.adjacency[u]
         m = pbqp.matrix(u, v)
+        if budget is not None:
+            budget.charge(m.size)
         folded = pbqp.vectors[u][:, None] + m
         pbqp.vectors[v] += folded.min(axis=0)
         choice_for = folded.argmin(axis=0)
@@ -139,6 +153,8 @@ def solve_pbqp(
             + muv[:, :, None]
             + muw[:, None, :]
         )
+        if budget is not None:
+            budget.charge(stacked.size)
         pbqp.add_edge_costs(v, w, stacked.min(axis=0))
         choice_for = stacked.argmin(axis=0)
         deciders.append(
@@ -152,6 +168,8 @@ def solve_pbqp(
     def reduce_rn(u: int) -> None:
         vector = pbqp.vectors[u].copy()
         for v in pbqp.adjacency[u]:
+            if budget is not None:
+                budget.charge(pbqp.matrix(u, v).size)
             vector += pbqp.matrix(u, v).min(axis=1)
         i = int(vector.argmin())
         for v in list(pbqp.adjacency[u]):
@@ -161,6 +179,8 @@ def solve_pbqp(
 
     remaining = set(pbqp.vectors)
     while remaining:
+        if budget is not None:
+            budget.check_deadline()
         degree_of = {nid: pbqp.degree(nid) for nid in remaining}
         r0 = [nid for nid, d in degree_of.items() if d == 0]
         if r0:

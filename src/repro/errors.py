@@ -3,11 +3,62 @@
 Every error raised by the library derives from :class:`ReproError` so that
 callers can catch library failures with a single ``except`` clause while
 still being able to distinguish the subsystem that failed.
+
+Errors carry optional structured context — the pipeline *stage* that was
+running, the graph *node* involved, and a free-form *details* mapping —
+so a verifier failure deep inside a compile points straight at the
+offending artefact instead of forcing the caller to rebuild the story
+from a bare message.
 """
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional, Union
 
 
 class ReproError(Exception):
-    """Base class for all errors raised by the library."""
+    """Base class for all errors raised by the library.
+
+    Parameters
+    ----------
+    message:
+        Human-readable description of the failure.
+    stage:
+        Pipeline stage that was running (``"selection"``, ``"packing"``,
+        ``"runtime"``, …) when the error was raised.
+    node:
+        Graph node involved — an id or a name, whichever the raiser has.
+    details:
+        Extra structured context (offending artefact, limits, counters).
+    """
+
+    def __init__(
+        self,
+        message: str = "",
+        *,
+        stage: Optional[str] = None,
+        node: Optional[Union[int, str]] = None,
+        details: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        super().__init__(message)
+        self.message = message
+        self.stage = stage
+        self.node = node
+        self.details: Dict[str, Any] = dict(details or {})
+
+    def __str__(self) -> str:
+        parts = []
+        if self.stage is not None:
+            parts.append(f"[{self.stage}]")
+        if self.node is not None:
+            parts.append(f"node {self.node}:")
+        parts.append(self.message)
+        if self.details:
+            rendered = ", ".join(
+                f"{key}={value!r}" for key, value in self.details.items()
+            )
+            parts.append(f"({rendered})")
+        return " ".join(part for part in parts if part)
 
 
 class IsaError(ReproError):
@@ -48,3 +99,41 @@ class CodegenError(ReproError):
 
 class SimulationError(ReproError):
     """Raised when the machine simulator encounters an illegal state."""
+
+
+class BudgetExceeded(ReproError):
+    """Raised when a solver blows through its wall-clock/state budget.
+
+    The compiler catches this and degrades down the solver ladder
+    (``exhaustive -> gcd2(k) -> gcd2(k/2) -> chain -> local``) unless
+    ``CompilerOptions.strict`` turns degradation into a hard error.
+    """
+
+
+class VerificationError(ReproError):
+    """Base class for pipeline invariant violations found by verifiers.
+
+    A verification error means a compiler stage produced an artefact
+    that breaks an invariant the rest of the pipeline relies on — i.e.
+    a compiler bug or a corrupted artefact, never bad user input.
+    """
+
+
+class GraphVerificationError(VerificationError, GraphError):
+    """The optimized graph violates well-formedness invariants."""
+
+
+class SelectionVerificationError(VerificationError, SelectionError):
+    """The selection result is incomplete or its cost is inconsistent."""
+
+
+class LoweringVerificationError(VerificationError, CodegenError):
+    """A lowered kernel is structurally invalid (empty body, bad trips)."""
+
+
+class ScheduleVerificationError(VerificationError, SchedulingError):
+    """A packed schedule is illegal or inconsistent with its kernel body."""
+
+
+class ProfileVerificationError(VerificationError, SimulationError):
+    """An execution profile reports impossible counters."""

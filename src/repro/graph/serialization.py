@@ -63,7 +63,13 @@ def _decode_op(payload: Dict[str, Any]) -> ops.Operator:
         key: tuple(value) if isinstance(value, list) else value
         for key, value in payload.items()
     }
-    op = cls(**kwargs)
+    try:
+        op = cls(**kwargs)
+    except (TypeError, ValueError) as exc:
+        raise GraphError(
+            f"invalid attributes for operator {op_type}: {exc}",
+            details={"attributes": sorted(kwargs)},
+        ) from exc
     op.fused_activation = fused
     return op
 
@@ -90,19 +96,60 @@ def graph_from_dict(payload: Dict[str, Any]) -> ComputationalGraph:
     Shapes are re-inferred on load, so a file edited by hand is
     re-validated the same way a freshly built graph is.
     """
+    if not isinstance(payload, dict):
+        raise GraphError(
+            f"graph payload must be an object, got {type(payload).__name__}"
+        )
     version = payload.get("format_version")
     if version != FORMAT_VERSION:
         raise GraphError(
             f"unsupported graph format version {version!r} "
             f"(expected {FORMAT_VERSION})"
         )
+    nodes = payload.get("nodes", [])
+    if not isinstance(nodes, list):
+        raise GraphError("'nodes' must be a list")
+
     graph = ComputationalGraph(name=payload.get("name", "graph"))
-    for entry in payload.get("nodes", []):
-        graph.add(
-            _decode_op(entry["op"]),
-            entry.get("inputs", []),
-            name=entry.get("name"),
-        )
+    seen_names = set()
+    for index, entry in enumerate(nodes):
+        if not isinstance(entry, dict):
+            raise GraphError(
+                f"node entry #{index} must be an object, "
+                f"got {type(entry).__name__}"
+            )
+        op_payload = entry.get("op")
+        if not isinstance(op_payload, dict):
+            raise GraphError(
+                f"node entry #{index} is missing its 'op' object",
+                node=entry.get("name", index),
+            )
+        inputs = entry.get("inputs", [])
+        if not isinstance(inputs, list):
+            raise GraphError(
+                "'inputs' must be a list of node ids",
+                node=entry.get("name", index),
+            )
+        for ref in inputs:
+            # Node ids are assigned sequentially on add, so a valid
+            # reference is an int pointing at an earlier entry.
+            if not isinstance(ref, int) or isinstance(ref, bool) \
+                    or not 0 <= ref < index:
+                raise GraphError(
+                    f"edge references nonexistent node id {ref!r}",
+                    node=entry.get("name", index),
+                    details={"valid_ids": f"0..{index - 1}"},
+                )
+        name = entry.get("name")
+        if name is not None and name in seen_names:
+            raise GraphError(
+                f"duplicate node name {name!r}",
+                node=name,
+                details={"entry": index},
+            )
+        graph.add(_decode_op(op_payload), inputs, name=name)
+        if name is not None:
+            seen_names.add(name)
     graph.validate()
     return graph
 

@@ -10,7 +10,9 @@ their output against the paper's numbers.
 from __future__ import annotations
 
 import math
-from typing import Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.errors import ReproError
 
 from repro.analysis.metrics import fps, fpw, geometric_mean, speedup
 from repro.baselines.frameworks import (
@@ -89,12 +91,34 @@ def gcd2_latency_ms(
     return compiled.latency_ms + dispatch
 
 
+def safe_row(label: str, build: Callable[[], Dict], *, key: str = "model") -> Dict:
+    """Build one experiment row, isolating failures.
+
+    A model that fails to compile (or execute) yields a diagnostic row
+    carrying the structured error instead of killing the whole table —
+    the remaining models still report their numbers.
+    """
+    try:
+        return build()
+    except ReproError as exc:
+        return {key: label, "error": f"{type(exc).__name__}: {exc}"}
+
+
 def print_rows(title: str, rows: Sequence[Dict]) -> None:
-    """Render rows as an aligned text table."""
+    """Render rows as an aligned text table.
+
+    Headers are the union across all rows (in first-appearance order),
+    so diagnostic rows with an ``error`` column render alongside the
+    healthy ones.
+    """
     if not rows:
         print(f"== {title} == (no rows)")
         return
-    headers = list(rows[0].keys())
+    headers: List = []
+    for row in rows:
+        for header in row:
+            if header not in headers:
+                headers.append(header)
     widths = {
         h: max(len(str(h)), *(len(_fmt(r.get(h))) for r in rows))
         for h in headers
@@ -131,8 +155,8 @@ TABLE1_PAPER = {
 
 def table1() -> List[Dict]:
     """Latency and power of mobile CPU/GPU/DSP running TFLite."""
-    rows = []
-    for name in TABLE1_MODELS:
+
+    def build(name: str) -> Dict:
         graph = build_model(name)
         info = MODELS[name]
         cpu_ms = MOBILE_CPU.latency_ms(graph)
@@ -141,21 +165,23 @@ def table1() -> List[Dict]:
         profile = framework_profile(graph, info, FRAMEWORKS["tflite"])
         dsp_watts = dsp_power_watts(profile.slot_occupancy)
         paper = TABLE1_PAPER[name]
-        rows.append(
-            {
-                "model": name,
-                "cpu_ms": cpu_ms,
-                "gpu_ms": gpu_ms,
-                "dsp_ms": dsp_ms,
-                "cpu_power_x": MOBILE_CPU.power_watts / dsp_watts,
-                "gpu_power_x": MOBILE_GPU.power_watts / dsp_watts,
-                "dsp_power_x": 1.0,
-                "paper_cpu_ms": paper[0],
-                "paper_gpu_ms": paper[1],
-                "paper_dsp_ms": paper[2],
-            }
-        )
-    return rows
+        return {
+            "model": name,
+            "cpu_ms": cpu_ms,
+            "gpu_ms": gpu_ms,
+            "dsp_ms": dsp_ms,
+            "cpu_power_x": MOBILE_CPU.power_watts / dsp_watts,
+            "gpu_power_x": MOBILE_GPU.power_watts / dsp_watts,
+            "dsp_power_x": 1.0,
+            "paper_cpu_ms": paper[0],
+            "paper_gpu_ms": paper[1],
+            "paper_dsp_ms": paper[2],
+        }
+
+    return [
+        safe_row(name, lambda name=name: build(name))
+        for name in TABLE1_MODELS
+    ]
 
 
 # ---------------------------------------------------------------------------
@@ -251,7 +277,8 @@ def table4() -> List[Dict]:
     """Overall latency: TFLite vs SNPE vs GCD2 on the ten models."""
     rows = []
     speedups_t, speedups_s = [], []
-    for name, info in MODELS.items():
+
+    def build(name: str, info: ModelInfo) -> Dict:
         graph = build_model(name)
         ours = gcd2_latency_ms(name)
         tflite = framework_latency_ms(graph, info, FRAMEWORKS["tflite"])
@@ -262,21 +289,24 @@ def table4() -> List[Dict]:
             speedups_t.append(over_t)
         if over_s:
             speedups_s.append(over_s)
+        return {
+            "model": name,
+            "tflite_ms": tflite,
+            "snpe_ms": snpe,
+            "gcd2_ms": ours,
+            "over_tflite": over_t,
+            "over_snpe": over_s,
+            "paper_over_t": (
+                info.tflite_ms / info.gcd2_ms if info.tflite_ms else None
+            ),
+            "paper_over_s": (
+                info.snpe_ms / info.gcd2_ms if info.snpe_ms else None
+            ),
+        }
+
+    for name, info in MODELS.items():
         rows.append(
-            {
-                "model": name,
-                "tflite_ms": tflite,
-                "snpe_ms": snpe,
-                "gcd2_ms": ours,
-                "over_tflite": over_t,
-                "over_snpe": over_s,
-                "paper_over_t": (
-                    info.tflite_ms / info.gcd2_ms if info.tflite_ms else None
-                ),
-                "paper_over_s": (
-                    info.snpe_ms / info.gcd2_ms if info.snpe_ms else None
-                ),
-            }
+            safe_row(name, lambda name=name, info=info: build(name, info))
         )
     rows.append(
         {
@@ -308,18 +338,19 @@ def table5() -> List[Dict]:
                 "fpw": spec.fpw,
             }
         )
-    latency = gcd2_latency_ms("resnet50")
-    profile = compile_cached("resnet50").profile
-    watts = dsp_power_watts(profile.slot_occupancy)
-    rows.append(
-        {
+    def gcd2_row() -> Dict:
+        latency = gcd2_latency_ms("resnet50")
+        profile = compile_cached("resnet50").profile
+        watts = dsp_power_watts(profile.slot_occupancy)
+        return {
             "platform": "GCD2 (ours)",
             "device": "DSP (int8)",
             "fps": fps(latency),
             "power_w": watts,
             "fpw": fpw(latency, watts),
         }
-    )
+
+    rows.append(safe_row("GCD2 (ours)", gcd2_row, key="platform"))
     return rows
 
 
@@ -398,8 +429,7 @@ def figure8() -> List[Dict]:
     bandwidth is total data moved (activations + layout repacking) over
     execution time.
     """
-    rows = []
-    for name in REPRESENTATIVE_MODELS:
+    def build(name: str) -> Dict:
         graph = build_model(name)
         info = MODELS[name]
         compiled = compile_cached(name)
@@ -432,8 +462,12 @@ def figure8() -> List[Dict]:
                 100.0 * profile.slot_occupancy / ours_occ
             )
             row[f"{key}_bw_%"] = 100.0 * bw / ours_bw
-        rows.append(row)
-    return rows
+        return row
+
+    return [
+        safe_row(name, lambda name=name: build(name))
+        for name in REPRESENTATIVE_MODELS
+    ]
 
 
 # ---------------------------------------------------------------------------
@@ -493,8 +527,8 @@ FIG9_CONFIGS = [
 
 def figure9() -> List[Dict]:
     """Speedup over the no-opt baseline as optimizations stack up."""
-    rows = []
-    for name in REPRESENTATIVE_MODELS:
+
+    def build(name: str) -> Dict:
         row = {"model": name}
         base: Optional[float] = None
         for label, options in FIG9_CONFIGS:
@@ -502,8 +536,12 @@ def figure9() -> List[Dict]:
             if base is None:
                 base = latency
             row[label] = base / latency
-        rows.append(row)
-    return rows
+        return row
+
+    return [
+        safe_row(name, lambda name=name: build(name))
+        for name in REPRESENTATIVE_MODELS
+    ]
 
 
 # ---------------------------------------------------------------------------
@@ -575,24 +613,26 @@ def figure10(sizes: Sequence[int] = (10, 15, 20, 25)) -> List[Dict]:
 
 def figure11() -> List[Dict]:
     """SDA vs soft_to_hard vs soft_to_none on whole models."""
-    rows = []
-    for name in REPRESENTATIVE_MODELS:
+
+    def build(name: str) -> Dict:
         latencies = {}
         for packing in ("soft_to_hard", "soft_to_none", "sda"):
             options = CompilerOptions(packing=packing)
             latencies[packing] = gcd2_latency_ms(name, options)
-        rows.append(
-            {
-                "model": name,
-                "vs_soft_to_hard": (
-                    latencies["soft_to_hard"] / latencies["sda"]
-                ),
-                "vs_soft_to_none": (
-                    latencies["soft_to_none"] / latencies["sda"]
-                ),
-            }
-        )
-    return rows
+        return {
+            "model": name,
+            "vs_soft_to_hard": (
+                latencies["soft_to_hard"] / latencies["sda"]
+            ),
+            "vs_soft_to_none": (
+                latencies["soft_to_none"] / latencies["sda"]
+            ),
+        }
+
+    return [
+        safe_row(name, lambda name=name: build(name))
+        for name in REPRESENTATIVE_MODELS
+    ]
 
 
 # ---------------------------------------------------------------------------
@@ -679,8 +719,8 @@ FIG13_MODELS = ("efficientnet_b0", "resnet50", "pixor", "cyclegan")
 
 def figure13() -> List[Dict]:
     """Total power and frames/watt: DSP frameworks vs TFLite-GPU."""
-    rows = []
-    for name in FIG13_MODELS:
+
+    def build(name: str) -> Dict:
         graph = build_model(name)
         info = MODELS[name]
         entries = {}
@@ -704,8 +744,12 @@ def figure13() -> List[Dict]:
         for key, (latency, watts) in entries.items():
             row[f"{key}_W"] = watts
             row[f"{key}_fpw"] = fpw(latency, watts)
-        rows.append(row)
-    return rows
+        return row
+
+    return [
+        safe_row(name, lambda name=name: build(name))
+        for name in FIG13_MODELS
+    ]
 
 
 def run_all(verbose: bool = True) -> Dict[str, List[Dict]]:

@@ -18,7 +18,7 @@ from typing import Dict, Optional
 
 import numpy as np
 
-from repro.errors import SimulationError
+from repro.errors import QuantizationError, SimulationError
 from repro.compiler import CompiledModel
 from repro.codegen.matmul import matmul_int32
 from repro.graph import ops
@@ -36,12 +36,25 @@ class QuantizedExecutor:
     post-training calibration); weights come from the same seeded
     generator the reference executor uses, so quantized and float runs
     are directly comparable.
+
+    ``kernel_mac_limit`` bounds the per-GEMM work routed through the
+    simulated instruction kernels (which are semantic-level Python
+    loops): products above the limit use the direct int32 matmul
+    instead, which the kernel test suite proves bit-for-bit identical —
+    same integers, tractable on ImageNet-sized models.  ``None`` (the
+    default) always uses the instruction kernels.
     """
 
-    def __init__(self, compiled: CompiledModel, seed: int = 0) -> None:
+    def __init__(
+        self,
+        compiled: CompiledModel,
+        seed: int = 0,
+        kernel_mac_limit: Optional[int] = None,
+    ) -> None:
         self.compiled = compiled
         self.graph = compiled.graph
         self.reference = ReferenceExecutor(self.graph, seed=seed)
+        self.kernel_mac_limit = kernel_mac_limit
         self._plan_by_node = {
             cn.node.node_id: cn.plan for cn in compiled.nodes
         }
@@ -112,7 +125,15 @@ class QuantizedExecutor:
         try:
             a_float, b_float = np.broadcast_arrays(a_float, b_float)
         except ValueError as exc:  # pragma: no cover - shapes pre-checked
-            raise SimulationError(f"{node.name}: broadcast failed") from exc
+            raise SimulationError(
+                "broadcast failed",
+                stage="runtime",
+                node=node.name,
+                details={
+                    "lhs": inputs[0].shape,
+                    "rhs": inputs[1].shape,
+                },
+            ) from exc
         out_bound = max(
             1e-9, float(np.abs(a_float).max() + np.abs(b_float).max())
         )
@@ -124,13 +145,41 @@ class QuantizedExecutor:
             multiplier, shift = requantize_multiplier(
                 params.scale / out_scale / 4.0
             )
-            rescaled = (levels * multiplier) >> (shift - 2)
+            rescaled = self._fixed_point_rescale(
+                node, levels, multiplier, shift - 2
+            )
             acc = acc + rescaled if (index == 0 or isinstance(op, ops.Add)) \
                 else acc - rescaled
         from repro.isa import semantics
 
         narrowed = semantics.saturate_to_int8(semantics.vasr(acc, 0))
         return narrowed.astype(np.float64) * out_scale
+
+    @staticmethod
+    def _fixed_point_rescale(
+        node, levels: np.ndarray, multiplier: int, shift: int
+    ) -> np.ndarray:
+        """``(levels * multiplier) >> shift`` with a guarded shift.
+
+        ``requantize_multiplier`` normalizes the multiplier into
+        ``[2^14, 2^15)``, so for the usual add/sub rescale ratios the
+        effective shift is comfortably positive.  A pathological scale
+        ratio can push it to zero or below, and a negative right-shift
+        is undefined on real ISAs (and silently wrong in numpy), so
+        pre-scale the multiplier by the deficit instead — and refuse
+        outright once that pre-scaling would overflow the int32
+        multiplier lane.
+        """
+        if shift < 0:
+            if multiplier << -shift > 2 ** 31 - 1:
+                raise QuantizationError(
+                    "rescale shift underflow beyond the multiplier range",
+                    stage="runtime",
+                    node=node.name,
+                    details={"multiplier": multiplier, "shift": shift},
+                )
+            return levels * (multiplier << -shift)
+        return (levels * multiplier) >> shift
 
     def _quantized_relu(self, value: np.ndarray) -> np.ndarray:
         """ReLU on quantized levels (max against the zero level)."""
@@ -199,17 +248,36 @@ class QuantizedExecutor:
     def _gemm_2d(self, node, a_float, b_float, plan) -> np.ndarray:
         if a_float.size == 0 or b_float.size == 0:
             raise SimulationError(
-                f"{node.name}: degenerate GEMM operand "
-                f"{a_float.shape} x {b_float.shape}"
+                "degenerate GEMM operand",
+                stage="runtime",
+                node=node.name,
+                details={"lhs": a_float.shape, "rhs": b_float.shape},
             )
         a_params = self._params_for(a_float)
         b_params = self._params_for(b_float)
         a_q = a_params.quantize(a_float)
         b_q = b_params.quantize(b_float)
-        acc = matmul_int32(a_q, b_q, plan.instruction)
+        macs = a_q.shape[0] * a_q.shape[1] * b_q.shape[1]
+        if (
+            self.kernel_mac_limit is not None
+            and macs > self.kernel_mac_limit
+        ):
+            # int8 x int8 products accumulate exactly in float64 (the
+            # worst case is far below 2^53), so the BLAS path returns
+            # the identical int32 accumulator the kernels would.
+            acc = (
+                a_q.astype(np.float64) @ b_q.astype(np.float64)
+            ).astype(np.int32)
+        else:
+            acc = matmul_int32(a_q, b_q, plan.instruction)
         if acc.shape != (a_q.shape[0], b_q.shape[1]):
             raise SimulationError(
-                f"{node.name}: kernel produced {acc.shape}, expected "
-                f"{(a_q.shape[0], b_q.shape[1])}"
+                "kernel produced a mismatched output shape",
+                stage="runtime",
+                node=node.name,
+                details={
+                    "got": acc.shape,
+                    "expected": (a_q.shape[0], b_q.shape[1]),
+                },
             )
         return acc.astype(np.float64) * (a_params.scale * b_params.scale)

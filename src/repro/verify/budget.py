@@ -1,0 +1,111 @@
+"""Effort budgets for the selection solvers.
+
+``exhaustive`` and ``pbqp`` are exponential in the worst case (the
+paper reports the raw search exceeding 80 hours at 25 operators), so
+production compiles bound them: a :class:`SelectionBudget` carries a
+wall-clock deadline and/or a state-count ceiling, the solvers charge it
+as they expand states, and exceeding either limit raises
+:class:`~repro.errors.BudgetExceeded` — which the compiler's fallback
+ladder turns into a graceful downgrade instead of a hung process.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Optional
+
+from repro.errors import BudgetExceeded
+
+#: Wall-clock is polled once per this many charges, so the deadline
+#: check stays off the search loop's critical path.
+_CLOCK_POLL_INTERVAL = 256
+
+
+class SelectionBudget:
+    """Tracks solver effort against wall-clock and state-count limits.
+
+    Parameters
+    ----------
+    time_budget_s:
+        Maximum wall-clock seconds from construction; ``None`` = unbounded.
+    state_budget:
+        Maximum abstract "states" (search expansions, table cells,
+        reduction entries) the solver may touch; ``None`` = unbounded.
+    solver:
+        Label reported in the :class:`BudgetExceeded` context.
+    """
+
+    def __init__(
+        self,
+        time_budget_s: Optional[float] = None,
+        state_budget: Optional[int] = None,
+        solver: str = "",
+    ) -> None:
+        self.time_budget_s = time_budget_s
+        self.state_budget = state_budget
+        self.solver = solver
+        self.states = 0
+        self._start = time.perf_counter()
+        self._deadline = (
+            self._start + time_budget_s if time_budget_s is not None else None
+        )
+        self._charges_since_poll = 0
+
+    @property
+    def bounded(self) -> bool:
+        """Whether any limit is actually set."""
+        return self.time_budget_s is not None or self.state_budget is not None
+
+    def elapsed(self) -> float:
+        return time.perf_counter() - self._start
+
+    def charge(self, states: int = 1) -> None:
+        """Account ``states`` units of work; raises when over budget."""
+        self.states += states
+        if (
+            self.state_budget is not None
+            and self.states > self.state_budget
+        ):
+            raise BudgetExceeded(
+                f"{self.solver or 'selection'} exceeded its state budget",
+                stage="selection",
+                details={
+                    "solver": self.solver,
+                    "states": self.states,
+                    "state_budget": self.state_budget,
+                },
+            )
+        if self._deadline is None:
+            return
+        self._charges_since_poll += 1
+        if self._charges_since_poll < _CLOCK_POLL_INTERVAL:
+            return
+        self._charges_since_poll = 0
+        self.check_deadline()
+
+    def check_deadline(self) -> None:
+        """Unconditional wall-clock check (used at loop boundaries)."""
+        if self._deadline is not None and time.perf_counter() > self._deadline:
+            raise BudgetExceeded(
+                f"{self.solver or 'selection'} exceeded its time budget",
+                stage="selection",
+                details={
+                    "solver": self.solver,
+                    "elapsed_s": round(self.elapsed(), 4),
+                    "time_budget_s": self.time_budget_s,
+                },
+            )
+
+
+def budget_from_options(options, solver: str) -> Optional[SelectionBudget]:
+    """A fresh budget from ``CompilerOptions``, or ``None`` if unbounded."""
+    if (
+        options.selection_time_budget_s is None
+        and options.selection_state_budget is None
+    ):
+        return None
+    return SelectionBudget(
+        time_budget_s=options.selection_time_budget_s,
+        state_budget=options.selection_state_budget,
+        solver=solver,
+    )

@@ -1,0 +1,316 @@
+"""Invariant checkers run between compiler stages.
+
+Each checker inspects one stage's artefact and raises a
+:class:`~repro.errors.VerificationError` subclass carrying structured
+context (stage, node, offending artefact) when an invariant is broken.
+They are deliberately independent re-derivations — the selection
+checker re-aggregates ``Agg_Cost`` from the cost model, the schedule
+checker re-validates every packet against the hardware resource rules —
+so a bug (or an injected fault) in the producing stage cannot also hide
+itself in the check.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Mapping
+
+from repro.errors import (
+    GraphError,
+    GraphVerificationError,
+    LoweringVerificationError,
+    ProfileVerificationError,
+    ScheduleVerificationError,
+    SelectionVerificationError,
+)
+from repro.graph.graph import ComputationalGraph
+from repro.isa.dependencies import DependencyKind, classify_dependency
+from repro.machine.packet import MAX_PACKET_SLOTS, packet_is_legal
+
+#: Relative tolerance for the recomputed-versus-reported cost check.
+COST_TOLERANCE = 1e-6
+
+#: Node kinds that never receive an execution plan or a kernel.
+_PLACEHOLDER_OPS = ("Input", "Constant")
+
+
+# ---------------------------------------------------------------------------
+# graph well-formedness
+# ---------------------------------------------------------------------------
+
+
+def verify_graph(graph: ComputationalGraph) -> None:
+    """Acyclic, no dangling input ids, unique names, shapes inferred.
+
+    The per-node structural checks run before the whole-graph
+    ``validate()`` so the raised error names the offending node, not
+    just the graph.
+    """
+    names = set()
+    known = {node.node_id for node in graph}
+    for node in graph:
+        for input_id in node.inputs:
+            if input_id not in known:
+                raise GraphVerificationError(
+                    f"input edge references nonexistent node id {input_id}",
+                    stage="graph",
+                    node=node.name,
+                    details={"input_id": input_id},
+                )
+        if node.name in names:
+            raise GraphVerificationError(
+                f"duplicate node name {node.name!r}",
+                stage="graph",
+                node=node.node_id,
+            )
+        names.add(node.name)
+        shape = node.output_shape
+        if not isinstance(shape, tuple) or not all(
+            isinstance(dim, int) and dim > 0 for dim in shape
+        ):
+            raise GraphVerificationError(
+                f"output shape not inferred: {shape!r}",
+                stage="graph",
+                node=node.name,
+                details={"shape": shape},
+            )
+    try:
+        graph.validate()
+    except GraphError as exc:
+        raise GraphVerificationError(
+            str(exc), stage="graph", details={"graph": graph.name}
+        ) from exc
+
+
+# ---------------------------------------------------------------------------
+# selection completeness / cost consistency
+# ---------------------------------------------------------------------------
+
+
+def verify_selection(
+    graph: ComputationalGraph,
+    model,
+    selection,
+    *,
+    tolerance: float = COST_TOLERANCE,
+) -> None:
+    """Every operator has a plan and the reported cost is reproducible."""
+    from repro.core.selection_common import aggregate_cost
+
+    for node in graph:
+        if node.op_type in _PLACEHOLDER_OPS:
+            continue
+        plan = selection.assignment.get(node.node_id)
+        if plan is None:
+            raise SelectionVerificationError(
+                "no execution plan assigned",
+                stage="selection",
+                node=node.name,
+                details={"solver": selection.solver},
+            )
+        if node.op.is_compute_heavy and plan.instruction is None:
+            raise SelectionVerificationError(
+                "compute-heavy operator selected without an instruction",
+                stage="selection",
+                node=node.name,
+                details={"plan": plan.label, "solver": selection.solver},
+            )
+    cost = selection.cost
+    if not math.isfinite(cost) or cost < 0.0:
+        raise SelectionVerificationError(
+            f"Agg_Cost is not finite and non-negative: {cost!r}",
+            stage="selection",
+            details={"solver": selection.solver},
+        )
+    recomputed = aggregate_cost(graph, model, selection.assignment)
+    if abs(recomputed - cost) > tolerance * max(1.0, abs(recomputed)):
+        raise SelectionVerificationError(
+            "reported Agg_Cost does not match the recomputed objective",
+            stage="selection",
+            details={
+                "solver": selection.solver,
+                "reported": cost,
+                "recomputed": recomputed,
+            },
+        )
+
+
+# ---------------------------------------------------------------------------
+# unroll / lowering structure
+# ---------------------------------------------------------------------------
+
+
+def verify_unrolls(graph: ComputationalGraph, unrolls: Mapping[int, object]) -> None:
+    """Unroll factors are positive integers."""
+    for node_id, unroll in unrolls.items():
+        for attr in ("outer", "mid"):
+            factor = getattr(unroll, attr)
+            if not isinstance(factor, int) or factor < 1:
+                raise LoweringVerificationError(
+                    f"{attr} unroll factor must be a positive int, "
+                    f"got {factor!r}",
+                    stage="unroll",
+                    node=graph.node(node_id).name,
+                    details={"unroll": unroll},
+                )
+
+
+def verify_lowering(
+    graph: ComputationalGraph, kernels: Mapping[int, object]
+) -> None:
+    """Lowered kernels have non-empty bodies and sane trip counts."""
+    for node_id, kernel in kernels.items():
+        name = graph.node(node_id).name
+        if not kernel.body:
+            raise LoweringVerificationError(
+                "lowered kernel body is empty (truncated lowering)",
+                stage="lowering",
+                node=name,
+                details={"description": kernel.description},
+            )
+        trips = kernel.trips
+        if not isinstance(trips, int) or trips < 1:
+            raise LoweringVerificationError(
+                f"trip count must be a positive int, got {trips!r}",
+                stage="lowering",
+                node=name,
+                details={"description": kernel.description},
+            )
+
+
+# ---------------------------------------------------------------------------
+# schedule legality
+# ---------------------------------------------------------------------------
+
+
+def verify_schedule(compiled_nodes: Iterable) -> None:
+    """Re-check every packed schedule against the hardware rules.
+
+    Validates, per compiled node: every packet against the slot /
+    resource / single-store constraints (which also forbids co-packed
+    hard-dependent pairs), the bijection between the kernel body and
+    the scheduled instructions, dependency order across packets
+    (def-before-use over the packed body), and a finite non-negative
+    cycle estimate.
+    """
+    checked: set = set()
+    for compiled in compiled_nodes:
+        name = compiled.node.name
+        if not (
+            isinstance(compiled.cycles, (int, float))
+            and math.isfinite(compiled.cycles)
+            and compiled.cycles >= 0.0
+        ):
+            raise ScheduleVerificationError(
+                f"kernel cycle estimate is not finite and non-negative: "
+                f"{compiled.cycles!r}",
+                stage="packing",
+                node=name,
+            )
+        # Identical bodies share one cached schedule object; verify each
+        # distinct schedule once.
+        key = id(compiled.packets)
+        if key in checked:
+            continue
+        checked.add(key)
+        _verify_node_schedule(name, compiled.schedule_body, compiled.packets)
+
+
+def _verify_node_schedule(name: str, body: List, packets: List) -> None:
+    for index, packet in enumerate(packets):
+        if not packet_is_legal(packet.instructions):
+            raise ScheduleVerificationError(
+                f"illegal packet at position {index}: {packet!r}",
+                stage="packing",
+                node=name,
+                details={"packet_index": index},
+            )
+    position: Dict[int, int] = {}
+    for index, packet in enumerate(packets):
+        for inst in packet:
+            if inst.uid in position:
+                raise ScheduleVerificationError(
+                    f"instruction {inst.opcode.value} (uid {inst.uid}) "
+                    f"scheduled twice",
+                    stage="packing",
+                    node=name,
+                    details={"uid": inst.uid},
+                )
+            position[inst.uid] = index
+    body_uids = {inst.uid for inst in body}
+    missing = body_uids - set(position)
+    if missing:
+        raise ScheduleVerificationError(
+            f"schedule drops {len(missing)} body instruction(s)",
+            stage="packing",
+            node=name,
+            details={"missing_uids": sorted(missing)},
+        )
+    foreign = set(position) - body_uids
+    if foreign:
+        raise ScheduleVerificationError(
+            f"schedule contains {len(foreign)} instruction(s) not in the "
+            f"kernel body",
+            stage="packing",
+            node=name,
+            details={"foreign_uids": sorted(foreign)},
+        )
+    ordered = sorted(body, key=lambda inst: inst.uid)
+    for i, first in enumerate(ordered):
+        for second in ordered[i + 1:]:
+            kind = classify_dependency(first, second)
+            if kind is DependencyKind.NONE:
+                continue
+            if position[first.uid] > position[second.uid]:
+                raise ScheduleVerificationError(
+                    f"{kind.value} dependency inverted: "
+                    f"{first.opcode.value} (packet "
+                    f"{position[first.uid]}) must not execute after "
+                    f"{second.opcode.value} (packet "
+                    f"{position[second.uid]})",
+                    stage="packing",
+                    node=name,
+                    details={"first": first.uid, "second": second.uid},
+                )
+
+
+# ---------------------------------------------------------------------------
+# profile sanity
+# ---------------------------------------------------------------------------
+
+
+def verify_profile(profile) -> None:
+    """Counters are finite/non-negative and utilization lands in [0, 1]."""
+    for counter in (
+        "cycles",
+        "packets",
+        "issued_instructions",
+        "macs",
+        "bytes_loaded",
+        "bytes_stored",
+    ):
+        value = getattr(profile, counter)
+        if not math.isfinite(value) or value < 0:
+            raise ProfileVerificationError(
+                f"profile counter {counter} is not finite and "
+                f"non-negative: {value!r}",
+                stage="profile",
+                details={counter: value},
+            )
+    if profile.issued_instructions > profile.packets * MAX_PACKET_SLOTS:
+        raise ProfileVerificationError(
+            "profile reports more issued instructions than slots exist",
+            stage="profile",
+            details={
+                "issued_instructions": profile.issued_instructions,
+                "packets": profile.packets,
+            },
+        )
+    for metric in ("slot_occupancy", "mac_utilization"):
+        value = getattr(profile, metric)
+        if not 0.0 <= value <= 1.0:
+            raise ProfileVerificationError(
+                f"{metric} out of [0, 1]: {value!r}",
+                stage="profile",
+                details={metric: value},
+            )

@@ -1,0 +1,94 @@
+"""Compilation diagnostics: what *actually* ran during a compile.
+
+A :class:`CompilationDiagnostics` rides on every
+:class:`~repro.compiler.CompiledModel` and records solver downgrades,
+warnings and per-stage/verifier timings, so benchmarks and the CLI can
+report the configuration that really produced a number — not just the
+one that was requested.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+
+@dataclass(frozen=True)
+class FallbackRecord:
+    """One rung-to-rung downgrade of the selection ladder."""
+
+    from_solver: str
+    to_solver: str
+    reason: str
+
+    def __str__(self) -> str:
+        return f"{self.from_solver} -> {self.to_solver}: {self.reason}"
+
+
+@dataclass
+class CompilationDiagnostics:
+    """Everything noteworthy that happened during one compile."""
+
+    warnings: List[str] = field(default_factory=list)
+    fallbacks: List[FallbackRecord] = field(default_factory=list)
+    stage_seconds: Dict[str, float] = field(default_factory=dict)
+    verifier_seconds: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def degraded(self) -> bool:
+        """Whether selection fell back from the requested solver."""
+        return bool(self.fallbacks)
+
+    @property
+    def fallback_chain(self) -> List[str]:
+        """The solvers attempted, in order, ending with the one that ran."""
+        if not self.fallbacks:
+            return []
+        chain = [self.fallbacks[0].from_solver]
+        chain.extend(record.to_solver for record in self.fallbacks)
+        return chain
+
+    def warn(self, message: str) -> None:
+        self.warnings.append(message)
+
+    def record_fallback(
+        self, from_solver: str, to_solver: str, reason: str
+    ) -> None:
+        self.fallbacks.append(
+            FallbackRecord(from_solver, to_solver, reason)
+        )
+        self.warn(
+            f"selection fell back from {from_solver} to {to_solver}: "
+            f"{reason}"
+        )
+
+    def add_stage_time(self, stage: str, seconds: float) -> None:
+        self.stage_seconds[stage] = (
+            self.stage_seconds.get(stage, 0.0) + seconds
+        )
+
+    def add_verifier_time(self, stage: str, seconds: float) -> None:
+        self.verifier_seconds[stage] = (
+            self.verifier_seconds.get(stage, 0.0) + seconds
+        )
+
+    def summary_lines(self) -> List[str]:
+        """Human-readable digest for the CLI's ``verify`` command."""
+        lines: List[str] = []
+        for stage, seconds in self.stage_seconds.items():
+            verifier = self.verifier_seconds.get(stage)
+            suffix = (
+                f" (verifier {verifier * 1e3:.1f} ms)"
+                if verifier is not None
+                else ""
+            )
+            lines.append(f"stage {stage}: {seconds * 1e3:.1f} ms{suffix}")
+        if self.fallbacks:
+            for record in self.fallbacks:
+                lines.append(f"fallback: {record}")
+        else:
+            lines.append("fallbacks: none")
+        for warning in self.warnings:
+            if not warning.startswith("selection fell back"):
+                lines.append(f"warning: {warning}")
+        return lines

@@ -1,0 +1,273 @@
+"""Fault injection: prove each verifier catches its fault class.
+
+Every :class:`Fault` names a pipeline stage and a mutator that corrupts
+that stage's artefact the way a real compiler bug would — dropping a
+plan from the assignment, co-packing hard-dependent instructions,
+overfilling a packet, poisoning a cost to NaN, truncating a lowered
+body — deliberately bypassing the constructors' own validation (packet
+lists are mutated directly) so only the downstream verifier stands
+between the corruption and a silently wrong model.
+
+Usage::
+
+    with inject(compiler, FAULTS["selection_drop_plan"]):
+        compiler.compile(graph)   # raises SelectionVerificationError
+
+The :data:`FAULTS` registry is what the fault-injection pytest suite
+enumerates: (fault × verifier) coverage with exact error types.
+"""
+
+from __future__ import annotations
+
+import math
+from contextlib import contextmanager
+from dataclasses import dataclass
+from types import SimpleNamespace
+from typing import Any, Callable, Dict, Iterator, Type
+
+from repro.errors import (
+    GraphVerificationError,
+    LoweringVerificationError,
+    ProfileVerificationError,
+    ReproError,
+    ScheduleVerificationError,
+    SelectionVerificationError,
+)
+from repro.isa.dependencies import DependencyKind, classify_dependency
+from repro.isa.instructions import Instruction, Opcode
+
+
+@dataclass(frozen=True)
+class Fault:
+    """One injectable corruption and the verifier expected to catch it."""
+
+    name: str
+    stage: str
+    expected: Type[ReproError]
+    description: str
+    mutate: Callable[[Any], Any]
+
+    def hook(self) -> Callable[[Any], Any]:
+        return self.mutate
+
+
+# ---------------------------------------------------------------------------
+# mutators
+# ---------------------------------------------------------------------------
+
+
+def _graph_dangling_input(graph):
+    """Point a compute node's input edge at a nonexistent node id."""
+    victim = next(n for n in graph if n.inputs)
+    victim.inputs = victim.inputs[:-1] + (987654,)
+    return graph
+
+
+def _selection_drop_plan(selection):
+    """Remove a compute-heavy operator's plan from the assignment."""
+    victim = next(
+        node_id
+        for node_id, plan in selection.assignment.items()
+        if plan.instruction is not None
+    )
+    del selection.assignment[victim]
+    return selection
+
+
+def _selection_cost_nan(selection):
+    selection.cost = float("nan")
+    return selection
+
+
+def _selection_cost_negative(selection):
+    selection.cost = -1234.5
+    return selection
+
+
+def _selection_cost_skewed(selection):
+    """An Agg_Cost that no re-aggregation of the assignment reproduces."""
+    selection.cost = selection.cost * 3.0 + 1e6
+    return selection
+
+
+def _unroll_zero_factor(unrolls):
+    victim = next(iter(unrolls))
+    unrolls[victim] = SimpleNamespace(outer=0, mid=1, label="0x1")
+    return unrolls
+
+
+def _lowering_truncate_body(kernels):
+    victim = next(iter(kernels))
+    kernels[victim].body = []
+    return kernels
+
+
+def _lowering_poison_trips(kernels):
+    victim = next(iter(kernels))
+    kernels[victim].trips = -3
+    return kernels
+
+
+def _first_scheduled(compiled_nodes):
+    return next(cn for cn in compiled_nodes if cn.packets)
+
+
+def _packing_copack_hard(compiled_nodes):
+    """Move an instruction into an earlier packet it hard-depends on."""
+    for compiled in compiled_nodes:
+        packets = compiled.packets
+        for i, earlier in enumerate(packets):
+            for later in packets[i + 1:]:
+                for a in earlier.instructions:
+                    for b in later.instructions:
+                        if (
+                            classify_dependency(a, b)
+                            is DependencyKind.HARD
+                        ):
+                            later.instructions.remove(b)
+                            earlier.instructions.append(b)
+                            return compiled_nodes
+    raise AssertionError("no hard-dependent pair found to co-pack")
+
+
+def _packing_overfill_packet(compiled_nodes):
+    """Stuff a packet past the four-slot ceiling."""
+    packet = _first_scheduled(compiled_nodes).packets[0]
+    while len(packet.instructions) <= 4:
+        packet.instructions.append(Instruction(Opcode.NOP))
+    return compiled_nodes
+
+
+def _packing_drop_packet(compiled_nodes):
+    """Truncate a schedule: the tail packet's instructions vanish."""
+    _first_scheduled(compiled_nodes).packets.pop()
+    return compiled_nodes
+
+
+def _packing_duplicate_packet(compiled_nodes):
+    """Issue the same instructions twice (duplicated packet)."""
+    packets = _first_scheduled(compiled_nodes).packets
+    packets.append(packets[0])
+    return compiled_nodes
+
+
+def _packing_poison_cycles(compiled_nodes):
+    compiled_nodes[0].cycles = float("nan")
+    return compiled_nodes
+
+
+def _profile_negative_cycles(profile):
+    profile.cycles = -17
+    return profile
+
+
+def _profile_slot_overflow(profile):
+    """More issued instructions than the packets have slots."""
+    profile.issued_instructions = profile.packets * 4 + 7
+    return profile
+
+
+# ---------------------------------------------------------------------------
+# registry
+# ---------------------------------------------------------------------------
+
+FAULTS: Dict[str, Fault] = {
+    fault.name: fault
+    for fault in [
+        Fault(
+            "graph_dangling_input", "graph", GraphVerificationError,
+            "input edge to a nonexistent node id", _graph_dangling_input,
+        ),
+        Fault(
+            "selection_drop_plan", "selection", SelectionVerificationError,
+            "compute node missing from the assignment",
+            _selection_drop_plan,
+        ),
+        Fault(
+            "selection_cost_nan", "selection", SelectionVerificationError,
+            "Agg_Cost poisoned to NaN", _selection_cost_nan,
+        ),
+        Fault(
+            "selection_cost_negative", "selection",
+            SelectionVerificationError,
+            "Agg_Cost poisoned negative", _selection_cost_negative,
+        ),
+        Fault(
+            "selection_cost_skewed", "selection",
+            SelectionVerificationError,
+            "reported Agg_Cost inconsistent with the assignment",
+            _selection_cost_skewed,
+        ),
+        Fault(
+            "unroll_zero_factor", "unroll", LoweringVerificationError,
+            "unroll factor of zero", _unroll_zero_factor,
+        ),
+        Fault(
+            "lowering_truncate_body", "lowering",
+            LoweringVerificationError,
+            "lowered kernel body truncated to nothing",
+            _lowering_truncate_body,
+        ),
+        Fault(
+            "lowering_poison_trips", "lowering", LoweringVerificationError,
+            "negative trip count", _lowering_poison_trips,
+        ),
+        Fault(
+            "packing_copack_hard", "packing", ScheduleVerificationError,
+            "hard-dependent pair co-packed", _packing_copack_hard,
+        ),
+        Fault(
+            "packing_overfill_packet", "packing",
+            ScheduleVerificationError,
+            "packet filled past the slot ceiling",
+            _packing_overfill_packet,
+        ),
+        Fault(
+            "packing_drop_packet", "packing", ScheduleVerificationError,
+            "schedule truncated (packet dropped)", _packing_drop_packet,
+        ),
+        Fault(
+            "packing_duplicate_packet", "packing",
+            ScheduleVerificationError,
+            "instructions scheduled twice", _packing_duplicate_packet,
+        ),
+        Fault(
+            "packing_poison_cycles", "packing", ScheduleVerificationError,
+            "kernel cycle estimate poisoned to NaN",
+            _packing_poison_cycles,
+        ),
+        Fault(
+            "profile_negative_cycles", "profile",
+            ProfileVerificationError,
+            "profile cycle counter negative", _profile_negative_cycles,
+        ),
+        Fault(
+            "profile_slot_overflow", "profile", ProfileVerificationError,
+            "profile issues more instructions than slots",
+            _profile_slot_overflow,
+        ),
+    ]
+}
+
+
+def hooks_for(*faults: Fault) -> Dict[str, Callable[[Any], Any]]:
+    """Build a ``{stage: mutator}`` mapping for the compiler."""
+    hooks: Dict[str, Callable[[Any], Any]] = {}
+    for fault in faults:
+        if fault.stage in hooks:
+            raise ValueError(
+                f"multiple faults target stage {fault.stage!r}"
+            )
+        hooks[fault.stage] = fault.hook()
+    return hooks
+
+
+@contextmanager
+def inject(compiler, *faults: Fault) -> Iterator:
+    """Temporarily install ``faults`` on a :class:`GCD2Compiler`."""
+    previous = compiler.fault_hooks
+    compiler.fault_hooks = {**previous, **hooks_for(*faults)}
+    try:
+        yield compiler
+    finally:
+        compiler.fault_hooks = previous

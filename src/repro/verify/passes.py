@@ -1,0 +1,75 @@
+"""The verified pass manager wrapping the compiler pipeline.
+
+:class:`PassManager` gives the five pipeline stages (graph passes →
+selection → unroll → lowering → packing, plus the final profile) a
+uniform harness: each stage runs under a timer, its artefact then flows
+through an optional *fault hook* (the seam
+:mod:`repro.verify.faultinject` uses to corrupt artefacts between
+stages) and finally through the stage's invariant checkers.  Timings
+land in the compile's :class:`~repro.verify.diagnostics.CompilationDiagnostics`.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Callable, Dict, Mapping, Optional
+
+from repro.verify.diagnostics import CompilationDiagnostics
+
+#: Canonical stage order of the pipeline.
+STAGES = ("graph", "selection", "unroll", "lowering", "packing", "profile")
+
+
+class PassManager:
+    """Runs pipeline stages with timing, fault hooks and verification.
+
+    Parameters
+    ----------
+    diagnostics:
+        Sink for stage and verifier timings.
+    verify:
+        Master switch for the invariant checkers (fault hooks still
+        fire when off, so the harness can also prove what *escapes*
+        an unverified pipeline).
+    fault_hooks:
+        Optional ``{stage: mutator}`` mapping; each mutator receives
+        the stage's artefact and returns the (possibly corrupted)
+        artefact to hand downstream.
+    """
+
+    def __init__(
+        self,
+        diagnostics: CompilationDiagnostics,
+        *,
+        verify: bool = True,
+        fault_hooks: Optional[Mapping[str, Callable[[Any], Any]]] = None,
+    ) -> None:
+        self.diagnostics = diagnostics
+        self.verify_enabled = verify
+        self.fault_hooks: Dict[str, Callable[[Any], Any]] = dict(
+            fault_hooks or {}
+        )
+
+    def run(self, stage: str, thunk: Callable[[], Any]) -> Any:
+        """Execute one stage, apply its fault hook, record its timing."""
+        start = time.perf_counter()
+        artefact = thunk()
+        self.diagnostics.add_stage_time(
+            stage, time.perf_counter() - start
+        )
+        hook = self.fault_hooks.get(stage)
+        if hook is not None:
+            mutated = hook(artefact)
+            if mutated is not None:
+                artefact = mutated
+        return artefact
+
+    def check(self, stage: str, checker: Callable[..., None], *args) -> None:
+        """Run one invariant checker, timing it under ``stage``."""
+        if not self.verify_enabled:
+            return
+        start = time.perf_counter()
+        checker(*args)
+        self.diagnostics.add_verifier_time(
+            stage, time.perf_counter() - start
+        )

@@ -37,9 +37,14 @@ class TestCompile:
         ]) == 0
         assert "local" in capsys.readouterr().out
 
-    def test_unknown_model_rejected(self):
-        with pytest.raises(SystemExit):
-            main(["compile", "alexnet"])
+    def test_unknown_model_rejected(self, capsys):
+        # Bad model names are a library error (exit 1, one-line
+        # message), not an argparse SystemExit — the argument also
+        # accepts graph JSON paths.
+        assert main(["compile", "alexnet"]) == 1
+        err = capsys.readouterr().err
+        assert "GraphError" in err
+        assert "alexnet" in err
 
 
 class TestExperiment:

@@ -1,0 +1,116 @@
+"""CLI error paths: structured one-line failures, never a traceback."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.graph.serialization import FORMAT_VERSION, save_graph
+from tests.conftest import small_cnn
+
+
+def _no_traceback(captured) -> bool:
+    return "Traceback" not in captured.err and "Traceback" not in captured.out
+
+
+class TestCompileErrors:
+    def test_unknown_model_exits_one_with_message(self, capsys):
+        assert main(["compile", "alexnet"]) == 1
+        captured = capsys.readouterr()
+        assert captured.err.startswith("error: GraphError")
+        assert "alexnet" in captured.err
+        assert _no_traceback(captured)
+
+    def test_missing_graph_file_exits_one(self, capsys):
+        assert main(["compile", "/no/such/model.json"]) == 1
+        captured = capsys.readouterr()
+        assert captured.err.startswith("error:")
+        assert _no_traceback(captured)
+
+    def test_corrupted_json_exits_one(self, tmp_path, capsys):
+        path = tmp_path / "broken.json"
+        path.write_text("{this is not json")
+        assert main(["compile", str(path)]) == 1
+        captured = capsys.readouterr()
+        assert "GraphError" in captured.err
+        assert _no_traceback(captured)
+
+    def test_dangling_edge_in_graph_file_exits_one(self, tmp_path, capsys):
+        path = tmp_path / "dangling.json"
+        path.write_text(json.dumps({
+            "format_version": FORMAT_VERSION,
+            "name": "bad",
+            "nodes": [
+                {
+                    "name": "x",
+                    "op": {"type": "Input", "shape": [1, 4]},
+                    "inputs": [],
+                },
+                {"name": "r", "op": {"type": "ReLU"}, "inputs": [7]},
+            ],
+        }))
+        assert main(["compile", str(path)]) == 1
+        captured = capsys.readouterr()
+        assert "GraphError" in captured.err
+        assert "7" in captured.err
+        assert _no_traceback(captured)
+
+    def test_compile_accepts_exported_graph_file(self, tmp_path, capsys):
+        path = tmp_path / "cnn.json"
+        save_graph(small_cnn(), path)
+        assert main(["compile", str(path)]) == 0
+        assert "latency:" in capsys.readouterr().out
+
+
+class TestExperimentErrors:
+    def test_unknown_experiment_rejected_by_parser(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["experiment", "table99"])
+        assert excinfo.value.code == 2
+        assert _no_traceback(capsys.readouterr())
+
+
+class TestExportErrors:
+    def test_unwritable_export_path_exits_one(self, capsys):
+        assert main(
+            ["export", "wdsr_b", "/no/such/directory/out.json"]
+        ) == 1
+        captured = capsys.readouterr()
+        assert captured.err.startswith("error:")
+        assert _no_traceback(captured)
+
+
+class TestVerifyCommand:
+    def test_verify_small_graph_file(self, tmp_path, capsys):
+        path = tmp_path / "cnn.json"
+        save_graph(small_cnn(), path)
+        assert main(["verify", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "compiled clean under strict verification" in out
+        assert "fallbacks: none" in out
+        assert "max quantization error" in out
+
+    def test_verify_unknown_model_exits_one(self, capsys):
+        assert main(["verify", "vgg19"]) == 1
+        captured = capsys.readouterr()
+        assert "GraphError" in captured.err
+        assert _no_traceback(captured)
+
+    def test_verify_corrupted_graph_exits_one(self, tmp_path, capsys):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({
+            "format_version": FORMAT_VERSION,
+            "nodes": [
+                {
+                    "name": "x",
+                    "op": {"type": "Input", "shape": [1, 4]},
+                    "inputs": [],
+                },
+                {"name": "x", "op": {"type": "ReLU"}, "inputs": [0]},
+            ],
+        }))
+        assert main(["verify", str(path)]) == 1
+        captured = capsys.readouterr()
+        assert "GraphError" in captured.err
+        assert "duplicate" in captured.err
+        assert _no_traceback(captured)

@@ -1,0 +1,171 @@
+"""Budget enforcement and the graceful-degradation solver ladder."""
+
+import pytest
+
+from repro.compiler import CompilerOptions, GCD2Compiler, compile_model
+from repro.core.cost import CostModel
+from repro.core.exhaustive import solve_exhaustive
+from repro.core.pbqp import solve_pbqp
+from repro.errors import BudgetExceeded, ReproError
+from repro.verify import SelectionBudget
+from tests.conftest import chain_graph, random_dag, small_cnn
+
+
+class TestSelectionBudget:
+    def test_state_budget_exceeded_raises(self):
+        budget = SelectionBudget(state_budget=10, solver="test")
+        budget.charge(10)
+        with pytest.raises(BudgetExceeded) as excinfo:
+            budget.charge()
+        assert excinfo.value.stage == "selection"
+        assert excinfo.value.details["solver"] == "test"
+
+    def test_time_budget_checked_at_deadline(self):
+        budget = SelectionBudget(time_budget_s=1e-9, solver="test")
+        with pytest.raises(BudgetExceeded):
+            budget.check_deadline()
+
+    def test_unbounded_budget_never_raises(self):
+        budget = SelectionBudget()
+        budget.charge(10**9)
+        budget.check_deadline()
+        assert not budget.bounded
+
+    def test_options_validate_budgets(self):
+        with pytest.raises(ReproError):
+            CompilerOptions(selection_time_budget_s=0.0)
+        with pytest.raises(ReproError):
+            CompilerOptions(selection_state_budget=-5)
+
+
+class TestSolverBudgets:
+    def test_exhaustive_respects_state_budget(self):
+        graph = random_dag(1, nodes=10)
+        model = CostModel()
+        with pytest.raises(BudgetExceeded):
+            solve_exhaustive(
+                graph, model, budget=SelectionBudget(state_budget=20)
+            )
+
+    def test_pbqp_respects_state_budget(self):
+        graph = random_dag(1, nodes=10)
+        model = CostModel()
+        with pytest.raises(BudgetExceeded):
+            solve_pbqp(
+                graph, model, budget=SelectionBudget(state_budget=10)
+            )
+
+    def test_generous_budget_changes_nothing(self):
+        graph = random_dag(2, nodes=8)
+        model = CostModel()
+        free = solve_exhaustive(graph, model)
+        bounded = solve_exhaustive(
+            graph, model, budget=SelectionBudget(state_budget=10**9)
+        )
+        assert bounded.cost == free.cost
+
+
+class TestFallbackLadder:
+    def test_budgeted_exhaustive_degrades_and_completes(self):
+        graph = random_dag(3, nodes=12)
+        options = CompilerOptions(
+            selection="exhaustive",
+            selection_state_budget=30,
+            graph_passes=False,
+        )
+        compiled = compile_model(graph, options)
+        diag = compiled.diagnostics
+        assert diag.degraded
+        assert diag.fallback_chain[0] == "exhaustive"
+        # The compile still produced a full model.
+        assert compiled.selection.assignment
+        assert compiled.profile.cycles > 0
+
+    def test_budgeted_pbqp_degrades_and_completes(self):
+        graph = random_dag(3, nodes=12)
+        options = CompilerOptions(
+            selection="pbqp",
+            selection_state_budget=10,
+            graph_passes=False,
+        )
+        compiled = compile_model(graph, options)
+        assert compiled.diagnostics.fallback_chain[0] == "pbqp"
+        assert compiled.selection.assignment
+
+    def test_fallback_chain_records_every_rung_taken(self):
+        graph = random_dag(3, nodes=12)
+        options = CompilerOptions(
+            selection="exhaustive",
+            selection_state_budget=1,
+            graph_passes=False,
+        )
+        compiled = compile_model(graph, options)
+        chain = compiled.diagnostics.fallback_chain
+        # One state is not enough for any budgeted rung: the ladder
+        # walks all the way to the budget-free local baseline.
+        assert chain[0] == "exhaustive"
+        assert chain[-1] == "local"
+        assert compiled.selection.solver == "local"
+
+    def test_strict_turns_degradation_into_an_error(self):
+        graph = random_dag(3, nodes=12)
+        options = CompilerOptions(
+            selection="exhaustive",
+            selection_state_budget=30,
+            graph_passes=False,
+            strict=True,
+        )
+        with pytest.raises(BudgetExceeded):
+            compile_model(graph, options)
+
+    def test_unbudgeted_compile_never_degrades(self):
+        compiled = compile_model(small_cnn())
+        assert not compiled.diagnostics.degraded
+        assert compiled.diagnostics.fallback_chain == []
+
+    def test_chain_solver_on_chain_graph_stays_put(self):
+        options = CompilerOptions(
+            selection="chain",
+            selection_state_budget=10**9,
+            graph_passes=False,
+        )
+        compiled = compile_model(chain_graph(), options)
+        assert not compiled.diagnostics.degraded
+        assert "chain" in compiled.selection.solver
+
+    def test_time_budget_degrades_exhaustive(self):
+        graph = random_dag(4, nodes=14)
+        options = CompilerOptions(
+            selection="exhaustive",
+            selection_time_budget_s=1e-7,
+            graph_passes=False,
+        )
+        compiled = compile_model(graph, options)
+        assert compiled.diagnostics.degraded
+        assert compiled.selection.assignment
+
+    def test_fallback_result_still_verifies(self):
+        # A downgraded selection must still satisfy the selection
+        # verifier (complete assignment, reproducible cost).
+        graph = random_dag(3, nodes=12)
+        options = CompilerOptions(
+            selection="exhaustive",
+            selection_state_budget=1,
+            graph_passes=False,
+            verify=True,
+        )
+        compiled = compile_model(graph, options)
+        assert compiled.diagnostics.degraded
+
+    def test_fallback_reasons_are_structured(self):
+        graph = random_dag(3, nodes=12)
+        options = CompilerOptions(
+            selection="exhaustive",
+            selection_state_budget=30,
+            graph_passes=False,
+        )
+        compiled = compile_model(graph, options)
+        record = compiled.diagnostics.fallbacks[0]
+        assert record.from_solver == "exhaustive"
+        assert record.to_solver
+        assert "budget" in record.reason

@@ -103,6 +103,97 @@ class TestErrors:
         with pytest.raises(GraphError):
             load_graph(path)
 
+    def test_non_object_payload_rejected(self):
+        with pytest.raises(GraphError):
+            graph_from_dict([1, 2, 3])
+
+    def test_nodes_must_be_a_list(self):
+        with pytest.raises(GraphError):
+            graph_from_dict(
+                {"format_version": FORMAT_VERSION, "nodes": {"a": 1}}
+            )
+
+    def test_node_entry_must_be_an_object(self):
+        with pytest.raises(GraphError):
+            graph_from_dict(
+                {"format_version": FORMAT_VERSION, "nodes": ["nope"]}
+            )
+
+    def test_edge_to_nonexistent_id_rejected(self):
+        payload = {
+            "format_version": FORMAT_VERSION,
+            "nodes": [
+                {
+                    "name": "x",
+                    "op": {"type": "Input", "shape": [1, 4]},
+                    "inputs": [],
+                },
+                {"name": "r", "op": {"type": "ReLU"}, "inputs": [5]},
+            ],
+        }
+        with pytest.raises(GraphError) as excinfo:
+            graph_from_dict(payload)
+        assert "nonexistent" in str(excinfo.value)
+        assert excinfo.value.node == "r"
+
+    def test_forward_edge_rejected(self):
+        # Node ids are assigned in file order: an edge may only point
+        # at an earlier entry.
+        payload = {
+            "format_version": FORMAT_VERSION,
+            "nodes": [
+                {
+                    "name": "x",
+                    "op": {"type": "Input", "shape": [1, 4]},
+                    "inputs": [1],
+                },
+                {"name": "r", "op": {"type": "ReLU"}, "inputs": [0]},
+            ],
+        }
+        with pytest.raises(GraphError):
+            graph_from_dict(payload)
+
+    def test_duplicate_node_names_rejected(self):
+        payload = {
+            "format_version": FORMAT_VERSION,
+            "nodes": [
+                {
+                    "name": "x",
+                    "op": {"type": "Input", "shape": [1, 4]},
+                    "inputs": [],
+                },
+                {"name": "x", "op": {"type": "ReLU"}, "inputs": [0]},
+            ],
+        }
+        with pytest.raises(GraphError) as excinfo:
+            graph_from_dict(payload)
+        assert "duplicate" in str(excinfo.value)
+
+    def test_malformed_attribute_value_rejected(self):
+        # A well-named attribute with a junk value surfaces as a
+        # GraphError, not a bare TypeError from the op constructor.
+        payload = {
+            "format_version": FORMAT_VERSION,
+            "nodes": [
+                {
+                    "name": "x",
+                    "op": {"type": "Input", "shape": [1, 4]},
+                    "inputs": [],
+                },
+                {
+                    "name": "c",
+                    "op": {
+                        "type": "Conv2D",
+                        "out_channels": 8,
+                        "kernel": "huge",
+                    },
+                    "inputs": [0],
+                },
+            ],
+        }
+        with pytest.raises(GraphError):
+            graph_from_dict(payload)
+
     def test_shapes_revalidated_on_load(self):
         # A hand-edited file with inconsistent shapes must fail.
         payload = {

@@ -61,6 +61,74 @@ class TestQuantizedMatmul:
         assert _relative_error(q_out, f_out) < 0.06
 
 
+class TestFixedPointRescale:
+    """The guarded ``(levels * multiplier) >> shift`` helper."""
+
+    def _node(self):
+        from types import SimpleNamespace
+
+        return SimpleNamespace(name="addsub")
+
+    def test_positive_shift_matches_plain_expression(self):
+        levels = np.arange(-8, 8, dtype=np.int64)
+        out = QuantizedExecutor._fixed_point_rescale(
+            self._node(), levels, 16384, 14
+        )
+        assert np.array_equal(out, (levels * 16384) >> 14)
+
+    def test_negative_shift_prescales_instead_of_shifting(self):
+        # A negative right-shift is undefined; the helper pre-scales
+        # the multiplier, preserving the value exactly.
+        levels = np.arange(-8, 8, dtype=np.int64)
+        out = QuantizedExecutor._fixed_point_rescale(
+            self._node(), levels, 16384, -3
+        )
+        assert np.array_equal(out, levels * (16384 << 3))
+
+    def test_extreme_negative_shift_raises(self):
+        from repro.errors import QuantizationError
+
+        levels = np.zeros(4, dtype=np.int64)
+        with pytest.raises(QuantizationError) as excinfo:
+            QuantizedExecutor._fixed_point_rescale(
+                self._node(), levels, 16384, -30
+            )
+        error = excinfo.value
+        assert error.stage == "runtime"
+        assert error.node == "addsub"
+        assert error.details["shift"] == -30
+
+    def test_addsub_path_still_tracks_reference(self):
+        # End to end: the guarded helper sits on the live add path.
+        b = GraphBuilder("adds")
+        x = b.input((1, 4, 8, 8), name="x")
+        y = b.relu(x)
+        b.add(x, y, name="sum")
+        compiled = compile_model(b.build())
+        feed = {"x": np.random.default_rng(7).normal(size=(1, 4, 8, 8))}
+        q_out = QuantizedExecutor(compiled, seed=1).run(feed)["sum"]
+        f_out = ReferenceExecutor(compiled.graph, seed=1).run(feed)["sum"]
+        assert _relative_error(q_out, f_out) < 0.05
+
+
+class TestKernelMacLimit:
+    """The direct-product shortcut is bit-identical to the kernels."""
+
+    def test_outputs_identical_above_and_below_limit(self):
+        b = GraphBuilder("mm_limit")
+        x = b.input((1, 20, 48), name="x")
+        b.matmul(x, weight_shape=(48, 24), name="proj")
+        compiled = compile_model(b.build())
+        feed = {"x": np.random.default_rng(0).normal(size=(1, 20, 48))}
+        through_kernels = QuantizedExecutor(compiled, seed=3).run(feed)
+        through_blas = QuantizedExecutor(
+            compiled, seed=3, kernel_mac_limit=1
+        ).run(feed)
+        assert np.array_equal(
+            through_kernels["proj"], through_blas["proj"]
+        )
+
+
 class TestQuantizedCnn:
     def test_small_cnn_close_to_reference(self):
         compiled = compile_model(small_cnn())
