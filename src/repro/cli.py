@@ -16,8 +16,12 @@ Commands
 ``export MODEL PATH``
     Serialize a zoo model's computational graph to JSON.
 ``verify MODEL``
-    Compile under strict verification and run the quantized-vs-float
-    differential check.
+    Compile under strict verification (static analyzer included) and
+    run the quantized-vs-float differential check.
+``lint MODEL``
+    Compile a model and run the :mod:`repro.lint` static analyzer,
+    printing structured diagnostics; exits 1 when anything at or above
+    ``--fail-on`` survives the suppression baseline.
 
 Library failures (:class:`~repro.errors.ReproError`) and I/O errors
 exit with code 1 and a one-line structured message on stderr — never a
@@ -127,6 +131,47 @@ def _build_parser() -> argparse.ArgumentParser:
         help="seed for the synthetic weights/inputs of the check",
     )
 
+    lint_p = sub.add_parser(
+        "lint",
+        help="run the static analyzer over a compiled model",
+    )
+    lint_p.add_argument(
+        "model",
+        help="zoo model name or path to a graph JSON file",
+    )
+    lint_p.add_argument(
+        "--selection",
+        default="gcd2",
+        choices=["gcd2", "local", "exhaustive", "pbqp", "chain"],
+    )
+    lint_p.add_argument(
+        "--packing",
+        default="sda",
+        choices=["sda", "sda_pure", "soft_to_hard", "soft_to_none", "list"],
+    )
+    lint_p.add_argument(
+        "--fail-on",
+        default="error",
+        choices=["info", "warning", "error"],
+        help="lowest severity that fails the command (default: error)",
+    )
+    lint_p.add_argument(
+        "--format",
+        default="text",
+        choices=["text", "json"],
+        help="report format",
+    )
+    lint_p.add_argument(
+        "--baseline",
+        help="suppression baseline JSON; matching diagnostics are "
+        "dropped before --fail-on applies",
+    )
+    lint_p.add_argument(
+        "--write-baseline",
+        help="capture the current diagnostics into a baseline file "
+        "and exit 0",
+    )
+
     return parser
 
 
@@ -225,7 +270,7 @@ def _cmd_verify(args) -> int:
     from repro.runtime.executor import QuantizedExecutor
 
     graph = _resolve_graph(args.model)
-    options = CompilerOptions(strict=True, verify=True)
+    options = CompilerOptions(strict=True, verify=True, lint=True)
     compiled = GCD2Compiler(options).compile(graph)
     print(f"{args.model}: compiled clean under strict verification "
           f"({compiled.graph.operator_count()} operators)")
@@ -253,6 +298,46 @@ def _cmd_verify(args) -> int:
     return 0
 
 
+def _cmd_lint(args) -> int:
+    """Compile, run the static analyzer, report, apply the baseline."""
+    from repro.lint import (
+        Severity,
+        baseline_from_report,
+        lint_model,
+        load_baseline,
+        render,
+        save_baseline,
+    )
+
+    graph = _resolve_graph(args.model)
+    options = CompilerOptions(
+        selection=args.selection, packing=args.packing
+    )
+    compiled = GCD2Compiler(options).compile(graph)
+    report = lint_model(compiled)
+
+    if args.write_baseline:
+        save_baseline(args.write_baseline, baseline_from_report(report))
+        print(f"wrote {len(report)} suppression(s) to "
+              f"{args.write_baseline}")
+        return 0
+
+    if args.baseline:
+        report = report.suppress(load_baseline(args.baseline))
+
+    print(render(report, args.format))
+    threshold = Severity.parse(args.fail_on)
+    failing = report.at_least(threshold)
+    if failing:
+        print(
+            f"lint: {len(failing)} diagnostic(s) at or above "
+            f"{threshold} — failing",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
 def _dispatch(args) -> int:
     if args.command == "models":
         return _cmd_models()
@@ -271,6 +356,8 @@ def _dispatch(args) -> int:
         return _cmd_export(args)
     if args.command == "verify":
         return _cmd_verify(args)
+    if args.command == "lint":
+        return _cmd_lint(args)
     return 2  # pragma: no cover - argparse enforces choices
 
 

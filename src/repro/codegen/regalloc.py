@@ -161,9 +161,13 @@ def allocate_registers(
     rewritten: List[Instruction] = []
     loads = stores = 0
     for inst in instructions:
+        # Reload every spilled register the instruction *reads* —
+        # including implicit accumulator operands (vrmpy's accumulate
+        # form reads its destination), which ``inst.srcs`` alone
+        # misses.
         spilled_srcs = [
             name
-            for name in dict.fromkeys(inst.srcs)
+            for name in dict.fromkeys(inst.read_registers)
             if name in spilled
         ]
         if len(spilled_srcs) > _RESERVED_TEMPS:
@@ -184,16 +188,41 @@ def allocate_registers(
             loads += 1
             local[name] = temp
 
+        # Spilled destinations write through temporaries, one *distinct*
+        # temporary per destination (sharing one would fold two results
+        # into the same register).  A reloaded accumulate operand keeps
+        # its reload temp; otherwise prefer temps not holding a reload,
+        # falling back to a reload temp — safe, since the machine reads
+        # all operands before any write lands.
+        taken: Set[str] = set()
+        fresh_dests: List[str] = []
+        for name in dict.fromkeys(inst.dests):
+            if name not in spilled:
+                continue
+            if name in local:
+                taken.add(local[name])
+            else:
+                fresh_dests.append(name)
+        for name in fresh_dests:
+            candidates = [
+                t
+                for t in temp_names
+                if t not in taken and t not in local.values()
+            ] or [t for t in temp_names if t not in taken]
+            if not candidates:
+                raise CodegenError(
+                    f"instruction spills {len(fresh_dests) + len(taken)} "
+                    f"destinations but only {_RESERVED_TEMPS} temporaries "
+                    f"are reserved: {inst!r}"
+                )
+            local[name] = candidates[0]
+            taken.add(candidates[0])
+
         def rename(name: str) -> str:
             if not RegisterFile.is_vector_name(name):
                 return name
             if name in local:
                 return local[name]
-            if name in spilled:
-                # A spilled destination writes through a temporary.
-                temp = temp_names[0]
-                local[name] = temp
-                return temp
             return mapping[name]
 
         new_srcs = tuple(rename(s) for s in inst.srcs)

@@ -122,6 +122,13 @@ class CompilerOptions:
         ``repro verify`` command use.
     verify:
         Run the invariant checkers after every pipeline stage.
+    lint:
+        Additionally run the :mod:`repro.lint` static analyzer over
+        the compiled artefacts as a pipeline stage; error-severity
+        diagnostics raise
+        :class:`~repro.errors.LintVerificationError`.  Off by default
+        (the dynamic checkers already gate correctness); ``repro
+        verify`` and ``repro lint`` turn it on.
     """
 
     selection: str = "gcd2"
@@ -139,6 +146,7 @@ class CompilerOptions:
     selection_state_budget: Optional[int] = None
     strict: bool = False
     verify: bool = True
+    lint: bool = False
 
     def __post_init__(self) -> None:
         if self.packing not in _PACKERS:
@@ -329,6 +337,15 @@ class GCD2Compiler:
             ],
         )
         pm.check("packing", verify_schedule, compiled_nodes)
+
+        # Optional stage 5b — static analysis over the compiled
+        # artefacts (packet hazards, register dataflow, schedule
+        # consistency, selection lints).
+        if options.lint:
+            from repro.lint import verify_lint
+
+            pm.check("lint", verify_lint, graph, model, selection,
+                     compiled_nodes)
 
         # Final accounting — latency/utilization profile.
         profiler = Profiler()

@@ -137,3 +137,13 @@ class ScheduleVerificationError(VerificationError, SchedulingError):
 
 class ProfileVerificationError(VerificationError, SimulationError):
     """An execution profile reports impossible counters."""
+
+
+class LintVerificationError(VerificationError):
+    """The static analyzer found error-severity diagnostics.
+
+    Raised by the optional ``lint`` pipeline stage (see
+    :mod:`repro.lint`): the compiled artefacts violate a statically
+    provable program property — packet legality, register dataflow
+    safety, or memory-map discipline.
+    """

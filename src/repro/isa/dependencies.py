@@ -49,13 +49,21 @@ class DependencyKind(enum.Enum):
 
 
 def _raw_registers(first: Instruction, second: Instruction) -> frozenset:
-    """Registers written by ``first`` and read by ``second``."""
-    return frozenset(first.dests) & frozenset(second.srcs)
+    """Registers written by ``first`` and read by ``second``.
+
+    Reads include implicit operands (``Instruction.read_registers``):
+    the accumulator of a ``vrmpy`` accumulate form is read even when an
+    emitter left it out of ``srcs``.  Note that an implicit read of a
+    destination always coincides with a WAW on the same register, so
+    this widening never *relaxes* a classification — it only keeps
+    liveness-style consumers of this module sound.
+    """
+    return frozenset(first.dests) & frozenset(second.read_registers)
 
 
 def _war_registers(first: Instruction, second: Instruction) -> frozenset:
     """Registers read by ``first`` and written by ``second``."""
-    return frozenset(first.srcs) & frozenset(second.dests)
+    return frozenset(first.read_registers) & frozenset(second.dests)
 
 
 def _waw_registers(first: Instruction, second: Instruction) -> frozenset:

@@ -108,6 +108,12 @@ class InstrSpec:
         cost model and by the profiler's utilization accounting.
     is_store / is_load:
         Memory direction flags used by dependency classification.
+    accumulates:
+        Whether the opcode has an accumulate-in-place form that reads
+        its destination register as an implicit operand (``vrmpy``'s
+        ``vd += ...`` form).  Dataflow and dependency analyses must
+        treat the destination of such an instruction as *read and
+        written* even when the emitter did not list it in ``srcs``.
     """
 
     opcode: Opcode
@@ -116,6 +122,7 @@ class InstrSpec:
     macs: int = 0
     is_store: bool = False
     is_load: bool = False
+    accumulates: bool = False
 
 
 def _specs() -> Dict[Opcode, InstrSpec]:
@@ -127,8 +134,10 @@ def _specs() -> Dict[Opcode, InstrSpec]:
         # reduced into 32 accumulators.
         make(Opcode.VMPY, ResourceClass.VMULT, latency=3, macs=128),
         make(Opcode.VMPA, ResourceClass.VMULT, latency=3, macs=256),
-        make(Opcode.VRMPY, ResourceClass.VMULT, latency=3, macs=128),
-        make(Opcode.VTMPY, ResourceClass.VMULT, latency=3, macs=192),
+        make(Opcode.VRMPY, ResourceClass.VMULT, latency=3, macs=128,
+             accumulates=True),
+        make(Opcode.VTMPY, ResourceClass.VMULT, latency=3, macs=192,
+             accumulates=True),
         make(Opcode.VMPYE, ResourceClass.VMULT, latency=3, macs=64),
         # Vector ALU: the full 3-stage pipeline (footnote 4: every
         # instruction passes read/execute/write, one cycle per stage).
@@ -239,9 +248,29 @@ class Instruction:
         """Functional unit occupied within a packet."""
         return self.spec.resource
 
+    @property
+    def read_registers(self) -> Tuple[str, ...]:
+        """All registers the instruction reads, implicit operands included.
+
+        Accumulate-in-place opcodes (``spec.accumulates``) read their
+        destination even when the emitter did not repeat it in
+        ``srcs`` — the register choreography of ``vd += vin * w``.
+        Order is ``srcs`` first, then any implicit accumulator reads.
+        """
+        if self.spec.accumulates:
+            implicit = tuple(d for d in self.dests if d not in self.srcs)
+            if implicit:
+                return self.srcs + implicit
+        return self.srcs
+
+    @property
+    def written_registers(self) -> Tuple[str, ...]:
+        """All registers the instruction writes."""
+        return self.dests
+
     def reads(self, register: str) -> bool:
-        """Whether the instruction reads ``register``."""
-        return register in self.srcs
+        """Whether the instruction reads ``register`` (implicit included)."""
+        return register in self.read_registers
 
     def writes(self, register: str) -> bool:
         """Whether the instruction writes ``register``."""

@@ -1,0 +1,69 @@
+"""Suppression baselines for the lint CLI.
+
+A baseline is a JSON file mapping diagnostic fingerprints (see
+:attr:`~repro.lint.diagnostics.Diagnostic.fingerprint`) to the number
+of occurrences being accepted.  ``repro lint --baseline FILE`` drops up
+to that many matching diagnostics before applying ``--fail-on``, so a
+known, reviewed set of findings can be grandfathered while anything new
+still fails the build.  ``--write-baseline`` captures the current
+findings into such a file.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Union
+
+from repro.errors import ReproError
+from repro.lint.diagnostics import LintReport
+
+BASELINE_VERSION = 1
+
+
+def baseline_from_report(report: LintReport) -> Dict[str, int]:
+    """Fingerprint -> occurrence count of every current diagnostic."""
+    counts: Dict[str, int] = {}
+    for diagnostic in report:
+        fp = diagnostic.fingerprint
+        counts[fp] = counts.get(fp, 0) + 1
+    return counts
+
+
+def save_baseline(
+    path: Union[str, Path], suppressions: Dict[str, int]
+) -> None:
+    """Write a baseline file (sorted for stable diffs)."""
+    payload = {
+        "version": BASELINE_VERSION,
+        "suppressions": dict(sorted(suppressions.items())),
+    }
+    Path(path).write_text(json.dumps(payload, indent=2) + "\n")
+
+
+def load_baseline(path: Union[str, Path]) -> Dict[str, int]:
+    """Read a baseline file back into a suppression mapping."""
+    try:
+        payload = json.loads(Path(path).read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        raise ReproError(
+            f"cannot read lint baseline {path}: {exc}"
+        ) from exc
+    if (
+        not isinstance(payload, dict)
+        or payload.get("version") != BASELINE_VERSION
+        or not isinstance(payload.get("suppressions"), dict)
+    ):
+        raise ReproError(
+            f"lint baseline {path} is not a version-"
+            f"{BASELINE_VERSION} suppression file"
+        )
+    suppressions: Dict[str, int] = {}
+    for key, value in payload["suppressions"].items():
+        if not isinstance(key, str) or not isinstance(value, int):
+            raise ReproError(
+                f"lint baseline {path} has a malformed entry "
+                f"{key!r}: {value!r}"
+            )
+        suppressions[key] = value
+    return suppressions

@@ -1,0 +1,207 @@
+"""Register dataflow analysis over straight-line instruction sequences.
+
+Def-use chains, reaching definitions and liveness over
+``Instruction.read_registers`` / ``written_registers`` (implicit
+accumulator operands included), plus the dataflow lint rules built on
+top:
+
+* ``LINT-DF001`` — read with no reaching definition;
+* ``LINT-DF002`` — definition overwritten before any read;
+* ``LINT-DF003`` — definition never read nor stored (info);
+* ``LINT-DF004`` — duplicate destinations within one instruction.
+
+Two analysis modes cover the two program shapes the compiler emits:
+
+* **straight-line** (``loop_body=False``) — a complete program such as
+  a :class:`~repro.codegen.program.MatmulProgram`; every read needs a
+  textually earlier definition.
+* **loop body** (``loop_body=True``) — one iteration of a hardware
+  loop; a read is also satisfied by a definition *at or after* the
+  reading position (the value arrives from the previous iteration),
+  and scalar registers are treated as live-in (pointers and trip
+  counters are initialised by the surrounding driver code).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Sequence, Set, Tuple
+
+from repro.isa.instructions import Instruction
+from repro.isa.registers import RegisterFile
+from repro.lint.diagnostics import Diagnostic, Location
+from repro.lint.rules import rule
+
+
+@dataclass
+class DefUseChains:
+    """Positions of every definition and use, per register."""
+
+    defs: Dict[str, List[int]] = field(default_factory=dict)
+    uses: Dict[str, List[int]] = field(default_factory=dict)
+
+    @property
+    def registers(self) -> Set[str]:
+        return set(self.defs) | set(self.uses)
+
+
+def def_use_chains(instructions: Sequence[Instruction]) -> DefUseChains:
+    """Def/use positions over the sequence, implicit operands included."""
+    chains = DefUseChains()
+    for position, inst in enumerate(instructions):
+        for name in inst.read_registers:
+            chains.uses.setdefault(name, []).append(position)
+        for name in inst.written_registers:
+            chains.defs.setdefault(name, []).append(position)
+    return chains
+
+
+def reaching_definition(
+    chains: DefUseChains, register: str, position: int
+) -> int:
+    """Position of the definition reaching a use at ``position``, or -1."""
+    best = -1
+    for def_pos in chains.defs.get(register, ()):
+        if def_pos <= position and def_pos > best:
+            # A definition at the use's own position reaches it: the
+            # machine reads operands before any write lands, so this
+            # only happens for accumulate-in-place instructions, whose
+            # read is satisfied by the *previous* value — callers that
+            # care about strict ordering must treat it as loop-carried.
+            if def_pos == position:
+                continue
+            best = def_pos
+    return best
+
+
+def live_out(
+    instructions: Sequence[Instruction],
+) -> Dict[str, int]:
+    """Registers still holding an unread value at the end.
+
+    Maps register name -> position of its final (unread) definition.
+    """
+    chains = def_use_chains(instructions)
+    result: Dict[str, int] = {}
+    for name, defs in chains.defs.items():
+        last_def = defs[-1]
+        reads_after = [
+            u for u in chains.uses.get(name, ()) if u > last_def
+        ]
+        if not reads_after:
+            result[name] = last_def
+    return result
+
+
+def _location(
+    position: int, inst: Instruction, node: str = None
+) -> Location:
+    return Location(
+        node=node,
+        instruction_index=position,
+        uid=inst.uid,
+        opcode=inst.opcode.value,
+    )
+
+
+def lint_dataflow(
+    instructions: Sequence[Instruction],
+    *,
+    loop_body: bool = False,
+    live_in: FrozenSet[str] = frozenset(),
+    node: str = None,
+) -> List[Diagnostic]:
+    """Run the four dataflow rules over one instruction sequence.
+
+    Parameters
+    ----------
+    loop_body:
+        Analyse as one iteration of a loop: later definitions satisfy
+        earlier reads (loop-carried values) and scalar registers are
+        implicitly live-in.
+    live_in:
+        Registers guaranteed initialised before the sequence runs.
+    node:
+        Graph-node name attached to diagnostic locations.
+    """
+    diagnostics: List[Diagnostic] = []
+    chains = def_use_chains(instructions)
+
+    # DF004 — duplicate destinations inside one instruction.
+    for position, inst in enumerate(instructions):
+        seen: Set[str] = set()
+        for name in inst.dests:
+            if name in seen:
+                diagnostics.append(
+                    rule("LINT-DF004").diagnostic(
+                        f"instruction writes register {name!r} twice",
+                        _location(position, inst, node),
+                        register=name,
+                    )
+                )
+            seen.add(name)
+
+    # DF001 — uninitialized reads (one report per register per
+    # instruction, however many operand slots repeat it).
+    for position, inst in enumerate(instructions):
+        for name in dict.fromkeys(inst.read_registers):
+            if name in live_in:
+                continue
+            if loop_body and not RegisterFile.is_vector_name(name):
+                continue  # scalar pointers/counters set up by the driver
+            defs = chains.defs.get(name, ())
+            if any(d < position for d in defs):
+                continue
+            if loop_body and any(d >= position for d in defs):
+                continue  # loop-carried: previous iteration defined it
+            diagnostics.append(
+                rule("LINT-DF001").diagnostic(
+                    f"register {name!r} read with no reaching definition",
+                    _location(position, inst, node),
+                    register=name,
+                )
+            )
+
+    # DF002 — definition overwritten before any read.
+    for name, defs in chains.defs.items():
+        uses = chains.uses.get(name, [])
+        for first, second in zip(defs, defs[1:]):
+            if first == second:
+                continue  # duplicate dest, reported by DF004
+            if not uses and len(instructions[first].dests) > 1:
+                # A never-read secondary output of a paired-output
+                # instruction (e.g. vshuff's high half): the hardware
+                # writes it whether wanted or not, so each rewrite is a
+                # by-product, not a lost value — DF003 reports the
+                # register once instead.
+                continue
+            # A read at the overwriting position still observes the old
+            # value (reads precede writes), so it counts.
+            if any(first < u <= second for u in uses):
+                continue
+            inst = instructions[first]
+            diagnostics.append(
+                rule("LINT-DF002").diagnostic(
+                    f"value of {name!r} defined here is overwritten at "
+                    f"position {second} without being read",
+                    _location(first, inst, node),
+                    register=name,
+                    overwritten_at=second,
+                )
+            )
+
+    # DF003 — value never consumed (informational).
+    for name, final_def in live_out(instructions).items():
+        if loop_body and chains.uses.get(name):
+            continue  # read earlier in the body => next-iteration use
+        inst = instructions[final_def]
+        if inst.spec.is_store:
+            continue
+        diagnostics.append(
+            rule("LINT-DF003").diagnostic(
+                f"result in {name!r} is never read or stored",
+                _location(final_def, inst, node),
+                register=name,
+            )
+        )
+    return diagnostics

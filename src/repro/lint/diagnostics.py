@@ -1,0 +1,179 @@
+"""Diagnostic model of the static analyzer.
+
+Every lint rule reports :class:`Diagnostic` objects rather than raising:
+a diagnostic carries the rule id, a severity, a precise location
+(node / packet / instruction), the human message, and a fix hint.  A
+:class:`LintReport` aggregates diagnostics plus summary metrics (the
+soft-stall estimator's numbers land there) and knows how to filter,
+count and serialise itself.
+
+Fingerprints deliberately exclude instruction uids (process-unique
+counters) so a suppression baseline written by one run matches the
+structurally identical diagnostic of the next run.
+"""
+
+from __future__ import annotations
+
+import enum
+import hashlib
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, Iterator, List, Optional
+
+
+class Severity(enum.IntEnum):
+    """Diagnostic severity, ordered so comparisons mean strength."""
+
+    INFO = 1
+    WARNING = 2
+    ERROR = 3
+
+    @classmethod
+    def parse(cls, label: str) -> "Severity":
+        try:
+            return cls[label.upper()]
+        except KeyError as exc:
+            raise ValueError(f"unknown severity {label!r}") from exc
+
+    def __str__(self) -> str:
+        return self.name.lower()
+
+
+@dataclass(frozen=True)
+class Location:
+    """Where a diagnostic points.
+
+    Any field may be ``None`` — a graph lint has no packet, a dataflow
+    lint on an unpacked body has no packet index, and so on.
+    """
+
+    node: Optional[str] = None
+    packet_index: Optional[int] = None
+    instruction_index: Optional[int] = None
+    uid: Optional[int] = None
+    opcode: Optional[str] = None
+
+    def __str__(self) -> str:
+        parts = []
+        if self.node is not None:
+            parts.append(f"node {self.node}")
+        if self.packet_index is not None:
+            parts.append(f"packet {self.packet_index}")
+        if self.instruction_index is not None:
+            parts.append(f"inst {self.instruction_index}")
+        if self.opcode is not None:
+            parts.append(self.opcode)
+        return ":".join(parts) if parts else "<program>"
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One finding of the static analyzer."""
+
+    rule_id: str
+    severity: Severity
+    message: str
+    location: Location = field(default_factory=Location)
+    hint: str = ""
+    details: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def fingerprint(self) -> str:
+        """Stable identity for suppression baselines (uid-free)."""
+        key = "|".join(
+            (
+                self.rule_id,
+                self.location.node or "",
+                self.location.opcode or "",
+                self.message,
+            )
+        )
+        return hashlib.sha1(key.encode()).hexdigest()[:16]
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "rule": self.rule_id,
+            "severity": str(self.severity),
+            "message": self.message,
+            "node": self.location.node,
+            "packet": self.location.packet_index,
+            "instruction": self.location.instruction_index,
+            "opcode": self.location.opcode,
+            "hint": self.hint,
+            "fingerprint": self.fingerprint,
+        }
+
+    def render(self) -> str:
+        line = f"{self.severity}: {self.rule_id} [{self.location}] {self.message}"
+        if self.hint:
+            line += f" (hint: {self.hint})"
+        return line
+
+
+@dataclass
+class LintReport:
+    """Aggregated diagnostics plus analyzer metrics for one lint run."""
+
+    diagnostics: List[Diagnostic] = field(default_factory=list)
+    metrics: Dict[str, float] = field(default_factory=dict)
+
+    def add(self, diagnostic: Diagnostic) -> None:
+        self.diagnostics.append(diagnostic)
+
+    def extend(self, diagnostics: Iterable[Diagnostic]) -> None:
+        self.diagnostics.extend(diagnostics)
+
+    def merge(self, other: "LintReport") -> None:
+        """Fold ``other`` into this report (metrics are summed)."""
+        self.diagnostics.extend(other.diagnostics)
+        for key, value in other.metrics.items():
+            self.metrics[key] = self.metrics.get(key, 0.0) + value
+
+    def __iter__(self) -> Iterator[Diagnostic]:
+        return iter(self.diagnostics)
+
+    def __len__(self) -> int:
+        return len(self.diagnostics)
+
+    def count(self, severity: Severity) -> int:
+        return sum(1 for d in self.diagnostics if d.severity is severity)
+
+    @property
+    def errors(self) -> List[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity is Severity.ERROR]
+
+    @property
+    def max_severity(self) -> Optional[Severity]:
+        if not self.diagnostics:
+            return None
+        return max(d.severity for d in self.diagnostics)
+
+    def at_least(self, threshold: Severity) -> List[Diagnostic]:
+        """Diagnostics at or above ``threshold``."""
+        return [d for d in self.diagnostics if d.severity >= threshold]
+
+    def rule_ids(self) -> List[str]:
+        """Distinct rule ids present, sorted."""
+        return sorted({d.rule_id for d in self.diagnostics})
+
+    def suppress(self, fingerprints: Dict[str, int]) -> "LintReport":
+        """A copy with up to ``count`` diagnostics removed per fingerprint."""
+        budget = dict(fingerprints)
+        kept = []
+        for diagnostic in self.diagnostics:
+            remaining = budget.get(diagnostic.fingerprint, 0)
+            if remaining > 0:
+                budget[diagnostic.fingerprint] = remaining - 1
+                continue
+            kept.append(diagnostic)
+        return LintReport(diagnostics=kept, metrics=dict(self.metrics))
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "diagnostics": [d.to_dict() for d in self.diagnostics],
+            "metrics": dict(self.metrics),
+            "summary": {
+                "errors": self.count(Severity.ERROR),
+                "warnings": self.count(Severity.WARNING),
+                "infos": self.count(Severity.INFO),
+            },
+        }

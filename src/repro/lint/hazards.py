@@ -1,0 +1,292 @@
+"""Packet hazard detection and the soft-stall estimator.
+
+Re-derives, instruction pair by instruction pair, the legality rules a
+correct packer must have obeyed (Algorithm 1 / Section IV-C) — without
+trusting :class:`~repro.machine.packet.Packet`'s own constructor
+validation, which a corrupted pipeline may have bypassed by mutating
+``packet.instructions`` directly:
+
+* ``LINT-PK001`` — hard-dependent pairs sharing a packet;
+* ``LINT-PK002`` — more instructions than issue slots;
+* ``LINT-PK003`` — functional-unit class over its per-packet limit;
+* ``LINT-PK004`` — more than one store per packet;
+* ``LINT-PK005`` — co-packed writes to the same register (WAW);
+* ``LINT-SC00x`` — schedule/body consistency (drops, duplicates,
+  foreign instructions, inverted dependencies, poisoned estimates);
+* ``LINT-ST001`` / :class:`StallEstimate` — the static soft-stall
+  count, comparable against :mod:`repro.machine.profiler` numbers.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.isa.dependencies import DependencyKind, classify_dependency
+from repro.isa.instructions import Instruction
+from repro.lint.diagnostics import Diagnostic, Location
+from repro.lint.rules import rule
+from repro.machine.packet import (
+    MAX_PACKET_SLOTS,
+    MAX_STORES_PER_PACKET,
+    Packet,
+    RESOURCE_LIMITS,
+)
+
+
+def _ordered(instructions: Sequence[Instruction]) -> List[Instruction]:
+    """Members in program order (uids increase in creation order)."""
+    return sorted(instructions, key=lambda inst: inst.uid)
+
+
+def lint_packet(
+    packet: Packet, index: int, node: Optional[str] = None
+) -> List[Diagnostic]:
+    """All intra-packet hazard rules over one packet."""
+    diagnostics: List[Diagnostic] = []
+    insts = list(packet.instructions)
+    where = Location(node=node, packet_index=index)
+
+    if len(insts) > MAX_PACKET_SLOTS:
+        diagnostics.append(
+            rule("LINT-PK002").diagnostic(
+                f"packet holds {len(insts)} instructions "
+                f"(limit {MAX_PACKET_SLOTS})",
+                where,
+                count=len(insts),
+            )
+        )
+    counts = Counter(inst.resource for inst in insts)
+    for resource, count in sorted(counts.items(), key=lambda kv: kv[0].value):
+        if count > RESOURCE_LIMITS[resource]:
+            diagnostics.append(
+                rule("LINT-PK003").diagnostic(
+                    f"{count} x {resource.value} in one packet "
+                    f"(limit {RESOURCE_LIMITS[resource]})",
+                    where,
+                    resource=resource.value,
+                )
+            )
+    stores = sum(1 for inst in insts if inst.spec.is_store)
+    if stores > MAX_STORES_PER_PACKET:
+        diagnostics.append(
+            rule("LINT-PK004").diagnostic(
+                f"{stores} stores in one packet "
+                f"(limit {MAX_STORES_PER_PACKET})",
+                where,
+            )
+        )
+
+    ordered = _ordered(insts)
+    for i, first in enumerate(ordered):
+        for second in ordered[i + 1:]:
+            waw = frozenset(first.dests) & frozenset(second.dests)
+            if waw:
+                diagnostics.append(
+                    rule("LINT-PK005").diagnostic(
+                        f"{first.opcode.value} and {second.opcode.value} "
+                        f"both write {sorted(waw)!r} in one packet",
+                        where,
+                        registers=sorted(waw),
+                    )
+                )
+            if classify_dependency(first, second) is DependencyKind.HARD:
+                diagnostics.append(
+                    rule("LINT-PK001").diagnostic(
+                        f"hard dependency {first.opcode.value} -> "
+                        f"{second.opcode.value} inside one packet",
+                        where,
+                        first_uid=first.uid,
+                        second_uid=second.uid,
+                    )
+                )
+    return diagnostics
+
+
+def lint_schedule_consistency(
+    packets: Sequence[Packet],
+    body: Sequence[Instruction],
+    node: Optional[str] = None,
+) -> List[Diagnostic]:
+    """Bijection and ordering between a kernel body and its schedule."""
+    diagnostics: List[Diagnostic] = []
+    position: Dict[int, int] = {}
+    opcode_of: Dict[int, str] = {}
+    for index, packet in enumerate(packets):
+        for inst in packet:
+            if inst.uid in position:
+                diagnostics.append(
+                    rule("LINT-SC002").diagnostic(
+                        f"{inst.opcode.value} scheduled in packet "
+                        f"{position[inst.uid]} and again in packet {index}",
+                        Location(
+                            node=node,
+                            packet_index=index,
+                            opcode=inst.opcode.value,
+                        ),
+                        uid=inst.uid,
+                    )
+                )
+                continue
+            position[inst.uid] = index
+            opcode_of[inst.uid] = inst.opcode.value
+    body_uids = {inst.uid for inst in body}
+    missing = sorted(body_uids - set(position))
+    if missing:
+        diagnostics.append(
+            rule("LINT-SC001").diagnostic(
+                f"schedule drops {len(missing)} of {len(body_uids)} "
+                f"kernel-body instructions",
+                Location(node=node),
+                missing_uids=missing,
+            )
+        )
+    foreign = sorted(set(position) - body_uids)
+    if foreign:
+        diagnostics.append(
+            rule("LINT-SC005").diagnostic(
+                f"schedule contains {len(foreign)} instruction(s) not in "
+                f"the kernel body",
+                Location(node=node),
+                foreign_uids=foreign,
+            )
+        )
+
+    ordered = _ordered(body)
+    for i, first in enumerate(ordered):
+        if first.uid not in position:
+            continue
+        for second in ordered[i + 1:]:
+            if second.uid not in position:
+                continue
+            kind = classify_dependency(first, second)
+            if kind is DependencyKind.NONE:
+                continue
+            if position[first.uid] > position[second.uid]:
+                diagnostics.append(
+                    rule("LINT-SC004").diagnostic(
+                        f"{kind.value} dependency inverted: "
+                        f"{first.opcode.value} (packet "
+                        f"{position[first.uid]}) executes after "
+                        f"{second.opcode.value} (packet "
+                        f"{position[second.uid]})",
+                        Location(node=node, opcode=first.opcode.value),
+                        first_uid=first.uid,
+                        second_uid=second.uid,
+                    )
+                )
+    return diagnostics
+
+
+def lint_cycle_estimate(
+    cycles: float, node: Optional[str] = None
+) -> List[Diagnostic]:
+    """LINT-SC003: a cycle estimate must be finite and non-negative."""
+    if (
+        isinstance(cycles, (int, float))
+        and math.isfinite(cycles)
+        and cycles >= 0.0
+    ):
+        return []
+    return [
+        rule("LINT-SC003").diagnostic(
+            f"cycle estimate is {cycles!r}",
+            Location(node=node),
+            cycles=repr(cycles),
+        )
+    ]
+
+
+# ---------------------------------------------------------------------------
+# soft-stall estimation
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class StallEstimate:
+    """Static timing summary of one packed schedule.
+
+    The derivation is independent of :mod:`repro.machine.pipeline` (the
+    chains are re-discovered from ``classify_dependency``), but follows
+    the same hardware rules — stalls serialize along soft-RAW chains,
+    one cycle per link — so ``total_cycles`` must equal the profiler's
+    number for the same schedule; the tests pin that agreement.
+    """
+
+    packets: int
+    soft_raw_pairs: int
+    stall_cycles: int
+    base_cycles: int
+
+    @property
+    def total_cycles(self) -> int:
+        return self.base_cycles + self.stall_cycles
+
+    @property
+    def stall_fraction(self) -> float:
+        if self.total_cycles == 0:
+            return 0.0
+        return self.stall_cycles / self.total_cycles
+
+
+def _packet_stall_chain(packet: Packet) -> Tuple[int, int]:
+    """(stalling soft-RAW pair count, longest chain length - 1)."""
+    ordered = _ordered(packet.instructions)
+    edges: Dict[int, List[int]] = {}
+    pairs = 0
+    for i, first in enumerate(ordered):
+        for second in ordered[i + 1:]:
+            if classify_dependency(first, second) is not DependencyKind.SOFT:
+                continue
+            if not frozenset(first.dests) & frozenset(second.read_registers):
+                continue  # WAR-shaped soft pair: free, reads precede writes
+            pairs += 1
+            edges.setdefault(first.uid, []).append(second.uid)
+    if not pairs:
+        return 0, 0
+    depth: Dict[int, int] = {}
+
+    def chain(uid: int) -> int:
+        if uid not in depth:
+            depth[uid] = 1 + max(
+                (chain(s) for s in edges.get(uid, ())), default=0
+            )
+        return depth[uid]
+
+    longest = max(chain(uid) for uid in edges)
+    return pairs, longest - 1
+
+
+def estimate_stalls(packets: Sequence[Packet]) -> StallEstimate:
+    """Statically estimate the stall cycles of a packed schedule."""
+    pairs = stalls = base = 0
+    for packet in packets:
+        if len(packet) == 0:
+            base += 1  # a NOP bundle still occupies the pipeline
+            continue
+        packet_pairs, packet_stalls = _packet_stall_chain(packet)
+        pairs += packet_pairs
+        stalls += packet_stalls
+        base += max(inst.latency for inst in packet)
+    return StallEstimate(
+        packets=len(packets),
+        soft_raw_pairs=pairs,
+        stall_cycles=stalls,
+        base_cycles=base,
+    )
+
+
+def stall_diagnostic(
+    estimate: StallEstimate, node: Optional[str] = None
+) -> Diagnostic:
+    """LINT-ST001 info summary for one schedule."""
+    return rule("LINT-ST001").diagnostic(
+        f"{estimate.soft_raw_pairs} stalling soft-RAW pair(s) cost "
+        f"{estimate.stall_cycles} cycle(s) over {estimate.packets} "
+        f"packet(s) ({estimate.total_cycles} total)",
+        Location(node=node),
+        stall_cycles=estimate.stall_cycles,
+        total_cycles=estimate.total_cycles,
+    )

@@ -1,0 +1,148 @@
+"""Memory-map discipline checks for complete machine-level programs.
+
+Complete programs (e.g. :class:`~repro.codegen.program.MatmulProgram`)
+address simulated memory through immediates, so their memory behaviour
+is statically decidable: every access either lands inside a declared
+buffer region or it is a bug.  Kernel *bodies* address memory through
+scalar base registers the surrounding driver owns; such dynamic
+accesses are skipped (they are checked dynamically by the simulator
+differential tests instead).
+
+Rules:
+
+* ``LINT-MM001`` — access outside every declared region;
+* ``LINT-MM002`` — store into a region declared read-only (inputs);
+* ``LINT-MM003`` — two stores that overlap without being the same slot.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.codegen.program import INPUT_BASE, OUTPUT_BASE, MatmulProgram
+from repro.codegen.regalloc import SPILL_BASE
+from repro.isa.instructions import Instruction, Opcode, VECTOR_BYTES
+from repro.isa.registers import RegisterFile
+from repro.lint.diagnostics import Diagnostic, Location
+from repro.lint.rules import rule
+
+#: Bytes moved by each directly-addressed memory opcode.
+_ACCESS_BYTES = {
+    Opcode.VLOAD: VECTOR_BYTES,
+    Opcode.VSTORE: VECTOR_BYTES,
+    Opcode.LOAD: 4,
+    Opcode.STORE: 4,
+    Opcode.LUT: 4,
+}
+
+
+@dataclass(frozen=True)
+class Region:
+    """One named buffer region of a program's memory map."""
+
+    name: str
+    base: int
+    size: int
+    writable: bool = True
+
+    @property
+    def end(self) -> int:
+        return self.base + self.size
+
+    def contains(self, address: int, count: int) -> bool:
+        return self.base <= address and address + count <= self.end
+
+
+def matmul_regions(program: MatmulProgram) -> List[Region]:
+    """The memory map a generated matmul program must respect."""
+    return [
+        Region("input", INPUT_BASE, program.input_bytes, writable=False),
+        Region("output", OUTPUT_BASE, program.output_bytes),
+        Region("spill", SPILL_BASE, 1 << 16),
+    ]
+
+
+def _static_address(inst: Instruction) -> Optional[int]:
+    """The access address, when statically known.
+
+    Mirrors the simulator's addressing convention (base register plus
+    immediate): with a scalar base register in play the address is
+    dynamic and ``None`` is returned.
+    """
+    for name in inst.srcs:
+        if not RegisterFile.is_vector_name(name):
+            return None
+    return inst.imms[0] if inst.imms else 0
+
+
+def lint_memory_map(
+    instructions: Sequence[Instruction],
+    regions: Sequence[Region],
+    *,
+    node: Optional[str] = None,
+) -> List[Diagnostic]:
+    """Run the memory-map rules over a complete program."""
+    diagnostics: List[Diagnostic] = []
+    store_ranges: Dict[Tuple[int, int], int] = {}
+    for position, inst in enumerate(instructions):
+        count = _ACCESS_BYTES.get(inst.opcode)
+        if count is None:
+            continue
+        # Scalar stores read the value from srcs[0] and (optionally) a
+        # base register from srcs[1]; vector stores read the payload
+        # vector plus an optional scalar base.  Either way a scalar
+        # source means dynamic addressing.
+        address = _static_address(inst)
+        if address is None:
+            continue
+        where = Location(
+            node=node,
+            instruction_index=position,
+            uid=inst.uid,
+            opcode=inst.opcode.value,
+        )
+        home = next(
+            (r for r in regions if r.contains(address, count)), None
+        )
+        if home is None:
+            diagnostics.append(
+                rule("LINT-MM001").diagnostic(
+                    f"{inst.opcode.value} touches "
+                    f"[{address:#x}, {address + count:#x}) outside every "
+                    f"declared region",
+                    where,
+                    address=address,
+                    bytes=count,
+                )
+            )
+            continue
+        if inst.spec.is_store:
+            if not home.writable:
+                diagnostics.append(
+                    rule("LINT-MM002").diagnostic(
+                        f"store into read-only region {home.name!r} at "
+                        f"{address:#x}",
+                        where,
+                        region=home.name,
+                        address=address,
+                    )
+                )
+            span = (address, address + count)
+            for (start, end), first_pos in store_ranges.items():
+                if (start, end) == span:
+                    continue  # identical slot reuse (spill) is fine
+                if start < span[1] and span[0] < end:
+                    diagnostics.append(
+                        rule("LINT-MM003").diagnostic(
+                            f"store at {address:#x} partially overlaps "
+                            f"the store at {start:#x} "
+                            f"(instruction {first_pos})",
+                            where,
+                            address=address,
+                            overlaps=start,
+                        )
+                    )
+                    break
+            store_ranges.setdefault(span, position)
+    return diagnostics

@@ -1,0 +1,52 @@
+"""Render a :class:`~repro.lint.diagnostics.LintReport` for humans or CI.
+
+Two formats:
+
+* ``text`` — one line per diagnostic (severity, rule id, location,
+  message, hint) followed by a summary and the analyzer's metrics;
+* ``json`` — the report's ``to_dict()`` serialisation, stable enough
+  for CI tooling to parse.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.lint.diagnostics import LintReport, Severity
+
+_SEVERITY_ORDER = (Severity.ERROR, Severity.WARNING, Severity.INFO)
+
+
+def render_text(report: LintReport, *, verbose: bool = True) -> str:
+    """The human-readable report."""
+    lines = []
+    for severity in _SEVERITY_ORDER:
+        for diagnostic in report:
+            if diagnostic.severity is severity:
+                lines.append(diagnostic.render())
+    summary = ", ".join(
+        f"{report.count(severity)} {severity}(s)"
+        for severity in _SEVERITY_ORDER
+    )
+    lines.append(f"lint: {summary}")
+    if verbose and report.metrics:
+        rendered = ", ".join(
+            f"{key}={value:g}"
+            for key, value in sorted(report.metrics.items())
+        )
+        lines.append(f"metrics: {rendered}")
+    return "\n".join(lines)
+
+
+def render_json(report: LintReport) -> str:
+    """The machine-readable report."""
+    return json.dumps(report.to_dict(), indent=2, sort_keys=True)
+
+
+def render(report: LintReport, fmt: str = "text") -> str:
+    """Dispatch on ``fmt`` (``text`` or ``json``)."""
+    if fmt == "json":
+        return render_json(report)
+    if fmt == "text":
+        return render_text(report)
+    raise ValueError(f"unknown lint report format {fmt!r}")

@@ -1,0 +1,248 @@
+"""The lint rule catalog.
+
+Every diagnostic the analyzer emits names a registered :class:`Rule`.
+The registry is the single source of truth for rule ids, default
+severities and rationales — ``docs/LINT.md`` mirrors it, the reporter
+renders from it, and the fault-injection cross-validation matrix keys
+off it (:data:`repro.lint.analyzer.FAULT_RULES`).
+
+Rule id scheme: ``LINT-<family><number>`` with families
+
+* ``DF`` — register dataflow (def-use / liveness);
+* ``PK`` — intra-packet hazard legality (Section IV-C);
+* ``SC`` — schedule consistency against the kernel body;
+* ``ST`` — soft-stall estimation;
+* ``MM`` — memory-map discipline;
+* ``LW`` — lowered-kernel structure;
+* ``GR`` — compiled-graph / selection properties.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Optional
+
+from repro.lint.diagnostics import Diagnostic, Location, Severity
+
+
+@dataclass(frozen=True)
+class Rule:
+    """One registered static-analysis rule."""
+
+    rule_id: str
+    severity: Severity
+    title: str
+    rationale: str
+    hint: str = ""
+
+    def diagnostic(
+        self,
+        message: str,
+        location: Optional[Location] = None,
+        *,
+        severity: Optional[Severity] = None,
+        hint: Optional[str] = None,
+        **details: Any,
+    ) -> Diagnostic:
+        """Build a diagnostic carrying this rule's identity."""
+        return Diagnostic(
+            rule_id=self.rule_id,
+            severity=severity or self.severity,
+            message=message,
+            location=location or Location(),
+            hint=self.hint if hint is None else hint,
+            details=details,
+        )
+
+
+def _build_registry() -> Dict[str, Rule]:
+    rules = [
+        # -- dataflow ------------------------------------------------------
+        Rule(
+            "LINT-DF001", Severity.ERROR,
+            "uninitialized register read",
+            "An instruction reads a register with no reaching definition: "
+            "the value is whatever the register file happened to hold.",
+            "define the register (load/splat) before its first use",
+        ),
+        Rule(
+            "LINT-DF002", Severity.WARNING,
+            "dead register write",
+            "A register is overwritten before any instruction reads the "
+            "previous value — the earlier write is wasted work or, worse, "
+            "a mis-renamed destination.",
+            "drop the earlier write or re-check destination renaming",
+        ),
+        Rule(
+            "LINT-DF003", Severity.INFO,
+            "unconsumed result",
+            "A computed value is never read nor stored to memory.  Paired-"
+            "output instructions legitimately discard a by-product half, "
+            "so this is informational.",
+            "store or consume the value, or accept the by-product",
+        ),
+        Rule(
+            "LINT-DF004", Severity.ERROR,
+            "duplicate destination within one instruction",
+            "One instruction lists the same destination register twice; "
+            "the write order within the instruction is undefined.",
+            "give each output its own register",
+        ),
+        # -- packet hazards ------------------------------------------------
+        Rule(
+            "LINT-PK001", Severity.ERROR,
+            "hard-dependent pair co-packed",
+            "Two instructions linked by a hard dependency share a packet "
+            "— a true race on the machine (Section IV-C: hard pairs "
+            "'likely produce incorrect results').",
+            "split the pair across packets",
+        ),
+        Rule(
+            "LINT-PK002", Severity.ERROR,
+            "packet slot oversubscription",
+            "A packet holds more instructions than the machine issues "
+            "per cycle (MAX_PACKET_SLOTS).",
+            "split the packet",
+        ),
+        Rule(
+            "LINT-PK003", Severity.ERROR,
+            "functional-unit oversubscription",
+            "A packet uses one functional-unit class beyond its per-"
+            "packet issue limit (e.g. two shifts per packet).",
+            "move one of the conflicting instructions to another packet",
+        ),
+        Rule(
+            "LINT-PK004", Severity.ERROR,
+            "multiple stores per packet",
+            "The machine retires at most one store per packet.",
+            "serialise the stores",
+        ),
+        Rule(
+            "LINT-PK005", Severity.ERROR,
+            "write-after-write within a packet",
+            "Two co-packed instructions write the same register; which "
+            "value survives is undefined on the hardware.",
+            "split the writers across packets",
+        ),
+        # -- schedule consistency ------------------------------------------
+        Rule(
+            "LINT-SC001", Severity.ERROR,
+            "schedule drops kernel-body instructions",
+            "The packed schedule is missing instructions present in the "
+            "kernel body — truncated codegen silently computes less.",
+            "re-pack the kernel body; every instruction must be scheduled",
+        ),
+        Rule(
+            "LINT-SC002", Severity.ERROR,
+            "instruction scheduled more than once",
+            "The same instruction (by uid) appears in multiple packets; "
+            "its side effects would apply twice.",
+            "deduplicate the schedule",
+        ),
+        Rule(
+            "LINT-SC003", Severity.ERROR,
+            "invalid cycle estimate",
+            "A kernel's cycle estimate is NaN, infinite or negative — "
+            "downstream latency accounting would silently corrupt.",
+            "recompute the estimate from the packed schedule",
+        ),
+        Rule(
+            "LINT-SC004", Severity.ERROR,
+            "dependency order inverted across packets",
+            "A dependent instruction is scheduled in an earlier packet "
+            "than its producer.",
+            "respect program-order dependencies when packing",
+        ),
+        Rule(
+            "LINT-SC005", Severity.ERROR,
+            "foreign instruction in schedule",
+            "The schedule contains instructions that are not part of the "
+            "kernel body it claims to implement.",
+            "rebuild the schedule from the kernel body",
+        ),
+        # -- soft stalls ---------------------------------------------------
+        Rule(
+            "LINT-ST001", Severity.INFO,
+            "soft-dependency stall summary",
+            "Count of stalling soft-RAW pairs and the cycles they cost; "
+            "lets packers be compared without running the profiler.",
+            "",
+        ),
+        # -- memory map ----------------------------------------------------
+        Rule(
+            "LINT-MM001", Severity.ERROR,
+            "memory access outside mapped regions",
+            "A load/store with a statically known address falls outside "
+            "every declared buffer region.",
+            "fix the address arithmetic or declare the region",
+        ),
+        Rule(
+            "LINT-MM002", Severity.ERROR,
+            "store clobbers a read-only region",
+            "A store writes into the input region, destroying operands "
+            "that later loads may still need.",
+            "store results to the output (or spill) region",
+        ),
+        Rule(
+            "LINT-MM003", Severity.WARNING,
+            "partially overlapping stores",
+            "Two stores overlap without being the identical slot — two "
+            "unrelated buffers collide in memory.",
+            "separate the buffers or align the slots",
+        ),
+        # -- lowering structure --------------------------------------------
+        Rule(
+            "LINT-LW001", Severity.ERROR,
+            "empty kernel body",
+            "A lowered kernel has no instructions — the operator would "
+            "silently compute nothing.",
+            "re-lower the node",
+        ),
+        Rule(
+            "LINT-LW002", Severity.ERROR,
+            "invalid trip count",
+            "A kernel's trip count is not a positive integer, so the "
+            "loop would mis-iterate.",
+            "recompute trips from the operator's shape",
+        ),
+        # -- graph / selection ---------------------------------------------
+        Rule(
+            "LINT-GR001", Severity.ERROR,
+            "layout-mismatch edge without a transform",
+            "Adjacent operators run in different layouts but the edge is "
+            "charged no transform — the consumer would read bytes in the "
+            "wrong order (Equation 1's TC term is missing).",
+            "insert/charge a layout transform on the edge",
+        ),
+        Rule(
+            "LINT-GR002", Severity.ERROR,
+            "plan layout inconsistent with its instruction",
+            "A selected plan pairs a SIMD multiply with a layout the "
+            "instruction cannot consume (Figure 2's pairing).",
+            "use INSTRUCTION_LAYOUT for the chosen instruction",
+        ),
+        Rule(
+            "LINT-GR003", Severity.ERROR,
+            "requantize shift out of range",
+            "A vasr requantize shift is negative or exceeds the 32-bit "
+            "accumulator width — the rescale silently corrupts values.",
+            "normalise the multiplier/shift decomposition",
+        ),
+        Rule(
+            "LINT-GR004", Severity.ERROR,
+            "invalid quantization parameters",
+            "A tensor's scale is non-positive/non-finite or its zero "
+            "point leaves the int8 range.",
+            "re-derive scale/zero-point from the tensor's value range",
+        ),
+    ]
+    return {rule.rule_id: rule for rule in rules}
+
+
+#: Rule id -> rule, the single registry every analysis pulls from.
+RULES: Dict[str, Rule] = _build_registry()
+
+
+def rule(rule_id: str) -> Rule:
+    """Look up a rule; unknown ids are a programming error."""
+    return RULES[rule_id]

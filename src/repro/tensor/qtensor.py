@@ -95,16 +95,20 @@ class QTensor:
             raise QuantizationError("cannot quantize an empty tensor")
         qmin = -(1 << (bits - 1))
         qmax = (1 << (bits - 1)) - 1
+        # A subnormal value range makes the scale division underflow to
+        # exactly 0.0; floor it at the smallest normal float so the
+        # scale stays finite and positive.
+        tiny = float(np.finfo(np.float64).tiny)
         if symmetric:
             bound = float(np.abs(values).max())
             bound = bound if bound > 0 else 1.0
-            scale = bound / qmax
+            scale = max(bound / qmax, tiny)
             zero_point = 0
         else:
             lo = float(min(values.min(), 0.0))
             hi = float(max(values.max(), 0.0))
             span = hi - lo if hi > lo else 1.0
-            scale = span / (qmax - qmin)
+            scale = max(span / (qmax - qmin), tiny)
             zero_point = int(round(qmin - lo / scale))
         q = np.round(values / scale) + zero_point
         q = np.clip(q, qmin, qmax).astype(np.int8)

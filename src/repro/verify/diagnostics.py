@@ -83,6 +83,10 @@ class CompilationDiagnostics:
                 else ""
             )
             lines.append(f"stage {stage}: {seconds * 1e3:.1f} ms{suffix}")
+        for stage, seconds in self.verifier_seconds.items():
+            # Checkers with no compile stage of their own (e.g. lint).
+            if stage not in self.stage_seconds:
+                lines.append(f"verifier {stage}: {seconds * 1e3:.1f} ms")
         if self.fallbacks:
             for record in self.fallbacks:
                 lines.append(f"fallback: {record}")

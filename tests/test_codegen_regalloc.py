@@ -91,3 +91,116 @@ class TestAllocation:
         result = allocate_registers(program)
         assert result.instructions[0].dests == ("r_a",)
         assert result.instructions[1].srcs == ("r_a",)
+
+
+class TestSpillCorrectness:
+    """Regression tests for spill-rewrite bugs the lint surfaced."""
+
+    def test_allocated_programs_pass_uninitialized_read_lint(self):
+        from repro.lint import StaticAnalyzer
+
+        a, b = _operands(8, 16, 6)
+        for budget in (3, 4, 8, DEFAULT_VECTOR_BUDGET):
+            program = build_matmul_program(a.shape, b)
+            result = allocate_registers(
+                program.instructions, vector_budget=budget
+            )
+            report = StaticAnalyzer().lint_program(result.instructions)
+            bad = [
+                d
+                for d in report
+                if d.rule_id in ("LINT-DF001", "LINT-DF004")
+            ]
+            assert not bad, [d.render() for d in bad]
+
+    def test_two_spilled_dests_get_distinct_temporaries(self):
+        # A paired-output instruction whose both destinations spill
+        # used to write through one shared temporary, folding the two
+        # halves into the same register.
+        from repro.codegen.program import INPUT_BASE, OUTPUT_BASE
+
+        program = [
+            Instruction(Opcode.VLOAD, dests=("v_a",), imms=(INPUT_BASE,)),
+            Instruction(
+                Opcode.VLOAD, dests=("v_b",), imms=(INPUT_BASE + 128,)
+            ),
+            Instruction(
+                Opcode.VSHUFF, dests=("v_x", "v_y"), srcs=("v_a", "v_b")
+            ),
+            Instruction(Opcode.VADD, dests=("v_z",), srcs=("v_x", "v_y")),
+            Instruction(Opcode.VSTORE, srcs=("v_z",), imms=(OUTPUT_BASE,)),
+        ]
+        result = allocate_registers(program, vector_budget=3)
+        assert {"v_x", "v_y"} <= result.spilled
+        shuff = next(
+            inst
+            for inst in result.instructions
+            if inst.opcode is Opcode.VSHUFF
+        )
+        assert len(set(shuff.dests)) == 2
+
+    def test_two_spilled_dests_memory_equivalent(self):
+        from repro.codegen.program import INPUT_BASE, OUTPUT_BASE
+
+        def build():
+            return [
+                Instruction(
+                    Opcode.VLOAD, dests=("v_a",), imms=(INPUT_BASE,)
+                ),
+                Instruction(
+                    Opcode.VLOAD, dests=("v_b",), imms=(INPUT_BASE + 128,)
+                ),
+                Instruction(
+                    Opcode.VSHUFF, dests=("v_x", "v_y"), srcs=("v_a", "v_b")
+                ),
+                Instruction(
+                    Opcode.VADD, dests=("v_z",), srcs=("v_x", "v_y")
+                ),
+                Instruction(
+                    Opcode.VSTORE, srcs=("v_z",), imms=(OUTPUT_BASE,)
+                ),
+            ]
+
+        def run(instructions):
+            state = MachineState()
+            rng = np.random.default_rng(7)
+            data = rng.integers(-100, 100, size=256, dtype=np.int8)
+            state.write_array(INPUT_BASE, data)
+            Simulator(state).run(
+                [Packet([inst]) for inst in instructions]
+            )
+            return state.load_bytes(OUTPUT_BASE, 128)
+
+        reference = run(build())
+        allocated = allocate_registers(build(), vector_budget=3)
+        assert np.array_equal(run(allocated.instructions), reference)
+
+    def test_spilled_implicit_accumulator_is_reloaded(self):
+        # vrmpy's accumulate form reads its destination implicitly; a
+        # spilled accumulator must be reloaded before the instruction
+        # even though it never appears in srcs.
+        from repro.codegen.program import INPUT_BASE
+
+        program = [
+            Instruction(Opcode.VSPLAT, dests=("v_acc",), imms=(0,)),
+            Instruction(Opcode.VLOAD, dests=("v_p",), imms=(INPUT_BASE,)),
+            Instruction(
+                Opcode.VLOAD, dests=("v_q",), imms=(INPUT_BASE + 128,)
+            ),
+            Instruction(Opcode.VADD, dests=("v_r",), srcs=("v_p", "v_q")),
+            Instruction(Opcode.VRMPY, dests=("v_acc",), srcs=("v_r",)),
+            Instruction(Opcode.VSTORE, srcs=("v_acc",), imms=(0x40000,)),
+        ]
+        result = allocate_registers(program, vector_budget=3)
+        assert "v_acc" in result.spilled
+        position = next(
+            i
+            for i, inst in enumerate(result.instructions)
+            if inst.opcode is Opcode.VRMPY
+        )
+        reload = result.instructions[position - 1]
+        assert reload.opcode is Opcode.VLOAD
+        assert reload.comment == "reload v_acc"
+        # The reload lands in the same temporary the vrmpy accumulates
+        # into, preserving read-modify-write semantics.
+        assert reload.dests == result.instructions[position].dests

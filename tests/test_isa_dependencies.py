@@ -75,6 +75,59 @@ class TestNoDependency:
         assert classify_dependency(a, a) is DependencyKind.NONE
 
 
+class TestSectionIVCEdgeCases:
+    """Pin the Section IV-C table on its less obvious corners."""
+
+    def test_store_address_operand_raw_is_soft(self):
+        # RAW into a store's *address* operand (not the data operand)
+        # still lands in the producer->store row: stores are soft
+        # consumers whichever operand carries the dependence.
+        addr = _inst(Opcode.VADD, dests=("v_ad",), srcs=("v0", "v1"))
+        store = _inst(Opcode.VSTORE, srcs=("v_data", "v_ad"))
+        assert classify_dependency(addr, store) is DependencyKind.SOFT
+
+    def test_scalar_alu_to_store_chain_is_soft(self):
+        # Scalar address bump feeding a store: soft twice over (SALU
+        # producer AND store consumer).
+        bump = _inst(Opcode.ADD, dests=("r_ad",), srcs=("r_ad",))
+        store = _inst(Opcode.VSTORE, srcs=("v_data", "r_ad"))
+        assert classify_dependency(bump, store) is DependencyKind.SOFT
+
+    def test_scalar_alu_chain_is_soft(self):
+        first = _inst(Opcode.ADD, dests=("r_a",), srcs=("r_a",))
+        second = _inst(Opcode.SUB, dests=("r_b",), srcs=("r_a",))
+        assert classify_dependency(first, second) is DependencyKind.SOFT
+
+    def test_self_dependency_any_opcode_is_none(self):
+        # classify(i, i) is NONE even for accumulate forms, which read
+        # and write the same register.
+        acc = _inst(Opcode.VRMPY, dests=("v_acc",), srcs=("v_in",))
+        assert classify_dependency(acc, acc) is DependencyKind.NONE
+
+    def test_implicit_accumulator_raw_is_visible(self):
+        # Producer writes v_acc; a vrmpy accumulate form reads it
+        # implicitly (dest not in srcs).  The RAW must be seen — and it
+        # coincides with a WAW on v_acc, so the pair is hard.
+        init = _inst(Opcode.VSPLAT, dests=("v_acc",))
+        acc = _inst(Opcode.VRMPY, dests=("v_acc",), srcs=("v_in",))
+        assert classify_dependency(init, acc) is DependencyKind.HARD
+
+    def test_implicit_accumulator_war_is_soft(self):
+        # An accumulate form's implicit read followed by an overwrite
+        # of the accumulator: WAR, always soft.
+        acc = _inst(Opcode.VRMPY, dests=("v_acc",), srcs=("v_in",))
+        clobber = _inst(Opcode.VSPLAT, dests=("v_other",), srcs=())
+        war = _inst(Opcode.VADD, dests=("v_in",), srcs=("v_zero", "v_zero"))
+        assert classify_dependency(acc, war) is DependencyKind.SOFT
+        assert classify_dependency(acc, clobber) is DependencyKind.NONE
+
+    def test_vector_raw_into_store_data_still_soft(self):
+        # Figure 4(b) exactly: vector multiply result stored.
+        mul = _inst(Opcode.VMPY, dests=("v_p",), srcs=("v_a", "v_b"))
+        store = _inst(Opcode.VSTORE, srcs=("v_p", "r_ad"))
+        assert classify_dependency(mul, store) is DependencyKind.SOFT
+
+
 class TestKindProperties:
     def test_only_hard_blocks_packing(self):
         assert DependencyKind.HARD.blocks_packing

@@ -106,3 +106,38 @@ class TestVectorInstruction:
         assert not vector_instruction(Opcode.ADD)
         assert not vector_instruction(Opcode.LOAD)
         assert not vector_instruction(Opcode.JUMP)
+
+
+class TestImplicitOperands:
+    """Accumulate-in-place forms read their destination (regression:
+    ``reads``/``read_registers`` used to report explicit srcs only)."""
+
+    def test_accumulate_dest_is_read_and_written(self):
+        # vrmpy acc, vin — accumulates into acc even when the emitter
+        # does not list acc among the explicit sources.
+        inst = Instruction(Opcode.VRMPY, dests=("v_acc",), srcs=("v_in",))
+        assert inst.writes("v_acc")
+        assert inst.reads("v_acc")
+        assert "v_acc" in inst.read_registers
+
+    def test_explicit_accumulator_not_duplicated(self):
+        # The compiler's emitters list acc explicitly; the implicit
+        # operand must not appear twice.
+        inst = Instruction(
+            Opcode.VRMPY, dests=("v_acc",), srcs=("v_in", "v_acc")
+        )
+        assert inst.read_registers == ("v_in", "v_acc")
+
+    def test_vtmpy_accumulates_too(self):
+        inst = Instruction(Opcode.VTMPY, dests=("v_acc",), srcs=("v_in",))
+        assert inst.reads("v_acc")
+
+    def test_non_accumulating_ops_do_not_read_dest(self):
+        for opcode in (Opcode.VMPY, Opcode.VADD, Opcode.VLOAD):
+            inst = Instruction(opcode, dests=("v0",), srcs=("v1",))
+            assert not inst.reads("v0")
+            assert inst.read_registers == ("v1",)
+
+    def test_written_registers_matches_dests(self):
+        inst = Instruction(Opcode.VSHUFF, dests=("v0", "v1"), srcs=("v2",))
+        assert inst.written_registers == ("v0", "v1")

@@ -1,0 +1,68 @@
+"""End-to-end tests for ``repro lint`` (CLI surface + baselines)."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+class TestLintCommand:
+    def test_clean_model_exits_zero(self, capsys):
+        assert main(["lint", "fst"]) == 0
+        out = capsys.readouterr().out
+        assert "lint:" in out
+
+    def test_fail_on_info_trips_on_informational_findings(self, capsys):
+        # The zoo is clean at warning level but carries DF003-style
+        # informational notes, so tightening the gate to `info` fails.
+        assert main(["lint", "fst", "--fail-on", "info"]) == 1
+        err = capsys.readouterr().err
+        assert "failing" in err
+
+    def test_json_format_parses(self, capsys):
+        assert main(["lint", "fst", "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert "diagnostics" in payload
+        assert "metrics" in payload
+
+    def test_unknown_model_exits_one(self, capsys):
+        assert main(["lint", "no_such_model"]) == 1
+        assert capsys.readouterr().err
+
+    def test_packing_option_accepted(self):
+        assert main(["lint", "fst", "--packing", "soft_to_hard"]) == 0
+
+
+class TestBaselines:
+    def test_write_then_suppress_round_trip(self, tmp_path, capsys):
+        baseline = tmp_path / "lint-baseline.json"
+        assert (
+            main(["lint", "fst", "--write-baseline", str(baseline)]) == 0
+        )
+        assert baseline.exists()
+        payload = json.loads(baseline.read_text())
+        assert payload["version"] == 1
+
+        # With every current finding suppressed, even the strictest
+        # gate passes.
+        capsys.readouterr()
+        assert (
+            main(
+                [
+                    "lint",
+                    "fst",
+                    "--baseline",
+                    str(baseline),
+                    "--fail-on",
+                    "info",
+                ]
+            )
+            == 0
+        )
+
+    def test_malformed_baseline_exits_one(self, tmp_path, capsys):
+        baseline = tmp_path / "bad.json"
+        baseline.write_text('{"version": 99}')
+        assert main(["lint", "fst", "--baseline", str(baseline)]) == 1
+        assert capsys.readouterr().err

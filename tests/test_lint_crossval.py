@@ -1,0 +1,172 @@
+"""Cross-validation of the static analyzer against its two oracles.
+
+1. The fault-injection registry: every packing/codegen-stage fault that
+   :mod:`repro.verify.faultinject` can inject must be caught *statically*
+   by the named lint rule in :data:`repro.lint.FAULT_RULES` — no
+   execution, just analysis of the corrupted artefacts.
+2. The simulator: schedules the linter passes must execute to the same
+   memory bytes as sequential execution (positive-direction hazard
+   agreement), and a schedule corrupted with a hard co-pack must be
+   flagged by LINT-PK001.
+
+Marked ``lint_crossval`` so CI can run the matrix standalone.
+"""
+
+import numpy as np
+import pytest
+
+from repro.codegen.program import (
+    build_matmul_program,
+    run_packed,
+    run_sequential,
+)
+from repro.compiler import CompilerOptions, compile_model
+from repro.core.packing.baselines import (
+    pack_list_schedule,
+    pack_soft_to_hard,
+    pack_soft_to_none,
+)
+from repro.core.packing.sda import pack_best, pack_instructions
+from repro.isa.dependencies import DependencyKind, classify_dependency
+from repro.lint import (
+    FAULT_RULES,
+    STATIC_STAGES,
+    Severity,
+    StaticAnalyzer,
+    lint_model,
+)
+from repro.models import build_model, model_names
+from repro.verify.faultinject import FAULTS
+
+pytestmark = pytest.mark.lint_crossval
+
+PACKERS = [
+    pack_instructions,
+    pack_best,
+    pack_soft_to_hard,
+    pack_soft_to_none,
+    pack_list_schedule,
+]
+
+STATIC_FAULTS = [
+    name
+    for name, fault in FAULTS.items()
+    if fault.stage in STATIC_STAGES
+]
+
+
+class TestFaultRuleTotality:
+    def test_every_static_stage_fault_has_a_named_rule(self):
+        # If a new lowering/packing fault lands in the registry without
+        # a lint rule that catches it, this is the test that fails.
+        assert set(STATIC_FAULTS) == set(FAULT_RULES)
+
+    def test_named_rules_exist(self):
+        from repro.lint import rule
+
+        for rule_id in FAULT_RULES.values():
+            assert rule(rule_id).rule_id == rule_id
+
+
+class TestFaultsCaughtStatically:
+    @pytest.fixture(scope="class")
+    def model_name(self):
+        return "fst"
+
+    @pytest.mark.parametrize("fault_name", STATIC_FAULTS)
+    def test_fault_flagged_by_named_rule(self, fault_name, model_name):
+        # Fresh compile per fault: mutators corrupt artefacts in place.
+        compiled = compile_model(build_model(model_name), CompilerOptions())
+        fault = FAULTS[fault_name]
+        if fault.stage == "lowering":
+            kernels = {cn.node.node_id: cn.kernel for cn in compiled.nodes}
+            fault.mutate(kernels)
+        else:
+            fault.mutate(compiled.nodes)
+        report = StaticAnalyzer().lint_compiled(compiled.nodes)
+        flagged = {d.rule_id for d in report.errors}
+        assert FAULT_RULES[fault_name] in flagged, (
+            fault_name,
+            sorted(flagged),
+        )
+
+    def test_unfaulted_compile_is_clean(self, model_name):
+        compiled = compile_model(build_model(model_name), CompilerOptions())
+        report = StaticAnalyzer().lint_compiled(compiled.nodes)
+        assert not report.errors
+
+
+class TestCleanZoo:
+    @pytest.mark.parametrize("name", model_names())
+    def test_zoo_model_lints_clean(self, name):
+        compiled = compile_model(build_model(name), CompilerOptions())
+        report = lint_model(compiled)
+        offenders = report.at_least(Severity.WARNING)
+        assert not offenders, [d.render() for d in offenders]
+
+
+class TestSimulatorAgreement:
+    """Hazard verdicts vs actual memory effects on matmul programs.
+
+    Positive direction: a schedule with no hazard diagnostics must
+    execute bit-identically to the sequential program.  (The negative
+    direction is not observable on this simulator — it executes packet
+    members in issue order with immediate writes, so even a hard
+    co-pack cannot corrupt memory; see docs/LINT.md.)
+    """
+
+    @pytest.mark.parametrize("packer", PACKERS)
+    @pytest.mark.parametrize("shape", [(8, 4, 3), (32, 8, 4), (64, 12, 2)])
+    def test_clean_schedule_matches_sequential(self, packer, shape):
+        m, k, n = shape
+        rng = np.random.default_rng(m + k + n)
+        a = rng.integers(-128, 128, size=(m, k)).astype(np.int8)
+        b = rng.integers(-128, 128, size=(k, n)).astype(np.int8)
+        program = build_matmul_program(a.shape, b)
+
+        packets = packer(program.instructions)
+        report = StaticAnalyzer().lint_schedule(
+            packets, program.instructions
+        )
+        hazards = [
+            d
+            for d in report.at_least(Severity.ERROR)
+            if d.rule_id.startswith(("LINT-PK", "LINT-SC"))
+        ]
+        assert not hazards, [d.render() for d in hazards]
+
+        sequential, _ = run_sequential(program, a)
+        packed, _ = run_packed(program, a, packer)
+        assert np.array_equal(packed, sequential)
+
+    def test_injected_hard_copack_is_flagged(self):
+        rng = np.random.default_rng(3)
+        b = rng.integers(-8, 8, (8, 4), dtype=np.int8)
+        program = build_matmul_program((8, 8), b)
+        packets = pack_best(program.instructions)
+
+        corrupted = False
+        for i, earlier in enumerate(packets):
+            for later in packets[i + 1 :]:
+                for x in earlier.instructions:
+                    for y in later.instructions:
+                        if (
+                            classify_dependency(x, y)
+                            is DependencyKind.HARD
+                        ):
+                            later.instructions.remove(y)
+                            earlier.instructions.append(y)
+                            corrupted = True
+                            break
+                    if corrupted:
+                        break
+                if corrupted:
+                    break
+            if corrupted:
+                break
+        assert corrupted, "no hard pair found to corrupt"
+
+        report = StaticAnalyzer().lint_schedule(
+            packets, program.instructions
+        )
+        assert "LINT-PK001" in {d.rule_id for d in report.errors}

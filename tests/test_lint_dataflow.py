@@ -1,0 +1,184 @@
+"""Unit tests for the register dataflow analyses (LINT-DF*)."""
+
+import numpy as np
+
+from repro.codegen.program import build_matmul_program
+from repro.isa.instructions import Instruction, Opcode
+from repro.lint import (
+    Severity,
+    def_use_chains,
+    lint_dataflow,
+    live_out,
+    reaching_definition,
+)
+
+
+def _ids(diagnostics):
+    return [d.rule_id for d in diagnostics]
+
+
+class TestChains:
+    def test_def_use_positions(self):
+        program = [
+            Instruction(Opcode.VSPLAT, dests=("v_a",), imms=(0,)),
+            Instruction(Opcode.VADD, dests=("v_b",), srcs=("v_a", "v_a")),
+        ]
+        chains = def_use_chains(program)
+        assert chains.defs["v_a"] == [0]
+        assert chains.uses["v_a"] == [1, 1]
+        assert chains.defs["v_b"] == [1]
+        assert chains.registers == {"v_a", "v_b"}
+
+    def test_implicit_accumulator_counts_as_use(self):
+        acc = Instruction(Opcode.VRMPY, dests=("v_acc",), srcs=("v_in",))
+        chains = def_use_chains([acc])
+        assert chains.uses["v_acc"] == [0]
+        assert chains.defs["v_acc"] == [0]
+
+    def test_reaching_definition_skips_same_position(self):
+        program = [
+            Instruction(Opcode.VSPLAT, dests=("v_acc",), imms=(0,)),
+            Instruction(Opcode.VRMPY, dests=("v_acc",), srcs=("v_in",)),
+        ]
+        chains = def_use_chains(program)
+        # The vrmpy's own write does not satisfy its read; the vsplat's
+        # does.
+        assert reaching_definition(chains, "v_acc", 1) == 0
+        assert reaching_definition(chains, "v_in", 1) == -1
+
+    def test_live_out_reports_final_unread_defs(self):
+        program = [
+            Instruction(Opcode.VSPLAT, dests=("v_a",), imms=(0,)),
+            Instruction(Opcode.VADD, dests=("v_b",), srcs=("v_a", "v_a")),
+        ]
+        assert live_out(program) == {"v_b": 1}
+
+
+class TestStraightLine:
+    def test_clean_program_has_no_errors(self):
+        rng = np.random.default_rng(0)
+        b = rng.integers(-8, 8, (8, 4), dtype=np.int8)
+        program = build_matmul_program((4, 8), b)
+        diagnostics = lint_dataflow(program.instructions)
+        assert not [d for d in diagnostics if d.severity >= Severity.WARNING]
+
+    def test_uninitialized_read_flagged(self):
+        program = [
+            Instruction(Opcode.VADD, dests=("v_b",), srcs=("v_a", "v_a")),
+        ]
+        diagnostics = lint_dataflow(program)
+        assert "LINT-DF001" in _ids(diagnostics)
+        (df001,) = [d for d in diagnostics if d.rule_id == "LINT-DF001"]
+        assert df001.details["register"] == "v_a"
+        assert df001.location.instruction_index == 0
+
+    def test_implicit_accumulator_read_needs_init(self):
+        # vrmpy accumulate form with no prior accumulator definition:
+        # the implicit read is uninitialized.
+        program = [
+            Instruction(Opcode.VLOAD, dests=("v_in",), imms=(0x1000,)),
+            Instruction(Opcode.VRMPY, dests=("v_acc",), srcs=("v_in",)),
+        ]
+        diagnostics = lint_dataflow(program)
+        assert "LINT-DF001" in _ids(diagnostics)
+
+    def test_initialized_accumulator_is_clean(self):
+        program = [
+            Instruction(Opcode.VSPLAT, dests=("v_acc",), imms=(0,)),
+            Instruction(Opcode.VLOAD, dests=("v_in",), imms=(0x1000,)),
+            Instruction(Opcode.VRMPY, dests=("v_acc",), srcs=("v_in",)),
+            Instruction(Opcode.VSTORE, srcs=("v_acc",), imms=(0x40000,)),
+        ]
+        assert not lint_dataflow(program)
+
+    def test_dead_write_flagged(self):
+        program = [
+            Instruction(Opcode.VSPLAT, dests=("v_a",), imms=(1,)),
+            Instruction(Opcode.VSPLAT, dests=("v_a",), imms=(2,)),
+            Instruction(Opcode.VSTORE, srcs=("v_a",), imms=(0x40000,)),
+        ]
+        diagnostics = lint_dataflow(program)
+        assert "LINT-DF002" in _ids(diagnostics)
+
+    def test_read_at_overwrite_position_is_not_dead(self):
+        # v_a is read by the same instruction that overwrites it: the
+        # machine reads before writing, so the first write is observed.
+        program = [
+            Instruction(Opcode.VSPLAT, dests=("v_a",), imms=(1,)),
+            Instruction(Opcode.VADD, dests=("v_a",), srcs=("v_a", "v_a")),
+            Instruction(Opcode.VSTORE, srcs=("v_a",), imms=(0x40000,)),
+        ]
+        assert "LINT-DF002" not in _ids(lint_dataflow(program))
+
+    def test_paired_output_byproduct_not_a_dead_write(self):
+        # vshuff's never-read high half is rewritten each round: the
+        # hardware writes it unconditionally, so no DF002 — DF003
+        # reports the register once at info.
+        program = [
+            Instruction(Opcode.VSPLAT, dests=("v_a",), imms=(1,)),
+            Instruction(Opcode.VSPLAT, dests=("v_b",), imms=(2,)),
+            Instruction(
+                Opcode.VSHUFF, dests=("v_lo", "v_hi"), srcs=("v_a", "v_b")
+            ),
+            Instruction(
+                Opcode.VSHUFF, dests=("v_lo2", "v_hi"), srcs=("v_lo", "v_a")
+            ),
+            Instruction(Opcode.VSTORE, srcs=("v_lo2",), imms=(0x40000,)),
+        ]
+        diagnostics = lint_dataflow(program)
+        assert "LINT-DF002" not in _ids(diagnostics)
+        infos = [d for d in diagnostics if d.rule_id == "LINT-DF003"]
+        assert any(d.details["register"] == "v_hi" for d in infos)
+
+    def test_duplicate_dest_flagged(self):
+        program = [
+            Instruction(
+                Opcode.VSHUFF, dests=("v_x", "v_x"), srcs=("v_a", "v_b")
+            ),
+        ]
+        diagnostics = lint_dataflow(program)
+        assert "LINT-DF004" in _ids(diagnostics)
+
+    def test_live_in_suppresses_uninitialized_read(self):
+        program = [
+            Instruction(Opcode.VADD, dests=("v_b",), srcs=("v_a", "v_a")),
+            Instruction(Opcode.VSTORE, srcs=("v_b",), imms=(0x40000,)),
+        ]
+        assert not lint_dataflow(program, live_in=frozenset({"v_a"}))
+
+
+class TestLoopBody:
+    def test_scalar_registers_are_implicit_live_in(self):
+        body = [
+            Instruction(Opcode.VLOAD, dests=("v_in",), srcs=("r_a",)),
+            Instruction(Opcode.VSTORE, srcs=("v_in", "r_out")),
+            Instruction(Opcode.ADD, dests=("r_a",), srcs=("r_a",), imms=(4,)),
+        ]
+        assert not [
+            d
+            for d in lint_dataflow(body, loop_body=True)
+            if d.severity >= Severity.WARNING
+        ]
+
+    def test_loop_carried_vector_read_allowed(self):
+        # The accumulator is read before (textually) being defined; the
+        # value arrives from the previous iteration.
+        body = [
+            Instruction(Opcode.VADD, dests=("v_acc",), srcs=("v_acc", "v_x")),
+            Instruction(Opcode.VLOAD, dests=("v_x",), srcs=("r_a",)),
+        ]
+        diagnostics = lint_dataflow(body, loop_body=True)
+        assert "LINT-DF001" not in _ids(diagnostics)
+
+    def test_straight_line_mode_rejects_the_same_read(self):
+        body = [
+            Instruction(Opcode.VADD, dests=("v_acc",), srcs=("v_acc", "v_x")),
+            Instruction(Opcode.VLOAD, dests=("v_x",), srcs=("r_a",)),
+        ]
+        assert "LINT-DF001" in _ids(lint_dataflow(body))
+
+    def test_vector_with_no_definition_still_flagged_in_loop(self):
+        body = [
+            Instruction(Opcode.VSTORE, srcs=("v_ghost", "r_out")),
+        ]
+        assert "LINT-DF001" in _ids(lint_dataflow(body, loop_body=True))

@@ -1,0 +1,126 @@
+"""Tests for the graph/selection/lowering lint rules (LINT-GR*, LINT-LW*)."""
+
+import pytest
+
+from repro.compiler import CompilerOptions, compile_model
+from repro.core.cost import CostModel
+from repro.core.plans import ExecutionPlan
+from repro.isa.instructions import Instruction, Opcode
+from repro.lint import (
+    lint_kernel_structure,
+    lint_quant_params,
+    lint_selection,
+)
+from repro.models import build_model
+from repro.quant.quantize import QuantParams
+from repro.tensor.layout import Layout
+
+
+def _ids(diagnostics):
+    return [d.rule_id for d in diagnostics]
+
+
+@pytest.fixture(scope="module")
+def compiled():
+    return compile_model(build_model("fst"), CompilerOptions())
+
+
+class _FreeTransforms(CostModel):
+    """A broken cost model that charges nothing for layout changes."""
+
+    def edge_cost(self, *args, **kwargs):
+        return 0.0
+
+
+class TestSelectionRules:
+    def test_real_selection_is_clean(self, compiled):
+        model = CostModel()
+        diagnostics = lint_selection(
+            compiled.graph, compiled.selection, model
+        )
+        assert not diagnostics
+
+    def test_uncosted_layout_change_flagged(self, compiled):
+        # fst's selection contains layout-changing non-constant edges;
+        # under a cost model that charges them nothing, each becomes a
+        # GR001 finding.
+        diagnostics = lint_selection(
+            compiled.graph, compiled.selection, _FreeTransforms()
+        )
+        assert "LINT-GR001" in _ids(diagnostics)
+
+    def test_instruction_layout_mismatch_flagged(self, compiled):
+        selection = compiled.selection
+        victim = next(
+            node_id
+            for node_id, plan in selection.assignment.items()
+            if plan.instruction is Opcode.VRMPY
+        )
+        original = selection.assignment[victim]
+        # vrmpy consumes 4-column data; pair it with 1-column.
+        selection.assignment[victim] = ExecutionPlan(
+            instruction=Opcode.VRMPY, layout=Layout.COL1
+        )
+        try:
+            diagnostics = lint_selection(
+                compiled.graph, selection, CostModel()
+            )
+            assert "LINT-GR002" in _ids(diagnostics)
+        finally:
+            selection.assignment[victim] = original
+
+
+class TestKernelStructure:
+    def _body(self):
+        return [
+            Instruction(Opcode.VLOAD, dests=("v_in",), srcs=("r_a",)),
+            Instruction(Opcode.VSTORE, srcs=("v_in", "r_out")),
+        ]
+
+    def test_wellformed_kernel_is_clean(self):
+        assert not lint_kernel_structure(self._body(), 4, "node")
+
+    def test_empty_body_flagged(self):
+        diagnostics = lint_kernel_structure([], 4, "node")
+        assert "LINT-LW001" in _ids(diagnostics)
+
+    @pytest.mark.parametrize("trips", [0, -3, 1.5, None, True, "8"])
+    def test_bad_trip_count_flagged(self, trips):
+        diagnostics = lint_kernel_structure(self._body(), trips, "node")
+        assert "LINT-LW002" in _ids(diagnostics)
+
+    @pytest.mark.parametrize("shift", [-1, 32, 40])
+    def test_out_of_range_vasr_shift_flagged(self, shift):
+        body = self._body() + [
+            Instruction(Opcode.VASR, dests=("v_q",), srcs=("v_in",),
+                        imms=(shift,)),
+        ]
+        diagnostics = lint_kernel_structure(body, 4, "node")
+        assert "LINT-GR003" in _ids(diagnostics)
+
+    @pytest.mark.parametrize("shift", [0, 8, 31])
+    def test_in_range_vasr_shift_clean(self, shift):
+        body = self._body() + [
+            Instruction(Opcode.VASR, dests=("v_q",), srcs=("v_in",),
+                        imms=(shift,)),
+        ]
+        assert "LINT-GR003" not in _ids(lint_kernel_structure(body, 4, "n"))
+
+
+class TestQuantParams:
+    def test_valid_params_clean(self):
+        assert not lint_quant_params(QuantParams(scale=0.05, zero_point=3))
+
+    @pytest.mark.parametrize(
+        "scale", [0.0, -1.0, float("nan"), float("inf")]
+    )
+    def test_bad_scale_flagged(self, scale):
+        diagnostics = lint_quant_params(QuantParams(scale=scale))
+        assert _ids(diagnostics) == ["LINT-GR004"]
+
+    @pytest.mark.parametrize("zero", [300, -200, 0.5, True])
+    def test_bad_zero_point_flagged(self, zero):
+        diagnostics = lint_quant_params(
+            QuantParams(scale=0.1, zero_point=zero)
+        )
+        assert _ids(diagnostics) == ["LINT-GR004"]

@@ -1,0 +1,277 @@
+"""Tests for packet hazards, schedule consistency, stall estimation and
+the memory-map rules."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.codegen.program import (
+    INPUT_BASE,
+    OUTPUT_BASE,
+    build_matmul_program,
+)
+from repro.core.packing.sda import pack_best
+from repro.isa.instructions import Instruction, Opcode
+from repro.lint import (
+    Region,
+    Severity,
+    StaticAnalyzer,
+    estimate_stalls,
+    lint_cycle_estimate,
+    lint_memory_map,
+    lint_packet,
+    lint_schedule_consistency,
+    matmul_regions,
+)
+from repro.machine.packet import Packet
+from repro.machine.pipeline import schedule_cycles
+
+
+def _ids(diagnostics):
+    return [d.rule_id for d in diagnostics]
+
+
+def _packet(*instructions):
+    """A packet with validation bypassed, the way a fault corrupts one."""
+    packet = Packet([])
+    packet.instructions.extend(instructions)
+    return packet
+
+
+class TestPacketRules:
+    def test_legal_packet_is_clean(self):
+        packet = Packet(
+            [
+                Instruction(Opcode.VLOAD, dests=("v_a",), srcs=("r_a",)),
+                Instruction(Opcode.ADD, dests=("r_b",), srcs=("r_b",)),
+            ]
+        )
+        assert not lint_packet(packet, 0)
+
+    def test_hard_pair_copacked_flagged(self):
+        producer = Instruction(
+            Opcode.VMPY, dests=("v_p",), srcs=("v_a", "v_b")
+        )
+        consumer = Instruction(
+            Opcode.VADD, dests=("v_c",), srcs=("v_p", "v_p")
+        )
+        diagnostics = lint_packet(_packet(producer, consumer), 0)
+        assert "LINT-PK001" in _ids(diagnostics)
+
+    def test_slot_oversubscription_flagged(self):
+        nops = [Instruction(Opcode.NOP) for _ in range(5)]
+        diagnostics = lint_packet(_packet(*nops), 0)
+        assert "LINT-PK002" in _ids(diagnostics)
+
+    def test_resource_oversubscription_flagged(self):
+        shifts = [
+            Instruction(Opcode.VASR, dests=(f"v_{i}",), srcs=("v_x",))
+            for i in range(2)
+        ]
+        diagnostics = lint_packet(_packet(*shifts), 0)
+        assert "LINT-PK003" in _ids(diagnostics)
+
+    def test_multiple_stores_flagged(self):
+        stores = [
+            Instruction(Opcode.VSTORE, srcs=(f"v_{i}",), imms=(i,))
+            for i in range(2)
+        ]
+        diagnostics = lint_packet(_packet(*stores), 0)
+        assert "LINT-PK004" in _ids(diagnostics)
+
+    def test_waw_in_packet_flagged(self):
+        first = Instruction(Opcode.VSPLAT, dests=("v_a",), imms=(1,))
+        second = Instruction(Opcode.VSPLAT, dests=("v_a",), imms=(2,))
+        diagnostics = lint_packet(_packet(first, second), 0)
+        assert "LINT-PK005" in _ids(diagnostics)
+
+
+class TestScheduleConsistency:
+    def _body(self):
+        return [
+            Instruction(Opcode.VLOAD, dests=("v_a",), srcs=("r_a",)),
+            Instruction(Opcode.VADD, dests=("v_b",), srcs=("v_a", "v_a")),
+            Instruction(Opcode.VSTORE, srcs=("v_b", "r_out")),
+        ]
+
+    def test_faithful_schedule_is_clean(self):
+        body = self._body()
+        packets = [Packet([inst]) for inst in body]
+        assert not lint_schedule_consistency(packets, body)
+
+    def test_dropped_instruction_flagged(self):
+        body = self._body()
+        packets = [Packet([inst]) for inst in body[:-1]]
+        diagnostics = lint_schedule_consistency(packets, body)
+        assert "LINT-SC001" in _ids(diagnostics)
+
+    def test_duplicate_instruction_flagged(self):
+        body = self._body()
+        packets = [Packet([inst]) for inst in body]
+        packets.append(packets[0])
+        diagnostics = lint_schedule_consistency(packets, body)
+        assert "LINT-SC002" in _ids(diagnostics)
+
+    def test_foreign_instruction_flagged(self):
+        body = self._body()
+        packets = [Packet([inst]) for inst in body]
+        packets.append(Packet([Instruction(Opcode.NOP)]))
+        diagnostics = lint_schedule_consistency(packets, body)
+        assert "LINT-SC005" in _ids(diagnostics)
+
+    def test_inverted_dependency_flagged(self):
+        body = self._body()
+        packets = [Packet([inst]) for inst in reversed(body)]
+        diagnostics = lint_schedule_consistency(packets, body)
+        assert "LINT-SC004" in _ids(diagnostics)
+
+    def test_cycle_estimate_rules(self):
+        assert not lint_cycle_estimate(12.5)
+        assert not lint_cycle_estimate(0)
+        for bad in (float("nan"), float("inf"), -1.0, None, "x"):
+            assert "LINT-SC003" in _ids(lint_cycle_estimate(bad))
+
+
+class TestStallEstimator:
+    def test_agrees_with_pipeline_on_matmul_programs(self):
+        rng = np.random.default_rng(0)
+        for m, k, n in ((4, 8, 4), (16, 32, 8), (64, 16, 6)):
+            b = rng.integers(-8, 8, (k, n), dtype=np.int8)
+            program = build_matmul_program((m, k), b)
+            packets = pack_best(program.instructions)
+            estimate = estimate_stalls(packets)
+            assert estimate.total_cycles == schedule_cycles(packets)
+
+    def test_agrees_with_pipeline_on_compiled_kernels(self):
+        from repro.compiler import CompilerOptions, compile_model
+        from repro.models import build_model
+
+        for packing in ("sda", "soft_to_hard", "soft_to_none", "list"):
+            compiled = compile_model(
+                build_model("fst"),
+                CompilerOptions(packing=packing),
+            )
+            for cn in compiled.nodes:
+                estimate = estimate_stalls(cn.packets)
+                assert estimate.total_cycles == schedule_cycles(
+                    cn.packets
+                ), (packing, cn.node.name)
+
+    def test_soft_chain_counts_stalls(self):
+        load = Instruction(Opcode.VLOAD, dests=("v_a",), srcs=("r_a",))
+        use = Instruction(Opcode.VSTORE, srcs=("v_a", "r_out"))
+        estimate = estimate_stalls([_packet(load, use)])
+        assert estimate.soft_raw_pairs == 1
+        assert estimate.stall_cycles == 1
+        assert estimate.total_cycles == 3 + 1  # vload latency + 1 stall
+
+    def test_war_soft_pair_is_free(self):
+        read = Instruction(Opcode.VSTORE, srcs=("v_a", "r_out"))
+        overwrite = Instruction(Opcode.VLOAD, dests=("v_a",), srcs=("r_b",))
+        estimate = estimate_stalls([_packet(read, overwrite)])
+        assert estimate.soft_raw_pairs == 0
+        assert estimate.stall_cycles == 0
+
+    def test_empty_packet_costs_one_cycle(self):
+        estimate = estimate_stalls([Packet([])])
+        assert estimate.total_cycles == 1
+        assert estimate.total_cycles == schedule_cycles([Packet([])])
+
+    def test_stall_fraction(self):
+        load = Instruction(Opcode.VLOAD, dests=("v_a",), srcs=("r_a",))
+        use = Instruction(Opcode.VSTORE, srcs=("v_a", "r_out"))
+        estimate = estimate_stalls([_packet(load, use)])
+        assert estimate.stall_fraction == pytest.approx(0.25)
+
+
+class TestMemoryMap:
+    def test_matmul_program_respects_its_regions(self):
+        rng = np.random.default_rng(1)
+        b = rng.integers(-8, 8, (16, 4), dtype=np.int8)
+        program = build_matmul_program((8, 16), b)
+        diagnostics = lint_memory_map(
+            program.instructions, matmul_regions(program)
+        )
+        assert not diagnostics
+
+    def test_access_outside_regions_flagged(self):
+        regions = [Region("output", OUTPUT_BASE, 256)]
+        program = [
+            Instruction(Opcode.VLOAD, dests=("v_a",), imms=(0xDEAD000,)),
+        ]
+        diagnostics = lint_memory_map(program, regions)
+        assert _ids(diagnostics) == ["LINT-MM001"]
+
+    def test_access_overhanging_region_end_flagged(self):
+        # The access starts inside but runs past the region's end.
+        regions = [Region("output", OUTPUT_BASE, 130)]
+        program = [
+            Instruction(
+                Opcode.VSTORE, srcs=("v_a",), imms=(OUTPUT_BASE + 64,)
+            ),
+        ]
+        diagnostics = lint_memory_map(program, regions)
+        assert "LINT-MM001" in _ids(diagnostics)
+
+    def test_store_into_readonly_region_flagged(self):
+        regions = [Region("input", INPUT_BASE, 1024, writable=False)]
+        program = [
+            Instruction(Opcode.VSTORE, srcs=("v_a",), imms=(INPUT_BASE,)),
+        ]
+        diagnostics = lint_memory_map(program, regions)
+        assert "LINT-MM002" in _ids(diagnostics)
+
+    def test_partially_overlapping_stores_flagged(self):
+        regions = [Region("output", OUTPUT_BASE, 4096)]
+        program = [
+            Instruction(
+                Opcode.VSTORE, srcs=("v_a",), imms=(OUTPUT_BASE,)
+            ),
+            Instruction(
+                Opcode.VSTORE, srcs=("v_b",), imms=(OUTPUT_BASE + 64,)
+            ),
+        ]
+        diagnostics = lint_memory_map(program, regions)
+        assert "LINT-MM003" in _ids(diagnostics)
+
+    def test_identical_slot_reuse_allowed(self):
+        # Spill slots are stored to repeatedly; identical ranges are a
+        # feature, not an overlap.
+        regions = [Region("spill", 0x80000, 4096)]
+        program = [
+            Instruction(Opcode.VSTORE, srcs=("v_a",), imms=(0x80000,)),
+            Instruction(Opcode.VSTORE, srcs=("v_b",), imms=(0x80000,)),
+        ]
+        diagnostics = lint_memory_map(program, regions)
+        assert "LINT-MM003" not in _ids(diagnostics)
+
+    def test_dynamic_addresses_skipped(self):
+        regions = [Region("output", OUTPUT_BASE, 128)]
+        program = [
+            Instruction(
+                Opcode.VLOAD, dests=("v_a",), srcs=("r_base",), imms=(0,)
+            ),
+        ]
+        assert not lint_memory_map(program, regions)
+
+
+class TestAnalyzerFacade:
+    def test_lint_matmul_program_clean(self):
+        rng = np.random.default_rng(2)
+        b = rng.integers(-8, 8, (8, 4), dtype=np.int8)
+        program = build_matmul_program((4, 8), b)
+        report = StaticAnalyzer().lint_matmul_program(program)
+        assert not report.at_least(Severity.WARNING)
+
+    def test_schedule_report_carries_metrics(self):
+        body = [
+            Instruction(Opcode.VLOAD, dests=("v_a",), srcs=("r_a",)),
+            Instruction(Opcode.VSTORE, srcs=("v_a", "r_out")),
+        ]
+        packets = pack_best(body)
+        report = StaticAnalyzer().lint_schedule(packets, body)
+        assert report.metrics["estimated_cycles"] == schedule_cycles(
+            packets
+        )
+        assert "LINT-ST001" in report.rule_ids()
