@@ -1,0 +1,104 @@
+"""Content-addressed fingerprints for kernel schedules.
+
+A schedule is a pure function of (a) the exact instruction sequence
+being packed, (b) the packer and its tuning, and (c) the machine model
+the packer optimizes against.  The fingerprint captures (a) and (b);
+the *schema hash* captures (c), so cached schedules self-invalidate
+whenever the ISA specs, packet resource limits or pipeline timing
+rules change.
+
+The instruction identity is deliberately total: opcode, destinations,
+sources, **immediates** and **lane width** all feed the digest.  Two
+kernel bodies that differ only in a shift amount or a broadcast weight
+produce different packed *values* at execution time, so they must never
+share a cache entry (the original per-process cache keyed on
+``(opcode, dests, srcs)`` only, which silently cross-wired exactly such
+kernels).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Iterable, Optional, Tuple
+
+from repro.core.packing.sda import SdaConfig
+from repro.isa.instructions import Instruction, SPEC_TABLE
+from repro.machine.packet import (
+    MAX_PACKET_SLOTS,
+    MAX_STORES_PER_PACKET,
+    RESOURCE_LIMITS,
+)
+from repro.machine.pipeline import PIPELINE_STAGES, SOFT_RAW_STALL
+
+#: Bump when the on-disk entry layout changes incompatibly.
+CACHE_SCHEMA_VERSION = 2
+
+
+def instruction_identity(inst: Instruction) -> Tuple:
+    """The full value identity of one instruction.
+
+    Everything that affects either packing legality/quality or the
+    executed result is included; the process-local ``uid`` and the
+    free-form ``comment`` are not.
+    """
+    return (
+        inst.opcode.value,
+        inst.dests,
+        inst.srcs,
+        inst.imms,
+        inst.lane_bytes,
+    )
+
+
+def body_signature(body: Iterable[Instruction]) -> Tuple[Tuple, ...]:
+    """Order-sensitive identity of a whole kernel body."""
+    return tuple(instruction_identity(inst) for inst in body)
+
+
+def _schema_descriptor() -> str:
+    """Canonical description of the machine model schedules depend on."""
+    parts = [f"cache-schema-v{CACHE_SCHEMA_VERSION}"]
+    for opcode in sorted(SPEC_TABLE, key=lambda op: op.value):
+        spec = SPEC_TABLE[opcode]
+        parts.append(
+            f"{opcode.value}:{spec.resource.value}:{spec.latency}"
+            f":{spec.macs}:{int(spec.is_store)}:{int(spec.is_load)}"
+            f":{int(spec.accumulates)}"
+        )
+    parts.append(f"slots={MAX_PACKET_SLOTS}")
+    parts.append(f"stores={MAX_STORES_PER_PACKET}")
+    for resource in sorted(RESOURCE_LIMITS, key=lambda r: r.value):
+        parts.append(f"{resource.value}={RESOURCE_LIMITS[resource]}")
+    parts.append(f"stages={PIPELINE_STAGES}")
+    parts.append(f"stall={SOFT_RAW_STALL}")
+    return ";".join(parts)
+
+
+def schema_hash() -> str:
+    """Hash of the ISA / packet / pipeline schema.
+
+    Disk entries are namespaced by this hash, so editing an instruction
+    latency or a resource limit orphans every stale entry instead of
+    serving schedules optimized for the old machine.  Recomputed on
+    each call (it is cheap) so tests can monkeypatch the inputs.
+    """
+    digest = hashlib.sha256(_schema_descriptor().encode("utf-8"))
+    return digest.hexdigest()
+
+
+def kernel_fingerprint(
+    body: Iterable[Instruction],
+    packer_name: str,
+    sda_config: Optional[SdaConfig] = None,
+) -> str:
+    """Content address of one (kernel body, packer, tuning) triple."""
+    config = sda_config or SdaConfig()
+    payload = repr(
+        (
+            packer_name,
+            (config.w, config.soft_penalty, config.soft_mode),
+            body_signature(body),
+        )
+    )
+    digest = hashlib.sha256(payload.encode("utf-8"))
+    return digest.hexdigest()

@@ -1,0 +1,103 @@
+"""Parallel per-node kernel packing over a process pool.
+
+Packing is the dominant stage of a compile (SDA evaluates four
+schedules per kernel body) and is embarrassingly parallel across the
+*unique* bodies of a model: each body packs independently and the
+results merge by fingerprint, so worker scheduling order cannot affect
+the compiled artefact.  Workers are processes, not threads — packing
+is pure Python and the GIL serializes threads.
+
+Determinism: every task is a pure function of ``(packer_name, body)``,
+results are keyed by content fingerprint, and the merge is sorted by
+fingerprint, so a ``jobs=N`` compile is bit-identical to ``jobs=1``.
+
+If the platform cannot spawn worker processes (restricted sandboxes,
+missing ``fork``), the pool degrades to in-process packing and flags
+``fell_back`` so :class:`~repro.verify.CompilationDiagnostics` can
+record the downgrade.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.core.packing import PACKERS
+from repro.isa.instructions import Instruction
+from repro.machine.pipeline import schedule_cycles
+from repro.cache.store import ScheduleEntry
+
+#: One unit of work: (fingerprint, packer name, kernel body).
+PackTask = Tuple[str, str, List[Instruction]]
+
+
+@dataclass
+class ParallelReport:
+    """Worker accounting for one parallel packing round."""
+
+    jobs: int
+    tasks: int
+    busy_seconds: float
+    wall_seconds: float
+    fell_back: bool = False
+
+    @property
+    def utilization(self) -> float:
+        """Fraction of worker capacity spent packing (0..1)."""
+        capacity = self.jobs * self.wall_seconds
+        if capacity <= 0.0:
+            return 0.0
+        return min(1.0, self.busy_seconds / capacity)
+
+
+def _pack_task(task: PackTask) -> Tuple[str, List, int, List, float]:
+    """Worker body: pack one kernel, timed.
+
+    Returns the packets *and* the worker-side body in one value so
+    pickling preserves the instruction-object sharing between them —
+    the parent process receives packets that reference exactly the
+    returned body's instructions.
+    """
+    fingerprint, packer_name, body = task
+    start = time.perf_counter()
+    packets = PACKERS[packer_name](body)
+    cycles = schedule_cycles(packets)
+    return fingerprint, packets, cycles, list(body), (
+        time.perf_counter() - start
+    )
+
+
+def pack_parallel(
+    tasks: Sequence[PackTask], jobs: int
+) -> Tuple[Dict[str, ScheduleEntry], ParallelReport]:
+    """Pack ``tasks`` across ``jobs`` worker processes.
+
+    Returns ``(entries by fingerprint, report)``.  Falls back to
+    in-process packing when worker processes cannot be spawned.
+    """
+    wall_start = time.perf_counter()
+    busy = 0.0
+    results: Dict[str, ScheduleEntry] = {}
+    fell_back = False
+    try:
+        with ProcessPoolExecutor(max_workers=jobs) as pool:
+            outcomes = list(pool.map(_pack_task, tasks))
+    except (OSError, BrokenProcessPool, RuntimeError):
+        fell_back = True
+        outcomes = [_pack_task(task) for task in tasks]
+    for fingerprint, packets, cycles, body, seconds in outcomes:
+        busy += seconds
+        results[fingerprint] = ScheduleEntry(
+            body=body, packets=packets, cycles=cycles
+        )
+    report = ParallelReport(
+        jobs=1 if fell_back else jobs,
+        tasks=len(tasks),
+        busy_seconds=busy,
+        wall_seconds=time.perf_counter() - wall_start,
+        fell_back=fell_back,
+    )
+    return results, report

@@ -22,6 +22,12 @@ Commands
     Compile a model and run the :mod:`repro.lint` static analyzer,
     printing structured diagnostics; exits 1 when anything at or above
     ``--fail-on`` survives the suppression baseline.
+``bench compile MODEL``
+    Measure compiler throughput (cold / warm-disk-cache / parallel
+    compiles) for one zoo model or ``all``; ``--json`` writes the
+    rows to ``BENCH_compiler_throughput.json``.
+``cache {stats,clear}``
+    Inspect or empty the persistent schedule cache.
 
 Library failures (:class:`~repro.errors.ReproError`) and I/O errors
 exit with code 1 and a one-line structured message on stderr — never a
@@ -101,6 +107,15 @@ def _build_parser() -> argparse.ArgumentParser:
     compile_p.add_argument(
         "--plans", action="store_true", help="print per-operator plans"
     )
+    compile_p.add_argument(
+        "--cache-dir",
+        help="persist packed schedules to this directory "
+        "(default: $REPRO_CACHE_DIR if set, else memory-only)",
+    )
+    compile_p.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker processes for packing unique kernel bodies",
+    )
 
     exp_p = sub.add_parser(
         "experiment", help="regenerate a paper table/figure"
@@ -129,6 +144,11 @@ def _build_parser() -> argparse.ArgumentParser:
     verify_p.add_argument(
         "--seed", type=int, default=0,
         help="seed for the synthetic weights/inputs of the check",
+    )
+    verify_p.add_argument(
+        "--cache-dir",
+        help="persist packed schedules to this directory "
+        "(default: $REPRO_CACHE_DIR if set, else memory-only)",
     )
 
     lint_p = sub.add_parser(
@@ -172,6 +192,51 @@ def _build_parser() -> argparse.ArgumentParser:
         "and exit 0",
     )
 
+    bench_p = sub.add_parser(
+        "bench", help="compiler performance benchmarks"
+    )
+    bench_sub = bench_p.add_subparsers(dest="bench_command", required=True)
+    bench_compile_p = bench_sub.add_parser(
+        "compile",
+        help="time cold / warm-cache / parallel compiles of a model",
+    )
+    bench_compile_p.add_argument(
+        "model",
+        help="zoo model name, or 'all' for the whole zoo",
+    )
+    bench_compile_p.add_argument(
+        "--json", action="store_true",
+        help="write the rows as JSON (see --output)",
+    )
+    bench_compile_p.add_argument(
+        "--output", default="BENCH_compiler_throughput.json",
+        help="JSON output path (default: BENCH_compiler_throughput.json)",
+    )
+    bench_compile_p.add_argument(
+        "--jobs", type=int, default=4,
+        help="worker processes for the parallel row (default: 4)",
+    )
+    bench_compile_p.add_argument(
+        "--cache-dir",
+        help="disk cache directory for the cold/warm rows "
+        "(default: a fresh temporary directory)",
+    )
+
+    cache_p = sub.add_parser(
+        "cache", help="persistent schedule-cache maintenance"
+    )
+    cache_sub = cache_p.add_subparsers(dest="cache_command", required=True)
+    for name, help_text in (
+        ("stats", "print entry counts, sizes and generations"),
+        ("clear", "delete every cached schedule"),
+    ):
+        cache_cmd_p = cache_sub.add_parser(name, help=help_text)
+        cache_cmd_p.add_argument(
+            "--cache-dir",
+            help="cache root (default: $REPRO_CACHE_DIR or "
+            "~/.cache/repro)",
+        )
+
     return parser
 
 
@@ -201,6 +266,19 @@ def _cmd_models() -> int:
     return 0
 
 
+def _cli_cache_dir(args):
+    """Disk cache root for compile-style commands.
+
+    Explicit ``--cache-dir`` wins; otherwise ``$REPRO_CACHE_DIR`` opts
+    the whole CLI into persistence.  Unset means memory-only, so plain
+    compiles never write into the user's home directory.
+    """
+    import os
+
+    return getattr(args, "cache_dir", None) or \
+        os.environ.get("REPRO_CACHE_DIR") or None
+
+
 def _cmd_compile(args) -> int:
     options = CompilerOptions(
         selection=args.selection,
@@ -208,6 +286,8 @@ def _cmd_compile(args) -> int:
         unrolling=args.unrolling,
         max_operators=args.max_operators,
         other_opts=not args.no_other_opts,
+        cache_dir=_cli_cache_dir(args),
+        jobs=args.jobs,
     )
     graph = _resolve_graph(args.model)
     compiled = GCD2Compiler(options).compile(graph)
@@ -270,7 +350,10 @@ def _cmd_verify(args) -> int:
     from repro.runtime.executor import QuantizedExecutor
 
     graph = _resolve_graph(args.model)
-    options = CompilerOptions(strict=True, verify=True, lint=True)
+    options = CompilerOptions(
+        strict=True, verify=True, lint=True,
+        cache_dir=_cli_cache_dir(args),
+    )
     compiled = GCD2Compiler(options).compile(graph)
     print(f"{args.model}: compiled clean under strict verification "
           f"({compiled.graph.operator_count()} operators)")
@@ -338,6 +421,127 @@ def _cmd_lint(args) -> int:
     return 0
 
 
+def _bench_compile_model(
+    name: str, cache_root: str, jobs: int
+) -> List[dict]:
+    """Cold / warm / parallel timing rows for one model."""
+    import os
+    import time
+
+    graph = _resolve_graph(name)
+    rows: List[dict] = []
+    cold_dir = os.path.join(cache_root, "serial")
+    parallel_dir = os.path.join(cache_root, "parallel")
+
+    def run(mode: str, options: CompilerOptions) -> "CompiledModel":
+        start = time.perf_counter()
+        compiled = GCD2Compiler(options).compile(graph)
+        seconds = time.perf_counter() - start
+        diag = compiled.diagnostics
+        rows.append(
+            {
+                "model": name,
+                "mode": mode,
+                "seconds": round(seconds, 6),
+                "jobs": options.jobs,
+                "total_cycles": compiled.total_cycles,
+                "total_packets": compiled.total_packets,
+                "cache": {
+                    "memory_hits": diag.cache_memory_hits,
+                    "disk_hits": diag.cache_disk_hits,
+                    "misses": diag.cache_misses,
+                },
+            }
+        )
+        return compiled
+
+    cold = run("cold", CompilerOptions(cache_dir=cold_dir))
+    run("warm", CompilerOptions(cache_dir=cold_dir))
+    parallel = run(
+        "parallel", CompilerOptions(cache_dir=parallel_dir, jobs=jobs)
+    )
+    rows[-1]["identical_to_cold"] = (
+        parallel.total_cycles == cold.total_cycles
+        and parallel.total_packets == cold.total_packets
+    )
+    return rows
+
+
+def _cmd_bench_compile(args) -> int:
+    """Compiler-throughput benchmark: the BENCH trajectory's producer."""
+    import json
+    import os
+    import sys as _sys
+    import tempfile
+
+    from repro.cache import schema_hash
+
+    names = model_names() if args.model == "all" else [args.model]
+    if args.model != "all" and args.model not in MODELS:
+        # Let _resolve_graph produce the structured unknown-model error.
+        _resolve_graph(args.model)
+
+    rows: List[dict] = []
+    with tempfile.TemporaryDirectory() as scratch:
+        cache_root = args.cache_dir or scratch
+        for name in names:
+            model_root = os.path.join(cache_root, name)
+            rows.extend(
+                _bench_compile_model(name, model_root, args.jobs)
+            )
+
+    by_mode = {(r["model"], r["mode"]): r for r in rows}
+    print(f"{'model':18s} {'mode':9s} {'seconds':>9s} {'vs cold':>8s} "
+          f"{'misses':>7s}")
+    for row in rows:
+        cold = by_mode[(row["model"], "cold")]["seconds"]
+        ratio = cold / row["seconds"] if row["seconds"] else float("inf")
+        print(f"{row['model']:18s} {row['mode']:9s} "
+              f"{row['seconds']:9.4f} {ratio:7.2f}x "
+              f"{row['cache']['misses']:7d}")
+
+    if args.json:
+        payload = {
+            "benchmark": "compiler_throughput",
+            "schema": schema_hash()[:16],
+            "jobs": args.jobs,
+            "cpu_count": os.cpu_count(),
+            "python": ".".join(
+                str(v) for v in _sys.version_info[:3]
+            ),
+            "rows": rows,
+        }
+        with open(args.output, "w") as handle:
+            json.dump(payload, handle, indent=2)
+            handle.write("\n")
+        print(f"wrote {len(rows)} row(s) to {args.output}")
+    return 0
+
+
+def _cmd_cache(args) -> int:
+    """Persistent-cache maintenance: ``stats`` and ``clear``."""
+    from repro.cache import DiskStore, default_cache_dir, schema_hash
+
+    root = args.cache_dir or str(default_cache_dir())
+    store = DiskStore(root)
+    if args.cache_command == "clear":
+        removed = store.clear()
+        print(f"cleared {removed} cached schedule(s) from {root}")
+        return 0
+    generations = store.generations()
+    current = schema_hash()[:16]
+    print(f"cache root: {root}")
+    print(f"current schema: {current}")
+    print(f"entries (current schema): {store.entry_count()}")
+    print(f"total size: {store.total_bytes()} bytes")
+    for generation in generations:
+        marker = " (current)" if generation == current else " (stale)"
+        print(f"generation {generation}{marker}")
+    if not generations:
+        print("generations: none")
+    return 0
+
+
 def _dispatch(args) -> int:
     if args.command == "models":
         return _cmd_models()
@@ -358,6 +562,10 @@ def _dispatch(args) -> int:
         return _cmd_verify(args)
     if args.command == "lint":
         return _cmd_lint(args)
+    if args.command == "bench":
+        return _cmd_bench_compile(args)
+    if args.command == "cache":
+        return _cmd_cache(args)
     return 2  # pragma: no cover - argparse enforces choices
 
 

@@ -31,6 +31,12 @@ from dataclasses import dataclass, field, replace
 from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.errors import BudgetExceeded, ReproError
+from repro.cache import (
+    ScheduleCache,
+    ScheduleEntry,
+    kernel_fingerprint,
+    pack_parallel,
+)
 from repro.core.cost import CostModel
 from repro.core.chain_dp import is_in_tree, solve_chain
 from repro.core.exhaustive import solve_exhaustive
@@ -52,12 +58,7 @@ from repro.isa.instructions import Opcode
 from repro.machine.packet import Packet
 from repro.machine.pipeline import PipelineModel, schedule_cycles
 from repro.machine.profiler import ExecutionProfile, Profiler
-from repro.core.packing.sda import SdaConfig, pack_best, pack_instructions
-from repro.core.packing.baselines import (
-    pack_list_schedule,
-    pack_soft_to_hard,
-    pack_soft_to_none,
-)
+from repro.core.packing import PACKERS
 from repro.verify import (
     CompilationDiagnostics,
     PassManager,
@@ -74,13 +75,10 @@ from repro.verify import (
 DEFAULT_PIPELINE = PipelineModel(clock_ghz=1.5)
 VECTOR_CONTEXTS = 4
 
-_PACKERS: Dict[str, Callable] = {
-    "sda": pack_best,
-    "sda_pure": pack_instructions,
-    "soft_to_hard": pack_soft_to_hard,
-    "soft_to_none": pack_soft_to_none,
-    "list": pack_list_schedule,
-}
+#: Packer registry (moved to :mod:`repro.core.packing` so the parallel
+#: compilation workers can resolve packers by name); kept as a module
+#: alias for existing importers.
+_PACKERS: Dict[str, Callable] = PACKERS
 
 
 @dataclass(frozen=True)
@@ -129,6 +127,17 @@ class CompilerOptions:
         :class:`~repro.errors.LintVerificationError`.  Off by default
         (the dynamic checkers already gate correctness); ``repro
         verify`` and ``repro lint`` turn it on.
+    jobs:
+        Worker processes for the packing stage.  ``jobs > 1`` packs
+        the model's unique kernel bodies concurrently and merges the
+        results deterministically — the compiled artefact is
+        bit-identical to a ``jobs=1`` compile.
+    cache_dir:
+        Directory for the persistent schedule cache (tier 2).  ``None``
+        (the default) keeps the cache in-memory only; compiles never
+        touch the filesystem unless asked to.
+    cache_memory_entries:
+        Capacity of the in-memory LRU tier.
     """
 
     selection: str = "gcd2"
@@ -147,10 +156,17 @@ class CompilerOptions:
     strict: bool = False
     verify: bool = True
     lint: bool = False
+    jobs: int = 1
+    cache_dir: Optional[str] = None
+    cache_memory_entries: int = 256
 
     def __post_init__(self) -> None:
         if self.packing not in _PACKERS:
             raise ReproError(f"unknown packer {self.packing!r}")
+        if self.jobs < 1:
+            raise ReproError("jobs must be >= 1")
+        if self.cache_memory_entries < 1:
+            raise ReproError("cache_memory_entries must be >= 1")
         if (
             self.selection_time_budget_s is not None
             and self.selection_time_budget_s <= 0
@@ -251,7 +267,10 @@ class GCD2Compiler:
     ) -> None:
         self.options = options or CompilerOptions()
         self.fault_hooks: Dict[str, Callable] = dict(fault_hooks or {})
-        self._schedule_cache: Dict[Tuple, Tuple] = {}
+        self.schedule_cache = ScheduleCache(
+            memory_entries=self.options.cache_memory_entries,
+            disk_dir=self.options.cache_dir,
+        )
 
     # -- public API ----------------------------------------------------------
 
@@ -322,20 +341,29 @@ class GCD2Compiler:
         )
         pm.check("lowering", verify_lowering, graph, kernels)
 
-        # Stage 5 — SDA VLIW packing + per-node cycle estimation.
-        compiled_nodes = pm.run(
-            "packing",
-            lambda: [
+        # Stage 5 — SDA VLIW packing + per-node cycle estimation.  With
+        # jobs > 1 the unique kernel bodies are packed concurrently
+        # first; assembly below then resolves every schedule from the
+        # cache, so the merge order (and therefore the artefact) is
+        # independent of worker scheduling.
+        def pack_stage() -> List[CompiledNode]:
+            if options.jobs > 1:
+                self._prewarm_schedules(
+                    kernels, compute_nodes, diagnostics
+                )
+            return [
                 self._assemble_node(
                     graph,
                     node,
                     selection.plan_for(node.node_id),
                     unrolls[node.node_id],
                     kernels[node.node_id],
+                    diagnostics,
                 )
                 for node in compute_nodes
-            ],
-        )
+            ]
+
+        compiled_nodes = pm.run("packing", pack_stage)
         pm.check("packing", verify_schedule, compiled_nodes)
 
         # Optional stage 5b — static analysis over the compiled
@@ -512,6 +540,57 @@ class GCD2Compiler:
             return best
         return adaptive_unroll(m, n, plan.instruction)
 
+    def _prewarm_schedules(
+        self,
+        kernels: Dict[int, LoweredKernel],
+        compute_nodes: List[Node],
+        diagnostics: CompilationDiagnostics,
+    ) -> None:
+        """Pack all unique kernel bodies concurrently (``jobs > 1``).
+
+        Assembly packs each node under both the configured packer and
+        the ``sda`` reference, so both fingerprints are prewarmed.
+        Results merge into the cache sorted by fingerprint — worker
+        completion order never reaches the artefact.
+        """
+        packer_names = sorted({self.options.packing, "sda"})
+        pending: Dict[str, Tuple[str, List]] = {}
+        for node in compute_nodes:
+            kernel = kernels[node.node_id]
+            for packer_name in packer_names:
+                fingerprint = kernel_fingerprint(
+                    kernel.body, packer_name
+                )
+                if fingerprint in pending:
+                    continue
+                entry, tier = self.schedule_cache.lookup(fingerprint)
+                diagnostics.record_cache_lookup(tier)
+                if entry is None:
+                    pending[fingerprint] = (
+                        packer_name, list(kernel.body)
+                    )
+        if not pending:
+            return
+        tasks = [
+            (fingerprint, *pending[fingerprint])
+            for fingerprint in sorted(pending)
+        ]
+        results, report = pack_parallel(tasks, jobs=self.options.jobs)
+        for fingerprint in sorted(results):
+            self.schedule_cache.put(fingerprint, results[fingerprint])
+        diagnostics.record_parallel(
+            jobs=report.jobs,
+            tasks=report.tasks,
+            busy_seconds=report.busy_seconds,
+            wall_seconds=report.wall_seconds,
+            utilization=report.utilization,
+        )
+        if report.fell_back:
+            diagnostics.warn(
+                f"parallel packing fell back to in-process execution "
+                f"(requested jobs={self.options.jobs})"
+            )
+
     def _assemble_node(
         self,
         graph: ComputationalGraph,
@@ -519,8 +598,11 @@ class GCD2Compiler:
         plan: ExecutionPlan,
         unroll: UnrollPlan,
         kernel: LoweredKernel,
+        diagnostics: Optional[CompilationDiagnostics] = None,
     ) -> CompiledNode:
-        packets, per_iter, schedule_body = self._pack(kernel)
+        packets, per_iter, schedule_body = self._pack(
+            kernel, diagnostics=diagnostics
+        )
         # Kernel cost: the analytic model gives the compute volume at
         # reference (SDA + adaptive) quality; the measured schedule
         # scales the compute side by this packer/unroll configuration's
@@ -534,7 +616,9 @@ class GCD2Compiler:
             ),
         )
         compute, memory = model.node_cost_detail(graph, node, plan)
-        _, reference_cycles, _ = self._pack(kernel, packer_name="sda")
+        _, reference_cycles, _ = self._pack(
+            kernel, packer_name="sda", diagnostics=diagnostics
+        )
         quality = per_iter / max(1, reference_cycles)
         quality /= self.options.kernel_efficiency
         # A sparser schedule also keeps fewer loads in flight, so the
@@ -556,26 +640,33 @@ class GCD2Compiler:
         self,
         kernel: LoweredKernel,
         packer_name: Optional[str] = None,
+        diagnostics: Optional[CompilationDiagnostics] = None,
     ) -> Tuple[List[Packet], int, List["Instruction"]]:
         """Pack (or fetch the cached schedule for) a kernel body.
 
-        Returns (packets, cycles, canonical body): structurally equal
-        bodies share one schedule, and the canonical body is the
-        instance the returned packets actually reference.
+        Returns (packets, cycles, canonical body): bodies equal under
+        the *full* instruction identity — opcode, dests, srcs, imms and
+        lane_bytes — share one schedule, and the canonical body is the
+        instance the returned packets actually reference.  (Keying on
+        anything less is unsound: bodies differing only in an immediate
+        pack identically but execute differently, and serving one
+        body's instructions as another's ``schedule_body`` corrupts
+        execution.)
         """
         packer_name = packer_name or self.options.packing
-        signature = tuple(
-            (inst.opcode, inst.dests, inst.srcs) for inst in kernel.body
-        )
-        key = (packer_name, signature)
-        if key not in self._schedule_cache:
+        fingerprint = kernel_fingerprint(kernel.body, packer_name)
+        entry, tier = self.schedule_cache.lookup(fingerprint)
+        if diagnostics is not None:
+            diagnostics.record_cache_lookup(tier)
+        if entry is None:
             packets = _PACKERS[packer_name](kernel.body)
-            self._schedule_cache[key] = (
-                packets,
-                schedule_cycles(packets),
-                list(kernel.body),
+            entry = ScheduleEntry(
+                body=list(kernel.body),
+                packets=packets,
+                cycles=schedule_cycles(packets),
             )
-        return self._schedule_cache[key]
+            self.schedule_cache.put(fingerprint, entry)
+        return entry.packets, entry.cycles, entry.body
 
 
 def compile_model(

@@ -115,7 +115,12 @@ def _backtrack(
     node_id: int,
     j: int,
 ) -> None:
-    assignment[node_id] = plan_sets[node_id][j]
-    _, choices = sol[node_id][j]
-    for pred_id, l in choices.items():
-        _backtrack(graph, sol, plan_sets, assignment, pred_id, l)
+    # Iterative worklist: the tree can be a multi-thousand-node chain,
+    # and one recursive call per predecessor hop overruns Python's
+    # recursion limit long before the DP itself becomes expensive.
+    stack: List[Tuple[int, int]] = [(node_id, j)]
+    while stack:
+        nid, plan_index = stack.pop()
+        assignment[nid] = plan_sets[nid][plan_index]
+        _, choices = sol[nid][plan_index]
+        stack.extend(choices.items())

@@ -1,13 +1,31 @@
 """VLIW instruction packing: the SDA algorithm and its baselines."""
 
+from typing import Callable, Dict
+
 from repro.core.packing.cfg import BasicBlock, build_cfg
 from repro.core.packing.idg import InstructionDependencyGraph, build_idg
-from repro.core.packing.sda import SdaConfig, pack_block, pack_instructions
+from repro.core.packing.sda import (
+    SdaConfig,
+    pack_best,
+    pack_block,
+    pack_instructions,
+)
 from repro.core.packing.baselines import (
     pack_soft_to_hard,
     pack_soft_to_none,
     pack_list_schedule,
 )
+
+#: Packer name -> callable registry shared by the compiler driver and
+#: the parallel compilation workers (which must resolve packers by name
+#: because callables cross process boundaries poorly).
+PACKERS: Dict[str, Callable] = {
+    "sda": pack_best,
+    "sda_pure": pack_instructions,
+    "soft_to_hard": pack_soft_to_hard,
+    "soft_to_none": pack_soft_to_none,
+    "list": pack_list_schedule,
+}
 from repro.core.packing.evaluate import (
     schedule_summary,
     validate_schedule,
@@ -23,7 +41,9 @@ __all__ = [
     "build_cfg",
     "InstructionDependencyGraph",
     "build_idg",
+    "PACKERS",
     "SdaConfig",
+    "pack_best",
     "pack_block",
     "pack_instructions",
     "pack_soft_to_hard",

@@ -20,7 +20,7 @@ the empirically-decided knobs the paper describes.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Set
+from typing import Dict, List, Optional, Sequence, Set
 
 from repro.isa.dependencies import DependencyKind
 from repro.isa.instructions import Instruction
@@ -154,11 +154,16 @@ def _select_instruction(
     ]
     if not candidates:
         return None
+    stalls: Dict[int, int] = {}
     if config.soft_mode == "sda":
-        stall_free = [
-            inst
+        # One stall evaluation per candidate, shared by the filter and
+        # the scoring below (it was previously recomputed for both).
+        stalls = {
+            inst.uid: _stalling_soft_pairs(idg, inst, packet)
             for inst in candidates
-            if not _stalling_soft_pairs(idg, inst, packet)
+        }
+        stall_free = [
+            inst for inst in candidates if not stalls[inst.uid]
         ]
         if stall_free:
             # Enough independent work to fill the packet: "we will
@@ -173,10 +178,10 @@ def _select_instruction(
             idg.order_of(inst) + idg.pred_count(inst)
         ) * config.w - abs(hi_lat - inst.latency) * (1.0 - config.w)
         if config.soft_mode == "sda":
-            score -= config.soft_penalty * _stalling_soft_pairs(
-                idg, inst, packet
-            )
-        if best is None or score >= best_score:
+            score -= config.soft_penalty * stalls[inst.uid]
+        # Strict comparison: ties keep the *first* best candidate, so
+        # the chosen schedule does not depend on candidate ordering.
+        if best is None or score > best_score:
             best = inst
             best_score = score
     return best

@@ -33,6 +33,10 @@ class CompilationDiagnostics:
     fallbacks: List[FallbackRecord] = field(default_factory=list)
     stage_seconds: Dict[str, float] = field(default_factory=dict)
     verifier_seconds: Dict[str, float] = field(default_factory=dict)
+    cache_memory_hits: int = 0
+    cache_disk_hits: int = 0
+    cache_misses: int = 0
+    parallel: Dict[str, float] = field(default_factory=dict)
 
     @property
     def degraded(self) -> bool:
@@ -62,6 +66,45 @@ class CompilationDiagnostics:
             f"{reason}"
         )
 
+    @property
+    def cache_hits(self) -> int:
+        """Schedule-cache hits across both tiers."""
+        return self.cache_memory_hits + self.cache_disk_hits
+
+    @property
+    def cache_lookups(self) -> int:
+        return self.cache_hits + self.cache_misses
+
+    def record_cache_lookup(self, tier: str) -> None:
+        """Count one schedule-cache lookup by the tier that served it.
+
+        ``tier`` is one of ``"memory"``, ``"disk"`` or ``"miss"`` (the
+        strings :meth:`repro.cache.ScheduleCache.lookup` returns).
+        """
+        if tier == "memory":
+            self.cache_memory_hits += 1
+        elif tier == "disk":
+            self.cache_disk_hits += 1
+        else:
+            self.cache_misses += 1
+
+    def record_parallel(
+        self,
+        jobs: int,
+        tasks: int,
+        busy_seconds: float,
+        wall_seconds: float,
+        utilization: float,
+    ) -> None:
+        """Record one parallel packing round's worker accounting."""
+        self.parallel = {
+            "jobs": jobs,
+            "tasks": tasks,
+            "busy_seconds": busy_seconds,
+            "wall_seconds": wall_seconds,
+            "utilization": utilization,
+        }
+
     def add_stage_time(self, stage: str, seconds: float) -> None:
         self.stage_seconds[stage] = (
             self.stage_seconds.get(stage, 0.0) + seconds
@@ -87,6 +130,19 @@ class CompilationDiagnostics:
             # Checkers with no compile stage of their own (e.g. lint).
             if stage not in self.stage_seconds:
                 lines.append(f"verifier {stage}: {seconds * 1e3:.1f} ms")
+        if self.cache_lookups:
+            lines.append(
+                f"schedule cache: {self.cache_memory_hits} memory + "
+                f"{self.cache_disk_hits} disk hit(s), "
+                f"{self.cache_misses} miss(es)"
+            )
+        if self.parallel:
+            lines.append(
+                f"parallel packing: {self.parallel['jobs']:.0f} job(s), "
+                f"{self.parallel['tasks']:.0f} task(s), "
+                f"{self.parallel['utilization'] * 100:.0f}% worker "
+                f"utilization"
+            )
         if self.fallbacks:
             for record in self.fallbacks:
                 lines.append(f"fallback: {record}")

@@ -97,3 +97,87 @@ class TestChart:
     def test_chartless_experiment_notes_fallback(self, capsys):
         assert main(["experiment", "table2", "--chart"]) == 0
         assert "no chart mapping" in capsys.readouterr().out
+
+
+class TestBenchCompile:
+    def test_writes_json_with_three_modes(self, tmp_path, capsys):
+        output = tmp_path / "bench.json"
+        assert main([
+            "bench", "compile", "wdsr_b",
+            "--json", "--output", str(output),
+            "--cache-dir", str(tmp_path / "cache"),
+            "--jobs", "2",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "cold" in out and "warm" in out and "parallel" in out
+
+        payload = json.loads(output.read_text())
+        assert payload["benchmark"] == "compiler_throughput"
+        assert payload["jobs"] == 2
+        modes = [row["mode"] for row in payload["rows"]]
+        assert modes == ["cold", "warm", "parallel"]
+        by_mode = {row["mode"]: row for row in payload["rows"]}
+        assert by_mode["warm"]["cache"]["misses"] == 0
+        assert by_mode["cold"]["cache"]["misses"] > 0
+        assert by_mode["parallel"]["identical_to_cold"] is True
+
+    def test_table_only_without_json_flag(self, tmp_path, capsys):
+        assert main([
+            "bench", "compile", "wdsr_b",
+            "--cache-dir", str(tmp_path),
+        ]) == 0
+        assert not (tmp_path / "BENCH_compiler_throughput.json").exists()
+
+    def test_unknown_model_rejected(self, capsys):
+        assert main(["bench", "compile", "alexnet"]) == 1
+        assert "GraphError" in capsys.readouterr().err
+
+
+class TestCacheCommand:
+    def test_stats_and_clear_round_trip(self, tmp_path, capsys):
+        from repro.compiler import CompilerOptions, GCD2Compiler
+        from tests.conftest import small_cnn
+
+        cache_dir = str(tmp_path / "cache")
+        GCD2Compiler(CompilerOptions(cache_dir=cache_dir)).compile(
+            small_cnn()
+        )
+        assert main(["cache", "stats", "--cache-dir", cache_dir]) == 0
+        out = capsys.readouterr().out
+        assert "(current)" in out
+        assert "entries (current schema): 0" not in out
+
+        assert main(["cache", "clear", "--cache-dir", cache_dir]) == 0
+        assert "cleared" in capsys.readouterr().out
+        assert main(["cache", "stats", "--cache-dir", cache_dir]) == 0
+        out = capsys.readouterr().out
+        assert "entries (current schema): 0" in out
+        assert "generations: none" in out
+
+    def test_compile_and_verify_honor_cache_env(
+        self, tmp_path, capsys, monkeypatch
+    ):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        assert main(["compile", "wdsr_b"]) == 0
+        capsys.readouterr()
+        assert main(["cache", "stats"]) == 0
+        out = capsys.readouterr().out
+        assert str(tmp_path) in out
+        assert "entries (current schema): 0" not in out
+
+    def test_compile_cache_dir_flag_wins_over_env(
+        self, tmp_path, capsys, monkeypatch
+    ):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "env"))
+        explicit = tmp_path / "explicit"
+        assert main([
+            "compile", "wdsr_b", "--cache-dir", str(explicit)
+        ]) == 0
+        assert explicit.is_dir()
+        assert not (tmp_path / "env").exists()
+
+    def test_stats_on_empty_root(self, tmp_path, capsys):
+        assert main([
+            "cache", "stats", "--cache-dir", str(tmp_path / "nothing")
+        ]) == 0
+        assert "generations: none" in capsys.readouterr().out

@@ -151,7 +151,7 @@ class TestScheduleCache:
     def test_identical_bodies_share_schedules(self):
         compiler = GCD2Compiler(CompilerOptions())
         compiler.compile(small_cnn())
-        cache_size = len(compiler._schedule_cache)
+        cache_size = len(compiler.schedule_cache)
         compiler.compile(small_cnn("small_cnn_again"))
         # Same bodies -> cache barely grows.
-        assert len(compiler._schedule_cache) <= cache_size + 2
+        assert len(compiler.schedule_cache) <= cache_size + 2

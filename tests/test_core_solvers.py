@@ -58,6 +58,23 @@ class TestChainDp:
         exact = solve_exhaustive(graph, model)
         assert dp.cost == pytest.approx(exact.cost, rel=1e-9)
 
+    def test_deep_chain_does_not_overflow_recursion(self):
+        # Regression: _backtrack recursed once per predecessor hop, so
+        # chains longer than Python's recursion limit (default 1000)
+        # crashed with RecursionError.  ~2000 nodes exercises the
+        # iterative worklist rewrite.
+        depth = 2000
+        b = GraphBuilder("deep_chain")
+        x = b.input((1, 8, 8, 8), name="in")
+        for i in range(depth):
+            x = b.relu(x, name=f"act_{i}")
+        graph = b.build()
+        result = solve_chain(graph, CostModel())
+        # Input + every activation received a plan.
+        assert len(result.assignment) == depth + 1
+        for node in graph:
+            assert node.node_id in result.assignment
+
     def test_rejects_fan_out(self):
         graph = small_cnn()  # residual: a node has two consumers
         with pytest.raises(SelectionError):

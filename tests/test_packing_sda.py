@@ -178,3 +178,76 @@ class TestSdaConfig:
             for mode in ("sda", "hard", "none")
         }
         assert len(set(cycles.values())) >= 2  # not all identical
+
+
+class TestSelectInstruction:
+    """Determinism and efficiency of Equation 4's candidate selection."""
+
+    def _tied_candidates(self):
+        # Three independent VADDs: identical opcode/latency, no
+        # dependencies, so every Equation 4 score ties exactly.
+        a = Instruction(Opcode.VADD, dests=("v0",), srcs=("v1", "v2"))
+        b = Instruction(Opcode.VADD, dests=("v3",), srcs=("v4", "v5"))
+        seed = Instruction(Opcode.VADD, dests=("v6",), srcs=("v7", "v8"))
+        return a, b, seed
+
+    def test_ties_break_to_first_candidate(self):
+        # Regression: `score >= best_score` kept the *last* tied
+        # candidate, so schedules depended on candidate ordering.
+        from repro.core.packing.idg import build_idg
+        from repro.core.packing.sda import _select_instruction
+        from repro.machine.packet import Packet
+
+        a, b, seed = self._tied_candidates()
+        idg = build_idg([a, b, seed])
+        packet = Packet([seed])
+        chosen = _select_instruction(
+            idg, [a, b], packet, {seed.uid}, SdaConfig()
+        )
+        assert chosen is a
+
+    def test_tie_break_is_input_order_stable(self):
+        from repro.core.packing.idg import build_idg
+        from repro.core.packing.sda import _select_instruction
+        from repro.machine.packet import Packet
+
+        a, b, seed = self._tied_candidates()
+        idg = build_idg([a, b, seed])
+        packet = Packet([seed])
+        chosen = _select_instruction(
+            idg, [b, a], packet, {seed.uid}, SdaConfig()
+        )
+        assert chosen is b  # first-best over the given candidate list
+
+    def test_stalls_evaluated_once_per_candidate(self, monkeypatch):
+        # Regression: the stall count was computed twice per candidate
+        # (once filtering, once scoring).
+        from repro.core.packing import sda as sda_mod
+        from repro.core.packing.idg import build_idg
+        from repro.machine.packet import Packet
+
+        load = Instruction(
+            Opcode.VLOAD, dests=("v0",), srcs=("r0",), imms=(0,)
+        )
+        consumer = Instruction(
+            Opcode.VADD, dests=("v1",), srcs=("v0", "v2")
+        )
+        other = Instruction(
+            Opcode.VADD, dests=("v3",), srcs=("v4", "v5")
+        )
+        idg = build_idg([load, consumer, other])
+        packet = Packet([consumer])
+        calls = []
+        original = sda_mod._stalling_soft_pairs
+
+        def counting(idg_arg, inst, packet_arg):
+            calls.append(inst.uid)
+            return original(idg_arg, inst, packet_arg)
+
+        monkeypatch.setattr(
+            sda_mod, "_stalling_soft_pairs", counting
+        )
+        sda_mod._select_instruction(
+            idg, [load, other], packet, {consumer.uid}, SdaConfig()
+        )
+        assert sorted(calls) == sorted([load.uid, other.uid])
