@@ -26,6 +26,10 @@ Commands
     Measure compiler throughput (cold / warm-disk-cache / parallel
     compiles) for one zoo model or ``all``; ``--json`` writes the
     rows to ``BENCH_compiler_throughput.json``.
+``bench infer MODEL``
+    Measure inference throughput (per-request calibration / frozen
+    calibration / batched engine) for one zoo model; ``--json`` writes
+    the rows to ``BENCH_inference_throughput.json``.
 ``cache {stats,clear}``
     Inspect or empty the persistent schedule cache.
 
@@ -220,6 +224,34 @@ def _build_parser() -> argparse.ArgumentParser:
         "--cache-dir",
         help="disk cache directory for the cold/warm rows "
         "(default: a fresh temporary directory)",
+    )
+    bench_infer_p = bench_sub.add_parser(
+        "infer",
+        help="time per-request-calibration / frozen / batched inference",
+    )
+    bench_infer_p.add_argument("model", help="zoo model name")
+    bench_infer_p.add_argument(
+        "--json", action="store_true",
+        help="write the rows as JSON (see --output)",
+    )
+    bench_infer_p.add_argument(
+        "--output", default="BENCH_inference_throughput.json",
+        help="JSON output path "
+        "(default: BENCH_inference_throughput.json)",
+    )
+    bench_infer_p.add_argument(
+        "--requests", type=int, default=8,
+        help="requests per mode (default: 8)",
+    )
+    bench_infer_p.add_argument(
+        "--workers", type=int, default=2,
+        help="engine worker threads (default: 2)",
+    )
+    bench_infer_p.add_argument(
+        "--kernel-mac-limit", type=int, default=0,
+        help="per-GEMM MAC budget for the instruction kernels; larger "
+        "products use the bit-identical BLAS path (default: 0, "
+        "always BLAS)",
     )
 
     cache_p = sub.add_parser(
@@ -518,6 +550,56 @@ def _cmd_bench_compile(args) -> int:
     return 0
 
 
+def _cmd_bench_infer(args) -> int:
+    """Inference-throughput benchmark: calibration and batching gains."""
+    import json
+    import os
+    import sys as _sys
+
+    from repro.harness import bench_infer_model
+
+    if args.model not in MODELS:
+        _resolve_graph(args.model)  # structured unknown-model error
+
+    rows = bench_infer_model(
+        args.model,
+        requests=args.requests,
+        kernel_mac_limit=args.kernel_mac_limit,
+        workers=args.workers,
+    )
+
+    cold = next(r for r in rows if r["mode"] == "cold")
+    print(f"{'model':18s} {'mode':9s} {'seconds':>9s} {'req/s':>9s} "
+          f"{'vs cold':>8s}")
+    for row in rows:
+        ratio = (
+            cold["seconds"] / row["seconds"]
+            if row["seconds"]
+            else float("inf")
+        )
+        print(f"{row['model']:18s} {row['mode']:9s} "
+              f"{row['seconds']:9.4f} {row['requests_per_second']:9.2f} "
+              f"{ratio:7.2f}x")
+
+    if args.json:
+        payload = {
+            "benchmark": "inference_throughput",
+            "requests": args.requests,
+            "workers": args.workers,
+            "kernel_mac_limit": args.kernel_mac_limit,
+            "cpu_count": os.cpu_count(),
+            "python": ".".join(
+                str(v) for v in _sys.version_info[:3]
+            ),
+            "rows": rows,
+        }
+        with open(args.output, "w") as handle:
+            json.dump(payload, handle, indent=2)
+            handle.write("\n")
+        print(f"wrote {len(rows)} row(s) to {args.output}")
+    return 0
+
+
 def _cmd_cache(args) -> int:
     """Persistent-cache maintenance: ``stats`` and ``clear``."""
     from repro.cache import DiskStore, default_cache_dir, schema_hash
@@ -563,6 +645,8 @@ def _dispatch(args) -> int:
     if args.command == "lint":
         return _cmd_lint(args)
     if args.command == "bench":
+        if args.bench_command == "infer":
+            return _cmd_bench_infer(args)
         return _cmd_bench_compile(args)
     if args.command == "cache":
         return _cmd_cache(args)

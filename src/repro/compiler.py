@@ -250,6 +250,28 @@ class CompiledModel:
     def total_packets(self) -> int:
         return sum(n.packet_count for n in self.nodes)
 
+    def executor(self, **kwargs) -> "QuantizedExecutor":
+        """A quantized executor over this compiled model.
+
+        Keyword arguments pass through to
+        :class:`repro.runtime.executor.QuantizedExecutor` (``seed``,
+        ``kernel_mac_limit``, ``calibration``).
+        """
+        from repro.runtime.executor import QuantizedExecutor
+
+        return QuantizedExecutor(self, **kwargs)
+
+    def engine(self, **kwargs) -> "InferenceEngine":
+        """A batched inference engine over this compiled model.
+
+        Keyword arguments pass through to
+        :class:`repro.runtime.engine.InferenceEngine` (``workers``,
+        ``queue_size``, ``kernel_mac_limit``, ...).
+        """
+        from repro.runtime.engine import InferenceEngine
+
+        return InferenceEngine(self, **kwargs)
+
 
 class GCD2Compiler:
     """Compiles computational graphs for the simulated mobile DSP.

@@ -22,7 +22,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Set
 
-from repro.isa.dependencies import DependencyKind
+from repro.isa.dependencies import DependencyKind, stalling_raw_registers
 from repro.isa.instructions import Instruction
 from repro.machine.packet import MAX_PACKET_SLOTS, Packet, fits_with
 from repro.core.packing.cfg import build_cfg
@@ -197,7 +197,7 @@ def _stalling_soft_pairs(
     for other in packet:
         for first, second in ((candidate, other), (other, candidate)):
             if idg.edge_kind(first, second) is DependencyKind.SOFT:
-                if frozenset(first.dests) & frozenset(second.srcs):
+                if stalling_raw_registers(first, second):
                     stalls += 1
     return stalls
 

@@ -752,6 +752,137 @@ def figure13() -> List[Dict]:
     ]
 
 
+def example_feeds(
+    graph, count: int = 1, seed: int = 1234
+) -> List[Dict]:
+    """Random input feeds matching a graph's input nodes.
+
+    Deterministic in ``seed``; used by the inference benchmark, the
+    engine parity check and the runtime tests.
+    """
+    import numpy as np
+
+    from repro.graph import ops
+
+    rng = np.random.default_rng(seed)
+    inputs = [
+        node for node in graph if isinstance(node.op, ops.Input)
+    ]
+    return [
+        {
+            node.name: rng.standard_normal(node.op.shape)
+            for node in inputs
+        }
+        for _ in range(count)
+    ]
+
+
+def bench_infer_model(
+    name: str,
+    *,
+    requests: int = 8,
+    calibration_samples: int = 2,
+    kernel_mac_limit: Optional[int] = 0,
+    workers: int = 2,
+    seed: int = 0,
+    options: Optional[CompilerOptions] = None,
+) -> List[Dict]:
+    """Cold / frozen / batched inference-throughput rows for one model.
+
+    * ``cold`` — a fresh executor per request, each auto-calibrating
+      from its own feed: the pre-frozen-calibration cost model (one
+      float forward per request on top of the int8 pass);
+    * ``frozen`` — one executor calibrated once from
+      ``calibration_samples`` sample feeds, then pure int8 requests;
+    * ``batched`` — the :class:`~repro.runtime.engine.InferenceEngine`
+      running the same requests as one batch under the same frozen
+      calibration, with its bit-identity to the frozen row recorded.
+
+    ``kernel_mac_limit=0`` routes every GEMM through the exact BLAS
+    int32 path (bit-identical to the instruction kernels), keeping the
+    benchmark about calibration/batching overhead rather than the
+    semantic-level Python kernel loops.
+    """
+    import time
+
+    import numpy as np
+
+    from repro.runtime import InferenceEngine, QuantizedExecutor
+
+    compiled = compile_cached(name, options)
+    feeds_list = example_feeds(compiled.graph, count=requests)
+    sample_feeds = example_feeds(
+        compiled.graph, count=calibration_samples, seed=99
+    )
+    rows: List[Dict] = []
+
+    def row(mode: str, seconds: float, **extra) -> Dict:
+        entry = {
+            "model": name,
+            "mode": mode,
+            "requests": requests,
+            "seconds": round(seconds, 6),
+            "requests_per_second": round(requests / seconds, 4)
+            if seconds
+            else float("inf"),
+            **extra,
+        }
+        rows.append(entry)
+        return entry
+
+    start = time.perf_counter()
+    for feeds in feeds_list:
+        executor = QuantizedExecutor(
+            compiled, seed=seed, kernel_mac_limit=kernel_mac_limit
+        )
+        executor.run(feeds)
+    row("cold", time.perf_counter() - start, calibration="per-request")
+
+    frozen_executor = QuantizedExecutor(
+        compiled, seed=seed, kernel_mac_limit=kernel_mac_limit
+    )
+    calibration = frozen_executor.calibrate(sample_feeds)
+    start = time.perf_counter()
+    frozen_outputs = [frozen_executor.run(feeds) for feeds in feeds_list]
+    row(
+        "frozen",
+        time.perf_counter() - start,
+        calibration="frozen",
+        calibration_samples=calibration.samples,
+    )
+
+    engine = InferenceEngine(
+        compiled,
+        calibration,
+        seed=seed,
+        kernel_mac_limit=kernel_mac_limit,
+        workers=workers,
+    )
+    try:
+        start = time.perf_counter()
+        batched_outputs = engine.run_batch(feeds_list)
+        seconds = time.perf_counter() - start
+        identical = all(
+            set(single) == set(batched)
+            and all(
+                np.array_equal(single[key], batched[key])
+                for key in single
+            )
+            for single, batched in zip(frozen_outputs, batched_outputs)
+        )
+        row(
+            "batched",
+            seconds,
+            calibration="frozen",
+            workers=workers,
+            identical_to_sequential=identical,
+            stacked_gemm_rows=engine.diagnostics.stacked_gemm_rows,
+        )
+    finally:
+        engine.close()
+    return rows
+
+
 def run_all(verbose: bool = True) -> Dict[str, List[Dict]]:
     """Regenerate every table and figure; returns {name: rows}."""
     experiments = {

@@ -123,3 +123,33 @@ def classify_dependency(first: Instruction, second: Instruction) -> DependencyKi
 def has_dependency(first: Instruction, second: Instruction) -> bool:
     """Whether any (hard or soft) dependency runs ``first`` -> ``second``."""
     return classify_dependency(first, second) is not DependencyKind.NONE
+
+
+def stalling_raw_registers(
+    first: Instruction, second: Instruction
+) -> frozenset:
+    """RAW registers from ``first`` to ``second`` that the interlock covers.
+
+    This is the Figure 4 stall rule in operand form: a read-after-load,
+    a store-after-write, or the consumption of a scalar-ALU result
+    makes the consumer's execute stage wait one cycle when the pair
+    shares a packet.  Reads are taken from
+    :attr:`Instruction.read_registers`, so a RAW edge running through
+    an *implicit* accumulator operand (``vrmpy``/``vtmpy`` accumulate
+    forms) stalls exactly like an explicit one — ``srcs`` alone would
+    undercount it.  Every timing consumer (the pipeline model, the
+    lint stall estimator) must derive stalls from this one rule so
+    their cycle counts agree even on corrupted packets.
+    """
+    raw = _raw_registers(first, second)
+    if not raw:
+        return frozenset()
+    from repro.isa.instructions import ResourceClass
+
+    if (
+        first.spec.is_load
+        or second.spec.is_store
+        or first.spec.resource is ResourceClass.SALU
+    ):
+        return raw
+    return frozenset()

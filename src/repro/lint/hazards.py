@@ -24,7 +24,11 @@ from collections import Counter
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.isa.dependencies import DependencyKind, classify_dependency
+from repro.isa.dependencies import (
+    DependencyKind,
+    classify_dependency,
+    stalling_raw_registers,
+)
 from repro.isa.instructions import Instruction
 from repro.lint.diagnostics import Diagnostic, Location
 from repro.lint.rules import rule
@@ -209,10 +213,11 @@ class StallEstimate:
     """Static timing summary of one packed schedule.
 
     The derivation is independent of :mod:`repro.machine.pipeline` (the
-    chains are re-discovered from ``classify_dependency``), but follows
-    the same hardware rules — stalls serialize along soft-RAW chains,
-    one cycle per link — so ``total_cycles`` must equal the profiler's
-    number for the same schedule; the tests pin that agreement.
+    chains are re-discovered from the ISA-level interlock rule), but
+    follows the same hardware rules — stalls serialize along soft-RAW
+    chains, one cycle per link — so ``total_cycles`` must equal the
+    profiler's number for the same schedule; the tests pin that
+    agreement.
     """
 
     packets: int
@@ -232,30 +237,38 @@ class StallEstimate:
 
 
 def _packet_stall_chain(packet: Packet) -> Tuple[int, int]:
-    """(stalling soft-RAW pair count, longest chain length - 1)."""
+    """(stalling soft-RAW pair count, longest chain length - 1).
+
+    Stalling pairs come from the interlock rule itself
+    (:func:`repro.isa.dependencies.stalling_raw_registers`) rather than
+    from re-deriving soft classification and intersecting operand sets
+    here — the ST001 contract is that this estimate *exactly* matches
+    the pipeline model, and a second hand-rolled operand intersection is
+    where the two drifted before (``srcs`` vs ``read_registers`` on
+    implicit accumulator operands).  The chain walk is iterative in
+    reverse uid order (RAW edges run low uid -> high uid) because this
+    runs on corrupted packets of unbounded size.
+    """
     ordered = _ordered(packet.instructions)
     edges: Dict[int, List[int]] = {}
     pairs = 0
     for i, first in enumerate(ordered):
         for second in ordered[i + 1:]:
-            if classify_dependency(first, second) is not DependencyKind.SOFT:
-                continue
-            if not frozenset(first.dests) & frozenset(second.read_registers):
+            if not stalling_raw_registers(first, second):
                 continue  # WAR-shaped soft pair: free, reads precede writes
             pairs += 1
             edges.setdefault(first.uid, []).append(second.uid)
     if not pairs:
         return 0, 0
+    uids = set(edges)
+    for succ in edges.values():
+        uids.update(succ)
     depth: Dict[int, int] = {}
-
-    def chain(uid: int) -> int:
-        if uid not in depth:
-            depth[uid] = 1 + max(
-                (chain(s) for s in edges.get(uid, ())), default=0
-            )
-        return depth[uid]
-
-    longest = max(chain(uid) for uid in edges)
+    for uid in sorted(uids, reverse=True):
+        depth[uid] = 1 + max(
+            (depth[s] for s in edges.get(uid, ())), default=0
+        )
+    longest = max(depth[uid] for uid in edges)
     return pairs, longest - 1
 
 

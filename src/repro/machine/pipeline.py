@@ -26,6 +26,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterable, List, Sequence, Tuple
 
+from repro.isa.dependencies import stalling_raw_registers
 from repro.isa.instructions import Instruction
 from repro.machine.packet import Packet
 
@@ -40,14 +41,20 @@ def soft_raw_pairs(packet: Packet) -> List[Tuple[Instruction, Instruction]]:
     """Soft pairs inside ``packet`` that actually stall the pipeline.
 
     Only RAW-shaped soft dependencies (load -> consumer, producer ->
-    store) stall; WAR-shaped ones are absorbed by the read-before-write
-    stage ordering.
+    store, scalar ALU -> consumer) stall; WAR-shaped ones are absorbed
+    by the read-before-write stage ordering.  The RAW edge is derived
+    from :func:`repro.isa.dependencies.stalling_raw_registers`, i.e.
+    from the *full* operand sets including implicit accumulator reads
+    — intersecting ``producer.dests & consumer.srcs`` would miss a RAW
+    running through the implicit accumulator of a ``vrmpy``/``vtmpy``
+    accumulate form and undercount ``packet_cycles``.
     """
+    ordered = sorted(packet, key=lambda inst: inst.uid)
     stalls = []
-    for producer, consumer in packet.soft_pairs():
-        raw = frozenset(producer.dests) & frozenset(consumer.srcs)
-        if raw:
-            stalls.append((producer, consumer))
+    for i, producer in enumerate(ordered):
+        for consumer in ordered[i + 1:]:
+            if stalling_raw_registers(producer, consumer):
+                stalls.append((producer, consumer))
     return stalls
 
 
@@ -57,23 +64,30 @@ def _longest_soft_chain(packet: Packet) -> int:
     Stalls serialize along dependency chains, not per pair: a consumer
     waiting on two producers stalls once (the waits overlap), while a
     producer -> consumer -> store chain stalls twice.
+
+    The walk is an iterative worklist over reverse program order (RAW
+    edges always run from a lower uid to a higher one), never native
+    recursion: legal packets hold at most four instructions, but this
+    function is also used to price corrupted packets — fault injection
+    and the lint cross-validation build packets far past the slot
+    limit, where a recursive walk would overflow the interpreter
+    stack.
     """
     pairs = soft_raw_pairs(packet)
     if not pairs:
         return 0
-    succ = {}
+    succ: dict = {}
+    uids = set()
     for producer, consumer in pairs:
         succ.setdefault(producer.uid, []).append(consumer.uid)
+        uids.add(producer.uid)
+        uids.add(consumer.uid)
     depth: dict = {}
-
-    def walk(uid: int) -> int:
-        if uid not in depth:
-            depth[uid] = 1 + max(
-                (walk(s) for s in succ.get(uid, ())), default=0
-            )
-        return depth[uid]
-
-    return max(walk(producer.uid) for producer, _ in pairs) - 1
+    for uid in sorted(uids, reverse=True):  # reverse-topological order
+        depth[uid] = 1 + max(
+            (depth[s] for s in succ.get(uid, ())), default=0
+        )
+    return max(depth[producer.uid] for producer, _ in pairs) - 1
 
 
 def packet_cycles(packet: Packet) -> int:

@@ -11,6 +11,7 @@ Figure 9(b,c).  Two quantities are reported:
 from __future__ import annotations
 
 from dataclasses import dataclass
+from fractions import Fraction
 from typing import Iterable, Sequence
 
 from repro.isa.instructions import Instruction, ResourceClass
@@ -69,16 +70,41 @@ class ExecutionProfile:
         )
 
     def scaled(self, repeats: float) -> "ExecutionProfile":
-        """Profile of this unit of work repeated ``repeats`` times."""
+        """Profile of this unit of work repeated ``repeats`` times.
+
+        Counters stay *exact*: a fractional ``repeats`` (e.g. an
+        amortized setup schedule shared by several kernels) scales every
+        counter by the same rational factor, so derived ratios such as
+        ``bytes_loaded / cycles`` survive merging unchanged.  Rounding
+        each counter independently here is what used to make merged
+        profiles drift from ``repeats x unit``.  Integer results
+        normalize back to ``int``; call :meth:`rounded` at the final
+        reporting boundary.
+        """
+        factor = Fraction(repeats)
+
+        def scale(value):
+            exact = value * factor
+            return int(exact) if exact.denominator == 1 else exact
+
         return ExecutionProfile(
-            cycles=int(round(self.cycles * repeats)),
-            packets=int(round(self.packets * repeats)),
-            issued_instructions=int(
-                round(self.issued_instructions * repeats)
-            ),
-            macs=int(round(self.macs * repeats)),
-            bytes_loaded=int(round(self.bytes_loaded * repeats)),
-            bytes_stored=int(round(self.bytes_stored * repeats)),
+            cycles=scale(self.cycles),
+            packets=scale(self.packets),
+            issued_instructions=scale(self.issued_instructions),
+            macs=scale(self.macs),
+            bytes_loaded=scale(self.bytes_loaded),
+            bytes_stored=scale(self.bytes_stored),
+        )
+
+    def rounded(self) -> "ExecutionProfile":
+        """Whole-number view of the profile, for reporting only."""
+        return ExecutionProfile(
+            cycles=int(round(self.cycles)),
+            packets=int(round(self.packets)),
+            issued_instructions=int(round(self.issued_instructions)),
+            macs=int(round(self.macs)),
+            bytes_loaded=int(round(self.bytes_loaded)),
+            bytes_stored=int(round(self.bytes_stored)),
         )
 
 

@@ -1,5 +1,13 @@
 """Runtime: execute compiled models on the simulated DSP kernels."""
 
+from repro.runtime.calibration import FrozenCalibration, calibrate_graph
+from repro.runtime.engine import InferenceDiagnostics, InferenceEngine
 from repro.runtime.executor import QuantizedExecutor
 
-__all__ = ["QuantizedExecutor"]
+__all__ = [
+    "FrozenCalibration",
+    "calibrate_graph",
+    "InferenceDiagnostics",
+    "InferenceEngine",
+    "QuantizedExecutor",
+]

@@ -1,0 +1,104 @@
+"""One-time post-training calibration for the quantized runtime.
+
+Real int8 deployments (the TFLite/SNPE flows the paper benchmarks
+against, Section VI) compute activation ranges *once*, from a small
+representative sample set, and then serve every request as a pure
+integer pass.  This module provides that split: :func:`calibrate_graph`
+runs the float reference executor over the sample feeds and freezes one
+abs-max bound per graph node into an immutable
+:class:`FrozenCalibration`, which every later quantized run derives its
+:class:`~repro.quant.quantize.QuantParams` from.
+
+The bounds are per-tensor symmetric (scale = bound / 127, zero point
+0), matching what the executor previously measured on the fly.  Runtime
+values that exceed a frozen bound saturate at the int8 rails — the
+standard post-training-quantization contract, and the reason the sample
+set should be representative.
+
+A :class:`FrozenCalibration` is immutable and holds only plain floats,
+so one instance can be shared read-only across every executor thread of
+an inference engine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from types import MappingProxyType
+from typing import Dict, Mapping, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import QuantizationError
+from repro.graph.execute import ReferenceExecutor
+from repro.graph.graph import ComputationalGraph
+from repro.quant.quantize import QuantParams
+
+
+@dataclass(frozen=True)
+class FrozenCalibration:
+    """Per-node activation bounds frozen from a calibration sample set.
+
+    Attributes
+    ----------
+    bounds:
+        ``node_id -> abs-max`` over every calibration sample's float
+        reference value for that node.  Exposed as a read-only mapping.
+    samples:
+        Number of sample feeds the bounds were measured from.
+    """
+
+    bounds: Mapping[int, float]
+    samples: int = 1
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self, "bounds", MappingProxyType(dict(self.bounds))
+        )
+
+    def bound(self, node_id: int) -> float:
+        """Abs-max bound of one node's activation, always positive."""
+        try:
+            raw = self.bounds[node_id]
+        except KeyError:
+            raise QuantizationError(
+                f"node {node_id} has no frozen calibration bound",
+                stage="runtime",
+            ) from None
+        return raw if raw > 0.0 else 1.0
+
+    def params(self, node_id: int) -> QuantParams:
+        """Symmetric int8 quantization parameters for one node."""
+        return QuantParams(scale=self.bound(node_id) / 127.0)
+
+
+def calibrate_graph(
+    graph: ComputationalGraph,
+    reference: ReferenceExecutor,
+    sample_feeds: Sequence[Optional[Dict[str, np.ndarray]]],
+) -> FrozenCalibration:
+    """Measure per-node abs-max bounds over ``sample_feeds``.
+
+    Runs one full float reference pass per sample — the *only* float
+    forward passes in a frozen-calibration deployment — and keeps the
+    per-node maximum across samples.
+    """
+    if not sample_feeds:
+        raise QuantizationError(
+            "calibration requires at least one sample feed",
+            stage="runtime",
+        )
+    bounds: Dict[int, float] = {}
+    for feeds in sample_feeds:
+        feeds = feeds or {}
+        values: Dict[int, np.ndarray] = {}
+        for node in graph:
+            inputs = [values[i] for i in node.inputs]
+            value = reference._eval(node, inputs, feeds)
+            values[node.node_id] = value
+            observed = float(np.abs(value).max()) if value.size else 0.0
+            prior = bounds.get(node.node_id, 0.0)
+            if observed > prior:
+                bounds[node.node_id] = observed
+            else:
+                bounds.setdefault(node.node_id, prior)
+    return FrozenCalibration(bounds=bounds, samples=len(sample_feeds))

@@ -1,0 +1,507 @@
+"""Serving-grade batched inference over the quantized runtime.
+
+The :class:`InferenceEngine` amortizes everything that can be amortized
+across requests:
+
+* **calibration** is frozen once (:mod:`repro.runtime.calibration`) and
+  shared read-only by every worker — no request ever runs the float
+  model;
+* **batching** stacks the sample rows of a whole batch through each
+  weight-form GEMM (matmul, dense, im2col'd convolution) so the batch
+  pays one kernel dispatch per operator instead of one per sample.
+  Because the int8 GEMM computes every output row from its own input
+  row alone, and the frozen calibration makes quantization parameters
+  data-independent, the stacked pass is *bit-identical* to running the
+  samples one by one (``repro.verify.runtime`` checks exactly that);
+* **concurrency** comes from a bounded request queue drained by a
+  thread pool of :class:`~repro.runtime.executor.QuantizedExecutor`
+  workers that share the compiled model and calibration read-only.
+
+Per-request latency and queue depth are recorded in an
+:class:`InferenceDiagnostics`, mirroring how
+:class:`~repro.verify.diagnostics.CompilationDiagnostics` reports what
+actually happened during a compile.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from concurrent.futures import Future
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import SimulationError
+from repro.compiler import CompiledModel, CompilerOptions
+from repro.graph import ops
+from repro.graph.graph import Node
+from repro.isa.instructions import Opcode
+from repro.runtime.calibration import FrozenCalibration
+from repro.runtime.executor import QuantizedExecutor
+
+
+@dataclass
+class InferenceDiagnostics:
+    """Everything noteworthy that happened while serving requests."""
+
+    requests: int = 0
+    batches: int = 0
+    stacked_gemm_rows: int = 0
+    latencies_ms: List[float] = field(default_factory=list)
+    queue_depths: List[int] = field(default_factory=list)
+    warnings: List[str] = field(default_factory=list)
+
+    def warn(self, message: str) -> None:
+        self.warnings.append(message)
+
+    def record_request(self, latency_ms: float, queue_depth: int) -> None:
+        self.requests += 1
+        self.latencies_ms.append(latency_ms)
+        self.queue_depths.append(queue_depth)
+
+    def record_batch(self, samples: int, stacked_rows: int) -> None:
+        self.batches += 1
+        self.requests += samples
+        self.stacked_gemm_rows += stacked_rows
+
+    @property
+    def mean_latency_ms(self) -> float:
+        if not self.latencies_ms:
+            return 0.0
+        return sum(self.latencies_ms) / len(self.latencies_ms)
+
+    @property
+    def p99_latency_ms(self) -> float:
+        if not self.latencies_ms:
+            return 0.0
+        ordered = sorted(self.latencies_ms)
+        index = min(len(ordered) - 1, int(0.99 * len(ordered)))
+        return ordered[index]
+
+    @property
+    def max_queue_depth(self) -> int:
+        return max(self.queue_depths, default=0)
+
+    def summary_lines(self) -> List[str]:
+        lines = [f"requests served: {self.requests}"]
+        if self.batches:
+            lines.append(
+                f"batched runs: {self.batches} "
+                f"({self.stacked_gemm_rows} stacked GEMM rows)"
+            )
+        if self.latencies_ms:
+            lines.append(
+                f"latency: mean {self.mean_latency_ms:.2f} ms, "
+                f"p99 {self.p99_latency_ms:.2f} ms"
+            )
+        if self.queue_depths:
+            lines.append(f"max queue depth: {self.max_queue_depth}")
+        for warning in self.warnings:
+            lines.append(f"warning: {warning}")
+        return lines
+
+
+class _Shutdown:
+    """Queue sentinel telling a worker thread to exit."""
+
+
+class InferenceEngine:
+    """Batched, multi-worker inference over one compiled model.
+
+    All workers share ``compiled`` and the frozen calibration
+    read-only; each owns its executor instance (and thus its own
+    mutable per-request buffers).  The request queue is bounded:
+    :meth:`submit` blocks once ``queue_size`` requests are in flight,
+    providing natural backpressure.
+    """
+
+    def __init__(
+        self,
+        compiled: CompiledModel,
+        calibration: Optional[FrozenCalibration] = None,
+        *,
+        seed: int = 0,
+        kernel_mac_limit: Optional[int] = None,
+        workers: int = 2,
+        queue_size: int = 64,
+    ) -> None:
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        if queue_size < 1:
+            raise ValueError("queue_size must be >= 1")
+        self.compiled = compiled
+        self.calibration = calibration
+        self.seed = seed
+        self.kernel_mac_limit = kernel_mac_limit
+        self.workers = workers
+        self.diagnostics = InferenceDiagnostics()
+        self._queue: "queue.Queue" = queue.Queue(maxsize=queue_size)
+        self._threads: List[threading.Thread] = []
+        self._lock = threading.Lock()
+        self._closed = False
+        # The caller-thread executor: run_batch and calibrate use it.
+        self._local = self._new_executor()
+
+    @classmethod
+    def from_model(
+        cls,
+        model_name: str,
+        options: Optional[CompilerOptions] = None,
+        **engine_kwargs,
+    ) -> "InferenceEngine":
+        """Compile a registry model and wrap it in an engine.
+
+        Compilation goes through :func:`repro.harness.compile_cached`,
+        so an engine warm-starts from the PR 3 schedule cache whenever
+        ``options.cache_dir`` points at a populated cache — spinning up
+        a fleet of engines costs one cold compile, not many.
+        """
+        from repro.harness import compile_cached
+
+        compiled = compile_cached(model_name, options)
+        return cls(compiled, **engine_kwargs)
+
+    # -- calibration -------------------------------------------------------
+
+    def calibrate(
+        self,
+        sample_feeds: Sequence[Optional[Dict[str, np.ndarray]]],
+    ) -> FrozenCalibration:
+        """Freeze calibration from samples and share it with workers."""
+        self.calibration = self._local.calibrate(sample_feeds)
+        with self._lock:
+            for executor in self._executors():
+                executor.calibration = self.calibration
+        return self.calibration
+
+    def _require_calibration(self) -> FrozenCalibration:
+        if self.calibration is None:
+            raise SimulationError(
+                "engine is not calibrated; call calibrate(sample_feeds) "
+                "before serving requests",
+                stage="runtime",
+            )
+        return self.calibration
+
+    def _new_executor(self) -> QuantizedExecutor:
+        return QuantizedExecutor(
+            self.compiled,
+            seed=self.seed,
+            kernel_mac_limit=self.kernel_mac_limit,
+            calibration=self.calibration,
+        )
+
+    def _executors(self) -> List[QuantizedExecutor]:
+        executors = [self._local]
+        executors.extend(
+            thread._executor  # type: ignore[attr-defined]
+            for thread in self._threads
+        )
+        return executors
+
+    # -- batched execution -------------------------------------------------
+
+    def run_batch(
+        self, feeds_list: Sequence[Optional[Dict[str, np.ndarray]]]
+    ) -> List[Dict[str, np.ndarray]]:
+        """Run a whole batch, stacking sample rows through the GEMMs.
+
+        Returns one output dict per sample, in order, bit-identical to
+        calling :meth:`QuantizedExecutor.run` per sample under the same
+        frozen calibration.
+        """
+        self._require_calibration()
+        if not feeds_list:
+            return []
+        executor = self._local
+        graph = executor.graph
+        batch = len(feeds_list)
+        started = time.perf_counter()
+        stacked_rows = 0
+        # Liveness: a batch keeps `batch` copies of every live tensor,
+        # so dead intermediates are dropped eagerly — otherwise the
+        # working set grows ~batch x graph-size and the per-sample
+        # fallback ops slow down from cache pressure alone.
+        remaining_uses: Dict[int, int] = {}
+        for node in graph:
+            for input_id in node.inputs:
+                remaining_uses[input_id] = (
+                    remaining_uses.get(input_id, 0) + 1
+                )
+        keep = {node.node_id for node in graph.output_nodes()}
+        values: Dict[int, List[np.ndarray]] = {}
+        for node in graph:
+            per_sample_inputs = [
+                [values[i][s] for i in node.inputs] for s in range(batch)
+            ]
+            if batch > 1 and self._stackable(executor, node):
+                outs, rows = self._batched_gemm(
+                    executor, node, per_sample_inputs
+                )
+                stacked_rows += rows
+            elif batch > 1 and self._stackable_elementwise(
+                executor, node, per_sample_inputs
+            ):
+                outs = self._batched_elementwise(
+                    executor, node, per_sample_inputs
+                )
+            else:
+                outs = [
+                    executor._eval(
+                        node, per_sample_inputs[s], feeds_list[s] or {}
+                    )
+                    for s in range(batch)
+                ]
+            values[node.node_id] = outs
+            for input_id in node.inputs:
+                remaining_uses[input_id] -= 1
+                if remaining_uses[input_id] == 0 and input_id not in keep:
+                    del values[input_id]
+        self.diagnostics.record_batch(batch, stacked_rows)
+        elapsed_ms = (time.perf_counter() - started) * 1e3
+        self.diagnostics.latencies_ms.append(elapsed_ms / batch)
+        outputs = graph.output_nodes()
+        return [
+            {node.name: values[node.node_id][s] for node in outputs}
+            for s in range(batch)
+        ]
+
+    @staticmethod
+    def _stackable(executor: QuantizedExecutor, node: Node) -> bool:
+        """Whether the node is a weight-form GEMM the batch can share.
+
+        Only GEMMs whose right-hand side is a (deterministic) weight
+        stack: the weight is the same for every sample, so sample rows
+        concatenate into one matrix product.  Activation x activation
+        matmuls keep their per-sample path.
+        """
+        op = node.op
+        plan = executor._plan_by_node.get(node.node_id)
+        if (
+            not op.is_compute_heavy
+            or plan is None
+            or plan.instruction
+            not in (Opcode.VMPY, Opcode.VMPA, Opcode.VRMPY)
+        ):
+            return False
+        if isinstance(op, ops.MatMul):
+            return (
+                op.weight_shape is not None and len(op.weight_shape) == 2
+            )
+        if isinstance(op, ops.Dense):
+            return True
+        return isinstance(op, ops.Conv2D) and op.groups == 1
+
+    @staticmethod
+    def _stackable_elementwise(
+        executor: QuantizedExecutor, node: Node, per_sample_inputs
+    ) -> bool:
+        """Whether the node's quantized elementwise path can stack.
+
+        Covers the executor's integer elementwise kernels — ReLU and
+        two-operand Add/Sub — whose arithmetic is exact and per-element,
+        so concatenating samples along the leading axis is
+        bit-identical.  Add/Sub stacks only when both operands carry
+        the full (identical) per-sample shape: a broadcast operand
+        would change meaning under concatenation.
+        """
+        op = node.op
+        if isinstance(op, ops.ReLU):
+            value = per_sample_inputs[0][0]
+            return value.ndim >= 1 and value.shape[0] > 0
+        if isinstance(op, (ops.Add, ops.Sub)) and len(node.inputs) == 2:
+            a, b = per_sample_inputs[0]
+            return (
+                a.ndim >= 1
+                and a.shape == b.shape
+                and a.shape[0] > 0
+            )
+        return False
+
+    @staticmethod
+    def _batched_elementwise(executor, node, per_sample_inputs):
+        """One stacked call through an integer elementwise kernel."""
+        op = node.op
+        operands = len(per_sample_inputs[0])
+        stacked_inputs = []
+        for position in range(operands):
+            stacked_inputs.append(
+                np.concatenate(
+                    [inputs[position] for inputs in per_sample_inputs],
+                    axis=0,
+                )
+            )
+        if isinstance(op, ops.ReLU):
+            out = executor._quantized_relu(node, stacked_inputs[0])
+        else:
+            out = executor._quantized_addsub(node, op, stacked_inputs)
+        sizes = [inputs[0].shape[0] for inputs in per_sample_inputs]
+        return np.split(out, np.cumsum(sizes)[:-1], axis=0)
+
+    def _batched_gemm(self, executor, node, per_sample_inputs):
+        """One stacked GEMM for all samples of a weight-form node.
+
+        Mirrors :meth:`QuantizedExecutor._quantized_compute` exactly,
+        but concatenates the per-sample activation matrices along the
+        row axis before the one `_gemm_2d` call and splits the result
+        back afterwards.  Row-independence of the int8 GEMM makes the
+        answer bit-identical to the per-sample path.
+        """
+        op = node.op
+        plan = executor._plan_by_node[node.node_id]
+        a_params = executor._frozen_params(node.inputs[0])
+        if isinstance(op, ops.MatMul):
+            b_float = executor.reference._weight(node, "w", op.weight_shape)
+            b_params = executor._params_for_weight(node, b_float)
+            if op.transpose_b:
+                b_float = np.swapaxes(b_float, -1, -2)
+            a_mats = [
+                inputs[0].reshape(-1, inputs[0].shape[-1])
+                for inputs in per_sample_inputs
+            ]
+            out_shapes = [
+                inputs[0].shape[:-1] + (b_float.shape[-1],)
+                for inputs in per_sample_inputs
+            ]
+        elif isinstance(op, ops.Dense):
+            a_mats = [
+                inputs[0].reshape(inputs[0].shape[0], -1)
+                for inputs in per_sample_inputs
+            ]
+            b_float = executor.reference._weight(
+                node, "w", (a_mats[0].shape[1], op.units)
+            )
+            b_params = executor._params_for_weight(node, b_float)
+            out_shapes = [
+                (mat.shape[0], op.units) for mat in a_mats
+            ]
+        else:  # Conv2D, groups == 1
+            col_shapes = []
+            a_mats = []
+            for inputs in per_sample_inputs:
+                cols = executor.reference._im2col(
+                    inputs[0], op.kernel, op.stride, op.padding
+                )
+                col_shapes.append(cols.shape)
+                a_mats.append(cols.reshape(-1, cols.shape[-1]))
+            b_float = executor.reference._weight(
+                node,
+                "w0",
+                (
+                    op.kernel[0] * op.kernel[1]
+                    * per_sample_inputs[0][0].shape[1],
+                    op.out_channels,
+                ),
+            )
+            b_params = executor._params_for_weight(node, b_float)
+            out_shapes = None  # handled below with the NHWC transpose
+        rows = [mat.shape[0] for mat in a_mats]
+        # Quantize per sample, concatenate the (8x smaller) int8 levels,
+        # and run one integer GEMM for the whole batch: the weight-side
+        # quantization and kernel dispatch are paid once per batch
+        # instead of once per sample.
+        stacked_q = np.concatenate(
+            [a_params.quantize(mat) for mat in a_mats], axis=0
+        )
+        b_q = b_params.quantize(b_float)
+        out = executor._gemm_levels(
+            node, stacked_q, b_q, plan, a_params, b_params
+        )
+        pieces = np.split(out, np.cumsum(rows)[:-1], axis=0)
+        if isinstance(op, (ops.MatMul, ops.Dense)):
+            results = [
+                piece.reshape(shape)
+                for piece, shape in zip(pieces, out_shapes)
+            ]
+        else:
+            results = []
+            for piece, (n, oh, ow, _k) in zip(pieces, col_shapes):
+                sample = piece.reshape(n, oh, ow, op.out_channels)
+                sample = sample.transpose(0, 3, 1, 2)
+                if op.fused_activation:
+                    from repro.graph.execute import _ACTIVATIONS
+
+                    sample = _ACTIVATIONS[op.fused_activation](sample)
+                results.append(sample)
+        return results, sum(rows)
+
+    # -- request queue -----------------------------------------------------
+
+    def _ensure_workers(self) -> None:
+        with self._lock:
+            if self._closed:
+                raise SimulationError(
+                    "engine is closed", stage="runtime"
+                )
+            missing = self.workers - len(self._threads)
+            for _ in range(max(0, missing)):
+                executor = self._new_executor()
+                thread = threading.Thread(
+                    target=self._worker_loop,
+                    args=(executor,),
+                    daemon=True,
+                )
+                thread._executor = executor  # type: ignore[attr-defined]
+                thread.start()
+                self._threads.append(thread)
+
+    def _worker_loop(self, executor: QuantizedExecutor) -> None:
+        while True:
+            item = self._queue.get()
+            try:
+                if item is _Shutdown:
+                    return
+                feeds, future, enqueued, depth = item
+                if not future.set_running_or_notify_cancel():
+                    continue
+                try:
+                    result = executor.run(feeds)
+                except BaseException as exc:  # propagate to the caller
+                    future.set_exception(exc)
+                else:
+                    latency_ms = (time.perf_counter() - enqueued) * 1e3
+                    with self._lock:
+                        self.diagnostics.record_request(latency_ms, depth)
+                    future.set_result(result)
+            finally:
+                self._queue.task_done()
+
+    def submit(
+        self, feeds: Optional[Dict[str, np.ndarray]] = None
+    ) -> "Future":
+        """Enqueue one request; blocks while the queue is full."""
+        self._require_calibration()
+        self._ensure_workers()
+        future: Future = Future()
+        depth = self._queue.qsize()
+        self._queue.put((feeds, future, time.perf_counter(), depth))
+        return future
+
+    def run_many(
+        self, feeds_list: Sequence[Optional[Dict[str, np.ndarray]]]
+    ) -> List[Dict[str, np.ndarray]]:
+        """Serve requests through the worker pool; results in order."""
+        futures = [self.submit(feeds) for feeds in feeds_list]
+        return [future.result() for future in futures]
+
+    def close(self) -> None:
+        """Drain the queue and stop the worker threads."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            threads = list(self._threads)
+        for _ in threads:
+            self._queue.put(_Shutdown)
+        for thread in threads:
+            thread.join()
+        self._threads.clear()
+
+    def __enter__(self) -> "InferenceEngine":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -7,6 +7,12 @@ instruction kernel* its execution plan selected — ``vmpy``, ``vmpa`` or
 are exercised end to end, not just costed.  Outputs are validated in
 tests against the float reference executor within quantization error.
 
+Quantization state is *frozen*: a one-time :meth:`~QuantizedExecutor.
+calibrate` pass measures per-node activation ranges from a sample set
+(see :mod:`repro.runtime.calibration`), after which :meth:`run` is a
+pure integer pass — no per-request float forward.  The first ``run``
+auto-calibrates from its own feeds for backwards compatibility.
+
 This is a correctness runtime, not a fast one: it is meant for the
 examples and the integration tests, on moderate graph sizes.
 """
@@ -14,7 +20,7 @@ examples and the integration tests, on moderate graph sizes.
 from __future__ import annotations
 
 import math
-from typing import Dict, Optional
+from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
@@ -26,16 +32,20 @@ from repro.graph.execute import ReferenceExecutor
 from repro.graph.graph import Node
 from repro.isa.instructions import Opcode
 from repro.quant.quantize import QuantParams, requantize
+from repro.runtime.calibration import FrozenCalibration, calibrate_graph
 
 
 class QuantizedExecutor:
     """Runs a :class:`~repro.compiler.CompiledModel` in int8.
 
-    Activations are re-quantized to int8 after every operator using
-    per-tensor ranges measured from the float reference run (standard
+    Activations are quantized to int8 after every operator using
+    per-tensor ranges frozen by a one-time calibration pass (standard
     post-training calibration); weights come from the same seeded
     generator the reference executor uses, so quantized and float runs
-    are directly comparable.
+    are directly comparable.  Pass an existing
+    :class:`~repro.runtime.calibration.FrozenCalibration` to share
+    calibration state read-only across executors (the inference engine
+    does this for its worker threads).
 
     ``kernel_mac_limit`` bounds the per-GEMM work routed through the
     simulated instruction kernels (which are semantic-level Python
@@ -50,27 +60,51 @@ class QuantizedExecutor:
         compiled: CompiledModel,
         seed: int = 0,
         kernel_mac_limit: Optional[int] = None,
+        calibration: Optional[FrozenCalibration] = None,
     ) -> None:
         self.compiled = compiled
         self.graph = compiled.graph
         self.reference = ReferenceExecutor(self.graph, seed=seed)
         self.kernel_mac_limit = kernel_mac_limit
+        self.calibration = calibration
         self._plan_by_node = {
             cn.node.node_id: cn.plan for cn in compiled.nodes
         }
+        self._weight_params: Dict[int, QuantParams] = {}
 
     # -- public ------------------------------------------------------------
+
+    def calibrate(
+        self,
+        sample_feeds: Sequence[Optional[Dict[str, np.ndarray]]],
+    ) -> FrozenCalibration:
+        """Freeze per-node quantization ranges from ``sample_feeds``.
+
+        Runs one float reference pass per sample and keeps per-node
+        abs-max bounds.  Every later :meth:`run` reuses the frozen
+        ranges — inference never runs the float model again.
+        """
+        self.calibration = calibrate_graph(
+            self.graph, self.reference, sample_feeds
+        )
+        return self.calibration
 
     def run(
         self, feeds: Optional[Dict[str, np.ndarray]] = None
     ) -> Dict[str, np.ndarray]:
-        """Quantized inference; returns dequantized float outputs."""
+        """Quantized inference; returns dequantized float outputs.
+
+        A pure int8 pass under the frozen calibration.  If the executor
+        has never been calibrated, the first call calibrates from its
+        own feeds (one float pass) and freezes those ranges.
+        """
         feeds = feeds or {}
-        float_values = self._calibration_run(feeds)
+        if self.calibration is None:
+            self.calibrate([feeds])
         values: Dict[int, np.ndarray] = {}
         for node in self.graph:
             inputs = [values[i] for i in node.inputs]
-            values[node.node_id] = self._eval(node, inputs, float_values, feeds)
+            values[node.node_id] = self._eval(node, inputs, feeds)
         return {
             node.name: values[node.node_id]
             for node in self.graph.output_nodes()
@@ -78,26 +112,29 @@ class QuantizedExecutor:
 
     # -- internals ------------------------------------------------------------
 
-    def _calibration_run(self, feeds) -> Dict[int, np.ndarray]:
-        """Float forward pass for ranges (and for non-quantized ops)."""
-        values: Dict[int, np.ndarray] = {}
-        for node in self.graph:
-            inputs = [values[i] for i in node.inputs]
-            values[node.node_id] = self.reference._eval(node, inputs, feeds)
-        return values
+    def _frozen_params(self, node_id: int) -> QuantParams:
+        if self.calibration is None:  # pragma: no cover - run() calibrates
+            raise QuantizationError(
+                "executor has no frozen calibration",
+                stage="runtime",
+            )
+        return self.calibration.params(node_id)
 
-    def _params_for(self, float_value: np.ndarray) -> QuantParams:
-        bound = float(np.abs(float_value).max())
-        bound = bound if bound > 0 else 1.0
-        return QuantParams(scale=bound / 127.0)
+    def _params_for_weight(self, node: Node, value: np.ndarray) -> QuantParams:
+        """Weight quantization params, cached per node.
 
-    def _eval(
-        self,
-        node: Node,
-        inputs,
-        float_values: Dict[int, np.ndarray],
-        feeds,
-    ) -> np.ndarray:
+        Weights are deterministic (seeded from the node name), so their
+        ranges never change between requests.
+        """
+        cached = self._weight_params.get(node.node_id)
+        if cached is None:
+            bound = float(np.abs(value).max())
+            bound = bound if bound > 0 else 1.0
+            cached = QuantParams(scale=bound / 127.0)
+            self._weight_params[node.node_id] = cached
+        return cached
+
+    def _eval(self, node: Node, inputs, feeds) -> np.ndarray:
         op = node.op
         plan = self._plan_by_node.get(node.node_id)
         if (
@@ -105,11 +142,11 @@ class QuantizedExecutor:
             and plan is not None
             and plan.instruction in (Opcode.VMPY, Opcode.VMPA, Opcode.VRMPY)
         ):
-            return self._quantized_compute(node, inputs, float_values, plan)
+            return self._quantized_compute(node, inputs, plan)
         if isinstance(op, (ops.Add, ops.Sub)) and len(inputs) == 2:
             return self._quantized_addsub(node, op, inputs)
         if isinstance(op, ops.ReLU):
-            return self._quantized_relu(inputs[0])
+            return self._quantized_relu(node, inputs[0])
         # Everything else executes at float precision through the
         # reference semantics.
         return self.reference._eval(node, inputs, feeds)
@@ -134,17 +171,28 @@ class QuantizedExecutor:
                     "rhs": inputs[1].shape,
                 },
             ) from exc
-        out_bound = max(
-            1e-9, float(np.abs(a_float).max() + np.abs(b_float).max())
-        )
+        bound_a = self.calibration.bound(node.inputs[0])
+        bound_b = self.calibration.bound(node.inputs[1])
+        # |a ± b| <= |a|max + |b|max: the sum of the frozen operand
+        # bounds is a sound output bound under any feed.
+        out_bound = max(1e-9, bound_a + bound_b)
         out_scale = out_bound / 127.0
         acc = np.zeros(a_float.shape, dtype=np.int64)
-        for index, operand in enumerate((a_float, b_float)):
-            params = self._params_for(operand)
+        for index, (operand, bound) in enumerate(
+            ((a_float, bound_a), (b_float, bound_b))
+        ):
+            params = QuantParams(scale=bound / 127.0)
+            ratio = params.scale / out_scale / 4.0
+            if ratio < 2.0 ** -48:
+                # The operand's full range maps below one output level
+                # (requantize_multiplier cannot even encode the ratio):
+                # its contribution is exactly zero at the output's
+                # resolution.  Happens when one operand's frozen bound
+                # dwarfs the other's, e.g. an attention mask of -1e9
+                # added to logits of order 1.
+                continue
             levels = params.quantize(operand).astype(np.int64)
-            multiplier, shift = requantize_multiplier(
-                params.scale / out_scale / 4.0
-            )
+            multiplier, shift = requantize_multiplier(ratio)
             rescaled = self._fixed_point_rescale(
                 node, levels, multiplier, shift - 2
             )
@@ -181,31 +229,35 @@ class QuantizedExecutor:
             return levels * (multiplier << -shift)
         return (levels * multiplier) >> shift
 
-    def _quantized_relu(self, value: np.ndarray) -> np.ndarray:
+    def _quantized_relu(self, node, value: np.ndarray) -> np.ndarray:
         """ReLU on quantized levels (max against the zero level)."""
-        params = self._params_for(value)
+        params = self._frozen_params(node.inputs[0])
         levels = params.quantize(value)
         from repro.isa import semantics
 
         rectified = semantics.vmax(levels, np.zeros_like(levels))
         return params.dequantize(rectified)
 
-    def _quantized_compute(self, node, inputs, float_values, plan):
+    def _quantized_compute(self, node, inputs, plan):
         """int8 GEMM through the plan's instruction kernel."""
         op = node.op
+        a_params = self._frozen_params(node.inputs[0])
         if isinstance(op, ops.MatMul):
             a_float = inputs[0]
             if op.weight_shape is not None:
                 b_float = self.reference._weight(node, "w", op.weight_shape)
+                b_params = self._params_for_weight(node, b_float)
             else:
                 b_float = inputs[1]
+                b_params = self._frozen_params(node.inputs[1])
             if op.transpose_b:
                 b_float = np.swapaxes(b_float, -1, -2)
-            return self._gemm(node, a_float, b_float, plan)
+            return self._gemm(node, a_float, b_float, plan, a_params, b_params)
         if isinstance(op, ops.Dense):
             flat = inputs[0].reshape(inputs[0].shape[0], -1)
             w = self.reference._weight(node, "w", (flat.shape[1], op.units))
-            return self._gemm(node, flat, w, plan)
+            b_params = self._params_for_weight(node, w)
+            return self._gemm(node, flat, w, plan, a_params, b_params)
         if isinstance(op, ops.Conv2D) and op.groups == 1:
             cols = self.reference._im2col(
                 inputs[0], op.kernel, op.stride, op.padding
@@ -217,7 +269,10 @@ class QuantizedExecutor:
                 (op.kernel[0] * op.kernel[1] * inputs[0].shape[1],
                  op.out_channels),
             )
-            out = self._gemm(node, cols.reshape(-1, k), w, plan)
+            b_params = self._params_for_weight(node, w)
+            out = self._gemm(
+                node, cols.reshape(-1, k), w, plan, a_params, b_params
+            )
             out = out.reshape(n, oh, ow, op.out_channels)
             result = out.transpose(0, 3, 1, 2)
             if op.fused_activation:
@@ -228,8 +283,16 @@ class QuantizedExecutor:
         # Grouped/depthwise/transpose convolutions fall back to float.
         return self.reference._eval(node, inputs, {})
 
-    def _gemm(self, node, a_float, b_float, plan) -> np.ndarray:
-        """Quantize, run the instruction kernel, dequantize."""
+    def _gemm(
+        self, node, a_float, b_float, plan, a_params, b_params
+    ) -> np.ndarray:
+        """Quantize, run the instruction kernel, dequantize.
+
+        ``a_params`` covers the activation side; im2col, flattening and
+        transposition only select or zero-pad elements, so the
+        producing node's frozen abs-max bound remains sound for the
+        reshaped operand.
+        """
         a_shape = a_float.shape
         a2 = a_float.reshape(-1, a_shape[-1])
         if b_float.ndim > 2:
@@ -238,14 +301,17 @@ class QuantizedExecutor:
             a3 = a_float.reshape(batch, -1, a_shape[-1])
             b3 = b_float.reshape(batch, b_float.shape[-2], b_float.shape[-1])
             outs = [
-                self._gemm_2d(node, a3[i], b3[i], plan) for i in range(batch)
+                self._gemm_2d(node, a3[i], b3[i], plan, a_params, b_params)
+                for i in range(batch)
             ]
             out = np.stack(outs)
             return out.reshape(a_shape[:-1] + (b_float.shape[-1],))
-        out = self._gemm_2d(node, a2, b_float, plan)
+        out = self._gemm_2d(node, a2, b_float, plan, a_params, b_params)
         return out.reshape(a_shape[:-1] + (b_float.shape[-1],))
 
-    def _gemm_2d(self, node, a_float, b_float, plan) -> np.ndarray:
+    def _gemm_2d(
+        self, node, a_float, b_float, plan, a_params, b_params
+    ) -> np.ndarray:
         if a_float.size == 0 or b_float.size == 0:
             raise SimulationError(
                 "degenerate GEMM operand",
@@ -253,10 +319,22 @@ class QuantizedExecutor:
                 node=node.name,
                 details={"lhs": a_float.shape, "rhs": b_float.shape},
             )
-        a_params = self._params_for(a_float)
-        b_params = self._params_for(b_float)
         a_q = a_params.quantize(a_float)
         b_q = b_params.quantize(b_float)
+        return self._gemm_levels(node, a_q, b_q, plan, a_params, b_params)
+
+    def _gemm_levels(
+        self, node, a_q, b_q, plan, a_params, b_params
+    ) -> np.ndarray:
+        """The integer core of one GEMM: int8 levels in, float out.
+
+        Exposed separately from :meth:`_gemm_2d` so the batched engine
+        can quantize per sample, concatenate int8 rows, and run the
+        whole batch through one call.  Every output row depends only on
+        its own input row, and the accumulation is exact integer
+        arithmetic on both paths, so the result is bit-identical under
+        any row grouping.
+        """
         macs = a_q.shape[0] * a_q.shape[1] * b_q.shape[1]
         if (
             self.kernel_mac_limit is not None

@@ -1,0 +1,80 @@
+"""Differential verification of the batched inference engine.
+
+The engine's batching claim is strong — stacked execution is
+*bit-identical* to per-sample execution under the same frozen
+calibration — so it is checked the same way the compiler's passes are:
+run both, compare exactly, raise a structured
+:class:`~repro.errors.VerificationError` on the first divergence.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import SimulationError, VerificationError
+
+
+class RuntimeVerificationError(VerificationError, SimulationError):
+    """Engine outputs diverged from the per-sample executor."""
+
+
+def verify_engine_parity(
+    engine,
+    feeds_list: Sequence[Optional[Dict[str, np.ndarray]]],
+    executor=None,
+) -> Dict[str, int]:
+    """Check engine batched outputs against per-sample execution.
+
+    Runs ``engine.run_batch(feeds_list)`` and an independent
+    :class:`~repro.runtime.executor.QuantizedExecutor` (sharing the
+    engine's frozen calibration) one sample at a time, and requires
+    every output tensor to match *exactly* — same bits, not just within
+    tolerance.  Returns ``{"samples": ..., "outputs": ...}`` on
+    success.
+    """
+    from repro.runtime.executor import QuantizedExecutor
+
+    if executor is None:
+        executor = QuantizedExecutor(
+            engine.compiled,
+            seed=engine.seed,
+            kernel_mac_limit=engine.kernel_mac_limit,
+            calibration=engine.calibration,
+        )
+    batched = engine.run_batch(feeds_list)
+    outputs_checked = 0
+    for index, feeds in enumerate(feeds_list):
+        single = executor.run(feeds)
+        if set(single) != set(batched[index]):
+            raise RuntimeVerificationError(
+                "engine and executor disagree on output names",
+                stage="runtime",
+                details={
+                    "sample": index,
+                    "engine": sorted(batched[index]),
+                    "executor": sorted(single),
+                },
+            )
+        for name, expected in single.items():
+            got = batched[index][name]
+            if got.shape != expected.shape or not np.array_equal(
+                got, expected
+            ):
+                raise RuntimeVerificationError(
+                    f"engine output {name!r} is not bit-identical to "
+                    f"the per-sample executor",
+                    stage="runtime",
+                    details={
+                        "sample": index,
+                        "output": name,
+                        "max_abs_diff": float(
+                            np.max(np.abs(got - expected))
+                        )
+                        if got.shape == expected.shape
+                        else "shape mismatch",
+                    },
+                )
+            outputs_checked += 1
+    return {"samples": len(list(feeds_list)), "outputs": outputs_checked}

@@ -102,15 +102,20 @@ class TestCorruptInputs:
         from repro.runtime.executor import QuantizedExecutor
         from tests.conftest import small_cnn
 
+        from repro.quant.quantize import QuantParams
+
         compiled = compile_model(small_cnn())
         executor = QuantizedExecutor(compiled)
         node = compiled.nodes[0].node
+        params = QuantParams(scale=1.0)
         with pytest.raises(errors.SimulationError):
             executor._gemm_2d(
                 node,
                 np.zeros((0, 4)),  # degenerate operand
                 np.zeros((4, 4)),
                 compiled.nodes[0].plan,
+                params,
+                params,
             )
 
     def test_cost_model_rejects_planless_compute(self):

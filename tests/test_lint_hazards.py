@@ -184,6 +184,31 @@ class TestStallEstimator:
         estimate = estimate_stalls([_packet(load, use)])
         assert estimate.stall_fraction == pytest.approx(0.25)
 
+    def test_agrees_with_pipeline_on_implicit_accumulator_raw(self):
+        # Regression: a RAW edge through a vrmpy implicit accumulator
+        # read must be priced identically by the estimator and the
+        # pipeline model even on a corrupted (legality-bypassed) packet.
+        load = Instruction(Opcode.VLOAD, dests=("v_acc",), srcs=("r_a",))
+        mac = Instruction(Opcode.VRMPY, dests=("v_acc",), srcs=("v_in",))
+        packets = [_packet(load, mac)]
+        estimate = estimate_stalls(packets)
+        assert estimate.soft_raw_pairs == 1
+        assert estimate.stall_cycles == 1
+        assert estimate.total_cycles == schedule_cycles(packets)
+
+    def test_agrees_with_pipeline_on_long_corrupted_chain(self):
+        import sys
+
+        length = sys.getrecursionlimit() + 100
+        chain = [
+            Instruction(Opcode.ADD, dests=(f"r{i + 1}",), srcs=(f"r{i}",))
+            for i in range(length)
+        ]
+        packets = [_packet(*chain)]
+        estimate = estimate_stalls(packets)
+        assert estimate.stall_cycles == length - 1
+        assert estimate.total_cycles == schedule_cycles(packets)
+
 
 class TestMemoryMap:
     def test_matmul_program_respects_its_regions(self):

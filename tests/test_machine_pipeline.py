@@ -81,6 +81,69 @@ class TestStallChains:
         assert packet_cycles(packet) == 3
 
 
+def _bypassed_packet(*instructions):
+    """Build a packet without legality checks, as a fault corrupts one."""
+    packet = Packet([])
+    packet.instructions.extend(instructions)
+    return packet
+
+
+class TestImplicitAccumulatorStalls:
+    """Regression: RAW edges through implicit accumulator reads stall.
+
+    ``vrmpy``/``vtmpy`` accumulate forms read their destination even
+    when no emitter lists it in ``srcs``.  The old ``soft_raw_pairs``
+    intersected ``producer.dests & consumer.srcs`` and priced such a
+    pair at zero stalls, disagreeing with the lint estimator (which
+    reads ``read_registers``) on corrupted packets.
+    """
+
+    def test_load_into_implicit_accumulator_stalls(self):
+        load = _load("v_acc")
+        mac = Instruction(Opcode.VRMPY, dests=("v_acc",), srcs=("v_in",))
+        assert "v_acc" in mac.read_registers  # implicit accumulate operand
+        packet = _bypassed_packet(load, mac)
+        assert len(soft_raw_pairs(packet)) == 1
+        assert packet_cycles(packet) == 3 + 1
+
+    def test_explicit_accumulator_priced_the_same(self):
+        # The codegen's explicit-accumulator form must cost identically.
+        load = _load("v_acc")
+        mac = Instruction(
+            Opcode.VRMPY, dests=("v_acc",), srcs=("v_in", "v_acc")
+        )
+        packet = _bypassed_packet(load, mac)
+        assert len(soft_raw_pairs(packet)) == 1
+        assert packet_cycles(packet) == 3 + 1
+
+    def test_vector_alu_raw_still_free_of_stall_rule(self):
+        # A vector ALU producer is not an interlocked case: no load, no
+        # store, no scalar ALU — the pair must not be priced as a stall.
+        first = _add("v1", "v2", "v3")
+        second = Instruction(Opcode.VRMPY, dests=("v1",), srcs=("v4",))
+        packet = _bypassed_packet(first, second)
+        assert soft_raw_pairs(packet) == []
+
+
+class TestLongChainIteration:
+    def test_chain_past_recursion_limit(self):
+        # A scalar-ALU chain far past the interpreter recursion limit:
+        # the walk must be iterative.  Only a corrupted packet can hold
+        # one, which is exactly where fault injection prices packets.
+        import sys
+
+        length = sys.getrecursionlimit() + 1000
+        chain = [
+            Instruction(
+                Opcode.ADD, dests=(f"r{i + 1}",), srcs=(f"r{i}",)
+            )
+            for i in range(length)
+        ]
+        packet = _bypassed_packet(*chain)
+        assert len(soft_raw_pairs(packet)) == length - 1
+        assert packet_cycles(packet) == 1 + (length - 1)
+
+
 class TestPipelineModel:
     def test_cycle_conversions(self):
         model = PipelineModel(clock_ghz=2.0)

@@ -1,5 +1,7 @@
 """Unit tests for the execution profiler."""
 
+from fractions import Fraction
+
 import pytest
 
 from repro.isa.instructions import Instruction, Opcode
@@ -86,3 +88,33 @@ class TestExecutionProfile:
         scaled = profile.scaled(2.5)
         assert scaled.cycles == 25
         assert scaled.bytes_loaded == 10
+
+    def test_integer_repeats_stay_int(self):
+        scaled = ExecutionProfile(cycles=7, macs=3).scaled(4)
+        assert scaled.cycles == 28 and isinstance(scaled.cycles, int)
+        assert scaled.macs == 12 and isinstance(scaled.macs, int)
+
+    def test_fractional_repeats_merge_exactly(self):
+        # Regression: per-counter rounding in ``scaled`` made merged
+        # profiles drift from repeats x unit.  Three one-third repeats
+        # must reassemble the unit profile exactly — including derived
+        # ratios such as bytes_loaded / cycles.
+        unit = ExecutionProfile(
+            cycles=10, packets=7, issued_instructions=11,
+            macs=128, bytes_loaded=256, bytes_stored=128,
+        )
+        third = unit.scaled(Fraction(1, 3))
+        merged = third.merge(third).merge(third)
+        assert merged == unit
+        assert (
+            third.bytes_loaded / third.cycles
+            == Fraction(unit.bytes_loaded, unit.cycles)
+        )
+
+    def test_rounded_reports_whole_numbers(self):
+        half = ExecutionProfile(cycles=7, bytes_loaded=9).scaled(0.5)
+        reported = half.rounded()
+        assert reported.cycles == round(7 / 2)
+        assert reported.bytes_loaded == round(9 / 2)
+        assert isinstance(reported.cycles, int)
+        assert isinstance(reported.bytes_loaded, int)

@@ -1,0 +1,166 @@
+"""Frozen calibration: measure once, run int8 forever after.
+
+The contract under test is the PR's tentpole split: ``calibrate``
+runs the float reference model, ``run`` never does.  The probe is a
+call counter on :meth:`ReferenceExecutor._eval` — the only way float
+semantics execute — so the tests fail loudly if a per-request float
+pass ever sneaks back into the runtime.
+"""
+
+import numpy as np
+import pytest
+
+from repro.compiler import compile_model
+from repro.errors import QuantizationError
+from repro.graph.builder import GraphBuilder
+from repro.graph.execute import ReferenceExecutor
+from repro.harness import example_feeds
+from repro.runtime.calibration import FrozenCalibration, calibrate_graph
+from repro.runtime.executor import QuantizedExecutor
+from tests.conftest import small_cnn
+
+
+def _count_reference_evals(monkeypatch, executor):
+    """Patch the executor's reference `_eval` with a counting wrapper."""
+    counter = {"calls": 0}
+    original = executor.reference._eval
+
+    def counting_eval(node, inputs, feeds):
+        counter["calls"] += 1
+        return original(node, inputs, feeds)
+
+    monkeypatch.setattr(executor.reference, "_eval", counting_eval)
+    return counter
+
+
+class TestFrozenCalibration:
+    def test_bounds_are_read_only(self):
+        calibration = FrozenCalibration(bounds={1: 2.0})
+        with pytest.raises(TypeError):
+            calibration.bounds[1] = 9.0  # type: ignore[index]
+        with pytest.raises((AttributeError, TypeError)):
+            calibration.samples = 5  # type: ignore[misc]
+
+    def test_missing_node_raises(self):
+        calibration = FrozenCalibration(bounds={1: 2.0})
+        with pytest.raises(QuantizationError) as exc:
+            calibration.bound(42)
+        assert "42" in str(exc.value)
+
+    def test_zero_bound_defends_against_dead_tensors(self):
+        # An all-zero calibration activation must not produce scale 0.
+        calibration = FrozenCalibration(bounds={1: 0.0})
+        assert calibration.bound(1) == 1.0
+        assert calibration.params(1).scale > 0.0
+
+    def test_empty_sample_set_rejected(self):
+        graph = small_cnn()
+        with pytest.raises(QuantizationError):
+            calibrate_graph(graph, ReferenceExecutor(graph), [])
+
+    def test_bounds_take_max_over_samples(self):
+        b = GraphBuilder("identity")
+        b.input((4,), name="x")
+        graph = b.build()
+        feeds = [
+            {"x": np.array([1.0, -2.0, 0.5, 0.0])},
+            {"x": np.array([0.1, -7.0, 0.5, 0.0])},
+        ]
+        calibration = calibrate_graph(graph, ReferenceExecutor(graph), feeds)
+        (input_node,) = list(graph)
+        assert calibration.bound(input_node.node_id) == 7.0
+        assert calibration.samples == 2
+
+
+class TestCalibrationIsFrozen:
+    def test_run_after_calibrate_never_runs_the_float_model(
+        self, monkeypatch
+    ):
+        compiled = compile_model(small_cnn())
+        executor = QuantizedExecutor(compiled)
+        node_count = len(list(compiled.graph))
+        feeds = example_feeds(compiled.graph, count=3)
+
+        counter = _count_reference_evals(monkeypatch, executor)
+        executor.calibrate([feeds[0]])
+        calibration_calls = counter["calls"]
+        # Calibration IS the float pass: one `_eval` per node per sample.
+        assert calibration_calls == node_count
+
+        counter["calls"] = 0
+        executor.run(feeds[1])
+        first_run = counter["calls"]
+        counter["calls"] = 0
+        executor.run(feeds[2])
+        second_run = counter["calls"]
+
+        # Post-freeze runs only touch the reference for the handful of
+        # float-fallback ops (pool, reshape, softmax...) — strictly
+        # fewer than a full float pass, and identical between requests.
+        assert first_run == second_run
+        assert first_run < node_count
+
+    def test_first_run_auto_calibrates_then_freezes(self, monkeypatch):
+        compiled = compile_model(small_cnn())
+        executor = QuantizedExecutor(compiled)
+        feeds = example_feeds(compiled.graph, count=2)
+        counter = _count_reference_evals(monkeypatch, executor)
+
+        assert executor.calibration is None
+        executor.run(feeds[0])
+        frozen = executor.calibration
+        assert isinstance(frozen, FrozenCalibration)
+        auto_calls = counter["calls"]
+
+        counter["calls"] = 0
+        executor.run(feeds[1])
+        # Second run reuses the frozen ranges: no second full pass.
+        assert counter["calls"] < auto_calls
+        assert executor.calibration is frozen
+
+    def test_frozen_ranges_shared_across_executors(self):
+        compiled = compile_model(small_cnn())
+        donor = QuantizedExecutor(compiled)
+        feeds = example_feeds(compiled.graph, count=2)
+        calibration = donor.calibrate([feeds[0]])
+
+        sharer = QuantizedExecutor(compiled, calibration=calibration)
+        out_a = donor.run(feeds[1])
+        out_b = sharer.run(feeds[1])
+        for name in out_a:
+            np.testing.assert_array_equal(out_a[name], out_b[name])
+
+
+class TestAddSubUnderflowGuard:
+    def _mask_add_graph(self):
+        b = GraphBuilder("masked")
+        logits = b.input((1, 8), name="logits")
+        mask = b.input((1, 8), name="mask")
+        b.add(logits, mask, name="sum")
+        return b.build()
+
+    def test_dominated_operand_contributes_zero_not_error(self):
+        # Attention-mask shape of trouble: one operand's frozen bound
+        # dwarfs the other's by ~1e16, making the small operand's
+        # rescale ratio unencodable.  The runtime must treat its
+        # contribution as exactly zero, not crash.
+        compiled = compile_model(self._mask_add_graph())
+        executor = QuantizedExecutor(compiled)
+        logits = np.linspace(-1.0, 1.0, 8).reshape(1, 8)
+        mask = np.full((1, 8), -1e16)
+        executor.calibrate([{"logits": logits, "mask": mask}])
+
+        out = executor.run({"logits": logits, "mask": mask})["sum"]
+        # Output tracks the dominant operand within one quantization
+        # step of the (huge) combined output scale.
+        out_scale = (1.0 + 1e16) / 127.0
+        assert np.all(np.abs(out - mask) <= out_scale)
+
+    def test_balanced_operands_still_add(self):
+        compiled = compile_model(self._mask_add_graph())
+        executor = QuantizedExecutor(compiled)
+        a = np.linspace(-1.0, 1.0, 8).reshape(1, 8)
+        b = np.linspace(1.0, -1.0, 8).reshape(1, 8)
+        executor.calibrate([{"logits": a, "mask": b}])
+        out = executor.run({"logits": a, "mask": b})["sum"]
+        assert np.abs(out - (a + b)).max() < 0.1

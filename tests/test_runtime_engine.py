@@ -1,0 +1,207 @@
+"""The batched inference engine: bit-identity, threading, diagnostics.
+
+The engine's one non-negotiable claim is that batching and the worker
+pool are *transparent*: same bits as running the per-sample executor
+under the same frozen calibration.  ``verify_engine_parity`` checks it
+differentially, and these tests run that check across graph shapes on
+both GEMM paths (instruction kernels and the exact BLAS fallback).
+"""
+
+import numpy as np
+import pytest
+
+from repro.compiler import compile_model
+from repro.errors import SimulationError
+from repro.harness import example_feeds
+from repro.models import build_model
+from repro.runtime.engine import InferenceDiagnostics, InferenceEngine
+from repro.runtime.executor import QuantizedExecutor
+from repro.verify.runtime import (
+    RuntimeVerificationError,
+    verify_engine_parity,
+)
+from tests.conftest import small_cnn
+
+
+def _calibrated_engine(compiled, samples=2, **kwargs):
+    engine = InferenceEngine(compiled, **kwargs)
+    engine.calibrate(example_feeds(compiled.graph, count=samples, seed=99))
+    return engine
+
+
+class TestBatchedParity:
+    def test_small_cnn_kernel_path_is_bit_identical(self):
+        # kernel_mac_limit=None: every GEMM goes through the simulated
+        # instruction kernels, the strictest parity target.
+        compiled = compile_model(small_cnn())
+        engine = _calibrated_engine(compiled)
+        feeds = example_feeds(compiled.graph, count=4)
+        report = verify_engine_parity(engine, feeds)
+        assert report["samples"] == 4
+        assert report["outputs"] >= 4
+
+    @pytest.mark.parametrize("model_name", ["mobilenet_v3", "tinybert"])
+    def test_zoo_models_are_bit_identical(self, model_name):
+        # BLAS path (kernel_mac_limit=0) keeps full models tractable;
+        # the kernel suite proves it bit-identical to the kernels.
+        compiled = compile_model(build_model(model_name))
+        engine = _calibrated_engine(compiled, kernel_mac_limit=0)
+        feeds = example_feeds(compiled.graph, count=3)
+        report = verify_engine_parity(engine, feeds)
+        assert report["samples"] == 3
+
+    def test_batch_of_one_matches_executor(self):
+        compiled = compile_model(small_cnn())
+        engine = _calibrated_engine(compiled)
+        (feeds,) = example_feeds(compiled.graph, count=1)
+        (batched,) = engine.run_batch([feeds])
+        single = QuantizedExecutor(
+            compiled, calibration=engine.calibration
+        ).run(feeds)
+        for name in single:
+            np.testing.assert_array_equal(batched[name], single[name])
+
+    def test_parity_check_catches_divergence(self, monkeypatch):
+        compiled = compile_model(small_cnn())
+        engine = _calibrated_engine(compiled)
+        feeds = example_feeds(compiled.graph, count=2)
+        honest = engine.run_batch
+
+        def corrupted(feeds_list):
+            results = honest(feeds_list)
+            for name in results[-1]:
+                results[-1][name] = results[-1][name] + 1.0
+            return results
+
+        monkeypatch.setattr(engine, "run_batch", corrupted)
+        with pytest.raises(RuntimeVerificationError) as exc:
+            verify_engine_parity(engine, feeds)
+        assert "sample" in str(exc.value.details)
+
+    def test_batch_actually_stacks_gemm_rows(self):
+        compiled = compile_model(small_cnn())
+        engine = _calibrated_engine(compiled)
+        feeds = example_feeds(compiled.graph, count=3)
+        engine.run_batch(feeds)
+        assert engine.diagnostics.batches == 1
+        assert engine.diagnostics.stacked_gemm_rows > 0
+
+
+class TestCalibrationGate:
+    def test_run_batch_requires_calibration(self):
+        engine = InferenceEngine(compile_model(small_cnn()))
+        with pytest.raises(SimulationError) as exc:
+            engine.run_batch(example_feeds(engine.compiled.graph))
+        assert "calibrate" in str(exc.value)
+
+    def test_submit_requires_calibration(self):
+        engine = InferenceEngine(compile_model(small_cnn()))
+        with pytest.raises(SimulationError):
+            engine.submit({})
+
+    def test_calibrate_reaches_every_worker_executor(self):
+        compiled = compile_model(small_cnn())
+        engine = _calibrated_engine(compiled, workers=2)
+        try:
+            engine.run_many(example_feeds(compiled.graph, count=2))
+            refreshed = engine.calibrate(
+                example_feeds(compiled.graph, count=1, seed=7)
+            )
+            assert all(
+                executor.calibration is refreshed
+                for executor in engine._executors()
+            )
+        finally:
+            engine.close()
+
+
+class TestWorkerPool:
+    def test_run_many_matches_sequential_order(self):
+        compiled = compile_model(small_cnn())
+        engine = _calibrated_engine(compiled, workers=2)
+        feeds = example_feeds(compiled.graph, count=5)
+        try:
+            pooled = engine.run_many(feeds)
+        finally:
+            engine.close()
+        executor = QuantizedExecutor(
+            compiled, calibration=engine.calibration
+        )
+        for got, sample in zip(pooled, feeds):
+            expected = executor.run(sample)
+            for name in expected:
+                np.testing.assert_array_equal(got[name], expected[name])
+
+    def test_diagnostics_record_each_request(self):
+        compiled = compile_model(small_cnn())
+        engine = _calibrated_engine(compiled, workers=1)
+        feeds = example_feeds(compiled.graph, count=4)
+        try:
+            engine.run_many(feeds)
+        finally:
+            engine.close()
+        diag = engine.diagnostics
+        assert diag.requests == 4
+        assert len(diag.latencies_ms) == 4
+        assert diag.mean_latency_ms > 0.0
+        assert diag.p99_latency_ms >= diag.mean_latency_ms / 4
+        assert any("requests served: 4" in line for line in diag.summary_lines())
+
+    def test_worker_errors_propagate_to_the_future(self):
+        compiled = compile_model(small_cnn())
+        engine = _calibrated_engine(compiled, workers=1)
+        try:
+            future = engine.submit({"image": np.zeros((2, 2))})
+            with pytest.raises(Exception):
+                future.result(timeout=30)
+        finally:
+            engine.close()
+
+    def test_closed_engine_rejects_submissions(self):
+        engine = _calibrated_engine(compile_model(small_cnn()))
+        engine.close()
+        with pytest.raises(SimulationError) as exc:
+            engine.submit({})
+        assert "closed" in str(exc.value)
+
+    def test_context_manager_closes(self):
+        compiled = compile_model(small_cnn())
+        with _calibrated_engine(compiled, workers=1) as engine:
+            engine.run_many(example_feeds(compiled.graph, count=1))
+        assert engine._closed
+        assert not engine._threads
+
+    def test_constructor_validates_pool_shape(self):
+        compiled = compile_model(small_cnn())
+        with pytest.raises(ValueError):
+            InferenceEngine(compiled, workers=0)
+        with pytest.raises(ValueError):
+            InferenceEngine(compiled, queue_size=0)
+
+
+class TestConvenienceConstructors:
+    def test_compiled_model_spawns_executor_and_engine(self):
+        compiled = compile_model(small_cnn())
+        executor = compiled.executor(kernel_mac_limit=0)
+        engine = compiled.engine(kernel_mac_limit=0, workers=1)
+        assert isinstance(executor, QuantizedExecutor)
+        assert isinstance(engine, InferenceEngine)
+        assert executor.compiled is compiled
+        assert engine.compiled is compiled
+
+
+class TestDiagnostics:
+    def test_empty_diagnostics_are_calm(self):
+        diag = InferenceDiagnostics()
+        assert diag.mean_latency_ms == 0.0
+        assert diag.p99_latency_ms == 0.0
+        assert diag.max_queue_depth == 0
+        assert diag.summary_lines() == ["requests served: 0"]
+
+    def test_batch_and_warning_lines(self):
+        diag = InferenceDiagnostics()
+        diag.record_batch(samples=3, stacked_rows=120)
+        diag.warn("queue saturated")
+        lines = diag.summary_lines()
+        assert any("120 stacked GEMM rows" in line for line in lines)
+        assert any("warning: queue saturated" in line for line in lines)
