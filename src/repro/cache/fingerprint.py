@@ -22,6 +22,7 @@ import hashlib
 from typing import Iterable, Optional, Tuple
 
 from repro.core.packing.sda import SdaConfig
+from repro.core.unroll import UnrollConfig
 from repro.isa.instructions import Instruction, SPEC_TABLE
 from repro.machine.packet import (
     MAX_PACKET_SLOTS,
@@ -90,13 +91,23 @@ def kernel_fingerprint(
     body: Iterable[Instruction],
     packer_name: str,
     sda_config: Optional[SdaConfig] = None,
+    unroll_config: Optional[UnrollConfig] = None,
 ) -> str:
-    """Content address of one (kernel body, packer, tuning) triple."""
+    """Content address of one (kernel body, packer, tuning) tuple.
+
+    Both tuning configs feed the digest: the :class:`SdaConfig` changes
+    how a body packs, and the :class:`UnrollConfig` records the
+    unrolling regime the body was generated under — so a tuned compile
+    never resolves a schedule cached for a different tuning, and tuned
+    unroll settings invalidate cached schedules correctly.
+    """
     config = sda_config or SdaConfig()
+    unroll = unroll_config or UnrollConfig()
     payload = repr(
         (
             packer_name,
             (config.w, config.soft_penalty, config.soft_mode),
+            unroll.signature(),
             body_signature(body),
         )
     )

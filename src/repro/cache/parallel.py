@@ -25,12 +25,14 @@ from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 from typing import Dict, List, Sequence, Tuple
 
-from repro.core.packing import PACKERS
+from repro.core.packing import configured_packer
 from repro.isa.instructions import Instruction
 from repro.machine.pipeline import schedule_cycles
 from repro.cache.store import ScheduleEntry
 
-#: One unit of work: (fingerprint, packer name, kernel body).
+#: One unit of work: (fingerprint, packer name, kernel body), optionally
+#: extended with the :class:`SdaConfig` the packer should run under
+#: (a 4th element; omitted means the default tuning).
 PackTask = Tuple[str, str, List[Instruction]]
 
 
@@ -61,9 +63,13 @@ def _pack_task(task: PackTask) -> Tuple[str, List, int, List, float]:
     the parent process receives packets that reference exactly the
     returned body's instructions.
     """
-    fingerprint, packer_name, body = task
+    if len(task) == 4:
+        fingerprint, packer_name, body, sda_config = task
+    else:
+        fingerprint, packer_name, body = task
+        sda_config = None
     start = time.perf_counter()
-    packets = PACKERS[packer_name](body)
+    packets = configured_packer(packer_name, sda_config)(body)
     cycles = schedule_cycles(packets)
     return fingerprint, packets, cycles, list(body), (
         time.perf_counter() - start

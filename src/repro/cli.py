@@ -30,6 +30,12 @@ Commands
     Measure inference throughput (per-request calibration / frozen
     calibration / batched engine) for one zoo model; ``--json`` writes
     the rows to ``BENCH_inference_throughput.json``.
+``tune MODEL``
+    Search compiler configurations (SDA cost weights, unroll seeds,
+    partition budget) against simulated cycles; ``--json`` writes the
+    trial records to ``BENCH_autotune.json``.  ``tune show MODEL``
+    prints the recorded leaderboard.  Winning configs feed
+    ``repro verify MODEL --tuned`` and ``CompilerOptions(tuned=True)``.
 ``cache {stats,clear}``
     Inspect or empty the persistent schedule cache.
 
@@ -153,6 +159,65 @@ def _build_parser() -> argparse.ArgumentParser:
         "--cache-dir",
         help="persist packed schedules to this directory "
         "(default: $REPRO_CACHE_DIR if set, else memory-only)",
+    )
+    verify_p.add_argument(
+        "--tuned", action="store_true",
+        help="compile with the best configuration the autotuner has "
+        "recorded for this model (see 'repro tune')",
+    )
+
+    tune_p = sub.add_parser(
+        "tune",
+        help="autotune compiler configuration against simulated cycles",
+    )
+    tune_p.add_argument(
+        "model",
+        help="zoo model name, or 'show' to display recorded trials",
+    )
+    tune_p.add_argument(
+        "target", nargs="?",
+        help="model name when the first argument is 'show'",
+    )
+    tune_p.add_argument(
+        "--trials", type=int, default=8,
+        help="configurations to evaluate, including the default "
+        "baseline as trial 0 (default: 8)",
+    )
+    tune_p.add_argument(
+        "--strategy", default="random",
+        choices=["grid", "random", "halving"],
+        help="search strategy (default: random)",
+    )
+    tune_p.add_argument(
+        "--seed", type=int, default=0,
+        help="seed for the proposal RNG (default: 0)",
+    )
+    tune_p.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker processes evaluating trials concurrently; the "
+        "recorded trials are bit-identical to --jobs 1",
+    )
+    tune_p.add_argument(
+        "--wall-seconds", type=float, default=None,
+        help="stop proposing new evaluation batches after this much "
+        "wall-clock time",
+    )
+    tune_p.add_argument(
+        "--json", action="store_true",
+        help="write the trial records as JSON (see --output)",
+    )
+    tune_p.add_argument(
+        "--output", default="BENCH_autotune.json",
+        help="JSON output path (default: BENCH_autotune.json)",
+    )
+    tune_p.add_argument(
+        "--cache-dir",
+        help="root for the trial database and the shared schedule "
+        "cache (default: $REPRO_CACHE_DIR or ~/.cache/repro)",
+    )
+    tune_p.add_argument(
+        "--limit", type=int, default=10,
+        help="leaderboard rows to print (default: 10)",
     )
 
     lint_p = sub.add_parser(
@@ -381,12 +446,15 @@ def _cmd_verify(args) -> int:
     from repro.graph.execute import ReferenceExecutor
     from repro.runtime.executor import QuantizedExecutor
 
+    from repro.compiler import compile_model
+
     graph = _resolve_graph(args.model)
     options = CompilerOptions(
         strict=True, verify=True, lint=True,
         cache_dir=_cli_cache_dir(args),
+        tuned=getattr(args, "tuned", False),
     )
-    compiled = GCD2Compiler(options).compile(graph)
+    compiled = compile_model(graph, options)
     print(f"{args.model}: compiled clean under strict verification "
           f"({compiled.graph.operator_count()} operators)")
     for line in compiled.diagnostics.summary_lines():
@@ -501,9 +569,7 @@ def _bench_compile_model(
 
 def _cmd_bench_compile(args) -> int:
     """Compiler-throughput benchmark: the BENCH trajectory's producer."""
-    import json
     import os
-    import sys as _sys
     import tempfile
 
     from repro.cache import schema_hash
@@ -533,29 +599,19 @@ def _cmd_bench_compile(args) -> int:
               f"{row['cache']['misses']:7d}")
 
     if args.json:
-        payload = {
-            "benchmark": "compiler_throughput",
-            "schema": schema_hash()[:16],
-            "jobs": args.jobs,
-            "cpu_count": os.cpu_count(),
-            "python": ".".join(
-                str(v) for v in _sys.version_info[:3]
-            ),
-            "rows": rows,
-        }
-        with open(args.output, "w") as handle:
-            json.dump(payload, handle, indent=2)
-            handle.write("\n")
+        harness.write_bench_json(
+            args.output,
+            "compiler_throughput",
+            rows,
+            schema=schema_hash()[:16],
+            jobs=args.jobs,
+        )
         print(f"wrote {len(rows)} row(s) to {args.output}")
     return 0
 
 
 def _cmd_bench_infer(args) -> int:
     """Inference-throughput benchmark: calibration and batching gains."""
-    import json
-    import os
-    import sys as _sys
-
     from repro.harness import bench_infer_model
 
     if args.model not in MODELS:
@@ -582,21 +638,120 @@ def _cmd_bench_infer(args) -> int:
               f"{ratio:7.2f}x")
 
     if args.json:
-        payload = {
-            "benchmark": "inference_throughput",
-            "requests": args.requests,
-            "workers": args.workers,
-            "kernel_mac_limit": args.kernel_mac_limit,
-            "cpu_count": os.cpu_count(),
-            "python": ".".join(
-                str(v) for v in _sys.version_info[:3]
-            ),
-            "rows": rows,
-        }
-        with open(args.output, "w") as handle:
-            json.dump(payload, handle, indent=2)
-            handle.write("\n")
+        harness.write_bench_json(
+            args.output,
+            "inference_throughput",
+            rows,
+            requests=args.requests,
+            workers=args.workers,
+            kernel_mac_limit=args.kernel_mac_limit,
+        )
         print(f"wrote {len(rows)} row(s) to {args.output}")
+    return 0
+
+
+def _cmd_tune_show(args) -> int:
+    """Display the recorded trials and the winner for one model."""
+    from repro.tune import TrialDB, default_tune_dir, leaderboard
+
+    if not args.target:
+        print(
+            "error: 'repro tune show' needs a model name",
+            file=sys.stderr,
+        )
+        return 2
+    if args.target not in MODELS:
+        _resolve_graph(args.target)  # structured unknown-model error
+    from repro.tune import DEFAULT_TRIAL_CONFIG
+
+    db = TrialDB(default_tune_dir(_cli_cache_dir(args)))
+    records = db.records(model=args.target)
+    if not records:
+        print(f"no recorded trials for {args.target} under {db.path}")
+        return 0
+    best = db.best(args.target)
+    full = [r for r in records if r.full_fidelity]
+    default_fp = DEFAULT_TRIAL_CONFIG.fingerprint
+    baseline_cycles = next(
+        (r.cycles for r in full
+         if r.ok and r.fingerprint == default_fp),
+        None,
+    )
+    harness.print_rows(
+        f"recorded trials: {args.target}",
+        leaderboard(
+            full, limit=args.limit, baseline_cycles=baseline_cycles
+        ),
+    )
+    print(f"{len(records)} trial(s) recorded "
+          f"({len(records) - len(full)} partial-fidelity)")
+    if best is not None:
+        print(f"best: {best.fingerprint[:16]} "
+              f"({best.cycles:.0f} simulated cycles, "
+              f"strategy {best.strategy}, seed {best.seed})")
+    return 0
+
+
+def _cmd_tune(args) -> int:
+    """Search compiler configurations against simulated cycles."""
+    from repro.tune import leaderboard, run_search, tune_schema_hash
+
+    if args.model == "show":
+        return _cmd_tune_show(args)
+    if args.model not in MODELS:
+        _resolve_graph(args.model)  # structured unknown-model error
+
+    result = run_search(
+        args.model,
+        strategy=args.strategy,
+        trials=args.trials,
+        seed=args.seed,
+        jobs=args.jobs,
+        cache_dir=_cli_cache_dir(args),
+        wall_seconds=args.wall_seconds,
+    )
+    baseline = result.baseline
+    best = result.best
+    harness.print_rows(
+        f"autotune: {args.model} ({args.strategy}, seed {args.seed})",
+        leaderboard(
+            result.full_records,
+            limit=args.limit,
+            baseline_cycles=baseline.cycles if baseline else None,
+        ),
+    )
+    if result.truncated:
+        print("search truncated by --wall-seconds")
+    if best is not None and baseline is not None:
+        print(f"best: {best.fingerprint[:16]} "
+              f"({best.cycles:.0f} simulated cycles, "
+              f"{result.speedup:.4f}x over default)")
+    elif best is not None:
+        print(f"best: {best.fingerprint[:16]} "
+              f"({best.cycles:.0f} simulated cycles)")
+    else:
+        print("no trial compiled successfully")
+
+    if args.json:
+        # Everything in the payload is a pure function of (model,
+        # space, strategy, seed, trials): no wall-clock fields, no
+        # worker counts — reruns and jobs=N produce identical bytes.
+        harness.write_bench_json(
+            args.output,
+            "autotune",
+            [r.to_payload() for r in result.records],
+            model=args.model,
+            strategy=args.strategy,
+            seed=args.seed,
+            trials=args.trials,
+            space_size=result.space_size,
+            schema=tune_schema_hash()[:16],
+            baseline_cycles=baseline.cycles if baseline else None,
+            best_fingerprint=best.fingerprint if best else None,
+            best_cycles=best.cycles if best else None,
+            speedup=result.speedup,
+        )
+        print(f"wrote {len(result.records)} trial(s) to {args.output}")
     return 0
 
 
@@ -648,6 +803,8 @@ def _dispatch(args) -> int:
         if args.bench_command == "infer":
             return _cmd_bench_infer(args)
         return _cmd_bench_compile(args)
+    if args.command == "tune":
+        return _cmd_tune(args)
     if args.command == "cache":
         return _cmd_cache(args)
     return 2  # pragma: no cover - argparse enforces choices

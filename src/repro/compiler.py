@@ -46,6 +46,7 @@ from repro.core.pbqp import solve_pbqp
 from repro.core.plans import ExecutionPlan
 from repro.core.selection_common import SelectionResult
 from repro.core.unroll import (
+    UnrollConfig,
     UnrollPlan,
     adaptive_unroll,
     exhaustive_unroll,
@@ -58,7 +59,8 @@ from repro.isa.instructions import Opcode
 from repro.machine.packet import Packet
 from repro.machine.pipeline import PipelineModel, schedule_cycles
 from repro.machine.profiler import ExecutionProfile, Profiler
-from repro.core.packing import PACKERS
+from repro.core.packing import PACKERS, configured_packer
+from repro.core.packing.sda import SdaConfig
 from repro.verify import (
     CompilationDiagnostics,
     PassManager,
@@ -138,6 +140,21 @@ class CompilerOptions:
         touch the filesystem unless asked to.
     cache_memory_entries:
         Capacity of the in-memory LRU tier.
+    sda_config:
+        Tuned :class:`~repro.core.packing.sda.SdaConfig` for the
+        SDA-family packers; ``None`` means the paper's defaults.  The
+        kernel-quality yardstick stays pinned to the *default* SDA
+        reference, so a tuned config that packs tighter shows up as
+        ``quality < 1``.
+    unroll_config:
+        Tuned :class:`~repro.core.unroll.UnrollConfig` for the
+        shape-adaptive unrolling heuristic; ``None`` means the paper's
+        constants.  Only consulted when ``unrolling="adaptive"``.
+    tuned:
+        Let :func:`compile_model` look up the best recorded
+        configuration for this graph in the :mod:`repro.tune` trial
+        database (under ``cache_dir``) and compile with it.  A graph
+        with no recorded trials compiles with the options as given.
     """
 
     selection: str = "gcd2"
@@ -159,8 +176,25 @@ class CompilerOptions:
     jobs: int = 1
     cache_dir: Optional[str] = None
     cache_memory_entries: int = 256
+    sda_config: Optional[SdaConfig] = None
+    unroll_config: Optional[UnrollConfig] = None
+    tuned: bool = False
 
     def __post_init__(self) -> None:
+        if self.sda_config is not None and not isinstance(
+            self.sda_config, SdaConfig
+        ):
+            raise ReproError(
+                f"sda_config must be an SdaConfig, "
+                f"got {type(self.sda_config).__name__}"
+            )
+        if self.unroll_config is not None and not isinstance(
+            self.unroll_config, UnrollConfig
+        ):
+            raise ReproError(
+                f"unroll_config must be an UnrollConfig, "
+                f"got {type(self.unroll_config).__name__}"
+            )
         if self.packing not in _PACKERS:
             raise ReproError(f"unknown packer {self.packing!r}")
         if self.jobs < 1:
@@ -560,7 +594,9 @@ class GCD2Compiler:
         if mode == "exhaustive":
             best, _ = exhaustive_unroll(plan.instruction, m, k, n)
             return best
-        return adaptive_unroll(m, n, plan.instruction)
+        return adaptive_unroll(
+            m, n, plan.instruction, self.options.unroll_config
+        )
 
     def _prewarm_schedules(
         self,
@@ -575,13 +611,24 @@ class GCD2Compiler:
         Results merge into the cache sorted by fingerprint — worker
         completion order never reaches the artefact.
         """
-        packer_names = sorted({self.options.packing, "sda"})
-        pending: Dict[str, Tuple[str, List]] = {}
+        # Both packer configurations assembly will request: the tuned
+        # one and the pinned default-SDA quality reference (these can
+        # collide into one when no tuning is set).
+        specs = {
+            (self.options.packing, self.options.sda_config or SdaConfig()),
+            ("sda", SdaConfig()),
+        }
+        pending: Dict[str, Tuple[str, List, SdaConfig]] = {}
         for node in compute_nodes:
             kernel = kernels[node.node_id]
-            for packer_name in packer_names:
+            for packer_name, sda_config in sorted(
+                specs, key=lambda spec: spec[0]
+            ):
                 fingerprint = kernel_fingerprint(
-                    kernel.body, packer_name
+                    kernel.body,
+                    packer_name,
+                    sda_config=sda_config,
+                    unroll_config=self.options.unroll_config,
                 )
                 if fingerprint in pending:
                     continue
@@ -589,7 +636,7 @@ class GCD2Compiler:
                 diagnostics.record_cache_lookup(tier)
                 if entry is None:
                     pending[fingerprint] = (
-                        packer_name, list(kernel.body)
+                        packer_name, list(kernel.body), sda_config
                     )
         if not pending:
             return
@@ -674,14 +721,31 @@ class GCD2Compiler:
         pack identically but execute differently, and serving one
         body's instructions as another's ``schedule_body`` corrupts
         execution.)
+
+        With no explicit ``packer_name`` the configured packer runs
+        under the options' (possibly tuned) :class:`SdaConfig`; an
+        explicit name requests a reference schedule and stays pinned to
+        the default tuning, so kernel quality is always measured
+        against the same yardstick.
         """
-        packer_name = packer_name or self.options.packing
-        fingerprint = kernel_fingerprint(kernel.body, packer_name)
+        if packer_name is None:
+            packer_name = self.options.packing
+            sda_config = self.options.sda_config
+        else:
+            sda_config = None
+        fingerprint = kernel_fingerprint(
+            kernel.body,
+            packer_name,
+            sda_config=sda_config,
+            unroll_config=self.options.unroll_config,
+        )
         entry, tier = self.schedule_cache.lookup(fingerprint)
         if diagnostics is not None:
             diagnostics.record_cache_lookup(tier)
         if entry is None:
-            packets = _PACKERS[packer_name](kernel.body)
+            packets = configured_packer(packer_name, sda_config)(
+                kernel.body
+            )
             entry = ScheduleEntry(
                 body=list(kernel.body),
                 packets=packets,
@@ -695,5 +759,36 @@ def compile_model(
     graph: ComputationalGraph,
     options: Optional[CompilerOptions] = None,
 ) -> CompiledModel:
-    """One-call convenience wrapper over :class:`GCD2Compiler`."""
-    return GCD2Compiler(options).compile(graph)
+    """One-call convenience wrapper over :class:`GCD2Compiler`.
+
+    With ``options.tuned`` set, the best configuration the autotuner
+    has recorded for this graph (see :mod:`repro.tune`) overrides the
+    packing/unrolling/partition knobs; the compile's diagnostics record
+    which trial was applied.  A graph with no recorded trials compiles
+    with the options as given (and a diagnostic warning).
+    """
+    options = options or CompilerOptions()
+    tuned_record = None
+    wanted_tuned = options.tuned
+    if wanted_tuned:
+        from repro.tune import TrialDB, default_tune_dir
+
+        db = TrialDB(default_tune_dir(options.cache_dir))
+        tuned_record = db.best(graph.name)
+        options = replace(options, tuned=False)
+        if tuned_record is not None:
+            options = tuned_record.trial_config().apply(options)
+    compiled = GCD2Compiler(options).compile(graph)
+    if tuned_record is not None:
+        compiled.diagnostics.record_tuning(
+            model=graph.name,
+            fingerprint=tuned_record.fingerprint,
+            cycles=tuned_record.cycles,
+            source="trial-db",
+        )
+    elif wanted_tuned:
+        compiled.diagnostics.warn(
+            f"tuned compile requested but no trial recorded for "
+            f"{graph.name!r}; compiled with the given options"
+        )
+    return compiled

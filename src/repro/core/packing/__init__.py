@@ -26,6 +26,29 @@ PACKERS: Dict[str, Callable] = {
     "soft_to_none": pack_soft_to_none,
     "list": pack_list_schedule,
 }
+
+
+def configured_packer(name: str, sda_config: "SdaConfig" = None) -> Callable:
+    """A packer callable specialized to an :class:`SdaConfig`.
+
+    The registry's bare callables embed the paper's default ``w``/``p``;
+    the autotuner needs to vary them.  Only the SDA-family packers
+    consume the config — the baselines ignore it by construction.
+    Workers resolve through this function (name + config cross process
+    boundaries; closures do not).
+    """
+    if name not in PACKERS:
+        raise KeyError(f"unknown packer {name!r}")
+    config = sda_config or SdaConfig()
+    if config == SdaConfig():
+        return PACKERS[name]
+    if name == "sda":
+        return lambda body: pack_best(
+            body, w=config.w, soft_penalty=config.soft_penalty
+        )
+    if name == "sda_pure":
+        return lambda body: pack_instructions(body, config)
+    return PACKERS[name]
 from repro.core.packing.evaluate import (
     schedule_summary,
     validate_schedule,
@@ -43,6 +66,7 @@ __all__ = [
     "build_idg",
     "PACKERS",
     "SdaConfig",
+    "configured_packer",
     "pack_best",
     "pack_block",
     "pack_instructions",

@@ -19,6 +19,7 @@ the empirically-decided knobs the paper describes.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Set
 
@@ -57,6 +58,16 @@ class SdaConfig:
     def __post_init__(self) -> None:
         if not 0.0 <= self.w <= 1.0:
             raise ValueError(f"w must be in [0, 1], got {self.w}")
+        if (
+            not isinstance(self.soft_penalty, (int, float))
+            or isinstance(self.soft_penalty, bool)
+            or not math.isfinite(self.soft_penalty)
+            or self.soft_penalty < 0.0
+        ):
+            raise ValueError(
+                f"soft_penalty must be a finite non-negative number, "
+                f"got {self.soft_penalty!r}"
+            )
         if self.soft_mode not in ("sda", "hard", "none"):
             raise ValueError(f"unknown soft_mode {self.soft_mode!r}")
 

@@ -16,6 +16,7 @@ is what makes oversized factors lose (Figure 12).
 from __future__ import annotations
 
 import itertools
+import math
 from dataclasses import dataclass
 from functools import lru_cache
 from typing import Iterable, Optional, Tuple
@@ -25,6 +26,111 @@ from repro.machine.pipeline import schedule_cycles
 
 #: Unroll factors explored by the exhaustive search (Figure 12's axis).
 DEFAULT_FACTORS = (1, 2, 4, 8, 16)
+
+
+def _validate_seed(label: str, seed: Tuple[int, int]) -> None:
+    if (
+        not isinstance(seed, tuple)
+        or len(seed) != 2
+        or any(
+            not isinstance(f, int) or isinstance(f, bool) or f < 1
+            for f in seed
+        )
+    ):
+        raise ValueError(
+            f"{label} must be a (outer, mid) pair of positive ints, "
+            f"got {seed!r}"
+        )
+
+
+@dataclass(frozen=True)
+class UnrollConfig:
+    """The shape-adaptive unrolling constants of Section IV-C, as data.
+
+    These used to be literals buried in :func:`classify_output_shape`
+    and :func:`adaptive_unroll`; promoting them into a frozen config
+    lets the :mod:`repro.tune` search vary them per model, and lets the
+    schedule-cache fingerprint distinguish schedules produced under
+    different unrolling regimes.
+
+    Attributes
+    ----------
+    skinny_aspect / fat_aspect:
+        ``m / n`` thresholds classifying an output tensor as skinny
+        (tall-and-narrow) or fat (wide); anything between is
+        near-square.
+    skinny_seed / fat_seed / square_seed:
+        The ``(outer, mid)`` unroll seed chosen per shape class before
+        the work/waste/register clamps apply.
+    waste_bound:
+        Maximum tolerated fraction of padding work in the last outer
+        tile before the outer factor is halved.
+    """
+
+    skinny_aspect: float = 4.0
+    fat_aspect: float = 0.25
+    skinny_seed: Tuple[int, int] = (8, 2)
+    fat_seed: Tuple[int, int] = (2, 8)
+    square_seed: Tuple[int, int] = (4, 4)
+    waste_bound: float = 0.25
+
+    def __post_init__(self) -> None:
+        for label, value in (
+            ("skinny_aspect", self.skinny_aspect),
+            ("fat_aspect", self.fat_aspect),
+        ):
+            if (
+                not isinstance(value, (int, float))
+                or isinstance(value, bool)
+                or not math.isfinite(value)
+                or value <= 0.0
+            ):
+                raise ValueError(
+                    f"{label} must be a finite positive number, "
+                    f"got {value!r}"
+                )
+        if self.fat_aspect >= self.skinny_aspect:
+            raise ValueError(
+                f"fat_aspect ({self.fat_aspect}) must be below "
+                f"skinny_aspect ({self.skinny_aspect})"
+            )
+        _validate_seed("skinny_seed", self.skinny_seed)
+        _validate_seed("fat_seed", self.fat_seed)
+        _validate_seed("square_seed", self.square_seed)
+        if (
+            not isinstance(self.waste_bound, (int, float))
+            or isinstance(self.waste_bound, bool)
+            or math.isnan(self.waste_bound)
+            or not 0.0 <= self.waste_bound < 1.0
+        ):
+            raise ValueError(
+                f"waste_bound must be in [0, 1), got {self.waste_bound!r}"
+            )
+
+    def seed_for(self, shape: str) -> Tuple[int, int]:
+        """The ``(outer, mid)`` seed for one shape class."""
+        if shape == "skinny":
+            return self.skinny_seed
+        if shape == "fat":
+            return self.fat_seed
+        if shape == "near-square":
+            return self.square_seed
+        raise ValueError(f"unknown shape class {shape!r}")
+
+    def signature(self) -> Tuple:
+        """Value identity, as fed into the schedule-cache fingerprint."""
+        return (
+            self.skinny_aspect,
+            self.fat_aspect,
+            self.skinny_seed,
+            self.fat_seed,
+            self.square_seed,
+            self.waste_bound,
+        )
+
+
+#: The paper's empirically-decided constants.
+DEFAULT_UNROLL_CONFIG = UnrollConfig()
 
 
 @dataclass(frozen=True)
@@ -81,12 +187,15 @@ def kernel_cycles(
     return float(per_iter * trips)
 
 
-def classify_output_shape(m: int, n: int) -> str:
+def classify_output_shape(
+    m: int, n: int, config: Optional[UnrollConfig] = None
+) -> str:
     """Skinny / near-square / fat classification of an output tensor."""
+    config = config or DEFAULT_UNROLL_CONFIG
     aspect = m / max(1, n)
-    if aspect >= 4.0:
+    if aspect >= config.skinny_aspect:
         return "skinny"  # tall-and-narrow: many rows per column
-    if aspect <= 0.25:
+    if aspect <= config.fat_aspect:
         return "fat"     # wide: many columns per row
     return "near-square"
 
@@ -95,26 +204,25 @@ def adaptive_unroll(
     m: int,
     n: int,
     instruction: Opcode = Opcode.VRMPY,
+    config: Optional[UnrollConfig] = None,
 ) -> UnrollPlan:
     """GCD2's shape-adaptive unroll selection.
 
     Skinny outputs unroll the outer (row) loop harder, fat outputs the
     mid (column) loop, near-square outputs take the balanced 4-4 the
     exhaustive search also finds best; the choice is then clamped to
-    the register budget using the real register-demand model.
+    the register budget using the real register-demand model.  The
+    thresholds and per-class seeds come from ``config`` (default: the
+    paper's constants).
     """
     from repro.codegen.matmul import (
         VECTOR_REGISTER_COUNT,
         registers_required,
     )
 
-    shape = classify_output_shape(m, n)
-    if shape == "skinny":
-        outer, mid = 8, 2
-    elif shape == "fat":
-        outer, mid = 2, 8
-    else:
-        outer, mid = 4, 4
+    config = config or DEFAULT_UNROLL_CONFIG
+    shape = classify_output_shape(m, n, config)
+    outer, mid = config.seed_for(shape)
     # Never unroll past the available work: outer beyond the row-panel
     # count (or mid beyond the column count) computes padding only.
     row_panels = max(1, -(-m // 128))
@@ -124,7 +232,7 @@ def adaptive_unroll(
     # mostly padding, prefer a smaller factor.
     while outer > 1:
         waste = (-(-row_panels // outer) * outer - row_panels) / row_panels
-        if waste <= 0.25:
+        if waste <= config.waste_bound:
             break
         outer //= 2
     while mid > 1 and mid > n:

@@ -101,6 +101,11 @@ class SimulationError(ReproError):
     """Raised when the machine simulator encounters an illegal state."""
 
 
+class TuningError(ReproError):
+    """Raised for invalid autotuning requests (unknown strategy, empty
+    search space, a model the tuner cannot rebuild in its workers)."""
+
+
 class BudgetExceeded(ReproError):
     """Raised when a solver blows through its wall-clock/state budget.
 

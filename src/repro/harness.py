@@ -104,6 +104,35 @@ def safe_row(label: str, build: Callable[[], Dict], *, key: str = "model") -> Di
         return {key: label, "error": f"{type(exc).__name__}: {exc}"}
 
 
+def write_bench_json(
+    path: str, benchmark: str, rows: Sequence[Dict], **meta
+) -> Dict:
+    """Write one committed ``BENCH_*.json`` payload; returns it.
+
+    Shared by ``repro bench compile``, ``repro bench infer`` and
+    ``repro tune --json`` so every benchmark artefact has the same
+    shape: the benchmark name, its parameters (``meta``), the host
+    provenance (CPU count, Python version) and the rows.  Callers that
+    need run-to-run bit-identical files (the autotuner) simply pass no
+    wall-clock-dependent meta and no timing rows.
+    """
+    import json
+    import os
+    import sys
+
+    payload = {
+        "benchmark": benchmark,
+        **meta,
+        "cpu_count": os.cpu_count(),
+        "python": ".".join(str(v) for v in sys.version_info[:3]),
+        "rows": list(rows),
+    }
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=2)
+        handle.write("\n")
+    return payload
+
+
 def print_rows(title: str, rows: Sequence[Dict]) -> None:
     """Render rows as an aligned text table.
 

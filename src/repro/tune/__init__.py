@@ -1,0 +1,81 @@
+"""Simulation-guided autotuning for the GCD2 compiler.
+
+The subsystem closes the loop the paper leaves open: GCD2's knobs —
+the SDA cost weight and soft-dependency penalty (Equation 4), the
+shape-adaptive unroll seeds (Section IV-C), and the gcd2(k) partition
+budget — ship with sensible defaults, but the best settings are
+model-dependent.  ``repro tune`` searches them against *simulated*
+total cycles and persists every evaluation, so a later
+``CompilerOptions(tuned=True)`` compile picks up the best recorded
+configuration automatically.
+
+Layout:
+
+* :mod:`repro.tune.space` — typed search spaces and the immutable
+  :class:`TrialConfig` points they produce.
+* :mod:`repro.tune.search` — grid / seeded-random / successive-halving
+  strategies with deterministic parallel evaluation.
+* :mod:`repro.tune.db` — the append-only JSONL trial database with
+  schema-hash self-invalidation.
+* :mod:`repro.tune.report` — per-trial metrics and the leaderboard.
+"""
+
+from repro.tune.db import (
+    STATUS_ERROR,
+    STATUS_OK,
+    TUNE_SCHEMA_VERSION,
+    TrialDB,
+    TrialRecord,
+    default_tune_dir,
+    tune_schema_hash,
+)
+from repro.tune.report import (
+    count_spill_instructions,
+    leaderboard,
+    schedule_stall_cycles,
+    trial_metrics,
+)
+from repro.tune.search import (
+    STRATEGIES,
+    SearchBudget,
+    SearchResult,
+    run_search,
+)
+from repro.tune.space import (
+    DEFAULT_TRIAL_CONFIG,
+    Choice,
+    ConfigSpace,
+    TrialConfig,
+    config_from_assignment,
+    default_space,
+    partition_space,
+    sda_space,
+    unroll_space,
+)
+
+__all__ = [
+    "STATUS_ERROR",
+    "STATUS_OK",
+    "STRATEGIES",
+    "TUNE_SCHEMA_VERSION",
+    "Choice",
+    "ConfigSpace",
+    "DEFAULT_TRIAL_CONFIG",
+    "SearchBudget",
+    "SearchResult",
+    "TrialConfig",
+    "TrialDB",
+    "TrialRecord",
+    "config_from_assignment",
+    "count_spill_instructions",
+    "default_space",
+    "default_tune_dir",
+    "leaderboard",
+    "partition_space",
+    "run_search",
+    "sda_space",
+    "schedule_stall_cycles",
+    "trial_metrics",
+    "tune_schema_hash",
+    "unroll_space",
+]

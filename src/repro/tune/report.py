@@ -1,0 +1,124 @@
+"""Trial diagnostics: metric extraction and the leaderboard reporter.
+
+The tuner's objective is *total simulated cycles*: the packed
+schedules' cycles as the simulated machine observes them (per-packet
+latency plus soft-RAW stalls, times trip counts) plus the layout
+transform cycles Equation 1 charges at operator boundaries.  Unlike
+the analytic ``CompiledModel.total_cycles``, this quantity responds to
+every knob the tuner turns — unroll seeds change the packed bodies and
+trip counts, the SDA config changes the schedules, and the partition
+budget changes the selected plans and transforms.
+
+Each trial's compile diagnostics fold into the recorded metrics
+(solver used, fallbacks taken), so a surprising number can be traced
+to what actually ran.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.machine.packet import Packet
+from repro.machine.pipeline import packet_cycles
+
+
+def schedule_stall_cycles(packets: Sequence[Packet]) -> int:
+    """Soft-RAW stall cycles the pipeline charges a packet sequence."""
+    stalls = 0
+    for packet in packets:
+        base = (
+            1 if len(packet) == 0
+            else max(inst.latency for inst in packet)
+        )
+        stalls += packet_cycles(packet) - base
+    return stalls
+
+
+def count_spill_instructions(body: Sequence) -> int:
+    """Spill traffic the register allocator / codegen emitted.
+
+    Spill loads and stores are tagged by their ``comment`` — the only
+    channel that survives lowering — which is what Figure 12's
+    "oversized factors lose to register spilling" shows up as.
+    """
+    return sum(1 for inst in body if "spill" in inst.comment)
+
+
+def trial_metrics(compiled: "CompiledModel") -> Dict:
+    """The deterministic measurements recorded for one trial.
+
+    ``simulated_cycles`` is the search objective; the rest exists so a
+    leaderboard row explains *why* a config won (fewer stalls, fewer
+    spills, cheaper transforms...).  Wall-clock times and cache hit
+    counters are deliberately absent: trial records must be
+    bit-identical across runs and worker counts, and cache hits depend
+    on which trials happened to run first.
+    """
+    diag = compiled.diagnostics
+    stall_cycles = 0
+    spills = 0
+    for node in compiled.nodes:
+        trips = node.kernel.trips
+        stall_cycles += schedule_stall_cycles(node.packets) * trips
+        spills += count_spill_instructions(node.schedule_body)
+    return {
+        "simulated_cycles": float(
+            compiled.profile.cycles + compiled.transform_cycles
+        ),
+        "profile_cycles": int(compiled.profile.cycles),
+        "transform_cycles": float(compiled.transform_cycles),
+        "analytic_total_cycles": float(compiled.total_cycles),
+        "latency_ms": float(compiled.latency_ms),
+        "total_packets": int(compiled.total_packets),
+        "stall_cycles": int(stall_cycles),
+        "spill_instructions": int(spills),
+        "slot_occupancy": float(compiled.profile.slot_occupancy),
+        "selection_solver": compiled.selection.solver,
+        "fallbacks": [str(f) for f in diag.fallbacks],
+    }
+
+
+def leaderboard(
+    records: Sequence["TrialRecord"],
+    limit: Optional[int] = 10,
+    baseline_cycles: Optional[float] = None,
+) -> List[Dict]:
+    """Rows for :func:`repro.harness.print_rows`, best first.
+
+    Failed trials sink to the bottom with their error; ``speedup`` is
+    relative to ``baseline_cycles`` (the default config) when given.
+    """
+    ok = sorted(
+        (r for r in records if r.ok and r.cycles is not None),
+        key=lambda r: (r.cycles, r.fingerprint),
+    )
+    failed = [r for r in records if not r.ok]
+    rows: List[Dict] = []
+    for record in (ok + failed)[: limit if limit else None]:
+        config = record.config
+        row = {
+            "trial": record.trial,
+            "config": record.fingerprint[:12],
+            "cycles": record.cycles,
+            "speedup": (
+                baseline_cycles / record.cycles
+                if baseline_cycles and record.cycles
+                else None
+            ),
+            "stalls": record.metrics.get("stall_cycles"),
+            "spills": record.metrics.get("spill_instructions"),
+            "packets": record.metrics.get("total_packets"),
+            "w": config.get("sda", {}).get("w"),
+            "p": config.get("sda", {}).get("soft_penalty"),
+            "skinny": "-".join(
+                str(f)
+                for f in config.get("unroll", {}).get("skinny_seed", ())
+            ),
+            "k": config.get("compiler", {}).get("max_operators"),
+            "fidelity": record.fidelity or "full",
+            "status": record.status,
+        }
+        if record.error:
+            row["error"] = record.error
+        rows.append(row)
+    return rows

@@ -1,0 +1,383 @@
+"""Search strategies: grid, seeded random, and successive halving.
+
+Every strategy follows the same discipline:
+
+* **Proposal is deterministic.**  Grid order is the space's
+  mixed-radix enumeration; random draws come from one seeded
+  ``random.Random``; halving promotes by ``(cycles, fingerprint)``.
+  The same (space, strategy, seed) always proposes the same configs in
+  the same order, on any machine.
+
+* **Evaluation is order-independent.**  Trials within a batch run on a
+  :class:`~concurrent.futures.ProcessPoolExecutor` (the same machinery
+  as parallel packing, with the same in-process fallback when workers
+  cannot spawn) and results are keyed by config fingerprint, so a
+  ``jobs=N`` search records bit-identical trials to ``jobs=1``.
+
+* **Trial 0 is always the paper's default configuration.**  Every
+  search therefore measures its own baseline, the best recorded config
+  can never lose to the default, and reports can quote a speedup
+  without a separate calibration run.
+
+Workers rebuild the model graph from its registry name and share the
+content-addressed schedule cache through ``cache_dir``, so re-packing
+a body some earlier trial already packed is a disk hit, not a
+recompute.
+
+Successive halving evaluates cheap low-fidelity proxies first:
+operator-prefix subgraphs (Figure 10's "partial computational graphs
+… using contiguous operators"), at 1/4 then 1/2 of the model, keeping
+the top half each rung and compiling only the survivors at full
+fidelity.  Partial-fidelity records carry their prefix size and are
+never eligible for :meth:`~repro.tune.db.TrialDB.best`.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import TuningError
+from repro.tune.db import (
+    STATUS_ERROR,
+    STATUS_OK,
+    TrialDB,
+    TrialRecord,
+    default_tune_dir,
+)
+from repro.tune.report import trial_metrics
+from repro.tune.space import (
+    DEFAULT_TRIAL_CONFIG,
+    ConfigSpace,
+    TrialConfig,
+    config_from_assignment,
+    default_space,
+)
+
+#: Strategy names accepted by :func:`run_search` and the CLI.
+STRATEGIES = ("grid", "random", "halving")
+
+
+@dataclass(frozen=True)
+class SearchBudget:
+    """Early-exit limits: trial count and wall-clock seconds.
+
+    ``trials`` bounds how many configurations are *proposed*
+    (including the default baseline); ``wall_seconds`` truncates a
+    running search between evaluation batches.  Wall truncation trades
+    coverage for time and is therefore never used by determinism
+    tests.
+    """
+
+    trials: int = 8
+    wall_seconds: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if (
+            not isinstance(self.trials, int)
+            or isinstance(self.trials, bool)
+            or self.trials < 1
+        ):
+            raise TuningError(
+                f"budget needs at least one trial, got {self.trials!r}"
+            )
+        if self.wall_seconds is not None and self.wall_seconds <= 0:
+            raise TuningError(
+                f"wall_seconds must be positive, got {self.wall_seconds!r}"
+            )
+
+    def out_of_time(self, started: float) -> bool:
+        return (
+            self.wall_seconds is not None
+            and time.monotonic() - started >= self.wall_seconds
+        )
+
+
+#: One unit of evaluation work, picklable for the process pool:
+#: (model name, config payload, operator-prefix fidelity or None,
+#: schedule-cache directory or None).
+EvalTask = Tuple[str, Dict, Optional[int], Optional[str]]
+
+#: Worker result: (fingerprint, fidelity, status, cycles, metrics,
+#: error message or None).
+EvalOutcome = Tuple[str, Optional[int], str, Optional[float], Dict,
+                    Optional[str]]
+
+
+def _evaluate_task(task: EvalTask) -> EvalOutcome:
+    """Worker body: compile one (model, config) pair and measure it.
+
+    Runs in a separate process; everything it needs is rebuilt from
+    picklable names and payloads.  Failures become ``error`` outcomes
+    rather than exceptions so one diverging config cannot kill the
+    whole batch.
+    """
+    model, payload, fidelity, cache_dir = task
+    from repro.compiler import CompilerOptions, GCD2Compiler
+    from repro.models import build_model
+
+    config = TrialConfig.from_payload(payload)
+    try:
+        graph = build_model(model)
+        if fidelity is not None:
+            prefix = [n.node_id for n in graph.nodes()[:fidelity]]
+            graph = graph.subgraph(prefix)
+        options = config.apply(CompilerOptions(cache_dir=cache_dir))
+        compiled = GCD2Compiler(options).compile(graph)
+    except Exception as exc:  # noqa: BLE001 — any compile failure is data
+        return (
+            config.fingerprint,
+            fidelity,
+            STATUS_ERROR,
+            None,
+            {},
+            f"{type(exc).__name__}: {exc}",
+        )
+    metrics = trial_metrics(compiled)
+    return (
+        config.fingerprint,
+        fidelity,
+        STATUS_OK,
+        metrics["simulated_cycles"],
+        metrics,
+        None,
+    )
+
+
+def _evaluate_batch(
+    tasks: Sequence[EvalTask], jobs: int
+) -> List[EvalOutcome]:
+    """Evaluate a batch, in workers when possible, in proposal order.
+
+    ``pool.map`` preserves input order, and in-process fallback is
+    trivially ordered, so the returned outcomes line up index-for-index
+    with ``tasks`` no matter how the workers were scheduled.
+    """
+    if jobs > 1 and len(tasks) > 1:
+        try:
+            with ProcessPoolExecutor(max_workers=jobs) as pool:
+                return list(pool.map(_evaluate_task, tasks))
+        except (OSError, BrokenProcessPool, RuntimeError):
+            pass
+    return [_evaluate_task(task) for task in tasks]
+
+
+def _propose_grid(
+    space: ConfigSpace, count: int, base: TrialConfig
+) -> List[TrialConfig]:
+    """The first ``count`` unique configs in enumeration order."""
+    seen = {base.fingerprint}
+    out: List[TrialConfig] = []
+    for assignment in space:
+        if len(out) >= count:
+            break
+        config = config_from_assignment(assignment, base=base)
+        if config.fingerprint in seen:
+            continue
+        seen.add(config.fingerprint)
+        out.append(config)
+    return out
+
+
+def _propose_random(
+    space: ConfigSpace, count: int, seed: int, base: TrialConfig
+) -> List[TrialConfig]:
+    """``count`` unique seeded draws (deduped by fingerprint).
+
+    A space smaller than the ask degrades to grid enumeration — every
+    point gets visited and the order stays deterministic.
+    """
+    if count >= space.size:
+        return _propose_grid(space, count, base)
+    rng = random.Random(seed)
+    seen = {base.fingerprint}
+    out: List[TrialConfig] = []
+    attempts = 0
+    limit = max(64, 50 * count)
+    while len(out) < count and attempts < limit:
+        attempts += 1
+        config = config_from_assignment(space.sample(rng), base=base)
+        if config.fingerprint in seen:
+            continue
+        seen.add(config.fingerprint)
+        out.append(config)
+    return out
+
+
+def _halving_rungs(n_nodes: int) -> List[int]:
+    """The operator-prefix fidelity ladder for an ``n_nodes`` model."""
+    rungs: List[int] = []
+    for fraction in (4, 2):
+        size = max(2, n_nodes // fraction)
+        if size < n_nodes and size not in rungs:
+            rungs.append(size)
+    return rungs
+
+
+@dataclass
+class SearchResult:
+    """Everything one :func:`run_search` call measured."""
+
+    model: str
+    strategy: str
+    seed: int
+    space_size: int
+    base_fingerprint: str
+    records: List[TrialRecord] = field(default_factory=list)
+    truncated: bool = False
+
+    @property
+    def full_records(self) -> List[TrialRecord]:
+        return [r for r in self.records if r.full_fidelity]
+
+    @property
+    def baseline(self) -> Optional[TrialRecord]:
+        """The default config's full-fidelity trial (trial 0's config)."""
+        for record in self.full_records:
+            if record.fingerprint == self.base_fingerprint and record.ok:
+                return record
+        return None
+
+    @property
+    def best(self) -> Optional[TrialRecord]:
+        """Winning full-fidelity trial, ties broken by fingerprint."""
+        candidates = [
+            r for r in self.full_records
+            if r.ok and r.cycles is not None
+        ]
+        if not candidates:
+            return None
+        return min(candidates, key=lambda r: (r.cycles, r.fingerprint))
+
+    @property
+    def speedup(self) -> Optional[float]:
+        """Baseline cycles over best cycles (>= 1.0 by construction)."""
+        baseline, best = self.baseline, self.best
+        if baseline is None or best is None or not best.cycles:
+            return None
+        return baseline.cycles / best.cycles
+
+
+def run_search(
+    model: str,
+    strategy: str = "random",
+    trials: int = 8,
+    seed: int = 0,
+    jobs: int = 1,
+    cache_dir: Optional[str] = None,
+    space: Optional[ConfigSpace] = None,
+    db: Optional[TrialDB] = None,
+    base: TrialConfig = DEFAULT_TRIAL_CONFIG,
+    wall_seconds: Optional[float] = None,
+) -> SearchResult:
+    """Search ``model``'s configuration space for fewer simulated cycles.
+
+    Proposes up to ``trials`` configurations (the default config is
+    always trial 0), evaluates them — in parallel across ``jobs``
+    worker processes when asked — and appends every trial to the
+    database in proposal order.  Returns the in-memory
+    :class:`SearchResult`; the same trials are durable in ``db``.
+    """
+    if strategy not in STRATEGIES:
+        raise TuningError(
+            f"unknown strategy {strategy!r}; choose from "
+            f"{', '.join(STRATEGIES)}"
+        )
+    if not isinstance(jobs, int) or isinstance(jobs, bool) or jobs < 1:
+        raise TuningError(f"jobs must be an int >= 1, got {jobs!r}")
+    budget = SearchBudget(trials=trials, wall_seconds=wall_seconds)
+    space = space or default_space()
+    db = db or TrialDB(default_tune_dir(cache_dir))
+
+    from repro.models import build_model
+
+    n_nodes = len(build_model(model))  # also validates the model name
+    started = time.monotonic()
+    result = SearchResult(
+        model=model,
+        strategy=strategy,
+        seed=seed,
+        space_size=space.size,
+        base_fingerprint=base.fingerprint,
+    )
+    trial_index = 0
+
+    def record_batch(
+        configs: Sequence[TrialConfig], fidelity: Optional[int]
+    ) -> List[TrialRecord]:
+        nonlocal trial_index
+        tasks = [
+            (model, c.to_payload(), fidelity, cache_dir) for c in configs
+        ]
+        outcomes = _evaluate_batch(tasks, jobs)
+        by_key = {(o[0], o[1]): o for o in outcomes}
+        out: List[TrialRecord] = []
+        for config in configs:
+            fp, fid, status, cycles, metrics, error = by_key[
+                (config.fingerprint, fidelity)
+            ]
+            record = TrialRecord(
+                model=model,
+                fingerprint=fp,
+                config=config.to_payload(),
+                status=status,
+                cycles=cycles,
+                metrics=metrics,
+                strategy=strategy,
+                seed=seed,
+                trial=trial_index,
+                fidelity=fid,
+                error=error,
+            )
+            trial_index += 1
+            db.append(record)
+            result.records.append(record)
+            out.append(record)
+        return out
+
+    if strategy == "grid":
+        proposals = _propose_grid(space, budget.trials - 1, base)
+    else:
+        proposals = _propose_random(space, budget.trials - 1, seed, base)
+
+    if strategy in ("grid", "random"):
+        pending = [base] + proposals
+        batch_size = max(1, jobs)
+        pos = 0
+        while pos < len(pending):
+            if pos > 0 and budget.out_of_time(started):
+                result.truncated = True
+                break
+            record_batch(pending[pos:pos + batch_size], None)
+            pos += batch_size
+        return result
+
+    # Successive halving: rung through operator-prefix fidelities,
+    # promote the top half each time, full fidelity for the survivors.
+    population = [base] + proposals
+    for rung in _halving_rungs(n_nodes):
+        if len(population) <= 2:
+            break  # nothing left to halve; go straight to full fidelity
+        if budget.out_of_time(started):
+            result.truncated = True
+            break
+        rung_records = record_batch(population, rung)
+        ranked = sorted(
+            (r for r in rung_records if r.ok and r.cycles is not None),
+            key=lambda r: (r.cycles, r.fingerprint),
+        )
+        keep = max(2, (len(ranked) + 1) // 2)
+        survivors = {r.fingerprint for r in ranked[:keep]}
+        population = [
+            c for c in population if c.fingerprint in survivors
+        ]
+    # The baseline always reaches full fidelity so every search can
+    # quote best-vs-default and the DB keeps a comparable default row.
+    if base.fingerprint not in {c.fingerprint for c in population}:
+        population = [base] + population
+    record_batch(population, None)
+    return result

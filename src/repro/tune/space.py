@@ -1,0 +1,298 @@
+"""Typed, composable search spaces over compiler configurations.
+
+A space is an ordered product of named :class:`Choice` axes.  Axes are
+enumerable in a fixed lexicographic order (first axis most
+significant) and samplable from a seeded RNG via mixed-radix index
+decoding, so every strategy in :mod:`repro.tune.search` is
+deterministic by construction: the same space and seed always yield
+the same trial sequence, on any machine and with any worker count.
+
+Axis names are dotted paths into the knobs they tune::
+
+    sda.w  sda.soft_penalty  sda.soft_mode
+    unroll.skinny_seed  unroll.fat_seed  unroll.square_seed
+    unroll.skinny_aspect  unroll.fat_aspect  unroll.waste_bound
+    compiler.max_operators
+
+:func:`config_from_assignment` folds an ``{axis: value}`` assignment
+over the paper's defaults into one immutable :class:`TrialConfig`,
+which is what the searcher evaluates, the database records and
+``CompilerOptions.tuned`` consumes.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import random
+from dataclasses import dataclass, field, replace
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.core.packing.sda import SdaConfig
+from repro.core.unroll import UnrollConfig
+from repro.errors import TuningError
+
+
+@dataclass(frozen=True)
+class Choice:
+    """One named axis: a finite, ordered set of candidate values."""
+
+    name: str
+    values: Tuple
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise TuningError("choice name must be non-empty")
+        if not isinstance(self.values, tuple):
+            object.__setattr__(self, "values", tuple(self.values))
+        if not self.values:
+            raise TuningError(f"choice {self.name!r} has no values")
+        seen = set()
+        for value in self.values:
+            key = repr(value)
+            if key in seen:
+                raise TuningError(
+                    f"choice {self.name!r} repeats value {value!r}"
+                )
+            seen.add(key)
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+
+class ConfigSpace:
+    """An ordered product of :class:`Choice` axes.
+
+    ``assignment_at(i)`` decodes index ``i`` (0 .. size-1) into an
+    ``{axis: value}`` dict with the *first* axis most significant, so
+    enumeration order is the natural nested-loop order and sampling is
+    one ``randrange`` per draw.
+    """
+
+    def __init__(self, choices: Sequence[Choice]) -> None:
+        choices = tuple(choices)
+        if not choices:
+            raise TuningError("a search space needs at least one axis")
+        names = [choice.name for choice in choices]
+        if len(set(names)) != len(names):
+            raise TuningError(f"duplicate axis names in {names}")
+        self.choices = choices
+
+    @property
+    def size(self) -> int:
+        total = 1
+        for choice in self.choices:
+            total *= len(choice)
+        return total
+
+    def assignment_at(self, index: int) -> Dict[str, object]:
+        if not 0 <= index < self.size:
+            raise TuningError(
+                f"index {index} outside space of size {self.size}"
+            )
+        assignment: Dict[str, object] = {}
+        for choice in reversed(self.choices):
+            index, digit = divmod(index, len(choice))
+            assignment[choice.name] = choice.values[digit]
+        return {choice.name: assignment[choice.name]
+                for choice in self.choices}
+
+    def __iter__(self) -> Iterator[Dict[str, object]]:
+        for index in range(self.size):
+            yield self.assignment_at(index)
+
+    def sample(self, rng: random.Random) -> Dict[str, object]:
+        """One uniform draw, deterministic in the RNG state."""
+        return self.assignment_at(rng.randrange(self.size))
+
+    def subspace(self, names: Sequence[str]) -> "ConfigSpace":
+        """The projection onto a subset of axes (kept in space order)."""
+        wanted = set(names)
+        unknown = wanted - {choice.name for choice in self.choices}
+        if unknown:
+            raise TuningError(f"unknown axes {sorted(unknown)}")
+        return ConfigSpace(
+            [c for c in self.choices if c.name in wanted]
+        )
+
+
+@dataclass(frozen=True)
+class TrialConfig:
+    """One point of the search space: a full compiler configuration.
+
+    Immutable and content-addressed — ``fingerprint`` is a SHA-256 of
+    the canonical JSON payload, the key under which the trial database
+    and the bench JSON identify this configuration.
+    """
+
+    sda: SdaConfig = field(default_factory=SdaConfig)
+    unroll: UnrollConfig = field(default_factory=UnrollConfig)
+    max_operators: int = 13
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.sda, SdaConfig):
+            raise TuningError(
+                f"sda must be an SdaConfig, got {type(self.sda).__name__}"
+            )
+        if not isinstance(self.unroll, UnrollConfig):
+            raise TuningError(
+                f"unroll must be an UnrollConfig, "
+                f"got {type(self.unroll).__name__}"
+            )
+        if (
+            not isinstance(self.max_operators, int)
+            or isinstance(self.max_operators, bool)
+            or self.max_operators < 2
+        ):
+            raise TuningError(
+                f"max_operators must be an int >= 2, "
+                f"got {self.max_operators!r}"
+            )
+
+    def to_payload(self) -> Dict:
+        """JSON-serializable form (tuples become lists)."""
+        return {
+            "sda": {
+                "w": self.sda.w,
+                "soft_penalty": self.sda.soft_penalty,
+                "soft_mode": self.sda.soft_mode,
+            },
+            "unroll": {
+                "skinny_aspect": self.unroll.skinny_aspect,
+                "fat_aspect": self.unroll.fat_aspect,
+                "skinny_seed": list(self.unroll.skinny_seed),
+                "fat_seed": list(self.unroll.fat_seed),
+                "square_seed": list(self.unroll.square_seed),
+                "waste_bound": self.unroll.waste_bound,
+            },
+            "compiler": {"max_operators": self.max_operators},
+        }
+
+    @classmethod
+    def from_payload(cls, payload: Dict) -> "TrialConfig":
+        try:
+            sda = payload["sda"]
+            unroll = payload["unroll"]
+            return cls(
+                sda=SdaConfig(
+                    w=sda["w"],
+                    soft_penalty=sda["soft_penalty"],
+                    soft_mode=sda["soft_mode"],
+                ),
+                unroll=UnrollConfig(
+                    skinny_aspect=unroll["skinny_aspect"],
+                    fat_aspect=unroll["fat_aspect"],
+                    skinny_seed=tuple(unroll["skinny_seed"]),
+                    fat_seed=tuple(unroll["fat_seed"]),
+                    square_seed=tuple(unroll["square_seed"]),
+                    waste_bound=unroll["waste_bound"],
+                ),
+                max_operators=payload["compiler"]["max_operators"],
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise TuningError(
+                f"malformed trial-config payload: {exc}"
+            ) from exc
+
+    @property
+    def fingerprint(self) -> str:
+        payload = json.dumps(self.to_payload(), sort_keys=True)
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+    def apply(self, options: "CompilerOptions") -> "CompilerOptions":
+        """These tuned knobs folded over a base :class:`CompilerOptions`."""
+        return replace(
+            options,
+            sda_config=self.sda,
+            unroll_config=self.unroll,
+            max_operators=self.max_operators,
+            tuned=False,
+        )
+
+
+#: The untuned baseline every search evaluates first.
+DEFAULT_TRIAL_CONFIG = TrialConfig()
+
+
+def config_from_assignment(
+    assignment: Dict[str, object],
+    base: Optional[TrialConfig] = None,
+) -> TrialConfig:
+    """Fold an ``{axis: value}`` assignment over ``base``'s knobs."""
+    base = base or DEFAULT_TRIAL_CONFIG
+    sda_kwargs: Dict[str, object] = {}
+    unroll_kwargs: Dict[str, object] = {}
+    compiler_kwargs: Dict[str, object] = {}
+    targets = {
+        "sda": (sda_kwargs, {"w", "soft_penalty", "soft_mode"}),
+        "unroll": (
+            unroll_kwargs,
+            {
+                "skinny_aspect", "fat_aspect", "skinny_seed",
+                "fat_seed", "square_seed", "waste_bound",
+            },
+        ),
+        "compiler": (compiler_kwargs, {"max_operators"}),
+    }
+    for name, value in assignment.items():
+        prefix, _, knob = name.partition(".")
+        if prefix not in targets or not knob:
+            raise TuningError(f"unknown axis {name!r}")
+        kwargs, known = targets[prefix]
+        if knob not in known:
+            raise TuningError(f"unknown axis {name!r}")
+        kwargs[knob] = value
+    try:
+        return TrialConfig(
+            sda=replace(base.sda, **sda_kwargs),
+            unroll=replace(base.unroll, **unroll_kwargs),
+            max_operators=compiler_kwargs.get(
+                "max_operators", base.max_operators
+            ),
+        )
+    except ValueError as exc:
+        raise TuningError(f"invalid assignment: {exc}") from exc
+
+
+def sda_space(
+    w: Sequence[float] = (0.5, 0.7, 0.9),
+    soft_penalty: Sequence[float] = (2.0, 8.0, 32.0),
+    soft_mode: Sequence[str] = ("sda",),
+) -> List[Choice]:
+    """Axes over Equation 4's weight and the soft-dependency penalty."""
+    return [
+        Choice("sda.w", tuple(w)),
+        Choice("sda.soft_penalty", tuple(soft_penalty)),
+        Choice("sda.soft_mode", tuple(soft_mode)),
+    ]
+
+
+def unroll_space(
+    skinny_seed: Sequence[Tuple[int, int]] = (
+        (8, 2), (8, 4), (4, 4), (2, 4), (1, 8),
+    ),
+    fat_seed: Sequence[Tuple[int, int]] = ((2, 8), (4, 8), (4, 4)),
+    square_seed: Sequence[Tuple[int, int]] = ((4, 4), (8, 4), (2, 8)),
+    waste_bound: Sequence[float] = (0.25, 0.5),
+) -> List[Choice]:
+    """Axes over the shape-adaptive unroll seeds of Section IV-C."""
+    return [
+        Choice("unroll.skinny_seed", tuple(skinny_seed)),
+        Choice("unroll.fat_seed", tuple(fat_seed)),
+        Choice("unroll.square_seed", tuple(square_seed)),
+        Choice("unroll.waste_bound", tuple(waste_bound)),
+    ]
+
+
+def partition_space(
+    max_operators: Sequence[int] = (9, 13, 17),
+) -> List[Choice]:
+    """Axis over the GCD2(k) partition budget."""
+    return [Choice("compiler.max_operators", tuple(max_operators))]
+
+
+def default_space() -> ConfigSpace:
+    """The full stock search space (SDA x unroll x partition)."""
+    return ConfigSpace(
+        sda_space() + unroll_space() + partition_space()
+    )

@@ -10,7 +10,7 @@ one that was requested.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 
 @dataclass(frozen=True)
@@ -37,6 +37,7 @@ class CompilationDiagnostics:
     cache_disk_hits: int = 0
     cache_misses: int = 0
     parallel: Dict[str, float] = field(default_factory=dict)
+    tuning: Dict[str, object] = field(default_factory=dict)
 
     @property
     def degraded(self) -> bool:
@@ -105,6 +106,28 @@ class CompilationDiagnostics:
             "utilization": utilization,
         }
 
+    def record_tuning(
+        self,
+        model: str,
+        fingerprint: str,
+        cycles: Optional[float],
+        source: str,
+    ) -> None:
+        """Record that a tuned configuration drove this compile.
+
+        ``fingerprint`` is the trial config's content address and
+        ``cycles`` the simulated total the autotuner measured for it;
+        ``source`` names where the config came from (``"trial-db"``
+        for :func:`repro.compiler.compile_model` lookups, or a search
+        strategy name when the tuner itself compiled the trial).
+        """
+        self.tuning = {
+            "model": model,
+            "fingerprint": fingerprint,
+            "cycles": cycles,
+            "source": source,
+        }
+
     def add_stage_time(self, stage: str, seconds: float) -> None:
         self.stage_seconds[stage] = (
             self.stage_seconds.get(stage, 0.0) + seconds
@@ -142,6 +165,17 @@ class CompilationDiagnostics:
                 f"{self.parallel['tasks']:.0f} task(s), "
                 f"{self.parallel['utilization'] * 100:.0f}% worker "
                 f"utilization"
+            )
+        if self.tuning:
+            cycles = self.tuning.get("cycles")
+            suffix = (
+                f" ({cycles:.0f} simulated cycles in trial)"
+                if isinstance(cycles, (int, float))
+                else ""
+            )
+            lines.append(
+                f"tuned config: {str(self.tuning.get('fingerprint'))[:16]} "
+                f"from {self.tuning.get('source')}{suffix}"
             )
         if self.fallbacks:
             for record in self.fallbacks:

@@ -17,6 +17,7 @@ from repro.cache import fingerprint as fingerprint_mod
 from repro.cache.parallel import pack_parallel
 from repro.core.packing import PACKERS
 from repro.core.packing.sda import SdaConfig
+from repro.core.unroll import UnrollConfig
 from repro.codegen.matmul import emit_matmul_body
 from repro.isa.instructions import Instruction, Opcode
 from repro.machine.pipeline import schedule_cycles
@@ -78,6 +79,19 @@ class TestFingerprint:
         assert kernel_fingerprint(body, "sda") != kernel_fingerprint(
             body, "sda", SdaConfig(w=0.3)
         )
+
+    def test_unroll_config_changes_fingerprint(self):
+        body = _body()
+        default = kernel_fingerprint(body, "sda")
+        tuned = kernel_fingerprint(
+            body, "sda", None, UnrollConfig(skinny_seed=(8, 4))
+        )
+        assert default != tuned
+        # An explicitly-passed default config is the same address as
+        # no config at all, so warm caches survive the new argument.
+        assert kernel_fingerprint(
+            body, "sda", None, UnrollConfig()
+        ) == default
 
     def test_fingerprint_is_stable_across_instances(self):
         assert kernel_fingerprint(_body(), "sda") == \

@@ -8,6 +8,8 @@ from repro.compiler import (
     GCD2Compiler,
     compile_model,
 )
+from repro.core.packing.sda import SdaConfig
+from repro.core.unroll import UnrollConfig
 from repro.errors import ReproError
 from repro.isa.instructions import Opcode
 from tests.conftest import chain_graph, small_cnn
@@ -35,6 +37,60 @@ class TestOptions:
         CompilerOptions(
             selection="uniform", uniform_instruction=Opcode.VRMPY
         )
+
+    def test_sda_config_must_be_typed(self):
+        with pytest.raises(ReproError, match="sda_config"):
+            CompilerOptions(sda_config={"w": 0.5})
+        CompilerOptions(sda_config=SdaConfig(w=0.5))
+
+    def test_unroll_config_must_be_typed(self):
+        with pytest.raises(ReproError, match="unroll_config"):
+            CompilerOptions(unroll_config=(8, 4))
+        CompilerOptions(unroll_config=UnrollConfig(skinny_seed=(8, 4)))
+
+
+class TestTuningConfigThreading:
+    def test_unroll_config_reaches_kernel_plans(self):
+        graph = small_cnn()
+        default = GCD2Compiler().compile(graph)
+        tuned = GCD2Compiler(
+            CompilerOptions(unroll_config=UnrollConfig(skinny_seed=(1, 8)))
+        ).compile(graph)
+        default_shapes = {
+            (n.node.node_id, n.kernel.trips, n.kernel.instruction_count)
+            for n in default.nodes if n.kernel is not None
+        }
+        tuned_shapes = {
+            (n.node.node_id, n.kernel.trips, n.kernel.instruction_count)
+            for n in tuned.nodes if n.kernel is not None
+        }
+        assert default_shapes != tuned_shapes
+
+    def test_sda_config_changes_schedules(self):
+        # small graphs pack identically under every config; wdsr_b has
+        # bodies with real soft-pair pressure, so neutering Equation 4
+        # (w=0, no stall penalty) visibly degrades the schedules.
+        from repro.models import build_model
+
+        graph = build_model("wdsr_b")
+        default = GCD2Compiler().compile(graph)
+        tuned = GCD2Compiler(
+            CompilerOptions(sda_config=SdaConfig(w=0.0, soft_penalty=0.0))
+        ).compile(graph)
+        assert tuned.total_packets != default.total_packets
+        assert tuned.profile.cycles > default.profile.cycles
+
+    def test_tuned_configs_share_one_result(self):
+        # Same tuned options, two compiles: byte-stable simulated cost.
+        graph = small_cnn()
+        options = CompilerOptions(
+            sda_config=SdaConfig(w=0.5),
+            unroll_config=UnrollConfig(skinny_seed=(1, 8)),
+        )
+        a = GCD2Compiler(options).compile(graph)
+        b = GCD2Compiler(options).compile(graph)
+        assert a.profile.cycles + a.transform_cycles == \
+            b.profile.cycles + b.transform_cycles
 
 
 class TestCompilation:

@@ -4,6 +4,8 @@ import pytest
 
 from repro.codegen.matmul import VECTOR_REGISTER_COUNT, registers_required
 from repro.core.unroll import (
+    DEFAULT_UNROLL_CONFIG,
+    UnrollConfig,
     UnrollPlan,
     adaptive_unroll,
     body_cycles,
@@ -108,3 +110,97 @@ class TestRegisterModel:
         assert registers_required(Opcode.VMPY, 4, 4) > registers_required(
             Opcode.VRMPY, 4, 4
         )
+
+
+class TestUnrollConfig:
+    def test_defaults_are_the_paper_constants(self):
+        config = UnrollConfig()
+        assert config.skinny_aspect == 4.0
+        assert config.fat_aspect == 0.25
+        assert config.skinny_seed == (8, 2)
+        assert config.fat_seed == (2, 8)
+        assert config.square_seed == (4, 4)
+        assert config.waste_bound == 0.25
+        assert config == DEFAULT_UNROLL_CONFIG
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"skinny_aspect": 0.0},
+            {"skinny_aspect": float("nan")},
+            {"fat_aspect": -1.0},
+            {"fat_aspect": float("inf")},
+            {"skinny_aspect": 0.2},  # below default fat_aspect
+            {"skinny_seed": (8,)},
+            {"skinny_seed": (0, 2)},
+            {"fat_seed": (2.0, 8)},
+            {"square_seed": [4, 4]},
+            {"waste_bound": -0.1},
+            {"waste_bound": 1.0},
+            {"waste_bound": float("nan")},
+        ],
+    )
+    def test_invalid_configs_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            UnrollConfig(**kwargs)
+
+    def test_seed_for_each_shape_class(self):
+        config = UnrollConfig()
+        assert config.seed_for("skinny") == (8, 2)
+        assert config.seed_for("fat") == (2, 8)
+        assert config.seed_for("near-square") == (4, 4)
+        with pytest.raises(ValueError):
+            config.seed_for("round")
+
+    def test_signature_is_value_identity(self):
+        assert UnrollConfig().signature() == \
+            DEFAULT_UNROLL_CONFIG.signature()
+        assert UnrollConfig(skinny_seed=(8, 4)).signature() != \
+            UnrollConfig().signature()
+
+    def test_classification_honours_config_thresholds(self):
+        # m/n == 2: near-square under defaults, skinny when the
+        # threshold drops below 2.
+        assert classify_output_shape(256, 128) == "near-square"
+        tight = UnrollConfig(skinny_aspect=1.5, fat_aspect=0.25)
+        assert classify_output_shape(256, 128, tight) == "skinny"
+
+    def test_adaptive_unroll_uses_configured_seeds(self):
+        default = adaptive_unroll(4096, 64, Opcode.VRMPY)
+        assert (default.outer, default.mid) == (8, 2)
+        tuned = adaptive_unroll(
+            4096, 64, Opcode.VRMPY,
+            UnrollConfig(skinny_seed=(1, 8)),
+        )
+        assert (tuned.outer, tuned.mid) == (1, 8)
+        # A seed over the VRMPY register budget (8x4 needs 42 of 32
+        # registers) is clamped rather than taken at face value.
+        clamped = adaptive_unroll(
+            4096, 64, Opcode.VRMPY,
+            UnrollConfig(skinny_seed=(8, 4)),
+        )
+        assert registers_required(
+            Opcode.VRMPY, clamped.outer, clamped.mid
+        ) <= VECTOR_REGISTER_COUNT
+
+    def test_adaptive_unroll_clamps_configured_seeds(self):
+        # A huge configured seed must still respect the register
+        # budget and the available work.
+        plan = adaptive_unroll(
+            128, 8, Opcode.VRMPY,
+            UnrollConfig(skinny_seed=(16, 16)),
+        )
+        assert registers_required(
+            Opcode.VRMPY, plan.outer, plan.mid
+        ) <= VECTOR_REGISTER_COUNT
+        assert plan.outer == 1  # only one row panel of work exists
+
+    def test_waste_bound_halves_oversized_outer(self):
+        # 5 row panels under outer=8: 3/5 waste > 0.25 -> halved until
+        # tolerable; a permissive bound keeps the bigger factor.
+        m = 5 * 128
+        strict = adaptive_unroll(m, 8, Opcode.VRMPY)
+        permissive = adaptive_unroll(
+            m, 8, Opcode.VRMPY, UnrollConfig(waste_bound=0.9)
+        )
+        assert strict.outer < permissive.outer

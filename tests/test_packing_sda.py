@@ -251,3 +251,48 @@ class TestSelectInstruction:
             idg, [load, other], packet, {consumer.uid}, SdaConfig()
         )
         assert sorted(calls) == sorted([load.uid, other.uid])
+
+
+class TestSdaConfigValidation:
+    def test_defaults_are_the_paper_constants(self):
+        config = SdaConfig()
+        assert config.w == 0.7
+        assert config.soft_penalty == 8.0
+        assert config.soft_mode == "sda"
+
+    @pytest.mark.parametrize("w", [-0.1, 1.5])
+    def test_w_outside_unit_interval_rejected(self, w):
+        with pytest.raises(ValueError, match="w must be"):
+            SdaConfig(w=w)
+
+    @pytest.mark.parametrize(
+        "penalty",
+        [-1.0, -0.001, float("nan"), float("inf"), float("-inf"),
+         "8.0", None, True],
+    )
+    def test_bad_soft_penalty_rejected(self, penalty):
+        with pytest.raises(ValueError, match="soft_penalty"):
+            SdaConfig(soft_penalty=penalty)
+
+    def test_zero_soft_penalty_allowed(self):
+        assert SdaConfig(soft_penalty=0.0).soft_penalty == 0.0
+
+    def test_unknown_soft_mode_rejected(self):
+        with pytest.raises(ValueError, match="soft_mode"):
+            SdaConfig(soft_mode="fuzzy")
+
+    def test_configured_packer_resolves_tuned_configs(self):
+        from repro.core.packing import PACKERS, configured_packer
+
+        body = emit_matmul_body(Opcode.VRMPY, 2, 2)
+        default = configured_packer("sda", None)
+        assert default is PACKERS["sda"]
+        tuned = configured_packer("sda", SdaConfig(w=0.5, soft_penalty=2.0))
+        packets = tuned(body)
+        validate_schedule(packets, body)
+
+    def test_configured_packer_unknown_name(self):
+        from repro.core.packing import configured_packer
+
+        with pytest.raises(KeyError):
+            configured_packer("magic", SdaConfig())

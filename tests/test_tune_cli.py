@@ -1,0 +1,133 @@
+"""Tests for the ``repro tune`` command and the tuned compile path."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.compiler import CompilerOptions, compile_model
+from repro.models import build_model
+from repro.tune import DEFAULT_TRIAL_CONFIG, TrialDB, default_tune_dir
+
+
+def _tune(tmp_path, *extra):
+    return main([
+        "tune", "wdsr_b", "--trials", "3", "--seed", "7",
+        "--cache-dir", str(tmp_path), *extra,
+    ])
+
+
+class TestTuneCommand:
+    def test_prints_leaderboard_and_best(self, tmp_path, capsys):
+        assert _tune(tmp_path) == 0
+        out = capsys.readouterr().out
+        assert "autotune: wdsr_b" in out
+        assert "best:" in out
+        assert "x over default" in out
+
+    def test_records_land_in_the_db(self, tmp_path, capsys):
+        assert _tune(tmp_path) == 0
+        db = TrialDB(default_tune_dir(str(tmp_path)))
+        records = db.records(model="wdsr_b")
+        assert len(records) == 3
+        assert records[0].fingerprint == DEFAULT_TRIAL_CONFIG.fingerprint
+        assert db.best("wdsr_b").cycles <= records[0].cycles
+
+    def test_json_artifact_is_deterministic(self, tmp_path, capsys):
+        out_a = tmp_path / "a.json"
+        out_b = tmp_path / "b.json"
+        assert _tune(
+            tmp_path / "ca", "--json", "--output", str(out_a)
+        ) == 0
+        assert _tune(
+            tmp_path / "cb", "--json", "--output", str(out_b),
+            "--jobs", "4",
+        ) == 0
+        # Byte-identical across runs AND across worker counts: the
+        # payload carries no wall-clock fields and no jobs field.
+        assert out_a.read_bytes() == out_b.read_bytes()
+        payload = json.loads(out_a.read_text())
+        assert payload["benchmark"] == "autotune"
+        assert payload["model"] == "wdsr_b"
+        assert payload["trials"] == 3
+        assert payload["best_cycles"] <= payload["baseline_cycles"]
+        assert payload["speedup"] >= 1.0
+        assert len(payload["rows"]) == 3
+
+    def test_unknown_model_rejected(self, tmp_path, capsys):
+        assert main([
+            "tune", "alexnet", "--cache-dir", str(tmp_path),
+        ]) == 1
+        assert "alexnet" in capsys.readouterr().err
+
+
+class TestTuneShow:
+    def test_show_before_any_trials(self, tmp_path, capsys):
+        assert main([
+            "tune", "show", "wdsr_b", "--cache-dir", str(tmp_path),
+        ]) == 0
+        assert "no recorded trials" in capsys.readouterr().out
+
+    def test_show_after_tune(self, tmp_path, capsys):
+        assert _tune(tmp_path) == 0
+        capsys.readouterr()
+        assert main([
+            "tune", "show", "wdsr_b", "--cache-dir", str(tmp_path),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "recorded trials: wdsr_b" in out
+        assert "3 trial(s) recorded" in out
+        assert "best:" in out
+
+    def test_show_needs_a_model(self, tmp_path, capsys):
+        assert main(["tune", "show"]) == 2
+        assert "needs a model" in capsys.readouterr().err
+
+    def test_show_unknown_model_rejected(self, tmp_path, capsys):
+        assert main([
+            "tune", "show", "alexnet", "--cache-dir", str(tmp_path),
+        ]) == 1
+        assert "alexnet" in capsys.readouterr().err
+
+
+class TestTunedCompile:
+    def test_compile_model_applies_best_recorded_config(
+        self, tmp_path, capsys
+    ):
+        assert _tune(tmp_path) == 0
+        db = TrialDB(default_tune_dir(str(tmp_path)))
+        best = db.best("wdsr_b")
+        graph = build_model("wdsr_b")
+        compiled = compile_model(
+            graph,
+            CompilerOptions(tuned=True, cache_dir=str(tmp_path)),
+        )
+        simulated = compiled.profile.cycles + compiled.transform_cycles
+        assert simulated == pytest.approx(best.cycles)
+        assert compiled.diagnostics.tuning["fingerprint"] == \
+            best.fingerprint
+        assert compiled.diagnostics.tuning["source"] == "trial-db"
+
+    def test_tuned_compile_without_trials_warns(self, tmp_path):
+        graph = build_model("wdsr_b")
+        compiled = compile_model(
+            graph,
+            CompilerOptions(tuned=True, cache_dir=str(tmp_path)),
+        )
+        assert compiled.diagnostics.tuning == {}
+        assert any(
+            "no trial recorded" in w
+            for w in compiled.diagnostics.warnings
+        )
+
+    def test_verify_tuned_flag(self, tmp_path, capsys):
+        assert _tune(tmp_path) == 0
+        capsys.readouterr()
+        assert main([
+            "verify", "wdsr_b", "--tuned",
+            "--cache-dir", str(tmp_path),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "compiled clean under strict verification" in out
+        assert "tuned config:" in out
+        assert "differential check" in out

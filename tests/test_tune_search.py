@@ -1,0 +1,232 @@
+"""Tests for the autotuner's search strategies (repro.tune.search).
+
+Determinism is the load-bearing property: the same (model, space,
+strategy, seed) must record byte-identical trials on every run and at
+every worker count, because the committed ``BENCH_autotune.json``
+artefact and the trial database both assume reproducible searches.
+"""
+
+import json
+
+import pytest
+
+from repro.compiler import GCD2Compiler
+from repro.errors import TuningError
+from repro.tune import (
+    DEFAULT_TRIAL_CONFIG,
+    Choice,
+    ConfigSpace,
+    SearchBudget,
+    TrialDB,
+    default_tune_dir,
+    leaderboard,
+    run_search,
+    trial_metrics,
+)
+from repro.tune.search import _halving_rungs, _propose_grid, _propose_random
+from tests.conftest import small_cnn
+
+#: A deliberately small space so search tests stay fast: the axes that
+#: actually move simulated cycles on wdsr_b.
+SMALL_SPACE = ConfigSpace([
+    Choice("unroll.skinny_seed", ((8, 2), (8, 4), (1, 8))),
+    Choice("compiler.max_operators", (9, 13)),
+])
+
+
+def _payloads(result):
+    return [json.dumps(r.to_payload(), sort_keys=True)
+            for r in result.records]
+
+
+class TestBudget:
+    def test_rejects_zero_trials(self):
+        with pytest.raises(TuningError):
+            SearchBudget(trials=0)
+
+    def test_rejects_negative_wall_seconds(self):
+        with pytest.raises(TuningError):
+            SearchBudget(trials=1, wall_seconds=-1.0)
+
+
+class TestProposers:
+    def test_grid_follows_enumeration_order_and_dedupes(self):
+        base = DEFAULT_TRIAL_CONFIG
+        proposals = _propose_grid(SMALL_SPACE, 10, base)
+        fingerprints = [c.fingerprint for c in proposals]
+        assert len(set(fingerprints)) == len(fingerprints)
+        assert base.fingerprint not in fingerprints
+        # (8, 2) x 13 *is* the default config, so one point dedupes away.
+        assert len(proposals) == SMALL_SPACE.size - 1
+
+    def test_random_is_seeded(self):
+        base = DEFAULT_TRIAL_CONFIG
+        a = _propose_random(SMALL_SPACE, 3, 42, base)
+        b = _propose_random(SMALL_SPACE, 3, 42, base)
+        assert [c.fingerprint for c in a] == [c.fingerprint for c in b]
+        c = _propose_random(SMALL_SPACE, 3, 43, base)
+        assert [x.fingerprint for x in a] != [x.fingerprint for x in c]
+
+    def test_random_exhausts_small_space_via_grid(self):
+        base = DEFAULT_TRIAL_CONFIG
+        proposals = _propose_random(SMALL_SPACE, SMALL_SPACE.size, 0, base)
+        assert len(proposals) == SMALL_SPACE.size - 1  # minus the default
+
+    def test_halving_rungs_are_strict_prefixes(self):
+        assert _halving_rungs(32) == [8, 16]
+        assert _halving_rungs(5) == [2]  # 5//2 == 2 dedupes with 5//4
+        assert _halving_rungs(2) == []  # no prefix strictly smaller
+
+
+class TestRunSearch:
+    def test_unknown_strategy_rejected(self):
+        with pytest.raises(TuningError, match="strategy"):
+            run_search("wdsr_b", strategy="annealing")
+
+    def test_bad_jobs_rejected(self):
+        with pytest.raises(TuningError, match="jobs"):
+            run_search("wdsr_b", jobs=0)
+
+    def test_trial_zero_is_the_default_config(self, tmp_path):
+        result = run_search(
+            "wdsr_b", strategy="random", trials=1, seed=0,
+            cache_dir=str(tmp_path), space=SMALL_SPACE,
+        )
+        assert len(result.records) == 1
+        record = result.records[0]
+        assert record.trial == 0
+        assert record.fingerprint == DEFAULT_TRIAL_CONFIG.fingerprint
+        assert record.ok and record.full_fidelity
+        assert result.baseline == record
+        assert result.best == record
+        assert result.speedup == 1.0
+
+    def test_best_never_loses_to_baseline(self, tmp_path):
+        result = run_search(
+            "wdsr_b", strategy="random", trials=4, seed=7,
+            cache_dir=str(tmp_path), space=SMALL_SPACE,
+        )
+        assert result.best.cycles <= result.baseline.cycles
+        assert result.speedup >= 1.0
+
+    def test_same_seed_records_identical_trials(self, tmp_path):
+        a = run_search(
+            "wdsr_b", strategy="random", trials=4, seed=7,
+            cache_dir=str(tmp_path / "a"), space=SMALL_SPACE,
+        )
+        b = run_search(
+            "wdsr_b", strategy="random", trials=4, seed=7,
+            cache_dir=str(tmp_path / "b"), space=SMALL_SPACE,
+        )
+        assert _payloads(a) == _payloads(b)
+
+    def test_jobs_bit_identical_to_serial(self, tmp_path):
+        serial = run_search(
+            "wdsr_b", strategy="random", trials=4, seed=7, jobs=1,
+            cache_dir=str(tmp_path / "serial"), space=SMALL_SPACE,
+        )
+        parallel = run_search(
+            "wdsr_b", strategy="random", trials=4, seed=7, jobs=4,
+            cache_dir=str(tmp_path / "parallel"), space=SMALL_SPACE,
+        )
+        assert _payloads(serial) == _payloads(parallel)
+
+    def test_records_are_durable_in_the_db(self, tmp_path):
+        result = run_search(
+            "wdsr_b", strategy="grid", trials=3, seed=0,
+            cache_dir=str(tmp_path), space=SMALL_SPACE,
+        )
+        db = TrialDB(default_tune_dir(str(tmp_path)))
+        stored = db.records(model="wdsr_b")
+        assert _payloads(result) == [
+            json.dumps(r.to_payload(), sort_keys=True) for r in stored
+        ]
+        assert db.best("wdsr_b").fingerprint == result.best.fingerprint
+
+    def test_halving_promotes_through_fidelity_ladder(self, tmp_path):
+        result = run_search(
+            "wdsr_b", strategy="halving", trials=4, seed=3,
+            cache_dir=str(tmp_path), space=SMALL_SPACE,
+        )
+        fidelities = {r.fidelity for r in result.records}
+        assert None in fidelities  # the final full-fidelity rung
+        assert any(f is not None for f in fidelities)
+        # The first rung screens the whole population; the final
+        # full-fidelity rung compiles only the survivors (plus the
+        # baseline), so it is strictly smaller.
+        partial = [r for r in result.records if r.fidelity is not None]
+        first_rung = min(r.fidelity for r in partial)
+        first_rung_count = sum(
+            1 for r in partial if r.fidelity == first_rung
+        )
+        assert first_rung_count == 4
+        assert len(result.full_records) < first_rung_count
+        # The baseline always reaches full fidelity.
+        assert result.baseline is not None
+        assert result.best.cycles <= result.baseline.cycles
+
+    def test_halving_partial_records_never_win_best(self, tmp_path):
+        result = run_search(
+            "wdsr_b", strategy="halving", trials=4, seed=3,
+            cache_dir=str(tmp_path), space=SMALL_SPACE,
+        )
+        db = TrialDB(default_tune_dir(str(tmp_path)))
+        assert db.best("wdsr_b").full_fidelity
+
+    def test_wall_budget_truncates(self, tmp_path):
+        result = run_search(
+            "wdsr_b", strategy="random", trials=6, seed=7,
+            cache_dir=str(tmp_path), space=SMALL_SPACE,
+            wall_seconds=1e-9,
+        )
+        # The baseline batch always runs; the rest is cut short.
+        assert result.truncated
+        assert 1 <= len(result.records) < 6
+        assert result.baseline is not None
+
+
+class TestReport:
+    def test_trial_metrics_shape(self):
+        compiled = GCD2Compiler().compile(small_cnn())
+        metrics = trial_metrics(compiled)
+        assert metrics["simulated_cycles"] == pytest.approx(
+            compiled.profile.cycles + compiled.transform_cycles
+        )
+        assert metrics["stall_cycles"] >= 0
+        assert metrics["spill_instructions"] >= 0
+        assert metrics["total_packets"] == compiled.total_packets
+        assert metrics["selection_solver"] == compiled.selection.solver
+        # Scheduling-dependent quantities (cache hits, wall-clock) must
+        # never leak into the deterministic trial record.
+        assert "cache" not in metrics
+        assert not any("seconds" in key for key in metrics)
+
+    def test_leaderboard_orders_by_cycles(self, tmp_path):
+        result = run_search(
+            "wdsr_b", strategy="random", trials=3, seed=7,
+            cache_dir=str(tmp_path), space=SMALL_SPACE,
+        )
+        rows = leaderboard(
+            result.full_records,
+            baseline_cycles=result.baseline.cycles,
+        )
+        cycles = [row["cycles"] for row in rows if row["status"] == "ok"]
+        assert cycles == sorted(cycles)
+        assert rows[0]["speedup"] >= 1.0
+
+    def test_leaderboard_sinks_failures(self):
+        from repro.tune import TrialRecord
+
+        ok = TrialRecord(
+            model="m", fingerprint="b" * 64,
+            config=DEFAULT_TRIAL_CONFIG.to_payload(), cycles=99.0,
+        )
+        bad = TrialRecord(
+            model="m", fingerprint="a" * 64,
+            config=DEFAULT_TRIAL_CONFIG.to_payload(),
+            status="error", error="BudgetExceeded: boom",
+        )
+        rows = leaderboard([bad, ok])
+        assert rows[0]["status"] == "ok"
+        assert rows[-1]["status"] == "error"
+        assert "boom" in rows[-1]["error"]

@@ -1,0 +1,190 @@
+"""Tests for the autotuner's typed search spaces (repro.tune.space)."""
+
+import random
+
+import pytest
+
+from repro.compiler import CompilerOptions
+from repro.core.packing.sda import SdaConfig
+from repro.core.unroll import UnrollConfig
+from repro.errors import TuningError
+from repro.tune import (
+    DEFAULT_TRIAL_CONFIG,
+    Choice,
+    ConfigSpace,
+    TrialConfig,
+    config_from_assignment,
+    default_space,
+    partition_space,
+    sda_space,
+    unroll_space,
+)
+
+
+class TestChoice:
+    def test_values_become_tuple(self):
+        choice = Choice("sda.w", [0.5, 0.7])
+        assert choice.values == (0.5, 0.7)
+        assert len(choice) == 2
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(TuningError):
+            Choice("", (1, 2))
+
+    def test_empty_values_rejected(self):
+        with pytest.raises(TuningError):
+            Choice("sda.w", ())
+
+    def test_duplicate_values_rejected(self):
+        with pytest.raises(TuningError, match="repeats"):
+            Choice("sda.w", (0.5, 0.5))
+
+
+class TestConfigSpace:
+    def _space(self):
+        return ConfigSpace([
+            Choice("sda.w", (0.5, 0.7)),
+            Choice("compiler.max_operators", (9, 13, 17)),
+        ])
+
+    def test_size_is_product(self):
+        assert self._space().size == 6
+
+    def test_empty_space_rejected(self):
+        with pytest.raises(TuningError):
+            ConfigSpace([])
+
+    def test_duplicate_axis_names_rejected(self):
+        with pytest.raises(TuningError, match="duplicate"):
+            ConfigSpace([
+                Choice("sda.w", (0.5,)),
+                Choice("sda.w", (0.7,)),
+            ])
+
+    def test_enumeration_is_nested_loop_order(self):
+        # First axis most significant: the last axis varies fastest.
+        assignments = list(self._space())
+        assert assignments[0] == {
+            "sda.w": 0.5, "compiler.max_operators": 9,
+        }
+        assert assignments[1]["compiler.max_operators"] == 13
+        assert assignments[3]["sda.w"] == 0.7
+        assert len(assignments) == 6
+
+    def test_assignment_at_bounds(self):
+        space = self._space()
+        with pytest.raises(TuningError):
+            space.assignment_at(-1)
+        with pytest.raises(TuningError):
+            space.assignment_at(space.size)
+
+    def test_sampling_is_deterministic_in_seed(self):
+        space = self._space()
+        draws_a = [space.sample(random.Random(3)) for _ in range(1)]
+        draws_b = [space.sample(random.Random(3)) for _ in range(1)]
+        assert draws_a == draws_b
+
+    def test_subspace_preserves_order(self):
+        sub = self._space().subspace(["compiler.max_operators"])
+        assert [c.name for c in sub.choices] == [
+            "compiler.max_operators"
+        ]
+
+    def test_subspace_unknown_axis_rejected(self):
+        with pytest.raises(TuningError, match="unknown axes"):
+            self._space().subspace(["nope"])
+
+
+class TestTrialConfig:
+    def test_defaults_match_paper_constants(self):
+        config = TrialConfig()
+        assert config.sda == SdaConfig()
+        assert config.unroll == UnrollConfig()
+        assert config.max_operators == 13
+
+    def test_payload_round_trip(self):
+        config = TrialConfig(
+            sda=SdaConfig(w=0.5, soft_penalty=2.0),
+            unroll=UnrollConfig(skinny_seed=(8, 4)),
+            max_operators=17,
+        )
+        assert TrialConfig.from_payload(config.to_payload()) == config
+
+    def test_fingerprint_stable_and_content_addressed(self):
+        a = TrialConfig()
+        b = TrialConfig()
+        assert a.fingerprint == b.fingerprint
+        changed = TrialConfig(max_operators=17)
+        assert changed.fingerprint != a.fingerprint
+
+    def test_apply_threads_all_knobs(self):
+        config = TrialConfig(
+            sda=SdaConfig(w=0.5),
+            unroll=UnrollConfig(skinny_seed=(8, 4)),
+            max_operators=9,
+        )
+        options = config.apply(CompilerOptions(cache_dir="/tmp/x"))
+        assert options.sda_config == config.sda
+        assert options.unroll_config == config.unroll
+        assert options.max_operators == 9
+        assert options.cache_dir == "/tmp/x"  # base knobs survive
+        assert options.tuned is False  # applying never re-triggers lookup
+
+    def test_wrong_types_rejected(self):
+        with pytest.raises(TuningError):
+            TrialConfig(sda="sda")
+        with pytest.raises(TuningError):
+            TrialConfig(unroll=(8, 2))
+        with pytest.raises(TuningError):
+            TrialConfig(max_operators=1)
+
+    def test_malformed_payload_rejected(self):
+        with pytest.raises(TuningError, match="malformed"):
+            TrialConfig.from_payload({"sda": {}})
+
+
+class TestConfigFromAssignment:
+    def test_folds_dotted_axes(self):
+        config = config_from_assignment({
+            "sda.w": 0.5,
+            "unroll.skinny_seed": (8, 4),
+            "compiler.max_operators": 17,
+        })
+        assert config.sda.w == 0.5
+        assert config.sda.soft_penalty == \
+            DEFAULT_TRIAL_CONFIG.sda.soft_penalty
+        assert config.unroll.skinny_seed == (8, 4)
+        assert config.max_operators == 17
+
+    def test_unknown_axis_rejected(self):
+        with pytest.raises(TuningError, match="unknown axis"):
+            config_from_assignment({"sda.nope": 1.0})
+        with pytest.raises(TuningError, match="unknown axis"):
+            config_from_assignment({"mystery.w": 1.0})
+
+    def test_invalid_value_becomes_tuning_error(self):
+        with pytest.raises(TuningError, match="invalid assignment"):
+            config_from_assignment({"sda.soft_penalty": -1.0})
+
+
+class TestStockSpaces:
+    def test_default_space_composes_all_axes(self):
+        space = default_space()
+        names = {c.name for c in space.choices}
+        assert "sda.w" in names
+        assert "unroll.skinny_seed" in names
+        assert "compiler.max_operators" in names
+        assert space.size == (
+            ConfigSpace(sda_space()).size
+            * ConfigSpace(unroll_space()).size
+            * ConfigSpace(partition_space()).size
+        )
+
+    def test_every_default_point_is_a_valid_config(self):
+        # Spot-check a deterministic sample of the stock space: every
+        # assignment must fold into a constructible TrialConfig.
+        space = default_space()
+        rng = random.Random(0)
+        for _ in range(25):
+            config = config_from_assignment(space.sample(rng))
+            assert isinstance(config, TrialConfig)
