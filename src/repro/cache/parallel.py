@@ -38,13 +38,22 @@ PackTask = Tuple[str, str, List[Instruction]]
 
 @dataclass
 class ParallelReport:
-    """Worker accounting for one parallel packing round."""
+    """Worker accounting for one parallel packing round.
+
+    ``fell_back`` means at least one task could not be packed in a
+    worker process and ran in-process instead; ``salvaged`` counts the
+    results recovered from the pool before it died (a crashed worker
+    no longer discards the work its siblings finished), and
+    ``serial_packed`` the tasks re-run in-process after the downgrade.
+    """
 
     jobs: int
     tasks: int
     busy_seconds: float
     wall_seconds: float
     fell_back: bool = False
+    salvaged: int = 0
+    serial_packed: int = 0
 
     @property
     def utilization(self) -> float:
@@ -81,29 +90,63 @@ def pack_parallel(
 ) -> Tuple[Dict[str, ScheduleEntry], ParallelReport]:
     """Pack ``tasks`` across ``jobs`` worker processes.
 
-    Returns ``(entries by fingerprint, report)``.  Falls back to
-    in-process packing when worker processes cannot be spawned.
+    Returns ``(entries by fingerprint, report)``.  Fault tolerance: a
+    pool that cannot be spawned, or one whose workers die mid-round
+    (:class:`BrokenProcessPool`), degrades to in-process packing for
+    the *remaining* bodies only — results the pool completed before
+    the crash are salvaged, every task still packs, and the report
+    flags the downgrade so the compiler can record it.  Packing is a
+    pure function of each task, so the merged result is bit-identical
+    no matter which path produced each entry.
     """
     wall_start = time.perf_counter()
     busy = 0.0
     results: Dict[str, ScheduleEntry] = {}
     fell_back = False
-    try:
-        with ProcessPoolExecutor(max_workers=jobs) as pool:
-            outcomes = list(pool.map(_pack_task, tasks))
-    except (OSError, BrokenProcessPool, RuntimeError):
-        fell_back = True
-        outcomes = [_pack_task(task) for task in tasks]
-    for fingerprint, packets, cycles, body, seconds in outcomes:
+    pending: List[PackTask] = []
+
+    def record(outcome) -> None:
+        nonlocal busy
+        fingerprint, packets, cycles, body, seconds = outcome
         busy += seconds
         results[fingerprint] = ScheduleEntry(
             body=body, packets=packets, cycles=cycles
         )
+
+    try:
+        with ProcessPoolExecutor(max_workers=jobs) as pool:
+            futures = []
+            for task in tasks:
+                try:
+                    futures.append((pool.submit(_pack_task, task), task))
+                except (OSError, BrokenProcessPool, RuntimeError):
+                    fell_back = True
+                    futures.append((None, task))
+            for future, task in futures:
+                if future is None:
+                    pending.append(task)
+                    continue
+                try:
+                    record(future.result())
+                except (OSError, BrokenProcessPool, RuntimeError):
+                    fell_back = True
+                    pending.append(task)
+    except (OSError, BrokenProcessPool, RuntimeError):
+        # The pool itself failed to spawn or to shut down; anything
+        # not already recorded re-packs in-process below.
+        fell_back = True
+        pending = [task for task in tasks if task[0] not in results]
+
+    salvaged = len(results) if fell_back else 0
+    for task in pending:
+        record(_pack_task(task))
     report = ParallelReport(
         jobs=1 if fell_back else jobs,
         tasks=len(tasks),
         busy_seconds=busy,
         wall_seconds=time.perf_counter() - wall_start,
         fell_back=fell_back,
+        salvaged=salvaged,
+        serial_packed=len(pending),
     )
     return results, report

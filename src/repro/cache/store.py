@@ -189,10 +189,18 @@ class CacheStats:
 
 
 class DiskStore:
-    """Content-addressed JSON entries under one schema subdirectory."""
+    """Content-addressed JSON entries under one schema subdirectory.
+
+    ``write_hook`` is a fault-injection seam: when set, it is called
+    with ``(path, payload)`` before every write and may raise
+    :class:`OSError` to simulate a full or failing disk — the store
+    then reports the write as failed (degrading the cache to
+    memory-only) exactly as it would for a real ``ENOSPC``.
+    """
 
     def __init__(self, root: Union[str, Path]) -> None:
         self.root = Path(root)
+        self.write_hook = None
 
     @property
     def schema_dir(self) -> Path:
@@ -229,6 +237,8 @@ class DiskStore:
         try:
             self.schema_dir.mkdir(parents=True, exist_ok=True)
             payload = json.dumps(entry.to_payload(fingerprint))
+            if self.write_hook is not None:
+                self.write_hook(self.path_for(fingerprint), payload)
             fd, tmp = tempfile.mkstemp(
                 dir=self.schema_dir, suffix=".tmp"
             )

@@ -38,15 +38,24 @@ Commands
     ``repro verify MODEL --tuned`` and ``CompilerOptions(tuned=True)``.
 ``cache {stats,clear}``
     Inspect or empty the persistent schedule cache.
+``serve``
+    Run the fault-tolerant compile-and-serve HTTP service
+    (:mod:`repro.serve`): model registry, async compiles on a bounded
+    queue, batched inference, crash-safe warm restarts.
+``chaos``
+    Run the serving chaos matrix (:mod:`repro.serve.chaos`); exits 1
+    if any injected fault breaks the degradation invariant.
 
 Library failures (:class:`~repro.errors.ReproError`) and I/O errors
 exit with code 1 and a one-line structured message on stderr — never a
-traceback.
+traceback; ``--json-errors`` switches the line to the same JSON
+payload the serve API returns in error bodies.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import List, Optional
 
@@ -79,6 +88,11 @@ def _build_parser() -> argparse.ArgumentParser:
         prog="repro",
         description="GCD2 reproduction: compile DNNs for a simulated "
         "mobile DSP and regenerate the paper's evaluation.",
+    )
+    parser.add_argument(
+        "--json-errors", action="store_true",
+        help="report failures as one structured JSON object on stderr "
+        "(the same payload the serve API returns in error bodies)",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -317,6 +331,56 @@ def _build_parser() -> argparse.ArgumentParser:
         help="per-GEMM MAC budget for the instruction kernels; larger "
         "products use the bit-identical BLAS path (default: 0, "
         "always BLAS)",
+    )
+
+    serve_p = sub.add_parser(
+        "serve",
+        help="run the fault-tolerant compile-and-serve HTTP service",
+    )
+    serve_p.add_argument(
+        "--host", default="127.0.0.1", help="bind address"
+    )
+    serve_p.add_argument(
+        "--port", type=int, default=8173,
+        help="bind port (0 picks a free one; default: 8173)",
+    )
+    serve_p.add_argument(
+        "--cache-dir",
+        help="schedule cache + registration manifest root "
+        "(default: $REPRO_CACHE_DIR if set, else memory-only and "
+        "no warm restart)",
+    )
+    serve_p.add_argument(
+        "--compile-workers", type=int, default=1,
+        help="compile worker threads (default: 1)",
+    )
+    serve_p.add_argument(
+        "--queue-capacity", type=int, default=8,
+        help="bounded compile-queue depth before 429s (default: 8)",
+    )
+    serve_p.add_argument(
+        "--deadline", type=float, default=None,
+        help="default per-request deadline in seconds",
+    )
+    serve_p.add_argument(
+        "--pool-size", type=int, default=2,
+        help="inference engines per ready model (default: 2)",
+    )
+    serve_p.add_argument(
+        "--cold", action="store_true",
+        help="skip the manifest replay (start with no models)",
+    )
+
+    chaos_p = sub.add_parser(
+        "chaos", help="run the serving chaos matrix"
+    )
+    chaos_p.add_argument(
+        "scenario", nargs="*",
+        help="scenario names (default: the whole matrix)",
+    )
+    chaos_p.add_argument(
+        "--json", action="store_true",
+        help="print results as JSON rows",
     )
 
     cache_p = sub.add_parser(
@@ -779,6 +843,37 @@ def _cmd_cache(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    from repro.serve import ServeConfig, ServeServer
+
+    config = ServeConfig(
+        host=args.host,
+        port=args.port,
+        cache_dir=args.cache_dir or os.environ.get("REPRO_CACHE_DIR"),
+        compile_workers=args.compile_workers,
+        queue_capacity=args.queue_capacity,
+        default_deadline_s=args.deadline,
+        pool_size=args.pool_size,
+    )
+    server = ServeServer(config)
+    print(f"serving on {server.url}")
+    if config.cache_dir:
+        print(f"cache + manifest root: {config.cache_dir}")
+    else:
+        print("no cache dir: schedules are memory-only, restarts are cold")
+    server.serve_forever(warm=not args.cold)
+    return 0
+
+
+def _cmd_chaos(args) -> int:
+    from repro.serve.chaos import main as chaos_main
+
+    argv = list(args.scenario)
+    if args.json:
+        argv.append("--json")
+    return chaos_main(argv)
+
+
 def _dispatch(args) -> int:
     if args.command == "models":
         return _cmd_models()
@@ -807,6 +902,10 @@ def _dispatch(args) -> int:
         return _cmd_tune(args)
     if args.command == "cache":
         return _cmd_cache(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
+    if args.command == "chaos":
+        return _cmd_chaos(args)
     return 2  # pragma: no cover - argparse enforces choices
 
 
@@ -814,16 +913,36 @@ def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns a process exit code.
 
     Library errors surface as one structured line on stderr (exit 1)
-    instead of a traceback.
+    instead of a traceback; with ``--json-errors`` the line is the
+    same machine-readable :meth:`~repro.errors.ReproError.to_dict`
+    payload the serve API puts in its error bodies.
     """
+    import json
+
     args = _build_parser().parse_args(argv)
     try:
         return _dispatch(args)
     except ReproError as exc:
-        print(f"error: {type(exc).__name__}: {exc}", file=sys.stderr)
+        if args.json_errors:
+            print(json.dumps(exc.to_dict()), file=sys.stderr)
+        else:
+            print(
+                f"error: {type(exc).__name__}: {exc}", file=sys.stderr
+            )
         return 1
     except OSError as exc:
-        print(f"error: {exc}", file=sys.stderr)
+        if args.json_errors:
+            payload = {
+                "error": type(exc).__name__,
+                "code": "os-error",
+                "message": str(exc),
+                "stage": None,
+                "node": None,
+                "details": {},
+            }
+            print(json.dumps(payload), file=sys.stderr)
+        else:
+            print(f"error: {exc}", file=sys.stderr)
         return 1
 
 

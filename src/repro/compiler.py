@@ -63,6 +63,7 @@ from repro.core.packing import PACKERS, configured_packer
 from repro.core.packing.sda import SdaConfig
 from repro.verify import (
     CompilationDiagnostics,
+    Deadline,
     PassManager,
     budget_from_options,
     verify_graph,
@@ -323,6 +324,7 @@ class GCD2Compiler:
     ) -> None:
         self.options = options or CompilerOptions()
         self.fault_hooks: Dict[str, Callable] = dict(fault_hooks or {})
+        self._deadline: Optional[Deadline] = None
         self.schedule_cache = ScheduleCache(
             memory_entries=self.options.cache_memory_entries,
             disk_dir=self.options.cache_dir,
@@ -330,14 +332,27 @@ class GCD2Compiler:
 
     # -- public API ----------------------------------------------------------
 
-    def compile(self, graph: ComputationalGraph) -> CompiledModel:
-        """Run the full verified pipeline on ``graph``."""
+    def compile(
+        self,
+        graph: ComputationalGraph,
+        deadline: Optional[Deadline] = None,
+    ) -> CompiledModel:
+        """Run the full verified pipeline on ``graph``.
+
+        ``deadline`` is a cooperative wall-clock bound: it is checked
+        at every stage/verifier boundary and between selection-ladder
+        rungs, and it caps each selection attempt's time budget — a
+        deadlined compile either finishes in time or aborts with
+        :class:`~repro.errors.DeadlineExceeded`, never hangs.
+        """
         options = self.options
+        self._deadline = deadline
         diagnostics = CompilationDiagnostics()
         pm = PassManager(
             diagnostics,
             verify=options.verify,
             fault_hooks=self.fault_hooks,
+            deadline=deadline,
         )
 
         # Stage 1 — graph-level optimization.
@@ -473,7 +488,11 @@ class GCD2Compiler:
             return self._select_uniform(graph, model)
         rungs = self._selection_ladder(graph, model)
         for index, (label, run) in enumerate(rungs):
-            budget = budget_from_options(options, label)
+            if self._deadline is not None:
+                self._deadline.check("selection")
+            budget = budget_from_options(
+                options, label, deadline=self._deadline
+            )
             try:
                 return run(budget)
             except BudgetExceeded as exc:
@@ -659,6 +678,14 @@ class GCD2Compiler:
                 f"parallel packing fell back to in-process execution "
                 f"(requested jobs={self.options.jobs})"
             )
+            diagnostics.record_degradation(
+                "packing",
+                f"parallel(jobs={self.options.jobs})",
+                "serial",
+                f"worker pool unavailable or died mid-round; "
+                f"salvaged {report.salvaged} result(s), packed "
+                f"{report.serial_packed} body(ies) in-process",
+            )
 
     def _assemble_node(
         self,
@@ -758,6 +785,9 @@ class GCD2Compiler:
 def compile_model(
     graph: ComputationalGraph,
     options: Optional[CompilerOptions] = None,
+    *,
+    deadline: Optional[Deadline] = None,
+    fault_hooks: Optional[Dict[str, Callable]] = None,
 ) -> CompiledModel:
     """One-call convenience wrapper over :class:`GCD2Compiler`.
 
@@ -765,7 +795,12 @@ def compile_model(
     has recorded for this graph (see :mod:`repro.tune`) overrides the
     packing/unrolling/partition knobs; the compile's diagnostics record
     which trial was applied.  A graph with no recorded trials compiles
-    with the options as given (and a diagnostic warning).
+    with the options as given (a diagnostic warning plus a
+    ``tuned -> default`` degradation record).
+
+    ``deadline`` bounds the compile cooperatively (see
+    :meth:`GCD2Compiler.compile`); ``fault_hooks`` is the stage-level
+    corruption seam tests and the chaos harness use.
     """
     options = options or CompilerOptions()
     tuned_record = None
@@ -778,7 +813,9 @@ def compile_model(
         options = replace(options, tuned=False)
         if tuned_record is not None:
             options = tuned_record.trial_config().apply(options)
-    compiled = GCD2Compiler(options).compile(graph)
+    compiled = GCD2Compiler(options, fault_hooks=fault_hooks).compile(
+        graph, deadline=deadline
+    )
     if tuned_record is not None:
         compiled.diagnostics.record_tuning(
             model=graph.name,
@@ -790,5 +827,11 @@ def compile_model(
         compiled.diagnostics.warn(
             f"tuned compile requested but no trial recorded for "
             f"{graph.name!r}; compiled with the given options"
+        )
+        compiled.diagnostics.record_degradation(
+            "compile",
+            "tuned",
+            "default",
+            f"no usable trial recorded for {graph.name!r}",
         )
     return compiled

@@ -13,7 +13,18 @@ from a bare message.
 
 from __future__ import annotations
 
-from typing import Any, Dict, Optional, Union
+import re
+from typing import Any, Dict, Optional, Type, Union
+
+#: ``error-code -> exception class`` registry, filled automatically as
+#: subclasses are defined; :meth:`ReproError.from_dict` resolves codes
+#: through it so payloads round-trip to the original type.
+_CODE_REGISTRY: Dict[str, Type["ReproError"]] = {}
+
+
+def _class_code(name: str) -> str:
+    """Kebab-case error code from a class name (``IsaError -> isa-error``)."""
+    return re.sub(r"(?<!^)(?=[A-Z])", "-", name).lower()
 
 
 class ReproError(Exception):
@@ -30,7 +41,19 @@ class ReproError(Exception):
         Graph node involved — an id or a name, whichever the raiser has.
     details:
         Extra structured context (offending artefact, limits, counters).
+
+    Every subclass gets a stable machine-readable ``code`` (kebab-cased
+    class name) and a :meth:`to_dict` payload shared by the CLI's
+    ``--json`` error path and the serving layer's 4xx/5xx bodies.
     """
+
+    #: Stable machine-readable error code; set per subclass.
+    code: str = "repro-error"
+
+    def __init_subclass__(cls, **kwargs) -> None:
+        super().__init_subclass__(**kwargs)
+        cls.code = _class_code(cls.__name__)
+        _CODE_REGISTRY.setdefault(cls.code, cls)
 
     def __init__(
         self,
@@ -45,6 +68,50 @@ class ReproError(Exception):
         self.stage = stage
         self.node = node
         self.details: Dict[str, Any] = dict(details or {})
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Machine-readable payload: type/code/message/stage/node/details.
+
+        ``details`` values are coerced to JSON-safe primitives (repr for
+        anything exotic) so the payload always serializes.
+        """
+
+        def jsonable(value: Any) -> Any:
+            if isinstance(value, (str, int, float, bool)) or value is None:
+                return value
+            if isinstance(value, dict):
+                return {str(k): jsonable(v) for k, v in value.items()}
+            if isinstance(value, (list, tuple, set, frozenset)):
+                return [jsonable(v) for v in value]
+            if hasattr(value, "tolist"):
+                # numpy scalars/arrays, without importing numpy here.
+                return jsonable(value.tolist())
+            return repr(value)
+
+        return {
+            "error": type(self).__name__,
+            "code": self.code,
+            "message": self.message,
+            "stage": self.stage,
+            "node": self.node,
+            "details": jsonable(self.details),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "ReproError":
+        """Rebuild an error from a :meth:`to_dict` payload.
+
+        The ``code`` resolves to the registered subclass; an unknown
+        code yields a plain :class:`ReproError` (forward compatibility
+        with payloads from newer servers).
+        """
+        klass = _CODE_REGISTRY.get(str(payload.get("code")), ReproError)
+        return klass(
+            str(payload.get("message", "")),
+            stage=payload.get("stage"),
+            node=payload.get("node"),
+            details=dict(payload.get("details") or {}),
+        )
 
     def __str__(self) -> str:
         parts = []
@@ -152,3 +219,44 @@ class LintVerificationError(VerificationError):
     provable program property — packet legality, register dataflow
     safety, or memory-map discipline.
     """
+
+
+class DeadlineExceeded(ReproError):
+    """A cooperative per-request deadline expired mid-compile/mid-serve.
+
+    Unlike :class:`BudgetExceeded` (which the selection ladder absorbs
+    by degrading to a cheaper solver), a deadline is a hard stop: the
+    caller's patience is gone, so the pipeline aborts at the next
+    cooperative check point and the service returns a structured
+    timeout instead of a hung request.
+    """
+
+
+class ServiceError(ReproError):
+    """Base class for failures of the compile-and-serve layer."""
+
+
+class AdmissionError(ServiceError):
+    """A request was rejected by admission control (queue/pool full).
+
+    Carries ``retry_after_s`` in ``details`` so HTTP frontends can emit
+    a ``Retry-After`` header alongside the structured 429/503 body.
+    """
+
+
+class QuarantinedError(ServiceError):
+    """A model's circuit breaker is open after repeated failures.
+
+    New work for the model is refused until the breaker's cooldown
+    elapses and a half-open probe succeeds; ``details`` records the
+    breaker state and the remaining cooldown.
+    """
+
+
+class ModelNotReadyError(ServiceError):
+    """An inference request arrived before the model finished compiling."""
+
+
+#: The base class registers itself; subclasses register automatically
+#: via ``__init_subclass__``.
+_CODE_REGISTRY.setdefault(ReproError.code, ReproError)

@@ -138,6 +138,11 @@ class InferenceEngine:
         self.kernel_mac_limit = kernel_mac_limit
         self.workers = workers
         self.diagnostics = InferenceDiagnostics()
+        #: Fault-injection seam for the serving chaos harness: when
+        #: set, called with each node before the batch evaluates it;
+        #: raising simulates an engine failure mid-batch (the serving
+        #: layer then degrades to bit-identical per-sample execution).
+        self.batch_fault_hook = None
         self._queue: "queue.Queue" = queue.Queue(maxsize=queue_size)
         self._threads: List[threading.Thread] = []
         self._lock = threading.Lock()
@@ -234,6 +239,8 @@ class InferenceEngine:
         keep = {node.node_id for node in graph.output_nodes()}
         values: Dict[int, List[np.ndarray]] = {}
         for node in graph:
+            if self.batch_fault_hook is not None:
+                self.batch_fault_hook(node)
             per_sample_inputs = [
                 [values[i][s] for i in node.inputs] for s in range(batch)
             ]

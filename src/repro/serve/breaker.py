@@ -1,0 +1,168 @@
+"""Per-model circuit breakers quarantining repeatedly failing models.
+
+The classic three-state breaker, keyed by model name:
+
+* **closed** — normal operation; consecutive failures are counted.
+* **open** — after ``failure_threshold`` consecutive failures the model
+  is quarantined: new compiles/inference fail fast with
+  :class:`~repro.errors.QuarantinedError` instead of burning a worker
+  on a model that keeps dying, which is what protects the other
+  tenants of a multi-model server.
+* **half-open** — once ``cooldown_s`` elapses, exactly one probe is
+  admitted; success closes the breaker, failure re-opens it (and
+  restarts the cooldown).
+
+The clock is injectable so tests (and the chaos harness) can step time
+instead of sleeping.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional
+
+from repro.errors import QuarantinedError
+
+STATE_CLOSED = "closed"
+STATE_OPEN = "open"
+STATE_HALF_OPEN = "half-open"
+
+
+@dataclass
+class _BreakerState:
+    state: str = STATE_CLOSED
+    consecutive_failures: int = 0
+    opened_at: Optional[float] = None
+    last_error: str = ""
+    opens: int = 0
+    probe_in_flight: bool = False
+
+
+class CircuitBreaker:
+    """Thread-safe per-key circuit breaker.
+
+    ``on_event(key, state, reason)`` is called on every state
+    transition so the service diagnostics can log breaker history.
+    """
+
+    def __init__(
+        self,
+        failure_threshold: int = 3,
+        cooldown_s: float = 30.0,
+        clock: Callable[[], float] = time.monotonic,
+        on_event: Optional[Callable[[str, str, str], None]] = None,
+    ) -> None:
+        if failure_threshold < 1:
+            raise ValueError("failure_threshold must be >= 1")
+        if cooldown_s <= 0:
+            raise ValueError("cooldown_s must be positive")
+        self.failure_threshold = failure_threshold
+        self.cooldown_s = cooldown_s
+        self.clock = clock
+        self.on_event = on_event
+        self._lock = threading.Lock()
+        self._states: Dict[str, _BreakerState] = {}
+
+    def _entry(self, key: str) -> _BreakerState:
+        return self._states.setdefault(key, _BreakerState())
+
+    def _emit(self, key: str, state: str, reason: str) -> None:
+        if self.on_event is not None:
+            self.on_event(key, state, reason)
+
+    def check(self, key: str) -> None:
+        """Gate one unit of work for ``key``.
+
+        Raises :class:`QuarantinedError` while the breaker is open;
+        after the cooldown the first caller through becomes the
+        half-open probe (concurrent callers stay rejected until the
+        probe reports back).
+        """
+        with self._lock:
+            entry = self._entry(key)
+            if entry.state == STATE_CLOSED:
+                return
+            if entry.state == STATE_HALF_OPEN:
+                if entry.probe_in_flight:
+                    raise self._quarantined(key, entry, remaining=0.0)
+                entry.probe_in_flight = True
+                return
+            # open: admit a probe once the cooldown has elapsed.
+            elapsed = self.clock() - (entry.opened_at or 0.0)
+            remaining = self.cooldown_s - elapsed
+            if remaining > 0:
+                raise self._quarantined(key, entry, remaining=remaining)
+            entry.state = STATE_HALF_OPEN
+            entry.probe_in_flight = True
+            self._emit(key, STATE_HALF_OPEN, "cooldown elapsed; probing")
+
+    def _quarantined(
+        self, key: str, entry: _BreakerState, remaining: float
+    ) -> QuarantinedError:
+        return QuarantinedError(
+            f"model {key!r} is quarantined after "
+            f"{entry.consecutive_failures} consecutive failure(s)",
+            stage="serve",
+            details={
+                "model": key,
+                "breaker_state": entry.state,
+                "consecutive_failures": entry.consecutive_failures,
+                "retry_after_s": round(max(remaining, 0.0), 3),
+                "last_error": entry.last_error,
+            },
+        )
+
+    def record_success(self, key: str) -> None:
+        with self._lock:
+            entry = self._entry(key)
+            was_open = entry.state != STATE_CLOSED
+            entry.state = STATE_CLOSED
+            entry.consecutive_failures = 0
+            entry.opened_at = None
+            entry.probe_in_flight = False
+            if was_open:
+                self._emit(key, STATE_CLOSED, "probe succeeded")
+
+    def record_failure(self, key: str, reason: str = "") -> str:
+        """Count one failure; returns the resulting state."""
+        with self._lock:
+            entry = self._entry(key)
+            entry.consecutive_failures += 1
+            entry.last_error = reason
+            entry.probe_in_flight = False
+            tripped = (
+                entry.state == STATE_HALF_OPEN
+                or entry.consecutive_failures >= self.failure_threshold
+            )
+            if tripped and entry.state != STATE_OPEN:
+                entry.state = STATE_OPEN
+                entry.opened_at = self.clock()
+                entry.opens += 1
+                self._emit(
+                    key,
+                    STATE_OPEN,
+                    reason or
+                    f"{entry.consecutive_failures} consecutive failure(s)",
+                )
+            elif tripped:
+                entry.opened_at = self.clock()
+            return entry.state
+
+    def state(self, key: str) -> str:
+        with self._lock:
+            return self._entry(key).state
+
+    def snapshot(self) -> Dict[str, Dict]:
+        """JSON-ready per-key breaker state for ``/status``."""
+        with self._lock:
+            return {
+                key: {
+                    "state": entry.state,
+                    "consecutive_failures": entry.consecutive_failures,
+                    "opens": entry.opens,
+                    "last_error": entry.last_error,
+                }
+                for key, entry in self._states.items()
+            }

@@ -1,0 +1,177 @@
+"""Async compile jobs on a bounded admission queue.
+
+Compiles are the expensive, spiky work of the service, so they run
+asynchronously: a registration enqueues a :class:`CompileJob` and
+returns immediately with a job id the client polls.  The queue is
+*bounded* — once ``capacity`` jobs are waiting, new submissions are
+rejected with a structured :class:`~repro.errors.AdmissionError`
+carrying ``retry_after_s`` (the HTTP layer turns this into a 429 plus
+a ``Retry-After`` header).  Rejecting at the door with an honest retry
+hint is what keeps a loaded server responsive instead of building an
+unbounded backlog it can never drain.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.errors import AdmissionError
+
+#: Job lifecycle states.
+STATE_QUEUED = "queued"
+STATE_RUNNING = "running"
+STATE_DONE = "done"
+STATE_FAILED = "failed"
+
+
+@dataclass
+class CompileJob:
+    """One asynchronous compile request and its observable outcome."""
+
+    job_id: str
+    model: str
+    options_payload: Dict = field(default_factory=dict)
+    deadline_s: Optional[float] = None
+    state: str = STATE_QUEUED
+    error: Optional[Dict] = None
+    degradations: List[Dict] = field(default_factory=list)
+    retries: int = 0
+    attempts: List[str] = field(default_factory=list)
+    result: Dict = field(default_factory=dict)
+    submitted_at: float = field(default_factory=time.monotonic)
+    started_at: Optional[float] = None
+    finished_at: Optional[float] = None
+    #: Set when the job reaches a terminal state (done/failed).
+    finished: threading.Event = field(
+        default_factory=threading.Event, repr=False
+    )
+
+    def mark_running(self) -> None:
+        self.state = STATE_RUNNING
+        self.started_at = time.monotonic()
+
+    def mark_done(self, result: Dict) -> None:
+        self.state = STATE_DONE
+        self.result = result
+        self.finished_at = time.monotonic()
+        self.finished.set()
+
+    def mark_failed(self, error: Dict) -> None:
+        self.state = STATE_FAILED
+        self.error = error
+        self.finished_at = time.monotonic()
+        self.finished.set()
+
+    @property
+    def ok(self) -> bool:
+        return self.state == STATE_DONE
+
+    def wait(self, timeout: Optional[float] = None) -> bool:
+        """Block until the job finishes; returns False on timeout."""
+        return self.finished.wait(timeout)
+
+    def to_payload(self) -> Dict:
+        seconds = None
+        if self.started_at is not None and self.finished_at is not None:
+            seconds = round(self.finished_at - self.started_at, 6)
+        return {
+            "job_id": self.job_id,
+            "model": self.model,
+            "state": self.state,
+            "options": dict(self.options_payload),
+            "deadline_s": self.deadline_s,
+            "error": self.error,
+            "degradations": [dict(d) for d in self.degradations],
+            "retries": self.retries,
+            "attempts": list(self.attempts),
+            "result": dict(self.result),
+            "seconds": seconds,
+        }
+
+
+class JobQueue:
+    """Bounded FIFO of compile jobs with structured admission control."""
+
+    def __init__(
+        self, capacity: int = 8, retry_after_s: float = 1.0
+    ) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = capacity
+        self.retry_after_s = retry_after_s
+        self._queue: "queue.Queue[Optional[CompileJob]]" = queue.Queue(
+            maxsize=capacity
+        )
+        self._lock = threading.Lock()
+        self._jobs: Dict[str, CompileJob] = {}
+        self._counter = 0
+
+    def new_job(
+        self,
+        model: str,
+        options_payload: Optional[Dict] = None,
+        deadline_s: Optional[float] = None,
+    ) -> CompileJob:
+        with self._lock:
+            self._counter += 1
+            job = CompileJob(
+                job_id=f"job-{self._counter}",
+                model=model,
+                options_payload=dict(options_payload or {}),
+                deadline_s=deadline_s,
+            )
+            self._jobs[job.job_id] = job
+        return job
+
+    def submit(self, job: CompileJob) -> CompileJob:
+        """Admit a job, or reject with a structured 429-shaped error."""
+        try:
+            self._queue.put_nowait(job)
+        except queue.Full:
+            with self._lock:
+                self._jobs.pop(job.job_id, None)
+            raise AdmissionError(
+                f"compile queue is full "
+                f"({self.capacity} job(s) already waiting)",
+                stage="serve",
+                details={
+                    "queue": "compile",
+                    "capacity": self.capacity,
+                    "depth": self._queue.qsize(),
+                    "retry_after_s": self.retry_after_s,
+                },
+            ) from None
+        return job
+
+    def take(self, timeout: Optional[float] = None) -> Optional[CompileJob]:
+        """Next job for a worker; ``None`` wakes the worker to exit."""
+        try:
+            return self._queue.get(timeout=timeout)
+        except queue.Empty:
+            return None
+
+    def poke(self) -> None:
+        """Wake one blocked worker with a ``None`` sentinel."""
+        try:
+            self._queue.put_nowait(None)
+        except queue.Full:
+            pass
+
+    def task_done(self) -> None:
+        self._queue.task_done()
+
+    def job(self, job_id: str) -> Optional[CompileJob]:
+        with self._lock:
+            return self._jobs.get(job_id)
+
+    def jobs(self) -> List[CompileJob]:
+        with self._lock:
+            return list(self._jobs.values())
+
+    @property
+    def depth(self) -> int:
+        return self._queue.qsize()

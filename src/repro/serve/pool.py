@@ -1,0 +1,191 @@
+"""Per-model inference-engine pools with a batched→per-sample ladder.
+
+Each ready model owns an :class:`EnginePool`: a fixed set of
+:class:`~repro.runtime.engine.InferenceEngine` instances sharing the
+compiled model and one frozen calibration read-only (the expensive
+state is per-model, not per-engine).  Requests check an engine out,
+run the batch, and check it back in; checkout honours the request
+deadline so a saturated pool times out instead of hanging.
+
+The robustness ladder: a batch that dies mid-engine (the chaos
+harness's ``engine_exception_mid_batch`` fault, or any real kernel
+bug tripped by one request) degrades to per-sample execution through a
+fresh :class:`~repro.runtime.executor.QuantizedExecutor` under the
+*same* frozen calibration — bit-identical to the batched path by the
+engine's own parity contract — and the downgrade is recorded.  Only if
+the per-sample path also fails does the request surface an error.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import AdmissionError, ServiceError
+from repro.runtime.calibration import FrozenCalibration
+from repro.runtime.engine import InferenceEngine
+from repro.runtime.executor import QuantizedExecutor
+from repro.verify.budget import Deadline
+
+
+class EnginePool:
+    """A bounded pool of engines over one compiled model."""
+
+    def __init__(
+        self,
+        compiled,
+        *,
+        size: int = 2,
+        workers: int = 2,
+        seed: int = 0,
+        kernel_mac_limit: Optional[int] = 0,
+        calibration_feeds: Optional[Sequence] = None,
+    ) -> None:
+        if size < 1:
+            raise ValueError("pool size must be >= 1")
+        self.compiled = compiled
+        self.seed = seed
+        self.kernel_mac_limit = kernel_mac_limit
+        self._engines: List[InferenceEngine] = [
+            InferenceEngine(
+                compiled,
+                seed=seed,
+                kernel_mac_limit=kernel_mac_limit,
+                workers=workers,
+            )
+            for _ in range(size)
+        ]
+        # Calibrate once, share the frozen bounds with every engine.
+        first = self._engines[0]
+        self.calibration: FrozenCalibration = first.calibrate(
+            list(calibration_feeds or [None])
+        )
+        for engine in self._engines[1:]:
+            engine.calibration = self.calibration
+        self._idle: "queue.Queue[InferenceEngine]" = queue.Queue()
+        for engine in self._engines:
+            self._idle.put(engine)
+        self._closed = False
+        self._lock = threading.Lock()
+
+    @property
+    def size(self) -> int:
+        return len(self._engines)
+
+    @property
+    def idle(self) -> int:
+        return self._idle.qsize()
+
+    def engines(self) -> List[InferenceEngine]:
+        """The pool's engines (chaos harness seam)."""
+        return list(self._engines)
+
+    # -- execution ---------------------------------------------------------
+
+    def _checkout(self, deadline: Optional[Deadline]) -> InferenceEngine:
+        timeout = None
+        if deadline is not None:
+            timeout = max(deadline.remaining(), 1e-3)
+        try:
+            return self._idle.get(timeout=timeout)
+        except queue.Empty:
+            raise AdmissionError(
+                "no idle engine in the pool before the deadline",
+                stage="serve",
+                details={
+                    "queue": "engine-pool",
+                    "pool_size": self.size,
+                    "retry_after_s": 0.5,
+                },
+            ) from None
+
+    def infer(
+        self,
+        feeds_list: Sequence[Optional[Dict[str, np.ndarray]]],
+        deadline: Optional[Deadline] = None,
+    ) -> Dict:
+        """Run one batch; returns outputs plus how they were produced.
+
+        Returns ``{"outputs": [per-sample dicts], "mode": "batched" |
+        "per-sample", "degradations": [...]}`` — the per-sample mode
+        only appears after a batched failure, and is bit-identical to
+        what the batched path would have produced.
+        """
+        if deadline is not None:
+            deadline.check("inference-admission")
+        engine = self._checkout(deadline)
+        degradations: List[Dict] = []
+        try:
+            if deadline is not None:
+                deadline.check("inference-start")
+            try:
+                outputs = engine.run_batch(list(feeds_list))
+                return {
+                    "outputs": outputs,
+                    "mode": "batched",
+                    "degradations": degradations,
+                }
+            except Exception as exc:  # noqa: BLE001 - ladder boundary
+                degradations.append(
+                    {
+                        "component": "inference",
+                        "from": "batched",
+                        "to": "per-sample",
+                        "reason": f"{type(exc).__name__}: {exc}",
+                    }
+                )
+            outputs = self._per_sample(feeds_list, deadline)
+            return {
+                "outputs": outputs,
+                "mode": "per-sample",
+                "degradations": degradations,
+            }
+        finally:
+            self._idle.put(engine)
+
+    def _per_sample(
+        self,
+        feeds_list: Sequence[Optional[Dict[str, np.ndarray]]],
+        deadline: Optional[Deadline],
+    ) -> List[Dict[str, np.ndarray]]:
+        """The ladder's bottom rung: one fresh executor per sample.
+
+        A fresh executor sidesteps whatever per-engine state the
+        batched failure may have corrupted; the shared frozen
+        calibration keeps the answers bit-identical to the batched
+        path.
+        """
+        executor = QuantizedExecutor(
+            self.compiled,
+            seed=self.seed,
+            kernel_mac_limit=self.kernel_mac_limit,
+            calibration=self.calibration,
+        )
+        outputs = []
+        for index, feeds in enumerate(feeds_list):
+            if deadline is not None:
+                deadline.check(f"inference-sample-{index}")
+            try:
+                outputs.append(executor.run(feeds))
+            except Exception as exc:  # noqa: BLE001 - ladder exhausted
+                raise ServiceError(
+                    f"inference failed in both batched and per-sample "
+                    f"modes: {exc}",
+                    stage="serve",
+                    details={
+                        "sample": index,
+                        "cause": f"{type(exc).__name__}: {exc}",
+                    },
+                ) from exc
+        return outputs
+
+    def close(self) -> None:
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+        for engine in self._engines:
+            engine.close()

@@ -227,6 +227,21 @@ class TrialDB:
         """Model names with at least one current-schema record."""
         return sorted({r.model for r in self.records()})
 
+    def stats(self) -> Dict:
+        """Health digest for status endpoints: usable vs skipped rows.
+
+        ``skipped_lines`` counts corrupt or stale-schema lines found
+        during the scan — a corrupted trial DB shows up here as
+        degraded (fewer usable records) rather than as a failure.
+        """
+        records = self.records()
+        return {
+            "path": str(self.path),
+            "records": len(records),
+            "skipped_lines": self.skipped_lines,
+            "models": sorted({r.model for r in records}),
+        }
+
     def clear(self) -> int:
         """Delete the trial file; returns records removed."""
         removed = len(self.records(current_only=False))

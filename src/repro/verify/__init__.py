@@ -13,7 +13,11 @@ Four pillars, threaded through :class:`~repro.compiler.GCD2Compiler`:
   prove each verifier actually catches its fault class.
 """
 
-from repro.verify.budget import SelectionBudget, budget_from_options
+from repro.verify.budget import (
+    Deadline,
+    SelectionBudget,
+    budget_from_options,
+)
 from repro.verify.checkers import (
     verify_graph,
     verify_lowering,
@@ -22,12 +26,18 @@ from repro.verify.checkers import (
     verify_selection,
     verify_unrolls,
 )
-from repro.verify.diagnostics import CompilationDiagnostics, FallbackRecord
+from repro.verify.diagnostics import (
+    CompilationDiagnostics,
+    DegradationRecord,
+    FallbackRecord,
+)
 from repro.verify.passes import STAGES, PassManager
 
 __all__ = [
+    "Deadline",
     "SelectionBudget",
     "budget_from_options",
+    "DegradationRecord",
     "verify_graph",
     "verify_selection",
     "verify_unrolls",

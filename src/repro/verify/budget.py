@@ -14,7 +14,7 @@ from __future__ import annotations
 import time
 from typing import Optional
 
-from repro.errors import BudgetExceeded
+from repro.errors import BudgetExceeded, DeadlineExceeded
 
 #: Wall-clock is polled once per this many charges, so the deadline
 #: check stays off the search loop's critical path.
@@ -97,15 +97,70 @@ class SelectionBudget:
             )
 
 
-def budget_from_options(options, solver: str) -> Optional[SelectionBudget]:
-    """A fresh budget from ``CompilerOptions``, or ``None`` if unbounded."""
-    if (
-        options.selection_time_budget_s is None
-        and options.selection_state_budget is None
-    ):
+def budget_from_options(
+    options, solver: str, deadline: Optional["Deadline"] = None
+) -> Optional[SelectionBudget]:
+    """A fresh budget from ``CompilerOptions``, or ``None`` if unbounded.
+
+    A live ``deadline`` caps the wall-clock side of the budget to its
+    remaining time, so a deadlined compile never lets one solver rung
+    spend the whole request's patience.
+    """
+    time_budget_s = options.selection_time_budget_s
+    if deadline is not None:
+        remaining = max(deadline.remaining(), 1e-3)
+        time_budget_s = (
+            remaining
+            if time_budget_s is None
+            else min(time_budget_s, remaining)
+        )
+    if time_budget_s is None and options.selection_state_budget is None:
         return None
     return SelectionBudget(
-        time_budget_s=options.selection_time_budget_s,
+        time_budget_s=time_budget_s,
         state_budget=options.selection_state_budget,
         solver=solver,
     )
+
+
+class Deadline:
+    """A cooperative wall-clock deadline for one request.
+
+    Compile and serve paths poll :meth:`check` at stage boundaries
+    (see :class:`~repro.verify.passes.PassManager`): when the deadline
+    has passed, the next check raises
+    :class:`~repro.errors.DeadlineExceeded` instead of letting the
+    request hang.  Unlike :class:`SelectionBudget` — which the solver
+    ladder absorbs by degrading — a blown deadline aborts the request.
+    """
+
+    def __init__(self, seconds: float) -> None:
+        if seconds <= 0:
+            raise ValueError("deadline seconds must be positive")
+        self.seconds = seconds
+        self._start = time.perf_counter()
+        self._expiry = self._start + seconds
+
+    def elapsed(self) -> float:
+        return time.perf_counter() - self._start
+
+    def remaining(self) -> float:
+        """Seconds left; negative once expired."""
+        return self._expiry - time.perf_counter()
+
+    def expired(self) -> bool:
+        return self.remaining() <= 0.0
+
+    def check(self, where: str = "") -> None:
+        """Raise :class:`DeadlineExceeded` if the deadline has passed."""
+        if not self.expired():
+            return
+        raise DeadlineExceeded(
+            f"deadline of {self.seconds:.3f}s exceeded"
+            + (f" at {where}" if where else ""),
+            stage=where or None,
+            details={
+                "deadline_s": self.seconds,
+                "elapsed_s": round(self.elapsed(), 4),
+            },
+        )

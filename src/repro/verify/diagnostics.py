@@ -25,12 +25,46 @@ class FallbackRecord:
         return f"{self.from_solver} -> {self.to_solver}: {self.reason}"
 
 
+@dataclass(frozen=True)
+class DegradationRecord:
+    """One recorded downgrade of any component's operating mode.
+
+    The generic form of :class:`FallbackRecord`: ``component`` names
+    what degraded (``"packing"``, ``"compile"``, ``"inference"``, …)
+    and ``from_mode``/``to_mode`` the ladder step taken
+    (``parallel -> serial``, ``tuned -> default``,
+    ``batched -> per-sample``).  Both the compiler and the serving
+    layer append these so every artefact carries the honest story of
+    how it was produced.
+    """
+
+    component: str
+    from_mode: str
+    to_mode: str
+    reason: str
+
+    def __str__(self) -> str:
+        return (
+            f"{self.component}: {self.from_mode} -> {self.to_mode} "
+            f"({self.reason})"
+        )
+
+    def to_payload(self) -> Dict[str, str]:
+        return {
+            "component": self.component,
+            "from": self.from_mode,
+            "to": self.to_mode,
+            "reason": self.reason,
+        }
+
+
 @dataclass
 class CompilationDiagnostics:
     """Everything noteworthy that happened during one compile."""
 
     warnings: List[str] = field(default_factory=list)
     fallbacks: List[FallbackRecord] = field(default_factory=list)
+    degradations: List[DegradationRecord] = field(default_factory=list)
     stage_seconds: Dict[str, float] = field(default_factory=dict)
     verifier_seconds: Dict[str, float] = field(default_factory=dict)
     cache_memory_hits: int = 0
@@ -66,6 +100,14 @@ class CompilationDiagnostics:
             f"selection fell back from {from_solver} to {to_solver}: "
             f"{reason}"
         )
+
+    def record_degradation(
+        self, component: str, from_mode: str, to_mode: str, reason: str
+    ) -> DegradationRecord:
+        """Record one component-level mode downgrade."""
+        record = DegradationRecord(component, from_mode, to_mode, reason)
+        self.degradations.append(record)
+        return record
 
     @property
     def cache_hits(self) -> int:
@@ -177,6 +219,8 @@ class CompilationDiagnostics:
                 f"tuned config: {str(self.tuning.get('fingerprint'))[:16]} "
                 f"from {self.tuning.get('source')}{suffix}"
             )
+        for record in self.degradations:
+            lines.append(f"degradation: {record}")
         if self.fallbacks:
             for record in self.fallbacks:
                 lines.append(f"fallback: {record}")

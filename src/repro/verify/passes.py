@@ -14,6 +14,7 @@ from __future__ import annotations
 import time
 from typing import Any, Callable, Dict, Mapping, Optional
 
+from repro.verify.budget import Deadline
 from repro.verify.diagnostics import CompilationDiagnostics
 
 #: Canonical stage order of the pipeline.
@@ -35,6 +36,12 @@ class PassManager:
         Optional ``{stage: mutator}`` mapping; each mutator receives
         the stage's artefact and returns the (possibly corrupted)
         artefact to hand downstream.
+    deadline:
+        Optional cooperative :class:`~repro.verify.budget.Deadline`:
+        checked before every stage and every verifier, so a deadlined
+        compile aborts at the next stage boundary with
+        :class:`~repro.errors.DeadlineExceeded` instead of running to
+        completion long after the caller gave up.
     """
 
     def __init__(
@@ -43,15 +50,19 @@ class PassManager:
         *,
         verify: bool = True,
         fault_hooks: Optional[Mapping[str, Callable[[Any], Any]]] = None,
+        deadline: Optional[Deadline] = None,
     ) -> None:
         self.diagnostics = diagnostics
         self.verify_enabled = verify
         self.fault_hooks: Dict[str, Callable[[Any], Any]] = dict(
             fault_hooks or {}
         )
+        self.deadline = deadline
 
     def run(self, stage: str, thunk: Callable[[], Any]) -> Any:
         """Execute one stage, apply its fault hook, record its timing."""
+        if self.deadline is not None:
+            self.deadline.check(stage)
         start = time.perf_counter()
         artefact = thunk()
         self.diagnostics.add_stage_time(
@@ -68,6 +79,8 @@ class PassManager:
         """Run one invariant checker, timing it under ``stage``."""
         if not self.verify_enabled:
             return
+        if self.deadline is not None:
+            self.deadline.check(f"{stage}-verify")
         start = time.perf_counter()
         checker(*args)
         self.diagnostics.add_verifier_time(

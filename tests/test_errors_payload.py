@@ -1,0 +1,172 @@
+"""Machine-readable error payloads: to_dict/from_dict round trips.
+
+The same payload backs the CLI's ``--json-errors`` line and the serve
+API's 4xx/5xx bodies, so the contract is tested once here: every
+registered error class round-trips through its code, details stay
+JSON-serializable no matter what was thrown in, and unknown codes
+decode to the base class instead of failing.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.errors import (
+    AdmissionError,
+    BudgetExceeded,
+    DeadlineExceeded,
+    GraphError,
+    ModelNotReadyError,
+    QuarantinedError,
+    ReproError,
+    SelectionError,
+    ServiceError,
+    SimulationError,
+    _CODE_REGISTRY,
+)
+
+
+class TestCodes:
+    def test_codes_are_kebab_case_class_names(self):
+        assert DeadlineExceeded.code == "deadline-exceeded"
+        assert QuarantinedError.code == "quarantined-error"
+        assert ModelNotReadyError.code == "model-not-ready-error"
+        assert GraphError.code == "graph-error"
+        assert ReproError.code == "repro-error"
+
+    def test_every_subclass_is_registered(self):
+        def walk(cls):
+            yield cls
+            for sub in cls.__subclasses__():
+                yield from walk(sub)
+
+        for cls in walk(ReproError):
+            assert _CODE_REGISTRY[cls.code] is cls
+
+    def test_codes_are_unique(self):
+        codes = list(_CODE_REGISTRY)
+        assert len(codes) == len(set(codes))
+
+
+class TestToDict:
+    def test_payload_shape(self):
+        exc = SelectionError(
+            "no plan for node", stage="selection", node="conv_3",
+            details={"plans": 0},
+        )
+        payload = exc.to_dict()
+        assert payload == {
+            "error": "SelectionError",
+            "code": "selection-error",
+            "message": "no plan for node",
+            "stage": "selection",
+            "node": "conv_3",
+            "details": {"plans": 0},
+        }
+
+    def test_payload_is_json_serializable_with_numpy_details(self):
+        exc = SimulationError(
+            "overflow",
+            stage="runtime",
+            details={
+                "value": np.int64(7),
+                "scale": np.float64(0.25),
+                "shape": (np.int32(1), np.int32(4)),
+                "arr": np.array([1.0, 2.0]),
+                "nested": {"flag": np.bool_(True)},
+            },
+        )
+        text = json.dumps(exc.to_dict())
+        decoded = json.loads(text)
+        assert decoded["details"]["value"] == 7
+        assert decoded["details"]["scale"] == 0.25
+        assert decoded["details"]["shape"] == [1, 4]
+        assert decoded["details"]["arr"] == [1.0, 2.0]
+        assert decoded["details"]["nested"]["flag"] is True
+
+    def test_unserializable_detail_degrades_to_repr(self):
+        exc = ServiceError("x", details={"obj": object()})
+        assert isinstance(
+            json.loads(json.dumps(exc.to_dict()))["details"]["obj"], str
+        )
+
+
+class TestFromDict:
+    @pytest.mark.parametrize(
+        "cls",
+        [
+            ReproError,
+            GraphError,
+            DeadlineExceeded,
+            ServiceError,
+            AdmissionError,
+            QuarantinedError,
+            ModelNotReadyError,
+            BudgetExceeded,
+        ],
+    )
+    def test_round_trip_preserves_class_and_fields(self, cls):
+        original = cls(
+            "something broke",
+            stage="serve",
+            node="n1",
+            details={"retry_after_s": 2.5},
+        )
+        revived = ReproError.from_dict(
+            json.loads(json.dumps(original.to_dict()))
+        )
+        assert type(revived) is cls
+        assert str(revived) == str(original)
+        assert revived.stage == "serve"
+        assert revived.node == "n1"
+        assert revived.details == {"retry_after_s": 2.5}
+
+    def test_unknown_code_decodes_to_base_class(self):
+        revived = ReproError.from_dict(
+            {"code": "not-a-real-code", "message": "hm"}
+        )
+        assert type(revived) is ReproError
+        assert str(revived) == "hm"
+
+    def test_missing_fields_tolerated(self):
+        revived = ReproError.from_dict({})
+        assert isinstance(revived, ReproError)
+        assert revived.details == {}
+
+    def test_service_hierarchy(self):
+        assert issubclass(AdmissionError, ServiceError)
+        assert issubclass(QuarantinedError, ServiceError)
+        assert issubclass(ModelNotReadyError, ServiceError)
+        assert issubclass(ServiceError, ReproError)
+        # A deadline abort is NOT a budget degradation: the selection
+        # ladder absorbs BudgetExceeded but must propagate deadlines.
+        assert not issubclass(DeadlineExceeded, BudgetExceeded)
+
+
+class TestCliJsonErrors:
+    def test_json_errors_flag_emits_payload(self, capsys):
+        from repro.cli import main
+
+        assert main(["--json-errors", "compile", "alexnet"]) == 1
+        captured = capsys.readouterr()
+        payload = json.loads(captured.err.strip())
+        assert payload["code"] == "graph-error"
+        assert payload["error"] == "GraphError"
+        assert "alexnet" in payload["message"]
+        assert "Traceback" not in captured.err
+
+    def test_json_errors_round_trips_to_same_error(self, capsys):
+        from repro.cli import main
+
+        main(["--json-errors", "compile", "alexnet"])
+        payload = json.loads(capsys.readouterr().err.strip())
+        revived = ReproError.from_dict(payload)
+        assert type(revived) is GraphError
+
+    def test_default_error_line_unchanged(self, capsys):
+        from repro.cli import main
+
+        assert main(["compile", "alexnet"]) == 1
+        captured = capsys.readouterr()
+        assert captured.err.startswith("error: GraphError")

@@ -1,0 +1,59 @@
+"""The chaos harness itself: every scenario in the matrix must hold.
+
+``repro.serve.chaos`` is the executable contract for the degradation
+ladder — each scenario injects one service-level fault and asserts the
+response is either correct or a structured error with the downgrade
+recorded. This test runs the full matrix in-process so CI fails the
+moment any rung of the ladder regresses.
+"""
+
+import pytest
+
+from repro.serve.chaos import SCENARIOS, build_chaos_graph, run_chaos
+
+EXPECTED_SCENARIOS = {
+    "worker_crash_mid_compile",
+    "corrupt_disk_cache_entry",
+    "corrupt_tune_db",
+    "slow_compile_deadline",
+    "queue_overflow",
+    "engine_exception_mid_batch",
+}
+
+
+class TestMatrix:
+    def test_scenario_registry_is_complete(self):
+        assert set(SCENARIOS) == EXPECTED_SCENARIOS
+
+    def test_unknown_scenario_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="unknown"):
+            run_chaos(names=["not_a_fault"], workdir=str(tmp_path))
+
+    def test_full_matrix_passes(self, tmp_path):
+        results = run_chaos(workdir=str(tmp_path))
+        assert len(results) == len(EXPECTED_SCENARIOS)
+        failures = [r for r in results if not r.ok]
+        assert not failures, "\n".join(
+            f"{r.fault}: {r.outcome} {r.violations}" for r in failures
+        )
+        # Every scenario resolved to one of the two allowed outcomes:
+        # a correct response or a structured, recorded error — never a
+        # hang (the harness would have raised) or a wrong result.
+        for result in results:
+            assert result.outcome in (
+                "correct-response",
+                "structured-error",
+            )
+            assert result.seconds < 120.0
+            payload = result.to_payload()
+            assert payload["fault"] == result.fault
+            assert payload["ok"] is True
+
+
+class TestChaosGraph:
+    def test_graph_compiles_small_and_fast(self):
+        graph = build_chaos_graph()
+        graph.validate()
+        # Keep the harness fast: the whole point of a purpose-built
+        # graph is that six scenarios finish in seconds, not minutes.
+        assert len(graph.nodes()) < 16

@@ -1,0 +1,103 @@
+"""Crash-safe warm start: kill -9 the server, restart, bit-identical.
+
+The strongest robustness claim in the serving layer is that an unclean
+death (SIGKILL — no atexit hooks, no flush) loses nothing: the compile
+manifest and the two-tier schedule cache are written atomically, so a
+fresh process replays the manifest, recompiles entirely through the
+disk cache (zero misses), and serves byte-for-byte identical outputs.
+"""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+import urllib.request
+
+import pytest
+
+from repro.graph.serialization import save_graph
+from repro.serve.chaos import build_chaos_graph
+
+SERVER_SCRIPT = """
+import json, sys, time
+from repro.serve import ServeConfig, ServeServer
+
+cache_dir, graph_path = sys.argv[1], sys.argv[2]
+server = ServeServer(ServeConfig(cache_dir=cache_dir)).start(warm=True)
+svc = server.service
+if svc.registry.maybe("m1") is None:
+    entry, job = svc.register("m1", source=graph_path)
+    assert job.wait(timeout=120) and job.ok, job.error
+print(json.dumps({
+    "port": server.port,
+    "warm_start": svc.diagnostics.warm_start,
+}), flush=True)
+while True:
+    time.sleep(1)
+"""
+
+
+def _launch(tmp_path, cache_dir, graph_path):
+    script = tmp_path / "server_script.py"
+    script.write_text(SERVER_SCRIPT)
+    env = dict(os.environ)
+    repo_src = os.path.join(os.path.dirname(os.path.dirname(__file__)), "src")
+    env["PYTHONPATH"] = repo_src + os.pathsep + env.get("PYTHONPATH", "")
+    proc = subprocess.Popen(
+        [sys.executable, str(script), cache_dir, graph_path],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        env=env,
+        text=True,
+    )
+    line = proc.stdout.readline()
+    if not line:
+        proc.kill()
+        raise AssertionError(
+            f"server died before ready: {proc.stderr.read()}"
+        )
+    return proc, json.loads(line)
+
+
+def _infer(port, batch=2, seed=7):
+    req = urllib.request.Request(
+        f"http://127.0.0.1:{port}/models/m1/infer",
+        data=json.dumps({"batch": batch, "seed": seed}).encode(),
+        headers={"Content-Type": "application/json"},
+    )
+    with urllib.request.urlopen(req, timeout=120) as resp:
+        return json.loads(resp.read())
+
+
+@pytest.mark.slow
+def test_sigkill_then_warm_restart_is_bit_identical(tmp_path):
+    graph_path = str(tmp_path / "chaos_cnn.json")
+    save_graph(build_chaos_graph(), graph_path)
+    cache_dir = str(tmp_path / "cache")
+
+    proc, ready = _launch(tmp_path, cache_dir, graph_path)
+    try:
+        assert ready["warm_start"]["manifest_models"] == 0
+        baseline = _infer(ready["port"])
+        assert baseline["mode"] == "batched"
+    finally:
+        # The crash under test: no shutdown handler runs.
+        os.kill(proc.pid, signal.SIGKILL)
+        proc.wait(timeout=30)
+
+    proc2, ready2 = _launch(tmp_path, cache_dir, graph_path)
+    try:
+        warm = ready2["warm_start"]
+        assert warm["manifest_models"] == 1
+        assert warm["restored"] == 1
+        # Zero recompiles: the warm start is served from the disk
+        # cache alone — a miss here means the crash lost state.
+        assert warm["cache_misses"] == 0
+        assert warm["cache_hits"] > 0
+        after = _infer(ready2["port"])
+        assert after["outputs"] == baseline["outputs"]
+    finally:
+        proc2.kill()
+        proc2.wait(timeout=30)
