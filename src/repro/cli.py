@@ -351,6 +351,11 @@ def _build_parser() -> argparse.ArgumentParser:
         "no warm restart)",
     )
     serve_p.add_argument(
+        "--graph-root",
+        help="directory path-based model sources may resolve inside "
+        "(default: path sources disabled; zoo model names only)",
+    )
+    serve_p.add_argument(
         "--compile-workers", type=int, default=1,
         help="compile worker threads (default: 1)",
     )
@@ -850,6 +855,7 @@ def _cmd_serve(args) -> int:
         host=args.host,
         port=args.port,
         cache_dir=args.cache_dir or os.environ.get("REPRO_CACHE_DIR"),
+        graph_root=args.graph_root,
         compile_workers=args.compile_workers,
         queue_capacity=args.queue_capacity,
         default_deadline_s=args.deadline,

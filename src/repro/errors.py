@@ -236,6 +236,15 @@ class ServiceError(ReproError):
     """Base class for failures of the compile-and-serve layer."""
 
 
+class InternalError(ServiceError):
+    """An unclassified exception escaped a service handler.
+
+    Every other :class:`ServiceError` describes a fault in the
+    *request*; this one reports a bug in the server itself, so the
+    HTTP layer maps it to 500 instead of 4xx.
+    """
+
+
 class AdmissionError(ServiceError):
     """A request was rejected by admission control (queue/pool full).
 

@@ -36,6 +36,7 @@ invariant is checked against this record.
 from __future__ import annotations
 
 import json
+import math
 import threading
 import time
 from concurrent.futures.process import BrokenProcessPool
@@ -50,6 +51,7 @@ from repro.errors import (
     AdmissionError,
     DeadlineExceeded,
     GraphError,
+    InternalError,
     ModelNotReadyError,
     QuarantinedError,
     ReproError,
@@ -75,6 +77,33 @@ from repro.verify.budget import Deadline
 TRANSIENT_ERRORS = (OSError, BrokenProcessPool)
 
 
+def coerce_deadline_s(value, field: str = "deadline_s") -> Optional[float]:
+    """Validate a client-supplied deadline at the door.
+
+    A bad deadline must reject as a structured 400, never reach
+    ``Deadline()`` inside a compile worker — an exception there would
+    kill the worker thread and leave the job stuck in ``running``.
+    """
+    if value is None:
+        return None
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise ServiceError(
+            f"{field} must be a positive number of seconds, "
+            f"got {value!r}",
+            stage="serve",
+            details={"field": field, "value": repr(value)},
+        )
+    seconds = float(value)
+    if not math.isfinite(seconds) or seconds <= 0:
+        raise ServiceError(
+            f"{field} must be a positive finite number of seconds, "
+            f"got {value!r}",
+            stage="serve",
+            details={"field": field, "value": repr(value)},
+        )
+    return seconds
+
+
 @dataclass(frozen=True)
 class ServeConfig:
     """Tunable knobs of one service instance."""
@@ -82,6 +111,10 @@ class ServeConfig:
     host: str = "127.0.0.1"
     port: int = 0                      # 0 = pick a free port
     cache_dir: Optional[str] = None    # schedule cache + manifest root
+    #: Only directory path-based model sources may resolve inside;
+    #: ``None`` disables path sources entirely (zoo names only), so an
+    #: HTTP registration can never probe arbitrary server paths.
+    graph_root: Optional[str] = None
     compile_workers: int = 1
     queue_capacity: int = 8
     retry_after_s: float = 1.0         # hint attached to 429s
@@ -90,6 +123,10 @@ class ServeConfig:
     breaker_threshold: int = 3
     breaker_cooldown_s: float = 30.0
     default_deadline_s: Optional[float] = None
+    #: Engine checkout bound when a request carries no deadline: a
+    #: saturated pool sheds load with a 429 instead of parking the
+    #: HTTP thread forever.
+    pool_checkout_timeout_s: float = 30.0
     pool_size: int = 2
     engine_workers: int = 2
     kernel_mac_limit: Optional[int] = 0
@@ -235,10 +272,11 @@ class ServeService:
         """Validate, persist and enqueue a compile for one model."""
         source = source or name
         payload = dict(options_payload or {})
-        # Fail fast on bad input: a bad option or unknown source must
-        # reject at the door, not from inside a worker.
+        # Fail fast on bad input: a bad option, unknown source or bad
+        # deadline must reject at the door, not from inside a worker.
+        deadline_s = coerce_deadline_s(deadline_s)
         options_from_payload(payload, cache_dir=self.config.cache_dir)
-        resolve_graph(source)
+        resolve_graph(source, graph_root=self.config.graph_root)
         entry = ModelEntry(
             name=name,
             source=source,
@@ -247,13 +285,23 @@ class ServeService:
             calibration_samples=self.config.calibration_samples,
         )
         job = self.jobs.new_job(name, payload, deadline_s=deadline_s)
+        # Register before submitting: a worker may dequeue the job the
+        # instant it is queued, and must find the entry already there.
+        previous = self.registry.maybe(name)
+        entry.job_id = job.job_id
+        self.registry.add(entry)
         try:
             self.jobs.submit(job)
         except AdmissionError:
+            # Roll back: never leave a queued-nowhere entry behind,
+            # and never let a rejected re-registration clobber a live
+            # model.
+            if previous is not None:
+                self.registry.add(previous)
+            else:
+                self.registry.remove(name)
             self.diagnostics.record_rejection("compile-queue")
             raise
-        entry.job_id = job.job_id
-        self.registry.add(entry)
         return entry, job
 
     def _worker_loop(self) -> None:
@@ -263,8 +311,33 @@ class ServeService:
                 continue
             try:
                 self._compile_job(job)
+            except Exception as exc:  # noqa: BLE001 - worker must survive
+                # A bug outside the ladder must fail the *job*, never
+                # the worker thread: with one worker, a dead thread is
+                # a dead compile path and the job would sit in
+                # ``running`` until every waiter times out.
+                self._fail_job_unexpectedly(job, exc)
             finally:
                 self.jobs.task_done()
+
+    def _fail_job_unexpectedly(
+        self, job: CompileJob, exc: Exception
+    ) -> None:
+        error = InternalError(
+            f"compile worker crashed: {type(exc).__name__}: {exc}",
+            stage="serve",
+            details={"model": job.model},
+        )
+        if job.finished.is_set():
+            # Terminal state already reached; just keep the evidence.
+            self.diagnostics.warn(str(error))
+            return
+        entry = self.registry.maybe(job.model)
+        if entry is not None:
+            self._fail_job(job, entry, error)
+        else:
+            job.mark_failed(error.to_dict())
+            self.diagnostics.record_compile(ok=False)
 
     def _ladder(self, payload: Dict) -> List[Tuple[str, Dict]]:
         """The compile configurations to try, best first."""
@@ -355,7 +428,9 @@ class ServeService:
         """One ladder rung, with retry-with-backoff on transient faults."""
         from repro.compiler import compile_model
 
-        graph = resolve_graph(entry.source)
+        graph = resolve_graph(
+            entry.source, graph_root=self.config.graph_root
+        )
         options = options_from_payload(
             payload, cache_dir=self.config.cache_dir
         )
@@ -403,6 +478,7 @@ class ServeService:
                 size=self.config.pool_size,
                 workers=self.config.engine_workers,
                 kernel_mac_limit=self.config.kernel_mac_limit,
+                checkout_timeout_s=self.config.pool_checkout_timeout_s,
                 calibration_feeds=example_feeds(
                     compiled.graph,
                     count=entry.calibration_samples,
@@ -497,7 +573,9 @@ class ServeService:
                     "error": entry.error,
                 },
             )
-        deadline_s = deadline_s or self.config.default_deadline_s
+        deadline_s = (
+            coerce_deadline_s(deadline_s) or self.config.default_deadline_s
+        )
         deadline = Deadline(deadline_s) if deadline_s else None
         if feeds is not None:
             feeds_list = [decode_feeds(sample) for sample in feeds]
@@ -588,6 +666,35 @@ class ServeService:
 # ---------------------------------------------------------------------------
 
 
+def coerce_int(value, field: str) -> int:
+    """A request integer, or a structured 400 — never a stray
+    ``ValueError`` that would misread as a server bug."""
+    try:
+        if isinstance(value, bool):
+            raise ValueError
+        return int(value)
+    except (TypeError, ValueError):
+        raise ServiceError(
+            f"{field} must be an integer, got {value!r}",
+            stage="serve",
+            details={"field": field, "value": repr(value)},
+        ) from None
+
+
+def coerce_float(value, field: str) -> float:
+    """A request float, with the same 400 contract as :func:`coerce_int`."""
+    try:
+        if isinstance(value, bool):
+            raise ValueError
+        return float(value)
+    except (TypeError, ValueError):
+        raise ServiceError(
+            f"{field} must be a number, got {value!r}",
+            stage="serve",
+            details={"field": field, "value": repr(value)},
+        ) from None
+
+
 def decode_feeds(sample: Dict) -> Dict[str, np.ndarray]:
     """One request sample — ``{input_name: nested list | {data, ...}}``."""
     if not isinstance(sample, dict):
@@ -639,6 +746,10 @@ def http_status_for(exc: ReproError) -> int:
         return 504
     if isinstance(exc, GraphError):
         return 404
+    if isinstance(exc, InternalError):
+        # A server-side bug, not a client fault — must read as 500
+        # even though it subclasses ServiceError.
+        return 500
     if isinstance(exc, ServiceError):
         return 400
     return 500
@@ -719,7 +830,7 @@ class _Handler(BaseHTTPRequestHandler):
             self._send_error(exc)
         except Exception as exc:  # noqa: BLE001 - last-resort 500
             self._send_error(
-                ServiceError(
+                InternalError(
                     f"internal error: {type(exc).__name__}: {exc}",
                     stage="serve",
                 )
@@ -755,7 +866,8 @@ class _Handler(BaseHTTPRequestHandler):
                     return lambda q: self._send(
                         200,
                         self.service.leaderboard(
-                            name, limit=int(q.get("limit", 10))
+                            name,
+                            limit=coerce_int(q.get("limit", 10), "limit"),
                         ),
                     )
             if len(parts) == 2 and parts[0] == "jobs":
@@ -795,7 +907,11 @@ class _Handler(BaseHTTPRequestHandler):
             deadline_s=body.get("deadline_s"),
         )
         if body.get("wait"):
-            job.wait(timeout=float(body.get("wait_timeout_s", 120.0)))
+            job.wait(
+                timeout=coerce_float(
+                    body.get("wait_timeout_s", 120.0), "wait_timeout_s"
+                )
+            )
         self._send(
             202 if not job.finished.is_set() else 200,
             {"model": entry.to_payload(), "job": job.to_payload()},
@@ -805,8 +921,8 @@ class _Handler(BaseHTTPRequestHandler):
         body = self._read_body()
         result = self.service.infer(
             name,
-            batch=int(body.get("batch", 1)),
-            seed=int(body.get("seed", 1234)),
+            batch=coerce_int(body.get("batch", 1), "batch"),
+            seed=coerce_int(body.get("seed", 1234), "seed"),
             feeds=body.get("feeds"),
             deadline_s=body.get("deadline_s"),
         )

@@ -111,6 +111,7 @@ class ChaosHarness:
     def service(self, label: str, **overrides) -> ServeService:
         config = ServeConfig(
             cache_dir=overrides.pop("cache_dir", self.cache_dir(label)),
+            graph_root=overrides.pop("graph_root", str(self.workdir)),
             compile_workers=1,
             queue_capacity=overrides.pop("queue_capacity", 4),
             max_retries=overrides.pop("max_retries", 2),

@@ -42,34 +42,54 @@ class EnginePool:
         workers: int = 2,
         seed: int = 0,
         kernel_mac_limit: Optional[int] = 0,
+        checkout_timeout_s: float = 30.0,
         calibration_feeds: Optional[Sequence] = None,
     ) -> None:
         if size < 1:
             raise ValueError("pool size must be >= 1")
+        if checkout_timeout_s <= 0:
+            raise ValueError("checkout_timeout_s must be positive")
         self.compiled = compiled
         self.seed = seed
+        self.workers = workers
         self.kernel_mac_limit = kernel_mac_limit
-        self._engines: List[InferenceEngine] = [
-            InferenceEngine(
-                compiled,
-                seed=seed,
-                kernel_mac_limit=kernel_mac_limit,
-                workers=workers,
-            )
-            for _ in range(size)
-        ]
-        # Calibrate once, share the frozen bounds with every engine.
-        first = self._engines[0]
+        #: Checkout bound for requests without a deadline: even then a
+        #: saturated pool must reject, never hang the calling thread.
+        self.checkout_timeout_s = checkout_timeout_s
+        #: Engines replaced after a batched failure (observability).
+        self.rebuilds = 0
+        # Calibrate once on the first engine, then build the rest
+        # *around* the frozen bounds: the constructor threads the
+        # calibration through to every internal executor, which a bare
+        # ``engine.calibration = ...`` assignment would miss.
+        first = InferenceEngine(
+            compiled,
+            seed=seed,
+            kernel_mac_limit=kernel_mac_limit,
+            workers=workers,
+        )
         self.calibration: FrozenCalibration = first.calibrate(
             list(calibration_feeds or [None])
         )
-        for engine in self._engines[1:]:
-            engine.calibration = self.calibration
+        self._engines: List[InferenceEngine] = [first]
+        self._engines.extend(
+            self._new_engine() for _ in range(size - 1)
+        )
         self._idle: "queue.Queue[InferenceEngine]" = queue.Queue()
         for engine in self._engines:
             self._idle.put(engine)
         self._closed = False
         self._lock = threading.Lock()
+
+    def _new_engine(self) -> InferenceEngine:
+        """An engine built around the pool's frozen calibration."""
+        return InferenceEngine(
+            self.compiled,
+            self.calibration,
+            seed=self.seed,
+            kernel_mac_limit=self.kernel_mac_limit,
+            workers=self.workers,
+        )
 
     @property
     def size(self) -> int:
@@ -86,18 +106,19 @@ class EnginePool:
     # -- execution ---------------------------------------------------------
 
     def _checkout(self, deadline: Optional[Deadline]) -> InferenceEngine:
-        timeout = None
+        timeout = self.checkout_timeout_s
         if deadline is not None:
             timeout = max(deadline.remaining(), 1e-3)
         try:
             return self._idle.get(timeout=timeout)
         except queue.Empty:
             raise AdmissionError(
-                "no idle engine in the pool before the deadline",
+                f"no idle engine in the pool within {timeout:.3f}s",
                 stage="serve",
                 details={
                     "queue": "engine-pool",
                     "pool_size": self.size,
+                    "timeout_s": round(timeout, 3),
                     "retry_after_s": 0.5,
                 },
             ) from None
@@ -118,6 +139,7 @@ class EnginePool:
             deadline.check("inference-admission")
         engine = self._checkout(deadline)
         degradations: List[Dict] = []
+        batch_failed = False
         try:
             if deadline is not None:
                 deadline.check("inference-start")
@@ -129,6 +151,7 @@ class EnginePool:
                     "degradations": degradations,
                 }
             except Exception as exc:  # noqa: BLE001 - ladder boundary
+                batch_failed = True
                 degradations.append(
                     {
                         "component": "inference",
@@ -144,7 +167,38 @@ class EnginePool:
                 "degradations": degradations,
             }
         finally:
+            if batch_failed:
+                # Never recirculate an engine whose batch run raised:
+                # its per-engine state is suspect, so a persistently
+                # broken engine would otherwise keep serving failures.
+                engine = self._rebuild(engine)
             self._idle.put(engine)
+
+    def _rebuild(self, engine: InferenceEngine) -> InferenceEngine:
+        """A fresh engine to replace one whose batch run raised.
+
+        The replacement shares the frozen calibration (the expensive
+        per-model state), so it is cheap and bit-identical.  If the
+        rebuild itself fails, the old engine is returned rather than
+        shrinking the pool — degraded service beats starved checkouts.
+        """
+        try:
+            fresh = self._new_engine()
+        except Exception:  # noqa: BLE001 - keep the pool at full size
+            return engine
+        with self._lock:
+            try:
+                index = self._engines.index(engine)
+            except ValueError:
+                index = None
+            if index is not None:
+                self._engines[index] = fresh
+            self.rebuilds += 1
+        try:
+            engine.close()
+        except Exception:  # noqa: BLE001 - best-effort teardown
+            pass
+        return fresh
 
     def _per_sample(
         self,

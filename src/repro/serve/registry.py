@@ -49,22 +49,56 @@ ALLOWED_OPTION_KEYS = (
 )
 
 
-def resolve_graph(source: str) -> ComputationalGraph:
-    """A graph from a zoo model name or a serialized-graph JSON path."""
+def resolve_graph(
+    source: str, graph_root: Optional[str] = None
+) -> ComputationalGraph:
+    """A graph from a zoo model name or a serialized-graph JSON path.
+
+    Path-based sources are only honoured inside ``graph_root``: the
+    source is resolved against that directory (symlinks included) and
+    must not escape it, so a remote client can never turn a
+    registration into a filesystem probe.  With no root configured,
+    path sources are rejected outright and only zoo names resolve.
+    """
     from repro.models import MODELS, build_model
 
     if source in MODELS:
         return build_model(source)
-    if source.endswith(".json") or "/" in source:
+    if source.endswith(".json") or "/" in source or "\\" in source:
         from repro.graph.serialization import load_graph
 
-        return load_graph(source)
+        return load_graph(str(_contained_graph_path(source, graph_root)))
     from repro.models import model_names
 
     raise GraphError(
         f"unknown model source {source!r}",
         details={"known_models": ", ".join(model_names())},
     )
+
+
+def _contained_graph_path(source: str, graph_root: Optional[str]) -> Path:
+    """Resolve a path-like source and prove it stays under the root."""
+    if graph_root is None:
+        raise GraphError(
+            f"path-based model sources are disabled: no graph root "
+            f"is configured (source {source!r})",
+            stage="serve",
+            details={"source": source},
+        )
+    root = Path(graph_root).resolve()
+    candidate = Path(source)
+    if not candidate.is_absolute():
+        candidate = root / candidate
+    candidate = candidate.resolve()
+    try:
+        candidate.relative_to(root)
+    except ValueError:
+        raise GraphError(
+            f"model source {source!r} escapes the graph root",
+            stage="serve",
+            details={"source": source, "graph_root": str(root)},
+        ) from None
+    return candidate
 
 
 def options_from_payload(
@@ -158,6 +192,14 @@ class ModelRegistry:
         with self._lock:
             self._entries[entry.name] = entry
         self.save_manifest()
+        return entry
+
+    def remove(self, name: str) -> Optional[ModelEntry]:
+        """Drop one entry (admission rollback); returns what was there."""
+        with self._lock:
+            entry = self._entries.pop(name, None)
+        if entry is not None:
+            self.save_manifest()
         return entry
 
     def get(self, name: str) -> ModelEntry:

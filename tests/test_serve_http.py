@@ -7,6 +7,7 @@ status code, and that admission rejections carry ``Retry-After``.
 """
 
 import json
+import os
 import threading
 import urllib.error
 import urllib.request
@@ -47,6 +48,7 @@ def graph_path(tmp_path_factory):
 def server(tmp_path_factory, graph_path):
     config = ServeConfig(
         cache_dir=str(tmp_path_factory.mktemp("serve-cache")),
+        graph_root=os.path.dirname(graph_path),
         retry_backoff_s=0.01,
     )
     with ServeServer(config) as srv:
@@ -171,6 +173,63 @@ class TestErrorBodies:
         assert revived.code == "graph-error"
         assert "ghost" in revived.message
 
+    def test_bad_register_deadline_is_400_and_not_registered(
+        self, server, graph_path
+    ):
+        status, body, _ = _request(
+            f"{server.url}/models",
+            {
+                "name": "bad_deadline",
+                "source": graph_path,
+                "deadline_s": "yesterday",
+            },
+        )
+        assert status == 400
+        assert body["code"] == "service-error"
+        assert body["details"]["field"] == "deadline_s"
+        status, _, _ = _request(f"{server.url}/models/bad_deadline")
+        assert status == 404
+
+    def test_non_positive_infer_deadline_is_400(self, server):
+        status, body, _ = _request(
+            f"{server.url}/models/m1/infer",
+            {"batch": 1, "deadline_s": 0},
+        )
+        assert status == 400
+        assert body["code"] == "service-error"
+
+    def test_non_integer_batch_is_400(self, server):
+        status, body, _ = _request(
+            f"{server.url}/models/m1/infer", {"batch": "two"}
+        )
+        assert status == 400
+        assert body["code"] == "service-error"
+
+    def test_unexpected_exception_is_500_internal_error(self, server):
+        def boom(*args, **kwargs):
+            raise RuntimeError("server-side bug")
+
+        original = server.service.infer
+        server.service.infer = boom
+        try:
+            status, body, _ = _request(
+                f"{server.url}/models/m1/infer", {"batch": 1}
+            )
+        finally:
+            server.service.infer = original
+        assert status == 500
+        assert body["code"] == "internal-error"
+
+    def test_filesystem_probe_source_is_rejected(self, server):
+        for probe in ("/etc/passwd", "../../secrets.json"):
+            status, body, _ = _request(
+                f"{server.url}/models",
+                {"name": "probe", "source": probe},
+            )
+            assert status == 404
+            assert body["code"] == "graph-error"
+            assert "escapes" in body["message"]
+
 
 class TestAdmissionOverHttp:
     def test_queue_overflow_is_429_with_retry_after(
@@ -179,6 +238,7 @@ class TestAdmissionOverHttp:
         gate = threading.Event()
         config = ServeConfig(
             cache_dir=str(tmp_path / "cache"),
+            graph_root=os.path.dirname(graph_path),
             queue_capacity=1,
             retry_after_s=7.0,
         )
@@ -215,7 +275,10 @@ class TestRegisterSemantics:
     def test_async_register_returns_202_then_job_completes(
         self, tmp_path, graph_path
     ):
-        config = ServeConfig(cache_dir=str(tmp_path / "cache"))
+        config = ServeConfig(
+            cache_dir=str(tmp_path / "cache"),
+            graph_root=os.path.dirname(graph_path),
+        )
         with ServeServer(config) as srv:
             status, body, _ = _request(
                 f"{srv.url}/models",

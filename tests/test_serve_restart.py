@@ -21,11 +21,14 @@ from repro.graph.serialization import save_graph
 from repro.serve.chaos import build_chaos_graph
 
 SERVER_SCRIPT = """
-import json, sys, time
+import json, os, sys, time
 from repro.serve import ServeConfig, ServeServer
 
 cache_dir, graph_path = sys.argv[1], sys.argv[2]
-server = ServeServer(ServeConfig(cache_dir=cache_dir)).start(warm=True)
+config = ServeConfig(
+    cache_dir=cache_dir, graph_root=os.path.dirname(graph_path)
+)
+server = ServeServer(config).start(warm=True)
 svc = server.service
 if svc.registry.maybe("m1") is None:
     entry, job = svc.register("m1", source=graph_path)

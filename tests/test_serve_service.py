@@ -45,6 +45,7 @@ def service(tmp_path, graph_path):
     svc = ServeService(
         ServeConfig(
             cache_dir=str(tmp_path / "cache"),
+            graph_root=str(tmp_path),
             retry_backoff_s=0.01,
             breaker_threshold=2,
         )
@@ -240,7 +241,9 @@ class TestAdmission:
         # No workers: nothing drains the queue.
         service = ServeService(
             ServeConfig(
-                cache_dir=str(tmp_path / "cache-q"), queue_capacity=2
+                cache_dir=str(tmp_path / "cache-q"),
+                graph_root=str(tmp_path),
+                queue_capacity=2,
             )
         )
         service.register("a", source=graph_path)
@@ -252,8 +255,37 @@ class TestAdmission:
         assert details["capacity"] == 2
         assert details["retry_after_s"] == 1.0
         assert service.diagnostics.rejections["compile-queue"] == 1
-        # The rejected job does not linger in the job registry.
+        # The rejected job does not linger in the job registry, and
+        # the rejected model entry was rolled back.
         assert all(j.model != "c" for j in service.jobs.jobs())
+        assert service.registry.maybe("c") is None
+
+    def test_rejected_reregistration_keeps_live_entry(
+        self, tmp_path, graph_path
+    ):
+        # No workers: the single queue slot stays occupied.
+        service = ServeService(
+            ServeConfig(
+                cache_dir=str(tmp_path / "cache-rr"),
+                graph_root=str(tmp_path),
+                queue_capacity=1,
+            )
+        )
+        before, _ = service.register("a", source=graph_path)
+        with pytest.raises(AdmissionError):
+            service.register("a", source=graph_path)
+        # The live registration survives the rejected re-registration.
+        assert service.registry.get("a") is before
+
+    def test_worker_finds_entry_registered_before_submit(
+        self, service, graph_path
+    ):
+        # The entry must be in the registry by the time the job is
+        # queued — a worker dequeuing instantly must never see None
+        # and spuriously fail with "model disappeared".
+        entry, job = _register(service, graph_path, name="race")
+        assert job.ok
+        assert job.error is None
 
     def test_job_queue_unit(self):
         queue = JobQueue(capacity=1)
@@ -327,16 +359,15 @@ class TestWarmStart:
         self, tmp_path, graph_path
     ):
         cache_dir = str(tmp_path / "warm-cache")
-        first = ServeService(ServeConfig(cache_dir=cache_dir)).start(
-            warm=False
+        config = ServeConfig(
+            cache_dir=cache_dir, graph_root=str(tmp_path)
         )
+        first = ServeService(config).start(warm=False)
         _register(first, graph_path)
         baseline = first.infer("m1", batch=2, seed=11)["outputs"]
         first.stop()
 
-        second = ServeService(ServeConfig(cache_dir=cache_dir)).start(
-            warm=True
-        )
+        second = ServeService(config).start(warm=True)
         try:
             warm = second.diagnostics.warm_start
             assert warm["manifest_models"] == 1
@@ -376,3 +407,175 @@ class TestWarmStart:
         assert "summary" in lint
         board = service.leaderboard("m1")
         assert board["rows"] == []
+
+
+class TestDeadlineValidation:
+    @pytest.mark.parametrize(
+        "bad", [0, -1, "soon", float("nan"), float("inf"), True, [5]]
+    )
+    def test_bad_register_deadline_rejected_at_the_door(
+        self, service, graph_path, bad
+    ):
+        with pytest.raises(ServiceError) as excinfo:
+            service.register("m_bad", source=graph_path, deadline_s=bad)
+        assert excinfo.value.details["field"] == "deadline_s"
+        # Nothing was registered or queued.
+        assert service.registry.maybe("m_bad") is None
+        assert all(j.model != "m_bad" for j in service.jobs.jobs())
+
+    def test_bad_deadline_never_reaches_the_worker(
+        self, service, graph_path
+    ):
+        with pytest.raises(ServiceError):
+            service.register("m_bad", source=graph_path, deadline_s=0)
+        # The compile worker is alive and serves the next job.
+        _, job = _register(service, graph_path, name="m_ok")
+        assert job.ok
+
+    def test_bad_infer_deadline_rejected(self, service, graph_path):
+        _register(service, graph_path)
+        with pytest.raises(ServiceError):
+            service.infer("m1", batch=1, deadline_s=-2)
+        with pytest.raises(ServiceError):
+            service.infer("m1", batch=1, deadline_s="fast")
+        # Still serving.
+        assert service.infer("m1", batch=1)["mode"] == "batched"
+
+
+class TestWorkerResilience:
+    def test_unexpected_error_fails_job_not_worker(
+        self, service, graph_path, monkeypatch
+    ):
+        original = service.breaker.check
+        calls = {"n": 0}
+
+        def explode(model):
+            if calls["n"] == 0:
+                calls["n"] += 1
+                raise RuntimeError("bug outside the ladder")
+            return original(model)
+
+        monkeypatch.setattr(service.breaker, "check", explode)
+        _, job = _register(service, graph_path, name="victim")
+        assert not job.ok
+        assert job.error["code"] == "internal-error"
+        entry = service.registry.get("victim")
+        assert entry.state == "failed"
+        # The worker thread survived to run the next compile.
+        _, job2 = _register(service, graph_path, name="survivor")
+        assert job2.ok
+
+
+class TestGraphRootContainment:
+    def test_source_outside_root_rejected(
+        self, service, tmp_path_factory
+    ):
+        from repro.graph.serialization import save_graph
+        from repro.serve.chaos import build_chaos_graph
+
+        outside = tmp_path_factory.mktemp("outside") / "g.json"
+        save_graph(build_chaos_graph(), str(outside))
+        with pytest.raises(GraphError, match="escapes"):
+            service.register("evil", source=str(outside))
+
+    def test_traversal_rejected(self, service):
+        with pytest.raises(GraphError, match="escapes"):
+            service.register("evil", source="../../etc/passwd.json")
+
+    def test_path_sources_disabled_without_root(
+        self, tmp_path, graph_path
+    ):
+        svc = ServeService(
+            ServeConfig(cache_dir=str(tmp_path / "no-root"))
+        )
+        with pytest.raises(GraphError, match="disabled"):
+            svc.register("m", source=graph_path)
+
+    def test_relative_source_resolves_inside_root(
+        self, service, graph_path
+    ):
+        # graph_path lives directly under the configured graph root.
+        entry, job = _register(service, graph_path, name="rel")
+        assert job.ok
+        _, job2 = service.register("rel2", source="chaos_cnn.json")
+        assert job2.wait(timeout=120) and job2.ok
+
+
+class TestEnginePool:
+    @pytest.fixture(scope="class")
+    def compiled(self):
+        from repro.compiler import CompilerOptions, compile_model
+        from repro.serve.chaos import build_chaos_graph
+
+        return compile_model(build_chaos_graph(), CompilerOptions())
+
+    @staticmethod
+    def _assert_outputs_equal(a, b):
+        assert len(a) == len(b)
+        for sample_a, sample_b in zip(a, b):
+            assert set(sample_a) == set(sample_b)
+            for key in sample_a:
+                np.testing.assert_array_equal(sample_a[key], sample_b[key])
+
+    def _pool(self, compiled, **kwargs):
+        from repro.harness import example_feeds
+        from repro.serve.pool import EnginePool
+
+        return EnginePool(
+            compiled,
+            calibration_feeds=example_feeds(
+                compiled.graph, count=2, seed=99
+            ),
+            **kwargs,
+        )
+
+    def test_every_engine_in_the_pool_serves_batched(self, compiled):
+        from repro.harness import example_feeds
+
+        pool = self._pool(compiled, size=2)
+        feeds = example_feeds(compiled.graph, count=2, seed=17)
+        first = pool.infer(feeds)
+        # FIFO checkout: this request runs on the *second* engine,
+        # which must share the frozen calibration all the way into its
+        # executors — not just as an attribute on the engine.
+        second = pool.infer(feeds)
+        assert first["mode"] == "batched"
+        assert second["mode"] == "batched"
+        self._assert_outputs_equal(first["outputs"], second["outputs"])
+        pool.close()
+
+    def test_saturated_pool_times_out_without_deadline(self, compiled):
+        pool = self._pool(compiled, size=1, checkout_timeout_s=0.05)
+        engine = pool._checkout(None)  # drain the only engine
+        from repro.harness import example_feeds
+
+        feeds = example_feeds(compiled.graph, count=1, seed=1)
+        started = time.monotonic()
+        with pytest.raises(AdmissionError) as excinfo:
+            pool.infer(feeds)
+        assert time.monotonic() - started < 5.0
+        assert excinfo.value.details["timeout_s"] == 0.05
+        pool._idle.put(engine)
+        pool.close()
+
+    def test_failed_engine_is_rebuilt_not_recirculated(self, compiled):
+        from repro.harness import example_feeds
+
+        pool = self._pool(compiled, size=1)
+        broken = pool.engines()[0]
+
+        def always_die(node):
+            raise RuntimeError("persistently broken engine")
+
+        broken.batch_fault_hook = always_die
+        feeds = example_feeds(compiled.graph, count=2, seed=3)
+        degraded = pool.infer(feeds)
+        assert degraded["mode"] == "per-sample"
+        assert pool.rebuilds == 1
+        assert pool.engines()[0] is not broken
+        # The fresh engine serves batched again — a persistently
+        # broken engine must not keep circulating.
+        batched = pool.infer(feeds)
+        assert batched["mode"] == "batched"
+        self._assert_outputs_equal(batched["outputs"], degraded["outputs"])
+        pool.close()
