@@ -1,0 +1,137 @@
+"""The analysis driver: run every graph-level analysis on one model.
+
+:func:`analyze_model` composes the two production analyses —
+value-range (:mod:`repro.absint.ranges`, ``LINT-QR*``) and the
+memory-arena plan verifier (:mod:`repro.absint.memplan`,
+``LINT-MP*``) — into one :class:`AnalysisReport` that flows through
+the same :class:`~repro.lint.diagnostics.LintReport` / baseline
+machinery as the VLIW lints.  The CLI (``repro analyze``) and the
+serve layer both call this one entry point.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.lint.diagnostics import LintReport, Severity
+
+from repro.absint.liveness import TensorLiveness, tensor_liveness
+from repro.absint.memplan import (
+    MemoryPlan,
+    plan_memory,
+    verify_memory_plan,
+)
+from repro.absint.ranges import ValueRangeAnalysis
+
+
+@dataclass
+class AnalysisReport:
+    """Everything the graph-level analyses proved about one model."""
+
+    model: str
+    report: LintReport
+    ranges: ValueRangeAnalysis
+    liveness: TensorLiveness
+    plan: MemoryPlan
+    mp_findings: int = 0
+    metadata: Dict[str, object] = field(default_factory=dict)
+
+    def summary(self) -> Dict[str, object]:
+        """The compact proof summary (serve status, CLI header)."""
+        report = self.report
+        errors = report.count(Severity.ERROR)
+        return {
+            "model": self.model,
+            "nodes": len(self.liveness.order),
+            "errors": errors,
+            "warnings": report.count(Severity.WARNING),
+            "rules": report.rule_ids(),
+            "arena_bytes": self.plan.arena_size,
+            "arena_slots": len(self.plan.slots),
+            "arena_reuse": round(self.plan.reuse_factor, 3),
+            "proved": {
+                # Each proof holds iff its rule family reported no
+                # error-level finding.
+                "accumulators_fit_int32": not any(
+                    d.rule_id == "LINT-QR003" for d in report.errors
+                ),
+                "rescales_encodable": not any(
+                    d.rule_id == "LINT-QR004" for d in report.errors
+                ),
+                "calibration_complete": not any(
+                    d.rule_id in ("LINT-QR001", "LINT-QR002")
+                    for d in report.errors
+                ),
+                "memory_plan_safe": self.mp_findings == 0,
+            },
+        }
+
+    def to_dict(self) -> Dict[str, object]:
+        payload = self.report.to_dict()
+        payload["summary"].update(self.summary())
+        payload["memory_plan"] = self.plan.to_dict()
+        payload["intervals"] = {
+            name: [interval.lo, interval.hi]
+            for name, interval in sorted(self.named_intervals().items())
+        }
+        return payload
+
+    def named_intervals(self):
+        graph = self.ranges.graph
+        return {
+            graph.node(node_id).name: interval
+            for node_id, interval in self.ranges.intervals.items()
+        }
+
+
+def analyze_model(
+    compiled,
+    calibration=None,
+    *,
+    seed: int = 0,
+    samples: int = 2,
+    calibration_seed: int = 99,
+) -> AnalysisReport:
+    """Run value-range + memory-plan analysis on a compiled model.
+
+    Without an explicit ``calibration`` a deterministic one is frozen
+    from ``samples`` example feeds — the same procedure the serve
+    layer and benchmarks use, so the proofs cover the bounds the
+    engine will actually run with.
+    """
+    graph = compiled.graph
+    if calibration is None:
+        from repro.graph.execute import ReferenceExecutor
+        from repro.harness import example_feeds
+        from repro.runtime.calibration import calibrate_graph
+
+        reference = ReferenceExecutor(graph, seed=seed)
+        calibration = calibrate_graph(
+            graph,
+            reference,
+            example_feeds(graph, count=samples, seed=calibration_seed),
+        )
+
+    ranges = ValueRangeAnalysis(
+        compiled, calibration, seed=seed
+    ).run()
+    liveness = tensor_liveness(graph)
+    plan = plan_memory(graph, liveness)
+    mp_findings = verify_memory_plan(graph, plan, liveness)
+
+    report = LintReport()
+    report.extend(ranges.diagnostics)
+    report.extend(mp_findings)
+    report.metrics["analyzed_nodes"] = float(len(liveness.order))
+    report.metrics["arena_bytes"] = float(plan.arena_size)
+    report.metrics["arena_slots"] = float(len(plan.slots))
+    report.metrics["quantized_gemms"] = float(len(ranges.acc_bounds))
+    return AnalysisReport(
+        model=graph.name,
+        report=report,
+        ranges=ranges,
+        liveness=liveness,
+        plan=plan,
+        mp_findings=len(mp_findings),
+    )

@@ -1,0 +1,167 @@
+"""The interval abstract domain.
+
+A :class:`Interval` is a closed range ``[lo, hi]`` of float64 values —
+the abstraction the value-range analysis propagates per tensor.  The
+concretisation is "every element of the tensor lies in the range", and
+every transfer function in :mod:`repro.absint.ranges` must be *sound*:
+the image of any concrete tensor under the concrete operator is
+contained in the transfer function's output interval.
+
+Two sources of imprecision are handled explicitly:
+
+* **compound float rounding** — a multi-operation transfer (norms,
+  hardswish, accumulating sums) evaluated at interval endpoints can
+  round differently from the elementwise kernel.  :meth:`widened`
+  inflates the bounds by a relative epsilon (plus a tiny absolute
+  floor) so endpoint evaluation stays an over-approximation;
+* **piecewise-monotone unaries** — :func:`unary_image` evaluates the
+  function at both endpoints *and* at every supplied critical point
+  inside the interval, then hulls; with all extrema sampled this is
+  sound for any piecewise-monotone function.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Iterable, Sequence
+
+#: Relative widening applied after compound float transfers.
+WIDEN_REL = 1e-9
+#: Absolute widening floor (covers values rounding around zero).
+WIDEN_ABS = 1e-12
+
+
+@dataclass(frozen=True)
+class Interval:
+    """A closed interval of float64 values."""
+
+    lo: float
+    hi: float
+
+    def __post_init__(self) -> None:
+        if math.isnan(self.lo) or math.isnan(self.hi):
+            # NaN endpoints abstract to "anything": the analysis never
+            # reasons below a non-finite calibration, it reports it.
+            object.__setattr__(self, "lo", -math.inf)
+            object.__setattr__(self, "hi", math.inf)
+        elif self.lo > self.hi:
+            raise ValueError(f"empty interval [{self.lo}, {self.hi}]")
+
+    # -- constructors ------------------------------------------------------
+
+    @classmethod
+    def point(cls, value: float) -> "Interval":
+        return cls(value, value)
+
+    @classmethod
+    def symmetric(cls, bound: float) -> "Interval":
+        """``[-bound, bound]`` — the shape calibration bounds induce."""
+        bound = abs(float(bound))
+        return cls(-bound, bound)
+
+    @classmethod
+    def top(cls) -> "Interval":
+        return cls(-math.inf, math.inf)
+
+    @classmethod
+    def hull_of(cls, intervals: Iterable["Interval"]) -> "Interval":
+        items = list(intervals)
+        if not items:
+            raise ValueError("hull of no intervals")
+        return cls(
+            min(i.lo for i in items), max(i.hi for i in items)
+        )
+
+    # -- queries -----------------------------------------------------------
+
+    @property
+    def abs_max(self) -> float:
+        """The largest magnitude the interval admits."""
+        return max(abs(self.lo), abs(self.hi))
+
+    @property
+    def is_finite(self) -> bool:
+        return math.isfinite(self.lo) and math.isfinite(self.hi)
+
+    def contains(self, value: float, slack: float = 0.0) -> bool:
+        if math.isnan(value):
+            return False
+        return self.lo - slack <= value <= self.hi + slack
+
+    def contains_interval(self, other: "Interval") -> bool:
+        return self.lo <= other.lo and other.hi <= self.hi
+
+    # -- lattice / arithmetic ----------------------------------------------
+
+    def hull(self, other: "Interval") -> "Interval":
+        return Interval(min(self.lo, other.lo), max(self.hi, other.hi))
+
+    def intersect(self, other: "Interval") -> "Interval":
+        lo, hi = max(self.lo, other.lo), min(self.hi, other.hi)
+        if lo > hi:
+            # Disjoint inputs mean one abstraction was not tight; keep
+            # the sound (if useless) answer rather than raising.
+            return Interval(min(lo, hi), max(lo, hi))
+        return Interval(lo, hi)
+
+    def add(self, other: "Interval") -> "Interval":
+        return Interval(self.lo + other.lo, self.hi + other.hi).widened()
+
+    def sub(self, other: "Interval") -> "Interval":
+        return Interval(self.lo - other.hi, self.hi - other.lo).widened()
+
+    def mul(self, other: "Interval") -> "Interval":
+        corners = [
+            self.lo * other.lo,
+            self.lo * other.hi,
+            self.hi * other.lo,
+            self.hi * other.hi,
+        ]
+        # 0 * inf is NaN under IEEE; a product with an infinite factor
+        # abstracts to top anyway.
+        if any(math.isnan(c) for c in corners):
+            return Interval.top()
+        return Interval(min(corners), max(corners)).widened()
+
+    def scaled(self, factor: float) -> "Interval":
+        """Multiply by a scalar (exact for a single IEEE multiply)."""
+        a, b = self.lo * factor, self.hi * factor
+        if math.isnan(a) or math.isnan(b):
+            return Interval.top()
+        return Interval(min(a, b), max(a, b))
+
+    def widened(
+        self, rel: float = WIDEN_REL, absolute: float = WIDEN_ABS
+    ) -> "Interval":
+        """Inflate outwards to absorb compound-transfer rounding."""
+        lo = self.lo - abs(self.lo) * rel - absolute
+        hi = self.hi + abs(self.hi) * rel + absolute
+        return Interval(lo, hi)
+
+    def __str__(self) -> str:
+        return f"[{self.lo:.6g}, {self.hi:.6g}]"
+
+
+def unary_image(
+    fn: Callable[[float], float],
+    interval: Interval,
+    critical_points: Sequence[float] = (),
+) -> Interval:
+    """Sound image of a piecewise-monotone unary over an interval.
+
+    Evaluates ``fn`` at both endpoints plus every critical point that
+    falls inside the interval, hulls the results, and widens.  Callers
+    must supply *all* interior extrema of ``fn`` as critical points.
+    """
+    samples = [interval.lo, interval.hi]
+    samples.extend(
+        p for p in critical_points if interval.lo < p < interval.hi
+    )
+    values = []
+    for x in samples:
+        y = fn(x)
+        if math.isnan(y):
+            return Interval.top()
+        values.append(y)
+    return Interval(min(values), max(values)).widened()

@@ -1,0 +1,596 @@
+"""Value-range analysis over a compiled quantized graph.
+
+Abstract interpretation in the interval domain
+(:mod:`repro.absint.domain`), with transfer functions that mirror the
+executor dispatch *exactly*: a node takes the quantized transfer iff
+:meth:`repro.runtime.executor.QuantizedExecutor._eval` would route it
+to a quantized kernel, and the float transfer otherwise.
+
+The quantized kernels give the analysis its precision.  Quantization
+clips activations to int8 levels (``|level| <= 128``) no matter how
+large the incoming float values are, so a quantized node's output
+interval is a function of the frozen calibration bounds and the
+deterministic weights alone — input intervals do not compound through
+quantized compute, only through the float glue between kernels.
+
+What the analysis *proves* (or reports as ``LINT-QR*`` diagnostics):
+
+* **QR001/QR002** — every tensor a quantized kernel consumes has a
+  frozen, finite calibration bound (the executor would otherwise raise
+  mid-request);
+* **QR003** — the int32 GEMM accumulator cannot overflow: the exact
+  integer bound ``128 * max-column-L1(|W_q|)`` (weight form) or
+  ``K * 128 * 128`` (activation x activation) stays within int32.
+  This matters because the over-limit BLAS path casts the float64
+  accumulator back with ``.astype(np.int32)``, which *silently wraps*;
+* **QR004** — every add/sub fixed-point rescale step is encodable:
+  the shift-underflow guard in ``_fixed_point_rescale`` becomes a
+  compile-time diagnostic via the shared
+  :func:`repro.runtime.rescale.addsub_rescale_plan`;
+* **QR005** — warns when an operand's entire range vanishes below one
+  output quantization level (the kernel skips it: its contribution is
+  exactly zero);
+* **QR006** — warns when a tensor's statically possible values exceed
+  its own frozen bound by more than :data:`SATURATION_FACTOR` — the
+  consumer's quantizer would clip most of the representable range.
+
+Input contract: the intervals are sound for feeds within the frozen
+calibration envelope (``|feed| <= bound(input)`` elementwise).  That
+is the deployment contract of a frozen-calibration engine; feeds
+outside the envelope void the float-glue intervals (the quantized
+intervals hold regardless, because quantization clips).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.graph import ops
+from repro.graph.execute import ReferenceExecutor
+from repro.graph.graph import Node
+from repro.isa.instructions import Opcode
+from repro.lint.diagnostics import Diagnostic, Location
+from repro.lint.rules import rule
+from repro.quant.quantize import QuantParams
+from repro.runtime.rescale import addsub_rescale_plan
+
+from repro.absint.domain import (
+    WIDEN_ABS,
+    WIDEN_REL,
+    Interval,
+    unary_image,
+)
+
+#: The int32 accumulator lane QR003 proves sufficient.
+INT32_MAX = 2 ** 31 - 1
+
+#: QR006 fires when a tensor's static abs-max exceeds its own frozen
+#: calibration bound by more than this factor: the consumer's int8
+#: quantizer would then clip all but a sliver of the possible range.
+SATURATION_FACTOR = 256.0
+
+#: Instruction kernels the compiler can route compute-heavy nodes to;
+#: mirrors the dispatch test in ``QuantizedExecutor._eval``.
+_QUANT_INSTRUCTIONS = (Opcode.VMPY, Opcode.VMPA, Opcode.VRMPY)
+
+
+def _accumulation_widened(interval: Interval, terms: int) -> Interval:
+    """Widen an interval produced by a ``terms``-long float dot product."""
+    rel = max(WIDEN_REL, float(terms) * 2.0 ** -50)
+    return interval.widened(rel=rel, absolute=WIDEN_ABS)
+
+
+def _safe_unary(fn):
+    """Wrap a float unary so overflow yields inf, never a warning."""
+
+    def wrapped(x: float) -> float:
+        with np.errstate(over="ignore", invalid="ignore"):
+            return float(fn(np.float64(x)))
+
+    return wrapped
+
+
+_SIGMOID = _safe_unary(lambda x: 1.0 / (1.0 + np.exp(-x)))
+_TANH = _safe_unary(np.tanh)
+_HARDSWISH = _safe_unary(lambda x: x * np.clip(x + 3.0, 0.0, 6.0) / 6.0)
+
+
+def _relu_interval(x: Interval) -> Interval:
+    return Interval(max(x.lo, 0.0), max(x.hi, 0.0))
+
+
+def _relu6_interval(x: Interval) -> Interval:
+    return Interval(
+        min(max(x.lo, 0.0), 6.0), min(max(x.hi, 0.0), 6.0)
+    )
+
+
+def _sigmoid_interval(x: Interval) -> Interval:
+    if not x.is_finite:
+        return Interval(0.0, 1.0)
+    return unary_image(_SIGMOID, x).intersect(Interval(0.0, 1.0))
+
+
+def _tanh_interval(x: Interval) -> Interval:
+    if not x.is_finite:
+        return Interval(-1.0, 1.0)
+    return unary_image(_TANH, x).intersect(Interval(-1.0, 1.0))
+
+
+def _hardswish_interval(x: Interval) -> Interval:
+    # Piecewise monotone: constant 0 below -3, a local minimum of
+    # -0.375 at -1.5, increasing above.  hs(-inf) is 0 * -inf = NaN,
+    # which unary_image maps to top — handle the infinite case first.
+    if not x.is_finite:
+        lo = -0.375 if x.lo < 0.0 else 0.0
+        return Interval(lo, math.inf)
+    return unary_image(_HARDSWISH, x, critical_points=(-3.0, -1.5))
+
+
+def _gelu_interval(x: Interval) -> Interval:
+    # gelu(x) = x * s(x) with s in [0, 1]: the output always lies
+    # between 0 and x, so the hull with zero is exact and sound.
+    return Interval(min(x.lo, 0.0), max(x.hi, 0.0))
+
+
+#: Transfers for ``fused_activation`` names (mirrors ``_ACTIVATIONS``).
+_ACTIVATION_TRANSFERS = {
+    "relu": _relu_interval,
+    "relu6": _relu6_interval,
+    "hardswish": _hardswish_interval,
+    "sigmoid": _sigmoid_interval,
+    "tanh": _tanh_interval,
+}
+
+
+class ValueRangeAnalysis:
+    """One abstract pass over a compiled graph under a frozen calibration.
+
+    After :meth:`run`, :attr:`intervals` maps node id -> sound
+    :class:`~repro.absint.domain.Interval` for every tensor,
+    :attr:`diagnostics` holds the ``LINT-QR*`` findings and
+    :attr:`acc_bounds` the exact integer accumulator bound per
+    quantized GEMM node (the QR003 proof obligations).
+    """
+
+    def __init__(self, compiled, calibration, *, seed: int = 0) -> None:
+        self.compiled = compiled
+        self.graph = compiled.graph
+        self.calibration = calibration
+        self.reference = ReferenceExecutor(self.graph, seed=seed)
+        self._plan_by_node = {
+            cn.node.node_id: cn.plan for cn in compiled.nodes
+        }
+        self.intervals: Dict[int, Interval] = {}
+        self.diagnostics: List[Diagnostic] = []
+        self.acc_bounds: Dict[int, int] = {}
+        #: node id -> effective frozen bound, for every tensor some
+        #: quantized kernel consumes (the QR006 candidates).
+        self._consumed: Dict[int, float] = {}
+        self._reported_missing = set()
+
+    # -- driver ------------------------------------------------------------
+
+    def run(self) -> "ValueRangeAnalysis":
+        for node in self.graph:
+            self.intervals[node.node_id] = self._transfer(node)
+        self._check_saturation()
+        return self
+
+    # -- diagnostics -------------------------------------------------------
+
+    def _emit(
+        self, rule_id: str, message: str, node: Node, **details
+    ) -> None:
+        self.diagnostics.append(
+            rule(rule_id).diagnostic(
+                message,
+                Location(node=node.name, opcode=node.op.op_type),
+                **details,
+            )
+        )
+
+    def _operand_bound(self, node: Node, input_id: int) -> Optional[float]:
+        """The frozen bound a quantized kernel would use for ``input_id``.
+
+        Mirrors :meth:`FrozenCalibration.bound` (non-positive measured
+        bounds clamp to 1.0); reports QR001/QR002 instead of raising.
+        """
+        raw = self.calibration.bounds.get(input_id)
+        producer = self.graph.node(input_id)
+        if raw is None:
+            key = (node.node_id, input_id, "QR001")
+            if key not in self._reported_missing:
+                self._reported_missing.add(key)
+                self._emit(
+                    "LINT-QR001",
+                    f"input {producer.name!r} has no frozen "
+                    "calibration bound",
+                    node,
+                    input_node=producer.name,
+                )
+            return None
+        bound = raw if raw > 0.0 else 1.0
+        if not math.isfinite(bound):
+            key = (node.node_id, input_id, "QR002")
+            if key not in self._reported_missing:
+                self._reported_missing.add(key)
+                self._emit(
+                    "LINT-QR002",
+                    f"input {producer.name!r} calibration bound is "
+                    "not finite",
+                    node,
+                    input_node=producer.name,
+                    bound=bound,
+                )
+            return None
+        self._consumed[input_id] = bound
+        return bound
+
+    def _check_accumulator(self, node: Node, acc_bound: int) -> None:
+        self.acc_bounds[node.node_id] = acc_bound
+        if acc_bound > INT32_MAX:
+            self._emit(
+                "LINT-QR003",
+                "int32 accumulator can overflow for worst-case int8 "
+                "operands",
+                node,
+                acc_bound=acc_bound,
+                limit=INT32_MAX,
+            )
+
+    def _check_saturation(self) -> None:
+        for node_id, bound in sorted(self._consumed.items()):
+            interval = self.intervals.get(node_id)
+            if interval is None or not interval.is_finite:
+                continue
+            if interval.abs_max > SATURATION_FACTOR * bound:
+                producer = self.graph.node(node_id)
+                self._emit(
+                    "LINT-QR006",
+                    "statically possible values exceed the frozen "
+                    "calibration bound by more than the saturation "
+                    "factor",
+                    producer,
+                    abs_max=interval.abs_max,
+                    bound=bound,
+                    factor=SATURATION_FACTOR,
+                )
+
+    # -- dispatch ----------------------------------------------------------
+
+    def _transfer(self, node: Node) -> Interval:
+        op = node.op
+        plan = self._plan_by_node.get(node.node_id)
+        inputs = [self.intervals[i] for i in node.inputs]
+        if (
+            op.is_compute_heavy
+            and plan is not None
+            and plan.instruction in _QUANT_INSTRUCTIONS
+        ):
+            if isinstance(op, ops.MatMul):
+                return self._quantized_matmul(node, op, inputs)
+            if isinstance(op, ops.Dense):
+                return self._quantized_dense(node, op)
+            if isinstance(op, ops.Conv2D) and op.groups == 1:
+                return self._quantized_conv(node, op)
+            # Grouped/depthwise/transpose convs fall back to float in
+            # the executor; so does the analysis.
+            return self._float_transfer(node, op, inputs)
+        if isinstance(op, (ops.Add, ops.Sub)) and len(node.inputs) == 2:
+            return self._quantized_addsub(node, op)
+        if isinstance(op, ops.ReLU):
+            return self._quantized_relu(node)
+        return self._float_transfer(node, op, inputs)
+
+    # -- quantized transfers -----------------------------------------------
+
+    def _weight_scale(self, value: np.ndarray) -> float:
+        """Mirror of ``QuantizedExecutor._params_for_weight``."""
+        bound = float(np.abs(value).max())
+        bound = bound if bound > 0 else 1.0
+        return bound / 127.0
+
+    def _weight_levels_l1(self, w: np.ndarray, scale: float) -> int:
+        """Exact max column L1 norm of the quantized weight levels."""
+        w_q = QuantParams(scale=scale).quantize(w).astype(np.int64)
+        return int(np.abs(w_q).sum(axis=-2).max())
+
+    def _gemm_interval(
+        self, node: Node, acc_bound: int, a_bound: Optional[float],
+        b_scale: Optional[float],
+    ) -> Interval:
+        """Dequantized output interval of a quantized GEMM.
+
+        ``out = acc * (a_scale * b_scale)`` with ``|acc| <= acc_bound``
+        exactly; a correctly rounded multiply is monotone, so the
+        endpoint product needs no widening.
+        """
+        self._check_accumulator(node, acc_bound)
+        if a_bound is None or b_scale is None:
+            return Interval.top()
+        a_scale = a_bound / 127.0
+        return Interval.symmetric(float(acc_bound) * (a_scale * b_scale))
+
+    def _quantized_matmul(
+        self, node: Node, op: ops.MatMul, inputs: List[Interval]
+    ) -> Interval:
+        a_bound = self._operand_bound(node, node.inputs[0])
+        if op.weight_shape is not None:
+            w = self.reference._weight(node, "w", op.weight_shape)
+            b_scale = self._weight_scale(w)
+            if op.transpose_b:
+                w = np.swapaxes(w, -1, -2)
+            acc_bound = 128 * self._weight_levels_l1(w, b_scale)
+        else:
+            b_bound = self._operand_bound(node, node.inputs[1])
+            b_scale = None if b_bound is None else b_bound / 127.0
+            shape = self.graph.node(node.inputs[0]).output_shape
+            acc_bound = int(shape[-1]) * 128 * 128
+        return self._gemm_interval(node, acc_bound, a_bound, b_scale)
+
+    def _quantized_dense(self, node: Node, op: ops.Dense) -> Interval:
+        a_bound = self._operand_bound(node, node.inputs[0])
+        in_shape = self.graph.node(node.inputs[0]).output_shape
+        features = int(np.prod(in_shape[1:], dtype=np.int64))
+        w = self.reference._weight(node, "w", (features, op.units))
+        b_scale = self._weight_scale(w)
+        acc_bound = 128 * self._weight_levels_l1(w, b_scale)
+        return self._gemm_interval(node, acc_bound, a_bound, b_scale)
+
+    def _quantized_conv(self, node: Node, op: ops.Conv2D) -> Interval:
+        a_bound = self._operand_bound(node, node.inputs[0])
+        in_shape = self.graph.node(node.inputs[0]).output_shape
+        w = self.reference._weight(
+            node,
+            "w0",
+            (op.kernel[0] * op.kernel[1] * in_shape[1], op.out_channels),
+        )
+        b_scale = self._weight_scale(w)
+        acc_bound = 128 * self._weight_levels_l1(w, b_scale)
+        interval = self._gemm_interval(node, acc_bound, a_bound, b_scale)
+        if op.fused_activation:
+            interval = _ACTIVATION_TRANSFERS[op.fused_activation](interval)
+        return interval
+
+    def _quantized_addsub(self, node: Node, op) -> Interval:
+        bound_a = self._operand_bound(node, node.inputs[0])
+        bound_b = self._operand_bound(node, node.inputs[1])
+        if bound_a is None or bound_b is None:
+            return Interval.top()
+        try:
+            plan = addsub_rescale_plan(bound_a, bound_b, node=node.name)
+        except Exception as exc:  # QuantizationError from the plan
+            self._emit(
+                "LINT-QR004",
+                "fixed-point rescale plan is not encodable for the "
+                "frozen operand bounds",
+                node,
+                cause=getattr(exc, "message", str(exc)),
+                bound_a=bound_a,
+                bound_b=bound_b,
+            )
+            return Interval.top()
+        for step in plan.steps:
+            if step.skipped:
+                self._emit(
+                    "LINT-QR005",
+                    f"operand {step.operand_index} contribution "
+                    "vanishes at the output quantization resolution",
+                    node,
+                    ratio=step.ratio,
+                    bound=step.bound,
+                )
+            elif step.underflows:
+                self._emit(
+                    "LINT-QR004",
+                    "rescale shift underflow beyond the multiplier "
+                    "range",
+                    node,
+                    operand=step.operand_index,
+                    multiplier=step.multiplier,
+                    shift=step.shift,
+                )
+        # The kernel saturates the accumulator to int8 levels, so the
+        # output is exactly ``level * out_scale`` with level in
+        # [-128, 127] — monotone single multiplies, no widening.
+        return Interval(
+            -128.0 * plan.out_scale, 127.0 * plan.out_scale
+        )
+
+    def _quantized_relu(self, node: Node) -> Interval:
+        bound = self._operand_bound(node, node.inputs[0])
+        if bound is None:
+            return Interval.top()
+        # dequantize(vmax(levels, 0)) = scale * level, level in [0, 127].
+        scale = bound / 127.0
+        return Interval(0.0, scale * 127.0)
+
+    # -- float transfers ---------------------------------------------------
+
+    def _float_transfer(
+        self, node: Node, op, inputs: List[Interval]
+    ) -> Interval:
+        interval = self._float_apply(node, op, inputs)
+        if getattr(op, "fused_activation", None):
+            interval = _ACTIVATION_TRANSFERS[op.fused_activation](interval)
+        return interval
+
+    def _float_matvec(
+        self, x: Interval, l1_bound: float, terms: int
+    ) -> Interval:
+        """|out| <= max-column-L1(|W|) * |x|max for a float GEMM."""
+        bound = l1_bound * x.abs_max
+        if math.isnan(bound):
+            return Interval.top()
+        return _accumulation_widened(Interval.symmetric(bound), terms)
+
+    def _float_apply(
+        self, node: Node, op, inputs: List[Interval]
+    ) -> Interval:
+        graph = self.graph
+        if isinstance(op, ops.Input):
+            raw = self.calibration.bounds.get(node.node_id)
+            if raw is None:
+                return Interval.top()
+            bound = raw if raw > 0.0 else 1.0
+            # Input contract: feeds stay within the frozen envelope.
+            return Interval.symmetric(bound)
+        if isinstance(op, ops.Constant):
+            w = self.reference._weight(node, "const", op.shape)
+            return Interval(float(w.min()), float(w.max()))
+        if isinstance(op, ops.Conv2D):
+            in_shape = graph.node(node.inputs[0]).output_shape
+            cg = in_shape[1] // op.groups
+            ocg = op.out_channels // op.groups
+            k = cg * op.kernel[0] * op.kernel[1]
+            l1 = 0.0
+            for g in range(op.groups):
+                w = self.reference._weight(node, f"w{g}", (k, ocg))
+                l1 = max(l1, float(np.abs(w).sum(axis=0).max()))
+            return self._float_matvec(inputs[0], l1, k)
+        if isinstance(op, ops.DepthwiseConv2D):
+            in_shape = graph.node(node.inputs[0]).output_shape
+            kh, kw = op.kernel
+            w = self.reference._weight(
+                node, "w", (in_shape[1], kh * kw, op.multiplier)
+            )
+            l1 = float(np.abs(w).sum(axis=1).max())
+            return self._float_matvec(inputs[0], l1, kh * kw)
+        if isinstance(op, ops.TransposeConv2D):
+            in_shape = graph.node(node.inputs[0]).output_shape
+            kh, kw = op.kernel
+            w = self.reference._weight(
+                node, "w", (in_shape[1], op.out_channels, kh, kw)
+            )
+            l1 = float(np.abs(w).sum(axis=(0, 2, 3)).max())
+            terms = in_shape[1] * kh * kw
+            return self._float_matvec(inputs[0], l1, terms)
+        if isinstance(op, ops.MatMul):
+            if op.weight_shape is not None:
+                w = self.reference._weight(node, "w", op.weight_shape)
+                if op.transpose_b:
+                    w = np.swapaxes(w, -1, -2)
+                l1 = float(np.abs(w).sum(axis=-2).max())
+                return self._float_matvec(inputs[0], l1, w.shape[-2])
+            k = graph.node(node.inputs[0]).output_shape[-1]
+            bound = float(k) * inputs[0].abs_max * inputs[1].abs_max
+            if math.isnan(bound):
+                return Interval.top()
+            return _accumulation_widened(Interval.symmetric(bound), k)
+        if isinstance(op, ops.Dense):
+            in_shape = graph.node(node.inputs[0]).output_shape
+            features = int(np.prod(in_shape[1:], dtype=np.int64))
+            w = self.reference._weight(node, "w", (features, op.units))
+            l1 = float(np.abs(w).sum(axis=0).max())
+            return self._float_matvec(inputs[0], l1, features)
+        if isinstance(op, ops.Add):
+            out = inputs[0]
+            for extra in inputs[1:]:
+                out = out.add(extra)
+            return out
+        if isinstance(op, ops.Sub):
+            return inputs[0].sub(inputs[1])
+        if isinstance(op, ops.Mul):
+            out = inputs[0]
+            for extra in inputs[1:]:
+                out = out.mul(extra)
+            return out
+        if isinstance(op, ops.Div):
+            return self._div_interval(inputs[0], inputs[1])
+        if isinstance(op, ops.Pow):
+            exponent = op.exponent
+            return unary_image(
+                _safe_unary(
+                    lambda v: np.power(np.abs(v) + 1e-12, exponent)
+                ),
+                inputs[0],
+                critical_points=(0.0,),
+            )
+        if isinstance(op, ops.ReLU):
+            return _relu_interval(inputs[0])
+        if isinstance(op, ops.ReLU6):
+            return _relu6_interval(inputs[0])
+        if isinstance(op, ops.HardSwish):
+            return _hardswish_interval(inputs[0])
+        if isinstance(op, ops.Sigmoid):
+            return _sigmoid_interval(inputs[0])
+        if isinstance(op, ops.Tanh):
+            return _tanh_interval(inputs[0])
+        if isinstance(op, ops.GELU):
+            return _gelu_interval(inputs[0])
+        if isinstance(op, ops.Softmax):
+            # e / e.sum with e >= 0 and e <= sum: each quotient is a
+            # correctly rounded value of a real in [0, 1].
+            return Interval(0.0, 1.0)
+        if isinstance(op, (ops.LayerNorm, ops.InstanceNorm, ops.BatchNorm)):
+            shape = graph.node(node.inputs[0]).output_shape
+            if isinstance(op, ops.LayerNorm):
+                n = shape[-1]
+            elif isinstance(op, ops.InstanceNorm):
+                n = shape[-2] * shape[-1]
+            else:
+                n = int(np.prod(shape, dtype=np.int64)) // shape[1]
+            # (x - mean)^2 <= n * var, so |out| < sqrt(n) regardless
+            # of the input range (the 1e-5 in the denominator only
+            # shrinks it further).
+            return _accumulation_widened(
+                Interval.symmetric(math.sqrt(float(n))), n
+            )
+        if isinstance(op, ops.MaxPool2D):
+            # Exact selection over the (possibly zero-padded) window.
+            interval = inputs[0]
+            if op.padding != (0, 0):
+                interval = interval.hull(Interval.point(0.0))
+            return interval
+        if isinstance(op, ops.AvgPool2D):
+            interval = inputs[0].hull(Interval.point(0.0))
+            kh, kw = op.kernel
+            return _accumulation_widened(interval, kh * kw)
+        if isinstance(op, (ops.GlobalAvgPool, ops.ReduceMean)):
+            shape = graph.node(node.inputs[0]).output_shape
+            terms = int(np.prod(shape, dtype=np.int64))
+            return _accumulation_widened(inputs[0], terms)
+        if isinstance(
+            op,
+            (
+                ops.Resize2D,
+                ops.DepthToSpace,
+                ops.Reshape,
+                ops.Transpose,
+                ops.Slice,
+            ),
+        ):
+            return inputs[0]
+        if isinstance(op, ops.Concat):
+            return Interval.hull_of(inputs)
+        if isinstance(op, ops.Pad):
+            return inputs[0].hull(Interval.point(0.0))
+        if isinstance(op, ops.Embedding):
+            table = self.reference._weight(
+                node, "table", (op.vocab, op.dim)
+            )
+            return Interval(float(table.min()), float(table.max()))
+        # Unknown op: sound default.
+        return Interval.top()
+
+    def _div_interval(self, num: Interval, den: Interval) -> Interval:
+        """Mirror of ``x / (d + sign(d) * 1e-9 + 1e-12)``."""
+        if not den.is_finite:
+            return Interval.top()
+        if den.lo > 0.0:
+            lo = den.lo + 1e-9 + 1e-12
+            hi = den.hi + 1e-9 + 1e-12
+        elif den.hi < 0.0:
+            lo = den.lo - 1e-9 + 1e-12
+            hi = den.hi - 1e-9 + 1e-12
+        else:
+            # Zero in the denominator range: the adjusted denominator
+            # can be as small as 1e-12 in magnitude, either sign.
+            recip = Interval.symmetric(1e12).widened()
+            return num.mul(recip)
+        recip = Interval(1.0 / hi, 1.0 / lo).widened()
+        return num.mul(recip)

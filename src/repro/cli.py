@@ -22,6 +22,11 @@ Commands
     Compile a model and run the :mod:`repro.lint` static analyzer,
     printing structured diagnostics; exits 1 when anything at or above
     ``--fail-on`` survives the suppression baseline.
+``analyze MODEL``
+    Compile a model and run the graph-level abstract interpretation
+    (:mod:`repro.absint`): quantization value-range proofs
+    (``LINT-QR*``) and the verified memory-arena plan (``LINT-MP*``).
+    Same ``--fail-on``/``--baseline`` contract as ``lint``.
 ``bench compile MODEL``
     Measure compiler throughput (cold / warm-disk-cache / parallel
     compiles) for one zoo model or ``all``; ``--json`` writes the
@@ -270,6 +275,72 @@ def _build_parser() -> argparse.ArgumentParser:
         "dropped before --fail-on applies",
     )
     lint_p.add_argument(
+        "--write-baseline",
+        help="capture the current diagnostics into a baseline file "
+        "and exit 0",
+    )
+
+    analyze_p = sub.add_parser(
+        "analyze",
+        help="graph-level abstract interpretation: quantization range "
+        "proofs and the verified memory-arena plan",
+    )
+    analyze_p.add_argument(
+        "model",
+        help="zoo model name or path to a graph JSON file",
+    )
+    analyze_p.add_argument(
+        "--selection",
+        default="gcd2",
+        choices=["gcd2", "local", "exhaustive", "pbqp", "chain"],
+    )
+    analyze_p.add_argument(
+        "--packing",
+        default="sda",
+        choices=["sda", "sda_pure", "soft_to_hard", "soft_to_none", "list"],
+    )
+    analyze_p.add_argument(
+        "--samples",
+        type=int,
+        default=2,
+        help="calibration sample feeds to freeze bounds from "
+        "(default: 2)",
+    )
+    analyze_p.add_argument(
+        "--seed",
+        type=int,
+        default=0,
+        help="weight seed for the analyzed executor (default: 0)",
+    )
+    analyze_p.add_argument(
+        "--calibration",
+        help="JSON file of node-name -> abs-max bound overriding the "
+        "sampled calibration (for auditing externally measured "
+        "ranges)",
+    )
+    analyze_p.add_argument(
+        "--fail-on",
+        default="error",
+        choices=["info", "warning", "error"],
+        help="lowest severity that fails the command (default: error)",
+    )
+    analyze_p.add_argument(
+        "--format",
+        default="text",
+        choices=["text", "json"],
+        help="report format",
+    )
+    analyze_p.add_argument(
+        "--json",
+        action="store_true",
+        help="shorthand for --format json",
+    )
+    analyze_p.add_argument(
+        "--baseline",
+        help="suppression baseline JSON; matching diagnostics are "
+        "dropped before --fail-on applies",
+    )
+    analyze_p.add_argument(
         "--write-baseline",
         help="capture the current diagnostics into a baseline file "
         "and exit 0",
@@ -590,6 +661,88 @@ def _cmd_lint(args) -> int:
     return 0
 
 
+def _cmd_analyze(args) -> int:
+    """Compile, run the graph-level analyses, report, gate."""
+    import json
+
+    from repro.absint.analyze import analyze_model
+    from repro.lint import (
+        Severity,
+        baseline_from_report,
+        load_baseline,
+        render,
+        save_baseline,
+    )
+
+    graph = _resolve_graph(args.model)
+    options = CompilerOptions(
+        selection=args.selection, packing=args.packing
+    )
+    compiled = GCD2Compiler(options).compile(graph)
+
+    calibration = None
+    if args.calibration:
+        from repro.runtime.calibration import FrozenCalibration
+
+        with open(args.calibration, "r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+        name_to_id = {
+            node.name: node.node_id for node in compiled.graph
+        }
+        bounds = {}
+        for name, bound in payload.items():
+            if name not in name_to_id:
+                raise GraphError(
+                    f"calibration file names unknown node {name!r}",
+                    details={"file": args.calibration},
+                )
+            bounds[name_to_id[name]] = float(bound)
+        calibration = FrozenCalibration(bounds=bounds, samples=0)
+
+    analysis = analyze_model(
+        compiled,
+        calibration,
+        seed=args.seed,
+        samples=args.samples,
+    )
+    report = analysis.report
+
+    if args.write_baseline:
+        save_baseline(args.write_baseline, baseline_from_report(report))
+        print(f"wrote {len(report)} suppression(s) to "
+              f"{args.write_baseline}")
+        return 0
+
+    if args.baseline:
+        report = report.suppress(load_baseline(args.baseline))
+        analysis.report = report
+
+    if args.json or args.format == "json":
+        print(json.dumps(analysis.to_dict(), indent=2, sort_keys=True))
+    else:
+        summary = analysis.summary()
+        proved = summary["proved"]
+        print(f"{summary['model']}: {summary['nodes']} nodes analyzed")
+        print(
+            f"arena: {summary['arena_bytes']} bytes, "
+            f"{summary['arena_slots']} slots, "
+            f"reuse x{summary['arena_reuse']}"
+        )
+        for claim, held in sorted(proved.items()):
+            print(f"  {'proved' if held else 'FAILED'}: {claim}")
+        print(render(report, "text"))
+    threshold = Severity.parse(args.fail_on)
+    failing = report.at_least(threshold)
+    if failing:
+        print(
+            f"analyze: {len(failing)} diagnostic(s) at or above "
+            f"{threshold} — failing",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
 def _bench_compile_model(
     name: str, cache_root: str, jobs: int
 ) -> List[dict]:
@@ -900,6 +1053,8 @@ def _dispatch(args) -> int:
         return _cmd_verify(args)
     if args.command == "lint":
         return _cmd_lint(args)
+    if args.command == "analyze":
+        return _cmd_analyze(args)
     if args.command == "bench":
         if args.bench_command == "infer":
             return _cmd_bench_infer(args)

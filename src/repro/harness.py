@@ -825,7 +825,11 @@ def bench_infer_model(
       ``calibration_samples`` sample feeds, then pure int8 requests;
     * ``batched`` — the :class:`~repro.runtime.engine.InferenceEngine`
       running the same requests as one batch under the same frozen
-      calibration, with its bit-identity to the frozen row recorded.
+      calibration, with its bit-identity to the frozen row recorded;
+    * ``arena`` — the same engine backed by the statically verified
+      memory plan (:mod:`repro.absint.memplan`): intermediates live in
+      one preallocated arena, bit-identity to the frozen row recorded
+      alongside the arena footprint and reuse factor.
 
     ``kernel_mac_limit=0`` routes every GEMM through the exact BLAS
     int32 path (bit-identical to the instruction kernels), keeping the
@@ -909,6 +913,41 @@ def bench_infer_model(
         )
     finally:
         engine.close()
+
+    arena_engine = InferenceEngine(
+        compiled,
+        calibration,
+        seed=seed,
+        kernel_mac_limit=kernel_mac_limit,
+        workers=workers,
+        arena=True,
+    )
+    try:
+        plan = arena_engine.memory_plan()
+        arena_engine.run_batch(feeds_list[:1])  # warm the arena + caches
+        start = time.perf_counter()
+        arena_outputs = arena_engine.run_batch(feeds_list)
+        seconds = time.perf_counter() - start
+        identical = all(
+            set(single) == set(arena)
+            and all(
+                np.array_equal(single[key], arena[key])
+                for key in single
+            )
+            for single, arena in zip(frozen_outputs, arena_outputs)
+        )
+        row(
+            "arena",
+            seconds,
+            calibration="frozen",
+            workers=workers,
+            identical_to_sequential=identical,
+            arena_bytes=plan.arena_size,
+            arena_slots=len(plan.slots),
+            arena_reuse=round(plan.reuse_factor, 4),
+        )
+    finally:
+        arena_engine.close()
     return rows
 
 

@@ -80,17 +80,14 @@ def live_out(
     """Registers still holding an unread value at the end.
 
     Maps register name -> position of its final (unread) definition.
+    The position scan itself is the shared liveness primitive in
+    :func:`repro.absint.liveness.final_unread_definitions` — the same
+    logic the tensor-level pass uses, applied to register chains.
     """
+    from repro.absint.liveness import final_unread_definitions
+
     chains = def_use_chains(instructions)
-    result: Dict[str, int] = {}
-    for name, defs in chains.defs.items():
-        last_def = defs[-1]
-        reads_after = [
-            u for u in chains.uses.get(name, ()) if u > last_def
-        ]
-        if not reads_after:
-            result[name] = last_def
-    return result
+    return final_unread_definitions(chains.defs, chains.uses)
 
 
 def _location(

@@ -14,7 +14,9 @@ Rule id scheme: ``LINT-<family><number>`` with families
 * ``ST`` — soft-stall estimation;
 * ``MM`` — memory-map discipline;
 * ``LW`` — lowered-kernel structure;
-* ``GR`` — compiled-graph / selection properties.
+* ``GR`` — compiled-graph / selection properties;
+* ``QR`` — quantization value-range proofs (:mod:`repro.absint.ranges`);
+* ``MP`` — memory-arena plan verification (:mod:`repro.absint.memplan`).
 """
 
 from __future__ import annotations
@@ -234,6 +236,82 @@ def _build_registry() -> Dict[str, Rule]:
             "A tensor's scale is non-positive/non-finite or its zero "
             "point leaves the int8 range.",
             "re-derive scale/zero-point from the tensor's value range",
+        ),
+        # -- quantization value ranges -------------------------------------
+        Rule(
+            "LINT-QR001", Severity.ERROR,
+            "missing frozen calibration bound",
+            "A quantized kernel consumes this tensor but the frozen "
+            "calibration has no bound for it — the executor would raise "
+            "a QuantizationError mid-request.",
+            "re-run calibration over feeds that exercise this tensor",
+        ),
+        Rule(
+            "LINT-QR002", Severity.ERROR,
+            "non-finite calibration bound",
+            "The tensor's frozen bound is infinite or NaN, so every "
+            "derived scale and fixed-point rescale ratio is meaningless "
+            "and the add/sub rescale plan cannot be built.",
+            "clip or re-measure the calibration bound for this tensor",
+        ),
+        Rule(
+            "LINT-QR003", Severity.ERROR,
+            "int32 accumulator overflow",
+            "The exact worst-case int8 GEMM accumulation exceeds int32; "
+            "the over-limit BLAS path casts the accumulator back with "
+            ".astype(np.int32), which wraps silently.",
+            "split the reduction dimension or requantize mid-chain",
+        ),
+        Rule(
+            "LINT-QR004", Severity.ERROR,
+            "requantize rescale not encodable",
+            "The fixed-point multiplier/shift pair for this node's "
+            "rescale cannot be represented: the shift deficit pushes "
+            "the multiplier past the int32 lane (the runtime guard in "
+            "_fixed_point_rescale, proved statically).",
+            "re-balance the operand calibration bounds",
+        ),
+        Rule(
+            "LINT-QR005", Severity.WARNING,
+            "operand vanishes at output resolution",
+            "One add/sub operand's entire frozen range maps below a "
+            "single output quantization level — its contribution is "
+            "exactly zero and the kernel skips it.",
+            "check whether the dominating operand's bound is intended",
+        ),
+        Rule(
+            "LINT-QR006", Severity.WARNING,
+            "saturation-prone tensor",
+            "The statically possible values exceed the tensor's own "
+            "frozen bound by more than the saturation factor, so the "
+            "consumer's int8 quantizer clips all but a sliver of the "
+            "representable range.",
+            "widen calibration coverage for this tensor's producer",
+        ),
+        # -- memory-arena plan ---------------------------------------------
+        Rule(
+            "LINT-MP001", Severity.ERROR,
+            "arena slots overlap while live",
+            "Two tensors with intersecting live intervals are assigned "
+            "overlapping byte ranges — one would silently corrupt the "
+            "other mid-batch.",
+            "regenerate the plan; the first-fit allocator is the oracle",
+        ),
+        Rule(
+            "LINT-MP002", Severity.ERROR,
+            "arena slot smaller than its tensor",
+            "A slot's byte size is below the tensor's element count "
+            "times its element width: writes would spill into the "
+            "neighbouring slot.",
+            "regenerate the plan from the current graph shapes",
+        ),
+        Rule(
+            "LINT-MP003", Severity.ERROR,
+            "arena plan inconsistent with the graph",
+            "A plannable tensor has no slot, a slot refers to a node "
+            "the graph does not contain, or a slot extends past the "
+            "arena.",
+            "regenerate the plan from the current graph",
         ),
     ]
     return {rule.rule_id: rule for rule in rules}

@@ -35,6 +35,7 @@ from typing import Dict, List, Optional, Sequence
 import numpy as np
 
 from repro.errors import SimulationError
+from repro.absint.liveness import tensor_liveness
 from repro.compiler import CompiledModel, CompilerOptions
 from repro.graph import ops
 from repro.graph.graph import Node
@@ -49,6 +50,7 @@ class InferenceDiagnostics:
 
     requests: int = 0
     batches: int = 0
+    arena_batches: int = 0
     stacked_gemm_rows: int = 0
     latencies_ms: List[float] = field(default_factory=list)
     queue_depths: List[int] = field(default_factory=list)
@@ -92,6 +94,8 @@ class InferenceDiagnostics:
                 f"batched runs: {self.batches} "
                 f"({self.stacked_gemm_rows} stacked GEMM rows)"
             )
+        if self.arena_batches:
+            lines.append(f"arena-backed batches: {self.arena_batches}")
         if self.latencies_ms:
             lines.append(
                 f"latency: mean {self.mean_latency_ms:.2f} ms, "
@@ -127,6 +131,7 @@ class InferenceEngine:
         kernel_mac_limit: Optional[int] = None,
         workers: int = 2,
         queue_size: int = 64,
+        arena: bool = False,
     ) -> None:
         if workers < 1:
             raise ValueError("workers must be >= 1")
@@ -137,7 +142,22 @@ class InferenceEngine:
         self.seed = seed
         self.kernel_mac_limit = kernel_mac_limit
         self.workers = workers
+        #: When set, ``run_batch`` stores intermediates in a single
+        #: preallocated buffer laid out by the statically verified
+        #: memory plan (:mod:`repro.absint.memplan`) and caches the
+        #: quantized weight levels across batches.  Bit-identical to
+        #: the dict-storage path (``repro.verify.runtime`` gates it).
+        self.arena = arena
         self.diagnostics = InferenceDiagnostics()
+        #: The shared liveness pass (:mod:`repro.absint.liveness`):
+        #: drives both the eager frees of the dict path and the arena
+        #: plan — one source of truth instead of an inline recount per
+        #: batch.
+        self._liveness = tensor_liveness(compiled.graph)
+        self._memory_plan = None
+        self._arena_store: Optional[np.ndarray] = None
+        self._views_cache: Dict[int, Dict[int, np.ndarray]] = {}
+        self._weight_levels: Dict[int, np.ndarray] = {}
         #: Fault-injection seam for the serving chaos harness: when
         #: set, called with each node before the batch evaluates it;
         #: raising simulates an engine failure mid-batch (the serving
@@ -207,6 +227,85 @@ class InferenceEngine:
         )
         return executors
 
+    # -- arena -------------------------------------------------------------
+
+    def memory_plan(self):
+        """The statically verified arena layout for this graph.
+
+        Planned lazily from the shared liveness pass and checked by
+        the independent ``LINT-MP*`` verifier before first use: an
+        unsafe plan raises instead of corrupting a batch.
+        """
+        if self._memory_plan is None:
+            from repro.absint.memplan import (
+                plan_memory,
+                verify_memory_plan,
+            )
+
+            graph = self.compiled.graph
+            plan = plan_memory(graph, self._liveness)
+            findings = verify_memory_plan(graph, plan, self._liveness)
+            if findings:
+                raise SimulationError(
+                    "memory plan failed static verification",
+                    stage="runtime",
+                    details={
+                        "findings": [d.to_dict() for d in findings]
+                    },
+                )
+            self._memory_plan = plan
+        return self._memory_plan
+
+    def _arena_views(self, batch: int) -> Dict[int, np.ndarray]:
+        """Per-tensor views into the arena for a given batch size.
+
+        The per-sample byte plan scales to a batch by giving every
+        slot ``batch`` consecutive copies of its element range; any
+        two slots disjoint per sample stay disjoint scaled.
+        """
+        plan = self.memory_plan()
+        elems = plan.arena_size // 8
+        need = max(1, elems * batch)
+        if self._arena_store is None or self._arena_store.size < need:
+            self._arena_store = np.empty(need, dtype=np.float64)
+            self._views_cache = {}
+        views = self._views_cache.get(batch)
+        if views is None:
+            graph = self.compiled.graph
+            views = {}
+            for node_id, slot in plan.slots.items():
+                shape = tuple(graph.node(node_id).output_shape)
+                count = 1
+                for dim in shape:
+                    count *= int(dim)
+                start = (slot.offset // 8) * batch
+                views[node_id] = self._arena_store[
+                    start:start + count * batch
+                ].reshape((batch,) + shape)
+            self._views_cache[batch] = views
+        return views
+
+    @staticmethod
+    def _arena_capture(view: np.ndarray, outs: List[np.ndarray]):
+        """Copy per-sample results into their arena slot, if they fit.
+
+        Results whose dtype/shape do not match the slot (defensive —
+        reference semantics always produce float64 of the inferred
+        shape) keep their heap storage; partial copies never happen
+        because the check runs before the first copy.
+        """
+        expected = view.shape[1:]
+        for result in outs:
+            if (
+                not isinstance(result, np.ndarray)
+                or result.dtype != np.float64
+                or result.shape != expected
+            ):
+                return outs
+        for sample, result in enumerate(outs):
+            np.copyto(view[sample], result)
+        return [view[sample] for sample in range(len(outs))]
+
     # -- batched execution -------------------------------------------------
 
     def run_batch(
@@ -229,14 +328,12 @@ class InferenceEngine:
         # Liveness: a batch keeps `batch` copies of every live tensor,
         # so dead intermediates are dropped eagerly — otherwise the
         # working set grows ~batch x graph-size and the per-sample
-        # fallback ops slow down from cache pressure alone.
-        remaining_uses: Dict[int, int] = {}
-        for node in graph:
-            for input_id in node.inputs:
-                remaining_uses[input_id] = (
-                    remaining_uses.get(input_id, 0) + 1
-                )
-        keep = {node.node_id for node in graph.output_nodes()}
+        # fallback ops slow down from cache pressure alone.  The facts
+        # come from the shared pass computed once at construction.
+        liveness = self._liveness
+        remaining_uses: Dict[int, int] = dict(liveness.use_counts)
+        keep = liveness.keep
+        views = self._arena_views(batch) if self.arena else None
         values: Dict[int, List[np.ndarray]] = {}
         for node in graph:
             if self.batch_fault_hook is not None:
@@ -244,16 +341,17 @@ class InferenceEngine:
             per_sample_inputs = [
                 [values[i][s] for i in node.inputs] for s in range(batch)
             ]
+            view = None if views is None else views.get(node.node_id)
             if batch > 1 and self._stackable(executor, node):
                 outs, rows = self._batched_gemm(
-                    executor, node, per_sample_inputs
+                    executor, node, per_sample_inputs, view=view
                 )
                 stacked_rows += rows
             elif batch > 1 and self._stackable_elementwise(
                 executor, node, per_sample_inputs
             ):
                 outs = self._batched_elementwise(
-                    executor, node, per_sample_inputs
+                    executor, node, per_sample_inputs, view=view
                 )
             else:
                 outs = [
@@ -262,12 +360,26 @@ class InferenceEngine:
                     )
                     for s in range(batch)
                 ]
+                if view is not None:
+                    outs = self._arena_capture(view, outs)
+            if views is not None and view is None and node.node_id in keep:
+                # Graph outputs outlive the batch but ops like Reshape
+                # return views of arena memory the next batch would
+                # clobber — detach them.
+                outs = [
+                    out.copy()
+                    if np.may_share_memory(out, self._arena_store)
+                    else out
+                    for out in outs
+                ]
             values[node.node_id] = outs
             for input_id in node.inputs:
                 remaining_uses[input_id] -= 1
                 if remaining_uses[input_id] == 0 and input_id not in keep:
                     del values[input_id]
         self.diagnostics.record_batch(batch, stacked_rows)
+        if views is not None:
+            self.diagnostics.arena_batches += 1
         elapsed_ms = (time.perf_counter() - started) * 1e3
         self.diagnostics.latencies_ms.append(elapsed_ms / batch)
         outputs = graph.output_nodes()
@@ -329,8 +441,14 @@ class InferenceEngine:
         return False
 
     @staticmethod
-    def _batched_elementwise(executor, node, per_sample_inputs):
-        """One stacked call through an integer elementwise kernel."""
+    def _batched_elementwise(executor, node, per_sample_inputs, view=None):
+        """One stacked call through an integer elementwise kernel.
+
+        With an arena ``view`` the final dequantizing multiply writes
+        straight into the slot (the stacked rows of ``batch``
+        identically shaped samples are exactly the flattened view),
+        skipping both the output allocation and the split copies.
+        """
         op = node.op
         operands = len(per_sample_inputs[0])
         stacked_inputs = []
@@ -341,14 +459,27 @@ class InferenceEngine:
                     axis=0,
                 )
             )
+        target = None
+        if view is not None:
+            flat_shape = (
+                view.shape[0] * view.shape[1],
+            ) + view.shape[2:]
+            if flat_shape == stacked_inputs[0].shape:
+                target = view.reshape(flat_shape)
         if isinstance(op, ops.ReLU):
-            out = executor._quantized_relu(node, stacked_inputs[0])
+            out = executor._quantized_relu(
+                node, stacked_inputs[0], out=target
+            )
         else:
-            out = executor._quantized_addsub(node, op, stacked_inputs)
+            out = executor._quantized_addsub(
+                node, op, stacked_inputs, out=target
+            )
+        if target is not None:
+            return [view[sample] for sample in range(view.shape[0])]
         sizes = [inputs[0].shape[0] for inputs in per_sample_inputs]
         return np.split(out, np.cumsum(sizes)[:-1], axis=0)
 
-    def _batched_gemm(self, executor, node, per_sample_inputs):
+    def _batched_gemm(self, executor, node, per_sample_inputs, view=None):
         """One stacked GEMM for all samples of a weight-form node.
 
         Mirrors :meth:`QuantizedExecutor._quantized_compute` exactly,
@@ -356,6 +487,13 @@ class InferenceEngine:
         row axis before the one `_gemm_2d` call and splits the result
         back afterwards.  Row-independence of the int8 GEMM makes the
         answer bit-identical to the per-sample path.
+
+        With an arena ``view`` two further costs disappear: the weight
+        levels are quantized once per engine instead of once per batch
+        (weights are deterministic, so the levels never change), and
+        for matmul/dense the dequantizing multiply targets the slot
+        directly — the stacked GEMM rows are exactly the flattened
+        slot view, so the split/reshape stage vanishes.
         """
         op = node.op
         plan = executor._plan_by_node[node.node_id]
@@ -413,10 +551,30 @@ class InferenceEngine:
         stacked_q = np.concatenate(
             [a_params.quantize(mat) for mat in a_mats], axis=0
         )
-        b_q = b_params.quantize(b_float)
+        if self.arena:
+            b_q = self._weight_levels.get(node.node_id)
+            if b_q is None:
+                b_q = b_params.quantize(b_float)
+                self._weight_levels[node.node_id] = b_q
+        else:
+            b_q = b_params.quantize(b_float)
+        target = None
+        if (
+            view is not None
+            and isinstance(op, (ops.MatMul, ops.Dense))
+            and all(shape == view.shape[1:] for shape in out_shapes)
+        ):
+            flat = view.reshape(-1, view.shape[-1])
+            if flat.shape == (sum(rows), b_q.shape[1]):
+                target = flat
         out = executor._gemm_levels(
-            node, stacked_q, b_q, plan, a_params, b_params
+            node, stacked_q, b_q, plan, a_params, b_params, out=target
         )
+        if target is not None:
+            return (
+                [view[sample] for sample in range(view.shape[0])],
+                sum(rows),
+            )
         pieces = np.split(out, np.cumsum(rows)[:-1], axis=0)
         if isinstance(op, (ops.MatMul, ops.Dense)):
             results = [
@@ -433,6 +591,8 @@ class InferenceEngine:
 
                     sample = _ACTIVATIONS[op.fused_activation](sample)
                 results.append(sample)
+        if view is not None:
+            results = self._arena_capture(view, results)
         return results, sum(rows)
 
     # -- request queue -----------------------------------------------------

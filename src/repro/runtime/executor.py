@@ -153,10 +153,17 @@ class QuantizedExecutor:
 
     # -- integer elementwise kernels ---------------------------------------
 
-    def _quantized_addsub(self, node, op, inputs) -> np.ndarray:
+    def _quantized_addsub(self, node, op, inputs, out=None) -> np.ndarray:
         """Int-only add/sub: rescale both operands to a common scale
-        with fixed-point multipliers, combine in int32, requantize."""
-        from repro.quant.quantize import requantize_multiplier
+        with fixed-point multipliers, combine in int32, requantize.
+
+        The multiplier/shift pairs come from the shared
+        :func:`~repro.runtime.rescale.addsub_rescale_plan`, the same
+        function the static value-range analysis proves encodable per
+        node at compile time (rule ``LINT-QR004``) — the kernel
+        executes exactly what the analysis checked.
+        """
+        from repro.runtime.rescale import addsub_rescale_plan
 
         a_float, b_float = inputs
         try:
@@ -173,35 +180,26 @@ class QuantizedExecutor:
             ) from exc
         bound_a = self.calibration.bound(node.inputs[0])
         bound_b = self.calibration.bound(node.inputs[1])
-        # |a ± b| <= |a|max + |b|max: the sum of the frozen operand
-        # bounds is a sound output bound under any feed.
-        out_bound = max(1e-9, bound_a + bound_b)
-        out_scale = out_bound / 127.0
+        plan = addsub_rescale_plan(bound_a, bound_b, node=node.name)
         acc = np.zeros(a_float.shape, dtype=np.int64)
-        for index, (operand, bound) in enumerate(
-            ((a_float, bound_a), (b_float, bound_b))
-        ):
-            params = QuantParams(scale=bound / 127.0)
-            ratio = params.scale / out_scale / 4.0
-            if ratio < 2.0 ** -48:
-                # The operand's full range maps below one output level
-                # (requantize_multiplier cannot even encode the ratio):
-                # its contribution is exactly zero at the output's
-                # resolution.  Happens when one operand's frozen bound
-                # dwarfs the other's, e.g. an attention mask of -1e9
-                # added to logits of order 1.
+        for operand, step in zip((a_float, b_float), plan.steps):
+            if step.skipped:
                 continue
+            params = QuantParams(scale=step.scale)
             levels = params.quantize(operand).astype(np.int64)
-            multiplier, shift = requantize_multiplier(ratio)
             rescaled = self._fixed_point_rescale(
-                node, levels, multiplier, shift - 2
+                node, levels, step.multiplier, step.shift
             )
-            acc = acc + rescaled if (index == 0 or isinstance(op, ops.Add)) \
-                else acc - rescaled
+            add = step.operand_index == 0 or isinstance(op, ops.Add)
+            acc = acc + rescaled if add else acc - rescaled
         from repro.isa import semantics
 
         narrowed = semantics.saturate_to_int8(semantics.vasr(acc, 0))
-        return narrowed.astype(np.float64) * out_scale
+        if out is not None:
+            # Same IEEE multiply written into a caller-owned buffer
+            # (the engine's preallocated arena): bit-identical.
+            return np.multiply(narrowed, plan.out_scale, out=out)
+        return narrowed.astype(np.float64) * plan.out_scale
 
     @staticmethod
     def _fixed_point_rescale(
@@ -218,8 +216,10 @@ class QuantizedExecutor:
         outright once that pre-scaling would overflow the int32
         multiplier lane.
         """
+        from repro.runtime.rescale import shift_underflows
+
         if shift < 0:
-            if multiplier << -shift > 2 ** 31 - 1:
+            if shift_underflows(multiplier, shift):
                 raise QuantizationError(
                     "rescale shift underflow beyond the multiplier range",
                     stage="runtime",
@@ -229,13 +229,20 @@ class QuantizedExecutor:
             return levels * (multiplier << -shift)
         return (levels * multiplier) >> shift
 
-    def _quantized_relu(self, node, value: np.ndarray) -> np.ndarray:
+    def _quantized_relu(self, node, value: np.ndarray, out=None) -> np.ndarray:
         """ReLU on quantized levels (max against the zero level)."""
         params = self._frozen_params(node.inputs[0])
         levels = params.quantize(value)
         from repro.isa import semantics
 
         rectified = semantics.vmax(levels, np.zeros_like(levels))
+        if out is not None:
+            # dequantize() is scale * (levels - zero_point); the same
+            # operations targeted at a caller-owned buffer.
+            shifted = np.asarray(rectified, dtype=np.float64)
+            if params.zero_point:
+                shifted = shifted - params.zero_point
+            return np.multiply(params.scale, shifted, out=out)
         return params.dequantize(rectified)
 
     def _quantized_compute(self, node, inputs, plan):
@@ -324,7 +331,7 @@ class QuantizedExecutor:
         return self._gemm_levels(node, a_q, b_q, plan, a_params, b_params)
 
     def _gemm_levels(
-        self, node, a_q, b_q, plan, a_params, b_params
+        self, node, a_q, b_q, plan, a_params, b_params, out=None
     ) -> np.ndarray:
         """The integer core of one GEMM: int8 levels in, float out.
 
@@ -358,4 +365,10 @@ class QuantizedExecutor:
                     "expected": (a_q.shape[0], b_q.shape[1]),
                 },
             )
-        return acc.astype(np.float64) * (a_params.scale * b_params.scale)
+        scale = a_params.scale * b_params.scale
+        if out is not None and out.shape == acc.shape:
+            # int32 -> float64 promotion is exact, the multiply is the
+            # same IEEE operation: writing into the caller's arena
+            # buffer is bit-identical to the fresh-allocation path.
+            return np.multiply(acc, scale, out=out)
+        return acc.astype(np.float64) * scale

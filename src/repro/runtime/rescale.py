@@ -1,0 +1,157 @@
+"""The fixed-point rescale plan shared by runtime and static analysis.
+
+The quantized add/sub kernel rescales each operand from its own scale
+to the common output scale with an integer multiplier/shift pair
+(:func:`repro.quant.quantize.requantize_multiplier`).  Whether that
+pair is *encodable* — multiplier in ``[2^14, 2^15)``, effective shift
+non-negative or pre-scalable without overflowing the int32 multiplier
+lane — is a pure function of the operands' frozen calibration bounds.
+
+This module computes that plan once, in one place, so that
+
+* :meth:`repro.runtime.executor.QuantizedExecutor._quantized_addsub`
+  executes exactly the plan (same float operation order, same
+  thresholds), and
+* :mod:`repro.absint.ranges` *proves* the plan encodable per node at
+  compile time (rule ``LINT-QR004``) instead of discovering a failure
+  mid-request.
+
+With a consistent calibration the underflow branch is unreachable:
+``ratio = bound_i / (bound_a + bound_b) / 4 <= 1/4``, so the
+normalized shift is at least 16 and the effective shift at least 14.
+The reachable failures are *pathological calibrations* — a non-finite
+bound makes the ratio NaN, which used to crash
+``requantize_multiplier`` with a bare ``ValueError`` from
+``int(round(nan))``; it is now a structured
+:class:`~repro.errors.QuantizationError` here, and a compile-time
+diagnostic in ``repro analyze``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.errors import QuantizationError
+
+#: Below this ratio the operand's entire range maps under one output
+#: quantization level: its contribution is exactly zero and the kernel
+#: skips it (``requantize_multiplier`` could not encode it anyway).
+VANISHING_RATIO = 2.0 ** -48
+
+#: The quantized add/sub kernel runs the rescale at ``shift - 2``
+#: (headroom for the int32 accumulate), so the plan records the
+#: *effective* shift the hardware would see.
+SHIFT_HEADROOM = 2
+
+#: The int32 multiplier lane: pre-scaling a negative shift must not
+#: push the multiplier past this.
+MULTIPLIER_MAX = 2 ** 31 - 1
+
+
+def shift_underflows(multiplier: int, shift: int) -> bool:
+    """Whether a rescale step's shift deficit overflows the multiplier.
+
+    A negative effective shift is folded into the multiplier
+    (``multiplier << -shift``); once that exceeds the int32 lane the
+    rescale is not representable.  This predicate is the single
+    definition both the runtime guard and the static QR004 rule use.
+    """
+    return shift < 0 and multiplier << -shift > MULTIPLIER_MAX
+
+
+@dataclass(frozen=True)
+class RescaleStep:
+    """One operand's rescale into the common output scale."""
+
+    operand_index: int
+    bound: float
+    scale: float
+    ratio: float
+    multiplier: int = 0
+    shift: int = 0
+    skipped: bool = False
+
+    @property
+    def underflows(self) -> bool:
+        return not self.skipped and shift_underflows(
+            self.multiplier, self.shift
+        )
+
+
+@dataclass(frozen=True)
+class AddSubRescalePlan:
+    """The complete fixed-point plan of one quantized add/sub node."""
+
+    out_bound: float
+    out_scale: float
+    steps: Tuple[RescaleStep, ...]
+
+
+def addsub_rescale_plan(
+    bound_a: float, bound_b: float, node: str = None
+) -> AddSubRescalePlan:
+    """Plan the two-operand rescale for frozen bounds ``bound_a/b``.
+
+    Float operation order matches the kernel exactly — the plan *is*
+    what the kernel executes.  Raises
+    :class:`~repro.errors.QuantizationError` when a bound (or the
+    derived ratio) is not finite or the multiplier/shift normalization
+    fails: statically that surfaces as a QR diagnostic, at runtime as
+    a structured error instead of an unclassified crash.
+    """
+    from repro.quant.quantize import requantize_multiplier
+
+    # |a ± b| <= |a|max + |b|max: the sum of the frozen operand bounds
+    # is a sound output bound under any feed.
+    out_bound = max(1e-9, bound_a + bound_b)
+    out_scale = out_bound / 127.0
+    steps = []
+    for index, bound in enumerate((bound_a, bound_b)):
+        scale = bound / 127.0
+        ratio = scale / out_scale / 4.0
+        if not math.isfinite(ratio):
+            raise QuantizationError(
+                "rescale ratio is not finite",
+                stage="runtime",
+                node=node,
+                details={
+                    "operand": index,
+                    "bound": bound,
+                    "out_bound": out_bound,
+                    "ratio": ratio,
+                },
+            )
+        if ratio < VANISHING_RATIO:
+            # The operand's full range maps below one output level:
+            # its contribution is exactly zero at the output's
+            # resolution.  Happens when one operand's frozen bound
+            # dwarfs the other's, e.g. an attention mask of -1e9
+            # added to logits of order 1.
+            steps.append(
+                RescaleStep(index, bound, scale, ratio, skipped=True)
+            )
+            continue
+        try:
+            multiplier, shift = requantize_multiplier(ratio)
+        except QuantizationError as exc:
+            raise QuantizationError(
+                f"rescale multiplier not encodable: {exc.message}",
+                stage="runtime",
+                node=node,
+                details={"operand": index, "ratio": ratio},
+            ) from exc
+        steps.append(
+            RescaleStep(
+                index,
+                bound,
+                scale,
+                ratio,
+                multiplier=multiplier,
+                shift=shift - SHIFT_HEADROOM,
+            )
+        )
+    return AddSubRescalePlan(
+        out_bound=out_bound, out_scale=out_scale, steps=tuple(steps)
+    )

@@ -132,6 +132,10 @@ class ServeConfig:
     kernel_mac_limit: Optional[int] = 0
     calibration_seed: int = 99
     calibration_samples: int = 2
+    #: Refuse to mark a model ready when the abstract interpreter finds
+    #: error-level QR/MP diagnostics; off by default so analysis failures
+    #: degrade to a warning instead of taking the model down.
+    strict_analysis: bool = False
 
     @property
     def serve_dir(self) -> Optional[str]:
@@ -497,7 +501,40 @@ class ServeService:
                 ),
             )
             return
+        analysis_summary = None
+        try:
+            from repro.absint import analyze_model
+
+            analysis = analyze_model(compiled, pool.calibration)
+            analysis_summary = analysis.summary()
+        except Exception as exc:  # noqa: BLE001 - advisory unless strict
+            self.diagnostics.warn(
+                f"static analysis failed for {job.model!r}: "
+                f"{type(exc).__name__}: {exc}"
+            )
+        if (
+            self.config.strict_analysis
+            and analysis_summary is not None
+            and analysis_summary.get("errors", 0)
+        ):
+            pool.close()
+            self._fail_job(
+                job,
+                entry,
+                ServiceError(
+                    f"static analysis found "
+                    f"{analysis_summary['errors']} error-level "
+                    f"diagnostic(s)",
+                    stage="serve",
+                    details={
+                        "model": job.model,
+                        "rules": analysis_summary.get("rules", {}),
+                    },
+                ),
+            )
+            return
         diag = compiled.diagnostics
+        entry.analysis = analysis_summary
         entry.compiled = compiled
         old_pool, entry.pool = entry.pool, pool
         entry.state = STATE_READY
@@ -646,6 +683,21 @@ class ServeService:
                 details={"model": name, "state": entry.state},
             )
         return lint_model(entry.compiled).to_dict()
+
+    def analysis(self, name: str) -> Dict:
+        """The abstract interpreter's full report for a ready model."""
+        from repro.absint import analyze_model
+
+        entry = self.registry.get(name)
+        if entry.state != STATE_READY or entry.compiled is None:
+            raise ModelNotReadyError(
+                f"model {name!r} has no compiled artefact to analyze",
+                stage="serve",
+                details={"model": name, "state": entry.state},
+            )
+        pool = entry.pool
+        calibration = pool.calibration if pool is not None else None
+        return analyze_model(entry.compiled, calibration).to_dict()
 
     def leaderboard(self, name: str, limit: int = 10) -> Dict:
         """The autotuner's recorded leaderboard for one model."""
@@ -861,6 +913,10 @@ class _Handler(BaseHTTPRequestHandler):
                 if view == "lint":
                     return lambda q: self._send(
                         200, self.service.lint(name)
+                    )
+                if view == "analysis":
+                    return lambda q: self._send(
+                        200, self.service.analysis(name)
                     )
                 if view == "leaderboard":
                     return lambda q: self._send(

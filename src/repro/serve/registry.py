@@ -140,6 +140,7 @@ class ModelEntry:
     compiled: Optional[object] = None        # CompiledModel when ready
     pool: Optional[object] = None            # EnginePool when ready
     compile_stats: Dict = field(default_factory=dict)
+    analysis: Optional[Dict] = None          # absint summary when ready
     registered_at: float = field(default_factory=time.monotonic)
 
     def manifest_payload(self) -> Dict:
@@ -171,6 +172,8 @@ class ModelEntry:
                 "total_packets": compiled.total_packets,
                 "latency_ms": round(compiled.latency_ms, 4),
             }
+        if self.analysis is not None:
+            payload["analysis"] = dict(self.analysis)
         return payload
 
 

@@ -1,0 +1,136 @@
+"""Unit tests for the interval abstract domain."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.absint.domain import Interval, unary_image
+
+
+class TestConstruction:
+    def test_point(self):
+        iv = Interval.point(3.5)
+        assert iv.lo == iv.hi == 3.5
+
+    def test_symmetric(self):
+        iv = Interval.symmetric(2.0)
+        assert iv.lo == -2.0 and iv.hi == 2.0
+
+    def test_symmetric_takes_magnitude(self):
+        assert Interval.symmetric(-2.0) == Interval(-2.0, 2.0)
+
+    def test_top_is_infinite(self):
+        top = Interval.top()
+        assert math.isinf(top.lo) and math.isinf(top.hi)
+        assert not top.is_finite
+
+    def test_nan_endpoint_becomes_top(self):
+        iv = Interval(float("nan"), 1.0)
+        assert not iv.is_finite
+        assert iv.contains(1e300)
+
+    def test_inverted_bounds_rejected(self):
+        with pytest.raises(ValueError):
+            Interval(2.0, 1.0)
+
+    def test_hull_of_intervals(self):
+        iv = Interval.hull_of(
+            [Interval.point(3.0), Interval(-1.0, 2.0)]
+        )
+        assert iv == Interval(-1.0, 3.0)
+
+    def test_hull_of_nothing_rejected(self):
+        with pytest.raises(ValueError):
+            Interval.hull_of([])
+
+
+class TestQueries:
+    def test_abs_max(self):
+        assert Interval(-3.0, 2.0).abs_max == 3.0
+        assert Interval(1.0, 5.0).abs_max == 5.0
+
+    def test_contains(self):
+        iv = Interval(-1.0, 1.0)
+        assert iv.contains(0.0)
+        assert iv.contains(-1.0) and iv.contains(1.0)
+        assert not iv.contains(1.0000001)
+
+    def test_contains_interval(self):
+        outer = Interval(-2.0, 2.0)
+        assert outer.contains_interval(Interval(-1.0, 2.0))
+        assert not outer.contains_interval(Interval(-3.0, 0.0))
+
+
+class TestArithmetic:
+    def test_add(self):
+        iv = Interval(1, 2).add(Interval(10, 20))
+        assert iv.contains_interval(Interval(11, 22))
+        assert iv.lo == pytest.approx(11) and iv.hi == pytest.approx(22)
+
+    def test_sub(self):
+        iv = Interval(1, 2).sub(Interval(10, 20))
+        assert iv.contains_interval(Interval(-19, -8))
+        assert iv.lo == pytest.approx(-19)
+        assert iv.hi == pytest.approx(-8)
+
+    def test_mul_sign_cases(self):
+        prod = Interval(-2.0, 3.0).mul(Interval(-5.0, 1.0))
+        # Corners: min/max over {10, -2, -15, 3}, then widened.
+        assert prod.contains_interval(Interval(-15.0, 10.0))
+        assert prod.lo == pytest.approx(-15.0)
+        assert prod.hi == pytest.approx(10.0)
+
+    def test_mul_with_infinity_is_top(self):
+        assert Interval(0.0, 1.0).mul(Interval.top()) == Interval.top()
+
+    def test_scaled(self):
+        assert Interval(-1.0, 2.0).scaled(-3.0) == Interval(-6.0, 3.0)
+
+    def test_hull(self):
+        assert Interval(0, 1).hull(Interval(5, 6)) == Interval(0, 6)
+
+    def test_intersect(self):
+        assert Interval(0, 4).intersect(Interval(2, 9)) == Interval(2, 4)
+
+    def test_widened_grows_outward(self):
+        iv = Interval(-1.0, 1.0)
+        wide = iv.widened()
+        assert wide.lo < iv.lo and wide.hi > iv.hi
+        assert wide.contains_interval(iv)
+
+
+class TestUnaryImage:
+    def test_monotone_function(self):
+        iv = unary_image(np.exp, Interval(0.0, 1.0))
+        assert iv.contains(1.0) and iv.contains(math.e)
+
+    def test_critical_point_captures_interior_extremum(self):
+        # x^2 over [-2, 3]: minimum at the interior critical point 0.
+        iv = unary_image(np.square, Interval(-2.0, 3.0),
+                         critical_points=(0.0,))
+        assert iv.contains(0.0)
+        assert iv.contains(9.0)
+
+    def test_critical_point_outside_range_ignored(self):
+        iv = unary_image(np.square, Interval(1.0, 2.0),
+                         critical_points=(0.0,))
+        assert iv.lo >= 1.0 - 1e-6
+
+
+class TestSoundnessOnSamples:
+    """The domain ops over-approximate concrete arithmetic."""
+
+    def test_add_mul_random(self):
+        rng = np.random.default_rng(7)
+        for _ in range(200):
+            a_lo, a_hi = sorted(rng.normal(size=2))
+            b_lo, b_hi = sorted(rng.normal(size=2))
+            a = Interval(a_lo, a_hi)
+            b = Interval(b_lo, b_hi)
+            xs = rng.uniform(a_lo, a_hi, size=8)
+            ys = rng.uniform(b_lo, b_hi, size=8)
+            for x, y in zip(xs, ys):
+                assert a.add(b).contains(x + y)
+                assert a.sub(b).contains(x - y)
+                assert a.mul(b).widened().contains(x * y)

@@ -1,0 +1,180 @@
+"""Memory-arena planner and its independent static verifier."""
+
+import dataclasses
+
+import pytest
+
+from repro.absint.liveness import tensor_liveness
+from repro.absint.memplan import (
+    ALIGNMENT,
+    ArenaSlot,
+    MemoryPlan,
+    plan_memory,
+    plannable,
+    tensor_bytes,
+    verify_memory_plan,
+)
+from repro.graph import ops
+from repro.models import build_model
+from tests.conftest import chain_graph, random_dag, small_cnn
+
+
+class TestPlanner:
+    def test_plan_verifies_clean(self):
+        graph = small_cnn()
+        plan = plan_memory(graph)
+        assert verify_memory_plan(graph, plan) == []
+        assert plan.arena_size > 0
+        assert plan.total_bytes >= plan.arena_size
+        assert plan.reuse_factor >= 1.0
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_random_dags_verify_clean(self, seed):
+        graph = random_dag(seed)
+        assert verify_memory_plan(graph, plan_memory(graph)) == []
+
+    @pytest.mark.parametrize(
+        "name", ["mobilenet_v3", "tinybert", "conformer"]
+    )
+    def test_zoo_plans_verify_clean(self, name):
+        graph = build_model(name)
+        plan = plan_memory(graph)
+        assert verify_memory_plan(graph, plan) == []
+        # Real models reuse memory substantially.
+        assert plan.reuse_factor > 2.0
+
+    def test_slots_are_aligned(self):
+        plan = plan_memory(small_cnn())
+        for slot in plan.slots.values():
+            assert slot.offset % ALIGNMENT == 0
+            assert slot.size == tensor_bytes(
+                small_cnn().node(slot.node_id)
+            )
+
+    def test_excludes_inputs_outputs_and_unused(self):
+        graph = small_cnn()
+        lv = tensor_liveness(graph)
+        plan = plan_memory(graph, lv)
+        for node in graph:
+            if isinstance(node.op, (ops.Input, ops.Constant)):
+                assert node.node_id not in plan.slots
+            if node.node_id in lv.keep:
+                assert node.node_id not in plan.slots
+            assert plannable(node, lv) == (node.node_id in plan.slots)
+
+    def test_output_never_aliases_inputs(self):
+        # Allocate-before-free: a node's slot must not overlap any of
+        # its own inputs' slots, whatever their liveness says.
+        graph = build_model("mobilenet_v3")
+        plan = plan_memory(graph)
+        for node in graph:
+            slot = plan.slots.get(node.node_id)
+            if slot is None:
+                continue
+            for input_id in node.inputs:
+                other = plan.slots.get(input_id)
+                if other is None:
+                    continue
+                disjoint = (
+                    slot.offset + slot.size <= other.offset
+                    or other.offset + other.size <= slot.offset
+                )
+                assert disjoint, (
+                    f"{slot.name} output aliases input {other.name}"
+                )
+
+
+def _corrupt(plan: MemoryPlan, node_id: int, **changes) -> MemoryPlan:
+    slots = dict(plan.slots)
+    slots[node_id] = dataclasses.replace(slots[node_id], **changes)
+    return MemoryPlan(
+        arena_size=plan.arena_size,
+        slots=slots,
+        total_bytes=plan.total_bytes,
+    )
+
+
+class TestVerifier:
+    """The checker catches corrupted plans it did not produce."""
+
+    @pytest.fixture()
+    def graph_and_plan(self):
+        graph = small_cnn()
+        plan = plan_memory(graph)
+        assert len(plan.slots) >= 2
+        return graph, plan
+
+    def test_overlap_is_mp001(self, graph_and_plan):
+        graph, plan = graph_and_plan
+        ids = sorted(plan.slots)
+        a, b = ids[0], ids[1]
+        bad = _corrupt(
+            plan, b, offset=plan.slots[a].offset
+        )
+        findings = verify_memory_plan(graph, bad)
+        assert any(f.rule_id == "LINT-MP001" for f in findings)
+
+    def test_undersized_slot_is_mp002(self, graph_and_plan):
+        graph, plan = graph_and_plan
+        victim = sorted(plan.slots)[0]
+        bad = _corrupt(
+            plan, victim, size=plan.slots[victim].size - 8
+        )
+        findings = verify_memory_plan(graph, bad)
+        assert any(f.rule_id == "LINT-MP002" for f in findings)
+
+    def test_dropped_slot_is_mp003(self, graph_and_plan):
+        graph, plan = graph_and_plan
+        slots = dict(plan.slots)
+        dropped = slots.pop(sorted(slots)[0])
+        bad = MemoryPlan(
+            arena_size=plan.arena_size,
+            slots=slots,
+            total_bytes=plan.total_bytes,
+        )
+        findings = verify_memory_plan(graph, bad)
+        mp3 = [f for f in findings if f.rule_id == "LINT-MP003"]
+        assert any(
+            f.details.get("node_id") == dropped.node_id
+            or f.location.node == dropped.name
+            for f in mp3
+        )
+
+    def test_unknown_node_is_mp003(self, graph_and_plan):
+        graph, plan = graph_and_plan
+        slots = dict(plan.slots)
+        slots[99999] = ArenaSlot(
+            node_id=99999,
+            name="ghost",
+            offset=0,
+            size=64,
+            birth=0,
+            death=1,
+        )
+        bad = MemoryPlan(
+            arena_size=plan.arena_size,
+            slots=slots,
+            total_bytes=plan.total_bytes,
+        )
+        findings = verify_memory_plan(graph, bad)
+        assert any(
+            f.rule_id == "LINT-MP003"
+            and f.details.get("node_id") == 99999
+            for f in findings
+        )
+
+    def test_slot_past_arena_is_mp003(self, graph_and_plan):
+        graph, plan = graph_and_plan
+        victim = sorted(plan.slots)[0]
+        bad = _corrupt(
+            plan, victim, offset=plan.arena_size
+        )
+        findings = verify_memory_plan(graph, bad)
+        assert any(f.rule_id == "LINT-MP003" for f in findings)
+
+    def test_dict_round_trip(self, graph_and_plan):
+        _, plan = graph_and_plan
+        payload = plan.to_dict()
+        assert payload["arena_size"] == plan.arena_size
+        assert len(payload["slots"]) == len(plan.slots)
+        assert payload["reuse_factor"] == round(plan.reuse_factor, 3)

@@ -1,0 +1,277 @@
+"""Value-range analysis: QR rule regressions and rescale statics."""
+
+import numpy as np
+import pytest
+
+from repro.absint.domain import Interval
+from repro.absint.ranges import INT32_MAX, ValueRangeAnalysis
+from repro.compiler import compile_model
+from repro.errors import QuantizationError
+from repro.graph import ops
+from repro.harness import example_feeds
+from repro.runtime import QuantizedExecutor
+from repro.runtime.calibration import FrozenCalibration, calibrate_graph
+from repro.runtime.executor import QuantizedExecutor as QX
+from repro.runtime.rescale import (
+    MULTIPLIER_MAX,
+    VANISHING_RATIO,
+    RescaleStep,
+    addsub_rescale_plan,
+    shift_underflows,
+)
+from tests.conftest import small_cnn
+
+
+def _calibrated(compiled, seed=0):
+    """Frozen calibration measured on the *compiled* graph."""
+    from repro.graph.execute import ReferenceExecutor
+
+    reference = ReferenceExecutor(compiled.graph, seed=seed)
+    feeds = example_feeds(compiled.graph, count=2, seed=99)
+    return calibrate_graph(compiled.graph, reference, feeds)
+
+
+@pytest.fixture(scope="module")
+def compiled_cnn():
+    return compile_model(small_cnn())
+
+
+@pytest.fixture(scope="module")
+def cnn_calibration(compiled_cnn):
+    return _calibrated(compiled_cnn)
+
+
+class TestShiftUnderflow:
+    """The shared predicate behind the runtime guard and LINT-QR004."""
+
+    def test_truth_table(self):
+        assert not shift_underflows(2 ** 14, 0)
+        assert not shift_underflows(2 ** 14, 5)
+        # 2^14 << 16 = 2^30 still fits the int32 lane.
+        assert not shift_underflows(2 ** 14, -16)
+        # 2^14 << 17 = 2^31 exceeds it.
+        assert shift_underflows(2 ** 14, -17)
+        assert not shift_underflows(2 ** 15 - 1, -16)
+        assert shift_underflows(MULTIPLIER_MAX, -1)
+
+    def test_runtime_guard_raises_structured_error(self):
+        node = small_cnn().output_nodes()[0]
+        levels = np.array([1, -2], dtype=np.int64)
+        with pytest.raises(QuantizationError) as exc:
+            QX._fixed_point_rescale(node, levels, 2 ** 14, -17)
+        assert "underflow" in str(exc.value)
+
+    def test_runtime_prescales_small_deficits(self):
+        node = small_cnn().output_nodes()[0]
+        levels = np.array([3, -1], dtype=np.int64)
+        out = QX._fixed_point_rescale(node, levels, 2 ** 14, -2)
+        assert np.array_equal(out, levels * (2 ** 14 << 2))
+
+    def test_step_underflow_property(self):
+        bad = RescaleStep(0, 1.0, 1.0, 1.0, multiplier=2 ** 14,
+                          shift=-17)
+        good = RescaleStep(0, 1.0, 1.0, 1.0, multiplier=2 ** 14,
+                           shift=12)
+        skipped = RescaleStep(0, 1.0, 1.0, 0.0, skipped=True)
+        assert bad.underflows
+        assert not good.underflows
+        assert not skipped.underflows
+
+
+class TestRescalePlan:
+    def test_consistent_bounds_are_encodable(self):
+        plan = addsub_rescale_plan(3.0, 5.0)
+        assert plan.out_bound == 8.0
+        assert len(plan.steps) == 2
+        for step in plan.steps:
+            assert not step.skipped
+            assert not step.underflows
+            assert 2 ** 14 <= step.multiplier < 2 ** 15
+            # ratio <= 1/4 keeps the effective shift non-negative.
+            assert step.shift >= 0
+
+    def test_vanishing_operand_is_skipped(self):
+        plan = addsub_rescale_plan(1.0, 1e16)
+        tiny, huge = plan.steps
+        assert tiny.skipped
+        assert tiny.ratio < VANISHING_RATIO
+        assert not huge.skipped
+
+    def test_non_finite_bound_raises(self):
+        with pytest.raises(QuantizationError):
+            addsub_rescale_plan(float("inf"), 1.0)
+        with pytest.raises(QuantizationError):
+            addsub_rescale_plan(float("nan"), 1.0)
+
+
+class TestStaticRules:
+    """Compile-time QR diagnostics over a compiled graph."""
+
+    def _add_node(self, compiled):
+        return next(
+            n for n in compiled.graph
+            if isinstance(n.op, (ops.Add, ops.Sub))
+        )
+
+    def test_clean_calibration_has_no_findings(
+        self, compiled_cnn, cnn_calibration
+    ):
+        analysis = ValueRangeAnalysis(
+            compiled_cnn, cnn_calibration
+        ).run()
+        assert analysis.diagnostics == []
+        assert set(analysis.intervals) == {
+            n.node_id for n in compiled_cnn.graph
+        }
+        # Every quantized GEMM carries a discharged QR003 obligation.
+        assert analysis.acc_bounds
+        assert all(
+            bound <= INT32_MAX
+            for bound in analysis.acc_bounds.values()
+        )
+
+    def test_missing_calibration_reports_qr001(self, compiled_cnn):
+        empty = FrozenCalibration(bounds={}, samples=0)
+        analysis = ValueRangeAnalysis(compiled_cnn, empty).run()
+        rules = {d.rule_id for d in analysis.diagnostics}
+        assert rules == {"LINT-QR001"}
+        # Unknown operands abstract to top, never crash the pass.
+        add = self._add_node(compiled_cnn)
+        assert analysis.intervals[add.node_id] == Interval.top()
+
+    def test_infinite_bound_reports_qr002(
+        self, compiled_cnn, cnn_calibration
+    ):
+        add = self._add_node(compiled_cnn)
+        bounds = dict(cnn_calibration.bounds)
+        bounds[add.inputs[0]] = float("inf")
+        analysis = ValueRangeAnalysis(
+            compiled_cnn, FrozenCalibration(bounds=bounds, samples=1)
+        ).run()
+        assert any(
+            d.rule_id == "LINT-QR002"
+            and d.location.node == add.name
+            for d in analysis.diagnostics
+        )
+
+    def test_vanishing_operand_reports_qr005(
+        self, compiled_cnn, cnn_calibration
+    ):
+        add = self._add_node(compiled_cnn)
+        bounds = dict(cnn_calibration.bounds)
+        bounds[add.inputs[0]] = 1.0
+        bounds[add.inputs[1]] = 1e16
+        analysis = ValueRangeAnalysis(
+            compiled_cnn, FrozenCalibration(bounds=bounds, samples=1)
+        ).run()
+        findings = [
+            d for d in analysis.diagnostics
+            if d.rule_id == "LINT-QR005"
+        ]
+        assert findings
+        assert findings[0].location.node == add.name
+
+    def test_unencodable_plan_reports_qr004(
+        self, compiled_cnn, cnn_calibration, monkeypatch
+    ):
+        # With a consistent calibration the plan is always encodable
+        # (ratio <= 1/4); the QR004 promotion is the wiring that turns
+        # the runtime QuantizationError into a compile-time finding,
+        # so fail the plan at its seam.
+        import repro.absint.ranges as ranges_mod
+
+        def explode(bound_a, bound_b, node=None):
+            raise QuantizationError(
+                "rescale multiplier not encodable: synthetic",
+                stage="runtime",
+                node=node,
+            )
+
+        monkeypatch.setattr(
+            ranges_mod, "addsub_rescale_plan", explode
+        )
+        analysis = ValueRangeAnalysis(
+            compiled_cnn, cnn_calibration
+        ).run()
+        add = self._add_node(compiled_cnn)
+        findings = [
+            d for d in analysis.diagnostics
+            if d.rule_id == "LINT-QR004"
+        ]
+        assert findings
+        assert findings[0].location.node == add.name
+        assert analysis.intervals[add.node_id] == Interval.top()
+
+    def test_accumulator_overflow_reports_qr003(
+        self, compiled_cnn, cnn_calibration
+    ):
+        analysis = ValueRangeAnalysis(compiled_cnn, cnn_calibration)
+        node = self._add_node(compiled_cnn)
+        analysis._check_accumulator(node, INT32_MAX + 1)
+        assert any(
+            d.rule_id == "LINT-QR003"
+            for d in analysis.diagnostics
+        )
+        assert analysis.acc_bounds[node.node_id] == INT32_MAX + 1
+
+    def test_shrunk_bound_reports_qr006(
+        self, compiled_cnn, cnn_calibration
+    ):
+        # A consumed tensor whose frozen bound is far below its
+        # statically possible values saturates at quantization time.
+        add = self._add_node(compiled_cnn)
+        bounds = dict(cnn_calibration.bounds)
+        bounds[add.inputs[0]] = 1e-9
+        analysis = ValueRangeAnalysis(
+            compiled_cnn, FrozenCalibration(bounds=bounds, samples=1)
+        ).run()
+        flagged = {
+            d.location.node
+            for d in analysis.diagnostics
+            if d.rule_id == "LINT-QR006"
+        }
+        producer = compiled_cnn.graph.node(add.inputs[0])
+        assert producer.name in flagged
+
+
+class TestRuntimeAgreement:
+    """The promoted static rules describe what the kernel does."""
+
+    def test_addsub_matches_plan_on_compiled_graph(self):
+        # A graph whose single output IS the add node, so the executed
+        # value can be compared against the static rescale plan: the
+        # kernel's output must be exactly level * out_scale.
+        from repro.graph.builder import GraphBuilder
+
+        b = GraphBuilder("residual_tail")
+        x = b.input((1, 3, 8, 8), name="image")
+        a = b.conv2d(x, 4, kernel=3)
+        c = b.conv2d(x, 4, kernel=3)
+        b.add(a, c)
+        compiled = compile_model(b.build())
+        calibration = _calibrated(compiled)
+        add = next(
+            n for n in compiled.graph if isinstance(n.op, ops.Add)
+        )
+        plan = addsub_rescale_plan(
+            calibration.bound(add.inputs[0]),
+            calibration.bound(add.inputs[1]),
+        )
+        executor = QuantizedExecutor(
+            compiled, seed=0, calibration=calibration
+        )
+        feeds = example_feeds(compiled.graph, count=1, seed=5)[0]
+        outputs = executor.run(feeds)
+        value = outputs[add.name]
+        levels = np.round(value / plan.out_scale)
+        assert np.allclose(value, levels * plan.out_scale)
+        assert levels.min() >= -128 and levels.max() <= 127
+
+        # And the static interval is exactly the addsub transfer's.
+        analysis = ValueRangeAnalysis(compiled, calibration).run()
+        interval = analysis.intervals[add.node_id]
+        assert interval.lo == -128.0 * plan.out_scale
+        assert interval.hi == 127.0 * plan.out_scale
+        assert all(
+            interval.contains(v) for v in np.ravel(value)
+        )

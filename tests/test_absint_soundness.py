@@ -1,0 +1,122 @@
+"""Soundness fuzzing: observed runtime values ⊆ static intervals.
+
+The value-range analysis promises that, for any feed inside the
+calibration envelope, every tensor the quantized executor materialises
+lies inside the statically computed interval.  These tests fuzz that
+claim end to end: random calibration feeds, random request feeds
+(clipped into the input nodes' frozen bounds — the analysis' input
+contract), exact containment per node on the *compiled* graph.
+"""
+
+import numpy as np
+import pytest
+
+from repro.absint.ranges import ValueRangeAnalysis
+from repro.compiler import compile_model
+from repro.graph import ops
+from repro.graph.execute import ReferenceExecutor
+from repro.harness import example_feeds
+from repro.models import build_model
+from repro.runtime import QuantizedExecutor
+from repro.runtime.calibration import calibrate_graph
+from tests.conftest import chain_graph, random_dag, small_cnn
+
+#: Containment slack: interval endpoints and kernel outputs may round
+#: in different directions on the last ulp of a chained float compute.
+REL_SLACK = 1e-7
+
+
+def _clipped_feeds(graph, calibration, count, seed):
+    """Request feeds folded into each input's calibration envelope."""
+    feeds_list = example_feeds(graph, count=count, seed=seed)
+    inputs = {
+        node.name: node.node_id
+        for node in graph
+        if isinstance(node.op, ops.Input)
+    }
+    clipped = []
+    for feeds in feeds_list:
+        sample = {}
+        for name, value in feeds.items():
+            bound = calibration.bound(inputs[name])
+            sample[name] = np.clip(value, -bound, bound)
+        clipped.append(sample)
+    return clipped
+
+
+def _assert_contained(compiled, *, calib_seed, run_seed, requests=2):
+    graph = compiled.graph
+    reference = ReferenceExecutor(graph, seed=0)
+    sample_feeds = example_feeds(graph, count=2, seed=calib_seed)
+    calibration = calibrate_graph(graph, reference, sample_feeds)
+
+    from repro.lint.diagnostics import Severity
+
+    analysis = ValueRangeAnalysis(compiled, calibration).run()
+    assert not any(
+        d.severity is Severity.ERROR for d in analysis.diagnostics
+    )
+
+    executor = QuantizedExecutor(
+        compiled, seed=0, calibration=calibration, kernel_mac_limit=0
+    )
+    for feeds in _clipped_feeds(graph, calibration, requests, run_seed):
+        values = {}
+        for node in graph:
+            inputs = [values[i] for i in node.inputs]
+            values[node.node_id] = executor._eval(node, inputs, feeds)
+        for node in graph:
+            interval = analysis.intervals[node.node_id]
+            observed = np.asarray(values[node.node_id], dtype=np.float64)
+            slack = REL_SLACK * max(
+                1.0,
+                abs(interval.lo)
+                if np.isfinite(interval.lo)
+                else 0.0,
+                abs(interval.hi)
+                if np.isfinite(interval.hi)
+                else 0.0,
+            )
+            lo = float(observed.min())
+            hi = float(observed.max())
+            assert interval.contains(lo, slack=slack) and (
+                interval.contains(hi, slack=slack)
+            ), (
+                f"{node.name} ({node.op.op_type}): observed "
+                f"[{lo}, {hi}] escapes static {interval}"
+            )
+
+
+class TestSyntheticGraphs:
+    @pytest.mark.parametrize("calib_seed,run_seed", [(11, 21), (12, 22)])
+    def test_small_cnn(self, calib_seed, run_seed):
+        compiled = compile_model(small_cnn())
+        _assert_contained(
+            compiled, calib_seed=calib_seed, run_seed=run_seed
+        )
+
+    def test_chain(self):
+        compiled = compile_model(chain_graph(length=6))
+        _assert_contained(compiled, calib_seed=31, run_seed=41)
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_random_dags(self, seed):
+        compiled = compile_model(random_dag(seed))
+        _assert_contained(
+            compiled, calib_seed=50 + seed, run_seed=70 + seed
+        )
+
+
+class TestZooModels:
+    """End-to-end containment on real (cheap) zoo models."""
+
+    @pytest.mark.parametrize("name", ["mobilenet_v3", "tinybert"])
+    def test_zoo_containment(self, name):
+        from repro.compiler import CompilerOptions, GCD2Compiler
+
+        compiled = GCD2Compiler(CompilerOptions()).compile(
+            build_model(name)
+        )
+        _assert_contained(
+            compiled, calib_seed=99, run_seed=7, requests=1
+        )

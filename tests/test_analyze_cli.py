@@ -1,0 +1,109 @@
+"""End-to-end tests for ``repro analyze`` (CLI surface + gates)."""
+
+import json
+import math
+
+import pytest
+
+from repro.cli import main
+from repro.graph.serialization import save_graph
+from tests.conftest import small_cnn
+
+
+@pytest.fixture()
+def cnn_path(tmp_path):
+    path = tmp_path / "small_cnn.json"
+    save_graph(small_cnn(), path)
+    return str(path)
+
+
+class TestAnalyzeCommand:
+    def test_clean_model_exits_zero(self, cnn_path, capsys):
+        assert main(["analyze", cnn_path]) == 0
+        out = capsys.readouterr().out
+        assert "nodes analyzed" in out
+        assert "arena:" in out
+        assert "proved" in out
+        assert "FAILED" not in out
+
+    def test_json_format_parses(self, cnn_path, capsys):
+        assert main(["analyze", cnn_path, "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        summary = payload["summary"]
+        assert summary["errors"] == 0
+        assert summary["proved"]["accumulators_fit_int32"]
+        assert summary["proved"]["memory_plan_safe"]
+        assert payload["memory_plan"]["arena_size"] > 0
+        assert payload["memory_plan"]["slots"]
+        assert payload["intervals"]
+        for lo, hi in payload["intervals"].values():
+            assert lo <= hi
+
+    def test_zoo_name_resolves(self, capsys):
+        assert main(["analyze", "tinybert"]) == 0
+        assert "tinybert" in capsys.readouterr().out
+
+    def test_warning_gate_trips_on_zoo_warnings(self, capsys):
+        # tinybert carries QR005/QR006 warnings by construction.
+        assert main(
+            ["analyze", "tinybert", "--fail-on", "warning"]
+        ) == 1
+        assert "failing" in capsys.readouterr().err
+
+    def test_unknown_model_exits_one(self, capsys):
+        assert main(["analyze", "no_such_model"]) == 1
+        assert capsys.readouterr().err
+
+
+class TestBaselines:
+    def test_write_then_suppress_round_trip(self, tmp_path, capsys):
+        baseline = tmp_path / "analyze-baseline.json"
+        assert main(
+            ["analyze", "tinybert", "--write-baseline", str(baseline)]
+        ) == 0
+        assert json.loads(baseline.read_text())["version"] == 1
+        capsys.readouterr()
+        assert main(
+            [
+                "analyze",
+                "tinybert",
+                "--baseline",
+                str(baseline),
+                "--fail-on",
+                "warning",
+            ]
+        ) == 0
+
+
+class TestCalibrationOverride:
+    def _write(self, tmp_path, payload):
+        path = tmp_path / "calibration.json"
+        path.write_text(json.dumps(payload))
+        return str(path)
+
+    def test_infinite_bound_caught_at_compile_time(
+        self, cnn_path, tmp_path, capsys
+    ):
+        # The runtime QuantizationError becomes a static QR002 ERROR:
+        # the pathological calibration fails the gate before any
+        # request executes.
+        calib = self._write(tmp_path, {"image": math.inf})
+        assert main(
+            ["analyze", cnn_path, "--calibration", calib, "--json"]
+        ) == 1
+        payload = json.loads(capsys.readouterr().out)
+        rules = {d["rule"] for d in payload["diagnostics"]}
+        assert "LINT-QR002" in rules
+        # Bounds the file does not supply are missing, not guessed.
+        assert "LINT-QR001" in rules
+        assert payload["summary"]["errors"] > 0
+        assert not payload["summary"]["proved"]["calibration_complete"]
+
+    def test_unknown_node_name_rejected(
+        self, cnn_path, tmp_path, capsys
+    ):
+        calib = self._write(tmp_path, {"no_such_tensor": 1.0})
+        assert main(
+            ["analyze", cnn_path, "--calibration", calib]
+        ) == 1
+        assert "unknown node" in capsys.readouterr().err

@@ -1,0 +1,188 @@
+"""Arena-backed batch execution: bit-identity, reuse, fault seams."""
+
+import numpy as np
+import pytest
+
+from repro.compiler import compile_model
+from repro.errors import SimulationError
+from repro.harness import example_feeds
+from repro.runtime import InferenceEngine, QuantizedExecutor
+from repro.verify.runtime import verify_engine_parity
+from tests.conftest import chain_graph, random_dag, small_cnn
+
+
+def _engine_pair(graph, requests=4, **kwargs):
+    """(compiled, calibration, feeds, dict-engine, arena-engine)."""
+    compiled = compile_model(graph)
+    executor = QuantizedExecutor(compiled, seed=0, kernel_mac_limit=0)
+    calibration = executor.calibrate(
+        example_feeds(compiled.graph, count=2, seed=99)
+    )
+    feeds = example_feeds(compiled.graph, count=requests, seed=7)
+    plain = InferenceEngine(
+        compiled, calibration, seed=0, kernel_mac_limit=0, **kwargs
+    )
+    arena = InferenceEngine(
+        compiled,
+        calibration,
+        seed=0,
+        kernel_mac_limit=0,
+        arena=True,
+        **kwargs,
+    )
+    return compiled, calibration, feeds, plain, arena
+
+
+class TestBitIdentity:
+    def test_small_cnn_outputs_match_exactly(self):
+        _, _, feeds, plain, arena = _engine_pair(small_cnn())
+        try:
+            expected = plain.run_batch(feeds)
+            observed = arena.run_batch(feeds)
+            assert len(expected) == len(observed)
+            for exp, obs in zip(expected, observed):
+                assert set(exp) == set(obs)
+                for key in exp:
+                    assert np.array_equal(exp[key], obs[key]), key
+            assert arena.diagnostics.arena_batches == 1
+            assert plain.diagnostics.arena_batches == 0
+        finally:
+            plain.close()
+            arena.close()
+
+    def test_parity_gate_passes_in_arena_mode(self):
+        compiled, _, feeds, plain, arena = _engine_pair(small_cnn())
+        plain.close()
+        try:
+            verify_engine_parity(arena, feeds)
+        finally:
+            arena.close()
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_random_dags_match(self, seed):
+        _, _, feeds, plain, arena = _engine_pair(
+            random_dag(seed), requests=3
+        )
+        try:
+            for exp, obs in zip(
+                plain.run_batch(feeds), arena.run_batch(feeds)
+            ):
+                for key in exp:
+                    assert np.array_equal(exp[key], obs[key])
+        finally:
+            plain.close()
+            arena.close()
+
+    def test_rerun_reuses_buffers_without_contamination(self):
+        # The second batch writes into the same arena storage; results
+        # must not be views that a later batch can clobber.
+        _, _, feeds, plain, arena = _engine_pair(chain_graph(length=5))
+        plain.close()
+        try:
+            first = arena.run_batch(feeds)
+            snapshot = [
+                {k: v.copy() for k, v in sample.items()}
+                for sample in first
+            ]
+            different = example_feeds(
+                arena.compiled.graph, count=len(feeds), seed=1234
+            )
+            arena.run_batch(different)
+            for kept, sample in zip(snapshot, first):
+                for key in kept:
+                    assert np.array_equal(kept[key], sample[key])
+            assert arena.diagnostics.arena_batches == 2
+        finally:
+            arena.close()
+
+    def test_varying_batch_sizes(self):
+        _, _, feeds, plain, arena = _engine_pair(small_cnn(), requests=5)
+        try:
+            for count in (1, 3, 5):
+                exp = plain.run_batch(feeds[:count])
+                obs = arena.run_batch(feeds[:count])
+                for e, o in zip(exp, obs):
+                    for key in e:
+                        assert np.array_equal(e[key], o[key])
+        finally:
+            plain.close()
+            arena.close()
+
+
+class TestMemoryPlanGate:
+    def test_memory_plan_is_lazy_and_cached(self):
+        _, _, _, plain, arena = _engine_pair(small_cnn())
+        plain.close()
+        try:
+            assert arena._memory_plan is None
+            plan = arena.memory_plan()
+            assert plan is arena.memory_plan()
+            assert plan.arena_size > 0
+        finally:
+            arena.close()
+
+    def test_unsafe_plan_raises_before_first_batch(self, monkeypatch):
+        import dataclasses
+
+        from repro.absint import memplan
+
+        _, _, feeds, plain, arena = _engine_pair(small_cnn())
+        plain.close()
+        real_plan = memplan.plan_memory
+
+        def corrupt_plan(graph, liveness=None):
+            plan = real_plan(graph, liveness)
+            slots = dict(plan.slots)
+            ids = sorted(slots)
+            slots[ids[1]] = dataclasses.replace(
+                slots[ids[1]], offset=slots[ids[0]].offset
+            )
+            return memplan.MemoryPlan(
+                arena_size=plan.arena_size,
+                slots=slots,
+                total_bytes=plan.total_bytes,
+            )
+
+        monkeypatch.setattr(memplan, "plan_memory", corrupt_plan)
+        try:
+            with pytest.raises(SimulationError) as exc:
+                arena.run_batch(feeds)
+            assert "static verification" in str(exc.value)
+        finally:
+            arena.close()
+
+
+class TestFaultSeams:
+    def test_batch_fault_hook_still_fires_in_arena_mode(self):
+        _, _, feeds, plain, arena = _engine_pair(small_cnn())
+        plain.close()
+        seen = []
+        boom = RuntimeError("chaos")
+
+        def hook(node):
+            seen.append(node.name)
+            if len(seen) == 3:
+                raise boom
+
+        arena.batch_fault_hook = hook
+        try:
+            with pytest.raises(RuntimeError):
+                arena.run_batch(feeds)
+            assert len(seen) == 3
+            # The engine stays usable after a failed batch.
+            arena.batch_fault_hook = None
+            outputs = arena.run_batch(feeds)
+            assert len(outputs) == len(feeds)
+        finally:
+            arena.close()
+
+    def test_weight_levels_cache_only_in_arena_mode(self):
+        _, _, feeds, plain, arena = _engine_pair(small_cnn())
+        try:
+            plain.run_batch(feeds)
+            arena.run_batch(feeds)
+            assert not plain._weight_levels
+            assert arena._weight_levels
+        finally:
+            plain.close()
+            arena.close()

@@ -1,0 +1,184 @@
+"""Static analysis surfaced through the serve layer."""
+
+import json
+import os
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.errors import ModelNotReadyError
+from repro.graph.serialization import save_graph
+from repro.serve import ServeConfig, ServeServer, ServeService
+from repro.serve.chaos import build_chaos_graph
+from tests.conftest import small_cnn
+
+
+@pytest.fixture
+def graph_path(tmp_path):
+    path = tmp_path / "small_cnn.json"
+    save_graph(small_cnn(), str(path))
+    return str(path)
+
+
+def _service(tmp_path, **overrides):
+    config = ServeConfig(
+        cache_dir=str(tmp_path / "cache"),
+        graph_root=str(tmp_path),
+        retry_backoff_s=0.01,
+        **overrides,
+    )
+    return ServeService(config).start(warm=False)
+
+
+def _register(service, graph_path, name="m1", **kwargs):
+    entry, job = service.register(name, source=graph_path, **kwargs)
+    assert job.wait(timeout=120), "compile job hung"
+    return entry, job
+
+
+class TestServiceAnalysis:
+    def test_ready_model_carries_analysis_summary(
+        self, tmp_path, graph_path
+    ):
+        service = _service(tmp_path)
+        try:
+            entry, job = _register(service, graph_path)
+            assert job.ok and entry.state == "ready"
+            assert entry.analysis is not None
+            assert entry.analysis["errors"] == 0
+            assert entry.analysis["arena_bytes"] > 0
+            proved = entry.analysis["proved"]
+            assert proved["memory_plan_safe"]
+            assert proved["accumulators_fit_int32"]
+            payload = entry.to_payload()
+            assert payload["analysis"]["errors"] == 0
+        finally:
+            service.stop()
+
+    def test_analysis_view_returns_full_report(
+        self, tmp_path, graph_path
+    ):
+        service = _service(tmp_path)
+        try:
+            _register(service, graph_path)
+            report = service.analysis("m1")
+            assert report["summary"]["errors"] == 0
+            assert report["memory_plan"]["arena_size"] > 0
+            assert report["intervals"]
+        finally:
+            service.stop()
+
+    def test_analysis_before_ready_is_structured(
+        self, tmp_path, graph_path
+    ):
+        service = _service(tmp_path)
+        try:
+            service.registry.add(
+                __import__(
+                    "repro.serve.registry", fromlist=["ModelEntry"]
+                ).ModelEntry(name="cold", source=graph_path)
+            )
+            with pytest.raises(ModelNotReadyError):
+                service.analysis("cold")
+        finally:
+            service.stop()
+
+    def test_analysis_failure_degrades_to_warning(
+        self, tmp_path, graph_path, monkeypatch
+    ):
+        import repro.absint as absint
+
+        def explode(compiled, calibration=None, **kwargs):
+            raise RuntimeError("analysis blew up")
+
+        monkeypatch.setattr(absint, "analyze_model", explode)
+        service = _service(tmp_path)
+        try:
+            entry, job = _register(service, graph_path)
+            # Serving survives; the failure is a diagnostic, not an
+            # outage.
+            assert job.ok and entry.state == "ready"
+            assert entry.analysis is None
+            warnings = service.diagnostics.to_payload()["warnings"]
+            assert any("static analysis failed" in w for w in warnings)
+        finally:
+            service.stop()
+
+    def test_strict_gate_fails_erroring_models(
+        self, tmp_path, graph_path, monkeypatch
+    ):
+        import repro.absint as absint
+
+        real = absint.analyze_model
+
+        class FakeAnalysis:
+            def summary(self):
+                return {
+                    "errors": 2,
+                    "warnings": 0,
+                    "rules": ["LINT-QR002"],
+                }
+
+        monkeypatch.setattr(
+            absint, "analyze_model", lambda *a, **k: FakeAnalysis()
+        )
+        service = _service(tmp_path, strict_analysis=True)
+        try:
+            entry, job = _register(service, graph_path)
+            assert not job.ok
+            assert entry.state == "failed"
+            assert "static analysis" in entry.error["message"]
+        finally:
+            service.stop()
+
+    def test_strict_gate_passes_clean_models(
+        self, tmp_path, graph_path
+    ):
+        service = _service(tmp_path, strict_analysis=True)
+        try:
+            entry, job = _register(service, graph_path)
+            assert job.ok and entry.state == "ready"
+            assert entry.analysis["errors"] == 0
+        finally:
+            service.stop()
+
+
+class TestHttpRoute:
+    def test_get_models_name_analysis(self, tmp_path):
+        graph_file = tmp_path / "chaos_cnn.json"
+        save_graph(build_chaos_graph(), str(graph_file))
+        config = ServeConfig(
+            cache_dir=str(tmp_path / "cache"),
+            graph_root=str(tmp_path),
+            retry_backoff_s=0.01,
+        )
+        with ServeServer(config) as srv:
+            body = json.dumps(
+                {
+                    "name": "m1",
+                    "source": str(graph_file),
+                    "wait": True,
+                }
+            ).encode()
+            req = urllib.request.Request(
+                f"{srv.url}/models",
+                data=body,
+                headers={"Content-Type": "application/json"},
+            )
+            with urllib.request.urlopen(req, timeout=120) as resp:
+                assert resp.status == 200
+
+            with urllib.request.urlopen(
+                f"{srv.url}/models/m1/analysis", timeout=120
+            ) as resp:
+                report = json.loads(resp.read())
+            assert resp.status == 200
+            assert report["summary"]["errors"] == 0
+            assert report["memory_plan"]["arena_size"] > 0
+
+            with urllib.request.urlopen(
+                f"{srv.url}/models/m1", timeout=120
+            ) as resp:
+                model = json.loads(resp.read())
+            assert model["analysis"]["errors"] == 0
