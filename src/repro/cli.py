@@ -27,14 +27,20 @@ Commands
     (:mod:`repro.absint`): quantization value-range proofs
     (``LINT-QR*``) and the verified memory-arena plan (``LINT-MP*``).
     Same ``--fail-on``/``--baseline`` contract as ``lint``.
+``codegen MODEL``
+    Emit the specialized straight-line executor for a model
+    (:mod:`repro.codegen.emit`), prove it bit-identical to per-sample
+    execution (``verify_engine_parity(require_codegen=True)``) and
+    print emit-time/fingerprint/node statistics; ``--dump-source``
+    prints the generated Python.
 ``bench compile MODEL``
     Measure compiler throughput (cold / warm-disk-cache / parallel
     compiles) for one zoo model or ``all``; ``--json`` writes the
     rows to ``BENCH_compiler_throughput.json``.
 ``bench infer MODEL``
     Measure inference throughput (per-request calibration / frozen
-    calibration / batched engine) for one zoo model; ``--json`` writes
-    the rows to ``BENCH_inference_throughput.json``.
+    calibration / batched / arena / codegen engine) for one zoo model;
+    ``--json`` writes the rows to ``BENCH_inference_throughput.json``.
 ``tune MODEL``
     Search compiler configurations (SDA cost weights, unroll seeds,
     partition budget) against simulated cycles; ``--json`` writes the
@@ -344,6 +350,32 @@ def _build_parser() -> argparse.ArgumentParser:
         "--write-baseline",
         help="capture the current diagnostics into a baseline file "
         "and exit 0",
+    )
+
+    codegen_p = sub.add_parser(
+        "codegen",
+        help="emit + parity-gate the specialized per-model executor",
+    )
+    codegen_p.add_argument(
+        "model",
+        help="zoo model name or path to a graph JSON file",
+    )
+    codegen_p.add_argument(
+        "--requests", type=int, default=4,
+        help="parity-gate batch size (default: 4)",
+    )
+    codegen_p.add_argument(
+        "--no-arena", action="store_true",
+        help="emit against dict storage instead of the memory arena",
+    )
+    codegen_p.add_argument(
+        "--kernel-mac-limit", type=int, default=0,
+        help="GEMM routing threshold passed to the engine (default: 0 "
+        "= always the exact BLAS path)",
+    )
+    codegen_p.add_argument(
+        "--dump-source", action="store_true",
+        help="print the emitted Python source",
     )
 
     bench_p = sub.add_parser(
@@ -832,6 +864,70 @@ def _cmd_bench_compile(args) -> int:
     return 0
 
 
+def _cmd_codegen(args) -> int:
+    """Emit the specialized executor, prove parity, print the stats."""
+    from repro.harness import example_feeds
+    from repro.runtime import InferenceEngine
+    from repro.verify.runtime import (
+        RuntimeVerificationError,
+        verify_engine_parity,
+    )
+
+    graph = _resolve_graph(args.model)
+    compiled = GCD2Compiler(CompilerOptions()).compile(graph)
+    engine = InferenceEngine(
+        compiled,
+        kernel_mac_limit=args.kernel_mac_limit,
+        arena=not args.no_arena,
+        codegen=True,
+    )
+    try:
+        feeds_list = example_feeds(compiled.graph, count=args.requests)
+        engine.calibrate(
+            example_feeds(compiled.graph, count=2, seed=99)
+        )
+        engine.run_batch(feeds_list[:1])  # triggers emission
+        if engine._codegen_error is not None:
+            print(
+                f"emission FAILED (engine degraded to interpreter): "
+                f"{engine._codegen_error}",
+                file=sys.stderr,
+            )
+            return 1
+        emitted = engine._emitted
+        try:
+            parity = verify_engine_parity(
+                engine, feeds_list, require_codegen=True
+            )
+        except RuntimeVerificationError as exc:
+            print(f"parity gate FAILED: {exc}", file=sys.stderr)
+            return 1
+        diag = engine.diagnostics
+        total = emitted.stacked_nodes + emitted.sample_nodes
+        print(f"model:        {args.model}")
+        print(f"fingerprint:  {emitted.fingerprint}")
+        print(f"emit time:    {diag.codegen_emit_ms:.1f} ms")
+        print(
+            f"source:       {len(emitted.source.splitlines())} lines "
+            f"({len(emitted.source)} bytes)"
+        )
+        print(
+            f"nodes:        {total} ({emitted.stacked_nodes} batched, "
+            f"{emitted.sample_nodes} per-sample)"
+        )
+        print(f"arena:        {not args.no_arena}")
+        print(
+            f"parity:       OK ({parity['samples']} samples, "
+            f"{parity['outputs']} outputs bit-identical)"
+        )
+        if args.dump_source:
+            print()
+            print(emitted.source)
+    finally:
+        engine.close()
+    return 0
+
+
 def _cmd_bench_infer(args) -> int:
     """Inference-throughput benchmark: calibration and batching gains."""
     from repro.harness import bench_infer_model
@@ -1055,6 +1151,8 @@ def _dispatch(args) -> int:
         return _cmd_lint(args)
     if args.command == "analyze":
         return _cmd_analyze(args)
+    if args.command == "codegen":
+        return _cmd_codegen(args)
     if args.command == "bench":
         if args.bench_command == "infer":
             return _cmd_bench_infer(args)

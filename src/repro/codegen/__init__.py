@@ -1,4 +1,5 @@
-"""Code generation: lowering operators to pseudo-assembly kernels."""
+"""Code generation: lowering operators to pseudo-assembly kernels,
+and emitting specialized per-model Python executors."""
 
 from repro.codegen.lower import LoweredKernel, lower_node
 from repro.codegen.matmul import (
@@ -7,6 +8,11 @@ from repro.codegen.matmul import (
     registers_required,
 )
 from repro.codegen.elementwise import emit_elementwise_body
+from repro.codegen.emit import (
+    EmittedExecutor,
+    emit_executor,
+    set_emit_fault_hook,
+)
 from repro.codegen.opts import apply_division_lut
 
 __all__ = [
@@ -16,5 +22,8 @@ __all__ = [
     "matmul_int32",
     "registers_required",
     "emit_elementwise_body",
+    "EmittedExecutor",
+    "emit_executor",
+    "set_emit_fault_hook",
     "apply_division_lut",
 ]

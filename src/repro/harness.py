@@ -829,7 +829,17 @@ def bench_infer_model(
     * ``arena`` — the same engine backed by the statically verified
       memory plan (:mod:`repro.absint.memplan`): intermediates live in
       one preallocated arena, bit-identity to the frozen row recorded
-      alongside the arena footprint and reuse factor.
+      alongside the arena footprint and reuse factor;
+    * ``codegen`` — the engine serving through its emitted straight-line
+      executor (:mod:`repro.codegen.emit`, arena-backed), warmed and
+      parity-proven (``verify_engine_parity(require_codegen=True)``)
+      before timing.
+
+    The rows deliberately measure *different* serving configurations
+    (cold vs frozen calibration, unwarmed vs warmed engines), so each
+    row records its ``effective`` configuration and a
+    ``speedup_vs_cold`` ratio — cross-run comparisons should use the
+    ratios, not wall seconds, which drift with machine load.
 
     ``kernel_mac_limit=0`` routes every GEMM through the exact BLAS
     int32 path (bit-identical to the instruction kernels), keeping the
@@ -841,6 +851,7 @@ def bench_infer_model(
     import numpy as np
 
     from repro.runtime import InferenceEngine, QuantizedExecutor
+    from repro.verify.runtime import verify_engine_parity
 
     compiled = compile_cached(name, options)
     feeds_list = example_feeds(compiled.graph, count=requests)
@@ -849,7 +860,9 @@ def bench_infer_model(
     )
     rows: List[Dict] = []
 
-    def row(mode: str, seconds: float, **extra) -> Dict:
+    def row(
+        mode: str, seconds: float, effective: Optional[Dict] = None, **extra
+    ) -> Dict:
         entry = {
             "model": name,
             "mode": mode,
@@ -860,6 +873,8 @@ def bench_infer_model(
             else float("inf"),
             **extra,
         }
+        if effective is not None:
+            entry["effective"] = effective
         rows.append(entry)
         return entry
 
@@ -869,7 +884,18 @@ def bench_infer_model(
             compiled, seed=seed, kernel_mac_limit=kernel_mac_limit
         )
         executor.run(feeds)
-    row("cold", time.perf_counter() - start, calibration="per-request")
+    row(
+        "cold",
+        time.perf_counter() - start,
+        calibration="per-request",
+        effective={
+            "calibration": "per-request",
+            "batched": False,
+            "arena": False,
+            "codegen": False,
+            "warmed": False,
+        },
+    )
 
     frozen_executor = QuantizedExecutor(
         compiled, seed=seed, kernel_mac_limit=kernel_mac_limit
@@ -882,6 +908,13 @@ def bench_infer_model(
         time.perf_counter() - start,
         calibration="frozen",
         calibration_samples=calibration.samples,
+        effective={
+            "calibration": "frozen",
+            "batched": False,
+            "arena": False,
+            "codegen": False,
+            "warmed": False,
+        },
     )
 
     engine = InferenceEngine(
@@ -910,6 +943,13 @@ def bench_infer_model(
             workers=workers,
             identical_to_sequential=identical,
             stacked_gemm_rows=engine.diagnostics.stacked_gemm_rows,
+            effective={
+                "calibration": "frozen",
+                "batched": True,
+                "arena": False,
+                "codegen": False,
+                "warmed": False,
+            },
         )
     finally:
         engine.close()
@@ -945,9 +985,73 @@ def bench_infer_model(
             arena_bytes=plan.arena_size,
             arena_slots=len(plan.slots),
             arena_reuse=round(plan.reuse_factor, 4),
+            effective={
+                "calibration": "frozen",
+                "batched": True,
+                "arena": True,
+                "codegen": False,
+                "warmed": True,
+            },
         )
     finally:
         arena_engine.close()
+
+    codegen_engine = InferenceEngine(
+        compiled,
+        calibration,
+        seed=seed,
+        kernel_mac_limit=kernel_mac_limit,
+        workers=workers,
+        arena=True,
+        codegen=True,
+    )
+    try:
+        # Warm (triggers emission), then *prove* the emitted executor
+        # both served the batch and matched the per-sample executor
+        # bit-for-bit, before any timing.
+        codegen_engine.run_batch(feeds_list[:1])
+        parity = verify_engine_parity(
+            codegen_engine, feeds_list, require_codegen=True
+        )
+        start = time.perf_counter()
+        codegen_outputs = codegen_engine.run_batch(feeds_list)
+        seconds = time.perf_counter() - start
+        identical = all(
+            set(single) == set(emitted)
+            and all(
+                np.array_equal(single[key], emitted[key])
+                for key in single
+            )
+            for single, emitted in zip(frozen_outputs, codegen_outputs)
+        )
+        diag = codegen_engine.diagnostics
+        row(
+            "codegen",
+            seconds,
+            calibration="frozen",
+            workers=workers,
+            identical_to_sequential=identical,
+            codegen_emit_ms=round(diag.codegen_emit_ms, 3),
+            codegen_fingerprint=diag.codegen_fingerprint,
+            parity_outputs=parity["outputs"],
+            effective={
+                "calibration": "frozen",
+                "batched": True,
+                "arena": True,
+                "codegen": True,
+                "warmed": True,
+            },
+        )
+    finally:
+        codegen_engine.close()
+
+    cold_seconds = rows[0]["seconds"]
+    for entry in rows:
+        entry["speedup_vs_cold"] = (
+            round(cold_seconds / entry["seconds"], 4)
+            if entry["seconds"]
+            else float("inf")
+        )
     return rows
 
 

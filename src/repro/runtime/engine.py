@@ -35,7 +35,6 @@ from typing import Dict, List, Optional, Sequence
 import numpy as np
 
 from repro.errors import SimulationError
-from repro.absint.liveness import tensor_liveness
 from repro.compiler import CompiledModel, CompilerOptions
 from repro.graph import ops
 from repro.graph.graph import Node
@@ -51,7 +50,10 @@ class InferenceDiagnostics:
     requests: int = 0
     batches: int = 0
     arena_batches: int = 0
+    codegen_batches: int = 0
     stacked_gemm_rows: int = 0
+    codegen_emit_ms: Optional[float] = None
+    codegen_fingerprint: Optional[str] = None
     latencies_ms: List[float] = field(default_factory=list)
     queue_depths: List[int] = field(default_factory=list)
     warnings: List[str] = field(default_factory=list)
@@ -96,6 +98,12 @@ class InferenceDiagnostics:
             )
         if self.arena_batches:
             lines.append(f"arena-backed batches: {self.arena_batches}")
+        if self.codegen_batches:
+            lines.append(
+                f"codegen batches: {self.codegen_batches} "
+                f"(emit {self.codegen_emit_ms:.1f} ms, "
+                f"fingerprint {self.codegen_fingerprint})"
+            )
         if self.latencies_ms:
             lines.append(
                 f"latency: mean {self.mean_latency_ms:.2f} ms, "
@@ -132,6 +140,7 @@ class InferenceEngine:
         workers: int = 2,
         queue_size: int = 64,
         arena: bool = False,
+        codegen: bool = False,
     ) -> None:
         if workers < 1:
             raise ValueError("workers must be >= 1")
@@ -148,16 +157,24 @@ class InferenceEngine:
         #: quantized weight levels across batches.  Bit-identical to
         #: the dict-storage path (``repro.verify.runtime`` gates it).
         self.arena = arena
+        #: When set, the first batch emits a specialized straight-line
+        #: executor for this model (:mod:`repro.codegen.emit`) and
+        #: later batches run through it — same arithmetic, none of the
+        #: per-node interpreter dispatch.  Emission failure degrades to
+        #: the interpreter with a diagnostics warning; the parity gate
+        #: (``repro.verify.runtime``) proves bit-identity.
+        self.codegen = codegen
         self.diagnostics = InferenceDiagnostics()
         #: The shared liveness pass (:mod:`repro.absint.liveness`):
         #: drives both the eager frees of the dict path and the arena
-        #: plan — one source of truth instead of an inline recount per
-        #: batch.
-        self._liveness = tensor_liveness(compiled.graph)
+        #: plan — computed once per *compiled model*, not per engine,
+        #: so pool engines share one analysis.
+        self._liveness = compiled.liveness()
         self._memory_plan = None
         self._arena_store: Optional[np.ndarray] = None
         self._views_cache: Dict[int, Dict[int, np.ndarray]] = {}
-        self._weight_levels: Dict[int, np.ndarray] = {}
+        self._emitted = None
+        self._codegen_error: Optional[str] = None
         #: Fault-injection seam for the serving chaos harness: when
         #: set, called with each node before the batch evaluates it;
         #: raising simulates an engine failure mid-batch (the serving
@@ -200,6 +217,11 @@ class InferenceEngine:
         with self._lock:
             for executor in self._executors():
                 executor.calibration = self.calibration
+        # Emitted executors hoist calibration-derived constants, so a
+        # recalibration invalidates any emitted code (and clears a
+        # previous emission failure — the bounds it choked on changed).
+        self._emitted = None
+        self._codegen_error = None
         return self.calibration
 
     def _require_calibration(self) -> FrozenCalibration:
@@ -320,6 +342,10 @@ class InferenceEngine:
         self._require_calibration()
         if not feeds_list:
             return []
+        if self.codegen and self.batch_fault_hook is None:
+            emitted = self._ensure_emitted()
+            if emitted is not None:
+                return self._run_emitted(emitted, feeds_list)
         executor = self._local
         graph = executor.graph
         batch = len(feeds_list)
@@ -387,6 +413,60 @@ class InferenceEngine:
             {node.name: values[node.node_id][s] for node in outputs}
             for s in range(batch)
         ]
+
+    # -- codegen -----------------------------------------------------------
+
+    def _ensure_emitted(self):
+        """Emit the specialized executor once; None if emission failed.
+
+        A failed emission is a *degradation*, not an outage: it is
+        recorded in the diagnostics (and in ``_codegen_error``) and the
+        engine keeps serving through the interpreter.  The error
+        latches until the next :meth:`calibrate`.
+        """
+        if self._codegen_error is not None:
+            return None
+        if self._emitted is None:
+            from repro.codegen.emit import emit_executor
+
+            try:
+                plan = self.memory_plan() if self.arena else None
+                self._emitted = emit_executor(
+                    self.compiled,
+                    self.calibration,
+                    self._local,
+                    kernel_mac_limit=self.kernel_mac_limit,
+                    memory_plan=plan,
+                )
+            except Exception as exc:  # noqa: BLE001 - degradation seam
+                self._codegen_error = (
+                    f"{type(exc).__name__}: {exc}" if str(exc)
+                    else type(exc).__name__
+                )
+                self.diagnostics.warn(
+                    "codegen emission failed; serving via interpreter: "
+                    + self._codegen_error
+                )
+                return None
+            self.diagnostics.codegen_emit_ms = self._emitted.emit_ms
+            self.diagnostics.codegen_fingerprint = self._emitted.fingerprint
+        return self._emitted
+
+    def _run_emitted(self, emitted, feeds_list):
+        """One batch through the emitted straight-line executor."""
+        batch = len(feeds_list)
+        started = time.perf_counter()
+        views = self._arena_views(batch) if self.arena else None
+        outputs, stacked_rows = emitted.fn(
+            list(feeds_list), views, self._arena_store if self.arena else None
+        )
+        self.diagnostics.record_batch(batch, stacked_rows)
+        self.diagnostics.codegen_batches += 1
+        if views is not None:
+            self.diagnostics.arena_batches += 1
+        elapsed_ms = (time.perf_counter() - started) * 1e3
+        self.diagnostics.latencies_ms.append(elapsed_ms / batch)
+        return outputs
 
     @staticmethod
     def _stackable(executor: QuantizedExecutor, node: Node) -> bool:
@@ -488,11 +568,11 @@ class InferenceEngine:
         back afterwards.  Row-independence of the int8 GEMM makes the
         answer bit-identical to the per-sample path.
 
-        With an arena ``view`` two further costs disappear: the weight
-        levels are quantized once per engine instead of once per batch
-        (weights are deterministic, so the levels never change), and
-        for matmul/dense the dequantizing multiply targets the slot
-        directly — the stacked GEMM rows are exactly the flattened
+        Weight levels come from the executor's per-node cache
+        (quantized once per model lifetime — weights are deterministic,
+        so the levels never change).  With an arena ``view`` the
+        matmul/dense dequantizing multiply additionally targets the
+        slot directly — the stacked GEMM rows are exactly the flattened
         slot view, so the split/reshape stage vanishes.
         """
         op = node.op
@@ -551,13 +631,7 @@ class InferenceEngine:
         stacked_q = np.concatenate(
             [a_params.quantize(mat) for mat in a_mats], axis=0
         )
-        if self.arena:
-            b_q = self._weight_levels.get(node.node_id)
-            if b_q is None:
-                b_q = b_params.quantize(b_float)
-                self._weight_levels[node.node_id] = b_q
-        else:
-            b_q = b_params.quantize(b_float)
+        b_q = executor._levels_for_weight(node, b_params, b_float)
         target = None
         if (
             view is not None

@@ -71,6 +71,7 @@ class QuantizedExecutor:
             cn.node.node_id: cn.plan for cn in compiled.nodes
         }
         self._weight_params: Dict[int, QuantParams] = {}
+        self._weight_levels: Dict[int, np.ndarray] = {}
 
     # -- public ------------------------------------------------------------
 
@@ -132,6 +133,23 @@ class QuantizedExecutor:
             bound = bound if bound > 0 else 1.0
             cached = QuantParams(scale=bound / 127.0)
             self._weight_params[node.node_id] = cached
+        return cached
+
+    def _levels_for_weight(
+        self, node: Node, b_params: QuantParams, b_float: np.ndarray
+    ) -> np.ndarray:
+        """Quantized weight levels, computed once per node lifetime.
+
+        Weights are deterministic and their params frozen, so the int8
+        levels never change between requests; recomputing them per GEMM
+        call was pure waste (the engine's batched path and the emitted
+        codegen executors share this same cache).  ``b_float`` must
+        already be in GEMM orientation (post ``transpose_b``).
+        """
+        cached = self._weight_levels.get(node.node_id)
+        if cached is None:
+            cached = b_params.quantize(b_float)
+            self._weight_levels[node.node_id] = cached
         return cached
 
     def _eval(self, node: Node, inputs, feeds) -> np.ndarray:
@@ -251,20 +269,30 @@ class QuantizedExecutor:
         a_params = self._frozen_params(node.inputs[0])
         if isinstance(op, ops.MatMul):
             a_float = inputs[0]
+            b_levels = None
             if op.weight_shape is not None:
                 b_float = self.reference._weight(node, "w", op.weight_shape)
                 b_params = self._params_for_weight(node, b_float)
+                if op.transpose_b:
+                    b_float = np.swapaxes(b_float, -1, -2)
+                b_levels = self._levels_for_weight(node, b_params, b_float)
             else:
                 b_float = inputs[1]
                 b_params = self._frozen_params(node.inputs[1])
-            if op.transpose_b:
-                b_float = np.swapaxes(b_float, -1, -2)
-            return self._gemm(node, a_float, b_float, plan, a_params, b_params)
+                if op.transpose_b:
+                    b_float = np.swapaxes(b_float, -1, -2)
+            return self._gemm(
+                node, a_float, b_float, plan, a_params, b_params,
+                b_levels=b_levels,
+            )
         if isinstance(op, ops.Dense):
             flat = inputs[0].reshape(inputs[0].shape[0], -1)
             w = self.reference._weight(node, "w", (flat.shape[1], op.units))
             b_params = self._params_for_weight(node, w)
-            return self._gemm(node, flat, w, plan, a_params, b_params)
+            b_levels = self._levels_for_weight(node, b_params, w)
+            return self._gemm(
+                node, flat, w, plan, a_params, b_params, b_levels=b_levels
+            )
         if isinstance(op, ops.Conv2D) and op.groups == 1:
             cols = self.reference._im2col(
                 inputs[0], op.kernel, op.stride, op.padding
@@ -277,8 +305,10 @@ class QuantizedExecutor:
                  op.out_channels),
             )
             b_params = self._params_for_weight(node, w)
+            b_levels = self._levels_for_weight(node, b_params, w)
             out = self._gemm(
-                node, cols.reshape(-1, k), w, plan, a_params, b_params
+                node, cols.reshape(-1, k), w, plan, a_params, b_params,
+                b_levels=b_levels,
             )
             out = out.reshape(n, oh, ow, op.out_channels)
             result = out.transpose(0, 3, 1, 2)
@@ -291,7 +321,8 @@ class QuantizedExecutor:
         return self.reference._eval(node, inputs, {})
 
     def _gemm(
-        self, node, a_float, b_float, plan, a_params, b_params
+        self, node, a_float, b_float, plan, a_params, b_params,
+        b_levels=None,
     ) -> np.ndarray:
         """Quantize, run the instruction kernel, dequantize.
 
@@ -313,11 +344,14 @@ class QuantizedExecutor:
             ]
             out = np.stack(outs)
             return out.reshape(a_shape[:-1] + (b_float.shape[-1],))
-        out = self._gemm_2d(node, a2, b_float, plan, a_params, b_params)
+        out = self._gemm_2d(
+            node, a2, b_float, plan, a_params, b_params, b_levels=b_levels
+        )
         return out.reshape(a_shape[:-1] + (b_float.shape[-1],))
 
     def _gemm_2d(
-        self, node, a_float, b_float, plan, a_params, b_params
+        self, node, a_float, b_float, plan, a_params, b_params,
+        b_levels=None,
     ) -> np.ndarray:
         if a_float.size == 0 or b_float.size == 0:
             raise SimulationError(
@@ -327,7 +361,7 @@ class QuantizedExecutor:
                 details={"lhs": a_float.shape, "rhs": b_float.shape},
             )
         a_q = a_params.quantize(a_float)
-        b_q = b_params.quantize(b_float)
+        b_q = b_levels if b_levels is not None else b_params.quantize(b_float)
         return self._gemm_levels(node, a_q, b_q, plan, a_params, b_params)
 
     def _gemm_levels(

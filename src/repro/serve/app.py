@@ -130,6 +130,10 @@ class ServeConfig:
     pool_size: int = 2
     engine_workers: int = 2
     kernel_mac_limit: Optional[int] = 0
+    #: Pool engines serve through emitted per-model executors
+    #: (:mod:`repro.codegen.emit`); emission failures degrade each
+    #: engine to the interpreter and ride along in responses.
+    engine_codegen: bool = True
     calibration_seed: int = 99
     calibration_samples: int = 2
     #: Refuse to mark a model ready when the abstract interpreter finds
@@ -482,6 +486,7 @@ class ServeService:
                 size=self.config.pool_size,
                 workers=self.config.engine_workers,
                 kernel_mac_limit=self.config.kernel_mac_limit,
+                codegen=self.config.engine_codegen,
                 checkout_timeout_s=self.config.pool_checkout_timeout_s,
                 calibration_feeds=example_feeds(
                     compiled.graph,

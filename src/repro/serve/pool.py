@@ -44,6 +44,7 @@ class EnginePool:
         kernel_mac_limit: Optional[int] = 0,
         checkout_timeout_s: float = 30.0,
         calibration_feeds: Optional[Sequence] = None,
+        codegen: bool = True,
     ) -> None:
         if size < 1:
             raise ValueError("pool size must be >= 1")
@@ -53,6 +54,10 @@ class EnginePool:
         self.seed = seed
         self.workers = workers
         self.kernel_mac_limit = kernel_mac_limit
+        #: Pool engines prefer the emitted per-model executor
+        #: (:mod:`repro.codegen.emit`); emission failure degrades each
+        #: engine to the interpreter and is surfaced per response.
+        self.codegen = codegen
         #: Checkout bound for requests without a deadline: even then a
         #: saturated pool must reject, never hang the calling thread.
         self.checkout_timeout_s = checkout_timeout_s
@@ -67,10 +72,23 @@ class EnginePool:
             seed=seed,
             kernel_mac_limit=kernel_mac_limit,
             workers=workers,
+            codegen=codegen,
         )
         self.calibration: FrozenCalibration = first.calibrate(
             list(calibration_feeds or [None])
         )
+        #: Emission failures found at startup (pool-level
+        #: observability; the same degradation also rides along in
+        #: every ``infer`` response served by a degraded engine).
+        self.startup_degradations: List[Dict] = []
+        if codegen:
+            # Emit eagerly so a broken emission is a *startup* fact,
+            # not a surprise on the first request.
+            first._ensure_emitted()
+            if first._codegen_error is not None:
+                self.startup_degradations.append(
+                    self._codegen_degradation(first._codegen_error)
+                )
         self._engines: List[InferenceEngine] = [first]
         self._engines.extend(
             self._new_engine() for _ in range(size - 1)
@@ -89,7 +107,17 @@ class EnginePool:
             seed=self.seed,
             kernel_mac_limit=self.kernel_mac_limit,
             workers=self.workers,
+            codegen=self.codegen,
         )
+
+    @staticmethod
+    def _codegen_degradation(reason: str) -> Dict:
+        return {
+            "component": "inference",
+            "from": "codegen",
+            "to": "interpreter",
+            "reason": reason,
+        }
 
     @property
     def size(self) -> int:
@@ -145,6 +173,18 @@ class EnginePool:
                 deadline.check("inference-start")
             try:
                 outputs = engine.run_batch(list(feeds_list))
+                if (
+                    self.codegen
+                    and getattr(engine, "_codegen_error", None) is not None
+                ):
+                    # The batch was served correctly, just by the
+                    # interpreter instead of emitted code: a recorded
+                    # degradation, not a failure.
+                    entry = self._codegen_degradation(
+                        engine._codegen_error
+                    )
+                    if entry not in degradations:
+                        degradations.append(entry)
                 return {
                     "outputs": outputs,
                     "mode": "batched",

@@ -24,6 +24,7 @@ def verify_engine_parity(
     engine,
     feeds_list: Sequence[Optional[Dict[str, np.ndarray]]],
     executor=None,
+    require_codegen: bool = False,
 ) -> Dict[str, int]:
     """Check engine batched outputs against per-sample execution.
 
@@ -33,6 +34,11 @@ def verify_engine_parity(
     every output tensor to match *exactly* — same bits, not just within
     tolerance.  Returns ``{"samples": ..., "outputs": ...}`` on
     success.
+
+    With ``require_codegen=True`` the check additionally proves the
+    batch was served by the engine's *emitted* executor — a silently
+    degraded engine (emission failed, interpreter fallback) fails the
+    gate instead of passing on the interpreter's own parity.
     """
     from repro.runtime.executor import QuantizedExecutor
 
@@ -43,7 +49,25 @@ def verify_engine_parity(
             kernel_mac_limit=engine.kernel_mac_limit,
             calibration=engine.calibration,
         )
+    codegen_before = engine.diagnostics.codegen_batches
     batched = engine.run_batch(feeds_list)
+    if require_codegen:
+        if getattr(engine, "_codegen_error", None) is not None:
+            raise RuntimeVerificationError(
+                "engine degraded to the interpreter instead of serving "
+                "via emitted code",
+                stage="runtime",
+                details={"codegen_error": engine._codegen_error},
+            )
+        if engine.diagnostics.codegen_batches <= codegen_before:
+            raise RuntimeVerificationError(
+                "batch was not served by the emitted executor",
+                stage="runtime",
+                details={
+                    "codegen": getattr(engine, "codegen", False),
+                    "codegen_batches": engine.diagnostics.codegen_batches,
+                },
+            )
     outputs_checked = 0
     for index, feeds in enumerate(feeds_list):
         single = executor.run(feeds)

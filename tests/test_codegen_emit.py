@@ -1,0 +1,203 @@
+"""The emitted per-model executor: source properties, diagnostics,
+fingerprints, fallback seams."""
+
+import numpy as np
+import pytest
+
+from repro.codegen import emit_executor, set_emit_fault_hook
+from repro.compiler import compile_model
+from repro.harness import example_feeds
+from repro.runtime import InferenceEngine, QuantizedExecutor
+from repro.verify.runtime import (
+    RuntimeVerificationError,
+    verify_engine_parity,
+)
+from tests.conftest import chain_graph, small_cnn
+
+
+def _codegen_engine(graph, requests=4, *, arena=True, **kwargs):
+    """(compiled, calibration, feeds, codegen-engine)."""
+    compiled = compile_model(graph)
+    executor = QuantizedExecutor(compiled, seed=0, kernel_mac_limit=0)
+    calibration = executor.calibrate(
+        example_feeds(compiled.graph, count=2, seed=99)
+    )
+    feeds = example_feeds(compiled.graph, count=requests, seed=7)
+    engine = InferenceEngine(
+        compiled,
+        calibration,
+        seed=0,
+        kernel_mac_limit=kwargs.pop("kernel_mac_limit", 0),
+        arena=arena,
+        codegen=True,
+        **kwargs,
+    )
+    return compiled, calibration, feeds, engine
+
+
+class TestEmission:
+    def test_emitted_source_is_straight_line_python(self):
+        compiled, calibration, feeds, engine = _codegen_engine(small_cnn())
+        try:
+            engine.run_batch(feeds)
+            emitted = engine._emitted
+            assert emitted is not None
+            # One `# -- name (Op)` banner per graph node, in order.
+            banners = [
+                line.strip()
+                for line in emitted.source.splitlines()
+                if line.strip().startswith("# -- ")
+            ]
+            assert len(banners) == len(list(compiled.graph))
+            # The emitted module compiles standalone.
+            compile(emitted.source, "<emitted>", "exec")
+            assert emitted.stacked_nodes + emitted.sample_nodes == len(
+                banners
+            )
+            assert emitted.stacked_nodes > 0
+        finally:
+            engine.close()
+
+    def test_fingerprint_is_stable_across_emissions(self):
+        graph = small_cnn()
+        _, _, feeds, first = _codegen_engine(graph)
+        _, _, _, second = _codegen_engine(graph)
+        try:
+            first.run_batch(feeds)
+            second.run_batch(feeds)
+            assert first._emitted.fingerprint == second._emitted.fingerprint
+            assert first._emitted.source == second._emitted.source
+        finally:
+            first.close()
+            second.close()
+
+    def test_diagnostics_record_emit_time_and_fingerprint(self):
+        _, _, feeds, engine = _codegen_engine(small_cnn())
+        try:
+            engine.run_batch(feeds)
+            diag = engine.diagnostics
+            assert diag.codegen_batches == 1
+            assert diag.codegen_emit_ms is not None
+            assert diag.codegen_emit_ms > 0
+            assert diag.codegen_fingerprint == engine._emitted.fingerprint
+            assert any(
+                "codegen" in line for line in diag.summary_lines()
+            )
+        finally:
+            engine.close()
+
+    def test_parity_all_modes(self):
+        for arena in (False, True):
+            _, _, feeds, engine = _codegen_engine(
+                small_cnn(), arena=arena
+            )
+            try:
+                report = verify_engine_parity(
+                    engine, feeds, require_codegen=True
+                )
+                assert report["samples"] == len(feeds)
+            finally:
+                engine.close()
+
+    def test_parity_with_instruction_kernels(self):
+        # kernel_mac_limit=None routes GEMMs through the semantic-level
+        # instruction kernels — the emitted code must follow.
+        _, _, feeds, engine = _codegen_engine(
+            chain_graph(length=4, size=8),
+            requests=2,
+            kernel_mac_limit=None,
+        )
+        try:
+            verify_engine_parity(engine, feeds, require_codegen=True)
+        finally:
+            engine.close()
+
+
+class TestFallback:
+    def test_emit_failure_degrades_to_interpreter(self):
+        def boom(compiled):
+            raise RuntimeError("chaos-emit")
+
+        previous = set_emit_fault_hook(boom)
+        try:
+            _, _, feeds, engine = _codegen_engine(small_cnn())
+            try:
+                outputs = engine.run_batch(feeds)
+                assert len(outputs) == len(feeds)
+                assert "chaos-emit" in engine._codegen_error
+                assert engine.diagnostics.codegen_batches == 0
+                assert any(
+                    "emission failed" in warning
+                    for warning in engine.diagnostics.warnings
+                )
+                # The degraded engine still passes plain parity...
+                verify_engine_parity(engine, feeds)
+                # ...but fails the gate that demands emitted execution.
+                with pytest.raises(RuntimeVerificationError):
+                    verify_engine_parity(
+                        engine, feeds, require_codegen=True
+                    )
+            finally:
+                engine.close()
+        finally:
+            set_emit_fault_hook(previous)
+
+    def test_recalibration_invalidates_emitted_code(self):
+        compiled, _, feeds, engine = _codegen_engine(small_cnn())
+        try:
+            engine.run_batch(feeds)
+            first = engine._emitted
+            assert first is not None
+            engine.calibrate(
+                example_feeds(compiled.graph, count=2, seed=11)
+            )
+            assert engine._emitted is None
+            engine.run_batch(feeds)
+            assert engine._emitted is not first
+            verify_engine_parity(engine, feeds, require_codegen=True)
+        finally:
+            engine.close()
+
+    def test_emit_failure_latches_until_recalibration(self):
+        def boom(compiled):
+            raise RuntimeError("chaos-emit")
+
+        previous = set_emit_fault_hook(boom)
+        compiled, _, feeds, engine = _codegen_engine(small_cnn())
+        try:
+            engine.run_batch(feeds)
+            assert engine._codegen_error is not None
+            set_emit_fault_hook(previous)
+            # The error latches: no re-emission attempt per batch.
+            engine.run_batch(feeds)
+            assert engine.diagnostics.codegen_batches == 0
+            # Recalibration clears it and emission succeeds.
+            engine.calibrate(
+                example_feeds(compiled.graph, count=2, seed=99)
+            )
+            engine.run_batch(feeds)
+            assert engine._codegen_error is None
+            assert engine.diagnostics.codegen_batches == 1
+        finally:
+            set_emit_fault_hook(previous)
+            engine.close()
+
+
+class TestDirectEmission:
+    def test_emit_executor_runs_standalone(self):
+        compiled = compile_model(small_cnn())
+        executor = QuantizedExecutor(compiled, seed=0, kernel_mac_limit=0)
+        calibration = executor.calibrate(
+            example_feeds(compiled.graph, count=2, seed=99)
+        )
+        feeds = example_feeds(compiled.graph, count=3, seed=7)
+        emitted = emit_executor(
+            compiled, calibration, executor, kernel_mac_limit=0
+        )
+        outputs, rows = emitted.fn(list(feeds), None, None)
+        expected = [executor.run(f) for f in feeds]
+        assert rows > 0
+        for got, want in zip(outputs, expected):
+            assert set(got) == set(want)
+            for key in want:
+                assert np.array_equal(got[key], want[key])

@@ -176,13 +176,16 @@ class TestFaultSeams:
         finally:
             arena.close()
 
-    def test_weight_levels_cache_only_in_arena_mode(self):
+    def test_weight_levels_cached_on_executor_in_both_modes(self):
+        # Weight levels are frozen per (executor, node): every engine
+        # mode caches them after the first batch instead of requantizing
+        # per GEMM call (formerly an arena-only engine-level cache).
         _, _, feeds, plain, arena = _engine_pair(small_cnn())
         try:
             plain.run_batch(feeds)
             arena.run_batch(feeds)
-            assert not plain._weight_levels
-            assert arena._weight_levels
+            assert plain._local._weight_levels
+            assert arena._local._weight_levels
         finally:
             plain.close()
             arena.close()
