@@ -19,20 +19,17 @@ kernels).
 from __future__ import annotations
 
 import hashlib
-from typing import Iterable, Optional, Tuple
+from typing import Iterable, Optional, Tuple, Union
 
 from repro.core.packing.sda import SdaConfig
 from repro.core.unroll import UnrollConfig
-from repro.isa.instructions import Instruction, SPEC_TABLE
-from repro.machine.packet import (
-    MAX_PACKET_SLOTS,
-    MAX_STORES_PER_PACKET,
-    RESOURCE_LIMITS,
-)
-from repro.machine.pipeline import PIPELINE_STAGES, SOFT_RAW_STALL
+from repro.isa.instructions import Instruction
+from repro.machine.description import MachineDescription, resolve_machine
 
 #: Bump when the on-disk entry layout changes incompatibly.
 CACHE_SCHEMA_VERSION = 2
+
+_MachineArg = Optional[Union[str, MachineDescription]]
 
 
 def instruction_identity(inst: Instruction) -> Tuple:
@@ -56,34 +53,31 @@ def body_signature(body: Iterable[Instruction]) -> Tuple[Tuple, ...]:
     return tuple(instruction_identity(inst) for inst in body)
 
 
-def _schema_descriptor() -> str:
-    """Canonical description of the machine model schedules depend on."""
-    parts = [f"cache-schema-v{CACHE_SCHEMA_VERSION}"]
-    for opcode in sorted(SPEC_TABLE, key=lambda op: op.value):
-        spec = SPEC_TABLE[opcode]
-        parts.append(
-            f"{opcode.value}:{spec.resource.value}:{spec.latency}"
-            f":{spec.macs}:{int(spec.is_store)}:{int(spec.is_load)}"
-            f":{int(spec.accumulates)}"
-        )
-    parts.append(f"slots={MAX_PACKET_SLOTS}")
-    parts.append(f"stores={MAX_STORES_PER_PACKET}")
-    for resource in sorted(RESOURCE_LIMITS, key=lambda r: r.value):
-        parts.append(f"{resource.value}={RESOURCE_LIMITS[resource]}")
-    parts.append(f"stages={PIPELINE_STAGES}")
-    parts.append(f"stall={SOFT_RAW_STALL}")
-    return ";".join(parts)
+def _schema_descriptor(machine: _MachineArg = None) -> str:
+    """Canonical description of the machine model schedules depend on.
+
+    Per-description: the machine's own canonical form (name, packet
+    geometry, resource limits, pipeline timing, vector width, opcode
+    specs with overrides applied) is the payload, prefixed with the
+    on-disk layout version.
+    """
+    desc = resolve_machine(machine)
+    return f"cache-schema-v{CACHE_SCHEMA_VERSION};{desc.canonical()}"
 
 
-def schema_hash() -> str:
-    """Hash of the ISA / packet / pipeline schema.
+def schema_hash(machine: _MachineArg = None) -> str:
+    """Hash of the machine-description schema for ``machine``.
 
     Disk entries are namespaced by this hash, so editing an instruction
-    latency or a resource limit orphans every stale entry instead of
-    serving schedules optimized for the old machine.  Recomputed on
-    each call (it is cheap) so tests can monkeypatch the inputs.
+    latency, a resource limit, or the vector width orphans every stale
+    entry instead of serving schedules optimized for the old machine —
+    and schedules cached for one target are structurally unreachable
+    from another.  Resolved live on each call (it is cheap), so tests
+    that patch the default machine description are observed here too.
     """
-    digest = hashlib.sha256(_schema_descriptor().encode("utf-8"))
+    digest = hashlib.sha256(
+        _schema_descriptor(machine).encode("utf-8")
+    )
     return digest.hexdigest()
 
 

@@ -32,7 +32,11 @@ from repro.cache.store import ScheduleEntry
 
 #: One unit of work: (fingerprint, packer name, kernel body), optionally
 #: extended with the :class:`SdaConfig` the packer should run under
-#: (a 4th element; omitted means the default tuning).
+#: (a 4th element; omitted means the default tuning) and the
+#: :class:`~repro.machine.description.MachineDescription` to pack for
+#: (a 5th element; omitted means the process default).  Descriptions
+#: pickle by field and rebuild their derived spec tables on the worker
+#: side, so the whole machine model crosses the process boundary.
 PackTask = Tuple[str, str, List[Instruction]]
 
 
@@ -72,14 +76,17 @@ def _pack_task(task: PackTask) -> Tuple[str, List, int, List, float]:
     the parent process receives packets that reference exactly the
     returned body's instructions.
     """
-    if len(task) == 4:
+    machine = None
+    if len(task) == 5:
+        fingerprint, packer_name, body, sda_config, machine = task
+    elif len(task) == 4:
         fingerprint, packer_name, body, sda_config = task
     else:
         fingerprint, packer_name, body = task
         sda_config = None
     start = time.perf_counter()
-    packets = configured_packer(packer_name, sda_config)(body)
-    cycles = schedule_cycles(packets)
+    packets = configured_packer(packer_name, sda_config, machine)(body)
+    cycles = schedule_cycles(packets, machine)
     return fingerprint, packets, cycles, list(body), (
         time.perf_counter() - start
     )

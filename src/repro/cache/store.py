@@ -28,9 +28,12 @@ from typing import Dict, List, Optional, Tuple, Union
 
 from repro.errors import PacketError
 from repro.isa.instructions import Instruction, Opcode
+from repro.machine.description import MachineDescription, resolve_machine
 from repro.machine.packet import Packet
 from repro.machine.pipeline import schedule_cycles
 from repro.cache.fingerprint import CACHE_SCHEMA_VERSION, schema_hash
+
+_MachineArg = Optional[Union[str, MachineDescription]]
 
 #: Tier names reported by :meth:`ScheduleCache.lookup`.
 TIER_MEMORY = "memory"
@@ -61,7 +64,9 @@ class ScheduleEntry:
     packets: List[Packet]
     cycles: int
 
-    def to_payload(self, fingerprint: str) -> Dict:
+    def to_payload(
+        self, fingerprint: str, machine: _MachineArg = None
+    ) -> Dict:
         """JSON-serializable form; packets become index lists.
 
         ``uid_rank`` preserves the body's *relative* uid order: lowered
@@ -78,7 +83,7 @@ class ScheduleEntry:
             uid_rank[i] = rank
         return {
             "version": CACHE_SCHEMA_VERSION,
-            "schema": schema_hash(),
+            "schema": schema_hash(machine),
             "fingerprint": fingerprint,
             "cycles": self.cycles,
             "uid_rank": uid_rank,
@@ -100,7 +105,9 @@ class ScheduleEntry:
         }
 
     @classmethod
-    def from_payload(cls, payload: Dict) -> "ScheduleEntry":
+    def from_payload(
+        cls, payload: Dict, machine: _MachineArg = None
+    ) -> "ScheduleEntry":
         """Rebuild and *re-verify* an entry from its JSON form.
 
         Raises
@@ -114,7 +121,8 @@ class ScheduleEntry:
             raise CacheEntryError(
                 f"unsupported entry version {payload.get('version')!r}"
             )
-        if payload.get("schema") != schema_hash():
+        machine = resolve_machine(machine)
+        if payload.get("schema") != schema_hash(machine):
             raise CacheEntryError("entry written under a different schema")
         try:
             specs = payload["body"]
@@ -147,13 +155,13 @@ class ScheduleEntry:
             )
         try:
             packets = [
-                Packet([body[i] for i in indices])
+                Packet([body[i] for i in indices], machine)
                 for indices in index_lists
             ]
         except (IndexError, PacketError) as exc:
             raise CacheEntryError(f"illegal cached packet: {exc}") from exc
 
-        cycles = schedule_cycles(packets)
+        cycles = schedule_cycles(packets, machine)
         if cycles != payload.get("cycles"):
             raise CacheEntryError(
                 f"cycle mismatch: entry claims {payload.get('cycles')}, "
@@ -198,13 +206,21 @@ class DiskStore:
     memory-only) exactly as it would for a real ``ENOSPC``.
     """
 
-    def __init__(self, root: Union[str, Path]) -> None:
+    def __init__(
+        self, root: Union[str, Path], machine: _MachineArg = None
+    ) -> None:
         self.root = Path(root)
         self.write_hook = None
+        # ``None`` keeps resolving the process default live, so a
+        # patched default machine re-namespaces this store on the next
+        # call rather than serving entries hashed for the old model.
+        self.machine = (
+            resolve_machine(machine) if machine is not None else None
+        )
 
     @property
     def schema_dir(self) -> Path:
-        return self.root / schema_hash()[:16]
+        return self.root / schema_hash(self.machine)[:16]
 
     def path_for(self, fingerprint: str) -> Path:
         return self.schema_dir / f"{fingerprint}.json"
@@ -218,7 +234,7 @@ class DiskStore:
         path = self.path_for(fingerprint)
         try:
             payload = json.loads(path.read_text())
-            return ScheduleEntry.from_payload(payload)
+            return ScheduleEntry.from_payload(payload, self.machine)
         except FileNotFoundError:
             return None
         except (json.JSONDecodeError, CacheEntryError, OSError):
@@ -236,7 +252,9 @@ class DiskStore:
         """
         try:
             self.schema_dir.mkdir(parents=True, exist_ok=True)
-            payload = json.dumps(entry.to_payload(fingerprint))
+            payload = json.dumps(
+                entry.to_payload(fingerprint, self.machine)
+            )
             if self.write_hook is not None:
                 self.write_hook(self.path_for(fingerprint), payload)
             fd, tmp = tempfile.mkstemp(
@@ -303,13 +321,14 @@ class ScheduleCache:
         self,
         memory_entries: int = 256,
         disk_dir: Optional[Union[str, Path]] = None,
+        machine: _MachineArg = None,
     ) -> None:
         if memory_entries < 1:
             raise ValueError("memory_entries must be >= 1")
         self.memory_entries = memory_entries
         self._memory: "OrderedDict[str, ScheduleEntry]" = OrderedDict()
         self.disk: Optional[DiskStore] = (
-            DiskStore(disk_dir) if disk_dir is not None else None
+            DiskStore(disk_dir, machine) if disk_dir is not None else None
         )
         self.stats = CacheStats()
 

@@ -109,6 +109,22 @@ def _build_parser() -> argparse.ArgumentParser:
 
     sub.add_parser("models", help="list the model zoo")
 
+    machines_p = sub.add_parser(
+        "machines", help="list or inspect registered machine targets"
+    )
+    machines_sub = machines_p.add_subparsers(
+        dest="machines_command", required=True
+    )
+    machines_sub.add_parser(
+        "list", help="one line per registered machine description"
+    )
+    machines_show_p = machines_sub.add_parser(
+        "show", help="full declarative description of one machine"
+    )
+    machines_show_p.add_argument(
+        "name", help="registered machine name (see 'repro machines list')"
+    )
+
     describe_p = sub.add_parser(
         "describe", help="print a model's layer/shape digest"
     )
@@ -151,6 +167,11 @@ def _build_parser() -> argparse.ArgumentParser:
         "--jobs", type=int, default=1,
         help="worker processes for packing unique kernel bodies",
     )
+    compile_p.add_argument(
+        "--machine",
+        help="registered machine description to compile for "
+        "(default: hexagon698; see 'repro machines list')",
+    )
 
     exp_p = sub.add_parser(
         "experiment", help="regenerate a paper table/figure"
@@ -189,6 +210,11 @@ def _build_parser() -> argparse.ArgumentParser:
         "--tuned", action="store_true",
         help="compile with the best configuration the autotuner has "
         "recorded for this model (see 'repro tune')",
+    )
+    verify_p.add_argument(
+        "--machine",
+        help="registered machine description to compile for "
+        "(default: hexagon698; see 'repro machines list')",
     )
 
     tune_p = sub.add_parser(
@@ -244,6 +270,11 @@ def _build_parser() -> argparse.ArgumentParser:
         "--limit", type=int, default=10,
         help="leaderboard rows to print (default: 10)",
     )
+    tune_p.add_argument(
+        "--machine",
+        help="registered machine description to compile for "
+        "(default: hexagon698; see 'repro machines list')",
+    )
 
     lint_p = sub.add_parser(
         "lint",
@@ -284,6 +315,11 @@ def _build_parser() -> argparse.ArgumentParser:
         "--write-baseline",
         help="capture the current diagnostics into a baseline file "
         "and exit 0",
+    )
+    lint_p.add_argument(
+        "--machine",
+        help="registered machine description to compile for "
+        "(default: hexagon698; see 'repro machines list')",
     )
 
     analyze_p = sub.add_parser(
@@ -351,6 +387,11 @@ def _build_parser() -> argparse.ArgumentParser:
         help="capture the current diagnostics into a baseline file "
         "and exit 0",
     )
+    analyze_p.add_argument(
+        "--machine",
+        help="registered machine description to compile for "
+        "(default: hexagon698; see 'repro machines list')",
+    )
 
     codegen_p = sub.add_parser(
         "codegen",
@@ -406,6 +447,12 @@ def _build_parser() -> argparse.ArgumentParser:
         "--cache-dir",
         help="disk cache directory for the cold/warm rows "
         "(default: a fresh temporary directory)",
+    )
+    bench_compile_p.add_argument(
+        "--machine",
+        help="registered machine description to compile for, or "
+        "'all' for a cross-target table "
+        "(default: hexagon698; see 'repro machines list')",
     )
     bench_infer_p = bench_sub.add_parser(
         "infer",
@@ -505,6 +552,11 @@ def _build_parser() -> argparse.ArgumentParser:
             help="cache root (default: $REPRO_CACHE_DIR or "
             "~/.cache/repro)",
         )
+        cache_cmd_p.add_argument(
+        "--machine",
+        help="registered machine description to compile for "
+        "(default: hexagon698; see 'repro machines list')",
+        )
 
     return parser
 
@@ -535,6 +587,37 @@ def _cmd_models() -> int:
     return 0
 
 
+def _cli_machine(args):
+    """The --machine value, if the command grew the flag."""
+    return getattr(args, "machine", None)
+
+
+def _cmd_machines(args) -> int:
+    """List registered machine targets or show one in full."""
+    import json
+
+    from repro.cache.fingerprint import schema_hash
+    from repro.machine.description import get_machine, machine_names
+
+    if args.machines_command == "show":
+        desc = get_machine(args.name)
+        payload = desc.to_dict()
+        payload["schema_hash"] = schema_hash(desc)
+        payload["peak_macs_per_cycle"] = desc.peak_macs_per_cycle
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0
+    print(f"{'machine':12s} {'slots':>5s} {'vbytes':>6s} {'stores':>6s} "
+          f"{'GHz':>5s} {'ctx':>3s} {'peak MACs':>9s}  schema")
+    for name in machine_names():
+        desc = get_machine(name)
+        print(f"{name:12s} {desc.max_packet_slots:5d} "
+              f"{desc.vector_bytes:6d} {desc.max_stores_per_packet:6d} "
+              f"{desc.clock_ghz:5.2f} {desc.vector_contexts:3d} "
+              f"{desc.peak_macs_per_cycle:9d}  "
+              f"{schema_hash(desc)[:16]}")
+    return 0
+
+
 def _cli_cache_dir(args):
     """Disk cache root for compile-style commands.
 
@@ -557,6 +640,7 @@ def _cmd_compile(args) -> int:
         other_opts=not args.no_other_opts,
         cache_dir=_cli_cache_dir(args),
         jobs=args.jobs,
+        machine=_cli_machine(args),
     )
     graph = _resolve_graph(args.model)
     compiled = GCD2Compiler(options).compile(graph)
@@ -564,7 +648,7 @@ def _cmd_compile(args) -> int:
         compiled.graph.operator_count() * harness.GCD2_DISPATCH_US / 1e3
     )
     print(f"{args.model}: {compiled.graph.operator_count()} operators "
-          f"after graph passes")
+          f"after graph passes (machine {compiled.machine.name})")
     print(f"selection: {compiled.selection.solver} "
           f"({compiled.selection.solve_seconds:.2f}s, "
           f"Agg_Cost {compiled.selection.cost:.0f} cycles)")
@@ -625,10 +709,12 @@ def _cmd_verify(args) -> int:
         strict=True, verify=True, lint=True,
         cache_dir=_cli_cache_dir(args),
         tuned=getattr(args, "tuned", False),
+        machine=_cli_machine(args),
     )
     compiled = compile_model(graph, options)
     print(f"{args.model}: compiled clean under strict verification "
-          f"({compiled.graph.operator_count()} operators)")
+          f"({compiled.graph.operator_count()} operators, "
+          f"machine {compiled.machine.name})")
     for line in compiled.diagnostics.summary_lines():
         print(f"  {line}")
 
@@ -666,7 +752,8 @@ def _cmd_lint(args) -> int:
 
     graph = _resolve_graph(args.model)
     options = CompilerOptions(
-        selection=args.selection, packing=args.packing
+        selection=args.selection, packing=args.packing,
+        machine=_cli_machine(args),
     )
     compiled = GCD2Compiler(options).compile(graph)
     report = lint_model(compiled)
@@ -708,7 +795,8 @@ def _cmd_analyze(args) -> int:
 
     graph = _resolve_graph(args.model)
     options = CompilerOptions(
-        selection=args.selection, packing=args.packing
+        selection=args.selection, packing=args.packing,
+        machine=_cli_machine(args),
     )
     compiled = GCD2Compiler(options).compile(graph)
 
@@ -776,7 +864,7 @@ def _cmd_analyze(args) -> int:
 
 
 def _bench_compile_model(
-    name: str, cache_root: str, jobs: int
+    name: str, cache_root: str, jobs: int, machine=None
 ) -> List[dict]:
     """Cold / warm / parallel timing rows for one model."""
     import os
@@ -796,6 +884,7 @@ def _bench_compile_model(
             {
                 "model": name,
                 "mode": mode,
+                "machine": compiled.machine.name,
                 "seconds": round(seconds, 6),
                 "jobs": options.jobs,
                 "total_cycles": compiled.total_cycles,
@@ -809,10 +898,15 @@ def _bench_compile_model(
         )
         return compiled
 
-    cold = run("cold", CompilerOptions(cache_dir=cold_dir))
-    run("warm", CompilerOptions(cache_dir=cold_dir))
+    cold = run(
+        "cold", CompilerOptions(cache_dir=cold_dir, machine=machine)
+    )
+    run("warm", CompilerOptions(cache_dir=cold_dir, machine=machine))
     parallel = run(
-        "parallel", CompilerOptions(cache_dir=parallel_dir, jobs=jobs)
+        "parallel",
+        CompilerOptions(
+            cache_dir=parallel_dir, jobs=jobs, machine=machine
+        ),
     )
     rows[-1]["identical_to_cold"] = (
         parallel.total_cycles == cold.total_cycles
@@ -833,31 +927,52 @@ def _cmd_bench_compile(args) -> int:
         # Let _resolve_graph produce the structured unknown-model error.
         _resolve_graph(args.model)
 
+    from repro.machine.description import machine_names
+
+    machine = _cli_machine(args)
+    machines = machine_names() if machine == "all" else [machine]
     rows: List[dict] = []
     with tempfile.TemporaryDirectory() as scratch:
         cache_root = args.cache_dir or scratch
-        for name in names:
-            model_root = os.path.join(cache_root, name)
-            rows.extend(
-                _bench_compile_model(name, model_root, args.jobs)
-            )
+        for target in machines:
+            for name in names:
+                model_root = os.path.join(
+                    cache_root, target or "default", name
+                )
+                rows.extend(
+                    _bench_compile_model(
+                        name, model_root, args.jobs, machine=target
+                    )
+                )
 
-    by_mode = {(r["model"], r["mode"]): r for r in rows}
-    print(f"{'model':18s} {'mode':9s} {'seconds':>9s} {'vs cold':>8s} "
-          f"{'misses':>7s}")
+    by_mode = {
+        (r["model"], r["machine"], r["mode"]): r for r in rows
+    }
+    print(f"{'model':18s} {'machine':11s} {'mode':9s} {'seconds':>9s} "
+          f"{'vs cold':>8s} {'misses':>7s}")
     for row in rows:
-        cold = by_mode[(row["model"], "cold")]["seconds"]
+        cold = by_mode[(row["model"], row["machine"], "cold")]["seconds"]
         ratio = cold / row["seconds"] if row["seconds"] else float("inf")
-        print(f"{row['model']:18s} {row['mode']:9s} "
+        print(f"{row['model']:18s} {row['machine']:11s} "
+              f"{row['mode']:9s} "
               f"{row['seconds']:9.4f} {ratio:7.2f}x "
               f"{row['cache']['misses']:7d}")
 
     if args.json:
+        schemas = {
+            row["machine"]: schema_hash(row["machine"])[:16]
+            for row in rows
+        }
         harness.write_bench_json(
             args.output,
             "compiler_throughput",
             rows,
-            schema=schema_hash()[:16],
+            schema=(
+                schemas[rows[0]["machine"]]
+                if len(schemas) == 1 and rows
+                else schemas
+            ),
+            machines=sorted(schemas),
             jobs=args.jobs,
         )
         print(f"wrote {len(rows)} row(s) to {args.output}")
@@ -982,7 +1097,10 @@ def _cmd_tune_show(args) -> int:
         _resolve_graph(args.target)  # structured unknown-model error
     from repro.tune import DEFAULT_TRIAL_CONFIG
 
-    db = TrialDB(default_tune_dir(_cli_cache_dir(args)))
+    db = TrialDB(
+        default_tune_dir(_cli_cache_dir(args)),
+        machine=_cli_machine(args),
+    )
     records = db.records(model=args.target)
     if not records:
         print(f"no recorded trials for {args.target} under {db.path}")
@@ -1027,6 +1145,7 @@ def _cmd_tune(args) -> int:
         jobs=args.jobs,
         cache_dir=_cli_cache_dir(args),
         wall_seconds=args.wall_seconds,
+        machine=_cli_machine(args),
     )
     baseline = result.baseline
     best = result.best
@@ -1063,7 +1182,7 @@ def _cmd_tune(args) -> int:
             seed=args.seed,
             trials=args.trials,
             space_size=result.space_size,
-            schema=tune_schema_hash()[:16],
+            schema=tune_schema_hash(_cli_machine(args))[:16],
             baseline_cycles=baseline.cycles if baseline else None,
             best_fingerprint=best.fingerprint if best else None,
             best_cycles=best.cycles if best else None,
@@ -1077,14 +1196,15 @@ def _cmd_cache(args) -> int:
     """Persistent-cache maintenance: ``stats`` and ``clear``."""
     from repro.cache import DiskStore, default_cache_dir, schema_hash
 
+    machine = _cli_machine(args)
     root = args.cache_dir or str(default_cache_dir())
-    store = DiskStore(root)
+    store = DiskStore(root, machine=machine)
     if args.cache_command == "clear":
         removed = store.clear()
         print(f"cleared {removed} cached schedule(s) from {root}")
         return 0
     generations = store.generations()
-    current = schema_hash()[:16]
+    current = schema_hash(machine)[:16]
     print(f"cache root: {root}")
     print(f"current schema: {current}")
     print(f"entries (current schema): {store.entry_count()}")
@@ -1132,6 +1252,8 @@ def _cmd_chaos(args) -> int:
 def _dispatch(args) -> int:
     if args.command == "models":
         return _cmd_models()
+    if args.command == "machines":
+        return _cmd_machines(args)
     if args.command == "describe":
         from repro.models.summary import render_summary, summarize_model
 

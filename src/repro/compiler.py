@@ -56,6 +56,11 @@ from repro.codegen.lower import LoweredKernel, lower_node
 from repro.graph.graph import ComputationalGraph, Node
 from repro.graph.passes import run_default_passes
 from repro.isa.instructions import Opcode
+from repro.machine.description import (
+    HEXAGON_698,
+    MachineDescription,
+    resolve_machine,
+)
 from repro.machine.packet import Packet
 from repro.machine.pipeline import PipelineModel, schedule_cycles
 from repro.machine.profiler import ExecutionProfile, Profiler
@@ -74,9 +79,11 @@ from repro.verify import (
     verify_unrolls,
 )
 
-#: Modelled machine: Hexagon-698-like — 1.5 GHz, four HVX contexts.
-DEFAULT_PIPELINE = PipelineModel(clock_ghz=1.5)
-VECTOR_CONTEXTS = 4
+#: Default modelled machine: Hexagon-698-like — 1.5 GHz, four HVX
+#: contexts.  Kept as aliases; the live values come from the compile's
+#: :class:`~repro.machine.description.MachineDescription`.
+DEFAULT_PIPELINE = PipelineModel(clock_ghz=HEXAGON_698.clock_ghz)
+VECTOR_CONTEXTS = HEXAGON_698.vector_contexts
 
 #: Packer registry (moved to :mod:`repro.core.packing` so the parallel
 #: compilation workers can resolve packers by name); kept as a module
@@ -156,6 +163,15 @@ class CompilerOptions:
         configuration for this graph in the :mod:`repro.tune` trial
         database (under ``cache_dir``) and compile with it.  A graph
         with no recorded trials compiles with the options as given.
+    machine:
+        Target machine description: a registered name (``"hexagon698"``,
+        ``"narrow64"``, ``"wide6"``), an explicit
+        :class:`~repro.machine.description.MachineDescription`, or
+        ``None`` for the process default (the Hexagon-698 unless a test
+        swapped it).  Every stage — selection cost, unrolling, packing,
+        packet legality, pipeline timing, lint, verify, profiling, the
+        schedule cache and the tune DB — compiles against this one
+        description.
     """
 
     selection: str = "gcd2"
@@ -180,8 +196,15 @@ class CompilerOptions:
     sda_config: Optional[SdaConfig] = None
     unroll_config: Optional[UnrollConfig] = None
     tuned: bool = False
+    machine: Optional[MachineDescription] = None
 
     def __post_init__(self) -> None:
+        if self.machine is not None:
+            # Normalize names to descriptions eagerly so an unknown
+            # target fails at options construction, not mid-compile.
+            object.__setattr__(
+                self, "machine", resolve_machine(self.machine)
+            )
         if self.sda_config is not None and not isinstance(
             self.sda_config, SdaConfig
         ):
@@ -264,6 +287,7 @@ class CompiledModel:
     transform_cycles: float
     profile: ExecutionProfile
     pipeline: PipelineModel = DEFAULT_PIPELINE
+    machine: MachineDescription = HEXAGON_698
     diagnostics: CompilationDiagnostics = field(
         default_factory=CompilationDiagnostics
     )
@@ -295,8 +319,11 @@ class CompiledModel:
 
     @property
     def latency_ms(self) -> float:
-        """Modelled single-inference latency across all HVX contexts."""
-        return self.pipeline.cycles_to_ms(self.total_cycles) / VECTOR_CONTEXTS
+        """Modelled single-inference latency across all vector contexts."""
+        return (
+            self.pipeline.cycles_to_ms(self.total_cycles)
+            / self.machine.vector_contexts
+        )
 
     @property
     def total_packets(self) -> int:
@@ -342,9 +369,13 @@ class GCD2Compiler:
         self.options = options or CompilerOptions()
         self.fault_hooks: Dict[str, Callable] = dict(fault_hooks or {})
         self._deadline: Optional[Deadline] = None
+        # Resolve once: the whole compile (and this compiler's cache
+        # namespace) is pinned to one machine description.
+        self.machine = resolve_machine(self.options.machine)
         self.schedule_cache = ScheduleCache(
             memory_entries=self.options.cache_memory_entries,
             disk_dir=self.options.cache_dir,
+            machine=self.machine,
         )
 
     # -- public API ----------------------------------------------------------
@@ -386,6 +417,7 @@ class GCD2Compiler:
             other_opts=options.other_opts,
             scalar_activations=options.scalar_activations,
             transform_bytes_per_cycle=options.transform_bytes_per_cycle,
+            machine=self.machine,
         )
 
         # Stage 2 — global layout & instruction selection (with the
@@ -452,7 +484,7 @@ class GCD2Compiler:
             ]
 
         compiled_nodes = pm.run("packing", pack_stage)
-        pm.check("packing", verify_schedule, compiled_nodes)
+        pm.check("packing", verify_schedule, compiled_nodes, self.machine)
 
         # Optional stage 5b — static analysis over the compiled
         # artefacts (packet hazards, register dataflow, schedule
@@ -461,10 +493,10 @@ class GCD2Compiler:
             from repro.lint import verify_lint
 
             pm.check("lint", verify_lint, graph, model, selection,
-                     compiled_nodes)
+                     compiled_nodes, self.machine)
 
         # Final accounting — latency/utilization profile.
-        profiler = Profiler()
+        profiler = Profiler(machine=self.machine)
 
         def observe() -> ExecutionProfile:
             for compiled in compiled_nodes:
@@ -474,7 +506,7 @@ class GCD2Compiler:
             return profiler.profile
 
         profile = pm.run("profile", observe)
-        pm.check("profile", verify_profile, profile)
+        pm.check("profile", verify_profile, profile, self.machine)
 
         transform = selection.cost - sum(
             model.node_cost(graph, graph.node(n.node.node_id), n.plan)
@@ -488,6 +520,8 @@ class GCD2Compiler:
             nodes=compiled_nodes,
             transform_cycles=transform,
             profile=profile,
+            pipeline=PipelineModel(clock_ghz=self.machine.clock_ghz),
+            machine=self.machine,
             diagnostics=diagnostics,
         )
 
@@ -677,7 +711,7 @@ class GCD2Compiler:
         if not pending:
             return
         tasks = [
-            (fingerprint, *pending[fingerprint])
+            (fingerprint, *pending[fingerprint], self.machine)
             for fingerprint in sorted(pending)
         ]
         results, report = pack_parallel(tasks, jobs=self.options.jobs)
@@ -727,6 +761,7 @@ class GCD2Compiler:
             transform_bytes_per_cycle=(
                 self.options.transform_bytes_per_cycle
             ),
+            machine=self.machine,
         )
         compute, memory = model.node_cost_detail(graph, node, plan)
         _, reference_cycles, _ = self._pack(
@@ -787,13 +822,13 @@ class GCD2Compiler:
         if diagnostics is not None:
             diagnostics.record_cache_lookup(tier)
         if entry is None:
-            packets = configured_packer(packer_name, sda_config)(
-                kernel.body
-            )
+            packets = configured_packer(
+                packer_name, sda_config, self.machine
+            )(kernel.body)
             entry = ScheduleEntry(
                 body=list(kernel.body),
                 packets=packets,
-                cycles=schedule_cycles(packets),
+                cycles=schedule_cycles(packets, self.machine),
             )
             self.schedule_cache.put(fingerprint, entry)
         return entry.packets, entry.cycles, entry.body
@@ -825,7 +860,9 @@ def compile_model(
     if wanted_tuned:
         from repro.tune import TrialDB, default_tune_dir
 
-        db = TrialDB(default_tune_dir(options.cache_dir))
+        db = TrialDB(
+            default_tune_dir(options.cache_dir), machine=options.machine
+        )
         tuned_record = db.best(graph.name)
         options = replace(options, tuned=False)
         if tuned_record is not None:

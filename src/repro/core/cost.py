@@ -23,6 +23,7 @@ from repro.errors import SelectionError
 from repro.graph import ops
 from repro.graph.graph import ComputationalGraph, Node
 from repro.isa.instructions import Opcode
+from repro.machine.description import MachineDescription, resolve_machine
 from repro.tensor.layout import Layout, padded_shape
 from repro.tensor.transform_cost import transform_cycles
 from repro.core.plans import (
@@ -81,16 +82,23 @@ _ELEMENTWISE_SETUP = 16
 
 
 def gemm_padded_dims(
-    instruction: Opcode, m: int, k: int, n: int
+    instruction: Opcode,
+    m: int,
+    k: int,
+    n: int,
+    machine: Optional[MachineDescription] = None,
 ) -> Tuple[int, int, int]:
     """(Mp, Kp, Np) after padding to the instruction's layout panels.
 
-    Rows pad to the layout's panel height; for ``vrmpy`` the reduction
+    Rows pad to the layout's panel height *on the modelled machine*
+    (panels scale with the vector width); for ``vrmpy`` the reduction
     axis pads to its 4-element groups and the output columns to 4; for
     ``vmpa`` output columns pad to 2.
     """
+    lanes = resolve_machine(machine).vector_lanes
     layout = INSTRUCTION_LAYOUT[instruction]
-    mp = -(-m // layout.row_panel) * layout.row_panel
+    panel = layout.row_panel_for(lanes)
+    mp = -(-m // panel) * panel
     if instruction is Opcode.VRMPY:
         kp = -(-k // 4) * 4
         np_ = -(-n // 4) * 4
@@ -102,27 +110,46 @@ def gemm_padded_dims(
     return mp, kp, np_
 
 
-def gemm_cycles(instruction: Opcode, m: int, k: int, n: int) -> float:
-    """Cycles for one (m x k) @ (k x n) product with ``instruction``."""
+def gemm_cycles(
+    instruction: Opcode,
+    m: int,
+    k: int,
+    n: int,
+    machine: Optional[MachineDescription] = None,
+) -> float:
+    """Cycles for one (m x k) @ (k x n) product with ``instruction``.
+
+    The multiply and streaming terms amortize over the machine's vector
+    width (the calibration constants were fit on the 128-byte Hexagon;
+    other widths scale those terms by their lane count).
+    """
     if instruction not in _GEMM_A:
         raise SelectionError(
             f"{instruction} is not a GEMM-capable instruction"
         )
-    mp, kp, np_ = gemm_padded_dims(instruction, m, k, n)
+    desc = resolve_machine(machine)
+    lanes = float(desc.vector_lanes)
+    mp, kp, np_ = gemm_padded_dims(instruction, m, k, n, desc)
     volume = mp * kp * np_
-    mult = _GEMM_A[instruction] * volume / 128.0
+    mult = _GEMM_A[instruction] * volume / lanes
     fixup = _GEMM_B[instruction] * mp * np_ / _OUT_LANES[instruction]
-    stream = _GEMM_C * (mp * kp + kp * np_) / 128.0
+    stream = _GEMM_C * (mp * kp + kp * np_) / lanes
     return KERNEL_SETUP_CYCLES + mult + fixup + stream
 
 
-def gemm_padded_bytes(instruction: Opcode, m: int, k: int, n: int) -> int:
+def gemm_padded_bytes(
+    instruction: Opcode,
+    m: int,
+    k: int,
+    n: int,
+    machine: Optional[MachineDescription] = None,
+) -> int:
     """Total stored bytes (input + weight + output) with padding.
 
     This is exactly Table II's "Total Data Size w/ Pad" quantity.
     """
     layout = INSTRUCTION_LAYOUT[instruction]
-    mp, kp, np_ = gemm_padded_dims(instruction, m, k, n)
+    mp, kp, np_ = gemm_padded_dims(instruction, m, k, n, machine)
     input_bytes = mp * kp
     weight_bytes = kp * np_
     output_bytes = mp * np_
@@ -130,10 +157,12 @@ def gemm_padded_bytes(instruction: Opcode, m: int, k: int, n: int) -> int:
 
 
 def elementwise_cycles(
-    elements: int, cycles_per_vector: float = _ELEMENTWISE_CPV
+    elements: int,
+    cycles_per_vector: float = _ELEMENTWISE_CPV,
+    machine: Optional[MachineDescription] = None,
 ) -> float:
     """Cycles for a streaming elementwise pass over ``elements`` bytes."""
-    vectors = -(-elements // 128)
+    vectors = -(-elements // resolve_machine(machine).vector_bytes)
     return _ELEMENTWISE_SETUP + cycles_per_vector * vectors
 
 
@@ -200,6 +229,10 @@ class CostModel:
     framework_overhead_cycles: float = 0.0
     stream_bytes_per_cycle: float = STREAM_BYTES_PER_CYCLE
     transform_bytes_per_cycle: float = STREAM_BYTES_PER_CYCLE
+    machine: Optional[MachineDescription] = None
+
+    def __post_init__(self) -> None:
+        self.machine = resolve_machine(self.machine)
 
     def plans(self, node: Node) -> Tuple[ExecutionPlan, ...]:
         """The plan set EP(O) under this policy."""
@@ -267,19 +300,26 @@ class CostModel:
                 )
             dims = graph.node_matmul_dims(node.node_id)
             m, k, n = dims
-            cycles = gemm_cycles(plan.instruction, m, k, n)
+            cycles = gemm_cycles(plan.instruction, m, k, n, self.machine)
             if op.fused_activation:
-                cycles += elementwise_cycles(elements) - _ELEMENTWISE_SETUP
+                cycles += (
+                    elementwise_cycles(elements, machine=self.machine)
+                    - _ELEMENTWISE_SETUP
+                )
             return cycles
         if op.is_layout_transform:
             # Pure data movement of the whole tensor.
-            return elementwise_cycles(elements, cycles_per_vector=3.0)
+            return elementwise_cycles(
+                elements, cycles_per_vector=3.0, machine=self.machine
+            )
         if isinstance(op, (ops.Div, ops.Pow)):
             if self.scalar_activations:
                 cpv = _DIV_CPV * 4.0
             else:
                 cpv = _DIV_LUT_CPV if self.other_opts else _DIV_CPV
-            return elementwise_cycles(elements, cycles_per_vector=cpv)
+            return elementwise_cycles(
+                elements, cycles_per_vector=cpv, machine=self.machine
+            )
         if isinstance(
             op,
             (
@@ -299,20 +339,28 @@ class CostModel:
                 cpv = _NORM_CPV
             else:
                 cpv = _NORM_CPV * 5.0
-            return elementwise_cycles(elements, cycles_per_vector=cpv)
+            return elementwise_cycles(
+                elements, cycles_per_vector=cpv, machine=self.machine
+            )
         if isinstance(op, (ops.MaxPool2D, ops.AvgPool2D)):
             kh, kw = op.kernel
             return elementwise_cycles(
-                elements, cycles_per_vector=_POOL_CPV * kh * kw / 4.0
+                elements,
+                cycles_per_vector=_POOL_CPV * kh * kw / 4.0,
+                machine=self.machine,
             )
         if isinstance(op, (ops.GlobalAvgPool, ops.ReduceMean)):
             in_elements = int(
                 math.prod(graph.node(node.inputs[0]).output_shape)
             )
-            return elementwise_cycles(in_elements, cycles_per_vector=2.0)
+            return elementwise_cycles(
+                in_elements, cycles_per_vector=2.0, machine=self.machine
+            )
         if isinstance(op, ops.Embedding):
-            return elementwise_cycles(elements, cycles_per_vector=6.0)
-        return elementwise_cycles(elements)
+            return elementwise_cycles(
+                elements, cycles_per_vector=6.0, machine=self.machine
+            )
+        return elementwise_cycles(elements, machine=self.machine)
 
     # -- TC(ep_i, ep_j) -------------------------------------------------------
 

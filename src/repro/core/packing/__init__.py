@@ -28,27 +28,38 @@ PACKERS: Dict[str, Callable] = {
 }
 
 
-def configured_packer(name: str, sda_config: "SdaConfig" = None) -> Callable:
-    """A packer callable specialized to an :class:`SdaConfig`.
+def configured_packer(
+    name: str, sda_config: "SdaConfig" = None, machine=None
+) -> Callable:
+    """A packer callable specialized to an :class:`SdaConfig` and target.
 
-    The registry's bare callables embed the paper's default ``w``/``p``;
-    the autotuner needs to vary them.  Only the SDA-family packers
-    consume the config — the baselines ignore it by construction.
-    Workers resolve through this function (name + config cross process
-    boundaries; closures do not).
+    The registry's bare callables embed the paper's default ``w``/``p``
+    and resolve the process-default machine; the autotuner needs to
+    vary the former and multi-target compiles the latter.  Only the
+    SDA-family packers consume the config — the baselines ignore it by
+    construction — while every packer takes the machine description.
+    Workers resolve through this function (name + config + machine
+    cross process boundaries; closures do not).
     """
     if name not in PACKERS:
         raise KeyError(f"unknown packer {name!r}")
     config = sda_config or SdaConfig()
-    if config == SdaConfig():
+    if config == SdaConfig() and machine is None:
         return PACKERS[name]
     if name == "sda":
         return lambda body: pack_best(
-            body, w=config.w, soft_penalty=config.soft_penalty
+            body,
+            w=config.w,
+            soft_penalty=config.soft_penalty,
+            machine=machine,
         )
     if name == "sda_pure":
-        return lambda body: pack_instructions(body, config)
-    return PACKERS[name]
+        return lambda body: pack_instructions(body, config, machine)
+    if name == "soft_to_hard":
+        return lambda body: pack_soft_to_hard(body, machine=machine)
+    if name == "soft_to_none":
+        return lambda body: pack_soft_to_none(body, machine=machine)
+    return lambda body: pack_list_schedule(body, machine=machine)
 from repro.core.packing.evaluate import (
     schedule_summary,
     validate_schedule,

@@ -18,7 +18,8 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Sequence, Set
 
 from repro.isa.instructions import Instruction
-from repro.machine.packet import MAX_PACKET_SLOTS, Packet, fits_with
+from repro.machine.description import MachineDescription, resolve_machine
+from repro.machine.packet import Packet, fits_with
 from repro.core.packing.cfg import build_cfg
 from repro.core.packing.idg import build_idg
 from repro.core.packing.sda import SdaConfig, pack_instructions
@@ -28,10 +29,11 @@ def pack_soft_to_hard(
     instructions: Sequence[Instruction],
     *,
     w: float = 0.7,
+    machine: Optional[MachineDescription] = None,
 ) -> List[Packet]:
     """SDA with soft dependencies degraded to hard ones."""
     return pack_instructions(
-        instructions, SdaConfig(w=w, soft_mode="hard")
+        instructions, SdaConfig(w=w, soft_mode="hard"), machine
     )
 
 
@@ -39,15 +41,18 @@ def pack_soft_to_none(
     instructions: Sequence[Instruction],
     *,
     w: float = 0.7,
+    machine: Optional[MachineDescription] = None,
 ) -> List[Packet]:
     """SDA without the soft-dependency packing penalty."""
     return pack_instructions(
-        instructions, SdaConfig(w=w, soft_mode="none")
+        instructions, SdaConfig(w=w, soft_mode="none"), machine
     )
 
 
 def pack_list_schedule(
     instructions: Sequence[Instruction],
+    *,
+    machine: Optional[MachineDescription] = None,
 ) -> List[Packet]:
     """Top-down critical-path list scheduling (soft treated as hard).
 
@@ -55,24 +60,27 @@ def pack_list_schedule(
     exit — "instructions with the longest latency path to the exit have
     priority" — and dependent instructions never share a packet.
     """
+    machine = resolve_machine(machine)
     packets: List[Packet] = []
     for block in build_cfg(instructions):
-        packets.extend(_list_schedule_block(block.instructions))
+        packets.extend(_list_schedule_block(block.instructions, machine))
     return packets
 
 
 def _list_schedule_block(
     instructions: Sequence[Instruction],
+    machine: Optional[MachineDescription] = None,
 ) -> List[Packet]:
     if not instructions:
         return []
+    machine = resolve_machine(machine)
     idg = build_idg(instructions)
 
     # Longest latency path to exit, computed in reverse program order.
     height: Dict[int, int] = {}
     for inst in reversed(list(instructions)):
         succs = idg.successors(inst)
-        height[inst.uid] = inst.latency + max(
+        height[inst.uid] = machine.latency(inst.opcode) + max(
             (height[s.uid] for s in succs), default=0
         )
 
@@ -88,16 +96,16 @@ def _list_schedule_block(
             )
         ]
         ready.sort(key=lambda i: (-height[i.uid], i.uid))
-        packet = Packet([])
+        packet = Packet([], machine)
         placed: List[Instruction] = []
         for inst in ready:
-            if len(packet) >= MAX_PACKET_SLOTS:
+            if len(packet) >= machine.max_packet_slots:
                 break
             # All dependencies are treated as hard: a packet member may
             # not depend on another member in any way.
             if _depends_on_any(idg, inst, placed):
                 continue
-            if fits_with(inst, packet.instructions):
+            if fits_with(inst, packet.instructions, machine):
                 packet.add(inst)
                 placed.append(inst)
         if not placed:  # pragma: no cover - defensive

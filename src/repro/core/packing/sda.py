@@ -25,7 +25,8 @@ from typing import Dict, List, Optional, Sequence, Set
 
 from repro.isa.dependencies import DependencyKind, stalling_raw_registers
 from repro.isa.instructions import Instruction
-from repro.machine.packet import MAX_PACKET_SLOTS, Packet, fits_with
+from repro.machine.description import MachineDescription, resolve_machine
+from repro.machine.packet import Packet, fits_with
 from repro.core.packing.cfg import build_cfg
 from repro.core.packing.idg import InstructionDependencyGraph, build_idg
 
@@ -75,21 +76,25 @@ class SdaConfig:
 def pack_instructions(
     instructions: Sequence[Instruction],
     config: Optional[SdaConfig] = None,
+    machine: Optional[MachineDescription] = None,
 ) -> List[Packet]:
     """Pack a full pseudo-assembly sequence, block by block."""
     config = config or SdaConfig()
+    machine = resolve_machine(machine)
     packets: List[Packet] = []
     for block in build_cfg(instructions):
-        packets.extend(pack_block(block.instructions, config))
+        packets.extend(pack_block(block.instructions, config, machine))
     return packets
 
 
 def pack_block(
     instructions: Sequence[Instruction],
     config: Optional[SdaConfig] = None,
+    machine: Optional[MachineDescription] = None,
 ) -> List[Packet]:
     """Pack one basic block with Algorithm 1."""
     config = config or SdaConfig()
+    machine = resolve_machine(machine)
     idg = build_idg(instructions)
     packed: Set[int] = set()
     packets_bottom_up: List[Packet] = []
@@ -97,13 +102,13 @@ def pack_block(
     while len(packed) < len(instructions):
         critical = [i for i in idg.critical_path() if i.uid not in packed]
         seed = critical[-1]
-        packet = Packet([seed])
+        packet = Packet([seed], machine)
         in_packet = {seed.uid}
 
-        while len(packet) < MAX_PACKET_SLOTS:
+        while len(packet) < machine.max_packet_slots:
             free = _free_instructions(idg, packed, in_packet, config)
             candidate = _select_instruction(
-                idg, free, packet, in_packet, config
+                idg, free, packet, in_packet, config, machine
             )
             if candidate is None:
                 break
@@ -158,10 +163,14 @@ def _select_instruction(
     packet: Packet,
     in_packet: Set[int],
     config: SdaConfig,
+    machine: Optional[MachineDescription] = None,
 ) -> Optional[Instruction]:
     """Algorithm 1's ``select_instruction``: Equation 4 with soft penalty."""
+    machine = resolve_machine(machine)
     candidates = [
-        inst for inst in free if fits_with(inst, packet.instructions)
+        inst
+        for inst in free
+        if fits_with(inst, packet.instructions, machine)
     ]
     if not candidates:
         return None
@@ -181,13 +190,15 @@ def _select_instruction(
             # prefer to not pack instructions with soft dependencies
             # together" — a stall costs more than the slot it fills.
             candidates = stall_free
-    hi_lat = max(inst.latency for inst in packet)
+    hi_lat = max(machine.latency(inst.opcode) for inst in packet)
     best: Optional[Instruction] = None
     best_score = float("-inf")
     for inst in candidates:
         score = (
             idg.order_of(inst) + idg.pred_count(inst)
-        ) * config.w - abs(hi_lat - inst.latency) * (1.0 - config.w)
+        ) * config.w - abs(
+            hi_lat - machine.latency(inst.opcode)
+        ) * (1.0 - config.w)
         if config.soft_mode == "sda":
             score -= config.soft_penalty * stalls[inst.uid]
         # Strict comparison: ties keep the *first* best candidate, so
@@ -218,6 +229,7 @@ def pack_best(
     *,
     w: float = 0.7,
     soft_penalty: float = 8.0,
+    machine: Optional[MachineDescription] = None,
 ) -> List[Packet]:
     """Production packing: Algorithm 1 tuned by measured cycle cost.
 
@@ -231,12 +243,16 @@ def pack_best(
     from repro.machine.pipeline import schedule_cycles
     from repro.core.packing.baselines import pack_list_schedule
 
+    machine = resolve_machine(machine)
     candidates: List[List[Packet]] = [
         pack_instructions(
             instructions,
             SdaConfig(w=w, soft_penalty=soft_penalty, soft_mode=soft_mode),
+            machine,
         )
         for soft_mode in ("sda", "none", "hard")
     ]
-    candidates.append(pack_list_schedule(instructions))
-    return min(candidates, key=schedule_cycles)
+    candidates.append(pack_list_schedule(instructions, machine=machine))
+    return min(
+        candidates, key=lambda packets: schedule_cycles(packets, machine)
+    )

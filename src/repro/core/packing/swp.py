@@ -33,7 +33,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from repro.errors import SchedulingError
 from repro.isa.dependencies import DependencyKind, classify_dependency
 from repro.isa.instructions import Instruction, Opcode, ResourceClass
-from repro.machine.packet import MAX_PACKET_SLOTS, RESOURCE_LIMITS
+from repro.machine.description import MachineDescription, resolve_machine
 from repro.core.packing.cfg import build_cfg
 from repro.core.packing.idg import build_idg
 
@@ -76,6 +76,7 @@ class PipelinedSchedule:
 
 def _loop_carried_pairs(
     body: Sequence[Instruction],
+    machine: Optional[MachineDescription] = None,
 ) -> List[Tuple[Instruction, Instruction, int]]:
     """(producer, consumer, latency) for distance-1 recurrences.
 
@@ -85,33 +86,43 @@ def _loop_carried_pairs(
     feeding its own next-iteration read.
     """
     pairs = []
+    machine = resolve_machine(machine)
     for i, consumer in enumerate(body):
         for producer in body[i:]:
             raw = frozenset(producer.dests) & frozenset(consumer.srcs)
             if raw:
-                pairs.append((producer, consumer, producer.latency))
+                pairs.append(
+                    (producer, consumer, machine.latency(producer.opcode))
+                )
     return pairs
 
 
-def resource_mii(body: Sequence[Instruction]) -> int:
+def resource_mii(
+    body: Sequence[Instruction],
+    machine: Optional[MachineDescription] = None,
+) -> int:
     """Resource-constrained lower bound on the initiation interval."""
+    machine = resolve_machine(machine)
     usage: Dict[ResourceClass, int] = {}
     for inst in body:
         usage[inst.resource] = usage.get(inst.resource, 0) + 1
     bound = max(
         (
-            -(-count // RESOURCE_LIMITS[resource])
+            -(-count // machine.limit(resource))
             for resource, count in usage.items()
         ),
         default=1,
     )
-    return max(bound, -(-len(body) // MAX_PACKET_SLOTS), 1)
+    return max(bound, -(-len(body) // machine.max_packet_slots), 1)
 
 
-def recurrence_mii(body: Sequence[Instruction]) -> int:
+def recurrence_mii(
+    body: Sequence[Instruction],
+    machine: Optional[MachineDescription] = None,
+) -> int:
     """Recurrence-constrained lower bound (distance-1 cycles)."""
     bound = 1
-    for producer, consumer, latency in _loop_carried_pairs(body):
+    for producer, consumer, latency in _loop_carried_pairs(body, machine):
         if producer.uid == consumer.uid:
             bound = max(bound, latency)
     return bound
@@ -121,6 +132,7 @@ def modulo_schedule(
     instructions: Sequence[Instruction],
     *,
     max_ii: Optional[int] = None,
+    machine: Optional[MachineDescription] = None,
 ) -> PipelinedSchedule:
     """Software-pipeline one loop body.
 
@@ -132,6 +144,7 @@ def modulo_schedule(
     SchedulingError
         If no II up to ``max_ii`` admits a legal schedule.
     """
+    machine = resolve_machine(machine)
     blocks = build_cfg(instructions)
     body = [
         inst
@@ -143,20 +156,20 @@ def modulo_schedule(
         return PipelinedSchedule(ii=1, slots=[[]], start_cycle={})
 
     idg = build_idg(body)
-    mii = max(resource_mii(body), recurrence_mii(body))
+    mii = max(resource_mii(body, machine), recurrence_mii(body, machine))
     ceiling = max_ii if max_ii is not None else mii + _MAX_II_SLACK
 
     # Priority: deepest dependence height first (classic IMS ordering).
     height: Dict[int, int] = {}
     for inst in reversed(body):
         succs = idg.successors(inst)
-        height[inst.uid] = inst.latency + max(
+        height[inst.uid] = machine.latency(inst.opcode) + max(
             (height[s.uid] for s in succs), default=0
         )
     order = sorted(body, key=lambda i: (-height[i.uid], i.uid))
 
     for ii in range(mii, ceiling + 1):
-        schedule = _try_schedule(body, idg, order, ii)
+        schedule = _try_schedule(body, idg, order, ii, machine)
         if schedule is not None:
             return schedule
     raise SchedulingError(
@@ -165,7 +178,10 @@ def modulo_schedule(
     )
 
 
-def _try_schedule(body, idg, order, ii) -> Optional[PipelinedSchedule]:
+def _try_schedule(
+    body, idg, order, ii, machine=None
+) -> Optional[PipelinedSchedule]:
+    machine = resolve_machine(machine)
     slots: List[List[Instruction]] = [[] for _ in range(ii)]
     usage: List[Dict[ResourceClass, int]] = [dict() for _ in range(ii)]
     start: Dict[int, int] = {}
@@ -176,22 +192,28 @@ def _try_schedule(body, idg, order, ii) -> Optional[PipelinedSchedule]:
         for pred, kind in idg.predecessors(inst).items():
             if pred.uid not in start:
                 continue
-            gap = pred.latency if kind is DependencyKind.HARD else 1
+            gap = (
+                machine.latency(pred.opcode)
+                if kind is DependencyKind.HARD
+                else 1
+            )
             earliest = max(earliest, start[pred.uid] + gap)
         placed = False
         for cycle in range(earliest, earliest + horizon):
             row = cycle % ii
             row_usage = usage[row]
-            if len(slots[row]) >= MAX_PACKET_SLOTS:
+            if len(slots[row]) >= machine.max_packet_slots:
                 continue
             if (
                 row_usage.get(inst.resource, 0)
-                >= RESOURCE_LIMITS[inst.resource]
+                >= machine.limit(inst.resource)
             ):
                 continue
-            if inst.spec.is_store and any(
-                member.spec.is_store for member in slots[row]
-            ):
+            row_stores = sum(
+                1 for member in slots[row] if member.spec.is_store
+            )
+            if inst.spec.is_store and \
+                    row_stores + 1 > machine.max_stores_per_packet:
                 continue
             # Same-row hard hazard: two instructions sharing an issue
             # row execute together every kernel cycle.
@@ -213,7 +235,11 @@ def _try_schedule(body, idg, order, ii) -> Optional[PipelinedSchedule]:
     # but a successor scheduled before its producer must be re-checked).
     for inst in body:
         for pred, kind in idg.predecessors(inst).items():
-            gap = pred.latency if kind is DependencyKind.HARD else 1
+            gap = (
+                machine.latency(pred.opcode)
+                if kind is DependencyKind.HARD
+                else 1
+            )
             if start[inst.uid] < start[pred.uid] + gap:
                 return None
     return PipelinedSchedule(ii=ii, slots=slots, start_cycle=start)
@@ -221,6 +247,7 @@ def _try_schedule(body, idg, order, ii) -> Optional[PipelinedSchedule]:
 
 def pipelined_speedup(
     instructions: Sequence[Instruction],
+    machine: Optional[MachineDescription] = None,
 ) -> Tuple[PipelinedSchedule, float]:
     """Modulo-schedule a body and report speedup over SDA packing.
 
@@ -230,6 +257,9 @@ def pipelined_speedup(
     from repro.machine.pipeline import schedule_cycles
     from repro.core.packing.sda import pack_best
 
-    schedule = modulo_schedule(instructions)
-    flat = schedule_cycles(pack_best(instructions))
+    machine = resolve_machine(machine)
+    schedule = modulo_schedule(instructions, machine=machine)
+    flat = schedule_cycles(
+        pack_best(instructions, machine=machine), machine
+    )
     return schedule, flat / max(1.0, schedule.cycles_per_iteration)

@@ -47,6 +47,7 @@ from repro.lint.hazards import (
     stall_diagnostic,
 )
 from repro.lint.memory import Region, lint_memory_map, matmul_regions
+from repro.machine.description import MachineDescription, resolve_machine
 from repro.machine.packet import Packet
 
 #: Fault-injection registry entry -> the lint rule that catches it
@@ -68,7 +69,18 @@ STATIC_STAGES = ("lowering", "packing")
 
 
 class StaticAnalyzer:
-    """Runs the registered lint rules over compiler artefacts."""
+    """Runs the registered lint rules over compiler artefacts.
+
+    ``machine`` pins the packet/pipeline rules to one target
+    description; ``None`` resolves the process default live, so the
+    analyzer always judges schedules by the same machine model the
+    compiler used.
+    """
+
+    def __init__(
+        self, machine: Optional[MachineDescription] = None
+    ) -> None:
+        self.machine = resolve_machine(machine)
 
     def lint_program(
         self,
@@ -106,10 +118,10 @@ class StaticAnalyzer:
         """Packet hazards + schedule consistency + stall estimate."""
         report = LintReport()
         for index, packet in enumerate(packets):
-            report.extend(lint_packet(packet, index, node))
+            report.extend(lint_packet(packet, index, node, self.machine))
         report.extend(lint_schedule_consistency(packets, body, node))
         if with_stalls:
-            estimate = estimate_stalls(packets)
+            estimate = estimate_stalls(packets, self.machine)
             report.add(stall_diagnostic(estimate, node))
             report.metrics["packets"] = float(estimate.packets)
             report.metrics["soft_raw_pairs"] = float(
@@ -186,6 +198,7 @@ class StaticAnalyzer:
 
 def lint_model(compiled: "CompiledModel") -> LintReport:
     """Lint a finished compile, selection lints included."""
+    machine = getattr(compiled, "machine", None)
     model = CostModel(
         include_extensions=compiled.options.include_extensions,
         other_opts=compiled.options.other_opts,
@@ -193,8 +206,9 @@ def lint_model(compiled: "CompiledModel") -> LintReport:
         transform_bytes_per_cycle=(
             compiled.options.transform_bytes_per_cycle
         ),
+        machine=machine,
     )
-    return StaticAnalyzer().lint_compiled(
+    return StaticAnalyzer(machine).lint_compiled(
         compiled.nodes,
         graph=compiled.graph,
         selection=compiled.selection,
@@ -207,9 +221,10 @@ def verify_lint(
     model: CostModel,
     selection: SelectionResult,
     compiled_nodes: Sequence["CompiledNode"],
+    machine: Optional[MachineDescription] = None,
 ) -> None:
     """PassManager checker: raise on error-severity diagnostics."""
-    report = StaticAnalyzer().lint_compiled(
+    report = StaticAnalyzer(machine).lint_compiled(
         compiled_nodes, graph=graph, selection=selection, model=model
     )
     errors = report.errors

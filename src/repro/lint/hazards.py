@@ -32,12 +32,8 @@ from repro.isa.dependencies import (
 from repro.isa.instructions import Instruction
 from repro.lint.diagnostics import Diagnostic, Location
 from repro.lint.rules import rule
-from repro.machine.packet import (
-    MAX_PACKET_SLOTS,
-    MAX_STORES_PER_PACKET,
-    Packet,
-    RESOURCE_LIMITS,
-)
+from repro.machine.description import MachineDescription, resolve_machine
+from repro.machine.packet import Packet
 
 
 def _ordered(instructions: Sequence[Instruction]) -> List[Instruction]:
@@ -46,39 +42,49 @@ def _ordered(instructions: Sequence[Instruction]) -> List[Instruction]:
 
 
 def lint_packet(
-    packet: Packet, index: int, node: Optional[str] = None
+    packet: Packet,
+    index: int,
+    node: Optional[str] = None,
+    machine: Optional[MachineDescription] = None,
 ) -> List[Diagnostic]:
-    """All intra-packet hazard rules over one packet."""
+    """All intra-packet hazard rules over one packet.
+
+    Limits come from the live machine description (explicit argument,
+    else the process default) — never from constants bound at import —
+    so lint always judges a packet by the same rules the packer and
+    the cache schema hash used.
+    """
+    desc = resolve_machine(machine)
     diagnostics: List[Diagnostic] = []
     insts = list(packet.instructions)
     where = Location(node=node, packet_index=index)
 
-    if len(insts) > MAX_PACKET_SLOTS:
+    if len(insts) > desc.max_packet_slots:
         diagnostics.append(
             rule("LINT-PK002").diagnostic(
                 f"packet holds {len(insts)} instructions "
-                f"(limit {MAX_PACKET_SLOTS})",
+                f"(limit {desc.max_packet_slots})",
                 where,
                 count=len(insts),
             )
         )
     counts = Counter(inst.resource for inst in insts)
     for resource, count in sorted(counts.items(), key=lambda kv: kv[0].value):
-        if count > RESOURCE_LIMITS[resource]:
+        if count > desc.limit(resource):
             diagnostics.append(
                 rule("LINT-PK003").diagnostic(
                     f"{count} x {resource.value} in one packet "
-                    f"(limit {RESOURCE_LIMITS[resource]})",
+                    f"(limit {desc.limit(resource)})",
                     where,
                     resource=resource.value,
                 )
             )
     stores = sum(1 for inst in insts if inst.spec.is_store)
-    if stores > MAX_STORES_PER_PACKET:
+    if stores > desc.max_stores_per_packet:
         diagnostics.append(
             rule("LINT-PK004").diagnostic(
                 f"{stores} stores in one packet "
-                f"(limit {MAX_STORES_PER_PACKET})",
+                f"(limit {desc.max_stores_per_packet})",
                 where,
             )
         )
@@ -272,8 +278,12 @@ def _packet_stall_chain(packet: Packet) -> Tuple[int, int]:
     return pairs, longest - 1
 
 
-def estimate_stalls(packets: Sequence[Packet]) -> StallEstimate:
+def estimate_stalls(
+    packets: Sequence[Packet],
+    machine: Optional[MachineDescription] = None,
+) -> StallEstimate:
     """Statically estimate the stall cycles of a packed schedule."""
+    desc = resolve_machine(machine)
     pairs = stalls = base = 0
     for packet in packets:
         if len(packet) == 0:
@@ -281,8 +291,8 @@ def estimate_stalls(packets: Sequence[Packet]) -> StallEstimate:
             continue
         packet_pairs, packet_stalls = _packet_stall_chain(packet)
         pairs += packet_pairs
-        stalls += packet_stalls
-        base += max(inst.latency for inst in packet)
+        stalls += packet_stalls * desc.soft_raw_stall
+        base += max(desc.latency(inst.opcode) for inst in packet)
     return StallEstimate(
         packets=len(packets),
         soft_raw_pairs=pairs,

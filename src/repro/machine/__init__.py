@@ -6,6 +6,20 @@ used by the compiler's cost functions, and a *functional* model
 compute the right values.
 """
 
+from repro.machine.description import (
+    HEXAGON_698,
+    NARROW_64,
+    WIDE_6,
+    MachineDescription,
+    MachineError,
+    default_machine,
+    get_machine,
+    machine_context,
+    machine_names,
+    register_machine,
+    resolve_machine,
+    set_default_machine,
+)
 from repro.machine.packet import (
     MAX_PACKET_SLOTS,
     Packet,
@@ -22,6 +36,18 @@ from repro.machine.profiler import ExecutionProfile, Profiler
 from repro.machine.trace import TraceEntry, TraceRecorder
 
 __all__ = [
+    "HEXAGON_698",
+    "NARROW_64",
+    "WIDE_6",
+    "MachineDescription",
+    "MachineError",
+    "default_machine",
+    "get_machine",
+    "machine_context",
+    "machine_names",
+    "register_machine",
+    "resolve_machine",
+    "set_default_machine",
     "MAX_PACKET_SLOTS",
     "Packet",
     "RESOURCE_LIMITS",

@@ -1,0 +1,556 @@
+"""Pluggable machine descriptions: the DSP model as data, not constants.
+
+Historically the Hexagon-698 machine model lived as module constants
+(``MAX_PACKET_SLOTS``, ``RESOURCE_LIMITS``, pipeline stalls, the
+128-byte vector width) imported *by value* into roughly ten consumers.
+That shape had two problems:
+
+* it made multi-target compilation impossible — every stage hardwired
+  the same one machine; and
+* it was an active bug class: a consumer that bound a constant at
+  import time silently desynchronized from a test (or a future target)
+  that patched the machine model, while the cache schema hash claimed
+  the opposite.
+
+A :class:`MachineDescription` is a frozen, validated, declarative
+description of one VLIW DSP target: issue width, per-resource packet
+limits, the store rule, pipeline depth, the soft-RAW stall price,
+per-opcode latency/MACs overrides and the vector width.  Every stage of
+the compiler — selection cost model, unrolling, packing, packet
+legality, pipeline timing, lint, verify, profiling, the schedule cache
+and the tune DB — resolves the *same* description object, so no stage
+can disagree with another about the machine.
+
+The description has a canonical serialized form
+(:meth:`MachineDescription.canonical`) and a content hash
+(:meth:`MachineDescription.schema_hash`) that namespaces the schedule
+cache and the autotuner's trial database: schedules and trials recorded
+for one machine are structurally unreachable from another.
+
+Three targets ship in the registry:
+
+* ``hexagon698`` — the paper's Hexagon-698: byte-for-byte the constants
+  this repo always used, so warm caches and recorded schedules survive;
+* ``narrow64`` — a hypothetical 2-slot, 64-byte-vector embedded DSP
+  (single multiply pipe, slower multiplies);
+* ``wide6`` — a hypothetical 6-slot, 256-byte-vector flagship DSP
+  (three multiply pipes, dual store ports).
+
+Tests (and only tests) may swap the process-default description with
+:func:`set_default_machine` / :func:`machine_context`; production code
+threads an explicit description through ``CompilerOptions(machine=…)``.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import hashlib
+from dataclasses import dataclass, field, replace
+from typing import Dict, Iterator, List, Mapping, Optional, Tuple, Union
+
+from repro.errors import ReproError
+from repro.isa.instructions import (
+    InstrSpec,
+    Opcode,
+    ResourceClass,
+    SPEC_TABLE,
+)
+
+
+class MachineError(ReproError):
+    """An invalid machine description or an unknown target name."""
+
+
+#: Vector resource classes (used by the validator: a machine must issue
+#: vector work somewhere).
+_VECTOR_RESOURCES = (
+    ResourceClass.VMULT,
+    ResourceClass.VALU,
+    ResourceClass.VSHIFT,
+    ResourceClass.VPERMUTE,
+    ResourceClass.VMEM,
+)
+
+
+@dataclass(frozen=True, eq=False)
+class MachineDescription:
+    """One VLIW DSP target, declaratively.
+
+    Attributes
+    ----------
+    name:
+        Registry key and cache-namespace component.
+    max_packet_slots:
+        Issue width — instructions per VLIW packet.
+    resource_limits:
+        Per-packet issue limit for each functional-unit class.  Every
+        :class:`ResourceClass` must be covered (a class the machine
+        lacks entirely is expressed as a limit the validator rejects
+        only if below 1 — lowering always needs somewhere to issue).
+    max_stores_per_packet:
+        Stores (vector or scalar) allowed to issue together.
+    pipeline_stages:
+        Depth of the read/execute/write pipeline.
+    soft_raw_stall:
+        Extra cycles per link of an in-packet soft-RAW chain.
+    vector_bytes:
+        Vector register width in bytes; drives the cost model's
+        per-vector throughput and the layout panel geometry.
+    clock_ghz:
+        Core clock, converting cycles to wall time.
+    vector_contexts:
+        Hardware vector contexts sharing one model inference.
+    latency_overrides / macs_overrides:
+        Per-opcode deviations from the base ISA spec table.  Opcodes
+        not listed keep :data:`~repro.isa.instructions.SPEC_TABLE`
+        values, so a target only declares what differs.
+    """
+
+    name: str
+    max_packet_slots: int = 4
+    resource_limits: Mapping[ResourceClass, int] = field(
+        default_factory=dict
+    )
+    max_stores_per_packet: int = 1
+    pipeline_stages: int = 3
+    soft_raw_stall: int = 1
+    vector_bytes: int = 128
+    clock_ghz: float = 1.5
+    vector_contexts: int = 4
+    latency_overrides: Mapping[Opcode, int] = field(default_factory=dict)
+    macs_overrides: Mapping[Opcode, int] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self, "resource_limits", dict(self.resource_limits)
+        )
+        object.__setattr__(
+            self, "latency_overrides", dict(self.latency_overrides)
+        )
+        object.__setattr__(
+            self, "macs_overrides", dict(self.macs_overrides)
+        )
+        self._validate()
+        object.__setattr__(self, "_specs", self._build_specs())
+
+    # -- validation ----------------------------------------------------------
+
+    def _validate(self) -> None:
+        if not self.name or not isinstance(self.name, str):
+            raise MachineError("machine name must be a non-empty string")
+        if not isinstance(self.max_packet_slots, int) \
+                or self.max_packet_slots < 1:
+            raise MachineError(
+                f"max_packet_slots must be a positive int, "
+                f"got {self.max_packet_slots!r}"
+            )
+        for resource in ResourceClass:
+            limit = self.resource_limits.get(resource)
+            if not isinstance(limit, int) or limit < 1:
+                raise MachineError(
+                    f"{self.name}: resource_limits must map every "
+                    f"ResourceClass to a positive int; "
+                    f"{resource.value} -> {limit!r}"
+                )
+        for key in self.resource_limits:
+            if not isinstance(key, ResourceClass):
+                raise MachineError(
+                    f"{self.name}: unknown resource {key!r}"
+                )
+        if not isinstance(self.max_stores_per_packet, int) \
+                or self.max_stores_per_packet < 1:
+            raise MachineError(
+                f"{self.name}: max_stores_per_packet must be a "
+                f"positive int, got {self.max_stores_per_packet!r}"
+            )
+        if not isinstance(self.pipeline_stages, int) \
+                or self.pipeline_stages < 1:
+            raise MachineError(
+                f"{self.name}: pipeline_stages must be a positive int"
+            )
+        if not isinstance(self.soft_raw_stall, int) \
+                or self.soft_raw_stall < 0:
+            raise MachineError(
+                f"{self.name}: soft_raw_stall must be a non-negative int"
+            )
+        # Layout panels need lanes divisible by 4 (the 4-column layout
+        # groups four elements per row of a 1/4-lane panel).
+        if (
+            not isinstance(self.vector_bytes, int)
+            or self.vector_bytes < 16
+            or self.vector_bytes % 4 != 0
+        ):
+            raise MachineError(
+                f"{self.name}: vector_bytes must be an int >= 16 and a "
+                f"multiple of 4, got {self.vector_bytes!r}"
+            )
+        if not isinstance(self.clock_ghz, (int, float)) \
+                or not self.clock_ghz > 0:
+            raise MachineError(
+                f"{self.name}: clock_ghz must be positive"
+            )
+        if not isinstance(self.vector_contexts, int) \
+                or self.vector_contexts < 1:
+            raise MachineError(
+                f"{self.name}: vector_contexts must be a positive int"
+            )
+        for label, overrides in (
+            ("latency_overrides", self.latency_overrides),
+            ("macs_overrides", self.macs_overrides),
+        ):
+            for opcode, value in overrides.items():
+                if not isinstance(opcode, Opcode):
+                    raise MachineError(
+                        f"{self.name}: {label} keys must be Opcodes, "
+                        f"got {opcode!r}"
+                    )
+                floor = 1 if label == "latency_overrides" else 0
+                if not isinstance(value, int) or value < floor:
+                    raise MachineError(
+                        f"{self.name}: {label}[{opcode.value}] must be "
+                        f"an int >= {floor}, got {value!r}"
+                    )
+
+    def _build_specs(self) -> Dict[Opcode, InstrSpec]:
+        specs: Dict[Opcode, InstrSpec] = {}
+        for opcode, base in SPEC_TABLE.items():
+            latency = self.latency_overrides.get(opcode, base.latency)
+            macs = self.macs_overrides.get(opcode, base.macs)
+            if latency == base.latency and macs == base.macs:
+                specs[opcode] = base
+            else:
+                specs[opcode] = replace(base, latency=latency, macs=macs)
+        return specs
+
+    # -- live machine-model queries ------------------------------------------
+
+    def spec(self, opcode: Opcode) -> InstrSpec:
+        """The :class:`InstrSpec` for ``opcode`` *on this machine*."""
+        try:
+            return self._specs[opcode]
+        except KeyError as exc:  # pragma: no cover - defensive
+            raise MachineError(
+                f"{self.name}: no spec for opcode {opcode!r}"
+            ) from exc
+
+    def latency(self, opcode: Opcode) -> int:
+        """Stand-alone latency of ``opcode`` in cycles on this machine."""
+        return self.spec(opcode).latency
+
+    def macs(self, opcode: Opcode) -> int:
+        """MAC operations one issue of ``opcode`` performs here."""
+        return self.spec(opcode).macs
+
+    def limit(self, resource: ResourceClass) -> int:
+        """Per-packet issue limit of one functional-unit class."""
+        return self.resource_limits[resource]
+
+    @property
+    def vector_lanes(self) -> int:
+        """int8 lanes per vector register (== ``vector_bytes``)."""
+        return self.vector_bytes
+
+    @property
+    def peak_macs_per_cycle(self) -> int:
+        """Peak retired MACs per cycle: every multiply pipe running its
+        best MACs-per-cycle opcode."""
+        best = max(
+            (
+                spec.macs // max(1, spec.latency)
+                for spec in self._specs.values()
+                if spec.resource is ResourceClass.VMULT and spec.macs
+            ),
+            default=0,
+        )
+        return self.resource_limits[ResourceClass.VMULT] * best
+
+    # -- canonical form / identity -------------------------------------------
+
+    def canonical(self) -> str:
+        """Canonical serialized form — the schema-hash preimage.
+
+        Deterministic (sorted keys, no float repr ambiguity beyond
+        ``repr`` of the clock) and total: everything that can change a
+        schedule, a cycle estimate or a cost decision is present.
+        """
+        parts: List[str] = [f"machine={self.name}"]
+        parts.append(f"slots={self.max_packet_slots}")
+        parts.append(f"stores={self.max_stores_per_packet}")
+        for resource in sorted(ResourceClass, key=lambda r: r.value):
+            parts.append(
+                f"{resource.value}={self.resource_limits[resource]}"
+            )
+        parts.append(f"stages={self.pipeline_stages}")
+        parts.append(f"stall={self.soft_raw_stall}")
+        parts.append(f"vw={self.vector_bytes}")
+        parts.append(f"clock={self.clock_ghz!r}")
+        parts.append(f"contexts={self.vector_contexts}")
+        for opcode in sorted(self._specs, key=lambda op: op.value):
+            spec = self._specs[opcode]
+            parts.append(
+                f"{opcode.value}:{spec.resource.value}:{spec.latency}"
+                f":{spec.macs}:{int(spec.is_store)}:{int(spec.is_load)}"
+                f":{int(spec.accumulates)}"
+            )
+        return ";".join(parts)
+
+    def schema_hash(self) -> str:
+        """Content hash of this description's canonical form."""
+        return hashlib.sha256(
+            self.canonical().encode("utf-8")
+        ).hexdigest()
+
+    def to_dict(self) -> Dict:
+        """JSON-friendly view (``repro machines show``)."""
+        return {
+            "name": self.name,
+            "max_packet_slots": self.max_packet_slots,
+            "resource_limits": {
+                resource.value: limit
+                for resource, limit in sorted(
+                    self.resource_limits.items(),
+                    key=lambda kv: kv[0].value,
+                )
+            },
+            "max_stores_per_packet": self.max_stores_per_packet,
+            "pipeline_stages": self.pipeline_stages,
+            "soft_raw_stall": self.soft_raw_stall,
+            "vector_bytes": self.vector_bytes,
+            "clock_ghz": self.clock_ghz,
+            "vector_contexts": self.vector_contexts,
+            "latency_overrides": {
+                op.value: v
+                for op, v in sorted(
+                    self.latency_overrides.items(),
+                    key=lambda kv: kv[0].value,
+                )
+            },
+            "macs_overrides": {
+                op.value: v
+                for op, v in sorted(
+                    self.macs_overrides.items(),
+                    key=lambda kv: kv[0].value,
+                )
+            },
+            "peak_macs_per_cycle": self.peak_macs_per_cycle,
+            "schema_hash": self.schema_hash(),
+        }
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, MachineDescription):
+            return NotImplemented
+        return self.canonical() == other.canonical()
+
+    def __hash__(self) -> int:
+        return hash(self.canonical())
+
+    def __getstate__(self):
+        # The derived spec table rebuilds on unpickle (it may contain
+        # shared InstrSpec objects; regenerating keeps pickles small
+        # and guarantees consistency with the pickled fields).
+        state = {
+            f: getattr(self, f)
+            for f in (
+                "name",
+                "max_packet_slots",
+                "resource_limits",
+                "max_stores_per_packet",
+                "pipeline_stages",
+                "soft_raw_stall",
+                "vector_bytes",
+                "clock_ghz",
+                "vector_contexts",
+                "latency_overrides",
+                "macs_overrides",
+            )
+        }
+        return state
+
+    def __setstate__(self, state):
+        for key, value in state.items():
+            object.__setattr__(self, key, value)
+        object.__setattr__(self, "_specs", self._build_specs())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<MachineDescription {self.name}: "
+            f"{self.max_packet_slots} slots, "
+            f"{self.vector_bytes}B vectors, "
+            f"{self.schema_hash()[:12]}>"
+        )
+
+
+# ---------------------------------------------------------------------------
+# shipped targets
+# ---------------------------------------------------------------------------
+
+#: The paper's target — byte-for-byte the constants that used to live in
+#: ``machine/packet.py`` / ``machine/pipeline.py`` / ``core/cost.py``,
+#: so ``hexagon698`` schedules are bit-identical to the pre-description
+#: compiler.
+HEXAGON_698 = MachineDescription(
+    name="hexagon698",
+    max_packet_slots=4,
+    resource_limits={
+        ResourceClass.VMULT: 2,
+        ResourceClass.VALU: 2,
+        ResourceClass.VSHIFT: 1,
+        ResourceClass.VPERMUTE: 1,
+        ResourceClass.VMEM: 2,
+        ResourceClass.SMEM: 2,
+        ResourceClass.SALU: 4,
+        ResourceClass.BRANCH: 1,
+    },
+    max_stores_per_packet=1,
+    pipeline_stages=3,
+    soft_raw_stall=1,
+    vector_bytes=128,
+    clock_ghz=1.5,
+    vector_contexts=4,
+)
+
+#: A small embedded DSP: two issue slots, one multiply pipe, 64-byte
+#: vectors, slower multiplies, a shallower clock.
+NARROW_64 = MachineDescription(
+    name="narrow64",
+    max_packet_slots=2,
+    resource_limits={
+        ResourceClass.VMULT: 1,
+        ResourceClass.VALU: 1,
+        ResourceClass.VSHIFT: 1,
+        ResourceClass.VPERMUTE: 1,
+        ResourceClass.VMEM: 1,
+        ResourceClass.SMEM: 1,
+        ResourceClass.SALU: 2,
+        ResourceClass.BRANCH: 1,
+    },
+    max_stores_per_packet=1,
+    pipeline_stages=3,
+    soft_raw_stall=2,
+    vector_bytes=64,
+    clock_ghz=0.8,
+    vector_contexts=2,
+    latency_overrides={Opcode.VMPA: 4, Opcode.VRMPY: 4},
+)
+
+#: A hypothetical flagship: six issue slots, three multiply pipes,
+#: 256-byte vectors, dual store ports, soft RAWs fully interlock-free.
+WIDE_6 = MachineDescription(
+    name="wide6",
+    max_packet_slots=6,
+    resource_limits={
+        ResourceClass.VMULT: 3,
+        ResourceClass.VALU: 3,
+        ResourceClass.VSHIFT: 2,
+        ResourceClass.VPERMUTE: 2,
+        ResourceClass.VMEM: 3,
+        ResourceClass.SMEM: 2,
+        ResourceClass.SALU: 6,
+        ResourceClass.BRANCH: 1,
+    },
+    max_stores_per_packet=2,
+    pipeline_stages=4,
+    soft_raw_stall=1,
+    vector_bytes=256,
+    clock_ghz=2.0,
+    vector_contexts=6,
+)
+
+
+#: Registered targets, by name.
+MACHINES: Dict[str, MachineDescription] = {}
+
+
+def register_machine(description: MachineDescription) -> MachineDescription:
+    """Add a target to the registry (idempotent for equal contents).
+
+    Re-registering a *different* description under an existing name is
+    an error: names namespace caches, and two machines sharing a name
+    would still be distinguished by schema hash but confuse every
+    human-facing surface.
+    """
+    existing = MACHINES.get(description.name)
+    if existing is not None and existing != description:
+        raise MachineError(
+            f"machine {description.name!r} is already registered "
+            f"with different contents"
+        )
+    MACHINES[description.name] = description
+    return description
+
+
+for _target in (HEXAGON_698, NARROW_64, WIDE_6):
+    register_machine(_target)
+
+
+def machine_names() -> List[str]:
+    """Registered target names, sorted."""
+    return sorted(MACHINES)
+
+
+def get_machine(name: str) -> MachineDescription:
+    """Resolve a registered target by name."""
+    try:
+        return MACHINES[name]
+    except KeyError:
+        raise MachineError(
+            f"unknown machine {name!r}",
+            details={"known_machines": ", ".join(machine_names())},
+        ) from None
+
+
+#: The process-default description every un-parameterized call resolves
+#: to.  Production code should thread an explicit description instead;
+#: this seam exists so (a) the plain CLI keeps its Hexagon behavior and
+#: (b) tests can patch the machine model and *every* consumer — packer,
+#: lint, verify, schema hash — observes the patch (the live-constant
+#: fix this module exists for).
+_DEFAULT_MACHINE: MachineDescription = HEXAGON_698
+
+
+def default_machine() -> MachineDescription:
+    """The current process-default machine description."""
+    return _DEFAULT_MACHINE
+
+
+def set_default_machine(
+    machine: Union[str, MachineDescription]
+) -> MachineDescription:
+    """Replace the process-default description; returns the previous one."""
+    global _DEFAULT_MACHINE
+    previous = _DEFAULT_MACHINE
+    _DEFAULT_MACHINE = resolve_machine(machine)
+    return previous
+
+
+@contextlib.contextmanager
+def machine_context(
+    machine: Union[str, MachineDescription]
+) -> Iterator[MachineDescription]:
+    """Temporarily swap the process default (tests and benches)."""
+    previous = set_default_machine(machine)
+    try:
+        yield default_machine()
+    finally:
+        set_default_machine(previous)
+
+
+def resolve_machine(
+    machine: Optional[Union[str, MachineDescription]] = None
+) -> MachineDescription:
+    """Normalize ``None`` / name / description to a description.
+
+    ``None`` means "the process default", resolved *at call time* —
+    never bound at import — which is what keeps every consumer
+    observing the same live machine model.
+    """
+    if machine is None:
+        return _DEFAULT_MACHINE
+    if isinstance(machine, MachineDescription):
+        return machine
+    if isinstance(machine, str):
+        return get_machine(machine)
+    raise MachineError(
+        f"machine must be a name or MachineDescription, "
+        f"got {type(machine).__name__}"
+    )

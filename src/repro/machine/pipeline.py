@@ -19,22 +19,35 @@ These rules reproduce both Figure 4 arithmetic and the incentive
 structure behind Equation 4: mixing latencies inside a packet wastes
 cycles, and packing soft-RAW pairs is better than an extra packet but
 worse than packing independent work.
+
+Latencies and the per-link stall price come from the active
+:class:`~repro.machine.description.MachineDescription`, resolved at
+call time; the module constants below are the ``hexagon698`` values
+kept as compatibility aliases.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, List, Sequence, Tuple
+from typing import Iterable, List, Optional, Sequence, Tuple, Union
 
 from repro.isa.dependencies import stalling_raw_registers
 from repro.isa.instructions import Instruction
+from repro.machine.description import (
+    HEXAGON_698,
+    MachineDescription,
+    resolve_machine,
+)
 from repro.machine.packet import Packet
 
-#: Pipeline stages: read register file, execute, write register file.
-PIPELINE_STAGES = 3
+#: Hexagon-698 pipeline depth (compatibility alias; functional code
+#: resolves the live machine description).
+PIPELINE_STAGES = HEXAGON_698.pipeline_stages
 
-#: Extra cycles incurred when a soft RAW pair shares a packet (Figure 4).
-SOFT_RAW_STALL = 1
+#: Hexagon-698 soft-RAW stall price (compatibility alias; see above).
+SOFT_RAW_STALL = HEXAGON_698.soft_raw_stall
+
+_MachineArg = Optional[Union[str, MachineDescription]]
 
 
 def soft_raw_pairs(packet: Packet) -> List[Tuple[Instruction, Instruction]]:
@@ -67,10 +80,10 @@ def _longest_soft_chain(packet: Packet) -> int:
 
     The walk is an iterative worklist over reverse program order (RAW
     edges always run from a lower uid to a higher one), never native
-    recursion: legal packets hold at most four instructions, but this
-    function is also used to price corrupted packets — fault injection
-    and the lint cross-validation build packets far past the slot
-    limit, where a recursive walk would overflow the interpreter
+    recursion: legal packets hold at most a handful of instructions,
+    but this function is also used to price corrupted packets — fault
+    injection and the lint cross-validation build packets far past the
+    slot limit, where a recursive walk would overflow the interpreter
     stack.
     """
     pairs = soft_raw_pairs(packet)
@@ -90,24 +103,37 @@ def _longest_soft_chain(packet: Packet) -> int:
     return max(depth[producer.uid] for producer, _ in pairs) - 1
 
 
-def packet_cycles(packet: Packet) -> int:
-    """Cycles the packet occupies the pipeline.
+def packet_cycles(packet: Packet, machine: _MachineArg = None) -> int:
+    """Cycles the packet occupies the pipeline on ``machine``.
 
     Base cost is the slowest member's latency; each link of the longest
-    in-packet soft-RAW chain adds one stall (Figure 4: two 3-cycle
-    instructions with a soft RAW take 4 cycles together).  An empty
-    packet (possible transiently during scheduling) costs one cycle, as
-    a NOP bundle would.
+    in-packet soft-RAW chain adds the machine's stall price (Figure 4:
+    two 3-cycle instructions with a soft RAW take 4 cycles together).
+    An empty packet (possible transiently during scheduling) costs one
+    cycle, as a NOP bundle would.
+
+    When no explicit ``machine`` is given, a packet that was built
+    against a specific description is priced on that description —
+    pricing a schedule on a machine it was not packed for is opt-in,
+    never accidental.
     """
+    if machine is None and isinstance(packet, Packet):
+        desc = packet.machine or resolve_machine(None)
+    else:
+        desc = resolve_machine(machine)
     if len(packet) == 0:
         return 1
-    base = max(inst.latency for inst in packet)
-    return base + SOFT_RAW_STALL * _longest_soft_chain(packet)
+    base = max(desc.latency(inst.opcode) for inst in packet)
+    return base + desc.soft_raw_stall * _longest_soft_chain(packet)
 
 
-def schedule_cycles(packets: Sequence[Packet]) -> int:
+def schedule_cycles(
+    packets: Sequence[Packet], machine: _MachineArg = None
+) -> int:
     """Total cycles for a packet sequence (packets do not overlap)."""
-    return sum(packet_cycles(packet) for packet in packets)
+    if machine is not None:
+        machine = resolve_machine(machine)
+    return sum(packet_cycles(packet, machine) for packet in packets)
 
 
 @dataclass(frozen=True)

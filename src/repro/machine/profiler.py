@@ -10,18 +10,24 @@ Figure 9(b,c).  Two quantities are reported:
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from fractions import Fraction
-from typing import Iterable, Sequence
+from typing import Iterable, Optional, Sequence
 
 from repro.isa.instructions import Instruction, ResourceClass
-from repro.machine.packet import MAX_PACKET_SLOTS, Packet, RESOURCE_LIMITS
+from repro.machine.description import (
+    HEXAGON_698,
+    MachineDescription,
+    resolve_machine,
+)
+from repro.machine.packet import Packet
 from repro.machine.pipeline import PipelineModel, packet_cycles
 
-#: Peak MACs the machine can retire per cycle: two vector multiply
-#: pipelines, the widest (vmpa) retiring 256 MACs each over its
-#: 3-cycle latency.
-PEAK_MACS_PER_CYCLE = RESOURCE_LIMITS[ResourceClass.VMULT] * 256 // 3
+#: Hexagon-698 peak MACs per cycle (compatibility alias): two vector
+#: multiply pipelines, the widest (vmpa) retiring 256 MACs each over
+#: its 3-cycle latency.  Live code uses
+#: :attr:`MachineDescription.peak_macs_per_cycle`.
+PEAK_MACS_PER_CYCLE = HEXAGON_698.peak_macs_per_cycle
 
 
 @dataclass
@@ -34,20 +40,32 @@ class ExecutionProfile:
     macs: int = 0
     bytes_loaded: int = 0
     bytes_stored: int = 0
+    machine: Optional[MachineDescription] = field(
+        default=None, repr=False, compare=False
+    )
+
+    def _machine(self) -> MachineDescription:
+        return self.machine or resolve_machine(None)
 
     @property
     def slot_occupancy(self) -> float:
         """Fraction of issue slots holding a real instruction."""
         if self.packets == 0:
             return 0.0
-        return self.issued_instructions / (self.packets * MAX_PACKET_SLOTS)
+        return self.issued_instructions / (
+            self.packets * self._machine().max_packet_slots
+        )
 
     @property
     def mac_utilization(self) -> float:
         """MAC throughput relative to machine peak (0..1)."""
         if self.cycles == 0:
             return 0.0
-        return min(1.0, self.macs / (self.cycles * PEAK_MACS_PER_CYCLE))
+        return min(
+            1.0,
+            self.macs
+            / (self.cycles * self._machine().peak_macs_per_cycle),
+        )
 
     def bandwidth_gbps(self, pipeline: PipelineModel) -> float:
         """Memory traffic in GB/s over the modelled execution time."""
@@ -67,6 +85,7 @@ class ExecutionProfile:
             macs=self.macs + other.macs,
             bytes_loaded=self.bytes_loaded + other.bytes_loaded,
             bytes_stored=self.bytes_stored + other.bytes_stored,
+            machine=self.machine or other.machine,
         )
 
     def scaled(self, repeats: float) -> "ExecutionProfile":
@@ -94,6 +113,7 @@ class ExecutionProfile:
             macs=scale(self.macs),
             bytes_loaded=scale(self.bytes_loaded),
             bytes_stored=scale(self.bytes_stored),
+            machine=self.machine,
         )
 
     def rounded(self) -> "ExecutionProfile":
@@ -105,14 +125,18 @@ class ExecutionProfile:
             macs=int(round(self.macs)),
             bytes_loaded=int(round(self.bytes_loaded)),
             bytes_stored=int(round(self.bytes_stored)),
+            machine=self.machine,
         )
 
 
 class Profiler:
     """Builds an :class:`ExecutionProfile` from packet schedules."""
 
-    def __init__(self) -> None:
-        self.profile = ExecutionProfile()
+    def __init__(
+        self, machine: Optional[MachineDescription] = None
+    ) -> None:
+        self.machine = resolve_machine(machine)
+        self.profile = ExecutionProfile(machine=self.machine)
 
     def observe_schedule(
         self, packets: Sequence[Packet], repeats: int = 1
@@ -120,27 +144,34 @@ class Profiler:
         """Account one schedule, optionally repeated ``repeats`` times.
 
         Loads/stores are counted from the vector memory instructions in
-        the schedule (each moves one full vector register).
+        the schedule (each moves one full vector register of the
+        profiled machine's width).
         """
-        unit = ExecutionProfile()
+        unit = ExecutionProfile(machine=self.machine)
         for packet in packets:
             unit.packets += 1
-            unit.cycles += packet_cycles(packet)
+            unit.cycles += packet_cycles(packet, self.machine)
             for inst in packet:
                 unit.issued_instructions += 1
-                unit.macs += inst.spec.macs
+                unit.macs += self.machine.macs(inst.opcode)
                 if inst.spec.is_load:
-                    unit.bytes_loaded += _transfer_bytes(inst)
+                    unit.bytes_loaded += _transfer_bytes(
+                        inst, self.machine
+                    )
                 if inst.spec.is_store:
-                    unit.bytes_stored += _transfer_bytes(inst)
+                    unit.bytes_stored += _transfer_bytes(
+                        inst, self.machine
+                    )
         unit = unit.scaled(repeats)
         self.profile = self.profile.merge(unit)
         return unit
 
 
-def _transfer_bytes(inst: Instruction) -> int:
-    from repro.isa.instructions import Opcode, VECTOR_BYTES
+def _transfer_bytes(
+    inst: Instruction, machine: Optional[MachineDescription] = None
+) -> int:
+    from repro.isa.instructions import Opcode
 
     if inst.opcode in (Opcode.VLOAD, Opcode.VSTORE):
-        return VECTOR_BYTES
+        return resolve_machine(machine).vector_bytes
     return 4

@@ -38,13 +38,32 @@ class Layout(enum.Enum):
 
     @property
     def row_panel(self) -> int:
-        """Rows per panel (row padding granularity)."""
+        """Rows per panel (row padding granularity).
+
+        This is the *functional* panel height of the 128-lane ISA the
+        executor implements; cost modelling for other vector widths
+        goes through :meth:`row_panel_for`.
+        """
         return _ROW_PANEL[self]
 
     @property
     def col_group(self) -> int:
         """Columns stored adjacently (column padding granularity)."""
         return _COL_GROUP[self]
+
+    def row_panel_for(self, lanes: int) -> int:
+        """Rows per panel on a machine with ``lanes`` int8 vector lanes.
+
+        The panel geometry scales with the vector width: the 1-column
+        layout holds one full vector of rows per panel, the 2-column
+        layout half a vector, the 4-column layout a quarter
+        (``row_panel == row_panel_for(128)``).  Row-major storage has
+        no panel structure on any machine.
+        """
+        if self is Layout.ROW_MAJOR:
+            return 1
+        divisor = _COL_GROUP[self]
+        return max(1, lanes // divisor)
 
 
 _ROW_PANEL = {

@@ -29,7 +29,10 @@ from typing import Dict, List, Optional, Union
 from repro.cache.fingerprint import schema_hash as machine_schema_hash
 from repro.cache.store import default_cache_dir
 from repro.errors import TuningError
+from repro.machine.description import MachineDescription
 from repro.tune.space import TrialConfig
+
+_MachineArg = Optional[Union[str, "MachineDescription"]]
 
 #: Bump when the record layout changes incompatibly.
 TUNE_SCHEMA_VERSION = 1
@@ -39,14 +42,17 @@ STATUS_OK = "ok"
 STATUS_ERROR = "error"
 
 
-def tune_schema_hash() -> str:
+def tune_schema_hash(machine: _MachineArg = None) -> str:
     """Hash versioning every trial record.
 
-    Covers both the record layout and the simulated machine the cycle
-    counts were measured on; recomputed per call so tests can
-    monkeypatch the machine model underneath.
+    Covers the record layout and the machine description the cycle
+    counts were measured on (per-target: records tuned for one machine
+    are invisible to readers of another); recomputed per call so tests
+    that monkeypatch the default machine model are observed.
     """
-    descriptor = f"tune-v{TUNE_SCHEMA_VERSION};{machine_schema_hash()}"
+    descriptor = (
+        f"tune-v{TUNE_SCHEMA_VERSION};{machine_schema_hash(machine)}"
+    )
     return hashlib.sha256(descriptor.encode("utf-8")).hexdigest()
 
 
@@ -145,11 +151,19 @@ class TrialRecord:
 
 
 class TrialDB:
-    """The append-only JSONL store under one tune directory."""
+    """The append-only JSONL store under one tune directory.
 
-    def __init__(self, root: Union[str, Path]) -> None:
+    ``machine`` namespaces reads: only records whose schema matches
+    that machine's tune schema are served.  ``None`` follows the
+    process-default machine description live.
+    """
+
+    def __init__(
+        self, root: Union[str, Path], machine: _MachineArg = None
+    ) -> None:
         self.root = Path(root)
         self.path = self.root / "trials.jsonl"
+        self.machine = machine
         #: Lines skipped (corrupt or unparsable) during the last read.
         self.skipped_lines = 0
 
@@ -179,7 +193,7 @@ class TrialDB:
         self.skipped_lines = 0
         if not self.path.is_file():
             return []
-        current = tune_schema_hash()
+        current = tune_schema_hash(self.machine)
         out: List[TrialRecord] = []
         try:
             text = self.path.read_text()

@@ -48,6 +48,7 @@ from repro.tune.db import (
     TrialDB,
     TrialRecord,
     default_tune_dir,
+    tune_schema_hash,
 )
 from repro.tune.report import trial_metrics
 from repro.tune.space import (
@@ -99,7 +100,8 @@ class SearchBudget:
 
 #: One unit of evaluation work, picklable for the process pool:
 #: (model name, config payload, operator-prefix fidelity or None,
-#: schedule-cache directory or None).
+#: schedule-cache directory or None) with an optional fifth element —
+#: the machine (registered name or description) to compile for.
 EvalTask = Tuple[str, Dict, Optional[int], Optional[str]]
 
 #: Worker result: (fingerprint, fidelity, status, cycles, metrics,
@@ -116,7 +118,11 @@ def _evaluate_task(task: EvalTask) -> EvalOutcome:
     rather than exceptions so one diverging config cannot kill the
     whole batch.
     """
-    model, payload, fidelity, cache_dir = task
+    if len(task) == 5:
+        model, payload, fidelity, cache_dir, machine = task
+    else:
+        model, payload, fidelity, cache_dir = task
+        machine = None
     from repro.compiler import CompilerOptions, GCD2Compiler
     from repro.models import build_model
 
@@ -126,7 +132,9 @@ def _evaluate_task(task: EvalTask) -> EvalOutcome:
         if fidelity is not None:
             prefix = [n.node_id for n in graph.nodes()[:fidelity]]
             graph = graph.subgraph(prefix)
-        options = config.apply(CompilerOptions(cache_dir=cache_dir))
+        options = config.apply(
+            CompilerOptions(cache_dir=cache_dir, machine=machine)
+        )
         compiled = GCD2Compiler(options).compile(graph)
     except Exception as exc:  # noqa: BLE001 — any compile failure is data
         return (
@@ -273,6 +281,7 @@ def run_search(
     db: Optional[TrialDB] = None,
     base: TrialConfig = DEFAULT_TRIAL_CONFIG,
     wall_seconds: Optional[float] = None,
+    machine: Optional[str] = None,
 ) -> SearchResult:
     """Search ``model``'s configuration space for fewer simulated cycles.
 
@@ -291,7 +300,8 @@ def run_search(
         raise TuningError(f"jobs must be an int >= 1, got {jobs!r}")
     budget = SearchBudget(trials=trials, wall_seconds=wall_seconds)
     space = space or default_space()
-    db = db or TrialDB(default_tune_dir(cache_dir))
+    db = db or TrialDB(default_tune_dir(cache_dir), machine=machine)
+    record_schema = tune_schema_hash(machine)
 
     from repro.models import build_model
 
@@ -311,7 +321,8 @@ def run_search(
     ) -> List[TrialRecord]:
         nonlocal trial_index
         tasks = [
-            (model, c.to_payload(), fidelity, cache_dir) for c in configs
+            (model, c.to_payload(), fidelity, cache_dir, machine)
+            for c in configs
         ]
         outcomes = _evaluate_batch(tasks, jobs)
         by_key = {(o[0], o[1]): o for o in outcomes}
@@ -332,6 +343,7 @@ def run_search(
                 trial=trial_index,
                 fidelity=fid,
                 error=error,
+                schema=record_schema,
             )
             trial_index += 1
             db.append(record)

@@ -25,7 +25,8 @@ from repro.errors import (
 )
 from repro.graph.graph import ComputationalGraph
 from repro.isa.dependencies import DependencyKind, classify_dependency
-from repro.machine.packet import MAX_PACKET_SLOTS, packet_is_legal
+from repro.machine.description import resolve_machine
+from repro.machine.packet import packet_is_legal
 
 #: Relative tolerance for the recomputed-versus-reported cost check.
 COST_TOLERANCE = 1e-6
@@ -183,16 +184,18 @@ def verify_lowering(
 # ---------------------------------------------------------------------------
 
 
-def verify_schedule(compiled_nodes: Iterable) -> None:
+def verify_schedule(compiled_nodes: Iterable, machine=None) -> None:
     """Re-check every packed schedule against the hardware rules.
 
-    Validates, per compiled node: every packet against the slot /
-    resource / single-store constraints (which also forbids co-packed
+    Validates, per compiled node: every packet against the machine's
+    slot / resource / store constraints (which also forbids co-packed
     hard-dependent pairs), the bijection between the kernel body and
     the scheduled instructions, dependency order across packets
     (def-before-use over the packed body), and a finite non-negative
-    cycle estimate.
+    cycle estimate.  Limits come from the live machine description —
+    the same one the packer compiled against.
     """
+    machine = resolve_machine(machine)
     checked: set = set()
     for compiled in compiled_nodes:
         name = compiled.node.name
@@ -213,12 +216,16 @@ def verify_schedule(compiled_nodes: Iterable) -> None:
         if key in checked:
             continue
         checked.add(key)
-        _verify_node_schedule(name, compiled.schedule_body, compiled.packets)
+        _verify_node_schedule(
+            name, compiled.schedule_body, compiled.packets, machine
+        )
 
 
-def _verify_node_schedule(name: str, body: List, packets: List) -> None:
+def _verify_node_schedule(
+    name: str, body: List, packets: List, machine=None
+) -> None:
     for index, packet in enumerate(packets):
-        if not packet_is_legal(packet.instructions):
+        if not packet_is_legal(packet.instructions, machine):
             raise ScheduleVerificationError(
                 f"illegal packet at position {index}: {packet!r}",
                 stage="packing",
@@ -279,8 +286,9 @@ def _verify_node_schedule(name: str, body: List, packets: List) -> None:
 # ---------------------------------------------------------------------------
 
 
-def verify_profile(profile) -> None:
+def verify_profile(profile, machine=None) -> None:
     """Counters are finite/non-negative and utilization lands in [0, 1]."""
+    machine = resolve_machine(machine)
     for counter in (
         "cycles",
         "packets",
@@ -297,7 +305,9 @@ def verify_profile(profile) -> None:
                 stage="profile",
                 details={counter: value},
             )
-    if profile.issued_instructions > profile.packets * MAX_PACKET_SLOTS:
+    if profile.issued_instructions > (
+        profile.packets * machine.max_packet_slots
+    ):
         raise ProfileVerificationError(
             "profile reports more issued instructions than slots exist",
             stage="profile",

@@ -1,0 +1,304 @@
+"""Machine descriptions: registry, live plumbing, and multi-target laws.
+
+Three families of guarantees:
+
+* the :class:`MachineDescription` value itself (validation, canonical
+  form, schema hashing, pickling, registry semantics);
+* the *live-read* regression from the by-value-import bug: patching
+  the process-default machine must be observed by the packer, the
+  lint rules, and the cache schema hash alike (pre-fix, all three had
+  bound the hexagon constants at import time);
+* the cross-target matrix: every registered target compiles the zoo
+  lint-clean, never exceeds its own packet limits, executes to the
+  same values as the default target (functional behavior is
+  machine-independent), and cannot resolve cache or tune-DB entries
+  written for a different target.
+"""
+
+import dataclasses
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.compiler import CompilerOptions, GCD2Compiler
+from repro.cache.fingerprint import schema_hash
+from repro.errors import ReproError
+from repro.isa.instructions import Instruction, Opcode, ResourceClass
+from repro.machine.description import (
+    HEXAGON_698,
+    NARROW_64,
+    WIDE_6,
+    MachineDescription,
+    MachineError,
+    get_machine,
+    machine_context,
+    machine_names,
+    register_machine,
+    resolve_machine,
+)
+from repro.models import build_model
+
+
+def _salu(i):
+    return Instruction(Opcode.ADD, dests=(f"ra{i}",), srcs=(f"rb{i}",))
+
+
+def _vadd(i):
+    return Instruction(
+        Opcode.VADD, dests=(f"va{i}",), srcs=(f"vb{i}", f"vc{i}")
+    )
+
+
+ALL_MACHINES = ("hexagon698", "narrow64", "wide6")
+
+
+class TestDescription:
+    def test_registry_lists_shipped_targets(self):
+        assert list(ALL_MACHINES) == machine_names()
+
+    def test_get_machine_unknown_name(self):
+        with pytest.raises(MachineError) as exc:
+            get_machine("dsp9000")
+        assert "dsp9000" in str(exc.value)
+        assert "hexagon698" in str(exc.value.details["known_machines"])
+
+    def test_resolve_accepts_name_description_and_none(self):
+        assert resolve_machine("narrow64") is NARROW_64
+        assert resolve_machine(WIDE_6) is WIDE_6
+        assert resolve_machine(None) is HEXAGON_698
+
+    def test_schema_hashes_are_distinct_per_target(self):
+        hashes = {schema_hash(name) for name in ALL_MACHINES}
+        assert len(hashes) == len(ALL_MACHINES)
+
+    def test_hexagon_matches_legacy_constants(self):
+        from repro.machine.packet import (
+            MAX_PACKET_SLOTS,
+            MAX_STORES_PER_PACKET,
+            RESOURCE_LIMITS,
+        )
+        from repro.machine.pipeline import PIPELINE_STAGES, SOFT_RAW_STALL
+        from repro.machine.profiler import PEAK_MACS_PER_CYCLE
+
+        assert HEXAGON_698.max_packet_slots == MAX_PACKET_SLOTS == 4
+        assert HEXAGON_698.max_stores_per_packet == MAX_STORES_PER_PACKET
+        assert dict(HEXAGON_698.resource_limits) == RESOURCE_LIMITS
+        assert HEXAGON_698.pipeline_stages == PIPELINE_STAGES
+        assert HEXAGON_698.soft_raw_stall == SOFT_RAW_STALL
+        assert HEXAGON_698.peak_macs_per_cycle == PEAK_MACS_PER_CYCLE
+
+    def test_latency_overrides_apply(self):
+        assert NARROW_64.latency(Opcode.VMPA) == 4
+        assert NARROW_64.latency(Opcode.VRMPY) == 4
+        assert HEXAGON_698.latency(Opcode.VMPA) == 3
+
+    def test_vector_width_feeds_schema_hash(self):
+        widened = dataclasses.replace(
+            HEXAGON_698, name="hexagon698w", vector_bytes=256
+        )
+        assert schema_hash(widened) != schema_hash(HEXAGON_698)
+
+    def test_validation_rejects_bad_geometry(self):
+        with pytest.raises(MachineError):
+            dataclasses.replace(HEXAGON_698, max_packet_slots=0)
+        with pytest.raises(MachineError):
+            dataclasses.replace(HEXAGON_698, vector_bytes=7)
+        with pytest.raises(MachineError):
+            dataclasses.replace(
+                HEXAGON_698,
+                resource_limits={ResourceClass.VMULT: 2},
+            )
+
+    def test_pickle_round_trip(self):
+        clone = pickle.loads(pickle.dumps(NARROW_64))
+        assert clone == NARROW_64
+        assert clone.latency(Opcode.VMPA) == 4
+        assert clone.schema_hash() == NARROW_64.schema_hash()
+
+    def test_register_idempotent_and_conflict(self):
+        register_machine(NARROW_64)  # same contents: a no-op
+        conflicting = dataclasses.replace(NARROW_64, max_packet_slots=3)
+        with pytest.raises(MachineError):
+            register_machine(conflicting)
+
+    def test_options_reject_unknown_machine_eagerly(self):
+        with pytest.raises(ReproError):
+            CompilerOptions(machine="dsp9000")
+
+
+class TestLiveConstantPlumbing:
+    """The by-value-import regression: a patched default is seen live."""
+
+    def test_packer_lint_and_schema_observe_patched_slots(self):
+        patched = dataclasses.replace(
+            HEXAGON_698, name="hexagon698_narrowed", max_packet_slots=2
+        )
+        body = [_salu(i) for i in range(4)]
+        # Legal on the real hexagon: all four scalar adds in one packet.
+        from repro.core.packing.sda import pack_instructions
+        from repro.lint.hazards import lint_packet
+        from repro.machine.packet import Packet, packet_is_legal
+
+        wide_packet = Packet(list(body))
+        assert len(wide_packet) == 4
+        baseline_schema = schema_hash()
+
+        with machine_context(patched):
+            # Packer: no packet may exceed the patched ceiling.
+            packets = pack_instructions([_salu(i + 10) for i in range(4)])
+            assert packets and all(len(p) <= 2 for p in packets)
+            # Legality: the four-wide grouping is now illegal.
+            assert not packet_is_legal(body)
+            # Lint: the pre-built packet trips the slot-ceiling rule.
+            diags = lint_packet(wide_packet, 0)
+            assert any(d.rule_id == "LINT-PK002" for d in diags)
+            # Cache schema: the hash moves with the machine model.
+            assert schema_hash() != baseline_schema
+        assert schema_hash() == baseline_schema
+
+    def test_profiler_observes_patched_peak(self):
+        from repro.machine.profiler import ExecutionProfile
+
+        patched = dataclasses.replace(
+            HEXAGON_698, name="hexagon698_slow",
+            resource_limits={
+                **HEXAGON_698.resource_limits, ResourceClass.VMULT: 1
+            },
+        )
+        profile = ExecutionProfile(cycles=100, packets=10,
+                                   issued_instructions=20, macs=1000)
+        with machine_context(patched):
+            inside = profile.mac_utilization
+        assert inside > profile.mac_utilization
+
+    def test_tune_schema_follows_machine(self):
+        from repro.tune.db import tune_schema_hash
+
+        baseline = tune_schema_hash()
+        patched = dataclasses.replace(
+            HEXAGON_698, name="hexagon698_tweak", soft_raw_stall=3
+        )
+        with machine_context(patched):
+            assert tune_schema_hash() != baseline
+        assert tune_schema_hash(NARROW_64) != baseline
+
+
+class TestCrossTargetMatrix:
+    @pytest.fixture(scope="class")
+    def compiled_by_machine(self):
+        graph = build_model("tinybert")
+        return {
+            name: GCD2Compiler(
+                CompilerOptions(machine=name)
+            ).compile(graph)
+            for name in ALL_MACHINES
+        }
+
+    @pytest.mark.parametrize("name", ALL_MACHINES)
+    def test_packets_respect_target_limits(self, compiled_by_machine,
+                                           name):
+        desc = get_machine(name)
+        compiled = compiled_by_machine[name]
+        assert compiled.machine is desc
+        for node in compiled.nodes:
+            for packet in node.packets:
+                assert len(packet) <= desc.max_packet_slots
+                counts = {}
+                stores = 0
+                for inst in packet:
+                    counts[inst.resource] = counts.get(inst.resource, 0) + 1
+                    stores += int(inst.spec.is_store)
+                assert stores <= desc.max_stores_per_packet
+                for resource, count in counts.items():
+                    assert count <= desc.limit(resource)
+
+    @pytest.mark.parametrize("name", ALL_MACHINES)
+    def test_zoo_models_lint_clean(self, name):
+        from repro.lint import Severity, lint_model
+
+        for model in ("mobilenet_v3", "tinybert", "conformer"):
+            compiled = GCD2Compiler(
+                CompilerOptions(machine=name)
+            ).compile(build_model(model))
+            report = lint_model(compiled)
+            errors = report.at_least(Severity.ERROR)
+            assert not errors, (name, model, [d.message for d in errors])
+
+    def test_executor_values_machine_independent(self,
+                                                compiled_by_machine):
+        """Functional results are identical on every target.
+
+        The machine description parameterizes *cost* (packing, timing,
+        layout-panel pricing) but never the ISA semantics, so the
+        quantized executor must produce bit-identical outputs whichever
+        target the model was compiled for.
+        """
+        from repro.runtime.executor import QuantizedExecutor
+
+        outputs = {
+            name: QuantizedExecutor(
+                compiled, seed=0, kernel_mac_limit=1_000_000
+            ).run()
+            for name, compiled in compiled_by_machine.items()
+        }
+        reference = outputs["hexagon698"]
+        for name in ("narrow64", "wide6"):
+            assert set(outputs[name]) == set(reference)
+            for key in reference:
+                np.testing.assert_array_equal(outputs[name][key],
+                                              reference[key])
+
+    def test_narrow_target_prices_slower_than_wide(self,
+                                                   compiled_by_machine):
+        cycles = {
+            name: c.total_cycles
+            for name, c in compiled_by_machine.items()
+        }
+        assert cycles["narrow64"] > cycles["hexagon698"] > cycles["wide6"]
+
+    def test_schedule_cache_isolated_per_target(self, tmp_path):
+        from repro.cache.store import DiskStore, ScheduleEntry
+        from repro.core.packing import configured_packer
+        from repro.cache.fingerprint import kernel_fingerprint
+        from repro.machine.pipeline import schedule_cycles
+
+        body = [_vadd(i) for i in range(6)]
+        fingerprint = kernel_fingerprint(body, "sda")
+        for name in ALL_MACHINES:
+            packets = configured_packer("sda", None, get_machine(name))(
+                list(body)
+            )
+            entry = ScheduleEntry(
+                body=list(body), packets=packets,
+                cycles=schedule_cycles(packets, name),
+            )
+            assert DiskStore(tmp_path, machine=name).store(
+                fingerprint, entry
+            )
+        for name in ALL_MACHINES:
+            store = DiskStore(tmp_path, machine=name)
+            loaded = store.load(fingerprint)
+            assert loaded is not None
+            assert schedule_cycles(loaded.packets, name) == loaded.cycles
+        # Three disjoint schema generations, each holding one entry.
+        assert len(DiskStore(tmp_path).generations()) == 3
+        for name in ALL_MACHINES:
+            assert DiskStore(tmp_path, machine=name).entry_count() == 1
+
+    def test_tune_db_isolated_per_target(self, tmp_path):
+        from repro.tune.db import TrialDB, TrialRecord, tune_schema_hash
+
+        for name, cycles in (("hexagon698", 100.0), ("narrow64", 900.0)):
+            TrialDB(tmp_path, machine=name).append(
+                TrialRecord(
+                    model="tinybert", fingerprint=f"fp-{name}",
+                    config={}, cycles=cycles,
+                    schema=tune_schema_hash(name),
+                )
+            )
+        hex_best = TrialDB(tmp_path, machine="hexagon698").best("tinybert")
+        narrow_best = TrialDB(tmp_path, machine="narrow64").best("tinybert")
+        assert hex_best.fingerprint == "fp-hexagon698"
+        assert narrow_best.fingerprint == "fp-narrow64"
+        assert TrialDB(tmp_path, machine="wide6").best("tinybert") is None
