@@ -1,0 +1,78 @@
+"""Resumable fleet-scale tuning campaigns: models × machines × strategies.
+
+``repro.tune`` searches one model on one machine; this subsystem runs
+the whole experiment grid and survives being killed in the middle of
+it.  A campaign is declared once (:mod:`repro.campaign.spec`), its
+per-cell lifecycle is event-sourced in an append-only JSONL log
+(:mod:`repro.campaign.db`), cells execute with bounded parallelism and
+per-cell error isolation (:mod:`repro.campaign.runner`), and the BENCH
+artefacts regenerate purely from the log
+(:mod:`repro.campaign.report`).
+
+The load-bearing property is *crash-safe resume without duplicate
+trials*: searches are deterministic, each cell stages its trials and
+publishes them into the shared per-machine
+:class:`~repro.tune.db.TrialDB` with exact-line deduplication, and a
+cell only becomes terminal after its trials are durable.  Re-running
+``repro campaign run`` after a kill -9 claims only unfinished cells,
+and ``CompilerOptions(tuned=True, machine=...)`` consumes campaign
+results with zero new plumbing.
+
+Layout:
+
+* :mod:`repro.campaign.spec` — validated :class:`CampaignSpec`
+  (keyfields model/machine/strategy/trials/seed) with a sha256
+  campaign fingerprint and the deterministic cell grid.
+* :mod:`repro.campaign.db` — the append-only event log with
+  pending → running → done/error states and corrupt-line tolerance.
+* :mod:`repro.campaign.runner` — :func:`run_campaign` /
+  :func:`execute_cell` over :func:`~repro.tune.run_search`.
+* :mod:`repro.campaign.report` — :func:`campaign_report` regenerating
+  ``BENCH_autotune.json`` (byte-stable) and ``BENCH_campaign.json``.
+"""
+
+from repro.campaign.db import (
+    CELL_DONE,
+    CELL_ERROR,
+    CELL_PENDING,
+    CELL_RUNNING,
+    CampaignDB,
+    default_campaign_dir,
+    wall_bucket,
+)
+from repro.campaign.report import (
+    autotune_rows,
+    campaign_report,
+    campaign_rows,
+)
+from repro.campaign.runner import (
+    execute_cell,
+    publish_trials,
+    run_campaign,
+)
+from repro.campaign.spec import (
+    RESULTFIELDS,
+    STRATEGY_ALIASES,
+    CampaignSpec,
+    CellKey,
+)
+
+__all__ = [
+    "CELL_DONE",
+    "CELL_ERROR",
+    "CELL_PENDING",
+    "CELL_RUNNING",
+    "CampaignDB",
+    "CampaignSpec",
+    "CellKey",
+    "RESULTFIELDS",
+    "STRATEGY_ALIASES",
+    "autotune_rows",
+    "campaign_report",
+    "campaign_rows",
+    "default_campaign_dir",
+    "execute_cell",
+    "publish_trials",
+    "run_campaign",
+    "wall_bucket",
+]

@@ -1,0 +1,157 @@
+"""Campaign reporting: BENCH artefacts regenerated purely from the DB.
+
+``repro campaign report`` reads nothing but the campaign event log —
+no recompilation, no live searches — and rewrites two artefacts via
+:func:`harness.write_bench_json`:
+
+* ``BENCH_autotune.json`` — one row per *finished* cell, restricted to
+  the deterministic resultfields (cycles, speedup, trial count,
+  fingerprints).  Because every field is a pure function of the spec
+  and the machine model, a report after a crash-and-resume run is
+  byte-identical to one after an uninterrupted run.
+* ``BENCH_campaign.json`` — the cross-target operational table: every
+  cell including ``error``/unfinished ones, with the coarse
+  ``wall_bucket`` and publish counts that are deliberately excluded
+  from the byte-stable artefact.
+
+Rows appear in spec order (models × machines × strategies), so two
+reports over the same database are byte-identical regardless of the
+order cells happened to finish in.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+from repro.campaign.db import (
+    CELL_DONE,
+    CampaignDB,
+    default_campaign_dir,
+)
+from repro.campaign.spec import CampaignSpec
+from repro.errors import CampaignError
+
+#: Deterministic per-cell fields for the byte-stable artefact; wall
+#: buckets and publish counts vary with interruption history and are
+#: confined to BENCH_campaign.json.
+AUTOTUNE_FIELDS = (
+    "model",
+    "machine",
+    "strategy",
+    "trials",
+    "seed",
+    "schema",
+    "default_cycles",
+    "best_cycles",
+    "best_fingerprint",
+    "speedup",
+    "trial_count",
+)
+
+
+def autotune_rows(
+    spec: CampaignSpec, states: Dict[str, Dict]
+) -> List[Dict]:
+    """Byte-stable rows: finished cells only, spec order."""
+    rows: List[Dict] = []
+    for key in spec.cells():
+        state = states.get(key.cell_id, {})
+        if state.get("status") != CELL_DONE:
+            continue
+        rows.append(
+            {field: state.get(field) for field in AUTOTUNE_FIELDS}
+        )
+    return rows
+
+
+def campaign_rows(
+    spec: CampaignSpec, states: Dict[str, Dict]
+) -> List[Dict]:
+    """Cross-target operational rows: every cell, spec order."""
+    rows: List[Dict] = []
+    for key in spec.cells():
+        state = states.get(key.cell_id, {"status": "pending"})
+        row = {
+            "model": key.model,
+            "machine": key.machine,
+            "strategy": key.strategy,
+            "status": state.get("status"),
+        }
+        if state.get("status") == CELL_DONE:
+            row.update({
+                "default_cycles": state.get("default_cycles"),
+                "best_cycles": state.get("best_cycles"),
+                "speedup": state.get("speedup"),
+                "trial_count": state.get("trial_count"),
+                "published": state.get("published"),
+                "wall_bucket": state.get("wall_bucket"),
+            })
+        elif state.get("error"):
+            row["error"] = state["error"]
+        rows.append(row)
+    return rows
+
+
+def campaign_report(
+    spec: CampaignSpec,
+    campaign_dir: Optional[Union[str, Path]] = None,
+    cache_dir: Optional[str] = None,
+    autotune_path: Optional[str] = "BENCH_autotune.json",
+    campaign_path: Optional[str] = "BENCH_campaign.json",
+) -> Dict:
+    """Regenerate the BENCH artefacts from the campaign database.
+
+    Pure read-side: raises :class:`CampaignError` if the database does
+    not exist, belongs to a different spec, or has no finished cell to
+    report.  Passing ``None`` for either path skips that artefact.
+    Returns ``{"autotune": rows, "campaign": rows, "stats": digest}``.
+    """
+    from repro import harness
+
+    campaign_dir = Path(
+        campaign_dir
+        if campaign_dir is not None
+        else default_campaign_dir(cache_dir, spec.fingerprint)
+    )
+    db = CampaignDB(campaign_dir)
+    recorded = db.recorded_fingerprint()
+    if recorded is None:
+        raise CampaignError(
+            f"no campaign database under {campaign_dir}; run "
+            "'repro campaign run' first"
+        )
+    if recorded != spec.fingerprint:
+        raise CampaignError(
+            f"campaign directory {campaign_dir} belongs to spec "
+            f"{recorded[:16]}, not {spec.fingerprint[:16]}"
+        )
+    states = db.cell_states(spec)
+    auto = autotune_rows(spec, states)
+    if not auto:
+        raise CampaignError(
+            "no finished cells to report; run the campaign first"
+        )
+    cross = campaign_rows(spec, states)
+    meta = {
+        "source": "campaign",
+        "campaign": spec.fingerprint[:16],
+        "models": list(spec.models),
+        "machines": list(spec.machines),
+        "strategies": list(spec.strategies),
+        "trials": spec.trials,
+        "seed": spec.seed,
+    }
+    if autotune_path is not None:
+        harness.write_bench_json(
+            autotune_path, "autotune", auto, **meta
+        )
+    if campaign_path is not None:
+        harness.write_bench_json(
+            campaign_path, "campaign", cross, **meta
+        )
+    return {
+        "autotune": auto,
+        "campaign": cross,
+        "stats": db.stats(spec),
+    }

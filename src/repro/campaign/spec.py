@@ -1,0 +1,238 @@
+"""Declarative campaign specs: the experiment grid as validated data.
+
+A campaign is the cross-product of zoo models × registered machines ×
+tune strategies, run under one shared trial budget and seed.  The spec
+is the py_experimenter-style keyfield table in declarative form: the
+*keyfields* (model, machine, strategy, trials, seed) identify each
+cell; the *resultfields* (best/default simulated cycles, speedup,
+trial count, wall bucket, status) are what the campaign database
+records per cell.
+
+Validation happens at construction: unknown models, unregistered
+machines, unknown strategies, or a non-positive trial budget raise
+:class:`~repro.errors.CampaignError` before anything runs.  The
+historical strategy spelling ``shalving`` is accepted as an alias for
+``halving`` so older specs keep working.
+
+The spec has a canonical JSON payload and a sha256 *fingerprint* over
+it; the fingerprint names the campaign directory and guards resume —
+a database created by one spec refuses to be driven by another.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Sequence, Tuple, Union
+
+from repro.errors import CampaignError
+
+#: Historical/alternate strategy spellings accepted in specs.
+STRATEGY_ALIASES = {"shalving": "halving"}
+
+#: Per-cell result fields the campaign database records (the
+#: py_experimenter "resultfields").
+RESULTFIELDS = (
+    "default_cycles",
+    "best_cycles",
+    "speedup",
+    "trial_count",
+    "wall_bucket",
+    "status",
+)
+
+
+def _normalize_strategy(strategy: str) -> str:
+    from repro.tune import STRATEGIES
+
+    name = STRATEGY_ALIASES.get(strategy, strategy)
+    if name not in STRATEGIES:
+        known = sorted(set(STRATEGIES) | set(STRATEGY_ALIASES))
+        raise CampaignError(
+            f"unknown strategy {strategy!r}; choose from "
+            f"{', '.join(known)}"
+        )
+    return name
+
+
+def _unique_names(values: Sequence[str], what: str) -> Tuple[str, ...]:
+    if not isinstance(values, (list, tuple)) or not values:
+        raise CampaignError(f"a campaign needs at least one {what}")
+    out: List[str] = []
+    for value in values:
+        if not isinstance(value, str):
+            raise CampaignError(
+                f"{what} entries must be strings, got {value!r}"
+            )
+        if value not in out:
+            out.append(value)
+    return tuple(out)
+
+
+@dataclass(frozen=True)
+class CellKey:
+    """The keyfields identifying one campaign cell.
+
+    ``trials`` and ``seed`` are campaign-global, so (model, machine,
+    strategy) alone is unique within a campaign; they are carried here
+    so a cell key is self-describing outside its spec.
+    """
+
+    model: str
+    machine: str
+    strategy: str
+    trials: int
+    seed: int
+
+    @property
+    def cell_id(self) -> str:
+        """Filesystem- and log-safe identifier, unique in a campaign."""
+        return f"{self.model}--{self.machine}--{self.strategy}"
+
+    def to_payload(self) -> Dict:
+        return {
+            "model": self.model,
+            "machine": self.machine,
+            "strategy": self.strategy,
+            "trials": self.trials,
+            "seed": self.seed,
+        }
+
+
+@dataclass(frozen=True)
+class CampaignSpec:
+    """One validated experiment grid.
+
+    Construct via :meth:`from_payload` (or :meth:`load` for a JSON
+    file on disk); the constructor itself assumes already-normalized
+    tuples.
+    """
+
+    models: Tuple[str, ...]
+    machines: Tuple[str, ...]
+    strategies: Tuple[str, ...]
+    trials: int = 8
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        from repro.machine.description import machine_names
+        from repro.models import MODELS
+
+        if not self.models or not self.machines or not self.strategies:
+            raise CampaignError(
+                "a campaign needs models, machines and strategies"
+            )
+        for model in self.models:
+            if model not in MODELS:
+                raise CampaignError(
+                    f"unknown model {model!r}; available: "
+                    f"{', '.join(MODELS)}"
+                )
+        registered = machine_names()
+        for machine in self.machines:
+            if machine not in registered:
+                raise CampaignError(
+                    f"unknown machine {machine!r}; available: "
+                    f"{', '.join(registered)}"
+                )
+        for strategy in self.strategies:
+            _normalize_strategy(strategy)  # raises on unknown
+        if (
+            not isinstance(self.trials, int)
+            or isinstance(self.trials, bool)
+            or self.trials < 1
+        ):
+            raise CampaignError(
+                f"trials must be an int >= 1, got {self.trials!r}"
+            )
+        if not isinstance(self.seed, int) or isinstance(self.seed, bool):
+            raise CampaignError(
+                f"seed must be an int, got {self.seed!r}"
+            )
+
+    @classmethod
+    def from_payload(cls, payload: Dict) -> "CampaignSpec":
+        if not isinstance(payload, dict):
+            raise CampaignError(
+                f"campaign spec must be a JSON object, got "
+                f"{type(payload).__name__}"
+            )
+        unknown = set(payload) - {
+            "models", "machines", "strategies", "trials", "seed"
+        }
+        if unknown:
+            raise CampaignError(
+                f"unknown spec field(s): {', '.join(sorted(unknown))}"
+            )
+        strategies = tuple(
+            _normalize_strategy(s)
+            for s in _unique_names(
+                payload.get("strategies", ()), "strategy"
+            )
+        )
+        # Alias normalization can collapse two spellings to one name.
+        strategies = tuple(dict.fromkeys(strategies))
+        return cls(
+            models=_unique_names(payload.get("models", ()), "model"),
+            machines=_unique_names(payload.get("machines", ()), "machine"),
+            strategies=strategies,
+            trials=payload.get("trials", 8),
+            seed=payload.get("seed", 0),
+        )
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "CampaignSpec":
+        try:
+            text = Path(path).read_text()
+        except OSError as exc:
+            raise CampaignError(
+                f"cannot read campaign spec {path}: {exc}"
+            ) from exc
+        try:
+            payload = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise CampaignError(
+                f"campaign spec {path} is not valid JSON: {exc}"
+            ) from exc
+        return cls.from_payload(payload)
+
+    def to_payload(self) -> Dict:
+        """Canonical payload — aliases resolved, duplicates dropped."""
+        return {
+            "models": list(self.models),
+            "machines": list(self.machines),
+            "strategies": list(self.strategies),
+            "trials": self.trials,
+            "seed": self.seed,
+        }
+
+    @property
+    def fingerprint(self) -> str:
+        """sha256 of the canonical payload; names the campaign."""
+        canonical = json.dumps(self.to_payload(), sort_keys=True)
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+    def cells(self) -> List[CellKey]:
+        """Every cell of the grid, in deterministic spec order."""
+        return [
+            CellKey(
+                model=model,
+                machine=machine,
+                strategy=strategy,
+                trials=self.trials,
+                seed=self.seed,
+            )
+            for model in self.models
+            for machine in self.machines
+            for strategy in self.strategies
+        ]
+
+    def cell(self, cell_id: str) -> CellKey:
+        for key in self.cells():
+            if key.cell_id == cell_id:
+                return key
+        raise CampaignError(
+            f"cell {cell_id!r} is not part of this campaign"
+        )

@@ -47,6 +47,13 @@ Commands
     trial records to ``BENCH_autotune.json``.  ``tune show MODEL``
     prints the recorded leaderboard.  Winning configs feed
     ``repro verify MODEL --tuned`` and ``CompilerOptions(tuned=True)``.
+``campaign {run,status,report} SPEC.json``
+    Run, resume, inspect or report a tuning campaign over the
+    cross-product of models × machines × strategies
+    (:mod:`repro.campaign`): crash-safe resume claims only unfinished
+    cells, and ``campaign report`` regenerates ``BENCH_autotune.json``
+    (byte-stable) plus the cross-target ``BENCH_campaign.json`` purely
+    from the campaign database.
 ``cache {stats,clear}``
     Inspect or empty the persistent schedule cache.
 ``serve``
@@ -276,6 +283,66 @@ def _build_parser() -> argparse.ArgumentParser:
         "(default: hexagon698; see 'repro machines list')",
     )
 
+    campaign_p = sub.add_parser(
+        "campaign",
+        help="run, resume and report tuning campaigns over "
+        "models x machines x strategies",
+    )
+    campaign_sub = campaign_p.add_subparsers(
+        dest="campaign_command", required=True
+    )
+    campaign_run_p = campaign_sub.add_parser(
+        "run",
+        help="execute (or resume) every unfinished cell of a campaign",
+    )
+    campaign_status_p = campaign_sub.add_parser(
+        "status", help="print per-cell campaign state"
+    )
+    campaign_report_p = campaign_sub.add_parser(
+        "report",
+        help="regenerate BENCH artefacts from the campaign database",
+    )
+    for campaign_cmd_p in (
+        campaign_run_p, campaign_status_p, campaign_report_p
+    ):
+        campaign_cmd_p.add_argument(
+            "spec", help="campaign spec JSON path (see docs/CAMPAIGNS.md)"
+        )
+        campaign_cmd_p.add_argument(
+            "--cache-dir",
+            help="root for the shared trial database and schedule "
+            "cache (default: $REPRO_CACHE_DIR or ~/.cache/repro)",
+        )
+        campaign_cmd_p.add_argument(
+            "--campaign-dir",
+            help="campaign state directory (default: "
+            "<cache>/campaigns/<spec fingerprint>)",
+        )
+    campaign_run_p.add_argument(
+        "--jobs", type=int, default=1,
+        help="cells executed concurrently (each cell's search runs "
+        "single-process underneath; default: 1)",
+    )
+    campaign_run_p.add_argument(
+        "--resume", action="store_true",
+        help="resume an interrupted campaign (the default behaviour: "
+        "done/error cells are never re-claimed)",
+    )
+    campaign_run_p.add_argument(
+        "--fresh", action="store_true",
+        help="discard recorded campaign state and start over",
+    )
+    campaign_report_p.add_argument(
+        "--output", default="BENCH_autotune.json",
+        help="byte-stable autotune artefact path "
+        "(default: BENCH_autotune.json)",
+    )
+    campaign_report_p.add_argument(
+        "--campaign-output", default="BENCH_campaign.json",
+        help="cross-target campaign table path "
+        "(default: BENCH_campaign.json)",
+    )
+
     lint_p = sub.add_parser(
         "lint",
         help="run the static analyzer over a compiled model",
@@ -481,6 +548,11 @@ def _build_parser() -> argparse.ArgumentParser:
         help="per-GEMM MAC budget for the instruction kernels; larger "
         "products use the bit-identical BLAS path (default: 0, "
         "always BLAS)",
+    )
+    bench_infer_p.add_argument(
+        "--machine",
+        help="registered machine description to compile for "
+        "(default: hexagon698; see 'repro machines list')",
     )
 
     serve_p = sub.add_parser(
@@ -1050,11 +1122,18 @@ def _cmd_bench_infer(args) -> int:
     if args.model not in MODELS:
         _resolve_graph(args.model)  # structured unknown-model error
 
+    machine = _cli_machine(args)
+    options = None
+    if machine is not None:
+        from repro.compiler import CompilerOptions
+
+        options = CompilerOptions(machine=machine)
     rows = bench_infer_model(
         args.model,
         requests=args.requests,
         kernel_mac_limit=args.kernel_mac_limit,
         workers=args.workers,
+        options=options,
     )
 
     cold = next(r for r in rows if r["mode"] == "cold")
@@ -1078,6 +1157,8 @@ def _cmd_bench_infer(args) -> int:
             requests=args.requests,
             workers=args.workers,
             kernel_mac_limit=args.kernel_mac_limit,
+            machine=rows[0]["machine"] if rows else None,
+            machine_schema=rows[0]["machine_schema"] if rows else None,
         )
         print(f"wrote {len(rows)} row(s) to {args.output}")
     return 0
@@ -1119,12 +1200,17 @@ def _cmd_tune_show(args) -> int:
             full, limit=args.limit, baseline_cycles=baseline_cycles
         ),
     )
+    machines = sorted({r.machine for r in records if r.machine})
+    machine_note = f", machine {'/'.join(machines)}" if machines else ""
     print(f"{len(records)} trial(s) recorded "
-          f"({len(records) - len(full)} partial-fidelity)")
+          f"({len(records) - len(full)} partial-fidelity"
+          f"{machine_note})")
     if best is not None:
+        best_machine = f", machine {best.machine}" if best.machine else ""
         print(f"best: {best.fingerprint[:16]} "
               f"({best.cycles:.0f} simulated cycles, "
-              f"strategy {best.strategy}, seed {best.seed})")
+              f"strategy {best.strategy}, seed {best.seed}"
+              f"{best_machine})")
     return 0
 
 
@@ -1189,6 +1275,84 @@ def _cmd_tune(args) -> int:
             speedup=result.speedup,
         )
         print(f"wrote {len(result.records)} trial(s) to {args.output}")
+    return 0
+
+
+def _cmd_campaign(args) -> int:
+    """Fleet-scale tuning campaigns: run / status / report."""
+    from repro.campaign import (
+        CampaignDB,
+        CampaignSpec,
+        campaign_report,
+        default_campaign_dir,
+        run_campaign,
+    )
+
+    spec = CampaignSpec.load(args.spec)
+    cache_dir = _cli_cache_dir(args)
+    campaign_dir = args.campaign_dir or default_campaign_dir(
+        cache_dir, spec.fingerprint
+    )
+
+    if args.campaign_command == "run":
+        summary = run_campaign(
+            spec,
+            campaign_dir=campaign_dir,
+            cache_dir=cache_dir,
+            jobs=args.jobs,
+            fresh=args.fresh,
+            progress=print,
+        )
+        print(
+            f"campaign {summary['fingerprint'][:16]}: "
+            f"{summary['done']} done, {summary['error']} error, "
+            f"{summary['skipped']} previously finished "
+            f"(state: {summary['campaign_dir']})"
+        )
+        return 1 if summary["error"] else 0
+
+    if args.campaign_command == "status":
+        db = CampaignDB(campaign_dir)
+        states = db.cell_states(spec)
+        rows = []
+        for key in spec.cells():
+            state = states[key.cell_id]
+            rows.append({
+                "model": key.model,
+                "machine": key.machine,
+                "strategy": key.strategy,
+                "status": state["status"],
+                "best_cycles": state.get("best_cycles"),
+                "speedup": state.get("speedup"),
+                "wall": state.get("wall_bucket"),
+                "error": state.get("error"),
+            })
+        harness.print_rows(
+            f"campaign {spec.fingerprint[:16]}", rows
+        )
+        stats = db.stats(spec)
+        print(
+            f"{stats['cells']} cell(s): {stats['done']} done, "
+            f"{stats['error']} error, {stats['running']} interrupted, "
+            f"{stats['pending']} pending "
+            f"({stats['skipped_lines']} corrupt line(s) skipped)"
+        )
+        return 0
+
+    out = campaign_report(
+        spec,
+        campaign_dir=campaign_dir,
+        cache_dir=cache_dir,
+        autotune_path=args.output,
+        campaign_path=args.campaign_output,
+    )
+    print(
+        f"wrote {len(out['autotune'])} row(s) to {args.output}"
+    )
+    print(
+        f"wrote {len(out['campaign'])} row(s) to "
+        f"{args.campaign_output}"
+    )
     return 0
 
 
@@ -1281,6 +1445,8 @@ def _dispatch(args) -> int:
         return _cmd_bench_compile(args)
     if args.command == "tune":
         return _cmd_tune(args)
+    if args.command == "campaign":
+        return _cmd_campaign(args)
     if args.command == "cache":
         return _cmd_cache(args)
     if args.command == "serve":

@@ -173,6 +173,13 @@ class TuningError(ReproError):
     search space, a model the tuner cannot rebuild in its workers)."""
 
 
+class CampaignError(ReproError):
+    """Raised for invalid campaign specs or unusable campaign state
+    (unknown model/machine/strategy in a spec, a report requested
+    before any cell finished, a spec that no longer matches the
+    database it claims to own)."""
+
+
 class BudgetExceeded(ReproError):
     """Raised when a solver blows through its wall-clock/state budget.
 

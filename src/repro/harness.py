@@ -850,8 +850,14 @@ def bench_infer_model(
 
     import numpy as np
 
+    from repro.cache.fingerprint import schema_hash
+    from repro.machine.description import resolve_machine
     from repro.runtime import InferenceEngine, QuantizedExecutor
     from repro.verify.runtime import verify_engine_parity
+
+    machine_arg = options.machine if options is not None else None
+    machine_name = resolve_machine(machine_arg).name
+    machine_schema = schema_hash(machine_arg)[:16]
 
     compiled = compile_cached(name, options)
     feeds_list = example_feeds(compiled.graph, count=requests)
@@ -866,6 +872,8 @@ def bench_infer_model(
         entry = {
             "model": name,
             "mode": mode,
+            "machine": machine_name,
+            "machine_schema": machine_schema,
             "requests": requests,
             "seconds": round(seconds, 6),
             "requests_per_second": round(requests / seconds, 4)

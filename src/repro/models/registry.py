@@ -14,7 +14,11 @@ from repro.models.classification import (
 )
 from repro.models.detection import build_efficientdet_d0, build_pixor
 from repro.models.generative import build_cyclegan, build_fst, build_wdsr_b
-from repro.models.transformers import build_conformer, build_tinybert
+from repro.models.transformers import (
+    build_conformer,
+    build_decoder_tiny,
+    build_tinybert,
+)
 
 
 @dataclass(frozen=True)
@@ -91,6 +95,16 @@ MODELS: Dict[str, ModelInfo] = {
         ModelInfo(
             "conformer", "Transformer", "Speech recognition",
             build_conformer, 5.6, "1.2M", 675, None, None, 65.0,
+            transformer=True,
+        ),
+        # Post-paper workload tier: causal prefill + KV-cache decode
+        # steps (no framework reference latencies — like tinybert, the
+        # activation-by-activation MatMuls gate DSP support).  The
+        # gmacs/operator columns are measured from the builder, not
+        # Table IV.
+        ModelInfo(
+            "decoder_tiny", "Transformer", "LLM decoding",
+            build_decoder_tiny, 0.054, "5.3M", 162, None, None, 2.4,
             transformer=True,
         ),
     ]

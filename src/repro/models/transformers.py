@@ -1,14 +1,24 @@
-"""Transformer models: TinyBERT and Conformer.
+"""Transformer models: TinyBERT, Conformer and the int8 decoder tier.
 
-These are the two networks GCD2 runs on the mobile DSP "for the first
-time" — TFLite and SNPE lack the MatMul variants (activation-by-
-activation products in attention) and operators like Pow that they
-need.  The builders express attention with explicit two-operand
-MatMuls, Transposes, Softmax and Pow, exactly the operator mix that
-gates baseline support.
+TinyBERT and Conformer are the two networks GCD2 runs on the mobile
+DSP "for the first time" — TFLite and SNPE lack the MatMul variants
+(activation-by-activation products in attention) and operators like
+Pow that they need.  The builders express attention with explicit
+two-operand MatMuls, Transposes, Softmax and Pow, exactly the operator
+mix that gates baseline support.
+
+The decoder tier (:func:`build_decoder_tiny`) follows the LLM
+deployment pressures nncase describes: causal attention and
+KV-cache-shaped GEMMs.  A static-shape compiler cannot express a
+growing sequence, so the model carries *separate graph variants* —
+one prefill network over the full prompt plus one single-token decode
+step per cache length — approximating the shapes an autoregressive
+loop sweeps through.
 """
 
 from __future__ import annotations
+
+from typing import Sequence, Tuple
 
 from repro.graph.builder import GraphBuilder, Handle
 from repro.graph.graph import ComputationalGraph
@@ -168,4 +178,184 @@ def build_conformer(
         x, weight_shape=(hidden, 1024), name="ctc_head"
     )
     b.softmax(logits, name="token_probs")
+    return b.build()
+
+
+# ---------------------------------------------------------------------------
+# int8 decoder tier: causal prefill + KV-cache decode steps
+# ---------------------------------------------------------------------------
+
+#: Default decoder-tiny geometry: small enough that the zoo-wide
+#: strict/lint/parallel test matrices stay fast, large enough that the
+#: attention GEMMs dominate the node count.
+DECODER_HIDDEN = 128
+DECODER_HEADS = 4
+DECODER_BLOCKS = 2
+DECODER_FFN = 256
+DECODER_VOCAB = 4000
+
+#: Cache lengths the decode-step variants are materialized at.
+DECODER_SEQ_LENS: Tuple[int, ...] = (64, 128, 256)
+
+
+def _causal_attention(
+    b: GraphBuilder,
+    x: Handle,
+    seq: int,
+    hidden: int,
+    heads: int,
+    tag: str,
+) -> Handle:
+    """Causal multi-head self-attention over (1, seq, hidden).
+
+    Causality is an additive mask constant on the score matrix — the
+    standard static-graph realisation (scores below the diagonal pass,
+    the rest are pushed toward -inf before Softmax).  The mask is a
+    graph constant, so it rides the same quantization/calibration path
+    as every other weight.
+    """
+    head_dim = hidden // heads
+    q = b.matmul(x, weight_shape=(hidden, hidden), name=f"{tag}_q")
+    k = b.matmul(x, weight_shape=(hidden, hidden), name=f"{tag}_k")
+    v = b.matmul(x, weight_shape=(hidden, hidden), name=f"{tag}_v")
+    q = b.reshape(q, (1, seq, heads, head_dim), name=f"{tag}_qr")
+    k = b.reshape(k, (1, seq, heads, head_dim), name=f"{tag}_kr")
+    v = b.reshape(v, (1, seq, heads, head_dim), name=f"{tag}_vr")
+    q = b.transpose(q, (0, 2, 1, 3), name=f"{tag}_qt")
+    k = b.transpose(k, (0, 2, 3, 1), name=f"{tag}_kt")
+    v = b.transpose(v, (0, 2, 1, 3), name=f"{tag}_vt")
+    scores = b.matmul(q, k, name=f"{tag}_qk")
+    mask = b.constant((1, heads, seq, seq), name=f"{tag}_causal_mask")
+    scores = b.add(scores, mask, name=f"{tag}_masked")
+    scores = b.softmax(scores, name=f"{tag}_attn")
+    context = b.matmul(scores, v, name=f"{tag}_ctx")
+    context = b.transpose(context, (0, 2, 1, 3), name=f"{tag}_ct")
+    context = b.reshape(context, (1, seq, hidden), name=f"{tag}_cr")
+    return b.matmul(
+        context, weight_shape=(hidden, hidden), name=f"{tag}_proj"
+    )
+
+
+def _cached_attention(
+    b: GraphBuilder,
+    x: Handle,
+    cache_len: int,
+    hidden: int,
+    heads: int,
+    tag: str,
+) -> Handle:
+    """One-token attention against an externally fed KV cache.
+
+    The query is the current token's projection, (1, heads, 1, d);
+    the key/value caches arrive as graph *inputs* shaped by
+    ``cache_len`` — exactly the skinny activation-by-activation GEMMs
+    (1xd x dxL, then 1xL x Lxd) an autoregressive decode step issues.
+    No mask: every cached position is visible to the new token.
+    """
+    head_dim = hidden // heads
+    q = b.matmul(x, weight_shape=(hidden, hidden), name=f"{tag}_q")
+    q = b.reshape(q, (1, 1, heads, head_dim), name=f"{tag}_qr")
+    q = b.transpose(q, (0, 2, 1, 3), name=f"{tag}_qt")
+    k_cache = b.input(
+        (1, heads, head_dim, cache_len), name=f"{tag}_k_cache"
+    )
+    v_cache = b.input(
+        (1, heads, cache_len, head_dim), name=f"{tag}_v_cache"
+    )
+    scores = b.matmul(q, k_cache, name=f"{tag}_qk")
+    scores = b.softmax(scores, name=f"{tag}_attn")
+    context = b.matmul(scores, v_cache, name=f"{tag}_ctx")
+    context = b.transpose(context, (0, 2, 1, 3), name=f"{tag}_ct")
+    context = b.reshape(context, (1, 1, hidden), name=f"{tag}_cr")
+    return b.matmul(
+        context, weight_shape=(hidden, hidden), name=f"{tag}_proj"
+    )
+
+
+def _decoder_trunk(
+    b: GraphBuilder,
+    tokens: Handle,
+    seq: int,
+    tag: str,
+    *,
+    cache_len: int = 0,
+    hidden: int = DECODER_HIDDEN,
+    heads: int = DECODER_HEADS,
+    blocks: int = DECODER_BLOCKS,
+    ffn: int = DECODER_FFN,
+    vocab: int = DECODER_VOCAB,
+) -> Handle:
+    """Embed -> N pre-norm decoder blocks -> next-token logits.
+
+    ``cache_len == 0`` builds the prefill form (causal attention over
+    the whole prompt); a positive ``cache_len`` builds the single-token
+    decode step against a KV cache of that length.
+    """
+    x = b.embedding(tokens, vocab=vocab, dim=hidden, name=f"{tag}_embed")
+    pos = b.constant((1, seq, hidden), name=f"{tag}_pos")
+    x = b.add(x, pos, name=f"{tag}_embed_add")
+    x = b.layer_norm(x, name=f"{tag}_embed_ln")
+    for block in range(blocks):
+        bt = f"{tag}_b{block}"
+        if cache_len:
+            attn = _cached_attention(
+                b, x, cache_len, hidden, heads, f"{bt}_attn"
+            )
+        else:
+            attn = _causal_attention(
+                b, x, seq, hidden, heads, f"{bt}_attn"
+            )
+        x = b.add(x, attn, name=f"{bt}_res1")
+        x = b.layer_norm(x, name=f"{bt}_ln1")
+        y = _ffn(b, x, hidden, ffn, f"{bt}_ffn")
+        x = b.add(x, y, name=f"{bt}_res2")
+        x = b.layer_norm(x, name=f"{bt}_ln2")
+    logits = b.matmul(
+        x, weight_shape=(hidden, vocab), name=f"{tag}_lm_head"
+    )
+    return b.softmax(logits, name=f"{tag}_next_token")
+
+
+def build_decoder_prefill(seq: int = 64, **geometry) -> ComputationalGraph:
+    """Standalone prefill variant: causal attention over ``seq`` tokens."""
+    b = GraphBuilder(f"decoder_prefill{seq}")
+    tokens = b.input((1, seq), name="prompt_ids")
+    _decoder_trunk(b, tokens, seq, "prefill", **geometry)
+    return b.build()
+
+
+def build_decoder_step(cache_len: int = 64, **geometry) -> ComputationalGraph:
+    """Standalone decode-step variant: one token vs a ``cache_len`` cache."""
+    b = GraphBuilder(f"decoder_step{cache_len}")
+    tokens = b.input((1, 1), name="token_id")
+    _decoder_trunk(b, tokens, 1, "step", cache_len=cache_len, **geometry)
+    return b.build()
+
+
+def build_decoder_tiny(
+    seq_lens: Sequence[int] = DECODER_SEQ_LENS,
+) -> ComputationalGraph:
+    """The zoo's int8 decoder workload: prefill + per-length decode steps.
+
+    One graph holds the prefill network at ``seq_lens[0]`` plus a
+    single-token decode step for every cache length in ``seq_lens`` —
+    the static-shape approximation of a sequence growing from
+    ``seq_lens[0]`` to ``seq_lens[-1]``.  The variants are independent
+    subnetworks (an autoregressive loop runs them in turn, carrying the
+    KV cache between calls), so compiling the model prices every shape
+    the loop will see.
+    """
+    if not seq_lens:
+        raise ValueError("decoder needs at least one sequence length")
+    seq_lens = tuple(int(s) for s in seq_lens)
+    if any(s < 2 for s in seq_lens):
+        raise ValueError(f"cache lengths must be >= 2, got {seq_lens!r}")
+    b = GraphBuilder("decoder_tiny")
+    prompt = b.input((1, seq_lens[0]), name="prompt_ids")
+    _decoder_trunk(b, prompt, seq_lens[0], "prefill")
+    for cache_len in seq_lens:
+        tok = b.input((1, 1), name=f"step{cache_len}_token_id")
+        _decoder_trunk(
+            b, tok, 1, f"step{cache_len}", cache_len=cache_len
+        )
     return b.build()

@@ -35,7 +35,10 @@ from repro.tune.space import TrialConfig
 _MachineArg = Optional[Union[str, "MachineDescription"]]
 
 #: Bump when the record layout changes incompatibly.
-TUNE_SCHEMA_VERSION = 1
+#: v2: records carry the human-readable machine ``name`` alongside the
+#: schema hash, so reports can print the target instead of an opaque
+#: per-machine namespace.
+TUNE_SCHEMA_VERSION = 2
 
 #: Trial status values.
 STATUS_OK = "ok"
@@ -93,6 +96,10 @@ class TrialRecord:
     fidelity: Optional[int] = None
     error: Optional[str] = None
     schema: str = field(default_factory=tune_schema_hash)
+    #: Human-readable machine name the cycles were simulated on.  The
+    #: ``schema`` hash is what namespaces reads; the name is for
+    #: reports, which otherwise could only print the opaque hash.
+    machine: str = ""
 
     def __post_init__(self) -> None:
         if self.status not in (STATUS_OK, STATUS_ERROR):
@@ -125,6 +132,7 @@ class TrialRecord:
             "fidelity": self.fidelity,
             "error": self.error,
             "schema": self.schema,
+            "machine": self.machine,
         }
 
     @classmethod
@@ -143,6 +151,7 @@ class TrialRecord:
                 fidelity=payload.get("fidelity"),
                 error=payload.get("error"),
                 schema=payload.get("schema", ""),
+                machine=payload.get("machine", ""),
             )
         except (KeyError, TypeError) as exc:
             raise TuningError(

@@ -300,8 +300,15 @@ def run_search(
         raise TuningError(f"jobs must be an int >= 1, got {jobs!r}")
     budget = SearchBudget(trials=trials, wall_seconds=wall_seconds)
     space = space or default_space()
-    db = db or TrialDB(default_tune_dir(cache_dir), machine=machine)
+    # ``is None``, not truthiness: TrialDB defines __len__, so an
+    # *empty* caller-supplied database (a campaign staging DB, say)
+    # is falsy and ``db or ...`` would silently swap in the default.
+    if db is None:
+        db = TrialDB(default_tune_dir(cache_dir), machine=machine)
     record_schema = tune_schema_hash(machine)
+    from repro.machine.description import resolve_machine
+
+    machine_name = resolve_machine(machine).name
 
     from repro.models import build_model
 
@@ -344,6 +351,7 @@ def run_search(
                 fidelity=fid,
                 error=error,
                 schema=record_schema,
+                machine=machine_name,
             )
             trial_index += 1
             db.append(record)

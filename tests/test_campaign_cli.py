@@ -1,0 +1,117 @@
+"""The ``repro campaign {run,status,report}`` command surface."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+SPEC_PAYLOAD = {
+    "models": ["wdsr_b"],
+    "machines": ["hexagon698", "narrow64"],
+    "strategies": ["random"],
+    "trials": 2,
+    "seed": 0,
+}
+
+
+@pytest.fixture
+def spec_path(tmp_path):
+    path = tmp_path / "spec.json"
+    path.write_text(json.dumps(SPEC_PAYLOAD))
+    return str(path)
+
+
+def _run(spec_path, tmp_path, *extra):
+    return main([
+        "campaign", "run", spec_path,
+        "--cache-dir", str(tmp_path / "cache"), *extra,
+    ])
+
+
+@pytest.mark.slow
+class TestCampaignCli:
+    def test_run_then_rerun_skips_everything(
+        self, spec_path, tmp_path, capsys
+    ):
+        assert _run(spec_path, tmp_path) == 0
+        out = capsys.readouterr().out
+        assert "2 cell(s), 0 already finished, 2 to run" in out
+        assert out.count(": done") == 2
+        assert _run(spec_path, tmp_path) == 0
+        out = capsys.readouterr().out
+        assert "2 already finished, 0 to run" in out
+        assert "2 previously finished" in out
+
+    def test_status_table(self, spec_path, tmp_path, capsys):
+        assert _run(spec_path, tmp_path) == 0
+        capsys.readouterr()
+        assert main([
+            "campaign", "status", spec_path,
+            "--cache-dir", str(tmp_path / "cache"),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "wdsr_b" in out and "narrow64" in out
+        assert "2 done, 0 error, 0 interrupted, 0 pending" in out
+
+    def test_status_before_any_run_is_all_pending(
+        self, spec_path, tmp_path, capsys
+    ):
+        assert main([
+            "campaign", "status", spec_path,
+            "--cache-dir", str(tmp_path / "cache"),
+        ]) == 0
+        assert "0 done, 0 error, 0 interrupted, 2 pending" in (
+            capsys.readouterr().out
+        )
+
+    def test_report_writes_both_artifacts_byte_stably(
+        self, spec_path, tmp_path, capsys
+    ):
+        assert _run(spec_path, tmp_path) == 0
+        auto = tmp_path / "BENCH_autotune.json"
+        camp = tmp_path / "BENCH_campaign.json"
+
+        def report():
+            return main([
+                "campaign", "report", spec_path,
+                "--cache-dir", str(tmp_path / "cache"),
+                "--output", str(auto),
+                "--campaign-output", str(camp),
+            ])
+
+        assert report() == 0
+        first = (auto.read_bytes(), camp.read_bytes())
+        assert report() == 0
+        assert (auto.read_bytes(), camp.read_bytes()) == first
+
+        payload = json.loads(auto.read_text())
+        assert payload["benchmark"] == "autotune"
+        assert payload["source"] == "campaign"
+        assert len(payload["rows"]) == 2
+        for row in payload["rows"]:
+            assert row["best_cycles"] <= row["default_cycles"]
+        cross = json.loads(camp.read_text())
+        assert cross["benchmark"] == "campaign"
+        assert [r["machine"] for r in cross["rows"]] == [
+            "hexagon698", "narrow64"
+        ]
+        assert all(r["status"] == "done" for r in cross["rows"])
+
+    def test_report_before_any_run_is_structured(
+        self, spec_path, tmp_path, capsys
+    ):
+        assert main([
+            "campaign", "report", spec_path,
+            "--cache-dir", str(tmp_path / "cache"),
+        ]) == 1
+        assert "no campaign database" in capsys.readouterr().err
+
+    def test_bad_spec_is_structured(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps({**SPEC_PAYLOAD, "models": ["nope"]}))
+        assert main([
+            "campaign", "run", str(bad),
+            "--cache-dir", str(tmp_path / "cache"),
+        ]) == 1
+        assert "unknown model" in capsys.readouterr().err

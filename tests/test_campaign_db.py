@@ -1,0 +1,184 @@
+"""Campaign event log: states, corruption tolerance, crash artefacts."""
+
+import json
+
+import pytest
+
+from repro.campaign import (
+    CELL_DONE,
+    CELL_ERROR,
+    CELL_PENDING,
+    CELL_RUNNING,
+    CampaignDB,
+    CampaignSpec,
+    default_campaign_dir,
+    wall_bucket,
+)
+from repro.errors import CampaignError
+
+SPEC = CampaignSpec.from_payload({
+    "models": ["wdsr_b"],
+    "machines": ["hexagon698", "narrow64"],
+    "strategies": ["random"],
+    "trials": 2,
+    "seed": 0,
+})
+
+HEX_CELL = "wdsr_b--hexagon698--random"
+NARROW_CELL = "wdsr_b--narrow64--random"
+
+
+class TestAppendAndRead:
+    def test_events_round_trip_in_order(self, tmp_path):
+        db = CampaignDB(tmp_path)
+        db.record_created(SPEC)
+        db.record_running(HEX_CELL)
+        db.record_done(HEX_CELL, {"best_cycles": 10.0})
+        events = db.events()
+        assert [e["event"] for e in events] == [
+            "created", "running", "done"
+        ]
+        assert events[2]["best_cycles"] == 10.0
+
+    def test_rejects_unknown_event_type(self, tmp_path):
+        with pytest.raises(CampaignError, match="unknown campaign event"):
+            CampaignDB(tmp_path).append({"event": "exploded"})
+
+    def test_missing_file_reads_empty(self, tmp_path):
+        db = CampaignDB(tmp_path / "nothing")
+        assert db.events() == []
+        assert db.recorded_fingerprint() is None
+
+    def test_corrupt_lines_skipped_and_counted(self, tmp_path):
+        db = CampaignDB(tmp_path)
+        db.record_created(SPEC)
+        with open(db.path, "a") as handle:
+            handle.write("{not json\n")
+            handle.write('["not", "an", "object"]\n')
+            handle.write('{"event": "martian"}\n')
+        db.record_running(HEX_CELL)
+        assert [e["event"] for e in db.events()] == ["created", "running"]
+        assert db.skipped_lines == 3
+
+    def test_append_terminates_a_killed_partial_line(self, tmp_path):
+        db = CampaignDB(tmp_path)
+        db.record_created(SPEC)
+        # Simulate kill -9 mid-append: a trailing line with no newline.
+        with open(db.path, "a") as handle:
+            handle.write('{"event": "done", "cell"')
+        db.record_running(HEX_CELL)
+        # The partial line is one corrupt line; the new event survives.
+        events = db.events()
+        assert [e["event"] for e in events] == ["created", "running"]
+        assert db.skipped_lines == 1
+
+
+class TestCellStates:
+    def test_pending_is_the_absence_of_events(self, tmp_path):
+        db = CampaignDB(tmp_path)
+        db.record_created(SPEC)
+        states = db.cell_states(SPEC)
+        assert set(states) == {HEX_CELL, NARROW_CELL}
+        assert all(s["status"] == CELL_PENDING for s in states.values())
+
+    def test_last_event_wins(self, tmp_path):
+        db = CampaignDB(tmp_path)
+        db.record_created(SPEC)
+        db.record_running(HEX_CELL)
+        db.record_error(HEX_CELL, "boom")
+        db.record_running(HEX_CELL)  # a later retry
+        db.record_done(HEX_CELL, {"best_cycles": 5.0, "speedup": 1.0})
+        state = db.cell_states(SPEC)[HEX_CELL]
+        assert state["status"] == CELL_DONE
+        assert state["best_cycles"] == 5.0
+
+    def test_error_state_carries_message(self, tmp_path):
+        db = CampaignDB(tmp_path)
+        db.record_created(SPEC)
+        db.record_running(NARROW_CELL)
+        db.record_error(NARROW_CELL, "CompilerError: no")
+        state = db.cell_states(SPEC)[NARROW_CELL]
+        assert state["status"] == CELL_ERROR
+        assert state["error"] == "CompilerError: no"
+
+    def test_events_for_foreign_cells_are_skipped(self, tmp_path):
+        db = CampaignDB(tmp_path)
+        db.record_created(SPEC)
+        db.record_running("tinybert--wide6--grid")  # not in this grid
+        states = db.cell_states(SPEC)
+        assert states[HEX_CELL]["status"] == CELL_PENDING
+        assert db.skipped_lines == 1
+
+    def test_claimable_is_pending_plus_interrupted(self, tmp_path):
+        db = CampaignDB(tmp_path)
+        db.record_created(SPEC)
+        db.record_running(HEX_CELL)  # interrupted: no done/error after
+        assert db.claimable(SPEC) == [HEX_CELL, NARROW_CELL]
+        db.record_done(HEX_CELL, {"best_cycles": 1.0})
+        assert db.claimable(SPEC) == [NARROW_CELL]
+        db.record_running(NARROW_CELL)
+        db.record_error(NARROW_CELL, "boom")
+        # done and error are terminal: nothing left to claim.
+        assert db.claimable(SPEC) == []
+
+
+class TestSpecBinding:
+    def test_ensure_spec_records_then_verifies(self, tmp_path):
+        db = CampaignDB(tmp_path)
+        db.ensure_spec(SPEC)
+        assert db.recorded_fingerprint() == SPEC.fingerprint
+        db.ensure_spec(SPEC)  # idempotent
+        assert len(db.events()) == 1
+
+    def test_ensure_spec_rejects_a_different_grid(self, tmp_path):
+        db = CampaignDB(tmp_path)
+        db.ensure_spec(SPEC)
+        other = CampaignSpec.from_payload({
+            "models": ["wdsr_b"],
+            "machines": ["hexagon698"],
+            "strategies": ["grid"],
+        })
+        with pytest.raises(CampaignError, match="belongs to spec"):
+            db.ensure_spec(other)
+
+    def test_clear_allows_a_fresh_start(self, tmp_path):
+        db = CampaignDB(tmp_path)
+        db.ensure_spec(SPEC)
+        db.clear()
+        assert db.events() == []
+        db.clear()  # idempotent on a missing file
+
+
+class TestDigest:
+    def test_stats_counts_states(self, tmp_path):
+        db = CampaignDB(tmp_path)
+        db.record_created(SPEC)
+        db.record_running(HEX_CELL)
+        db.record_done(HEX_CELL, {"best_cycles": 1.0})
+        db.record_running(NARROW_CELL)
+        stats = db.stats(SPEC)
+        assert stats["cells"] == 2
+        assert stats["done"] == 1
+        assert stats["running"] == 1
+        assert stats["pending"] == 0
+        assert stats["fingerprint"] == SPEC.fingerprint
+
+    def test_default_dir_keyed_by_fingerprint(self, tmp_path):
+        a = default_campaign_dir(tmp_path, SPEC.fingerprint)
+        assert str(a).startswith(str(tmp_path))
+        assert a.name == SPEC.fingerprint[:16]
+        b = default_campaign_dir(tmp_path, "f" * 64)
+        assert a != b
+
+    def test_wall_buckets_are_coarse_labels(self):
+        assert wall_bucket(0.2) == "<1s"
+        assert wall_bucket(5) == "1s-10s"
+        assert wall_bucket(30) == "10s-1m"
+        assert wall_bucket(120) == "1m-10m"
+        assert wall_bucket(3600) == ">10m"
+
+    def test_event_lines_are_sorted_json(self, tmp_path):
+        db = CampaignDB(tmp_path)
+        db.record_done(HEX_CELL, {"speedup": 1.0, "best_cycles": 2.0})
+        line = db.path.read_text().strip()
+        assert line == json.dumps(json.loads(line), sort_keys=True)

@@ -1,0 +1,208 @@
+"""Crash-safe campaign resume: no duplicate trials, byte-stable report.
+
+Two interruption vehicles, mirroring tests/test_serve_restart.py:
+
+* a fault hook raising ``KeyboardInterrupt`` (a ``BaseException``, so
+  it escapes the per-cell error isolation exactly like a crash);
+* a scripted subprocess killed with SIGKILL mid-campaign — no atexit
+  hooks, no flush, torn files and all.
+
+After either interruption, re-running the campaign must claim only the
+unfinished cells, leave zero duplicate trial records in the shared
+trial DB, and produce a ``campaign report`` byte-identical to one from
+a never-interrupted run.
+"""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+
+import pytest
+
+from repro.campaign import (
+    CampaignDB,
+    CampaignSpec,
+    campaign_report,
+    default_campaign_dir,
+    run_campaign,
+)
+from repro.tune import default_tune_dir
+
+SPEC_PAYLOAD = {
+    "models": ["wdsr_b"],
+    "machines": ["hexagon698", "narrow64"],
+    "strategies": ["random"],
+    "trials": 2,
+    "seed": 0,
+}
+
+SPEC = CampaignSpec.from_payload(SPEC_PAYLOAD)
+
+
+def shared_lines(cache_dir):
+    path = default_tune_dir(cache_dir) / "trials.jsonl"
+    if not path.is_file():
+        return []
+    return [l for l in path.read_text().splitlines() if l.strip()]
+
+
+def report_bytes(cache_dir, tmp_path, tag):
+    auto = tmp_path / f"auto_{tag}.json"
+    camp = tmp_path / f"camp_{tag}.json"
+    campaign_report(
+        SPEC,
+        cache_dir=cache_dir,
+        autotune_path=str(auto),
+        campaign_path=str(camp),
+    )
+    return auto.read_bytes(), camp.read_bytes()
+
+
+@pytest.mark.slow
+class TestFaultHookResume:
+    def test_interrupt_resume_no_duplicates_identical_report(
+        self, tmp_path
+    ):
+        cache = str(tmp_path / "cache")
+        seen = []
+
+        def crash_on_second_cell(stage, cell_id):
+            if stage == "claim":
+                seen.append(cell_id)
+                if len(seen) == 2:
+                    raise KeyboardInterrupt  # simulated crash
+
+        with pytest.raises(KeyboardInterrupt):
+            run_campaign(
+                SPEC, cache_dir=cache, fault_hook=crash_on_second_cell
+            )
+        db = CampaignDB(default_campaign_dir(cache, SPEC.fingerprint))
+        states = db.cell_states(SPEC)
+        assert states[seen[0]]["status"] == "done"
+        # The interrupted cell is mid-flight: running, claimable.
+        assert states[seen[1]]["status"] == "running"
+        assert db.claimable(SPEC) == [seen[1]]
+
+        summary = run_campaign(SPEC, cache_dir=cache)
+        assert summary["claimed"] == 1
+        assert summary["done"] == 1
+        assert summary["skipped"] == 1
+
+        lines = shared_lines(cache)
+        assert len(lines) == len(set(lines)), "duplicate trial records"
+
+        # Byte-identical to a never-interrupted campaign's report.
+        clean_cache = str(tmp_path / "clean")
+        run_campaign(SPEC, cache_dir=clean_cache)
+        assert len(shared_lines(clean_cache)) == len(lines)
+        resumed = report_bytes(cache, tmp_path, "resumed")
+        clean = report_bytes(clean_cache, tmp_path, "clean")
+        assert resumed[0] == clean[0], "autotune artefact differs"
+        # Wall buckets may differ across runs; the campaign table must
+        # still be byte-stable across *re-reports* of the same DB.
+        assert resumed == report_bytes(cache, tmp_path, "resumed2")
+
+    def test_crash_mid_publish_still_no_duplicates(self, tmp_path):
+        cache = str(tmp_path / "cache")
+
+        def crash_after_publish(stage, cell_id):
+            if stage == "published":
+                # Trials are durable but the done event never lands —
+                # the worst window for a duplicate-on-resume bug.
+                raise KeyboardInterrupt
+
+        with pytest.raises(KeyboardInterrupt):
+            run_campaign(
+                SPEC, cache_dir=cache, fault_hook=crash_after_publish
+            )
+        published = shared_lines(cache)
+        assert published, "cell published before the crash"
+
+        summary = run_campaign(SPEC, cache_dir=cache)
+        assert summary["claimed"] == 2  # neither cell reached done
+        lines = shared_lines(cache)
+        assert len(lines) == len(set(lines)), "duplicate trial records"
+        assert set(published) <= set(lines)
+
+
+RUNNER_SCRIPT = """
+import json, sys
+from repro.campaign import CampaignSpec, run_campaign
+
+spec = CampaignSpec.load(sys.argv[1])
+run_campaign(
+    spec,
+    cache_dir=sys.argv[2],
+    progress=lambda message: print(message, flush=True),
+)
+print("CAMPAIGN-COMPLETE", flush=True)
+"""
+
+
+def _launch(tmp_path, spec_path, cache_dir):
+    script = tmp_path / "campaign_script.py"
+    script.write_text(RUNNER_SCRIPT)
+    env = dict(os.environ)
+    repo_src = os.path.join(
+        os.path.dirname(os.path.dirname(__file__)), "src"
+    )
+    env["PYTHONPATH"] = repo_src + os.pathsep + env.get("PYTHONPATH", "")
+    return subprocess.Popen(
+        [sys.executable, str(script), str(spec_path), cache_dir],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        env=env,
+        text=True,
+    )
+
+
+@pytest.mark.slow
+class TestSigkillResume:
+    def test_sigkill_then_resume_finishes_exactly_the_rest(
+        self, tmp_path
+    ):
+        spec_path = tmp_path / "spec.json"
+        spec_path.write_text(json.dumps(SPEC_PAYLOAD))
+        cache = str(tmp_path / "cache")
+
+        proc = _launch(tmp_path, spec_path, cache)
+        try:
+            # Wait for the first cell to finish, then crash uncleanly.
+            while True:
+                line = proc.stdout.readline()
+                if not line:
+                    raise AssertionError(
+                        f"campaign died early: {proc.stderr.read()}"
+                    )
+                if ": done" in line:
+                    break
+        finally:
+            os.kill(proc.pid, signal.SIGKILL)
+            proc.wait(timeout=30)
+
+        db = CampaignDB(default_campaign_dir(cache, SPEC.fingerprint))
+        finished_before = [
+            cell_id
+            for cell_id, state in db.cell_states(SPEC).items()
+            if state["status"] == "done"
+        ]
+        assert finished_before, "first cell should have completed"
+        before_lines = shared_lines(cache)
+
+        summary = run_campaign(SPEC, cache_dir=cache)
+        assert summary["skipped"] == len(finished_before)
+        assert summary["claimed"] == 2 - len(finished_before)
+        assert summary["error"] == 0
+
+        lines = shared_lines(cache)
+        assert len(lines) == len(set(lines)), "duplicate trial records"
+        assert set(before_lines) <= set(lines)
+
+        # Report parity with a never-killed campaign.
+        clean_cache = str(tmp_path / "clean")
+        run_campaign(SPEC, cache_dir=clean_cache)
+        resumed_auto, _ = report_bytes(cache, tmp_path, "resumed")
+        clean_auto, _ = report_bytes(clean_cache, tmp_path, "clean")
+        assert resumed_auto == clean_auto

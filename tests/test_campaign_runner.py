@@ -1,0 +1,196 @@
+"""Campaign execution: publish-with-dedupe, isolation, parallelism."""
+
+import json
+
+import pytest
+
+from repro.campaign import (
+    CELL_DONE,
+    CELL_ERROR,
+    CampaignDB,
+    CampaignSpec,
+    default_campaign_dir,
+    execute_cell,
+    publish_trials,
+    run_campaign,
+)
+from repro.errors import CampaignError
+from repro.models import build_model
+from repro.tune import TrialDB, default_tune_dir
+
+ONE_CELL = CampaignSpec.from_payload({
+    "models": ["wdsr_b"],
+    "machines": ["hexagon698"],
+    "strategies": ["random"],
+    "trials": 2,
+    "seed": 0,
+})
+
+TWO_MACHINES = CampaignSpec.from_payload({
+    "models": ["wdsr_b"],
+    "machines": ["hexagon698", "narrow64"],
+    "strategies": ["random"],
+    "trials": 2,
+    "seed": 0,
+})
+
+
+def shared_lines(cache_dir):
+    path = default_tune_dir(cache_dir) / "trials.jsonl"
+    if not path.is_file():
+        return []
+    return [l for l in path.read_text().splitlines() if l.strip()]
+
+
+@pytest.mark.slow
+class TestRunCampaign:
+    def test_trials_flow_into_the_shared_trialdb(self, tmp_path):
+        cache = str(tmp_path / "cache")
+        summary = run_campaign(ONE_CELL, cache_dir=cache)
+        assert summary["done"] == 1 and summary["error"] == 0
+        shared = TrialDB(default_tune_dir(cache), machine="hexagon698")
+        records = shared.records(model="wdsr_b")
+        assert len(records) == 2
+        assert all(r.machine == "hexagon698" for r in records)
+        best = shared.best("wdsr_b")
+        assert best is not None
+        # Zero new plumbing: the tuned-compile path reads the same DB.
+        from repro.compiler import CompilerOptions, compile_model
+
+        compiled = compile_model(
+            build_model("wdsr_b"),
+            CompilerOptions(tuned=True, cache_dir=cache),
+        )
+        assert compiled.diagnostics.tuning["fingerprint"] == (
+            best.fingerprint
+        )
+
+    def test_done_event_carries_the_resultfields(self, tmp_path):
+        cache = str(tmp_path / "cache")
+        run_campaign(ONE_CELL, cache_dir=cache)
+        db = CampaignDB(
+            default_campaign_dir(cache, ONE_CELL.fingerprint)
+        )
+        state = db.cell_states(ONE_CELL)["wdsr_b--hexagon698--random"]
+        assert state["status"] == CELL_DONE
+        assert state["best_cycles"] <= state["default_cycles"]
+        assert state["speedup"] >= 1.0
+        assert state["trial_count"] == 2
+        assert state["wall_bucket"]
+        assert state["machine"] == "hexagon698"
+        assert len(state["schema"]) == 16
+
+    def test_rerun_claims_and_publishes_nothing(self, tmp_path):
+        cache = str(tmp_path / "cache")
+        run_campaign(ONE_CELL, cache_dir=cache)
+        before = shared_lines(cache)
+        summary = run_campaign(ONE_CELL, cache_dir=cache)
+        assert summary["claimed"] == 0
+        assert summary["skipped"] == 1
+        assert shared_lines(cache) == before
+
+    def test_fresh_discards_state_but_duplicates_nothing(self, tmp_path):
+        cache = str(tmp_path / "cache")
+        run_campaign(ONE_CELL, cache_dir=cache)
+        before = shared_lines(cache)
+        summary = run_campaign(ONE_CELL, cache_dir=cache, fresh=True)
+        # Every cell re-runs, but deterministic trials dedupe away.
+        assert summary["claimed"] == 1
+        assert sorted(shared_lines(cache)) == sorted(before)
+
+    def test_cell_error_is_isolated(self, tmp_path):
+        cache = str(tmp_path / "cache")
+
+        def hook(stage, cell_id):
+            if stage == "searched" and "hexagon698" in cell_id:
+                raise ValueError("injected cell fault")
+
+        summary = run_campaign(
+            TWO_MACHINES, cache_dir=cache, fault_hook=hook
+        )
+        assert summary["done"] == 1
+        assert summary["error"] == 1
+        db = CampaignDB(
+            default_campaign_dir(cache, TWO_MACHINES.fingerprint)
+        )
+        states = db.cell_states(TWO_MACHINES)
+        assert states["wdsr_b--hexagon698--random"]["status"] == CELL_ERROR
+        assert "injected cell fault" in (
+            states["wdsr_b--hexagon698--random"]["error"]
+        )
+        assert states["wdsr_b--narrow64--random"]["status"] == CELL_DONE
+        # The failed cell is claimable again on the next run.
+        assert db.claimable(TWO_MACHINES) == []
+
+    def test_parallel_cells_match_sequential(self, tmp_path):
+        seq_cache = str(tmp_path / "seq")
+        par_cache = str(tmp_path / "par")
+        run_campaign(TWO_MACHINES, cache_dir=seq_cache, jobs=1)
+        run_campaign(TWO_MACHINES, cache_dir=par_cache, jobs=2)
+        assert sorted(shared_lines(seq_cache)) == sorted(
+            shared_lines(par_cache)
+        )
+
+    def test_bad_jobs_rejected(self, tmp_path):
+        with pytest.raises(CampaignError, match="jobs"):
+            run_campaign(ONE_CELL, cache_dir=str(tmp_path), jobs=0)
+
+
+class TestPublish:
+    def test_appends_only_missing_lines(self, tmp_path):
+        staging = tmp_path / "staging.jsonl"
+        shared = tmp_path / "shared.jsonl"
+        lines = [
+            json.dumps({"trial": i, "model": "m"}, sort_keys=True)
+            for i in range(3)
+        ]
+        staging.write_text("\n".join(lines) + "\n")
+        assert publish_trials(staging, shared) == 3
+        assert publish_trials(staging, shared) == 0
+        assert shared.read_text().splitlines() == lines
+
+    def test_partial_publish_resumes_without_duplicates(self, tmp_path):
+        staging = tmp_path / "staging.jsonl"
+        shared = tmp_path / "shared.jsonl"
+        lines = [json.dumps({"trial": i}) for i in range(4)]
+        staging.write_text("\n".join(lines) + "\n")
+        # A crash after two lines made it to the shared DB.
+        shared.write_text("\n".join(lines[:2]) + "\n")
+        assert publish_trials(staging, shared) == 2
+        assert shared.read_text().splitlines() == lines
+
+    def test_terminates_a_killed_partial_shared_line(self, tmp_path):
+        staging = tmp_path / "staging.jsonl"
+        shared = tmp_path / "shared.jsonl"
+        good = json.dumps({"trial": 0})
+        staging.write_text(good + "\n")
+        shared.write_text('{"trial": 0')  # torn write, no newline
+        assert publish_trials(staging, shared) == 1
+        out = shared.read_text().splitlines()
+        # The torn line stays corrupt on its own; the good line lands
+        # intact instead of merging into it.
+        assert out == ['{"trial": 0', good]
+
+    def test_missing_staging_publishes_nothing(self, tmp_path):
+        assert publish_trials(
+            tmp_path / "none.jsonl", tmp_path / "shared.jsonl"
+        ) == 0
+
+
+@pytest.mark.slow
+class TestExecuteCell:
+    def test_reclaim_does_not_stack_staging(self, tmp_path):
+        cell = ONE_CELL.cells()[0]
+        campaign_dir = tmp_path / "campaign"
+        cache = str(tmp_path / "cache")
+        first = execute_cell(cell, campaign_dir, cache)
+        second = execute_cell(cell, campaign_dir, cache)
+        staging = (
+            campaign_dir / "cells" / cell.cell_id / "trials.jsonl"
+        )
+        assert len(staging.read_text().splitlines()) == 2
+        assert first["published"] == 2
+        assert second["published"] == 0
+        for field in ("best_cycles", "default_cycles", "speedup",
+                      "trial_count", "best_fingerprint", "schema"):
+            assert first[field] == second[field]

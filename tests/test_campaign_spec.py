@@ -1,0 +1,174 @@
+"""CampaignSpec validation, normalization and fingerprinting."""
+
+import json
+
+import pytest
+
+from repro.campaign import CampaignSpec, CellKey, STRATEGY_ALIASES
+from repro.errors import CampaignError
+
+GOOD = {
+    "models": ["wdsr_b", "mobilenet_v3"],
+    "machines": ["hexagon698", "narrow64"],
+    "strategies": ["random", "halving"],
+    "trials": 4,
+    "seed": 7,
+}
+
+
+class TestValidation:
+    def test_round_trips_canonical_payload(self):
+        spec = CampaignSpec.from_payload(GOOD)
+        assert spec.to_payload() == GOOD
+
+    def test_defaults_trials_and_seed(self):
+        spec = CampaignSpec.from_payload({
+            "models": ["wdsr_b"],
+            "machines": ["hexagon698"],
+            "strategies": ["grid"],
+        })
+        assert spec.trials == 8
+        assert spec.seed == 0
+
+    @pytest.mark.parametrize("field", ["models", "machines", "strategies"])
+    def test_rejects_empty_axis(self, field):
+        payload = {**GOOD, field: []}
+        with pytest.raises(CampaignError):
+            CampaignSpec.from_payload(payload)
+
+    def test_rejects_unknown_model(self):
+        with pytest.raises(CampaignError, match="unknown model"):
+            CampaignSpec.from_payload({**GOOD, "models": ["gpt5"]})
+
+    def test_rejects_unknown_machine(self):
+        with pytest.raises(CampaignError, match="unknown machine"):
+            CampaignSpec.from_payload({**GOOD, "machines": ["tpu"]})
+
+    def test_rejects_unknown_strategy(self):
+        with pytest.raises(CampaignError, match="unknown strategy"):
+            CampaignSpec.from_payload({**GOOD, "strategies": ["bayes"]})
+
+    def test_rejects_unknown_spec_field(self):
+        with pytest.raises(CampaignError, match="unknown spec field"):
+            CampaignSpec.from_payload({**GOOD, "budget": 10})
+
+    def test_rejects_non_object_payload(self):
+        with pytest.raises(CampaignError):
+            CampaignSpec.from_payload(["wdsr_b"])
+
+    @pytest.mark.parametrize("trials", [0, -1, 1.5, True, "4"])
+    def test_rejects_bad_trials(self, trials):
+        with pytest.raises(CampaignError):
+            CampaignSpec.from_payload({**GOOD, "trials": trials})
+
+    @pytest.mark.parametrize("seed", [1.5, True, "7"])
+    def test_rejects_bad_seed(self, seed):
+        with pytest.raises(CampaignError):
+            CampaignSpec.from_payload({**GOOD, "seed": seed})
+
+    def test_drops_duplicate_axis_entries(self):
+        spec = CampaignSpec.from_payload({
+            **GOOD, "models": ["wdsr_b", "wdsr_b", "mobilenet_v3"],
+        })
+        assert spec.models == ("wdsr_b", "mobilenet_v3")
+
+
+class TestAliases:
+    def test_shalving_is_halving(self):
+        assert STRATEGY_ALIASES["shalving"] == "halving"
+        spec = CampaignSpec.from_payload(
+            {**GOOD, "strategies": ["shalving"]}
+        )
+        assert spec.strategies == ("halving",)
+
+    def test_alias_and_canonical_share_a_fingerprint(self):
+        a = CampaignSpec.from_payload({**GOOD, "strategies": ["shalving"]})
+        b = CampaignSpec.from_payload({**GOOD, "strategies": ["halving"]})
+        assert a.fingerprint == b.fingerprint
+
+    def test_alias_collapsing_dedupes(self):
+        spec = CampaignSpec.from_payload(
+            {**GOOD, "strategies": ["halving", "shalving"]}
+        )
+        assert spec.strategies == ("halving",)
+
+
+class TestFingerprint:
+    def test_deterministic(self):
+        assert (
+            CampaignSpec.from_payload(GOOD).fingerprint
+            == CampaignSpec.from_payload(GOOD).fingerprint
+        )
+
+    def test_sha256_shaped(self):
+        fingerprint = CampaignSpec.from_payload(GOOD).fingerprint
+        assert len(fingerprint) == 64
+        int(fingerprint, 16)  # hex or raise
+
+    @pytest.mark.parametrize(
+        "change",
+        [
+            {"models": ["wdsr_b"]},
+            {"machines": ["hexagon698"]},
+            {"strategies": ["grid"]},
+            {"trials": 5},
+            {"seed": 8},
+        ],
+    )
+    def test_every_keyfield_moves_the_fingerprint(self, change):
+        base = CampaignSpec.from_payload(GOOD)
+        other = CampaignSpec.from_payload({**GOOD, **change})
+        assert base.fingerprint != other.fingerprint
+
+
+class TestCells:
+    def test_grid_order_is_models_machines_strategies(self):
+        spec = CampaignSpec.from_payload(GOOD)
+        cells = spec.cells()
+        assert len(cells) == 8
+        assert cells[0] == CellKey("wdsr_b", "hexagon698", "random", 4, 7)
+        assert [c.cell_id for c in cells[:3]] == [
+            "wdsr_b--hexagon698--random",
+            "wdsr_b--hexagon698--halving",
+            "wdsr_b--narrow64--random",
+        ]
+
+    def test_cell_ids_unique(self):
+        cells = CampaignSpec.from_payload(GOOD).cells()
+        assert len({c.cell_id for c in cells}) == len(cells)
+
+    def test_cell_lookup(self):
+        spec = CampaignSpec.from_payload(GOOD)
+        key = spec.cell("wdsr_b--narrow64--halving")
+        assert (key.model, key.machine, key.strategy) == (
+            "wdsr_b", "narrow64", "halving"
+        )
+        with pytest.raises(CampaignError, match="not part of"):
+            spec.cell("nope--nope--nope")
+
+    def test_cell_payload_carries_all_keyfields(self):
+        key = CampaignSpec.from_payload(GOOD).cells()[0]
+        assert key.to_payload() == {
+            "model": "wdsr_b",
+            "machine": "hexagon698",
+            "strategy": "random",
+            "trials": 4,
+            "seed": 7,
+        }
+
+
+class TestLoad:
+    def test_load_from_file(self, tmp_path):
+        path = tmp_path / "spec.json"
+        path.write_text(json.dumps(GOOD))
+        assert CampaignSpec.load(path).to_payload() == GOOD
+
+    def test_missing_file_is_structured(self, tmp_path):
+        with pytest.raises(CampaignError, match="cannot read"):
+            CampaignSpec.load(tmp_path / "nope.json")
+
+    def test_bad_json_is_structured(self, tmp_path):
+        path = tmp_path / "spec.json"
+        path.write_text("{not json")
+        with pytest.raises(CampaignError, match="not valid JSON"):
+            CampaignSpec.load(path)

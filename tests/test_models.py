@@ -12,8 +12,8 @@ from repro.models.transformers import build_tinybert
 
 
 class TestRegistry:
-    def test_ten_models_registered(self):
-        assert len(MODELS) == 10
+    def test_eleven_models_registered(self):
+        assert len(MODELS) == 11
         assert set(model_names()) == set(MODELS)
 
     def test_unknown_model_rejected(self):

@@ -1,0 +1,133 @@
+"""The int8 decoder workload tier: shapes, causality, KV-cache GEMMs."""
+
+import numpy as np
+import pytest
+
+from repro.graph import ops
+from repro.graph.execute import ReferenceExecutor
+from repro.models import MODELS, build_model
+from repro.models.transformers import (
+    DECODER_HEADS,
+    DECODER_HIDDEN,
+    DECODER_SEQ_LENS,
+    DECODER_VOCAB,
+    build_decoder_prefill,
+    build_decoder_step,
+    build_decoder_tiny,
+)
+
+
+def inputs_of(graph):
+    return {
+        node.name: node.op.shape
+        for node in graph
+        if isinstance(node.op, ops.Input)
+    }
+
+
+class TestPrefill:
+    def test_causal_mask_is_a_graph_constant(self):
+        graph = build_decoder_prefill(seq=16)
+        masks = [
+            node for node in graph
+            if node.name.endswith("_causal_mask")
+        ]
+        assert len(masks) == 2  # one per block
+        assert all(
+            node.op.shape == (1, DECODER_HEADS, 16, 16)
+            for node in masks
+        )
+
+    def test_prompt_input_and_next_token_output(self):
+        graph = build_decoder_prefill(seq=16)
+        assert inputs_of(graph) == {"prompt_ids": (1, 16)}
+        (out,) = graph.output_nodes()
+        assert out.name == "prefill_next_token"
+        assert out.output_shape == (1, 16, DECODER_VOCAB)
+
+
+class TestDecodeStep:
+    def test_kv_caches_are_inputs_shaped_by_cache_len(self):
+        graph = build_decoder_step(cache_len=32)
+        head_dim = DECODER_HIDDEN // DECODER_HEADS
+        shapes = inputs_of(graph)
+        assert shapes["token_id"] == (1, 1)
+        assert shapes["step_b0_attn_k_cache"] == (
+            1, DECODER_HEADS, head_dim, 32
+        )
+        assert shapes["step_b0_attn_v_cache"] == (
+            1, DECODER_HEADS, 32, head_dim
+        )
+        assert shapes["step_b1_attn_k_cache"] == (
+            1, DECODER_HEADS, head_dim, 32
+        )
+
+    def test_single_token_logits(self):
+        graph = build_decoder_step(cache_len=32)
+        (out,) = graph.output_nodes()
+        assert out.output_shape == (1, 1, DECODER_VOCAB)
+
+    def test_step_has_no_causal_mask(self):
+        # Every cached position is visible to the new token.
+        graph = build_decoder_step(cache_len=32)
+        assert not any(
+            node.name.endswith("_causal_mask") for node in graph
+        )
+
+
+class TestDecoderTiny:
+    def test_one_graph_holds_prefill_plus_all_steps(self):
+        graph = build_decoder_tiny()
+        assert graph.name == "decoder_tiny"
+        names = [out.name for out in graph.output_nodes()]
+        assert names == ["prefill_next_token"] + [
+            f"step{length}_next_token" for length in DECODER_SEQ_LENS
+        ]
+
+    def test_inputs_cover_prompt_tokens_and_caches(self):
+        graph = build_decoder_tiny(seq_lens=(8, 16))
+        shapes = inputs_of(graph)
+        assert shapes["prompt_ids"] == (1, 8)
+        assert shapes["step8_token_id"] == (1, 1)
+        assert shapes["step16_token_id"] == (1, 1)
+        head_dim = DECODER_HIDDEN // DECODER_HEADS
+        assert shapes["step16_b1_attn_k_cache"] == (
+            1, DECODER_HEADS, head_dim, 16
+        )
+
+    def test_rejects_empty_and_degenerate_lengths(self):
+        with pytest.raises(ValueError, match="at least one"):
+            build_decoder_tiny(seq_lens=())
+        with pytest.raises(ValueError, match=">= 2"):
+            build_decoder_tiny(seq_lens=(8, 1))
+
+    def test_registered_in_zoo_as_transformer(self):
+        info = MODELS["decoder_tiny"]
+        assert info.transformer
+        assert info.task == "LLM decoding"
+        graph = build_model("decoder_tiny")
+        assert graph.name == "decoder_tiny"
+
+    def test_executes_end_to_end_with_normalized_logits(self):
+        graph = build_decoder_tiny(seq_lens=(4, 8))
+        rng = np.random.default_rng(0)
+        feeds = {
+            node.name: rng.standard_normal(node.op.shape)
+            for node in graph
+            if isinstance(node.op, ops.Input)
+        }
+        outputs = ReferenceExecutor(graph).run(feeds)
+        probs = outputs["step8_next_token"]
+        assert probs.shape == (1, 1, DECODER_VOCAB)
+        # Softmax outputs: a probability simplex per position.
+        np.testing.assert_allclose(probs.sum(), 1.0, rtol=1e-5)
+        assert (probs >= 0).all()
+
+    def test_decode_step_gemms_are_skinny(self):
+        """The KV-cache attention GEMMs are 1-row activation matmuls."""
+        graph = build_decoder_tiny(seq_lens=(64,))
+        qk = next(n for n in graph if n.name == "step64_b0_attn_qk")
+        assert qk.output_shape == (1, DECODER_HEADS, 1, 64)
+        ctx = next(n for n in graph if n.name == "step64_b0_attn_ctx")
+        head_dim = DECODER_HIDDEN // DECODER_HEADS
+        assert ctx.output_shape == (1, DECODER_HEADS, 1, head_dim)

@@ -79,6 +79,24 @@ class TestTuneShow:
         assert "3 trial(s) recorded" in out
         assert "best:" in out
 
+    def test_show_surfaces_the_machine_name(self, tmp_path, capsys):
+        assert _tune(tmp_path, "--machine", "narrow64") == 0
+        capsys.readouterr()
+        assert main([
+            "tune", "show", "wdsr_b", "--cache-dir", str(tmp_path),
+            "--machine", "narrow64",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "machine narrow64" in out
+
+    def test_records_carry_the_machine_name(self, tmp_path):
+        assert _tune(tmp_path) == 0
+        db = TrialDB(default_tune_dir(str(tmp_path)))
+        records = db.records(model="wdsr_b")
+        assert records and all(
+            r.machine == "hexagon698" for r in records
+        )
+
     def test_show_needs_a_model(self, tmp_path, capsys):
         assert main(["tune", "show"]) == 2
         assert "needs a model" in capsys.readouterr().err
